@@ -1,0 +1,103 @@
+// Ablation bench: the design-space knobs DESIGN.md calls out.
+//
+//   1. Block size (mem_map_config): protection granularity vs. memory-map
+//      RAM vs. allocator cycles — the paper's "tuned to match available
+//      resources and protection requirements" claim (§1.1).
+//   2. Protection feature ablation under UMPU: memory-map checking,
+//      safe-stack redirection and domain tracking toggled independently,
+//      measured on the Surge application round.
+//   3. Jump-table sizing: entries per domain vs. flash cost (paper: one
+//      128-entry page per domain; "this limit can be easily extended").
+
+#include <cstdio>
+
+#include "runtime/testbed.h"
+#include "sos/kernel.h"
+#include "sos/modules.h"
+
+namespace {
+
+using namespace harbor;
+using namespace harbor::runtime;
+using namespace harbor::sos;
+
+std::uint64_t surge_round_cycles(Mode mode, std::uint8_t ctl_override) {
+  Kernel k(mode);
+  const auto tree = k.load(modules::tree_routing(), 1);
+  const auto surge = k.load(modules::surge(tree, false), 2);
+  k.run_pending();
+  if (auto* fab = k.sys().fabric()) {
+    if (ctl_override != 0xff) fab->regs().ctl = ctl_override;
+  }
+  const std::uint64_t c0 = k.sys().device().cpu().cycle_count();
+  constexpr int kRounds = 20;
+  for (int i = 0; i < kRounds; ++i) {
+    k.post(surge, msg::kData);
+    const auto log = k.run_pending();
+    if (log[0].result.faulted) return 0;
+  }
+  return (k.sys().device().cpu().cycle_count() - c0) / kRounds;
+}
+
+}  // namespace
+
+int main() {
+  // --- 1. block size sweep -------------------------------------------------
+  std::printf("=== ablation 1: memory-map block size (mem_map_config) ===\n\n");
+  std::printf("%10s %12s %16s %18s\n", "block (B)", "map RAM (B)", "malloc cycles",
+              "internal frag (B)");
+  for (const std::uint8_t shift : {std::uint8_t{3}, std::uint8_t{4}, std::uint8_t{5}}) {
+    Layout L;
+    L.block_shift = shift;
+    Testbed tb(Mode::Umpu, L);
+    const CallResult m = tb.malloc(20, 2);  // 20 B request
+    const std::uint64_t cycles = tb.body_cycles(m, 2);
+    const std::uint32_t bs = 1u << shift;
+    const std::uint32_t frag = ((20 + bs - 1) / bs) * bs - 20;
+    std::printf("%10u %12u %16llu %18u\n", bs, L.memmap_config().table_bytes(),
+                static_cast<unsigned long long>(cycles), frag);
+  }
+  std::printf("\n-> bigger blocks shrink the table and the stamping loop but waste\n"
+              "   memory to internal fragmentation (the paper's tuning trade-off).\n");
+
+  // --- 2. UMPU feature ablation ---------------------------------------------
+  std::printf("\n=== ablation 2: UMPU unit contributions (Surge round, cycles) ===\n\n");
+  const std::uint64_t base = surge_round_cycles(Mode::None, 0xff);
+  struct Case {
+    const char* name;
+    std::uint8_t ctl;
+  };
+  // ctl bits: 1 = protect master, 2 = safe stack, 4 = domain tracking.
+  const Case cases[] = {
+      {"all units on (full UMPU)", 0x07},
+      {"memory map only (no tracking)", 0x01},
+      {"safe stack + memmap (no x-domain)", 0x03},
+  };
+  std::printf("%-36s %12s %10s\n", "configuration", "cycles", "overhead");
+  std::printf("%-36s %12llu %9s\n", "no protection (baseline)",
+              static_cast<unsigned long long>(base), "--");
+  for (const Case& c : cases) {
+    const std::uint64_t cy = surge_round_cycles(Mode::Umpu, c.ctl);
+    if (cy == 0) {
+      std::printf("%-36s %12s\n", c.name, "(faulted)");
+      continue;
+    }
+    std::printf("%-36s %12llu %9.1f%%\n", c.name, static_cast<unsigned long long>(cy),
+                100.0 * (static_cast<double>(cy) / static_cast<double>(base) - 1.0));
+  }
+  std::printf("\n-> the cross-domain machinery dominates UMPU overhead; the MMC's\n"
+              "   single-cycle stalls are nearly free (Table 3's story at app level).\n");
+
+  // --- 3. jump-table sizing ---------------------------------------------------
+  std::printf("\n=== ablation 3: jump-table size vs. flash cost ===\n\n");
+  std::printf("%18s %16s %14s\n", "entries/domain", "flash bytes", "max exports");
+  for (const std::uint32_t log2e : {3u, 5u, 7u}) {
+    Layout L;
+    L.jt_entries_log2 = log2e;
+    std::printf("%18u %16u %14u\n", L.jt_entries(), L.jt_entries() * L.domains * 2,
+                L.jt_entries());
+  }
+  std::printf("\n-> the paper's configuration (128 entries = one flash page per\n"
+              "   domain) costs 2048 B; SOS modules exported at most 12 functions.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Macro benchmark (paper §5 system-level comparison): the Surge-style data
+// collection application (surge + tree_routing + blink) running under no
+// protection, under software-only SFI, and under the UMPU hardware — total
+// cycles per sampling round, relative overhead, code-size expansion from
+// binary rewriting, and the §1.2 fault-detection demonstration.
+
+#include <cstdio>
+
+#include "sos/kernel.h"
+#include "sos/modules.h"
+
+namespace {
+
+using namespace harbor;
+using namespace harbor::sos;
+using runtime::Mode;
+
+struct MacroResult {
+  std::uint64_t cycles_per_round = 0;
+  std::uint32_t surge_code_words = 0;
+  bool ok = true;
+};
+
+MacroResult run_app(Mode mode, int rounds) {
+  Kernel k(mode);
+  const auto tree = k.load(modules::tree_routing(), 1);
+  const auto surge = k.load(modules::surge(tree, /*fixed=*/false), 2);
+  const auto blink = k.load(modules::blink(), 3);
+  k.run_pending();
+
+  MacroResult r;
+  r.surge_code_words = k.module(surge)->end - k.module(surge)->base;
+
+  const std::uint64_t c0 = k.sys().device().cpu().cycle_count();
+  for (int i = 0; i < rounds; ++i) {
+    k.post(surge, msg::kData);
+    k.post(blink, msg::kTimer);
+    const auto log = k.run_pending();
+    for (const auto& rec : log) r.ok = r.ok && !rec.result.faulted;
+  }
+  r.cycles_per_round =
+      (k.sys().device().cpu().cycle_count() - c0) / static_cast<std::uint64_t>(rounds);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRounds = 50;
+  const MacroResult none = run_app(Mode::None, kRounds);
+  const MacroResult sfi = run_app(Mode::Sfi, kRounds);
+  const MacroResult umpu = run_app(Mode::Umpu, kRounds);
+
+  std::printf("=== Macro: Surge data-collection application (%d rounds) ===\n\n", kRounds);
+  std::printf("%-22s %16s %12s %16s\n", "protection", "cycles/round", "overhead",
+              "surge code (w)");
+  auto row = [&](const char* name, const MacroResult& r) {
+    std::printf("%-22s %16llu %11.1f%% %16u %s\n", name,
+                static_cast<unsigned long long>(r.cycles_per_round),
+                100.0 * (static_cast<double>(r.cycles_per_round) /
+                             static_cast<double>(none.cycles_per_round) -
+                         1.0),
+                r.surge_code_words, r.ok ? "" : "(faulted!)");
+  };
+  row("none (baseline)", none);
+  row("Harbor SFI (rewrite)", sfi);
+  row("UMPU (hardware)", umpu);
+
+  std::printf(
+      "\nShape check (paper's motivation): hardware protection costs a few\n"
+      "percent; software-only sandboxing costs substantially more, and also\n"
+      "grows the module binary (store/call/ret expansion by the rewriter).\n");
+
+  // The §1.2 anecdote as a system-level event: the same application with
+  // the Tree routing module missing.
+  std::printf("\n=== fault detection: Surge without Tree routing ===\n");
+  for (const Mode mode : {Mode::Sfi, Mode::Umpu}) {
+    Kernel k(mode);
+    const auto surge = k.load(modules::surge(/*tree_domain=*/1, /*fixed=*/false), 2);
+    k.run_pending();
+    k.post(surge, msg::kData);
+    const auto log = k.run_pending();
+    std::printf("  %-6s: %s\n", mode == Mode::Sfi ? "SFI" : "UMPU",
+                log[0].result.faulted
+                    ? avr::fault_kind_name(log[0].result.fault)
+                    : "NOT CAUGHT (silent corruption)");
+  }
+  {
+    Kernel k(Mode::None);
+    const auto surge = k.load(modules::surge(/*tree_domain=*/1, /*fixed=*/false), 2);
+    k.run_pending();
+    // Under no protection the subscribe stub still answers, the wild write
+    // silently lands in memory the module does not own.
+    k.post(surge, msg::kData);
+    const auto log = k.run_pending();
+    std::printf("  none  : %s\n", log[0].result.faulted
+                                      ? avr::fault_kind_name(log[0].result.fault)
+                                      : "NOT CAUGHT (silent corruption)");
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Host-side throughput of the simulator itself (google-benchmark): how many
+// simulated cycles per host second the core executes, with and without the
+// UMPU fabric attached. Not a paper table — engineering data for users of
+// this reproduction.
+
+#include <benchmark/benchmark.h>
+
+#include "asm/builder.h"
+#include "avr/device.h"
+#include "umpu/fabric.h"
+
+namespace {
+
+using namespace harbor;
+using namespace harbor::assembler;
+
+/// Tight guest loop mixing ALU, memory, and control flow.
+assembler::Program workload() {
+  Assembler a;
+  auto loop = a.make_label();
+  a.ldi16(r26, 0x0200);
+  a.ldi(r16, 0);
+  a.bind(loop);
+  a.inc(r16);
+  a.st_x(r16);
+  a.ld_x(r17);
+  a.add(r17, r16);
+  a.rjmp(loop);
+  return a.assemble();
+}
+
+void BM_BareCore(benchmark::State& state) {
+  avr::Device dev;
+  const auto p = workload();
+  dev.flash().load(p.words, 0);
+  dev.reset();
+  std::uint64_t cycles = 0;
+  for (auto _ : state) cycles += dev.cpu().run(10000);
+  state.counters["sim_cycles_per_s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BareCore);
+
+void BM_CoreWithUmpuFabric(benchmark::State& state) {
+  avr::Device dev;
+  umpu::Fabric fab(dev.cpu());
+  auto& r = fab.regs();
+  r.mem_map_base = 0x80;
+  r.mem_prot_bot = 0x180;
+  r.mem_prot_top = 0xe00;
+  r.mem_map_config = 0x8b;
+  r.ctl = 0x07;
+  r.stack_bound = 0x0fff;
+  r.cur_domain = avr::ports::kTrustedDomain;
+  const auto p = workload();
+  dev.flash().load(p.words, 0);
+  dev.reset();
+  std::uint64_t cycles = 0;
+  for (auto _ : state) cycles += dev.cpu().run(10000);
+  state.counters["sim_cycles_per_s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CoreWithUmpuFabric);
+
+void BM_DecoderExhaustive(benchmark::State& state) {
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    for (std::uint32_t w = 0; w <= 0xffff; ++w)
+      benchmark::DoNotOptimize(avr::decode(static_cast<std::uint16_t>(w), 0));
+    n += 0x10000;
+  }
+  state.counters["decodes_per_s"] =
+      benchmark::Counter(static_cast<double>(n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DecoderExhaustive);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Reproduces paper Table 6: "Gate count overhead of hardware extensions"
+// via the structural area model (we cannot run Xilinx ISE; see DESIGN.md).
+//
+//   HW Component    paper Ext.   paper Orig.
+//   AVR Core          22498        16419
+//   Fetch Decoder      6783         6685
+//   MMC                2284          N/A
+//   Safe Stack         1749          N/A
+//   Domain Tracker      541          N/A
+//
+// Also reproduces the conclusion's ablation: synthesizing for a fixed
+// block size / domain count eliminates the barrel shifter ("Most of the
+// additions to the core area are in the memory map decoder that maintains
+// a barrel shifter").
+
+#include <cstdio>
+
+#include "gatecount/model.h"
+
+namespace {
+
+using namespace harbor::gatecount;
+
+void print_unit(const UnitModel& u, double factor, int paper) {
+  std::printf("\n%s (paper: %d gates; modeled: %.0f raw GE -> %.0f ISE-equivalent)\n",
+              u.name.c_str(), paper, u.total(), u.total() * factor);
+  for (const auto& b : u.blocks)
+    std::printf("    %-44s %3dx%-3d  %7.0f GE\n", b.name.c_str(), b.count, b.width,
+                b.total());
+}
+
+}  // namespace
+
+int main() {
+  const HwConfig cfg;
+  const double f = fpga_mapping_factor();
+
+  std::printf("=== Table 6: gate-count overhead of the hardware extensions ===\n");
+  std::printf("(structural model; ISE-equivalent = raw NAND2 GE x %.1f mapping factor)\n", f);
+
+  const UnitModel mmc = mmc_model(cfg);
+  const UnitModel ss = safe_stack_model(cfg);
+  const UnitModel dt = domain_tracker_model(cfg);
+  const UnitModel fd = fetch_decoder_delta_model(cfg);
+  const UnitModel glue = integration_glue_model(cfg);
+
+  print_unit(mmc, f, PaperTable6::kMmc);
+  print_unit(ss, f, PaperTable6::kSafeStack);
+  print_unit(dt, f, PaperTable6::kDomainTracker);
+  print_unit(fd, f, PaperTable6::kFetchExt - PaperTable6::kFetchOrig);
+  print_unit(glue, f,
+             PaperTable6::kCoreExt - PaperTable6::kCoreOrig - PaperTable6::kMmc -
+                 PaperTable6::kSafeStack - PaperTable6::kDomainTracker -
+                 (PaperTable6::kFetchExt - PaperTable6::kFetchOrig));
+
+  const int ext = modeled_core_extension(cfg);
+  std::printf("\n%-34s %10s %10s\n", "summary", "paper", "modeled");
+  std::printf("%-34s %10d %10d\n", "AVR core (extended)", PaperTable6::kCoreExt, ext);
+  std::printf("%-34s %10d %10s\n", "AVR core (original)", PaperTable6::kCoreOrig,
+              "(given)");
+  std::printf("%-34s %10.1f%% %9.1f%%\n", "core area increase",
+              100.0 * (PaperTable6::kCoreExt - PaperTable6::kCoreOrig) /
+                  PaperTable6::kCoreOrig,
+              100.0 * (ext - PaperTable6::kCoreOrig) / PaperTable6::kCoreOrig);
+
+  // Conclusion ablation: fixed configuration drops the barrel shifter and
+  // the config registers.
+  HwConfig fixed = cfg;
+  fixed.runtime_configurable = false;
+  const double mmc_fixed = mmc_model(fixed).total() * f;
+  std::printf(
+      "\nablation (paper conclusion: pre-configured block size & domains):\n"
+      "  MMC configurable: %.0f   MMC fixed-config: %.0f   (saved: %.0f, %.0f%%)\n",
+      mmc.total() * f, mmc_fixed, mmc.total() * f - mmc_fixed,
+      100.0 * (mmc.total() * f - mmc_fixed) / (mmc.total() * f));
+  const int ext_fixed = modeled_core_extension(fixed);
+  std::printf("  extended core: configurable %d -> fixed %d gates\n", ext, ext_fixed);
+  return 0;
+}

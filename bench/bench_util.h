@@ -1,0 +1,77 @@
+#pragma once
+// Shared helpers for the table-reproduction benchmarks: paper-vs-measured
+// table rendering and PC-range cycle attribution on the simulated core.
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "avr/device.h"
+
+namespace harbor::bench {
+
+/// One row of a paper-vs-measured table.
+struct Row {
+  std::string label;
+  std::vector<double> values;
+};
+
+inline void print_table(const std::string& title, const std::vector<std::string>& columns,
+                        const std::vector<Row>& rows) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-34s", "");
+  for (const auto& c : columns) std::printf("%16s", c.c_str());
+  std::printf("\n");
+  for (const auto& r : rows) {
+    std::printf("%-34s", r.label.c_str());
+    for (const double v : r.values) std::printf("%16.0f", v);
+    std::printf("\n");
+  }
+}
+
+/// Runs the device while attributing cycles to named PC ranges (word
+/// addresses, end exclusive). Cycles spent at a PC inside a range are
+/// credited to that range; everything else goes to "other".
+class PcAttributor {
+ public:
+  void add_range(const std::string& name, std::uint32_t start, std::uint32_t end) {
+    ranges_.push_back({name, start, end});
+    cycles_[name] = 0;
+  }
+
+  /// Step until the device halts/exits or `max_cycles` elapse.
+  void run(avr::Device& dev, std::uint64_t max_cycles = 5'000'000) {
+    std::uint64_t spent = 0;
+    while (!dev.cpu().halted() && !dev.guest_exit().exited && spent < max_cycles) {
+      const std::uint32_t pc = dev.cpu().pc();
+      const int c = dev.step().cycles;
+      spent += static_cast<std::uint64_t>(c);
+      bool hit = false;
+      for (const auto& r : ranges_) {
+        if (pc >= r.start && pc < r.end) {
+          cycles_[r.name] += static_cast<std::uint64_t>(c);
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) cycles_["other"] += static_cast<std::uint64_t>(c);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t cycles(const std::string& name) const {
+    const auto it = cycles_.find(name);
+    return it == cycles_.end() ? 0 : it->second;
+  }
+
+ private:
+  struct Range {
+    std::string name;
+    std::uint32_t start, end;
+  };
+  std::vector<Range> ranges_;
+  std::map<std::string, std::uint64_t> cycles_;
+};
+
+}  // namespace harbor::bench

@@ -1,0 +1,131 @@
+// Command-line assembler / disassembler / runner for the bundled AVR
+// toolchain — the workflow a firmware developer would use against this
+// reproduction:
+//
+//   asm_tool asm  <file.S> [out.hex]   assemble to Intel HEX
+//   asm_tool dis  <file.hex> [count]   disassemble an image
+//   asm_tool run  <file.hex> [cycles]  execute on the simulated device
+//   asm_tool demo                      assemble+run a built-in sample
+//
+// Files use the text syntax of src/asm/text.h; images are standard
+// Intel-HEX, interchangeable with avr-objcopy output for plain code.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "asm/disasm.h"
+#include "asm/ihex.h"
+#include "asm/text.h"
+#include "asm/tracer.h"
+#include "avr/device.h"
+
+using namespace harbor;
+using namespace harbor::assembler;
+
+namespace {
+
+std::string slurp(const char* path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error(std::string("cannot open ") + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int cmd_asm(const char* src_path, const char* out_path) {
+  const Program p = assemble_text(slurp(src_path));
+  const std::string hex = to_intel_hex(p);
+  if (out_path) {
+    std::ofstream out(out_path);
+    out << hex;
+    std::printf("assembled %zu words -> %s\n", p.words.size(), out_path);
+  } else {
+    std::fputs(hex.c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_dis(const char* hex_path, int count) {
+  const Program p = from_intel_hex(slurp(hex_path));
+  avr::Flash flash(0x10000);
+  flash.load(p.words, p.origin);
+  std::fputs(disassemble_range(flash, p.origin, count).c_str(), stdout);
+  return 0;
+}
+
+int run_image(const Program& p, std::uint64_t max_cycles, bool trace) {
+  avr::Device dev;
+  dev.flash().load(p.words, p.origin);
+  dev.reset();
+  dev.cpu().set_pc(p.origin);
+  Tracer tracer(64);
+  const std::uint64_t cycles =
+      trace ? tracer.run(dev, max_cycles) : dev.run(max_cycles);
+  if (trace) std::fputs(tracer.format().c_str(), stdout);
+  std::printf("halted after %llu cycles (%s)\n",
+              static_cast<unsigned long long>(cycles),
+              dev.guest_exit().exited     ? "guest exit"
+              : dev.cpu().fault()         ? avr::fault_kind_name(dev.cpu().fault()->kind)
+              : dev.cpu().halted()        ? "break/sleep"
+                                          : "cycle budget");
+  if (!dev.console().empty()) std::printf("console: %s\n", dev.console().c_str());
+  std::printf("debug value: 0x%04x\n", dev.debug_value());
+  return 0;
+}
+
+int cmd_run(const char* hex_path, std::uint64_t max_cycles) {
+  return run_image(from_intel_hex(slurp(hex_path)), max_cycles, /*trace=*/false);
+}
+
+int cmd_demo() {
+  static const char* kDemo = R"(
+      ; compute 12 factorial-ish product chain mod 256, print as a char
+      .equ DBGVAL = 0x1a
+      .equ DBGOUT = 0x18
+          ldi r16, 1        ; acc
+          ldi r17, 5        ; n
+      loop:
+          mov r0, r16
+          ldi r18, 0
+      mulloop:              ; acc *= n by repeated addition
+          add r18, r0
+          dec r17
+          brne mulloop
+          mov r16, r18
+          ldi r17, 4
+          cpi r16, 0
+          breq done
+      done:
+          out DBGVAL, r16
+          ldi r19, 72       ; 'H'
+          out DBGOUT, r19
+          break
+  )";
+  std::printf("assembling built-in demo...\n");
+  const Program p = assemble_text(kDemo);
+  std::printf("%zu words:\n", p.words.size());
+  return run_image(p, 10000, /*trace=*/true);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string cmd = argc > 1 ? argv[1] : "demo";
+    if (cmd == "asm" && argc >= 3) return cmd_asm(argv[2], argc > 3 ? argv[3] : nullptr);
+    if (cmd == "dis" && argc >= 3) return cmd_dis(argv[2], argc > 3 ? atoi(argv[3]) : 32);
+    if (cmd == "run" && argc >= 3)
+      return cmd_run(argv[2], argc > 3 ? strtoull(argv[3], nullptr, 0) : 1'000'000);
+    if (cmd == "demo") return cmd_demo();
+    std::fprintf(stderr,
+                 "usage: asm_tool asm <file.S> [out.hex]\n"
+                 "       asm_tool dis <file.hex> [count]\n"
+                 "       asm_tool run <file.hex> [cycles]\n"
+                 "       asm_tool demo\n");
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

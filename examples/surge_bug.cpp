@@ -1,0 +1,70 @@
+// The paper's §1.2 anecdote, end to end: the Surge data-collection module
+// uses the result of a cross-domain call into the Tree routing module as a
+// buffer offset without checking the error code. When Tree routing is
+// absent, the 0xFFFF error result drives a wild write.
+//
+// "Harbor was successfully able to prevent the corruption and signal the
+//  invalid access."
+
+#include <cstdio>
+
+#include "core/harbor.h"
+
+using namespace harbor;
+using namespace harbor::sos;
+
+namespace {
+
+void scenario(const char* title, ProtectionMode mode, bool with_tree, bool fixed) {
+  std::printf("--- %s ---\n", title);
+  System sys({mode, {}});
+  std::uint8_t tree_domain = 1;
+  if (with_tree) tree_domain = sys.load_module(modules::tree_routing(), 1);
+  const auto surge = sys.load_module(modules::surge(tree_domain, fixed), 2);
+  sys.run_pending();
+
+  sys.post(surge, msg::kData);
+  const auto log = sys.run_pending();
+  const auto& r = log.back().result;
+  if (r.faulted) {
+    std::printf("  Harbor caught it: %s\n\n", sys.last_fault()->to_string().c_str());
+  } else if (fixed && r.value == 0xee) {
+    std::printf("  fixed module noticed the error code and reported failure\n\n");
+  } else {
+    // Inspect where the sample landed.
+    const auto* m = sys.kernel().module(surge);
+    auto& ds = sys.device().data();
+    const std::uint16_t buf = static_cast<std::uint16_t>(
+        ds.sram_raw(m->state_ptr) | (ds.sram_raw(m->state_ptr + 1) << 8));
+    if (with_tree) {
+      std::printf("  sample stored at buf[%d] = 0x%02x (valid)\n\n",
+                  32 - modules::kTreeHdrSize,
+                  ds.sram_raw(buf + 32 - modules::kTreeHdrSize));
+    } else {
+      std::printf("  SILENT CORRUPTION: 0x%02x written past the buffer at 0x%04x\n\n",
+                  ds.sram_raw(static_cast<std::uint16_t>(buf + 33)),
+                  static_cast<std::uint16_t>(buf + 33));
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "The Surge bug (DAC'07 Harbor paper, section 1.2):\n"
+      "a failed cross-domain call returns 0xFFFF; Surge forgets to check it\n"
+      "and uses it to compute a store address.\n\n");
+
+  scenario("healthy deployment: Tree routing loaded (UMPU)", ProtectionMode::Umpu,
+           /*with_tree=*/true, /*fixed=*/false);
+  scenario("Tree routing missing, no protection", ProtectionMode::None,
+           /*with_tree=*/false, /*fixed=*/false);
+  scenario("Tree routing missing, Harbor SFI", ProtectionMode::Sfi,
+           /*with_tree=*/false, /*fixed=*/false);
+  scenario("Tree routing missing, UMPU hardware", ProtectionMode::Umpu,
+           /*with_tree=*/false, /*fixed=*/false);
+  scenario("Tree routing missing, corrected Surge (UMPU)", ProtectionMode::Umpu,
+           /*with_tree=*/false, /*fixed=*/true);
+  return 0;
+}

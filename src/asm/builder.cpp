@@ -1,0 +1,353 @@
+#include "asm/builder.h"
+
+#include <stdexcept>
+
+namespace harbor::assembler {
+
+using avr::Instr;
+using avr::Mnemonic;
+
+namespace {
+Instr mk(Mnemonic m) {
+  Instr i;
+  i.op = m;
+  return i;
+}
+}  // namespace
+
+Label Assembler::make_label(std::string name) {
+  label_addr_.push_back(-1);
+  label_name_.push_back(std::move(name));
+  return Label(static_cast<int>(label_addr_.size()) - 1);
+}
+
+void Assembler::bind(Label l) {
+  if (l.id_ < 0 || l.id_ >= static_cast<int>(label_addr_.size()))
+    throw std::runtime_error("asm: bind of invalid label");
+  if (label_addr_[static_cast<std::size_t>(l.id_)] >= 0)
+    throw std::runtime_error("asm: label bound twice: " +
+                             label_name_[static_cast<std::size_t>(l.id_)]);
+  label_addr_[static_cast<std::size_t>(l.id_)] = here();
+  const auto& name = label_name_[static_cast<std::size_t>(l.id_)];
+  if (!name.empty()) symbols_[name] = here();
+}
+
+Label Assembler::bind_here(std::string name) {
+  Label l = make_label(std::move(name));
+  bind(l);
+  return l;
+}
+
+void Assembler::mark(const std::string& name) { symbols_[name] = here(); }
+
+void Assembler::emit(const Instr& in) {
+  const avr::Encoding e = avr::encode(in);
+  for (int i = 0; i < e.words; ++i) words_.push_back(e.word[static_cast<std::size_t>(i)]);
+}
+
+void Assembler::pad_to(std::uint32_t waddr) {
+  if (waddr < here()) throw std::runtime_error("asm: pad_to behind current location");
+  while (here() < waddr) emit(mk(Mnemonic::Nop));
+}
+
+// --- straightforward emitters -------------------------------------------------
+
+#define EMIT_RR(fn, M)                         \
+  void Assembler::fn(Reg d, Reg r) {           \
+    Instr i = mk(Mnemonic::M);                 \
+    i.d = d.n;                                 \
+    i.r = r.n;                                 \
+    emit(i);                                   \
+  }
+EMIT_RR(add, Add) EMIT_RR(adc, Adc) EMIT_RR(sub, Sub) EMIT_RR(sbc, Sbc)
+EMIT_RR(and_, And) EMIT_RR(or_, Or) EMIT_RR(eor, Eor) EMIT_RR(mul, Mul)
+EMIT_RR(cp, Cp) EMIT_RR(cpc, Cpc) EMIT_RR(cpse, Cpse) EMIT_RR(mov, Mov)
+EMIT_RR(movw, Movw)
+#undef EMIT_RR
+
+#define EMIT_RI(fn, M)                          \
+  void Assembler::fn(Reg d, std::uint8_t k) {   \
+    Instr i = mk(Mnemonic::M);                  \
+    i.d = d.n;                                  \
+    i.imm = k;                                  \
+    emit(i);                                    \
+  }
+EMIT_RI(subi, Subi) EMIT_RI(sbci, Sbci) EMIT_RI(andi, Andi) EMIT_RI(ori, Ori)
+EMIT_RI(cpi, Cpi) EMIT_RI(ldi, Ldi) EMIT_RI(adiw, Adiw) EMIT_RI(sbiw, Sbiw)
+#undef EMIT_RI
+
+#define EMIT_R(fn, M)              \
+  void Assembler::fn(Reg d) {      \
+    Instr i = mk(Mnemonic::M);     \
+    i.d = d.n;                     \
+    emit(i);                       \
+  }
+EMIT_R(com, Com) EMIT_R(neg, Neg) EMIT_R(inc, Inc) EMIT_R(dec, Dec)
+EMIT_R(lsr, Lsr) EMIT_R(ror, Ror) EMIT_R(asr, Asr) EMIT_R(swap, Swap)
+EMIT_R(ld_x, LdX) EMIT_R(ld_x_inc, LdXInc) EMIT_R(ld_x_dec, LdXDec)
+EMIT_R(ld_y_inc, LdYInc) EMIT_R(ld_y_dec, LdYDec)
+EMIT_R(ld_z_inc, LdZInc) EMIT_R(ld_z_dec, LdZDec)
+EMIT_R(st_x, StX) EMIT_R(st_x_inc, StXInc) EMIT_R(st_x_dec, StXDec)
+EMIT_R(st_y_inc, StYInc) EMIT_R(st_y_dec, StYDec)
+EMIT_R(st_z_inc, StZInc) EMIT_R(st_z_dec, StZDec)
+EMIT_R(push, Push) EMIT_R(pop, Pop) EMIT_R(lpm, Lpm) EMIT_R(lpm_inc, LpmInc)
+#undef EMIT_R
+
+void Assembler::ldd_y(Reg d, std::uint8_t q) {
+  Instr i = mk(Mnemonic::LddY);
+  i.d = d.n;
+  i.q = q;
+  emit(i);
+}
+void Assembler::ldd_z(Reg d, std::uint8_t q) {
+  Instr i = mk(Mnemonic::LddZ);
+  i.d = d.n;
+  i.q = q;
+  emit(i);
+}
+void Assembler::std_y(Reg r, std::uint8_t q) {
+  Instr i = mk(Mnemonic::StdY);
+  i.d = r.n;
+  i.q = q;
+  emit(i);
+}
+void Assembler::std_z(Reg r, std::uint8_t q) {
+  Instr i = mk(Mnemonic::StdZ);
+  i.d = r.n;
+  i.q = q;
+  emit(i);
+}
+void Assembler::lds(Reg d, std::uint16_t addr) {
+  Instr i = mk(Mnemonic::Lds);
+  i.d = d.n;
+  i.k32 = addr;
+  emit(i);
+}
+void Assembler::sts(std::uint16_t addr, Reg r) {
+  Instr i = mk(Mnemonic::Sts);
+  i.d = r.n;
+  i.k32 = addr;
+  emit(i);
+}
+void Assembler::in(Reg d, std::uint8_t port) {
+  Instr i = mk(Mnemonic::In);
+  i.d = d.n;
+  i.a = port;
+  emit(i);
+}
+void Assembler::out(std::uint8_t port, Reg r) {
+  Instr i = mk(Mnemonic::Out);
+  i.d = r.n;
+  i.a = port;
+  emit(i);
+}
+
+void Assembler::sbi(std::uint8_t port, std::uint8_t bit) {
+  Instr i = mk(Mnemonic::Sbi);
+  i.a = port;
+  i.b = bit;
+  emit(i);
+}
+void Assembler::cbi(std::uint8_t port, std::uint8_t bit) {
+  Instr i = mk(Mnemonic::Cbi);
+  i.a = port;
+  i.b = bit;
+  emit(i);
+}
+void Assembler::sbic(std::uint8_t port, std::uint8_t bit) {
+  Instr i = mk(Mnemonic::Sbic);
+  i.a = port;
+  i.b = bit;
+  emit(i);
+}
+void Assembler::sbis(std::uint8_t port, std::uint8_t bit) {
+  Instr i = mk(Mnemonic::Sbis);
+  i.a = port;
+  i.b = bit;
+  emit(i);
+}
+void Assembler::sbrc(Reg r, std::uint8_t bit) {
+  Instr i = mk(Mnemonic::Sbrc);
+  i.d = r.n;
+  i.b = bit;
+  emit(i);
+}
+void Assembler::sbrs(Reg r, std::uint8_t bit) {
+  Instr i = mk(Mnemonic::Sbrs);
+  i.d = r.n;
+  i.b = bit;
+  emit(i);
+}
+void Assembler::bst(Reg d, std::uint8_t bit) {
+  Instr i = mk(Mnemonic::Bst);
+  i.d = d.n;
+  i.b = bit;
+  emit(i);
+}
+void Assembler::bld(Reg d, std::uint8_t bit) {
+  Instr i = mk(Mnemonic::Bld);
+  i.d = d.n;
+  i.b = bit;
+  emit(i);
+}
+void Assembler::sec() {
+  Instr i = mk(Mnemonic::Bset);
+  i.b = 0;
+  emit(i);
+}
+void Assembler::clc() {
+  Instr i = mk(Mnemonic::Bclr);
+  i.b = 0;
+  emit(i);
+}
+void Assembler::sei() {
+  Instr i = mk(Mnemonic::Bset);
+  i.b = 7;
+  emit(i);
+}
+void Assembler::cli() {
+  Instr i = mk(Mnemonic::Bclr);
+  i.b = 7;
+  emit(i);
+}
+
+void Assembler::ldi16(Reg lo, std::uint16_t value) {
+  ldi(lo, static_cast<std::uint8_t>(value & 0xff));
+  ldi(Reg(static_cast<std::uint8_t>(lo.n + 1)), static_cast<std::uint8_t>(value >> 8));
+}
+
+void Assembler::ldi_code_ptr(Reg lo, Label target) {
+  ldi_lo8w(lo, target);
+  ldi_hi8w(Reg(static_cast<std::uint8_t>(lo.n + 1)), target);
+}
+
+void Assembler::ldi_lo8w(Reg d, Label target) {
+  fixups_.push_back({words_.size(), FixKind::ImmLoW, target.id_});
+  ldi(d, 0);
+}
+
+void Assembler::ldi_hi8w(Reg d, Label target) {
+  fixups_.push_back({words_.size(), FixKind::ImmHiW, target.id_});
+  ldi(d, 0);
+}
+
+// --- control flow --------------------------------------------------------------
+
+void Assembler::emit_rel(Mnemonic m, Label target, FixKind kind) {
+  fixups_.push_back({words_.size(), kind, target.id_});
+  Instr i = mk(m);
+  i.k = 0;
+  emit(i);
+}
+
+void Assembler::rjmp(Label t) { emit_rel(Mnemonic::Rjmp, t, FixKind::Rel12); }
+void Assembler::rcall(Label t) { emit_rel(Mnemonic::Rcall, t, FixKind::Rel12); }
+
+void Assembler::brbs(std::uint8_t flag_bit, Label t) {
+  fixups_.push_back({words_.size(), FixKind::Rel7, t.id_});
+  Instr i = mk(Mnemonic::Brbs);
+  i.b = flag_bit;
+  emit(i);
+}
+void Assembler::brbc(std::uint8_t flag_bit, Label t) {
+  fixups_.push_back({words_.size(), FixKind::Rel7, t.id_});
+  Instr i = mk(Mnemonic::Brbc);
+  i.b = flag_bit;
+  emit(i);
+}
+
+void Assembler::jmp(Label t) {
+  fixups_.push_back({words_.size(), FixKind::Abs22, t.id_});
+  Instr i = mk(Mnemonic::Jmp);
+  emit(i);
+}
+void Assembler::call(Label t) {
+  fixups_.push_back({words_.size(), FixKind::Abs22, t.id_});
+  Instr i = mk(Mnemonic::Call);
+  emit(i);
+}
+void Assembler::jmp_abs(std::uint32_t waddr) {
+  Instr i = mk(Mnemonic::Jmp);
+  i.k32 = waddr;
+  emit(i);
+}
+void Assembler::call_abs(std::uint32_t waddr) {
+  Instr i = mk(Mnemonic::Call);
+  i.k32 = waddr;
+  emit(i);
+}
+void Assembler::rjmp_abs(std::uint32_t waddr) {
+  const std::int64_t off = static_cast<std::int64_t>(waddr) -
+                           (static_cast<std::int64_t>(here()) + 1);
+  if (off < -2048 || off > 2047) throw std::runtime_error("asm: rjmp_abs out of range");
+  Instr i = mk(Mnemonic::Rjmp);
+  i.k = static_cast<std::int16_t>(off);
+  emit(i);
+}
+
+void Assembler::ijmp() { emit(mk(Mnemonic::Ijmp)); }
+void Assembler::icall() { emit(mk(Mnemonic::Icall)); }
+void Assembler::ret() { emit(mk(Mnemonic::Ret)); }
+void Assembler::reti() { emit(mk(Mnemonic::Reti)); }
+void Assembler::nop() { emit(mk(Mnemonic::Nop)); }
+void Assembler::sleep() { emit(mk(Mnemonic::Sleep)); }
+void Assembler::brk() { emit(mk(Mnemonic::Break)); }
+void Assembler::wdr() { emit(mk(Mnemonic::Wdr)); }
+void Assembler::spm() { emit(mk(Mnemonic::Spm)); }
+
+// --- linking --------------------------------------------------------------------
+
+std::uint32_t Assembler::label_value(int id) const {
+  if (id < 0 || id >= static_cast<int>(label_addr_.size()))
+    throw std::runtime_error("asm: fixup references invalid label");
+  const std::int64_t v = label_addr_[static_cast<std::size_t>(id)];
+  if (v < 0)
+    throw std::runtime_error("asm: unbound label: " + label_name_[static_cast<std::size_t>(id)]);
+  return static_cast<std::uint32_t>(v);
+}
+
+Program Assembler::assemble() {
+  for (const Fixup& f : fixups_) {
+    const std::uint32_t target = label_value(f.label);
+    const std::uint32_t site = origin_ + static_cast<std::uint32_t>(f.word_index);
+    switch (f.kind) {
+      case FixKind::Rel12: {
+        const std::int64_t off = static_cast<std::int64_t>(target) - (site + 1);
+        if (off < -2048 || off > 2047) throw std::runtime_error("asm: rel12 out of range");
+        words_[f.word_index] = static_cast<std::uint16_t>(
+            (words_[f.word_index] & 0xf000) | (static_cast<std::uint16_t>(off) & 0x0fff));
+        break;
+      }
+      case FixKind::Rel7: {
+        const std::int64_t off = static_cast<std::int64_t>(target) - (site + 1);
+        if (off < -64 || off > 63) throw std::runtime_error("asm: branch out of range");
+        words_[f.word_index] = static_cast<std::uint16_t>(
+            (words_[f.word_index] & 0xfc07) | ((static_cast<std::uint16_t>(off) & 0x7f) << 3));
+        break;
+      }
+      case FixKind::Abs22: {
+        const std::uint32_t hi = target >> 16;
+        words_[f.word_index] = static_cast<std::uint16_t>(
+            (words_[f.word_index] & 0xfe0e) | ((hi & 0x3e) << 3) | (hi & 0x01));
+        words_[f.word_index + 1] = static_cast<std::uint16_t>(target & 0xffff);
+        break;
+      }
+      case FixKind::ImmLoW:
+      case FixKind::ImmHiW: {
+        const std::uint8_t byte = f.kind == FixKind::ImmLoW
+                                      ? static_cast<std::uint8_t>(target & 0xff)
+                                      : static_cast<std::uint8_t>((target >> 8) & 0xff);
+        words_[f.word_index] = static_cast<std::uint16_t>(
+            (words_[f.word_index] & 0xf0f0) | ((byte & 0xf0) << 4) | (byte & 0x0f));
+        break;
+      }
+    }
+  }
+  Program p;
+  p.origin = origin_;
+  p.words = words_;
+  p.symbols = symbols_;
+  return p;
+}
+
+}  // namespace harbor::assembler

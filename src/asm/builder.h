@@ -1,0 +1,225 @@
+#pragma once
+// Programmatic AVR macro-assembler.
+//
+// The Harbor guest runtime, the mini-SOS kernel and all benchmark guest
+// programs are authored against this API (the repository has no avr-gcc).
+// Labels support forward references; relative/absolute/immediate fixups are
+// resolved at assemble() time.
+//
+//   Assembler a(/*origin=*/0);
+//   auto loop = a.make_label("loop");
+//   a.ldi(r16, 10);
+//   a.bind(loop);
+//   a.dec(r16);
+//   a.brne(loop);
+//   a.ret();
+//   Program p = a.assemble();
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asm/program.h"
+#include "avr/encoder.h"
+#include "avr/instr.h"
+
+namespace harbor::assembler {
+
+/// Strongly-typed register operand.
+struct Reg {
+  std::uint8_t n;
+  constexpr explicit Reg(std::uint8_t v) : n(v) {}
+  friend constexpr bool operator==(Reg a, Reg b) { return a.n == b.n; }
+};
+
+// Register constants r0..r31 (X = r26:27, Y = r28:29, Z = r30:31).
+inline constexpr Reg r0{0}, r1{1}, r2{2}, r3{3}, r4{4}, r5{5}, r6{6}, r7{7},
+    r8{8}, r9{9}, r10{10}, r11{11}, r12{12}, r13{13}, r14{14}, r15{15},
+    r16{16}, r17{17}, r18{18}, r19{19}, r20{20}, r21{21}, r22{22}, r23{23},
+    r24{24}, r25{25}, r26{26}, r27{27}, r28{28}, r29{29}, r30{30}, r31{31};
+
+/// Forward-referenceable code location.
+class Label {
+ public:
+  Label() = default;
+
+ private:
+  friend class Assembler;
+  explicit Label(int id) : id_(id) {}
+  int id_ = -1;
+};
+
+class Assembler {
+ public:
+  explicit Assembler(std::uint32_t origin_words = 0) : origin_(origin_words) {}
+
+  // --- labels & symbols ---
+  Label make_label(std::string name = "");
+  void bind(Label l);
+  Label bind_here(std::string name = "");
+  /// Current location as a word address.
+  [[nodiscard]] std::uint32_t here() const {
+    return origin_ + static_cast<std::uint32_t>(words_.size());
+  }
+  /// Record `name` = here() in the symbol table without creating a label.
+  void mark(const std::string& name);
+
+  // --- raw emission ---
+  void emit(const avr::Instr& in);
+  void dw(std::uint16_t w) { words_.push_back(w); }
+  void align_even_label() {}  // flash is word-addressed; nothing to do
+  /// Pad with NOPs until `here()` == `waddr` (must be >= here()).
+  void pad_to(std::uint32_t waddr);
+
+  // --- arithmetic / logic ---
+  void add(Reg d, Reg r);
+  void adc(Reg d, Reg r);
+  void adiw(Reg d, std::uint8_t k);
+  void sub(Reg d, Reg r);
+  void subi(Reg d, std::uint8_t k);
+  void sbc(Reg d, Reg r);
+  void sbci(Reg d, std::uint8_t k);
+  void sbiw(Reg d, std::uint8_t k);
+  void and_(Reg d, Reg r);
+  void andi(Reg d, std::uint8_t k);
+  void or_(Reg d, Reg r);
+  void ori(Reg d, std::uint8_t k);
+  void eor(Reg d, Reg r);
+  void com(Reg d);
+  void neg(Reg d);
+  void inc(Reg d);
+  void dec(Reg d);
+  void mul(Reg d, Reg r);
+  void clr(Reg d) { eor(d, d); }
+  void lsl(Reg d) { add(d, d); }
+  void rol(Reg d) { adc(d, d); }
+  void lsr(Reg d);
+  void ror(Reg d);
+  void asr(Reg d);
+  void swap(Reg d);
+  void tst(Reg d) { and_(d, d); }
+
+  // --- compare ---
+  void cp(Reg d, Reg r);
+  void cpc(Reg d, Reg r);
+  void cpi(Reg d, std::uint8_t k);
+  void cpse(Reg d, Reg r);
+
+  // --- data transfer ---
+  void mov(Reg d, Reg r);
+  void movw(Reg d, Reg r);
+  void ldi(Reg d, std::uint8_t k);
+  /// Load a 16-bit constant into a register pair (two LDIs).
+  void ldi16(Reg lo, std::uint16_t value);
+  /// Load a label's flash word address into a register pair (for ICALL/IJMP).
+  void ldi_code_ptr(Reg lo, Label target);
+  /// LDI of the low/high byte of a label's word address (lo8/hi8 in text asm).
+  void ldi_lo8w(Reg d, Label target);
+  void ldi_hi8w(Reg d, Label target);
+  void ld_x(Reg d);
+  void ld_x_inc(Reg d);
+  void ld_x_dec(Reg d);
+  void ld_y_inc(Reg d);
+  void ld_y_dec(Reg d);
+  void ldd_y(Reg d, std::uint8_t q);
+  void ld_z_inc(Reg d);
+  void ld_z_dec(Reg d);
+  void ldd_z(Reg d, std::uint8_t q);
+  void ld_y(Reg d) { ldd_y(d, 0); }
+  void ld_z(Reg d) { ldd_z(d, 0); }
+  void lds(Reg d, std::uint16_t addr);
+  void st_x(Reg r);
+  void st_x_inc(Reg r);
+  void st_x_dec(Reg r);
+  void st_y_inc(Reg r);
+  void st_y_dec(Reg r);
+  void std_y(Reg r, std::uint8_t q);
+  void st_z_inc(Reg r);
+  void st_z_dec(Reg r);
+  void std_z(Reg r, std::uint8_t q);
+  void st_y(Reg r) { std_y(r, 0); }
+  void st_z(Reg r) { std_z(r, 0); }
+  void sts(std::uint16_t addr, Reg r);
+  void lpm(Reg d);
+  void lpm_inc(Reg d);
+  void in(Reg d, std::uint8_t port);
+  void out(std::uint8_t port, Reg r);
+  void push(Reg r);
+  void pop(Reg d);
+
+  // --- bit ops ---
+  void sbi(std::uint8_t port, std::uint8_t bit);
+  void cbi(std::uint8_t port, std::uint8_t bit);
+  void sbic(std::uint8_t port, std::uint8_t bit);
+  void sbis(std::uint8_t port, std::uint8_t bit);
+  void sbrc(Reg r, std::uint8_t bit);
+  void sbrs(Reg r, std::uint8_t bit);
+  void bst(Reg d, std::uint8_t bit);
+  void bld(Reg d, std::uint8_t bit);
+  void sec();
+  void clc();
+  void sei();
+  void cli();
+
+  // --- control flow ---
+  void rjmp(Label target);
+  void rcall(Label target);
+  void jmp(Label target);
+  void call(Label target);
+  void jmp_abs(std::uint32_t waddr);
+  void call_abs(std::uint32_t waddr);
+  void rjmp_abs(std::uint32_t waddr);  ///< relative encoding to a known address
+  void ijmp();
+  void icall();
+  void ret();
+  void reti();
+  void brbs(std::uint8_t flag_bit, Label target);
+  void brbc(std::uint8_t flag_bit, Label target);
+  void breq(Label t) { brbs(1, t); }
+  void brne(Label t) { brbc(1, t); }
+  void brcs(Label t) { brbs(0, t); }
+  void brcc(Label t) { brbc(0, t); }
+  void brlo(Label t) { brbs(0, t); }
+  void brsh(Label t) { brbc(0, t); }
+  void brmi(Label t) { brbs(2, t); }
+  void brpl(Label t) { brbc(2, t); }
+  void brge(Label t) { brbc(4, t); }
+  void brlt(Label t) { brbs(4, t); }
+
+  // --- MCU ---
+  void nop();
+  void sleep();
+  void brk();
+  void wdr();
+  void spm();
+
+  /// Resolve fixups and produce the image. Throws std::runtime_error on
+  /// unbound labels or out-of-range fixups.
+  Program assemble();
+
+ private:
+  enum class FixKind : std::uint8_t {
+    Rel12,     ///< rjmp/rcall word
+    Rel7,      ///< conditional branch word
+    Abs22,     ///< jmp/call second word (+ high bits in first)
+    ImmLoW,    ///< ldi low byte of label word address
+    ImmHiW,    ///< ldi high byte of label word address
+  };
+  struct Fixup {
+    std::size_t word_index;
+    FixKind kind;
+    int label;
+  };
+
+  void emit_rel(avr::Mnemonic m, Label target, FixKind kind);
+  std::uint32_t label_value(int id) const;
+
+  std::uint32_t origin_;
+  std::vector<std::uint16_t> words_;
+  std::vector<std::int64_t> label_addr_;      // -1 = unbound (word address)
+  std::vector<std::string> label_name_;
+  std::vector<Fixup> fixups_;
+  std::map<std::string, std::uint32_t> symbols_;
+};
+
+}  // namespace harbor::assembler

@@ -1,0 +1,105 @@
+#include "asm/disasm.h"
+
+#include <cstdio>
+
+#include "avr/decoder.h"
+
+namespace harbor::assembler {
+
+using avr::Instr;
+using avr::Mnemonic;
+
+namespace {
+
+std::string fmt(const char* f, auto... args) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, f, args...);
+  return buf;
+}
+
+const char* ptr_operand(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::LdX: case Mnemonic::StX: return "X";
+    case Mnemonic::LdXInc: case Mnemonic::StXInc: return "X+";
+    case Mnemonic::LdXDec: case Mnemonic::StXDec: return "-X";
+    case Mnemonic::LdYInc: case Mnemonic::StYInc: return "Y+";
+    case Mnemonic::LdYDec: case Mnemonic::StYDec: return "-Y";
+    case Mnemonic::LdZInc: case Mnemonic::StZInc: return "Z+";
+    case Mnemonic::LdZDec: case Mnemonic::StZDec: return "-Z";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+std::string format_instr(const Instr& in, std::uint32_t pc) {
+  using M = Mnemonic;
+  const std::string name(avr::mnemonic_name(in.op));
+  switch (in.op) {
+    case M::Add: case M::Adc: case M::Sub: case M::Sbc: case M::And: case M::Or:
+    case M::Eor: case M::Mov: case M::Cp: case M::Cpc: case M::Cpse: case M::Mul:
+    case M::Muls: case M::Mulsu: case M::Fmul: case M::Fmuls: case M::Fmulsu:
+    case M::Movw:
+      return fmt("%s r%d, r%d", name.c_str(), in.d, in.r);
+    case M::Subi: case M::Sbci: case M::Andi: case M::Ori: case M::Cpi: case M::Ldi:
+      return fmt("%s r%d, 0x%02x", name.c_str(), in.d, in.imm);
+    case M::Adiw: case M::Sbiw:
+      return fmt("%s r%d, %d", name.c_str(), in.d, in.imm);
+    case M::Com: case M::Neg: case M::Inc: case M::Dec: case M::Swap: case M::Lsr:
+    case M::Ror: case M::Asr: case M::Push: case M::Pop: case M::Lpm: case M::Elpm:
+      return fmt("%s r%d", name.c_str(), in.d);
+    case M::LpmInc: case M::ElpmInc:
+      return fmt("%s r%d, Z+", name.c_str(), in.d);
+    case M::LpmR0: case M::ElpmR0: case M::Spm: case M::Nop: case M::Sleep:
+    case M::Wdr: case M::Break: case M::Ret: case M::Reti: case M::Ijmp:
+    case M::Icall:
+      return name;
+    case M::LdX: case M::LdXInc: case M::LdXDec: case M::LdYInc: case M::LdYDec:
+    case M::LdZInc: case M::LdZDec:
+      return fmt("%s r%d, %s", name.c_str(), in.d, ptr_operand(in.op));
+    case M::StX: case M::StXInc: case M::StXDec: case M::StYInc: case M::StYDec:
+    case M::StZInc: case M::StZDec:
+      return fmt("%s %s, r%d", name.c_str(), ptr_operand(in.op), in.d);
+    case M::LddY: return fmt("ldd r%d, Y+%d", in.d, in.q);
+    case M::LddZ: return fmt("ldd r%d, Z+%d", in.d, in.q);
+    case M::StdY: return fmt("std Y+%d, r%d", in.q, in.d);
+    case M::StdZ: return fmt("std Z+%d, r%d", in.q, in.d);
+    case M::Lds: return fmt("lds r%d, 0x%04x", in.d, in.k32);
+    case M::Sts: return fmt("sts 0x%04x, r%d", in.k32, in.d);
+    case M::In: return fmt("in r%d, 0x%02x", in.d, in.a);
+    case M::Out: return fmt("out 0x%02x, r%d", in.a, in.d);
+    case M::Sbi: case M::Cbi: case M::Sbic: case M::Sbis:
+      return fmt("%s 0x%02x, %d", name.c_str(), in.a, in.b);
+    case M::Sbrc: case M::Sbrs:
+      return fmt("%s r%d, %d", name.c_str(), in.d, in.b);
+    case M::Bst: case M::Bld:
+      return fmt("%s r%d, %d", name.c_str(), in.d, in.b);
+    case M::Bset: case M::Bclr:
+      return fmt("%s %d", name.c_str(), in.b);
+    case M::Rjmp: case M::Rcall:
+      return fmt("%s 0x%05x", name.c_str(),
+                 static_cast<unsigned>(pc + 1 + static_cast<std::int32_t>(in.k)));
+    case M::Brbs: case M::Brbc:
+      return fmt("%s %d, 0x%05x", name.c_str(), in.b,
+                 static_cast<unsigned>(pc + 1 + static_cast<std::int32_t>(in.k)));
+    case M::Jmp: case M::Call:
+      return fmt("%s 0x%05x", name.c_str(), in.k32);
+    case M::Ser:
+      return fmt("ser r%d", in.d);
+    case M::Invalid:
+      break;
+  }
+  return "<invalid>";
+}
+
+std::string disassemble_range(const avr::Flash& flash, std::uint32_t pc, int count) {
+  std::string out;
+  for (int i = 0; i < count; ++i) {
+    const Instr in = avr::decode(flash.read_word(pc), flash.read_word(pc + 1));
+    out += fmt("%05x:  %s\n", static_cast<unsigned>(pc), format_instr(in, pc).c_str());
+    pc += static_cast<std::uint32_t>(in.op == Mnemonic::Invalid ? 1 : in.words());
+  }
+  return out;
+}
+
+}  // namespace harbor::assembler

@@ -1,0 +1,20 @@
+#pragma once
+// AVR disassembler: formats decoded instructions and flash ranges.
+
+#include <cstdint>
+#include <string>
+
+#include "avr/instr.h"
+#include "avr/memory.h"
+
+namespace harbor::assembler {
+
+/// Format one instruction. `pc` (word address of the instruction) resolves
+/// relative targets to absolute addresses in the output.
+std::string format_instr(const avr::Instr& in, std::uint32_t pc);
+
+/// Disassemble `count` instructions starting at word address `pc`,
+/// one per line, prefixed with the address.
+std::string disassemble_range(const avr::Flash& flash, std::uint32_t pc, int count);
+
+}  // namespace harbor::assembler

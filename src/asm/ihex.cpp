@@ -1,0 +1,106 @@
+#include "asm/ihex.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace harbor::assembler {
+
+namespace {
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  throw std::runtime_error("ihex: bad hex digit");
+}
+
+std::uint8_t byte_at(std::string_view s, std::size_t pos) {
+  if (pos + 1 >= s.size()) throw std::runtime_error("ihex: truncated record");
+  return static_cast<std::uint8_t>(hex_digit(s[pos]) * 16 + hex_digit(s[pos + 1]));
+}
+}  // namespace
+
+std::string to_intel_hex(const Program& p) {
+  std::string out;
+  char buf[16];
+  // Byte image, little-endian words.
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(p.words.size() * 2);
+  for (const std::uint16_t w : p.words) {
+    bytes.push_back(static_cast<std::uint8_t>(w & 0xff));
+    bytes.push_back(static_cast<std::uint8_t>(w >> 8));
+  }
+  const std::uint32_t base = p.origin * 2;
+  for (std::size_t i = 0; i < bytes.size(); i += 16) {
+    const std::size_t len = std::min<std::size_t>(16, bytes.size() - i);
+    const std::uint32_t addr = base + static_cast<std::uint32_t>(i);
+    std::uint8_t sum = static_cast<std::uint8_t>(len + (addr >> 8) + (addr & 0xff));
+    std::snprintf(buf, sizeof buf, ":%02zX%04X00", len, addr & 0xffff);
+    out += buf;
+    for (std::size_t j = 0; j < len; ++j) {
+      std::snprintf(buf, sizeof buf, "%02X", bytes[i + j]);
+      out += buf;
+      sum = static_cast<std::uint8_t>(sum + bytes[i + j]);
+    }
+    std::snprintf(buf, sizeof buf, "%02X\n", static_cast<std::uint8_t>(-sum));
+    out += buf;
+  }
+  out += ":00000001FF\n";
+  return out;
+}
+
+Program from_intel_hex(std::string_view text) {
+  std::map<std::uint32_t, std::uint8_t> bytes;
+  std::size_t pos = 0;
+  bool eof = false;
+  while (pos < text.size()) {
+    // Find the next record.
+    while (pos < text.size() && text[pos] != ':') ++pos;
+    if (pos >= text.size()) break;
+    if (eof) throw std::runtime_error("ihex: record after EOF");
+    ++pos;
+    const std::string_view rec = text.substr(pos);
+    const std::uint8_t len = byte_at(rec, 0);
+    const std::uint16_t addr =
+        static_cast<std::uint16_t>(byte_at(rec, 2) << 8 | byte_at(rec, 4));
+    const std::uint8_t type = byte_at(rec, 6);
+    std::uint8_t sum = static_cast<std::uint8_t>(len + (addr >> 8) + (addr & 0xff) + type);
+    if (type == 0x01) {
+      eof = true;
+      continue;
+    }
+    if (type != 0x00) throw std::runtime_error("ihex: unsupported record type");
+    for (int i = 0; i < len; ++i) {
+      const std::uint8_t b = byte_at(rec, 8 + 2 * static_cast<std::size_t>(i));
+      bytes[static_cast<std::uint32_t>(addr) + static_cast<std::uint32_t>(i)] = b;
+      sum = static_cast<std::uint8_t>(sum + b);
+    }
+    const std::uint8_t check = byte_at(rec, 8 + 2 * static_cast<std::size_t>(len));
+    if (static_cast<std::uint8_t>(sum + check) != 0)
+      throw std::runtime_error("ihex: checksum mismatch");
+    pos += 8 + 2 * static_cast<std::size_t>(len);
+  }
+  if (!eof) throw std::runtime_error("ihex: missing EOF record");
+
+  Program p;
+  if (bytes.empty()) return p;
+  const std::uint32_t first = bytes.begin()->first;
+  if (first % 2 != 0) throw std::runtime_error("ihex: image does not start word aligned");
+  const std::uint32_t last = bytes.rbegin()->first;
+  p.origin = first / 2;
+  const std::uint32_t nwords = (last - first) / 2 + 1;
+  p.words.assign(nwords, 0xffff);
+  for (const auto& [a, b] : bytes) {
+    const std::uint32_t off = a - first;
+    std::uint16_t& w = p.words[off / 2];
+    if (off % 2 == 0)
+      w = static_cast<std::uint16_t>((w & 0xff00) | b);
+    else
+      w = static_cast<std::uint16_t>((w & 0x00ff) | (b << 8));
+  }
+  return p;
+}
+
+}  // namespace harbor::assembler

@@ -1,0 +1,23 @@
+#pragma once
+// Intel-HEX writer/loader for assembled images (the interchange format AVR
+// toolchains use; lets images produced here be inspected with standard
+// tools, and external images be loaded into the simulator).
+
+#include <string>
+#include <string_view>
+
+#include "asm/program.h"
+
+namespace harbor::assembler {
+
+/// Render a program as Intel-HEX records (:LLAAAATT<data>CC, type 00 data
+/// records with 16 bytes each, terminated by a type-01 EOF record).
+/// Addresses are byte addresses (word address * 2).
+std::string to_intel_hex(const Program& p);
+
+/// Parse Intel-HEX text back into a Program. The origin is the lowest byte
+/// address seen (must be even); gaps are filled with 0xFFFF (erased flash).
+/// Throws std::runtime_error on malformed records or checksum mismatch.
+Program from_intel_hex(std::string_view text);
+
+}  // namespace harbor::assembler

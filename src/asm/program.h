@@ -1,0 +1,33 @@
+#pragma once
+// Assembled program image: flash words at an origin plus a symbol table.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace harbor::assembler {
+
+/// Result of assembling one translation unit. `origin` and symbol values
+/// are flash *word* addresses.
+struct Program {
+  std::uint32_t origin = 0;
+  std::vector<std::uint16_t> words;
+  std::map<std::string, std::uint32_t> symbols;
+
+  [[nodiscard]] std::optional<std::uint32_t> symbol(const std::string& name) const {
+    const auto it = symbols.find(name);
+    if (it == symbols.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// End of the image (word address one past the last word).
+  [[nodiscard]] std::uint32_t end() const {
+    return origin + static_cast<std::uint32_t>(words.size());
+  }
+
+  [[nodiscard]] std::size_t size_bytes() const { return words.size() * 2; }
+};
+
+}  // namespace harbor::assembler

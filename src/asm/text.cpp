@@ -1,0 +1,494 @@
+#include "asm/text.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "asm/builder.h"
+
+namespace harbor::assembler {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+/// One source line split into mnemonic + comma-separated operand strings.
+struct Line {
+  std::string mnemonic;
+  std::vector<std::string> operands;
+};
+
+class TextAssembler {
+ public:
+  explicit TextAssembler(std::uint32_t origin) : asm_(origin) {}
+
+  Program run(std::string_view source) {
+    int line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= source.size()) {
+      const std::size_t eol = source.find('\n', pos);
+      std::string_view raw = source.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                                              : eol - pos);
+      pos = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
+      ++line_no;
+      line_ = line_no;
+      process_line(raw);
+    }
+    try {
+      return asm_.assemble();
+    } catch (const std::runtime_error& e) {
+      throw AsmError(line_, e.what());
+    }
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const { throw AsmError(line_, msg); }
+
+  Label label_of(const std::string& name) {
+    const auto it = labels_.find(name);
+    if (it != labels_.end()) return it->second;
+    Label l = asm_.make_label(name);
+    labels_.emplace(name, l);
+    return l;
+  }
+
+  void process_line(std::string_view raw) {
+    // Strip comment (';' outside of any quoting; we have no string literals
+    // except in .db, where ';' inside quotes must survive).
+    std::string text;
+    bool in_quote = false;
+    for (const char c : raw) {
+      if (c == '"') in_quote = !in_quote;
+      if (c == ';' && !in_quote) break;
+      text.push_back(c);
+    }
+    std::string_view s = trim(text);
+    if (s.empty()) return;
+
+    // Leading labels (possibly several on one line).
+    while (true) {
+      const std::size_t colon = s.find(':');
+      if (colon == std::string_view::npos) break;
+      const std::string_view head = trim(s.substr(0, colon));
+      if (head.empty() || !is_identifier(head)) break;
+      bind_label(std::string(head));
+      s = trim(s.substr(colon + 1));
+      if (s.empty()) return;
+    }
+
+    const Line line = split_line(s);
+    try {
+      if (!line.mnemonic.empty() && line.mnemonic[0] == '.') {
+        directive(line);
+      } else {
+        instruction(line);
+      }
+    } catch (const AsmError&) {
+      throw;
+    } catch (const std::exception& e) {
+      fail(e.what());  // encoder range violations etc.
+    }
+  }
+
+  static bool is_identifier(std::string_view s) {
+    if (s.empty()) return false;
+    if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') return false;
+    return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+      return std::isalnum(c) || c == '_';
+    });
+  }
+
+  void bind_label(const std::string& name) {
+    Label l = label_of(name);
+    try {
+      asm_.bind(l);
+    } catch (const std::runtime_error& e) {
+      fail(e.what());
+    }
+  }
+
+  Line split_line(std::string_view s) const {
+    Line out;
+    std::size_t i = 0;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    out.mnemonic = lower(std::string(s.substr(0, i)));
+    std::string_view rest = trim(s.substr(i));
+    if (rest.empty()) return out;
+    std::string cur;
+    bool in_quote = false;
+    for (const char c : rest) {
+      if (c == '"') in_quote = !in_quote;
+      if (c == ',' && !in_quote) {
+        out.operands.push_back(std::string(trim(cur)));
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    out.operands.push_back(std::string(trim(cur)));
+    return out;
+  }
+
+  // --- expression evaluation ---------------------------------------------
+
+  /// Constant-expression value, or a label reference wrapped in lo8/hi8.
+  struct Value {
+    std::int64_t num = 0;
+    std::optional<Label> lo8_label;
+    std::optional<Label> hi8_label;
+  };
+
+  std::int64_t parse_number(std::string_view t) const {
+    const std::string str(t);
+    try {
+      std::size_t used = 0;
+      std::int64_t v;
+      if (str.size() > 2 && str[0] == '0' && (str[1] == 'x' || str[1] == 'X')) {
+        v = std::stoll(str.substr(2), &used, 16);
+        used += 2;
+      } else if (str.size() > 2 && str[0] == '0' && (str[1] == 'b' || str[1] == 'B')) {
+        v = std::stoll(str.substr(2), &used, 2);
+        used += 2;
+      } else {
+        v = std::stoll(str, &used, 10);
+      }
+      if (used != str.size()) fail("bad number: " + str);
+      return v;
+    } catch (const std::exception&) {
+      fail("bad number: " + str);
+    }
+  }
+
+  /// Evaluate a constant expression (numbers, .equ symbols, + and -).
+  std::int64_t const_expr(std::string_view e) const {
+    std::int64_t acc = 0;
+    int sign = +1;
+    std::size_t i = 0;
+    auto term = [&]() -> std::int64_t {
+      std::size_t start = i;
+      while (i < e.size() && e[i] != '+' && e[i] != '-') ++i;
+      const std::string_view t = trim(e.substr(start, i - start));
+      if (t.empty()) fail("empty term in expression");
+      if (std::isdigit(static_cast<unsigned char>(t[0]))) return parse_number(t);
+      const auto it = equs_.find(lower(std::string(t)));
+      if (it == equs_.end()) fail("undefined symbol: " + std::string(t));
+      return it->second;
+    };
+    acc = term();
+    while (i < e.size()) {
+      sign = e[i] == '-' ? -1 : +1;
+      ++i;
+      acc += sign * term();
+    }
+    return acc;
+  }
+
+  /// Evaluate an immediate operand, allowing lo8(label)/hi8(label).
+  Value imm_operand(const std::string& op) {
+    const std::string l = lower(op);
+    auto func = [&](const char* name) -> std::optional<std::string> {
+      const std::string prefix = std::string(name) + "(";
+      if (l.rfind(prefix, 0) == 0 && l.back() == ')')
+        return std::string(trim(std::string_view(op).substr(prefix.size(),
+                                                            op.size() - prefix.size() - 1)));
+      return std::nullopt;
+    };
+    Value v;
+    if (auto inner = func("lo8")) {
+      if (is_identifier(*inner) && !equs_.count(lower(*inner))) {
+        v.lo8_label = label_of(*inner);
+        return v;
+      }
+      v.num = const_expr(*inner) & 0xff;
+      return v;
+    }
+    if (auto inner = func("hi8")) {
+      if (is_identifier(*inner) && !equs_.count(lower(*inner))) {
+        v.hi8_label = label_of(*inner);
+        return v;
+      }
+      v.num = (const_expr(*inner) >> 8) & 0xff;
+      return v;
+    }
+    v.num = const_expr(op);
+    return v;
+  }
+
+  Reg reg_operand(const std::string& op) const {
+    const std::string l = lower(op);
+    if (l.size() >= 2 && l[0] == 'r') {
+      int n = 0;
+      for (std::size_t i = 1; i < l.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(l[i]))) fail("bad register: " + op);
+        n = n * 10 + (l[i] - '0');
+      }
+      if (n > 31) fail("bad register: " + op);
+      return Reg(static_cast<std::uint8_t>(n));
+    }
+    fail("expected register, got: " + op);
+  }
+
+  std::uint8_t u8_operand(const std::string& op) const {
+    const std::int64_t v = const_expr(op);
+    if (v < -128 || v > 255) fail("immediate out of byte range: " + op);
+    return static_cast<std::uint8_t>(v & 0xff);
+  }
+
+  // --- directives ----------------------------------------------------------
+
+  void directive(const Line& line) {
+    if (line.mnemonic == ".org") {
+      if (line.operands.size() != 1) fail(".org takes one operand");
+      try {
+        asm_.pad_to(static_cast<std::uint32_t>(const_expr(line.operands[0])));
+      } catch (const std::runtime_error& e) {
+        fail(e.what());
+      }
+    } else if (line.mnemonic == ".equ") {
+      // .equ NAME = value
+      std::string joined;
+      for (std::size_t i = 0; i < line.operands.size(); ++i)
+        joined += (i ? "," : "") + line.operands[i];
+      const std::size_t eq = joined.find('=');
+      if (eq == std::string::npos) fail(".equ requires NAME = value");
+      const std::string name = lower(std::string(trim(std::string_view(joined).substr(0, eq))));
+      if (!is_identifier(name)) fail(".equ: bad name");
+      equs_[name] = const_expr(trim(std::string_view(joined).substr(eq + 1)));
+    } else if (line.mnemonic == ".dw") {
+      for (const auto& op : line.operands)
+        asm_.dw(static_cast<std::uint16_t>(const_expr(op) & 0xffff));
+    } else if (line.mnemonic == ".db") {
+      std::vector<std::uint8_t> bytes;
+      for (const auto& op : line.operands) {
+        if (op.size() >= 2 && op.front() == '"' && op.back() == '"') {
+          for (std::size_t i = 1; i + 1 < op.size(); ++i)
+            bytes.push_back(static_cast<std::uint8_t>(op[i]));
+        } else {
+          bytes.push_back(u8_operand(op));
+        }
+      }
+      if (bytes.size() % 2) bytes.push_back(0);
+      for (std::size_t i = 0; i < bytes.size(); i += 2)
+        asm_.dw(static_cast<std::uint16_t>(bytes[i] | (bytes[i + 1] << 8)));
+    } else {
+      fail("unknown directive: " + line.mnemonic);
+    }
+  }
+
+  // --- instructions ---------------------------------------------------------
+
+  void need_operands(const Line& line, std::size_t n) const {
+    if (line.operands.size() != n)
+      fail(line.mnemonic + " expects " + std::to_string(n) + " operand(s)");
+  }
+
+  void instruction(const Line& line);
+
+  Assembler asm_;
+  std::map<std::string, Label> labels_;
+  std::map<std::string, std::int64_t> equs_;
+  int line_ = 0;
+};
+
+void TextAssembler::instruction(const Line& line) {
+  const std::string& m = line.mnemonic;
+  auto R = [&](std::size_t i) { return reg_operand(line.operands[i]); };
+  auto U8 = [&](std::size_t i) { return u8_operand(line.operands[i]); };
+  auto L = [&](std::size_t i) -> Label {
+    const std::string& t = line.operands[i];
+    if (!is_identifier(t)) fail("expected label, got: " + t);
+    return label_of(t);
+  };
+
+  // Two-register ALU ops.
+  static const std::map<std::string, void (Assembler::*)(Reg, Reg)> rr = {
+      {"add", &Assembler::add}, {"adc", &Assembler::adc}, {"sub", &Assembler::sub},
+      {"sbc", &Assembler::sbc}, {"and", &Assembler::and_}, {"or", &Assembler::or_},
+      {"eor", &Assembler::eor}, {"mov", &Assembler::mov}, {"movw", &Assembler::movw},
+      {"cp", &Assembler::cp}, {"cpc", &Assembler::cpc}, {"cpse", &Assembler::cpse},
+      {"mul", &Assembler::mul},
+  };
+  if (const auto it = rr.find(m); it != rr.end()) {
+    need_operands(line, 2);
+    (asm_.*it->second)(R(0), R(1));
+    return;
+  }
+
+  // Register + 8-bit immediate ops (ldi handles lo8/hi8 of labels).
+  static const std::map<std::string, void (Assembler::*)(Reg, std::uint8_t)> ri = {
+      {"subi", &Assembler::subi}, {"sbci", &Assembler::sbci}, {"andi", &Assembler::andi},
+      {"ori", &Assembler::ori}, {"cpi", &Assembler::cpi},
+      {"adiw", &Assembler::adiw}, {"sbiw", &Assembler::sbiw},
+  };
+  if (const auto it = ri.find(m); it != ri.end()) {
+    need_operands(line, 2);
+    (asm_.*it->second)(R(0), U8(1));
+    return;
+  }
+  if (m == "ldi") {
+    need_operands(line, 2);
+    const Value v = imm_operand(line.operands[1]);
+    if (v.lo8_label) {
+      asm_.ldi_lo8w(R(0), *v.lo8_label);
+    } else if (v.hi8_label) {
+      asm_.ldi_hi8w(R(0), *v.hi8_label);
+    } else {
+      if (v.num < -128 || v.num > 255) fail("ldi immediate out of range");
+      asm_.ldi(R(0), static_cast<std::uint8_t>(v.num & 0xff));
+    }
+    return;
+  }
+
+  // Single-register ops.
+  static const std::map<std::string, void (Assembler::*)(Reg)> r1 = {
+      {"com", &Assembler::com}, {"neg", &Assembler::neg}, {"inc", &Assembler::inc},
+      {"dec", &Assembler::dec}, {"lsr", &Assembler::lsr}, {"ror", &Assembler::ror},
+      {"asr", &Assembler::asr}, {"swap", &Assembler::swap}, {"push", &Assembler::push},
+      {"pop", &Assembler::pop}, {"clr", &Assembler::clr}, {"lsl", &Assembler::lsl},
+      {"rol", &Assembler::rol}, {"tst", &Assembler::tst},
+  };
+  if (const auto it = r1.find(m); it != r1.end()) {
+    need_operands(line, 1);
+    (asm_.*it->second)(R(0));
+    return;
+  }
+
+  if (m == "ld" || m == "st") {
+    need_operands(line, 2);
+    const bool load = m == "ld";
+    const std::string reg_op = load ? line.operands[0] : line.operands[1];
+    const std::string ptr = lower(load ? line.operands[1] : line.operands[0]);
+    const Reg r = reg_operand(reg_op);
+    if (ptr == "x") { load ? asm_.ld_x(r) : asm_.st_x(r); return; }
+    if (ptr == "x+") { load ? asm_.ld_x_inc(r) : asm_.st_x_inc(r); return; }
+    if (ptr == "-x") { load ? asm_.ld_x_dec(r) : asm_.st_x_dec(r); return; }
+    if (ptr == "y") { load ? asm_.ld_y(r) : asm_.st_y(r); return; }
+    if (ptr == "y+") { load ? asm_.ld_y_inc(r) : asm_.st_y_inc(r); return; }
+    if (ptr == "-y") { load ? asm_.ld_y_dec(r) : asm_.st_y_dec(r); return; }
+    if (ptr == "z") { load ? asm_.ld_z(r) : asm_.st_z(r); return; }
+    if (ptr == "z+") { load ? asm_.ld_z_inc(r) : asm_.st_z_inc(r); return; }
+    if (ptr == "-z") { load ? asm_.ld_z_dec(r) : asm_.st_z_dec(r); return; }
+    fail("bad pointer operand: " + ptr);
+  }
+  if (m == "ldd" || m == "std") {
+    need_operands(line, 2);
+    const bool load = m == "ldd";
+    const std::string reg_op = load ? line.operands[0] : line.operands[1];
+    const std::string ptr = lower(load ? line.operands[1] : line.operands[0]);
+    const Reg r = reg_operand(reg_op);
+    if (ptr.size() < 3 || (ptr[0] != 'y' && ptr[0] != 'z') || ptr[1] != '+')
+      fail("bad displaced operand: " + ptr);
+    const std::int64_t q = const_expr(std::string_view(ptr).substr(2));
+    if (q < 0 || q > 63) fail("displacement out of range");
+    const std::uint8_t q8 = static_cast<std::uint8_t>(q);
+    if (ptr[0] == 'y') { load ? asm_.ldd_y(r, q8) : asm_.std_y(r, q8); return; }
+    load ? asm_.ldd_z(r, q8) : asm_.std_z(r, q8);
+    return;
+  }
+  if (m == "lds") {
+    need_operands(line, 2);
+    asm_.lds(R(0), static_cast<std::uint16_t>(const_expr(line.operands[1])));
+    return;
+  }
+  if (m == "sts") {
+    need_operands(line, 2);
+    asm_.sts(static_cast<std::uint16_t>(const_expr(line.operands[0])), R(1));
+    return;
+  }
+  if (m == "lpm") {
+    if (line.operands.empty()) fail("lpm requires operands (use: lpm rd, Z or Z+)");
+    need_operands(line, 2);
+    const std::string ptr = lower(line.operands[1]);
+    if (ptr == "z") { asm_.lpm(R(0)); return; }
+    if (ptr == "z+") { asm_.lpm_inc(R(0)); return; }
+    fail("bad lpm operand");
+  }
+  if (m == "in") {
+    need_operands(line, 2);
+    asm_.in(R(0), U8(1));
+    return;
+  }
+  if (m == "out") {
+    need_operands(line, 2);
+    asm_.out(U8(0), R(1));
+    return;
+  }
+
+  // IO / register bit ops.
+  if (m == "sbi" || m == "cbi" || m == "sbic" || m == "sbis") {
+    need_operands(line, 2);
+    const std::uint8_t a = U8(0), b = U8(1);
+    if (m == "sbi") asm_.sbi(a, b);
+    else if (m == "cbi") asm_.cbi(a, b);
+    else if (m == "sbic") asm_.sbic(a, b);
+    else asm_.sbis(a, b);
+    return;
+  }
+  if (m == "sbrc" || m == "sbrs" || m == "bst" || m == "bld") {
+    need_operands(line, 2);
+    if (m == "sbrc") asm_.sbrc(R(0), U8(1));
+    else if (m == "sbrs") asm_.sbrs(R(0), U8(1));
+    else if (m == "bst") asm_.bst(R(0), U8(1));
+    else asm_.bld(R(0), U8(1));
+    return;
+  }
+
+  // Control flow.
+  static const std::map<std::string, void (Assembler::*)(Label)> branches = {
+      {"rjmp", &Assembler::rjmp}, {"rcall", &Assembler::rcall},
+      {"jmp", &Assembler::jmp}, {"call", &Assembler::call},
+      {"breq", &Assembler::breq}, {"brne", &Assembler::brne},
+      {"brcs", &Assembler::brcs}, {"brcc", &Assembler::brcc},
+      {"brlo", &Assembler::brlo}, {"brsh", &Assembler::brsh},
+      {"brmi", &Assembler::brmi}, {"brpl", &Assembler::brpl},
+      {"brge", &Assembler::brge}, {"brlt", &Assembler::brlt},
+  };
+  if (const auto it = branches.find(m); it != branches.end()) {
+    need_operands(line, 1);
+    // jmp/call also accept absolute numeric targets.
+    const std::string& t = line.operands[0];
+    if (!is_identifier(t) && (m == "jmp" || m == "call")) {
+      const std::int64_t addr = const_expr(t);
+      if (m == "jmp") asm_.jmp_abs(static_cast<std::uint32_t>(addr));
+      else asm_.call_abs(static_cast<std::uint32_t>(addr));
+      return;
+    }
+    (asm_.*it->second)(L(0));
+    return;
+  }
+
+  static const std::map<std::string, void (Assembler::*)()> nullary = {
+      {"ijmp", &Assembler::ijmp}, {"icall", &Assembler::icall}, {"ret", &Assembler::ret},
+      {"reti", &Assembler::reti}, {"nop", &Assembler::nop}, {"sleep", &Assembler::sleep},
+      {"break", &Assembler::brk}, {"wdr", &Assembler::wdr}, {"spm", &Assembler::spm},
+      {"sec", &Assembler::sec}, {"clc", &Assembler::clc}, {"sei", &Assembler::sei},
+      {"cli", &Assembler::cli},
+  };
+  if (const auto it = nullary.find(m); it != nullary.end()) {
+    need_operands(line, 0);
+    (asm_.*it->second)();
+    return;
+  }
+
+  fail("unknown mnemonic: " + m);
+}
+
+}  // namespace
+
+Program assemble_text(std::string_view source, std::uint32_t origin_words) {
+  TextAssembler t(origin_words);
+  return t.run(source);
+}
+
+}  // namespace harbor::assembler

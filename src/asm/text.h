@@ -1,0 +1,37 @@
+#pragma once
+// Text front end for the assembler: standard AVR syntax, labels, .org /
+// .equ / .dw / .db directives, lo8()/hi8() operators on labels and symbols.
+//
+//   ; blink a counter
+//   .equ DBG = 0x18
+//   start:
+//       ldi r16, 0
+//   loop:
+//       inc r16
+//       out DBG, r16
+//       rjmp loop
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "asm/program.h"
+
+namespace harbor::assembler {
+
+/// Assemble AVR source text. Throws AsmError (derived from
+/// std::runtime_error, carries the 1-based line number) on syntax errors,
+/// undefined symbols or range violations.
+Program assemble_text(std::string_view source, std::uint32_t origin_words = 0);
+
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message), line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+}  // namespace harbor::assembler

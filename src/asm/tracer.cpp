@@ -1,0 +1,41 @@
+#include "asm/tracer.h"
+
+#include <cstdio>
+
+#include "asm/disasm.h"
+#include "avr/decoder.h"
+
+namespace harbor::assembler {
+
+std::uint64_t Tracer::run(avr::Device& dev, std::uint64_t max_cycles) {
+  std::uint64_t spent = 0;
+  auto& cpu = dev.cpu();
+  while (!cpu.halted() && !dev.guest_exit().exited && spent < max_cycles) {
+    const std::uint32_t pc = cpu.pc();
+    const std::uint64_t cycle = cpu.cycle_count();
+    const std::uint16_t sp = cpu.sp();
+    const avr::Instr in =
+        avr::decode(dev.flash().read_word(pc), dev.flash().read_word(pc + 1));
+    const int cost = dev.step().cycles;
+    spent += static_cast<std::uint64_t>(cost);
+    if (!filter_ || filter_(pc)) {
+      entries_.push_back({cycle, pc, cost, sp, format_instr(in, pc)});
+      if (entries_.size() > capacity_) entries_.pop_front();
+    }
+  }
+  return spent;
+}
+
+std::string Tracer::format() const {
+  std::string out;
+  char buf[96];
+  for (const TraceEntry& e : entries_) {
+    std::snprintf(buf, sizeof buf, "%8llu  %05x  [%d] sp=%04x  %s\n",
+                  static_cast<unsigned long long>(e.cycle), e.pc, e.cost, e.sp,
+                  e.text.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace harbor::assembler

@@ -1,0 +1,48 @@
+#pragma once
+// Execution tracer: records retired instructions (PC, disassembly, cycle
+// cost, SP) into a bounded ring while driving a device, with an optional
+// PC filter. The debugging companion to the simulator — used by examples
+// and by tests that assert on executed instruction sequences.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "avr/device.h"
+
+namespace harbor::assembler {
+
+struct TraceEntry {
+  std::uint64_t cycle = 0;  ///< core cycle count before the instruction
+  std::uint32_t pc = 0;     ///< word address
+  int cost = 0;             ///< cycles the instruction took
+  std::uint16_t sp = 0;
+  std::string text;         ///< disassembly
+};
+
+class Tracer {
+ public:
+  /// `capacity`: maximum retained entries (oldest dropped first).
+  explicit Tracer(std::size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Restrict recording to PCs the predicate accepts (all, by default).
+  void set_filter(std::function<bool(std::uint32_t pc)> f) { filter_ = std::move(f); }
+
+  /// Step the device until it halts/exits or `max_cycles` elapse,
+  /// recording as configured. Returns cycles executed.
+  std::uint64_t run(avr::Device& dev, std::uint64_t max_cycles = 1'000'000);
+
+  [[nodiscard]] const std::deque<TraceEntry>& entries() const { return entries_; }
+  void clear() { entries_.clear(); }
+
+  /// Render the trace, one line per entry.
+  [[nodiscard]] std::string format() const;
+
+ private:
+  std::size_t capacity_;
+  std::function<bool(std::uint32_t)> filter_;
+  std::deque<TraceEntry> entries_;
+};
+
+}  // namespace harbor::assembler

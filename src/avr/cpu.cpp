@@ -1,0 +1,677 @@
+#include "avr/cpu.h"
+
+namespace harbor::avr {
+
+namespace {
+constexpr std::uint8_t kXlo = 26, kYlo = 28, kZlo = 30;
+}
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::None: return "none";
+    case FaultKind::MemMapViolation: return "memmap-violation";
+    case FaultKind::StackBoundViolation: return "stack-bound-violation";
+    case FaultKind::IllegalIoWrite: return "illegal-io-write";
+    case FaultKind::IllegalCallTarget: return "illegal-call-target";
+    case FaultKind::IllegalJumpTarget: return "illegal-jump-target";
+    case FaultKind::IllegalReturn: return "illegal-return";
+    case FaultKind::PcOutOfDomain: return "pc-out-of-domain";
+    case FaultKind::SafeStackOverflow: return "safe-stack-overflow";
+    case FaultKind::IllegalInstruction: return "illegal-instruction";
+  }
+  return "?";
+}
+
+Cpu::Cpu(Flash& flash, DataSpace& ds) : flash_(flash), ds_(ds) {
+  // SP and SREG live at the architecturally defined IO ports.
+  auto& io = ds_.io();
+  io.on_read(StdPorts::kSpl, [this](std::uint8_t) { return static_cast<std::uint8_t>(sp_ & 0xff); });
+  io.on_read(StdPorts::kSph, [this](std::uint8_t) { return static_cast<std::uint8_t>(sp_ >> 8); });
+  io.on_read(StdPorts::kSreg, [this](std::uint8_t) { return sreg_.byte(); });
+  io.on_write(StdPorts::kSpl, [this](std::uint8_t, std::uint8_t v) {
+    sp_ = static_cast<std::uint16_t>((sp_ & 0xff00) | v);
+  });
+  io.on_write(StdPorts::kSph, [this](std::uint8_t, std::uint8_t v) {
+    sp_ = static_cast<std::uint16_t>((sp_ & 0x00ff) | (v << 8));
+  });
+  io.on_write(StdPorts::kSreg, [this](std::uint8_t, std::uint8_t v) { sreg_.set_byte(v); });
+}
+
+void Cpu::raise_fault(const FaultInfo& info) {
+  fault_ = info;
+  ++fault_count_;
+  if (hooks_) hooks_->on_fault(info);
+  if (fault_vector_) {
+    pc_ = *fault_vector_;
+  } else {
+    halt_ = HaltReason::Fault;
+  }
+}
+
+bool Cpu::write8(std::uint16_t addr, std::uint8_t v, WriteKind kind) {
+  WriteDecision d = hooks_ ? hooks_->on_write(addr, v, kind) : WriteDecision::allow();
+  pending_extra_ += d.extra_cycles;
+  if (d.action == WriteDecision::Action::Fault) {
+    raise_fault(FaultInfo{d.fault, pc_, addr, v, 0});
+    return false;
+  }
+  if (d.action == WriteDecision::Action::Suppress) return true;
+  ds_.write(d.redirect_addr.value_or(addr), v);
+  return true;
+}
+
+bool Cpu::read8(std::uint16_t addr, ReadKind kind, std::uint8_t& out) {
+  ReadDecision d = hooks_ ? hooks_->on_read(addr, kind) : ReadDecision{};
+  pending_extra_ += d.extra_cycles;
+  if (d.fault != FaultKind::None) {
+    raise_fault(FaultInfo{d.fault, pc_, addr, 0, 0});
+    return false;
+  }
+  out = ds_.read(d.redirect_addr ? *d.redirect_addr : addr);
+  return true;
+}
+
+bool Cpu::push_ret_addr(std::uint32_t ret_words) {
+  // Push order: low byte at SP, high byte at SP-1 (so pops read hi, lo).
+  if (!write8(sp_, static_cast<std::uint8_t>(ret_words & 0xff), WriteKind::RetPush)) return false;
+  --sp_;
+  if (!write8(sp_, static_cast<std::uint8_t>((ret_words >> 8) & 0xff), WriteKind::RetPush))
+    return false;
+  --sp_;
+  return true;
+}
+
+bool Cpu::pop_ret_addr(std::uint32_t& out_words) {
+  std::uint8_t hi = 0, lo = 0;
+  ++sp_;
+  if (!read8(sp_, ReadKind::RetPop, hi)) return false;
+  ++sp_;
+  if (!read8(sp_, ReadKind::RetPop, lo)) return false;
+  out_words = static_cast<std::uint32_t>(lo) | (static_cast<std::uint32_t>(hi) << 8);
+  return true;
+}
+
+int Cpu::interrupt(std::uint32_t vector_waddr) {
+  FlowDecision d = hooks_ ? hooks_->on_flow(FlowKind::IrqEntry, vector_waddr, pc_)
+                          : FlowDecision::normal();
+  if (d.action == FlowDecision::Action::Fault) {
+    raise_fault(FaultInfo{d.fault, pc_, static_cast<std::uint16_t>(vector_waddr), 0, 0});
+    return 0;
+  }
+  if (d.action == FlowDecision::Action::Handled) {
+    sp_ = static_cast<std::uint16_t>(sp_ - 2);
+  } else {
+    if (!push_ret_addr(pc_)) return 0;
+  }
+  sreg_.i = false;
+  pc_ = d.override_target.value_or(vector_waddr);
+  const int cost = 4 + d.extra_cycles;
+  cycles_ += static_cast<std::uint64_t>(cost);
+  return cost;
+}
+
+std::uint64_t Cpu::run(std::uint64_t max_cycles) {
+  const std::uint64_t start = cycles_;
+  while (!halted() && cycles_ - start < max_cycles) step();
+  return cycles_ - start;
+}
+
+StepResult Cpu::step() {
+  if (halted()) return {0, true};
+  pending_extra_ = 0;
+
+  if (hooks_) {
+    const FaultKind fk = hooks_->on_fetch(pc_);
+    if (fk != FaultKind::None) {
+      raise_fault(FaultInfo{fk, pc_, 0, 0, 0});
+      return {1, halted()};
+    }
+  }
+
+  const std::uint16_t w0 = flash_.read_word(pc_);
+  const std::uint16_t w1 = flash_.read_word(pc_ + 1);
+  const Instr in = decode(w0, w1);
+  if (in.op == Mnemonic::Invalid) {
+    raise_fault(FaultInfo{FaultKind::IllegalInstruction, pc_, 0, 0, 0});
+    return {1, halted()};
+  }
+
+  ++instructions_;
+  const int cost = exec(in) + pending_extra_;
+  cycles_ += static_cast<std::uint64_t>(cost);
+  return {cost, halted()};
+}
+
+// --- flag helpers -----------------------------------------------------------
+
+std::uint8_t Cpu::do_add(std::uint8_t a, std::uint8_t b, bool carry_in) {
+  const unsigned r = unsigned(a) + unsigned(b) + (carry_in ? 1u : 0u);
+  const std::uint8_t res = static_cast<std::uint8_t>(r);
+  sreg_.h = (((a & b) | (b & ~res) | (~res & a)) & 0x08) != 0;
+  sreg_.c = (((a & b) | (b & ~res) | (~res & a)) & 0x80) != 0;
+  sreg_.v = (((a & b & ~res) | (~a & ~b & res)) & 0x80) != 0;
+  sreg_.n = (res & 0x80) != 0;
+  sreg_.z = res == 0;
+  sreg_.update_sign();
+  return res;
+}
+
+std::uint8_t Cpu::do_sub(std::uint8_t a, std::uint8_t b, bool carry_in, bool keep_z) {
+  const unsigned r = unsigned(a) - unsigned(b) - (carry_in ? 1u : 0u);
+  const std::uint8_t res = static_cast<std::uint8_t>(r);
+  sreg_.h = (((~a & b) | (b & res) | (res & ~a)) & 0x08) != 0;
+  sreg_.c = (((~a & b) | (b & res) | (res & ~a)) & 0x80) != 0;
+  sreg_.v = (((a & ~b & ~res) | (~a & b & res)) & 0x80) != 0;
+  sreg_.n = (res & 0x80) != 0;
+  sreg_.z = keep_z ? (res == 0 && sreg_.z) : (res == 0);
+  sreg_.update_sign();
+  return res;
+}
+
+void Cpu::logic_flags(std::uint8_t r) {
+  sreg_.v = false;
+  sreg_.n = (r & 0x80) != 0;
+  sreg_.z = r == 0;
+  sreg_.update_sign();
+}
+
+// --- skip helper -------------------------------------------------------------
+
+int Cpu::skip_if(bool cond) {
+  if (!cond) {
+    pc_ += 1;
+    return 1;
+  }
+  const Instr next = decode(flash_.read_word(pc_ + 1), flash_.read_word(pc_ + 2));
+  const int skip_words = next.op == Mnemonic::Invalid ? 1 : next.words();
+  pc_ += 1 + static_cast<std::uint32_t>(skip_words);
+  return 1 + skip_words;
+}
+
+// --- main dispatch -----------------------------------------------------------
+
+int Cpu::exec(const Instr& in) {
+  using M = Mnemonic;
+  switch (in.op) {
+    // ALU / data-movement groups.
+    case M::Add: case M::Adc: case M::Sub: case M::Sbc: case M::And: case M::Or:
+    case M::Eor: case M::Mov: case M::Cp: case M::Cpc: case M::Subi: case M::Sbci:
+    case M::Andi: case M::Ori: case M::Cpi: case M::Ldi: case M::Ser: case M::Com:
+    case M::Neg: case M::Inc: case M::Dec: case M::Swap: case M::Lsr: case M::Ror:
+    case M::Asr: case M::Adiw: case M::Sbiw: case M::Movw: case M::Mul: case M::Muls:
+    case M::Mulsu: case M::Fmul: case M::Fmuls: case M::Fmulsu: case M::Bset:
+    case M::Bclr: case M::Bst: case M::Bld:
+      return exec_alu(in);
+
+    // Loads / stores / stack / IO.
+    case M::LdX: case M::LdXInc: case M::LdXDec: case M::LdYInc: case M::LdYDec:
+    case M::LddY: case M::LdZInc: case M::LdZDec: case M::LddZ: case M::Lds:
+    case M::StX: case M::StXInc: case M::StXDec: case M::StYInc: case M::StYDec:
+    case M::StdY: case M::StZInc: case M::StZDec: case M::StdZ: case M::Sts:
+    case M::Push: case M::Pop: case M::In: case M::Out: case M::Sbi: case M::Cbi:
+    case M::LpmR0: case M::Lpm: case M::LpmInc: case M::ElpmR0: case M::Elpm:
+    case M::ElpmInc: case M::Spm:
+      return exec_loadstore(in);
+
+    // Control transfers & skips.
+    case M::Rjmp: case M::Ijmp: case M::Jmp: case M::Rcall: case M::Icall:
+    case M::Call: case M::Ret: case M::Reti: case M::Brbs: case M::Brbc:
+    case M::Cpse: case M::Sbrc: case M::Sbrs: case M::Sbic: case M::Sbis:
+      return exec_flow(in);
+
+    case M::Nop:
+      pc_ += 1;
+      return 1;
+    case M::Wdr:
+      pc_ += 1;
+      return 1;
+    case M::Sleep:
+      pc_ += 1;
+      halt_ = HaltReason::Sleep;
+      return 1;
+    case M::Break:
+      pc_ += 1;
+      halt_ = HaltReason::Break;
+      return 1;
+    case M::Invalid:
+      break;
+  }
+  raise_fault(FaultInfo{FaultKind::IllegalInstruction, pc_, 0, 0, 0});
+  return 1;
+}
+
+int Cpu::exec_alu(const Instr& in) {
+  using M = Mnemonic;
+  auto rd = [&] { return ds_.reg(in.d); };
+  auto rr = [&] { return ds_.reg(in.r); };
+  auto set_rd = [&](std::uint8_t v) { ds_.set_reg(in.d, v); };
+  pc_ += static_cast<std::uint32_t>(in.words());
+
+  switch (in.op) {
+    case M::Add: set_rd(do_add(rd(), rr(), false)); return 1;
+    case M::Adc: set_rd(do_add(rd(), rr(), sreg_.c)); return 1;
+    case M::Sub: set_rd(do_sub(rd(), rr(), false, false)); return 1;
+    case M::Sbc: set_rd(do_sub(rd(), rr(), sreg_.c, true)); return 1;
+    case M::Subi: set_rd(do_sub(rd(), in.imm, false, false)); return 1;
+    case M::Sbci: set_rd(do_sub(rd(), in.imm, sreg_.c, true)); return 1;
+    case M::Cp: do_sub(rd(), rr(), false, false); return 1;
+    case M::Cpc: do_sub(rd(), rr(), sreg_.c, true); return 1;
+    case M::Cpi: do_sub(rd(), in.imm, false, false); return 1;
+    case M::And: { const std::uint8_t r = rd() & rr(); set_rd(r); logic_flags(r); return 1; }
+    case M::Andi: { const std::uint8_t r = rd() & in.imm; set_rd(r); logic_flags(r); return 1; }
+    case M::Or: { const std::uint8_t r = rd() | rr(); set_rd(r); logic_flags(r); return 1; }
+    case M::Ori: { const std::uint8_t r = rd() | in.imm; set_rd(r); logic_flags(r); return 1; }
+    case M::Eor: { const std::uint8_t r = rd() ^ rr(); set_rd(r); logic_flags(r); return 1; }
+    case M::Com: {
+      const std::uint8_t r = static_cast<std::uint8_t>(~rd());
+      set_rd(r);
+      logic_flags(r);
+      sreg_.c = true;
+      sreg_.update_sign();
+      return 1;
+    }
+    case M::Neg: {
+      const std::uint8_t d = rd();
+      const std::uint8_t r = static_cast<std::uint8_t>(0u - d);
+      set_rd(r);
+      sreg_.h = ((r | d) & 0x08) != 0;
+      sreg_.v = r == 0x80;
+      sreg_.c = r != 0;
+      sreg_.n = (r & 0x80) != 0;
+      sreg_.z = r == 0;
+      sreg_.update_sign();
+      return 1;
+    }
+    case M::Inc: {
+      const std::uint8_t r = static_cast<std::uint8_t>(rd() + 1);
+      set_rd(r);
+      sreg_.v = r == 0x80;
+      sreg_.n = (r & 0x80) != 0;
+      sreg_.z = r == 0;
+      sreg_.update_sign();
+      return 1;
+    }
+    case M::Dec: {
+      const std::uint8_t r = static_cast<std::uint8_t>(rd() - 1);
+      set_rd(r);
+      sreg_.v = r == 0x7f;
+      sreg_.n = (r & 0x80) != 0;
+      sreg_.z = r == 0;
+      sreg_.update_sign();
+      return 1;
+    }
+    case M::Swap: {
+      const std::uint8_t d = rd();
+      set_rd(static_cast<std::uint8_t>((d << 4) | (d >> 4)));
+      return 1;
+    }
+    case M::Lsr: {
+      const std::uint8_t d = rd();
+      const std::uint8_t r = static_cast<std::uint8_t>(d >> 1);
+      set_rd(r);
+      sreg_.c = d & 1;
+      sreg_.n = false;
+      sreg_.z = r == 0;
+      sreg_.v = sreg_.n != sreg_.c;
+      sreg_.update_sign();
+      return 1;
+    }
+    case M::Ror: {
+      const std::uint8_t d = rd();
+      const std::uint8_t r = static_cast<std::uint8_t>((d >> 1) | (sreg_.c ? 0x80 : 0));
+      set_rd(r);
+      sreg_.c = d & 1;
+      sreg_.n = (r & 0x80) != 0;
+      sreg_.z = r == 0;
+      sreg_.v = sreg_.n != sreg_.c;
+      sreg_.update_sign();
+      return 1;
+    }
+    case M::Asr: {
+      const std::uint8_t d = rd();
+      const std::uint8_t r = static_cast<std::uint8_t>((d >> 1) | (d & 0x80));
+      set_rd(r);
+      sreg_.c = d & 1;
+      sreg_.n = (r & 0x80) != 0;
+      sreg_.z = r == 0;
+      sreg_.v = sreg_.n != sreg_.c;
+      sreg_.update_sign();
+      return 1;
+    }
+    case M::Ldi:
+      set_rd(in.imm);
+      return 1;
+    case M::Ser:
+      set_rd(0xff);
+      return 1;
+    case M::Mov:
+      set_rd(rr());
+      return 1;
+    case M::Movw:
+      ds_.set_reg_pair(in.d, ds_.reg_pair(in.r));
+      return 1;
+    case M::Adiw:
+    case M::Sbiw: {
+      const std::uint16_t d = ds_.reg_pair(in.d);
+      std::uint16_t r;
+      if (in.op == M::Adiw) {
+        r = static_cast<std::uint16_t>(d + in.imm);
+        sreg_.v = ((~d & r) & 0x8000) != 0;
+        sreg_.c = ((~r & d) & 0x8000) != 0;
+      } else {
+        r = static_cast<std::uint16_t>(d - in.imm);
+        sreg_.v = ((d & ~r) & 0x8000) != 0;
+        sreg_.c = ((r & ~d) & 0x8000) != 0;
+      }
+      ds_.set_reg_pair(in.d, r);
+      sreg_.n = (r & 0x8000) != 0;
+      sreg_.z = r == 0;
+      sreg_.update_sign();
+      return 2;
+    }
+    case M::Mul: {
+      const std::uint16_t r = static_cast<std::uint16_t>(unsigned(rd()) * unsigned(rr()));
+      ds_.set_reg_pair(0, r);
+      sreg_.c = (r & 0x8000) != 0;
+      sreg_.z = r == 0;
+      return 2;
+    }
+    case M::Muls: {
+      const std::int16_t r = static_cast<std::int16_t>(static_cast<std::int8_t>(rd())) *
+                             static_cast<std::int16_t>(static_cast<std::int8_t>(rr()));
+      ds_.set_reg_pair(0, static_cast<std::uint16_t>(r));
+      sreg_.c = (static_cast<std::uint16_t>(r) & 0x8000) != 0;
+      sreg_.z = r == 0;
+      return 2;
+    }
+    case M::Mulsu: {
+      const std::int16_t r = static_cast<std::int16_t>(static_cast<std::int8_t>(rd())) *
+                             static_cast<std::int16_t>(rr());
+      ds_.set_reg_pair(0, static_cast<std::uint16_t>(r));
+      sreg_.c = (static_cast<std::uint16_t>(r) & 0x8000) != 0;
+      sreg_.z = r == 0;
+      return 2;
+    }
+    case M::Fmul:
+    case M::Fmuls:
+    case M::Fmulsu: {
+      std::int32_t p;
+      if (in.op == M::Fmul) {
+        p = static_cast<std::int32_t>(unsigned(rd()) * unsigned(rr()));
+      } else if (in.op == M::Fmuls) {
+        p = static_cast<std::int32_t>(static_cast<std::int8_t>(rd())) *
+            static_cast<std::int32_t>(static_cast<std::int8_t>(rr()));
+      } else {
+        p = static_cast<std::int32_t>(static_cast<std::int8_t>(rd())) *
+            static_cast<std::int32_t>(rr());
+      }
+      const std::uint16_t full = static_cast<std::uint16_t>(p);
+      sreg_.c = (full & 0x8000) != 0;
+      const std::uint16_t r = static_cast<std::uint16_t>(full << 1);
+      ds_.set_reg_pair(0, r);
+      sreg_.z = r == 0;
+      return 2;
+    }
+    case M::Bset:
+      sreg_.set_flag(static_cast<Flag>(in.b), true);
+      return 1;
+    case M::Bclr:
+      sreg_.set_flag(static_cast<Flag>(in.b), false);
+      return 1;
+    case M::Bst:
+      sreg_.t = (rd() >> in.b) & 1;
+      return 1;
+    case M::Bld: {
+      const std::uint8_t mask = static_cast<std::uint8_t>(1u << in.b);
+      set_rd(sreg_.t ? (rd() | mask) : (rd() & ~mask));
+      return 1;
+    }
+    default:
+      break;
+  }
+  raise_fault(FaultInfo{FaultKind::IllegalInstruction, pc_ - 1, 0, 0, 0});
+  return 1;
+}
+
+int Cpu::exec_loadstore(const Instr& in) {
+  using M = Mnemonic;
+  pc_ += static_cast<std::uint32_t>(in.words());
+
+  // Compute the effective address for pointer-based forms, applying the
+  // pre-decrement/post-increment side effects.
+  auto ptr_addr = [&](std::uint8_t lo, int mode) -> std::uint16_t {
+    std::uint16_t p = ds_.reg_pair(lo);
+    if (mode < 0) {  // pre-decrement
+      --p;
+      ds_.set_reg_pair(lo, p);
+      return p;
+    }
+    if (mode > 0) {  // post-increment
+      ds_.set_reg_pair(lo, static_cast<std::uint16_t>(p + 1));
+      return p;
+    }
+    return p;
+  };
+
+  auto load = [&](std::uint16_t addr) {
+    std::uint8_t v = 0;
+    if (read8(addr, ReadKind::Data, v)) ds_.set_reg(in.d, v);
+    return 2;
+  };
+  auto store = [&](std::uint16_t addr) {
+    write8(addr, ds_.reg(in.d), WriteKind::Data);
+    return 2;
+  };
+
+  switch (in.op) {
+    case M::LdX: return load(ptr_addr(kXlo, 0));
+    case M::LdXInc: return load(ptr_addr(kXlo, +1));
+    case M::LdXDec: return load(ptr_addr(kXlo, -1));
+    case M::LdYInc: return load(ptr_addr(kYlo, +1));
+    case M::LdYDec: return load(ptr_addr(kYlo, -1));
+    case M::LdZInc: return load(ptr_addr(kZlo, +1));
+    case M::LdZDec: return load(ptr_addr(kZlo, -1));
+    case M::LddY: return load(static_cast<std::uint16_t>(ds_.reg_pair(kYlo) + in.q));
+    case M::LddZ: return load(static_cast<std::uint16_t>(ds_.reg_pair(kZlo) + in.q));
+    case M::Lds: return load(static_cast<std::uint16_t>(in.k32));
+    case M::StX: return store(ptr_addr(kXlo, 0));
+    case M::StXInc: return store(ptr_addr(kXlo, +1));
+    case M::StXDec: return store(ptr_addr(kXlo, -1));
+    case M::StYInc: return store(ptr_addr(kYlo, +1));
+    case M::StYDec: return store(ptr_addr(kYlo, -1));
+    case M::StZInc: return store(ptr_addr(kZlo, +1));
+    case M::StZDec: return store(ptr_addr(kZlo, -1));
+    case M::StdY: return store(static_cast<std::uint16_t>(ds_.reg_pair(kYlo) + in.q));
+    case M::StdZ: return store(static_cast<std::uint16_t>(ds_.reg_pair(kZlo) + in.q));
+    case M::Sts: return store(static_cast<std::uint16_t>(in.k32));
+    case M::Push:
+      write8(sp_, ds_.reg(in.d), WriteKind::Push);
+      --sp_;
+      return 2;
+    case M::Pop: {
+      ++sp_;
+      std::uint8_t v = 0;
+      if (read8(sp_, ReadKind::Pop, v)) ds_.set_reg(in.d, v);
+      return 2;
+    }
+    case M::In: {
+      std::uint8_t v = 0;
+      if (read8(static_cast<std::uint16_t>(DataSpace::kIoBase + in.a), ReadKind::Io, v))
+        ds_.set_reg(in.d, v);
+      return 1;
+    }
+    case M::Out:
+      write8(static_cast<std::uint16_t>(DataSpace::kIoBase + in.a), ds_.reg(in.d), WriteKind::Io);
+      return 1;
+    case M::Sbi:
+    case M::Cbi: {
+      const std::uint16_t addr = static_cast<std::uint16_t>(DataSpace::kIoBase + in.a);
+      std::uint8_t v = 0;
+      if (!read8(addr, ReadKind::Io, v)) return 2;
+      const std::uint8_t mask = static_cast<std::uint8_t>(1u << in.b);
+      v = in.op == M::Sbi ? (v | mask) : (v & ~mask);
+      write8(addr, v, WriteKind::Io);
+      return 2;
+    }
+    case M::LpmR0:
+      ds_.set_reg(0, flash_.read_byte(ds_.reg_pair(kZlo)));
+      return 3;
+    case M::Lpm:
+      ds_.set_reg(in.d, flash_.read_byte(ds_.reg_pair(kZlo)));
+      return 3;
+    case M::LpmInc: {
+      const std::uint16_t z = ds_.reg_pair(kZlo);
+      ds_.set_reg(in.d, flash_.read_byte(z));
+      ds_.set_reg_pair(kZlo, static_cast<std::uint16_t>(z + 1));
+      return 3;
+    }
+    case M::ElpmR0:
+    case M::Elpm:
+    case M::ElpmInc: {
+      const std::uint32_t rampz = ds_.io().raw(StdPorts::kRampz);
+      const std::uint32_t z = (rampz << 16) | ds_.reg_pair(kZlo);
+      const std::uint8_t dest = in.op == M::ElpmR0 ? 0 : in.d;
+      ds_.set_reg(dest, flash_.read_byte(z));
+      if (in.op == M::ElpmInc) ds_.set_reg_pair(kZlo, static_cast<std::uint16_t>(z + 1));
+      return 3;
+    }
+    case M::Spm: {
+      const FaultKind fk = hooks_ ? hooks_->on_spm(ds_.reg_pair(kZlo)) : FaultKind::None;
+      if (fk != FaultKind::None) {
+        raise_fault(FaultInfo{fk, pc_ - 1, ds_.reg_pair(kZlo), ds_.reg(0), 0});
+        return 1;
+      }
+      // Simplified self-programming model: write r1:r0 to the flash word at
+      // the byte address in Z (no page buffer, no erase latency).
+      flash_.write_word(ds_.reg_pair(kZlo) >> 1,
+                        static_cast<std::uint16_t>(ds_.reg(0) | (ds_.reg(1) << 8)));
+      return 2;
+    }
+    default:
+      break;
+  }
+  raise_fault(FaultInfo{FaultKind::IllegalInstruction, pc_ - 1, 0, 0, 0});
+  return 1;
+}
+
+int Cpu::exec_flow(const Instr& in) {
+  using M = Mnemonic;
+  auto flow = [&](FlowKind kind, std::uint32_t target, std::uint32_t ret) {
+    return hooks_ ? hooks_->on_flow(kind, target, ret) : FlowDecision::normal();
+  };
+
+  switch (in.op) {
+    case M::Rjmp: {
+      const std::uint32_t target = pc_ + 1 + static_cast<std::int32_t>(in.k);
+      const FlowDecision d = flow(FlowKind::JumpDirect, target, 0);
+      if (d.action == FlowDecision::Action::Fault) {
+        raise_fault(FaultInfo{d.fault, pc_, static_cast<std::uint16_t>(target), 0, 0});
+        return 2;
+      }
+      pc_ = d.override_target.value_or(target);
+      return 2 + d.extra_cycles;
+    }
+    case M::Jmp: {
+      const FlowDecision d = flow(FlowKind::JumpDirect, in.k32, 0);
+      if (d.action == FlowDecision::Action::Fault) {
+        raise_fault(FaultInfo{d.fault, pc_, static_cast<std::uint16_t>(in.k32), 0, 0});
+        return 3;
+      }
+      pc_ = d.override_target.value_or(in.k32);
+      return 3 + d.extra_cycles;
+    }
+    case M::Ijmp: {
+      const std::uint32_t target = ds_.reg_pair(kZlo);
+      const FlowDecision d = flow(FlowKind::JumpIndirect, target, 0);
+      if (d.action == FlowDecision::Action::Fault) {
+        raise_fault(FaultInfo{d.fault, pc_, static_cast<std::uint16_t>(target), 0, 0});
+        return 2;
+      }
+      pc_ = d.override_target.value_or(target);
+      return 2 + d.extra_cycles;
+    }
+    case M::Rcall:
+    case M::Call:
+    case M::Icall: {
+      std::uint32_t target;
+      FlowKind kind;
+      int base;
+      if (in.op == M::Rcall) {
+        target = pc_ + 1 + static_cast<std::int32_t>(in.k);
+        kind = FlowKind::CallDirect;
+        base = 3;
+      } else if (in.op == M::Call) {
+        target = in.k32;
+        kind = FlowKind::CallDirect;
+        base = 4;
+      } else {
+        target = ds_.reg_pair(kZlo);
+        kind = FlowKind::CallIndirect;
+        base = 3;
+      }
+      const std::uint32_t ret = pc_ + static_cast<std::uint32_t>(in.words());
+      const FlowDecision d = flow(kind, target, ret);
+      if (d.action == FlowDecision::Action::Fault) {
+        raise_fault(FaultInfo{d.fault, pc_, static_cast<std::uint16_t>(target), 0, 0});
+        return base;
+      }
+      if (d.action == FlowDecision::Action::Handled) {
+        sp_ = static_cast<std::uint16_t>(sp_ - 2);  // frame written by the unit
+      } else {
+        if (!push_ret_addr(ret)) return base;
+      }
+      pc_ = d.override_target.value_or(target);
+      return base + d.extra_cycles;
+    }
+    case M::Ret:
+    case M::Reti: {
+      const FlowDecision d =
+          flow(in.op == M::Ret ? FlowKind::Ret : FlowKind::Reti, 0, 0);
+      if (d.action == FlowDecision::Action::Fault) {
+        raise_fault(FaultInfo{d.fault, pc_, 0, 0, 0});
+        return 4;
+      }
+      if (d.action == FlowDecision::Action::Handled) {
+        sp_ = static_cast<std::uint16_t>(sp_ + 2);
+        pc_ = d.override_target.value_or(pc_ + 1);
+      } else {
+        std::uint32_t ret = 0;
+        if (!pop_ret_addr(ret)) return 4;
+        pc_ = ret;
+      }
+      if (in.op == M::Reti) sreg_.i = true;
+      return 4 + d.extra_cycles;
+    }
+    case M::Brbs:
+    case M::Brbc: {
+      const bool bit = sreg_.flag(static_cast<Flag>(in.b));
+      const bool taken = in.op == M::Brbs ? bit : !bit;
+      if (taken) {
+        pc_ = pc_ + 1 + static_cast<std::int32_t>(in.k);
+        return 2;
+      }
+      pc_ += 1;
+      return 1;
+    }
+    case M::Cpse:
+      return skip_if(ds_.reg(in.d) == ds_.reg(in.r));
+    case M::Sbrc:
+      return skip_if(((ds_.reg(in.d) >> in.b) & 1) == 0);
+    case M::Sbrs:
+      return skip_if(((ds_.reg(in.d) >> in.b) & 1) == 1);
+    case M::Sbic:
+    case M::Sbis: {
+      std::uint8_t v = 0;
+      // SBIC/SBIS read the port through the guarded path like IN does.
+      read8(static_cast<std::uint16_t>(DataSpace::kIoBase + in.a), ReadKind::Io, v);
+      const bool bit = ((v >> in.b) & 1) != 0;
+      return skip_if(in.op == M::Sbic ? !bit : bit);
+    }
+    default:
+      break;
+  }
+  raise_fault(FaultInfo{FaultKind::IllegalInstruction, pc_, 0, 0, 0});
+  return 1;
+}
+
+}  // namespace harbor::avr

@@ -1,0 +1,127 @@
+#pragma once
+// Cycle-accurate AVR core executor (ATmega103-class, 16-bit PC).
+//
+// The core is deliberately bus-explicit: every data-space write/read and
+// every control transfer passes through the CpuHooks extension points so
+// that the UMPU hardware units (src/umpu) can be attached exactly where the
+// paper attaches them — between the core and the memories.
+
+#include <cstdint>
+#include <optional>
+
+#include "avr/decoder.h"
+#include "avr/hooks.h"
+#include "avr/memory.h"
+#include "avr/sreg.h"
+
+namespace harbor::avr {
+
+/// Why the core stopped stepping.
+enum class HaltReason : std::uint8_t { None, Break, Sleep, Fault, IllegalInstruction };
+
+/// Outcome of executing one instruction.
+struct StepResult {
+  int cycles = 0;
+  bool halted = false;
+};
+
+/// IO port numbers of the architecturally-defined registers.
+struct StdPorts {
+  static constexpr std::uint8_t kSpl = 0x3d;
+  static constexpr std::uint8_t kSph = 0x3e;
+  static constexpr std::uint8_t kSreg = 0x3f;
+  static constexpr std::uint8_t kRampz = 0x3b;
+};
+
+class Cpu {
+ public:
+  /// The core aliases (not owns) its memories so loaders, hardware units
+  /// and test harnesses can share them.
+  Cpu(Flash& flash, DataSpace& ds);
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  /// Install the hook sink (UMPU fabric / tracer). Pass nullptr to detach.
+  void set_hooks(CpuHooks* hooks) { hooks_ = hooks; }
+
+  /// Execute one instruction (or service a latched fault/halt).
+  StepResult step();
+
+  /// Run until halt or until at least `max_cycles` cycles have elapsed.
+  /// Returns the number of cycles executed.
+  std::uint64_t run(std::uint64_t max_cycles);
+
+  // --- architectural state ---
+  [[nodiscard]] std::uint32_t pc() const { return pc_; }
+  void set_pc(std::uint32_t pc_words) { pc_ = pc_words; }
+  [[nodiscard]] std::uint16_t sp() const { return sp_; }
+  void set_sp(std::uint16_t sp) { sp_ = sp; }
+  [[nodiscard]] SReg& sreg() { return sreg_; }
+  [[nodiscard]] const SReg& sreg() const { return sreg_; }
+  [[nodiscard]] DataSpace& data() { return ds_; }
+  [[nodiscard]] Flash& flash() { return flash_; }
+
+  [[nodiscard]] std::uint64_t cycle_count() const { return cycles_; }
+  [[nodiscard]] std::uint64_t instruction_count() const { return instructions_; }
+
+  // --- halt & fault state ---
+  [[nodiscard]] bool halted() const { return halt_ != HaltReason::None; }
+  [[nodiscard]] HaltReason halt_reason() const { return halt_; }
+  void clear_halt() { halt_ = HaltReason::None; }
+
+  [[nodiscard]] const std::optional<FaultInfo>& fault() const { return fault_; }
+  void clear_fault() { fault_.reset(); }
+  [[nodiscard]] std::uint64_t fault_count() const { return fault_count_; }
+
+  /// When set, protection faults vector to this word address (the trusted
+  /// domain's fault handler) instead of halting the core. The fault record
+  /// stays latched either way.
+  void set_fault_vector(std::optional<std::uint32_t> v) { fault_vector_ = v; }
+
+  /// Raise a protection fault (also used by hardware units for conditions
+  /// they detect outside a hooked bus operation).
+  void raise_fault(const FaultInfo& info);
+
+  /// Dispatch a hardware interrupt: push the current PC, clear I, jump to
+  /// `vector_waddr`. Returns the cycle cost (4 on this core) or 0 if the
+  /// entry was denied by a guard fault.
+  int interrupt(std::uint32_t vector_waddr);
+
+ private:
+  // Guarded bus operations (return false on fault).
+  bool write8(std::uint16_t addr, std::uint8_t v, WriteKind kind);
+  bool read8(std::uint16_t addr, ReadKind kind, std::uint8_t& out);
+  bool push_ret_addr(std::uint32_t ret_words);
+  bool pop_ret_addr(std::uint32_t& out_words);
+
+  int exec(const Instr& in);             // returns cycle count (without hook extras)
+  int exec_alu(const Instr& in);
+  int exec_loadstore(const Instr& in);
+  int exec_flow(const Instr& in);
+  int skip_if(bool cond);                // CPSE/SBRC/... helper
+
+  // Flag helpers.
+  std::uint8_t do_add(std::uint8_t a, std::uint8_t b, bool carry_in);
+  std::uint8_t do_sub(std::uint8_t a, std::uint8_t b, bool carry_in, bool keep_z);
+  void logic_flags(std::uint8_t r);
+
+  Flash& flash_;
+  DataSpace& ds_;
+  CpuHooks* hooks_ = nullptr;
+
+  std::uint32_t pc_ = 0;  // word address
+  std::uint16_t sp_ = 0;
+  SReg sreg_;
+
+  std::uint64_t cycles_ = 0;
+  std::uint64_t instructions_ = 0;
+  std::uint64_t fault_count_ = 0;
+  int pending_extra_ = 0;  // hook-added stall cycles for the current instruction
+
+  HaltReason halt_ = HaltReason::None;
+  std::optional<FaultInfo> fault_;
+  std::optional<std::uint32_t> fault_vector_;
+};
+
+}  // namespace harbor::avr

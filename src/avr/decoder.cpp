@@ -1,0 +1,255 @@
+#include "avr/decoder.h"
+
+namespace harbor::avr {
+namespace {
+
+/// Sign-extend the low `bits` bits of `v`.
+std::int16_t sext(std::uint16_t v, int bits) {
+  const std::uint16_t mask = static_cast<std::uint16_t>((1u << bits) - 1);
+  std::uint16_t x = v & mask;
+  if (x & (1u << (bits - 1))) x |= static_cast<std::uint16_t>(~mask);
+  return static_cast<std::int16_t>(x);
+}
+
+std::uint8_t field_d(std::uint16_t w) { return (w >> 4) & 0x1f; }
+std::uint8_t field_r(std::uint16_t w) {
+  return static_cast<std::uint8_t>(((w >> 5) & 0x10) | (w & 0x0f));
+}
+
+Instr rd_rr(Mnemonic m, std::uint16_t w) {
+  Instr i;
+  i.op = m;
+  i.d = field_d(w);
+  i.r = field_r(w);
+  return i;
+}
+
+Instr rd_imm(Mnemonic m, std::uint16_t w) {
+  Instr i;
+  i.op = m;
+  i.d = static_cast<std::uint8_t>(16 + ((w >> 4) & 0x0f));
+  i.imm = static_cast<std::uint8_t>(((w >> 4) & 0xf0) | (w & 0x0f));
+  return i;
+}
+
+Instr decode_0000(std::uint16_t w) {
+  if (w == 0x0000) return Instr{.op = Mnemonic::Nop};
+  switch ((w >> 8) & 0x0f) {
+    case 0x1: {
+      Instr i;
+      i.op = Mnemonic::Movw;
+      i.d = static_cast<std::uint8_t>(((w >> 4) & 0x0f) * 2);
+      i.r = static_cast<std::uint8_t>((w & 0x0f) * 2);
+      return i;
+    }
+    case 0x2: {
+      Instr i;
+      i.op = Mnemonic::Muls;
+      i.d = static_cast<std::uint8_t>(16 + ((w >> 4) & 0x0f));
+      i.r = static_cast<std::uint8_t>(16 + (w & 0x0f));
+      return i;
+    }
+    case 0x3: {
+      Instr i;
+      const bool hi_d = w & 0x0080;
+      const bool hi_r = w & 0x0008;
+      i.op = hi_d ? (hi_r ? Mnemonic::Fmulsu : Mnemonic::Fmuls)
+                  : (hi_r ? Mnemonic::Fmul : Mnemonic::Mulsu);
+      i.d = static_cast<std::uint8_t>(16 + ((w >> 4) & 0x07));
+      i.r = static_cast<std::uint8_t>(16 + (w & 0x07));
+      return i;
+    }
+    default:
+      break;
+  }
+  switch ((w >> 10) & 0x3) {
+    case 0x1: return rd_rr(Mnemonic::Cpc, w);
+    case 0x2: return rd_rr(Mnemonic::Sbc, w);
+    case 0x3: return rd_rr(Mnemonic::Add, w);
+    default: return Instr{};  // 0x00xx forms other than NOP/MOVW/MULS*
+  }
+}
+
+Instr decode_ldst_single(std::uint16_t w, std::uint16_t w1) {
+  const bool st = w & 0x0200;
+  const std::uint8_t d = field_d(w);
+  const int mode = w & 0x0f;
+  Instr i;
+  i.d = d;
+  using M = Mnemonic;
+  if (!st) {
+    switch (mode) {
+      case 0x0: i.op = M::Lds; i.k32 = w1; return i;
+      case 0x1: i.op = M::LdZInc; return i;
+      case 0x2: i.op = M::LdZDec; return i;
+      case 0x4: i.op = M::Lpm; return i;
+      case 0x5: i.op = M::LpmInc; return i;
+      case 0x6: i.op = M::Elpm; return i;
+      case 0x7: i.op = M::ElpmInc; return i;
+      case 0x9: i.op = M::LdYInc; return i;
+      case 0xa: i.op = M::LdYDec; return i;
+      case 0xc: i.op = M::LdX; return i;
+      case 0xd: i.op = M::LdXInc; return i;
+      case 0xe: i.op = M::LdXDec; return i;
+      case 0xf: i.op = M::Pop; return i;
+      default: return Instr{};
+    }
+  }
+  switch (mode) {
+    case 0x0: i.op = M::Sts; i.k32 = w1; return i;
+    case 0x1: i.op = M::StZInc; return i;
+    case 0x2: i.op = M::StZDec; return i;
+    case 0x9: i.op = M::StYInc; return i;
+    case 0xa: i.op = M::StYDec; return i;
+    case 0xc: i.op = M::StX; return i;
+    case 0xd: i.op = M::StXInc; return i;
+    case 0xe: i.op = M::StXDec; return i;
+    case 0xf: i.op = M::Push; return i;
+    default: return Instr{};
+  }
+}
+
+Instr decode_94_95(std::uint16_t w, std::uint16_t w1) {
+  using M = Mnemonic;
+  // One-operand ALU forms 1001 010d dddd 0xxx / 1010.
+  switch (w & 0x000f) {
+    case 0x0: return {.op = M::Com, .d = field_d(w)};
+    case 0x1: return {.op = M::Neg, .d = field_d(w)};
+    case 0x2: return {.op = M::Swap, .d = field_d(w)};
+    case 0x3: return {.op = M::Inc, .d = field_d(w)};
+    case 0x5: return {.op = M::Asr, .d = field_d(w)};
+    case 0x6: return {.op = M::Lsr, .d = field_d(w)};
+    case 0x7: return {.op = M::Ror, .d = field_d(w)};
+    case 0xa: return {.op = M::Dec, .d = field_d(w)};
+    default: break;
+  }
+  if ((w & 0xff8f) == 0x9408) return {.op = M::Bset, .b = static_cast<std::uint8_t>((w >> 4) & 7)};
+  if ((w & 0xff8f) == 0x9488) return {.op = M::Bclr, .b = static_cast<std::uint8_t>((w >> 4) & 7)};
+  switch (w) {
+    case 0x9409: return {.op = M::Ijmp};
+    case 0x9509: return {.op = M::Icall};
+    case 0x9508: return {.op = M::Ret};
+    case 0x9518: return {.op = M::Reti};
+    case 0x9588: return {.op = M::Sleep};
+    case 0x9598: return {.op = M::Break};
+    case 0x95a8: return {.op = M::Wdr};
+    case 0x95c8: return {.op = M::LpmR0};
+    case 0x95d8: return {.op = M::ElpmR0};
+    case 0x95e8: return {.op = M::Spm};
+    default: break;
+  }
+  if ((w & 0xfe0c) == 0x940c) {
+    Instr i;
+    i.op = (w & 0x0002) ? M::Call : M::Jmp;
+    std::uint32_t hi = ((w >> 3) & 0x3e) | (w & 0x01);
+    i.k32 = (hi << 16) | w1;
+    return i;
+  }
+  return Instr{};
+}
+
+}  // namespace
+
+Instr decode(std::uint16_t w0, std::uint16_t w1) {
+  using M = Mnemonic;
+  switch (w0 >> 12) {
+    case 0x0: return decode_0000(w0);
+    case 0x1:
+      switch ((w0 >> 10) & 0x3) {
+        case 0x0: return rd_rr(M::Cpse, w0);
+        case 0x1: return rd_rr(M::Cp, w0);
+        case 0x2: return rd_rr(M::Sub, w0);
+        case 0x3: return rd_rr(M::Adc, w0);
+      }
+      break;
+    case 0x2:
+      switch ((w0 >> 10) & 0x3) {
+        case 0x0: return rd_rr(M::And, w0);
+        case 0x1: return rd_rr(M::Eor, w0);
+        case 0x2: return rd_rr(M::Or, w0);
+        case 0x3: return rd_rr(M::Mov, w0);
+      }
+      break;
+    case 0x3: return rd_imm(M::Cpi, w0);
+    case 0x4: return rd_imm(M::Sbci, w0);
+    case 0x5: return rd_imm(M::Subi, w0);
+    case 0x6: return rd_imm(M::Ori, w0);
+    case 0x7: return rd_imm(M::Andi, w0);
+    case 0x8:
+    case 0xa: {
+      // LDD/STD with displacement (also covers plain LD/ST via Y/Z, q = 0).
+      Instr i;
+      const bool st = w0 & 0x0200;
+      const bool y = w0 & 0x0008;
+      i.d = field_d(w0);
+      i.q = static_cast<std::uint8_t>(((w0 >> 8) & 0x20) | ((w0 >> 7) & 0x18) | (w0 & 0x07));
+      i.op = st ? (y ? M::StdY : M::StdZ) : (y ? M::LddY : M::LddZ);
+      return i;
+    }
+    case 0x9:
+      switch ((w0 >> 8) & 0x0f) {
+        case 0x0: case 0x1: case 0x2: case 0x3:
+          return decode_ldst_single(w0, w1);
+        case 0x4: case 0x5:
+          return decode_94_95(w0, w1);
+        case 0x6:
+        case 0x7: {
+          Instr i;
+          i.op = ((w0 >> 8) & 1) ? M::Sbiw : M::Adiw;
+          i.d = static_cast<std::uint8_t>(24 + 2 * ((w0 >> 4) & 0x3));
+          i.imm = static_cast<std::uint8_t>(((w0 >> 2) & 0x30) | (w0 & 0x0f));
+          return i;
+        }
+        case 0x8: return {.op = M::Cbi, .a = static_cast<std::uint8_t>((w0 >> 3) & 0x1f),
+                          .b = static_cast<std::uint8_t>(w0 & 7)};
+        case 0x9: return {.op = M::Sbic, .a = static_cast<std::uint8_t>((w0 >> 3) & 0x1f),
+                          .b = static_cast<std::uint8_t>(w0 & 7)};
+        case 0xa: return {.op = M::Sbi, .a = static_cast<std::uint8_t>((w0 >> 3) & 0x1f),
+                          .b = static_cast<std::uint8_t>(w0 & 7)};
+        case 0xb: return {.op = M::Sbis, .a = static_cast<std::uint8_t>((w0 >> 3) & 0x1f),
+                          .b = static_cast<std::uint8_t>(w0 & 7)};
+        case 0xc: case 0xd: case 0xe: case 0xf:
+          return rd_rr(M::Mul, w0);
+      }
+      break;
+    case 0xb: {
+      Instr i;
+      i.op = (w0 & 0x0800) ? M::Out : M::In;
+      i.d = field_d(w0);
+      i.a = static_cast<std::uint8_t>(((w0 >> 5) & 0x30) | (w0 & 0x0f));
+      return i;
+    }
+    case 0xc: return {.op = M::Rjmp, .k = sext(w0, 12)};
+    case 0xd: return {.op = M::Rcall, .k = sext(w0, 12)};
+    case 0xe: return rd_imm(M::Ldi, w0);
+    case 0xf:
+      switch ((w0 >> 9) & 0x7) {
+        case 0x0: case 0x1:
+          return {.op = M::Brbs, .b = static_cast<std::uint8_t>(w0 & 7),
+                  .k = sext(static_cast<std::uint16_t>(w0 >> 3), 7)};
+        case 0x2: case 0x3:
+          return {.op = M::Brbc, .b = static_cast<std::uint8_t>(w0 & 7),
+                  .k = sext(static_cast<std::uint16_t>(w0 >> 3), 7)};
+        case 0x4:
+          if (!(w0 & 0x8)) return {.op = M::Bld, .d = field_d(w0),
+                                   .b = static_cast<std::uint8_t>(w0 & 7)};
+          break;
+        case 0x5:
+          if (!(w0 & 0x8)) return {.op = M::Bst, .d = field_d(w0),
+                                   .b = static_cast<std::uint8_t>(w0 & 7)};
+          break;
+        case 0x6:
+          if (!(w0 & 0x8)) return {.op = M::Sbrc, .d = field_d(w0),
+                                   .b = static_cast<std::uint8_t>(w0 & 7)};
+          break;
+        case 0x7:
+          if (!(w0 & 0x8)) return {.op = M::Sbrs, .d = field_d(w0),
+                                   .b = static_cast<std::uint8_t>(w0 & 7)};
+          break;
+      }
+      break;
+  }
+  return Instr{};  // Mnemonic::Invalid
+}
+
+}  // namespace harbor::avr

@@ -1,0 +1,16 @@
+#pragma once
+// Opcode-word -> Instr decoding (used by the executor, the disassembler,
+// the SFI rewriter/verifier and round-trip tests).
+
+#include <cstdint>
+
+#include "avr/instr.h"
+
+namespace harbor::avr {
+
+/// Decode the instruction starting with opcode word `w0`; `w1` is the
+/// following flash word (consumed only by two-word instructions).
+/// Unrecognized encodings decode to Mnemonic::Invalid (never throws).
+Instr decode(std::uint16_t w0, std::uint16_t w1 = 0);
+
+}  // namespace harbor::avr

@@ -1,0 +1,112 @@
+#include "avr/device.h"
+
+namespace harbor::avr {
+
+namespace {
+/// Timer prescaler divisors indexed by TCCR0 low bits (0 = stopped).
+constexpr std::uint32_t kPrescale[8] = {0, 1, 8, 32, 64, 128, 256, 1024};
+}  // namespace
+
+Device::Device(const DeviceConfig& cfg)
+    : flash_(cfg.flash_words), ds_(cfg.ram_end), cpu_(flash_, ds_) {
+  auto& io = ds_.io();
+  io.on_write(ports::kDebugOut, [this](std::uint8_t, std::uint8_t v) {
+    console_.push_back(static_cast<char>(v));
+  });
+  io.on_write(ports::kSimCtl, [this](std::uint8_t, std::uint8_t v) {
+    exit_.exited = true;
+    exit_.code = v;
+  });
+  io.on_write(ports::kRadioData, [this](std::uint8_t, std::uint8_t v) {
+    tx_frame_.push_back(v);
+  });
+  io.on_write(ports::kRadioCtl, [this](std::uint8_t, std::uint8_t v) {
+    if (v & 1) {
+      packets_.push_back(tx_frame_);
+      tx_frame_.clear();
+    }
+  });
+  io.on_read(ports::kRadioCtl, [this](std::uint8_t) {
+    return static_cast<std::uint8_t>(packets_.size() & 0xff);
+  });
+  reset();
+}
+
+std::uint16_t Device::debug_value() const {
+  return static_cast<std::uint16_t>(ds_.io().raw(ports::kDebugValLo) |
+                                    (ds_.io().raw(ports::kDebugValHi) << 8));
+}
+
+void Device::reset() {
+  cpu_.set_pc(ports::kVecReset);
+  cpu_.set_sp(ds_.ram_end());
+  cpu_.sreg().set_byte(0);
+  cpu_.clear_halt();
+  cpu_.clear_fault();
+  exit_ = {};
+  timer_accum_ = 0;
+  tx_frame_.clear();
+  packets_.clear();
+}
+
+void Device::tick_peripherals(int cycles) {
+  const std::uint32_t div = kPrescale[ds_.io().raw(ports::kTccr0) & 0x7];
+  if (div == 0) return;
+  timer_accum_ += static_cast<std::uint32_t>(cycles);
+  while (timer_accum_ >= div) {
+    timer_accum_ -= div;
+    const std::uint8_t t = static_cast<std::uint8_t>(ds_.io().raw(ports::kTcnt0) + 1);
+    ds_.io().set_raw(ports::kTcnt0, t);
+    if (t == 0) {  // overflow
+      ds_.io().set_raw(ports::kTifr,
+                       static_cast<std::uint8_t>(ds_.io().raw(ports::kTifr) | 0x01));
+    }
+  }
+}
+
+bool Device::maybe_interrupt() {
+  if (!cpu_.sreg().i) return false;
+  const bool ovf_pending = (ds_.io().raw(ports::kTifr) & 0x01) != 0;
+  const bool ovf_enabled = (ds_.io().raw(ports::kTimsk) & 0x01) != 0;
+  if (ovf_pending && ovf_enabled) {
+    ds_.io().set_raw(ports::kTifr,
+                     static_cast<std::uint8_t>(ds_.io().raw(ports::kTifr) & ~0x01));
+    cpu_.clear_halt();  // wake from sleep
+    const int cost = cpu_.interrupt(ports::kVecTimer0Ovf);
+    if (cost > 0) tick_peripherals(cost);
+    return true;
+  }
+  return false;
+}
+
+StepResult Device::step() {
+  if (!cpu_.halted() || cpu_.halt_reason() == HaltReason::Sleep) maybe_interrupt();
+  const StepResult r = cpu_.step();
+  if (r.cycles > 0) tick_peripherals(r.cycles);
+  return r;
+}
+
+std::uint64_t Device::run(std::uint64_t max_cycles) {
+  const std::uint64_t start = cpu_.cycle_count();
+  std::uint64_t idle_cycles = 0;
+  while (!exit_.exited && cpu_.cycle_count() - start + idle_cycles < max_cycles) {
+    if (cpu_.halted()) {
+      if (cpu_.halt_reason() == HaltReason::Sleep) {
+        // Idle until the timer can wake us; if it can't, stop.
+        const bool timer_running = (ds_.io().raw(ports::kTccr0) & 0x7) != 0;
+        const bool ovf_enabled = (ds_.io().raw(ports::kTimsk) & 0x01) != 0;
+        if (cpu_.sreg().i && timer_running && ovf_enabled) {
+          tick_peripherals(8);  // advance idle time in small quanta
+          idle_cycles += 8;
+          maybe_interrupt();
+          continue;
+        }
+      }
+      break;
+    }
+    step();
+  }
+  return cpu_.cycle_count() - start;
+}
+
+}  // namespace harbor::avr

@@ -1,0 +1,87 @@
+#pragma once
+// The simulated SoC: core + memories + simulation devices + timer.
+//
+// Models an ATmega103-class part: 128 KB flash (64K words), 4 KB data
+// address space (32 registers, 64 IO ports, 4000 bytes SRAM ending at
+// 0x0FFF). Geometry is configurable for tests.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "avr/cpu.h"
+#include "avr/memory.h"
+#include "avr/ports.h"
+
+namespace harbor::avr {
+
+struct DeviceConfig {
+  std::size_t flash_words = 64 * 1024;  ///< 128 KB program memory
+  std::uint16_t ram_end = 0x0fff;       ///< last data-space address
+};
+
+/// Exit status latched by a guest write to the kSimCtl port.
+struct GuestExit {
+  bool exited = false;
+  std::uint8_t code = 0;
+};
+
+class Device {
+ public:
+  explicit Device(const DeviceConfig& cfg = {});
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] Cpu& cpu() { return cpu_; }
+  [[nodiscard]] const Cpu& cpu() const { return cpu_; }
+  [[nodiscard]] Flash& flash() { return flash_; }
+  [[nodiscard]] const Flash& flash() const { return flash_; }
+  [[nodiscard]] DataSpace& data() { return ds_; }
+  [[nodiscard]] const DataSpace& data() const { return ds_; }
+
+  /// Bytes the guest wrote to the debug console port.
+  [[nodiscard]] const std::string& console() const { return console_; }
+  void clear_console() { console_.clear(); }
+
+  /// Frames the guest transmitted through the radio ports.
+  [[nodiscard]] const std::vector<std::vector<std::uint8_t>>& radio_packets() const {
+    return packets_;
+  }
+  void clear_radio() { packets_.clear(); tx_frame_.clear(); }
+
+  [[nodiscard]] const GuestExit& guest_exit() const { return exit_; }
+  void clear_guest_exit() { exit_ = {}; }
+
+  /// 16-bit scratch value the guest exposes through kDebugValLo/Hi.
+  [[nodiscard]] std::uint16_t debug_value() const;
+
+  /// Reset architectural state and start execution at the reset vector.
+  void reset();
+
+  /// Run until the guest exits, the core faults/halts, or `max_cycles`
+  /// elapse. Timer interrupts are dispatched when enabled. Returns cycles
+  /// executed.
+  std::uint64_t run(std::uint64_t max_cycles = 50'000'000);
+
+  /// Single instruction step with peripheral ticking.
+  StepResult step();
+
+ private:
+  void tick_peripherals(int cycles);
+  bool maybe_interrupt();
+
+  Flash flash_;
+  DataSpace ds_;
+  Cpu cpu_;
+
+  std::string console_;
+  GuestExit exit_;
+  std::vector<std::uint8_t> tx_frame_;
+  std::vector<std::vector<std::uint8_t>> packets_;
+
+  // timer0 state
+  std::uint32_t timer_accum_ = 0;
+};
+
+}  // namespace harbor::avr

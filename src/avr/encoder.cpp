@@ -1,0 +1,242 @@
+#include "avr/encoder.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace harbor::avr {
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("avr::encode: " + what);
+}
+
+void require(bool ok, const char* what) {
+  if (!ok) bad(what);
+}
+
+/// Two-register ALU form: `base | r-bit9+3..0 | d-bits8..4`.
+std::uint16_t rd_rr(std::uint16_t base, int d, int r) {
+  require(d >= 0 && d <= 31, "Rd out of range");
+  require(r >= 0 && r <= 31, "Rr out of range");
+  return static_cast<std::uint16_t>(base | ((r & 0x10) << 5) | (r & 0x0f) | (d << 4));
+}
+
+/// Immediate form on upper registers: `base | K7..4 | d | K3..0`.
+std::uint16_t rd_imm(std::uint16_t base, int d, int imm) {
+  require(d >= 16 && d <= 31, "immediate ops require r16-r31");
+  require(imm >= 0 && imm <= 255, "immediate out of range");
+  return static_cast<std::uint16_t>(base | ((imm & 0xf0) << 4) | ((d - 16) << 4) | (imm & 0x0f));
+}
+
+/// Single-register form: `base | d-bits8..4`.
+std::uint16_t rd_only(std::uint16_t base, int d) {
+  require(d >= 0 && d <= 31, "Rd out of range");
+  return static_cast<std::uint16_t>(base | (d << 4));
+}
+
+/// LDD/STD displacement form. `y` selects the Y pointer, `st` a store.
+std::uint16_t displaced(int d, int q, bool y, bool st) {
+  require(d >= 0 && d <= 31, "Rd out of range");
+  require(q >= 0 && q <= 63, "displacement out of range");
+  std::uint16_t w = 0x8000;
+  if (st) w |= 0x0200;
+  if (y) w |= 0x0008;
+  w |= static_cast<std::uint16_t>((q & 0x20) << 8);  // q5 -> bit13
+  w |= static_cast<std::uint16_t>((q & 0x18) << 7);  // q4..q3 -> bits11..10
+  w |= static_cast<std::uint16_t>(q & 0x07);         // q2..q0
+  w |= static_cast<std::uint16_t>(d << 4);
+  return w;
+}
+
+/// LD/ST single-word forms: `1001 00sd dddd mmmm` where s=1 for stores.
+std::uint16_t ld_st(int d, int mode, bool st) {
+  require(d >= 0 && d <= 31, "Rd out of range");
+  return static_cast<std::uint16_t>(0x9000 | (st ? 0x0200 : 0) | (d << 4) | mode);
+}
+
+/// IO-bit form: `base | A4..0 | b`.
+std::uint16_t io_bit(std::uint16_t base, int a, int b) {
+  require(a >= 0 && a <= 31, "SBI/CBI/SBIC/SBIS address must be 0-31");
+  require(b >= 0 && b <= 7, "bit out of range");
+  return static_cast<std::uint16_t>(base | (a << 3) | b);
+}
+
+/// Register-bit form: `base | d | b`.
+std::uint16_t reg_bit(std::uint16_t base, int d, int b) {
+  require(d >= 0 && d <= 31, "register out of range");
+  require(b >= 0 && b <= 7, "bit out of range");
+  return static_cast<std::uint16_t>(base | (d << 4) | b);
+}
+
+std::uint16_t relative(std::uint16_t base, int k, int bits, const char* what) {
+  const int lo = -(1 << (bits - 1));
+  const int hi = (1 << (bits - 1)) - 1;
+  if (k < lo || k > hi) bad(what);
+  return static_cast<std::uint16_t>(base | (k & ((1 << bits) - 1)));
+}
+
+Encoding one(std::uint16_t w) { return Encoding{{w, 0}, 1}; }
+Encoding two(std::uint16_t w0, std::uint16_t w1) { return Encoding{{w0, w1}, 2}; }
+
+/// JMP/CALL 22-bit absolute form.
+Encoding absolute22(std::uint16_t base, std::uint32_t k) {
+  require(k < (1u << 22), "absolute address out of range");
+  const std::uint32_t hi = k >> 16;  // k21..k16
+  std::uint16_t w0 = base;
+  w0 |= static_cast<std::uint16_t>((hi & 0x3e) << 3);  // k21..17 -> bits8..4
+  w0 |= static_cast<std::uint16_t>(hi & 0x01);         // k16 -> bit0
+  return two(w0, static_cast<std::uint16_t>(k & 0xffff));
+}
+
+}  // namespace
+
+Encoding encode(const Instr& in) {
+  using M = Mnemonic;
+  switch (in.op) {
+    case M::Nop: return one(0x0000);
+    case M::Movw:
+      require(in.d % 2 == 0 && in.r % 2 == 0 && in.d <= 30 && in.r <= 30,
+              "MOVW requires even register pairs");
+      return one(static_cast<std::uint16_t>(0x0100 | ((in.d / 2) << 4) | (in.r / 2)));
+    case M::Muls:
+      require(in.d >= 16 && in.d <= 31 && in.r >= 16 && in.r <= 31, "MULS requires r16-r31");
+      return one(static_cast<std::uint16_t>(0x0200 | ((in.d - 16) << 4) | (in.r - 16)));
+    case M::Mulsu:
+    case M::Fmul:
+    case M::Fmuls:
+    case M::Fmulsu: {
+      require(in.d >= 16 && in.d <= 23 && in.r >= 16 && in.r <= 23,
+              "MULSU/FMUL* require r16-r23");
+      std::uint16_t base = 0x0300;
+      if (in.op == M::Fmul) base |= 0x0008;
+      if (in.op == M::Fmuls) base |= 0x0080;
+      if (in.op == M::Fmulsu) base |= 0x0088;
+      return one(static_cast<std::uint16_t>(base | ((in.d - 16) << 4) | (in.r - 16)));
+    }
+    case M::Cpc: return one(rd_rr(0x0400, in.d, in.r));
+    case M::Sbc: return one(rd_rr(0x0800, in.d, in.r));
+    case M::Add: return one(rd_rr(0x0c00, in.d, in.r));
+    case M::Cpse: return one(rd_rr(0x1000, in.d, in.r));
+    case M::Cp: return one(rd_rr(0x1400, in.d, in.r));
+    case M::Sub: return one(rd_rr(0x1800, in.d, in.r));
+    case M::Adc: return one(rd_rr(0x1c00, in.d, in.r));
+    case M::And: return one(rd_rr(0x2000, in.d, in.r));
+    case M::Eor: return one(rd_rr(0x2400, in.d, in.r));
+    case M::Or: return one(rd_rr(0x2800, in.d, in.r));
+    case M::Mov: return one(rd_rr(0x2c00, in.d, in.r));
+    case M::Cpi: return one(rd_imm(0x3000, in.d, in.imm));
+    case M::Sbci: return one(rd_imm(0x4000, in.d, in.imm));
+    case M::Subi: return one(rd_imm(0x5000, in.d, in.imm));
+    case M::Ori: return one(rd_imm(0x6000, in.d, in.imm));
+    case M::Andi: return one(rd_imm(0x7000, in.d, in.imm));
+    case M::Ldi: return one(rd_imm(0xe000, in.d, in.imm));
+    case M::Ser: return one(rd_imm(0xe000, in.d, 0xff));
+
+    case M::LddZ: return one(displaced(in.d, in.q, /*y=*/false, /*st=*/false));
+    case M::LddY: return one(displaced(in.d, in.q, /*y=*/true, /*st=*/false));
+    case M::StdZ: return one(displaced(in.d, in.q, /*y=*/false, /*st=*/true));
+    case M::StdY: return one(displaced(in.d, in.q, /*y=*/true, /*st=*/true));
+
+    case M::Lds: return two(ld_st(in.d, 0x0, false), static_cast<std::uint16_t>(in.k32));
+    case M::LdZInc: return one(ld_st(in.d, 0x1, false));
+    case M::LdZDec: return one(ld_st(in.d, 0x2, false));
+    case M::Lpm: return one(ld_st(in.d, 0x4, false));
+    case M::LpmInc: return one(ld_st(in.d, 0x5, false));
+    case M::Elpm: return one(ld_st(in.d, 0x6, false));
+    case M::ElpmInc: return one(ld_st(in.d, 0x7, false));
+    case M::LdYInc: return one(ld_st(in.d, 0x9, false));
+    case M::LdYDec: return one(ld_st(in.d, 0xa, false));
+    case M::LdX: return one(ld_st(in.d, 0xc, false));
+    case M::LdXInc: return one(ld_st(in.d, 0xd, false));
+    case M::LdXDec: return one(ld_st(in.d, 0xe, false));
+    case M::Pop: return one(ld_st(in.d, 0xf, false));
+
+    case M::Sts: return two(ld_st(in.d, 0x0, true), static_cast<std::uint16_t>(in.k32));
+    case M::StZInc: return one(ld_st(in.d, 0x1, true));
+    case M::StZDec: return one(ld_st(in.d, 0x2, true));
+    case M::StYInc: return one(ld_st(in.d, 0x9, true));
+    case M::StYDec: return one(ld_st(in.d, 0xa, true));
+    case M::StX: return one(ld_st(in.d, 0xc, true));
+    case M::StXInc: return one(ld_st(in.d, 0xd, true));
+    case M::StXDec: return one(ld_st(in.d, 0xe, true));
+    case M::Push: return one(ld_st(in.d, 0xf, true));
+
+    case M::Com: return one(rd_only(0x9400, in.d));
+    case M::Neg: return one(static_cast<std::uint16_t>(rd_only(0x9400, in.d) | 0x1));
+    case M::Swap: return one(static_cast<std::uint16_t>(rd_only(0x9400, in.d) | 0x2));
+    case M::Inc: return one(static_cast<std::uint16_t>(rd_only(0x9400, in.d) | 0x3));
+    case M::Asr: return one(static_cast<std::uint16_t>(rd_only(0x9400, in.d) | 0x5));
+    case M::Lsr: return one(static_cast<std::uint16_t>(rd_only(0x9400, in.d) | 0x6));
+    case M::Ror: return one(static_cast<std::uint16_t>(rd_only(0x9400, in.d) | 0x7));
+    case M::Dec: return one(static_cast<std::uint16_t>(rd_only(0x9400, in.d) | 0xa));
+
+    case M::Bset:
+      require(in.b <= 7, "SREG bit out of range");
+      return one(static_cast<std::uint16_t>(0x9408 | (in.b << 4)));
+    case M::Bclr:
+      require(in.b <= 7, "SREG bit out of range");
+      return one(static_cast<std::uint16_t>(0x9488 | (in.b << 4)));
+
+    case M::Ijmp: return one(0x9409);
+    case M::Icall: return one(0x9509);
+    case M::Ret: return one(0x9508);
+    case M::Reti: return one(0x9518);
+    case M::Sleep: return one(0x9588);
+    case M::Break: return one(0x9598);
+    case M::Wdr: return one(0x95a8);
+    case M::LpmR0: return one(0x95c8);
+    case M::ElpmR0: return one(0x95d8);
+    case M::Spm: return one(0x95e8);
+
+    case M::Jmp: return absolute22(0x940c, in.k32);
+    case M::Call: return absolute22(0x940e, in.k32);
+
+    case M::Adiw:
+    case M::Sbiw: {
+      require(in.d == 24 || in.d == 26 || in.d == 28 || in.d == 30,
+              "ADIW/SBIW require r24/r26/r28/r30");
+      require(in.imm <= 63, "ADIW/SBIW constant out of range");
+      const std::uint16_t base = in.op == M::Adiw ? 0x9600 : 0x9700;
+      const int dd = (in.d - 24) / 2;
+      return one(static_cast<std::uint16_t>(base | ((in.imm & 0x30) << 2) | (dd << 4) |
+                                            (in.imm & 0x0f)));
+    }
+
+    case M::Cbi: return one(io_bit(0x9800, in.a, in.b));
+    case M::Sbic: return one(io_bit(0x9900, in.a, in.b));
+    case M::Sbi: return one(io_bit(0x9a00, in.a, in.b));
+    case M::Sbis: return one(io_bit(0x9b00, in.a, in.b));
+
+    case M::Mul: return one(rd_rr(0x9c00, in.d, in.r));
+
+    case M::In:
+      require(in.a <= 63, "IO address out of range");
+      return one(static_cast<std::uint16_t>(0xb000 | ((in.a & 0x30) << 5) | (in.d << 4) |
+                                            (in.a & 0x0f)));
+    case M::Out:
+      require(in.a <= 63, "IO address out of range");
+      return one(static_cast<std::uint16_t>(0xb800 | ((in.a & 0x30) << 5) | (in.d << 4) |
+                                            (in.a & 0x0f)));
+
+    case M::Rjmp: return one(relative(0xc000, in.k, 12, "RJMP offset out of range"));
+    case M::Rcall: return one(relative(0xd000, in.k, 12, "RCALL offset out of range"));
+
+    case M::Brbs:
+    case M::Brbc:
+      require(in.b <= 7, "SREG bit out of range");
+      if (in.k < -64 || in.k > 63) bad("branch offset out of range");
+      return one(static_cast<std::uint16_t>((in.op == M::Brbs ? 0xf000 : 0xf400) |
+                                            ((in.k & 0x7f) << 3) | in.b));
+
+    case M::Bld: return one(reg_bit(0xf800, in.d, in.b));
+    case M::Bst: return one(reg_bit(0xfa00, in.d, in.b));
+    case M::Sbrc: return one(reg_bit(0xfc00, in.d, in.b));
+    case M::Sbrs: return one(reg_bit(0xfe00, in.d, in.b));
+
+    case M::Invalid:
+      break;
+  }
+  bad("unencodable mnemonic");
+}
+
+}  // namespace harbor::avr

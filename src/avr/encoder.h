@@ -1,0 +1,23 @@
+#pragma once
+// Instruction -> opcode-word encoding (used by the assembler, the SFI
+// rewriter when it re-emits sandboxed code, and round-trip tests).
+
+#include <array>
+#include <cstdint>
+
+#include "avr/instr.h"
+
+namespace harbor::avr {
+
+/// Encoded form of one instruction: one or two 16-bit opcode words.
+struct Encoding {
+  std::array<std::uint16_t, 2> word{0, 0};
+  int words = 1;
+};
+
+/// Encode `in` to opcode words.
+/// Throws std::invalid_argument for operands outside their encodable range
+/// (e.g. LDI on r0-r15, LDD displacement > 63, RJMP offset out of ±2K).
+Encoding encode(const Instr& in);
+
+}  // namespace harbor::avr

@@ -1,0 +1,130 @@
+#pragma once
+// Extension points through which the UMPU hardware units observe and steer
+// the core: data-bus writes/reads, control transfers, and retired PCs.
+// A stock (unprotected) core runs with no hooks installed.
+
+#include <cstdint>
+#include <optional>
+
+namespace harbor::avr {
+
+/// Protection fault classes raised by guards (mirrors the exception causes
+/// of the paper's hardware units).
+enum class FaultKind : std::uint8_t {
+  None,
+  MemMapViolation,      ///< store into a block owned by another domain
+  StackBoundViolation,  ///< store above the current stack bound
+  IllegalIoWrite,       ///< untrusted write to a protected IO register
+  IllegalCallTarget,    ///< cross-domain call not through a jump table
+  IllegalJumpTarget,    ///< computed jump leaving the current domain
+  IllegalReturn,        ///< malformed safe-stack frame on return
+  PcOutOfDomain,        ///< instruction fetched outside the domain's code
+  SafeStackOverflow,    ///< safe stack collided with its bound
+  IllegalInstruction,   ///< undecodable opcode or SPM from untrusted code
+};
+
+const char* fault_kind_name(FaultKind k);
+
+/// A recorded protection fault.
+struct FaultInfo {
+  FaultKind kind = FaultKind::None;
+  std::uint32_t pc = 0;      ///< word address of the faulting instruction
+  std::uint16_t addr = 0;    ///< offending data address / target address
+  std::uint8_t value = 0;    ///< value being written, if any
+  std::uint8_t domain = 0;   ///< domain that was executing
+};
+
+/// What kind of data-space write the core is performing.
+enum class WriteKind : std::uint8_t {
+  Data,     ///< st/std/sts
+  Push,     ///< push instruction
+  RetPush,  ///< return-address byte pushed by call/rcall/icall or irq entry
+  Io,       ///< out/sbi/cbi (addr is the data-space address of the port)
+};
+
+/// What kind of data-space read the core is performing.
+enum class ReadKind : std::uint8_t {
+  Data,    ///< ld/ldd/lds
+  Pop,     ///< pop instruction
+  RetPop,  ///< return-address byte popped by ret/reti
+  Io,      ///< in/sbic/sbis
+};
+
+/// Guard decision for a write: allow (optionally redirected elsewhere,
+/// optionally stalling), suppress (swallowed, e.g. a cross-domain frame is
+/// written by the unit instead), or fault.
+struct WriteDecision {
+  enum class Action : std::uint8_t { Allow, Suppress, Fault };
+  Action action = Action::Allow;
+  int extra_cycles = 0;
+  std::optional<std::uint16_t> redirect_addr;  ///< bus steal target
+  FaultKind fault = FaultKind::None;
+
+  static WriteDecision allow(int extra = 0) { return {Action::Allow, extra, std::nullopt, FaultKind::None}; }
+  static WriteDecision steal(std::uint16_t to, int extra = 0) {
+    return {Action::Allow, extra, to, FaultKind::None};
+  }
+  static WriteDecision deny(FaultKind k) { return {Action::Fault, 0, std::nullopt, k}; }
+};
+
+/// Guard decision for a read (redirects implement safe-stack pops).
+struct ReadDecision {
+  std::optional<std::uint16_t> redirect_addr;
+  int extra_cycles = 0;
+  FaultKind fault = FaultKind::None;
+};
+
+/// Control-transfer classes surfaced to the flow hook.
+enum class FlowKind : std::uint8_t {
+  CallDirect,   ///< call/rcall
+  CallIndirect, ///< icall
+  Ret,
+  Reti,
+  JumpDirect,   ///< jmp/rjmp (branches are not surfaced; they cannot leave ±64 words)
+  JumpIndirect, ///< ijmp
+  IrqEntry,     ///< hardware interrupt dispatch
+};
+
+/// Flow hook decision. `Handled` means the unit performed the architectural
+/// side effects itself (e.g. wrote a 5-byte cross-domain frame): the core
+/// suppresses its own return-address stack traffic (SP still moves) and,
+/// for returns, jumps to `override_target`.
+struct FlowDecision {
+  enum class Action : std::uint8_t { Normal, Handled, Fault };
+  Action action = Action::Normal;
+  int extra_cycles = 0;
+  std::optional<std::uint32_t> override_target;  ///< word address
+  FaultKind fault = FaultKind::None;
+
+  static FlowDecision normal() { return {}; }
+  static FlowDecision handled(int extra, std::optional<std::uint32_t> target = std::nullopt) {
+    return {Action::Handled, extra, target, FaultKind::None};
+  }
+  static FlowDecision deny(FaultKind k) { return {Action::Fault, 0, std::nullopt, k}; }
+};
+
+/// Hook interface implemented by the UMPU fabric (and by tracing tools).
+/// Default implementations are fully permissive.
+class CpuHooks {
+ public:
+  virtual ~CpuHooks() = default;
+
+  virtual WriteDecision on_write(std::uint16_t /*addr*/, std::uint8_t /*value*/, WriteKind) {
+    return WriteDecision::allow();
+  }
+  virtual ReadDecision on_read(std::uint16_t /*addr*/, ReadKind) { return {}; }
+  /// `target` is the destination word address; `ret_addr` the word address
+  /// the transfer would return to (calls/irq only).
+  virtual FlowDecision on_flow(FlowKind, std::uint32_t /*target*/, std::uint32_t /*ret_addr*/) {
+    return FlowDecision::normal();
+  }
+  /// Called with the PC of the instruction about to execute.
+  virtual FaultKind on_fetch(std::uint32_t /*pc*/) { return FaultKind::None; }
+  /// Called before an SPM self-programming write (Z holds the byte address).
+  virtual FaultKind on_spm(std::uint32_t /*z_byte_addr*/) { return FaultKind::None; }
+  /// Called after a protection fault has been raised (hardware exception
+  /// entry: the UMPU fabric switches to the trusted domain here).
+  virtual void on_fault(const FaultInfo& /*info*/) {}
+};
+
+}  // namespace harbor::avr

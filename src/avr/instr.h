@@ -1,0 +1,32 @@
+#pragma once
+// Decoded AVR instruction representation shared by the decoder, encoder,
+// executor, assembler, disassembler and the SFI rewriter.
+
+#include <cstdint>
+
+#include "avr/mnemonic.h"
+
+namespace harbor::avr {
+
+/// One decoded instruction. Fields are populated per addressing form; unused
+/// fields are zero. `k` carries signed relative offsets (RJMP/RCALL/BRBS/
+/// BRBC) in words; `k32` carries absolute word addresses (JMP/CALL) or
+/// absolute data addresses (LDS/STS); `imm` carries 8-bit immediates
+/// (LDI/CPI/...) and the 6-bit ADIW/SBIW constant.
+struct Instr {
+  Mnemonic op = Mnemonic::Invalid;
+  std::uint8_t d = 0;     ///< destination register index (0-31)
+  std::uint8_t r = 0;     ///< source register index (0-31)
+  std::uint8_t imm = 0;   ///< 8-bit immediate / ADIW constant
+  std::uint8_t a = 0;     ///< IO address (0-63)
+  std::uint8_t b = 0;     ///< bit number (0-7) / SREG bit for BSET/BCLR/BRBx
+  std::uint8_t q = 0;     ///< LDD/STD displacement (0-63)
+  std::int16_t k = 0;     ///< signed relative word offset
+  std::uint32_t k32 = 0;  ///< absolute word address (JMP/CALL) or data address (LDS/STS)
+
+  [[nodiscard]] int words() const { return opcode_words(op); }
+
+  friend bool operator==(const Instr&, const Instr&) = default;
+};
+
+}  // namespace harbor::avr

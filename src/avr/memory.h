@@ -1,0 +1,134 @@
+#pragma once
+// Flash (program) memory and the data address space (registers / IO / SRAM).
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace harbor::avr {
+
+/// Word-addressed program flash. The ATmega103 has 64K words (128 KB).
+class Flash {
+ public:
+  explicit Flash(std::size_t words) : words_(words, 0) {}
+
+  [[nodiscard]] std::uint16_t read_word(std::uint32_t waddr) const {
+    return waddr < words_.size() ? words_[waddr] : 0xffff;
+  }
+  void write_word(std::uint32_t waddr, std::uint16_t v) {
+    if (waddr < words_.size()) words_[waddr] = v;
+  }
+  /// Byte view used by LPM/ELPM (little-endian within a word).
+  [[nodiscard]] std::uint8_t read_byte(std::uint32_t baddr) const {
+    const std::uint16_t w = read_word(baddr >> 1);
+    return static_cast<std::uint8_t>((baddr & 1) ? (w >> 8) : (w & 0xff));
+  }
+  void load(std::span<const std::uint16_t> image, std::uint32_t at_word) {
+    for (std::size_t i = 0; i < image.size(); ++i) write_word(at_word + static_cast<std::uint32_t>(i), image[i]);
+  }
+  [[nodiscard]] std::size_t size_words() const { return words_.size(); }
+
+ private:
+  std::vector<std::uint16_t> words_;
+};
+
+/// The 64-port IO register file (data-space 0x20-0x5F). Ports have byte
+/// backing storage plus optional read/write intercepts so peripherals and
+/// the UMPU register file can attach behaviour.
+class Io {
+ public:
+  static constexpr std::uint8_t kPortCount = 64;
+
+  using ReadFn = std::function<std::uint8_t(std::uint8_t port)>;
+  using WriteFn = std::function<void(std::uint8_t port, std::uint8_t value)>;
+
+  [[nodiscard]] std::uint8_t read(std::uint8_t port) const {
+    if (port >= kPortCount) return 0;
+    if (read_fn_[port]) return read_fn_[port](port);
+    return backing_[port];
+  }
+  void write(std::uint8_t port, std::uint8_t v) {
+    if (port >= kPortCount) return;
+    if (write_fn_[port]) {
+      write_fn_[port](port, v);
+      return;
+    }
+    backing_[port] = v;
+  }
+
+  /// Raw backing access, bypassing intercepts (for peripherals themselves).
+  [[nodiscard]] std::uint8_t raw(std::uint8_t port) const { return backing_[port]; }
+  void set_raw(std::uint8_t port, std::uint8_t v) { backing_[port] = v; }
+
+  void on_read(std::uint8_t port, ReadFn fn) { read_fn_[port] = std::move(fn); }
+  void on_write(std::uint8_t port, WriteFn fn) { write_fn_[port] = std::move(fn); }
+
+ private:
+  std::array<std::uint8_t, kPortCount> backing_{};
+  std::array<ReadFn, kPortCount> read_fn_{};
+  std::array<WriteFn, kPortCount> write_fn_{};
+};
+
+/// The unified data address space: 32 registers at 0x00-0x1F, IO at
+/// 0x20-0x5F, SRAM from 0x60 up to `ram_end` inclusive (ATmega103: 0x0FFF).
+class DataSpace {
+ public:
+  static constexpr std::uint16_t kRegBase = 0x00;
+  static constexpr std::uint16_t kIoBase = 0x20;
+  static constexpr std::uint16_t kSramBase = 0x60;
+
+  explicit DataSpace(std::uint16_t ram_end)
+      : ram_end_(ram_end), sram_(static_cast<std::size_t>(ram_end) + 1 - kSramBase, 0) {}
+
+  [[nodiscard]] std::uint8_t reg(std::uint8_t i) const { return regs_[i & 31]; }
+  void set_reg(std::uint8_t i, std::uint8_t v) { regs_[i & 31] = v; }
+
+  /// 16-bit register-pair access (X = r26:27, Y = r28:29, Z = r30:31).
+  [[nodiscard]] std::uint16_t reg_pair(std::uint8_t lo) const {
+    return static_cast<std::uint16_t>(regs_[lo & 31] | (regs_[(lo + 1) & 31] << 8));
+  }
+  void set_reg_pair(std::uint8_t lo, std::uint16_t v) {
+    regs_[lo & 31] = static_cast<std::uint8_t>(v & 0xff);
+    regs_[(lo + 1) & 31] = static_cast<std::uint8_t>(v >> 8);
+  }
+
+  /// Full data-space read with register/IO/SRAM dispatch.
+  [[nodiscard]] std::uint8_t read(std::uint16_t addr) const {
+    if (addr < kIoBase) return regs_[addr];
+    if (addr < kSramBase) return io_.read(static_cast<std::uint8_t>(addr - kIoBase));
+    if (addr <= ram_end_) return sram_[addr - kSramBase];
+    return 0;
+  }
+  void write(std::uint16_t addr, std::uint8_t v) {
+    if (addr < kIoBase) {
+      regs_[addr] = v;
+    } else if (addr < kSramBase) {
+      io_.write(static_cast<std::uint8_t>(addr - kIoBase), v);
+    } else if (addr <= ram_end_) {
+      sram_[addr - kSramBase] = v;
+    }
+  }
+
+  /// SRAM-only raw access used by hardware units (memory-map lookups, safe
+  /// stack bus steals) that bypass the guarded CPU write path.
+  [[nodiscard]] std::uint8_t sram_raw(std::uint16_t addr) const {
+    return (addr >= kSramBase && addr <= ram_end_) ? sram_[addr - kSramBase] : 0;
+  }
+  void set_sram_raw(std::uint16_t addr, std::uint8_t v) {
+    if (addr >= kSramBase && addr <= ram_end_) sram_[addr - kSramBase] = v;
+  }
+
+  [[nodiscard]] Io& io() { return io_; }
+  [[nodiscard]] const Io& io() const { return io_; }
+  [[nodiscard]] std::uint16_t ram_end() const { return ram_end_; }
+
+ private:
+  std::uint16_t ram_end_;
+  std::array<std::uint8_t, 32> regs_{};
+  Io io_;
+  std::vector<std::uint8_t> sram_;
+};
+
+}  // namespace harbor::avr

@@ -1,0 +1,49 @@
+#include "avr/mnemonic.h"
+
+namespace harbor::avr {
+
+std::string_view mnemonic_name(Mnemonic m) {
+  using M = Mnemonic;
+  switch (m) {
+    case M::Add: return "add"; case M::Adc: return "adc"; case M::Adiw: return "adiw";
+    case M::Sub: return "sub"; case M::Subi: return "subi"; case M::Sbc: return "sbc";
+    case M::Sbci: return "sbci"; case M::Sbiw: return "sbiw"; case M::And: return "and";
+    case M::Andi: return "andi"; case M::Or: return "or"; case M::Ori: return "ori";
+    case M::Eor: return "eor"; case M::Com: return "com"; case M::Neg: return "neg";
+    case M::Inc: return "inc"; case M::Dec: return "dec"; case M::Ser: return "ser";
+    case M::Mul: return "mul"; case M::Muls: return "muls"; case M::Mulsu: return "mulsu";
+    case M::Fmul: return "fmul"; case M::Fmuls: return "fmuls"; case M::Fmulsu: return "fmulsu";
+    case M::Cp: return "cp"; case M::Cpc: return "cpc"; case M::Cpi: return "cpi";
+    case M::Cpse: return "cpse";
+    case M::Rjmp: return "rjmp"; case M::Ijmp: return "ijmp"; case M::Jmp: return "jmp";
+    case M::Rcall: return "rcall"; case M::Icall: return "icall"; case M::Call: return "call";
+    case M::Ret: return "ret"; case M::Reti: return "reti";
+    case M::Brbs: return "brbs"; case M::Brbc: return "brbc";
+    case M::Sbrc: return "sbrc"; case M::Sbrs: return "sbrs";
+    case M::Sbic: return "sbic"; case M::Sbis: return "sbis";
+    case M::Mov: return "mov"; case M::Movw: return "movw"; case M::Ldi: return "ldi";
+    case M::LdX: return "ld"; case M::LdXInc: return "ld"; case M::LdXDec: return "ld";
+    case M::LdYInc: return "ld"; case M::LdYDec: return "ld"; case M::LddY: return "ldd";
+    case M::LdZInc: return "ld"; case M::LdZDec: return "ld"; case M::LddZ: return "ldd";
+    case M::Lds: return "lds";
+    case M::StX: return "st"; case M::StXInc: return "st"; case M::StXDec: return "st";
+    case M::StYInc: return "st"; case M::StYDec: return "st"; case M::StdY: return "std";
+    case M::StZInc: return "st"; case M::StZDec: return "st"; case M::StdZ: return "std";
+    case M::Sts: return "sts";
+    case M::LpmR0: return "lpm"; case M::Lpm: return "lpm"; case M::LpmInc: return "lpm";
+    case M::ElpmR0: return "elpm"; case M::Elpm: return "elpm"; case M::ElpmInc: return "elpm";
+    case M::Spm: return "spm";
+    case M::In: return "in"; case M::Out: return "out";
+    case M::Push: return "push"; case M::Pop: return "pop";
+    case M::Sbi: return "sbi"; case M::Cbi: return "cbi";
+    case M::Lsr: return "lsr"; case M::Ror: return "ror"; case M::Asr: return "asr";
+    case M::Swap: return "swap"; case M::Bset: return "bset"; case M::Bclr: return "bclr";
+    case M::Bst: return "bst"; case M::Bld: return "bld";
+    case M::Nop: return "nop"; case M::Sleep: return "sleep"; case M::Wdr: return "wdr";
+    case M::Break: return "break";
+    case M::Invalid: return "<invalid>";
+  }
+  return "<invalid>";
+}
+
+}  // namespace harbor::avr

@@ -1,0 +1,109 @@
+#pragma once
+// AVR instruction mnemonics and static per-mnemonic properties.
+//
+// The set covers the classic 8-bit AVR ISA as implemented by the
+// ATmega103-class core the paper extends (plus MOVW/MUL-family members of
+// the enhanced core, which our assembler-authored runtime uses; the device
+// model can be configured to reject them — see avr::CoreFeatures).
+
+#include <cstdint>
+#include <string_view>
+
+namespace harbor::avr {
+
+enum class Mnemonic : std::uint8_t {
+  // Arithmetic / logic
+  Add, Adc, Adiw, Sub, Subi, Sbc, Sbci, Sbiw,
+  And, Andi, Or, Ori, Eor, Com, Neg, Inc, Dec, Ser,
+  Mul, Muls, Mulsu, Fmul, Fmuls, Fmulsu,
+  // Compare
+  Cp, Cpc, Cpi, Cpse,
+  // Branch / control
+  Rjmp, Ijmp, Jmp, Rcall, Icall, Call, Ret, Reti,
+  Brbs, Brbc, Sbrc, Sbrs, Sbic, Sbis,
+  // Data transfer
+  Mov, Movw, Ldi,
+  LdX, LdXInc, LdXDec, LdYInc, LdYDec, LddY, LdZInc, LdZDec, LddZ, Lds,
+  StX, StXInc, StXDec, StYInc, StYDec, StdY, StZInc, StZDec, StdZ, Sts,
+  LpmR0, Lpm, LpmInc, ElpmR0, Elpm, ElpmInc, Spm,
+  In, Out, Push, Pop,
+  // Bit and bit-test
+  Sbi, Cbi, Lsr, Ror, Asr, Swap, Bset, Bclr, Bst, Bld,
+  // MCU control
+  Nop, Sleep, Wdr, Break,
+  Invalid,
+};
+
+/// Number of 16-bit opcode words occupied by the instruction.
+constexpr int opcode_words(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::Jmp:
+    case Mnemonic::Call:
+    case Mnemonic::Lds:
+    case Mnemonic::Sts:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+/// Base cycle cost on an ATmega103-class core (16-bit PC). Control-transfer
+/// instructions with data-dependent timing (taken branches, skips) report
+/// their minimum here; the executor adds the dynamic part.
+constexpr int base_cycles(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::Adiw: case Mnemonic::Sbiw:
+    case Mnemonic::Mul: case Mnemonic::Muls: case Mnemonic::Mulsu:
+    case Mnemonic::Fmul: case Mnemonic::Fmuls: case Mnemonic::Fmulsu:
+    case Mnemonic::Sbi: case Mnemonic::Cbi:
+    case Mnemonic::LdX: case Mnemonic::LdXInc: case Mnemonic::LdXDec:
+    case Mnemonic::LdYInc: case Mnemonic::LdYDec: case Mnemonic::LddY:
+    case Mnemonic::LdZInc: case Mnemonic::LdZDec: case Mnemonic::LddZ:
+    case Mnemonic::Lds:
+    case Mnemonic::StX: case Mnemonic::StXInc: case Mnemonic::StXDec:
+    case Mnemonic::StYInc: case Mnemonic::StYDec: case Mnemonic::StdY:
+    case Mnemonic::StZInc: case Mnemonic::StZDec: case Mnemonic::StdZ:
+    case Mnemonic::Sts:
+    case Mnemonic::Push: case Mnemonic::Pop:
+    case Mnemonic::Ijmp: case Mnemonic::Rjmp:
+      return 2;
+    case Mnemonic::Jmp: case Mnemonic::Rcall: case Mnemonic::Icall:
+    case Mnemonic::LpmR0: case Mnemonic::Lpm: case Mnemonic::LpmInc:
+    case Mnemonic::ElpmR0: case Mnemonic::Elpm: case Mnemonic::ElpmInc:
+      return 3;
+    case Mnemonic::Call: case Mnemonic::Ret: case Mnemonic::Reti:
+      return 4;
+    case Mnemonic::Spm:
+      return 2;  // plus flash-programming wait, outside the core model
+    default:
+      return 1;
+  }
+}
+
+/// True for the instruction forms that write data memory (the forms the
+/// Harbor rewriter must sandbox and the UMPU MMC must intercept).
+constexpr bool is_data_store(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::StX: case Mnemonic::StXInc: case Mnemonic::StXDec:
+    case Mnemonic::StYInc: case Mnemonic::StYDec: case Mnemonic::StdY:
+    case Mnemonic::StZInc: case Mnemonic::StZDec: case Mnemonic::StdZ:
+    case Mnemonic::Sts:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True for call-class instructions (push a return address).
+constexpr bool is_call(Mnemonic m) {
+  return m == Mnemonic::Rcall || m == Mnemonic::Icall || m == Mnemonic::Call;
+}
+
+/// True for return-class instructions (pop a return address).
+constexpr bool is_return(Mnemonic m) {
+  return m == Mnemonic::Ret || m == Mnemonic::Reti;
+}
+
+std::string_view mnemonic_name(Mnemonic m);
+
+}  // namespace harbor::avr

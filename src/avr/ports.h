@@ -1,0 +1,77 @@
+#pragma once
+// IO-port assignments for the simulated SoC.
+//
+// Ports 0x00-0x17 are the UMPU configuration register file (Table 2 of the
+// paper, plus the safe-stack/jump-table/fault registers its units need).
+// Ports 0x18-0x1B are simulation devices (debug console, sim control).
+// Ports 0x21-0x24 are a minimal timer peripheral.
+// Ports 0x3B/0x3D/0x3E/0x3F are the architectural RAMPZ/SPL/SPH/SREG.
+
+#include <cstdint>
+
+namespace harbor::avr::ports {
+
+// --- UMPU register file (paper Table 2 + control-flow manager state) ---
+inline constexpr std::uint8_t kMemMapBaseLo = 0x00;  ///< mem_map_base
+inline constexpr std::uint8_t kMemMapBaseHi = 0x01;
+inline constexpr std::uint8_t kMemProtBotLo = 0x02;  ///< mem_prot_bot
+inline constexpr std::uint8_t kMemProtBotHi = 0x03;
+inline constexpr std::uint8_t kMemProtTopLo = 0x04;  ///< mem_prot_top
+inline constexpr std::uint8_t kMemProtTopHi = 0x05;
+inline constexpr std::uint8_t kMemMapConfig = 0x06;  ///< mem_map_config
+inline constexpr std::uint8_t kCurDomain = 0x07;     ///< current active domain
+inline constexpr std::uint8_t kSafeStackPtrLo = 0x08;
+inline constexpr std::uint8_t kSafeStackPtrHi = 0x09;
+inline constexpr std::uint8_t kSafeStackBndLo = 0x0a;
+inline constexpr std::uint8_t kSafeStackBndHi = 0x0b;
+inline constexpr std::uint8_t kStackBoundLo = 0x0c;
+inline constexpr std::uint8_t kStackBoundHi = 0x0d;
+inline constexpr std::uint8_t kJumpTableBaseLo = 0x0e;  ///< flash word address
+inline constexpr std::uint8_t kJumpTableBaseHi = 0x0f;
+inline constexpr std::uint8_t kJumpTableConfig = 0x10;
+inline constexpr std::uint8_t kUmpuCtl = 0x11;
+inline constexpr std::uint8_t kFaultKind = 0x12;
+inline constexpr std::uint8_t kFaultAddrLo = 0x13;
+inline constexpr std::uint8_t kFaultAddrHi = 0x14;
+
+/// mem_map_config layout: bits 2..0 = log2(block size in bytes),
+/// bit 3 = domain mode (0: two-domain 2-bit codes, 1: multi-domain 4-bit),
+/// bit 7 = memory-map checking enabled.
+inline constexpr std::uint8_t kMmCfgBlockShiftMask = 0x07;
+inline constexpr std::uint8_t kMmCfgMultiDomain = 0x08;
+inline constexpr std::uint8_t kMmCfgEnable = 0x80;
+
+/// jump_table_config layout: bits 2..0 = log2(entries per domain),
+/// bits 6..4 = number of untrusted domains - 1.
+inline constexpr std::uint8_t kJtCfgEntriesShiftMask = 0x07;
+inline constexpr std::uint8_t kJtCfgDomainShift = 4;
+
+/// umpu_ctl layout.
+inline constexpr std::uint8_t kCtlProtect = 0x01;     ///< master enable
+inline constexpr std::uint8_t kCtlSafeStack = 0x02;   ///< safe-stack redirection
+inline constexpr std::uint8_t kCtlDomainTrack = 0x04; ///< call/ret domain tracking
+
+// --- simulation devices ---
+inline constexpr std::uint8_t kDebugOut = 0x18;   ///< write: append byte to host console
+inline constexpr std::uint8_t kSimCtl = 0x19;     ///< write: halt with exit code
+inline constexpr std::uint8_t kDebugValLo = 0x1a; ///< scratch value visible to the host
+inline constexpr std::uint8_t kDebugValHi = 0x1b;
+
+// --- timer0 (minimal peripheral; kept below 0x20 so SBI/CBI/SBIC/SBIS work) ---
+inline constexpr std::uint8_t kTcnt0 = 0x15;  ///< counter value
+inline constexpr std::uint8_t kTccr0 = 0x16;  ///< prescaler select (0 = stopped)
+inline constexpr std::uint8_t kTimsk = 0x17;  ///< bit0: overflow interrupt enable
+inline constexpr std::uint8_t kTifr = 0x1c;   ///< bit0: overflow flag
+
+// --- radio (simple packet MAC: byte FIFO + commit, host collects) ---
+inline constexpr std::uint8_t kRadioData = 0x20;  ///< write: append byte to the TX frame
+inline constexpr std::uint8_t kRadioCtl = 0x21;   ///< write 1: commit frame; read: TX count (mod 256)
+
+/// Interrupt vector word addresses (2-word slots like real >8KB-flash AVRs).
+inline constexpr std::uint32_t kVecReset = 0x0000;
+inline constexpr std::uint32_t kVecTimer0Ovf = 0x0002;
+
+/// Trusted-domain identifier (paper: single trusted domain, code 111).
+inline constexpr std::uint8_t kTrustedDomain = 7;
+
+}  // namespace harbor::avr::ports

@@ -1,0 +1,47 @@
+#pragma once
+// AVR status register (SREG) model.
+
+#include <cstdint>
+
+namespace harbor::avr {
+
+/// SREG bit positions.
+enum class Flag : std::uint8_t { C = 0, Z = 1, N = 2, V = 3, S = 4, H = 5, T = 6, I = 7 };
+
+/// The AVR status register as individually addressable flags plus
+/// byte-packed access (the form visible at IO address 0x3F).
+struct SReg {
+  bool c = false;  ///< carry
+  bool z = false;  ///< zero
+  bool n = false;  ///< negative
+  bool v = false;  ///< two's-complement overflow
+  bool s = false;  ///< sign (n ^ v)
+  bool h = false;  ///< half carry
+  bool t = false;  ///< bit transfer
+  bool i = false;  ///< global interrupt enable
+
+  [[nodiscard]] constexpr std::uint8_t byte() const {
+    return static_cast<std::uint8_t>(
+        (c ? 0x01 : 0) | (z ? 0x02 : 0) | (n ? 0x04 : 0) | (v ? 0x08 : 0) |
+        (s ? 0x10 : 0) | (h ? 0x20 : 0) | (t ? 0x40 : 0) | (i ? 0x80 : 0));
+  }
+
+  constexpr void set_byte(std::uint8_t b) {
+    c = b & 0x01; z = b & 0x02; n = b & 0x04; v = b & 0x08;
+    s = b & 0x10; h = b & 0x20; t = b & 0x40; i = b & 0x80;
+  }
+
+  [[nodiscard]] constexpr bool flag(Flag f) const {
+    return (byte() >> static_cast<int>(f)) & 1;
+  }
+
+  constexpr void set_flag(Flag f, bool on) {
+    const std::uint8_t mask = static_cast<std::uint8_t>(1u << static_cast<int>(f));
+    set_byte(on ? (byte() | mask) : (byte() & ~mask));
+  }
+
+  /// Recompute S after N/V updates.
+  constexpr void update_sign() { s = n != v; }
+};
+
+}  // namespace harbor::avr

@@ -1,0 +1,45 @@
+#include "avr/vcd.h"
+
+#include <stdexcept>
+
+namespace harbor::avr {
+
+int VcdWriter::add_signal(const std::string& name, int width) {
+  if (signals_.size() >= 90) throw std::runtime_error("vcd: too many signals");
+  const char id = static_cast<char>('!' + signals_.size());
+  signals_.push_back({name, width, id});
+  return static_cast<int>(signals_.size()) - 1;
+}
+
+void VcdWriter::sample(std::uint64_t cycle, int signal, std::uint64_t value) {
+  const auto it = last_.find(signal);
+  if (it != last_.end() && it->second == value) return;
+  last_[signal] = value;
+  changes_.push_back({cycle, signal, value});
+}
+
+std::string VcdWriter::render(const std::string& module) const {
+  std::ostringstream os;
+  os << "$timescale 1ns $end\n$scope module " << module << " $end\n";
+  for (const Signal& s : signals_)
+    os << "$var wire " << s.width << " " << s.id << " " << s.name << " $end\n";
+  os << "$upscope $end\n$enddefinitions $end\n";
+  std::uint64_t t = ~0ull;
+  for (const Change& c : changes_) {
+    if (c.cycle != t) {
+      os << "#" << c.cycle << "\n";
+      t = c.cycle;
+    }
+    const Signal& s = signals_[static_cast<std::size_t>(c.signal)];
+    if (s.width == 1) {
+      os << (c.value ? '1' : '0') << s.id << "\n";
+    } else {
+      os << "b";
+      for (int bit = s.width - 1; bit >= 0; --bit) os << ((c.value >> bit) & 1);
+      os << " " << s.id << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace harbor::avr

@@ -1,0 +1,44 @@
+#pragma once
+// VCD (Value Change Dump) writer for the simulated core and the UMPU bus
+// signals — lets waveform viewers (GTKWave etc.) display exactly the
+// timing diagram of the paper's Fig. 3a from a live run.
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace harbor::avr {
+
+/// Minimal multi-signal VCD writer. Signals are registered up front; each
+/// `sample()` records changed values at the given cycle timestamp.
+class VcdWriter {
+ public:
+  /// Register a signal; returns its handle. `width` in bits.
+  int add_signal(const std::string& name, int width);
+
+  /// Record a value for the signal at `cycle` (deduplicated: unchanged
+  /// values are not re-emitted).
+  void sample(std::uint64_t cycle, int signal, std::uint64_t value);
+
+  /// Render the complete VCD document (header + change dump).
+  [[nodiscard]] std::string render(const std::string& module = "harbor") const;
+
+ private:
+  struct Signal {
+    std::string name;
+    int width;
+    char id;
+  };
+  struct Change {
+    std::uint64_t cycle;
+    int signal;
+    std::uint64_t value;
+  };
+  std::vector<Signal> signals_;
+  std::vector<Change> changes_;
+  std::map<int, std::uint64_t> last_;
+};
+
+}  // namespace harbor::avr

@@ -1,0 +1,76 @@
+#include "core/harbor.h"
+
+#include <sstream>
+
+namespace harbor {
+
+System::System(const SystemConfig& cfg) : kernel_(cfg.mode, cfg.layout) {}
+
+std::vector<sos::DispatchRecord> System::run_pending(int max_dispatches) {
+  auto log = kernel_.run_pending(max_dispatches);
+  for (const auto& rec : log) {
+    if (!rec.result.faulted) continue;
+    FaultReport r;
+    r.kind = rec.result.fault;
+    r.domain = rec.domain;
+    if (const auto* fab = kernel_.sys().fabric()) {
+      r.pc = fab->last_fault().pc;
+      r.addr = fab->last_fault().addr;
+      r.domain = fab->last_fault().domain;
+    }
+    last_fault_ = r;
+  }
+  return log;
+}
+
+std::string FaultReport::to_string() const {
+  std::ostringstream os;
+  os << "protection fault: " << avr::fault_kind_name(kind) << " in domain "
+     << static_cast<int>(domain);
+  if (pc) os << " at pc 0x" << std::hex << pc;
+  if (addr) os << " addr 0x" << std::hex << addr;
+  return os.str();
+}
+
+std::string System::domain_map() {
+  auto& tb = kernel_.sys();
+  const runtime::Layout& L = tb.layout();
+  const memmap::Config cfg = L.memmap_config();
+  std::ostringstream os;
+  os << "protected address space 0x" << std::hex << cfg.prot_bot << "..0x" << cfg.prot_top
+     << std::dec << ", " << cfg.block_size() << "-byte blocks\n";
+  // Walk the guest table and coalesce runs of identical ownership.
+  memmap::MemoryMap view(cfg);
+  const auto bytes = tb.guest_map_table();
+  view.load_table(bytes);
+  std::uint32_t run_start = 0;
+  auto describe = [&](std::uint32_t first, std::uint32_t count) {
+    const memmap::BlockPerm p = view.block(first);
+    os << "  0x" << std::hex << view.addr_of_block(first) << "..0x"
+       << view.addr_of_block(first) + count * cfg.block_size() << std::dec << "  ";
+    if (p == memmap::free_block()) {
+      os << "free / trusted\n";
+    } else if (p.owner == memmap::kTrustedDomain) {
+      os << "trusted segment\n";
+    } else {
+      os << "domain " << static_cast<int>(p.owner);
+      const auto* m = kernel_.module(p.owner);
+      if (m) os << " (" << m->name << ")";
+      os << "\n";
+    }
+  };
+  auto same_class = [&](std::uint32_t a, std::uint32_t b) {
+    const auto pa = view.block(a), pb = view.block(b);
+    return pa.owner == pb.owner &&
+           (pa == memmap::free_block()) == (pb == memmap::free_block());
+  };
+  for (std::uint32_t b = 1; b <= view.block_count(); ++b) {
+    if (b == view.block_count() || !same_class(run_start, b)) {
+      describe(run_start, b - run_start);
+      run_start = b;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace harbor

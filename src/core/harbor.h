@@ -1,0 +1,90 @@
+#pragma once
+// Harbor: coarse-grained memory protection for tiny embedded processors.
+//
+// Public façade over the full reproduction stack:
+//
+//   harbor::System sys({harbor::ProtectionMode::Umpu});
+//   auto blink = sys.load_module(harbor::sos::modules::blink());
+//   sys.post(blink, harbor::sos::msg::kTimer);
+//   sys.run_pending();
+//   if (auto f = sys.last_fault()) { ... }
+//
+// A System owns a simulated ATmega103-class device, the generated trusted
+// runtime (memory-map library + allocator + checker stubs), the protection
+// machinery for the selected mode (UMPU hardware fabric, SFI binary
+// rewriting + verification, or none), and a mini-SOS kernel that loads
+// modules into protection domains and dispatches messages to them.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sos/kernel.h"
+#include "sos/modules.h"
+
+namespace harbor {
+
+/// Which of the paper's two systems protects the node (or neither).
+using ProtectionMode = runtime::Mode;
+
+struct SystemConfig {
+  ProtectionMode mode = ProtectionMode::Umpu;
+  runtime::Layout layout{};
+};
+
+/// A latched protection fault, with human-readable context.
+struct FaultReport {
+  avr::FaultKind kind = avr::FaultKind::None;
+  std::uint8_t domain = 0;    ///< domain that was executing
+  std::uint32_t pc = 0;       ///< word address of the faulting instruction
+  std::uint16_t addr = 0;     ///< offending data address / target
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& cfg = {});
+
+  // --- module lifecycle & messaging (mini-SOS) ---
+  memmap::DomainId load_module(const sos::ModuleImage& image,
+                               std::optional<memmap::DomainId> domain = std::nullopt) {
+    return kernel_.load(image, domain);
+  }
+  void post(memmap::DomainId dst, std::uint8_t msg, std::uint16_t arg = 0) {
+    kernel_.post(dst, msg, arg);
+  }
+  std::vector<sos::DispatchRecord> run_pending(int max_dispatches = 256);
+
+  // --- kernel services from the host side ---
+  runtime::CallResult malloc(std::uint16_t size, memmap::DomainId owner) {
+    return kernel_.sys().malloc(size, memmap::kTrustedDomain, owner);
+  }
+  std::uint32_t subscribe(memmap::DomainId domain, std::uint32_t slot) {
+    return kernel_.subscribe(domain, slot);
+  }
+
+  // --- observation ---
+  [[nodiscard]] const std::optional<FaultReport>& last_fault() const { return last_fault_; }
+  [[nodiscard]] std::uint64_t cycles() {
+    return kernel_.sys().device().cpu().cycle_count();
+  }
+  [[nodiscard]] const std::string& console() { return kernel_.sys().device().console(); }
+
+  /// Owner / layout description of the protected address space, rendered
+  /// from the live guest memory map (the paper's Fig. 2 view).
+  [[nodiscard]] std::string domain_map();
+
+  // --- escape hatches into the stack ---
+  [[nodiscard]] sos::Kernel& kernel() { return kernel_; }
+  [[nodiscard]] runtime::Testbed& driver() { return kernel_.sys(); }
+  [[nodiscard]] avr::Device& device() { return kernel_.sys().device(); }
+  [[nodiscard]] umpu::Fabric* fabric() { return kernel_.sys().fabric(); }
+  [[nodiscard]] ProtectionMode mode() const { return kernel_.mode(); }
+
+ private:
+  sos::Kernel kernel_;
+  std::optional<FaultReport> last_fault_;
+};
+
+}  // namespace harbor

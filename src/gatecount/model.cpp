@@ -1,0 +1,121 @@
+#include "gatecount/model.h"
+
+namespace harbor::gatecount {
+
+// The paper reports Xilinx ISE 8.2i "equivalent gate counts", which are
+// derived from LUT utilization and systematically exceed NAND2-equivalent
+// structural estimates for random logic. We therefore report raw structural
+// GE per block and apply a single documented FPGA-mapping factor when
+// comparing against Table 6 (see bench_table6_gatecount).
+double fpga_mapping_factor() { return 1.6; }
+
+UnitModel mmc_model(const HwConfig& cfg) {
+  UnitModel u{"MMC", {}};
+  const int A = cfg.addr_bits;
+  // Paper Table 2 register file.
+  u.blocks.push_back({"mem_map_base register", 1, A, ge::kDff});
+  u.blocks.push_back({"mem_prot_bot register", 1, A, ge::kDff});
+  u.blocks.push_back({"mem_prot_top register", 1, A, ge::kDff});
+  if (cfg.runtime_configurable)
+    u.blocks.push_back({"mem_map_config register", 1, 8, ge::kDff});
+  u.blocks.push_back({"fault cause/address latch", 1, A + 4, ge::kDff});
+  // Write-transaction capture while the core is stalled (Fig. 3a).
+  u.blocks.push_back({"write addr/data latch", 1, A + 8, ge::kDff});
+  u.blocks.push_back({"translated table-address latch", 1, A, ge::kDff});
+  // Fig. 3b translation pipeline.
+  u.blocks.push_back({"offset subtractor (addr - prot_bot)", 1, A, ge::kFullAdder});
+  if (cfg.runtime_configurable) {
+    // "a barrel shifter to support arbitrary bit-shifts in a single clock
+    // cycle" — 3 mux stages for shifts of 1..7 plus the nibble/bit select.
+    u.blocks.push_back({"barrel shifter (3 stages)", 3, A, ge::kMux2});
+    u.blocks.push_back({"code slot select (variable)", 2, 8, ge::kMux2});
+  } else {
+    // Fixed block size: shifts become wiring; only the nibble select stays.
+    u.blocks.push_back({"code slot select (fixed)", 1, 8, ge::kMux2});
+  }
+  u.blocks.push_back({"table index adder (base + offset)", 1, A, ge::kFullAdder});
+  // Checks.
+  u.blocks.push_back({"protected-range comparators", 2, A, ge::kCmpBit});
+  u.blocks.push_back({"stack-bound comparator", 1, A, ge::kCmpBit});
+  u.blocks.push_back({"owner/domain equality", 1, cfg.domain_bits + 2, ge::kEqBit});
+  // Bus steal and control.
+  u.blocks.push_back({"address-bus steal mux", 1, A, ge::kMux2});
+  u.blocks.push_back({"data-bus mux / write-enable gating", 1, 12, ge::kMux2});
+  u.blocks.push_back({"stall + grant/deny control", 1, 60, ge::kAndOr});
+  return u;
+}
+
+UnitModel safe_stack_model(const HwConfig& cfg) {
+  UnitModel u{"Safe Stack", {}};
+  const int A = cfg.addr_bits;
+  u.blocks.push_back({"safe_stack_ptr register", 1, A, ge::kDffEn});
+  u.blocks.push_back({"safe_stack_base register", 1, A, ge::kDff});
+  u.blocks.push_back({"safe_stack_bound register", 1, A, ge::kDff});
+  u.blocks.push_back({"pointer inc/dec unit", 1, A, ge::kFullAdder});
+  u.blocks.push_back({"overflow comparator", 1, A, ge::kCmpBit});
+  u.blocks.push_back({"underflow comparator", 1, A, ge::kCmpBit});
+  // Bus steal (paper: "simply takes over the address bus").
+  u.blocks.push_back({"address-bus steal mux", 1, A, ge::kMux2});
+  u.blocks.push_back({"data-bus mux", 1, 8, ge::kMux2});
+  // Cross-domain frame engine: 5 bytes at one byte per cycle (Table 3).
+  u.blocks.push_back({"frame sequencer state", 1, 3, ge::kDff});
+  u.blocks.push_back({"frame sequencer next-state/output", 1, 56, ge::kAndOr});
+  u.blocks.push_back({"frame byte select mux (ret/bound/marker)", 2, 8, ge::kMux2});
+  u.blocks.push_back({"unwind value latches (ret addr + bound)", 1, 2 * A, ge::kDff});
+  u.blocks.push_back({"marker detect / frame-kind decision", 1, 12, ge::kAndOr});
+  return u;
+}
+
+UnitModel domain_tracker_model(const HwConfig& cfg) {
+  UnitModel u{"Domain Tracker", {}};
+  const int A = cfg.addr_bits;
+  u.blocks.push_back({"current-domain register", 1, cfg.domain_bits, ge::kDffEn});
+  u.blocks.push_back({"previous-domain latch", 1, cfg.domain_bits, ge::kDff});
+  u.blocks.push_back({"jump_table_base register", 1, A, ge::kDff});
+  if (cfg.runtime_configurable)
+    u.blocks.push_back({"jump_table_config register", 1, 8, ge::kDff});
+  // "checked by a simple compare operation to the base address" + the
+  // deferred upper-bound check via the quotient (paper §3.2).
+  u.blocks.push_back({"jump-table window subtract/compare", 1, A, ge::kCmpBit});
+  u.blocks.push_back({"domain-id extract (power-of-2 divide)", 1, 8, ge::kAndOr});
+  u.blocks.push_back({"domain-count bound check", 1, cfg.domain_bits, ge::kCmpBit});
+  u.blocks.push_back({"call/ret steering control", 1, 20, ge::kAndOr});
+  return u;
+}
+
+UnitModel fetch_decoder_delta_model(const HwConfig&) {
+  UnitModel u{"Fetch Decoder (delta)", {}};
+  // Extensions to the existing decoder: recognize call/ret classes for the
+  // cross-domain state machine and route the stall request.
+  u.blocks.push_back({"call/ret class decode", 1, 24, ge::kAndOr});
+  u.blocks.push_back({"stall-request routing", 1, 14, ge::kAndOr});
+  return u;
+}
+
+UnitModel integration_glue_model(const HwConfig& cfg) {
+  UnitModel u{"Core integration glue", {}};
+  const int A = cfg.addr_bits;
+  // What the extended core needs around the dedicated units: arbitrating
+  // three address-bus masters (core, MMC, safe stack), distributing the
+  // stall, exposing the unit registers on the IO bus, and the exception
+  // entry path.
+  u.blocks.push_back({"3-way address-bus arbitration", 2, A, ge::kMux2});
+  u.blocks.push_back({"data-bus arbitration", 2, 8, ge::kMux2});
+  u.blocks.push_back({"IO-bus decode for unit registers", 1, 22 * 2, ge::kAndOr});
+  u.blocks.push_back({"IO read-back mux", 1, 8 * 5, ge::kMux2});
+  u.blocks.push_back({"stall distribution / clock gating", 1, 48, ge::kAndOr});
+  u.blocks.push_back({"exception entry sequencing", 1, 64, ge::kAndOr});
+  u.blocks.push_back({"trusted-domain write-protect on IO", 1, 24, ge::kAndOr});
+  return u;
+}
+
+int modeled_core_extension(const HwConfig& cfg) {
+  const double mapped =
+      (mmc_model(cfg).total() + safe_stack_model(cfg).total() +
+       domain_tracker_model(cfg).total() + fetch_decoder_delta_model(cfg).total() +
+       integration_glue_model(cfg).total()) *
+      fpga_mapping_factor();
+  return PaperTable6::kCoreOrig + static_cast<int>(mapped + 0.5);
+}
+
+}  // namespace harbor::gatecount

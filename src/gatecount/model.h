@@ -1,0 +1,90 @@
+#pragma once
+// Structural gate-count model of the UMPU hardware extensions (paper
+// Table 6 substitution — we cannot run Xilinx ISE, see DESIGN.md §2).
+//
+// Each unit is described as a netlist of primitive blocks (flip-flops,
+// adders, comparators, multiplexers, barrel-shifter stages, FSM state
+// logic) with standard NAND2-gate-equivalent costs. The model reproduces
+// the paper's structural claims: "Most of the additions to the core area
+// are in the memory map decoder that maintains a barrel shifter to support
+// arbitrary bit-shifts in a single clock cycle", and the conclusion's
+// fixed-configuration ablation ("resource utilization ... can be further
+// reduced by synthesizing hardware units that are pre-configured for a
+// particular block size and number of protection domains").
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace harbor::gatecount {
+
+/// NAND2-equivalent costs of primitive blocks (typical standard-cell
+/// figures used for gate-equivalent estimation).
+namespace ge {
+inline constexpr double kDff = 6.0;          ///< D flip-flop with reset
+inline constexpr double kDffEn = 8.0;        ///< + clock enable
+inline constexpr double kFullAdder = 6.5;    ///< sum + carry
+inline constexpr double kMux2 = 3.0;         ///< 2:1, per bit
+inline constexpr double kCmpBit = 3.5;       ///< magnitude comparator slice
+inline constexpr double kEqBit = 2.0;        ///< equality slice (xnor + and)
+inline constexpr double kAndOr = 1.5;        ///< misc random logic, per term
+}  // namespace ge
+
+/// One row of a unit's netlist: `count` instances of a `width`-bit block.
+struct Block {
+  std::string name;
+  int count = 1;
+  int width = 1;
+  double unit_ge = 1.0;
+
+  [[nodiscard]] double total() const { return count * width * unit_ge; }
+};
+
+struct UnitModel {
+  std::string name;
+  std::vector<Block> blocks;
+
+  [[nodiscard]] double total() const {
+    double t = 0;
+    for (const Block& b : blocks) t += b.total();
+    return t;
+  }
+  [[nodiscard]] int total_rounded() const { return static_cast<int>(total() + 0.5); }
+};
+
+/// Configuration knobs mirrored from mem_map_config.
+struct HwConfig {
+  bool runtime_configurable = true;  ///< barrel shifter + config registers
+  int addr_bits = 16;
+  int domain_bits = 3;
+  int jt_domains = 8;
+};
+
+/// Xilinx ISE "equivalent gates" exceed NAND2 structural estimates for
+/// random logic; this documented factor converts between the two scales.
+double fpga_mapping_factor();
+
+UnitModel mmc_model(const HwConfig& cfg = {});
+UnitModel safe_stack_model(const HwConfig& cfg = {});
+UnitModel domain_tracker_model(const HwConfig& cfg = {});
+UnitModel fetch_decoder_delta_model(const HwConfig& cfg = {});
+/// Bus arbitration / stall distribution glue that the extended core needs
+/// beyond the dedicated units.
+UnitModel integration_glue_model(const HwConfig& cfg = {});
+
+/// Paper Table 6 reference values.
+struct PaperTable6 {
+  static constexpr int kCoreOrig = 16419;
+  static constexpr int kCoreExt = 22498;
+  static constexpr int kFetchOrig = 6685;
+  static constexpr int kFetchExt = 6783;
+  static constexpr int kMmc = 2284;
+  static constexpr int kSafeStack = 1749;
+  static constexpr int kDomainTracker = 541;
+};
+
+/// Modeled extended-core total: the paper's original core plus our modeled
+/// additions.
+int modeled_core_extension(const HwConfig& cfg = {});
+
+}  // namespace harbor::gatecount

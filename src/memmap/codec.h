@@ -1,0 +1,65 @@
+#pragma once
+// Permission-code packing exactly as the paper's Table 1:
+//
+//   1111  Free or Start of Trusted Segment
+//   1110  Later portion of Trusted Segment
+//   xxx1  Start of Domain (0-6) Segment
+//   xxx0  Later portion of Domain (0-6) Segment
+//
+// i.e. a 4-bit code is (owner << 1) | start, with owner 7 = trusted/free.
+// Two-domain mode uses 2-bit codes: (owner_bit << 1) | start where
+// owner_bit 1 = trusted/free, 0 = the single user domain (which carries
+// domain id 0 through the rest of the system).
+
+#include <cstdint>
+
+#include "memmap/config.h"
+
+namespace harbor::memmap {
+
+/// Decoded per-block permission.
+struct BlockPerm {
+  DomainId owner = kTrustedDomain;  ///< 0-6 user domains, 7 trusted/free
+  bool start = true;                ///< first block of a logical segment
+
+  friend bool operator==(const BlockPerm&, const BlockPerm&) = default;
+};
+
+/// The code for a free block (trusted + start, per Table 1).
+[[nodiscard]] constexpr BlockPerm free_block() { return BlockPerm{kTrustedDomain, true}; }
+
+/// Encode a permission to its n-bit code.
+[[nodiscard]] constexpr std::uint8_t encode_perm(const BlockPerm& p, DomainMode mode) {
+  if (mode == DomainMode::MultiDomain)
+    return static_cast<std::uint8_t>(((p.owner & 0x7) << 1) | (p.start ? 1 : 0));
+  const std::uint8_t owner_bit = p.owner == kTrustedDomain ? 1 : 0;
+  return static_cast<std::uint8_t>((owner_bit << 1) | (p.start ? 1 : 0));
+}
+
+/// Decode an n-bit code.
+[[nodiscard]] constexpr BlockPerm decode_perm(std::uint8_t code, DomainMode mode) {
+  if (mode == DomainMode::MultiDomain)
+    return BlockPerm{static_cast<DomainId>((code >> 1) & 0x7), (code & 1) != 0};
+  return BlockPerm{(code & 0x2) ? kTrustedDomain : static_cast<DomainId>(0), (code & 1) != 0};
+}
+
+/// Location of one block's code inside the packed table (Fig. 3b of the
+/// paper: byte offset plus a shift within the byte).
+struct CodeSlot {
+  std::uint32_t byte_offset = 0;
+  std::uint8_t shift = 0;  ///< bit position of the code's LSB
+  std::uint8_t mask = 0;   ///< code mask at that position
+};
+
+[[nodiscard]] constexpr CodeSlot code_slot(std::uint32_t block_index, DomainMode mode) {
+  if (mode == DomainMode::MultiDomain) {
+    // Two blocks per byte; even block in the low nibble.
+    return CodeSlot{block_index >> 1, static_cast<std::uint8_t>((block_index & 1) * 4),
+                    static_cast<std::uint8_t>(0x0f << ((block_index & 1) * 4))};
+  }
+  // Four blocks per byte, 2 bits each.
+  const std::uint8_t sh = static_cast<std::uint8_t>((block_index & 3) * 2);
+  return CodeSlot{block_index >> 2, sh, static_cast<std::uint8_t>(0x03 << sh)};
+}
+
+}  // namespace harbor::memmap

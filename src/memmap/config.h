@@ -1,0 +1,74 @@
+#pragma once
+// Memory-map geometry: the paper's mem_map_config / mem_prot_bot /
+// mem_prot_top / mem_map_base register contents in struct form.
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace harbor::memmap {
+
+/// Domain identifiers. 0-6 are untrusted protection domains; 7 is the
+/// single trusted domain (paper: "one single trusted domain in the system
+/// that is allowed to access all memory"). Free memory is encoded as
+/// trusted-owned start blocks (Table 1: 1111 = "Free or Start of Trusted").
+using DomainId = std::uint8_t;
+inline constexpr DomainId kTrustedDomain = 7;
+
+/// Permission-code width. Two-domain mode packs 4 blocks per table byte
+/// (2-bit codes: owner bit + start bit); multi-domain packs 2 blocks per
+/// byte (4-bit codes: 3-bit owner + start bit).
+enum class DomainMode : std::uint8_t { TwoDomain, MultiDomain };
+
+struct Config {
+  std::uint16_t prot_bot = 0x0060;   ///< lower bound of protected address space
+  std::uint16_t prot_top = 0x1000;   ///< upper bound (exclusive)
+  std::uint16_t map_base = 0;        ///< data address of the permissions table
+  std::uint8_t block_shift = 3;      ///< log2(block size in bytes); paper uses 8-byte blocks
+  DomainMode mode = DomainMode::MultiDomain;
+
+  [[nodiscard]] std::uint16_t block_size() const {
+    return static_cast<std::uint16_t>(1u << block_shift);
+  }
+  [[nodiscard]] int bits_per_block() const { return mode == DomainMode::MultiDomain ? 4 : 2; }
+  [[nodiscard]] int blocks_per_byte() const { return 8 / bits_per_block(); }
+
+  [[nodiscard]] std::uint32_t protected_bytes() const {
+    return prot_top > prot_bot ? static_cast<std::uint32_t>(prot_top - prot_bot) : 0;
+  }
+  [[nodiscard]] std::uint32_t block_count() const {
+    return (protected_bytes() + block_size() - 1) >> block_shift;
+  }
+  /// Size of the permissions table in bytes (paper §5.2: 256 B for
+  /// multi-domain over the full 4 KB ATmega103 data space at 8-byte blocks).
+  [[nodiscard]] std::uint32_t table_bytes() const {
+    const std::uint32_t bpb = static_cast<std::uint32_t>(blocks_per_byte());
+    return (block_count() + bpb - 1) / bpb;
+  }
+
+  void validate() const {
+    if (block_shift > 7) throw std::invalid_argument("memmap: block_shift > 7");
+    if (prot_top <= prot_bot) throw std::invalid_argument("memmap: empty protected range");
+    if ((prot_bot & (block_size() - 1)) != 0)
+      throw std::invalid_argument("memmap: prot_bot not block aligned");
+  }
+
+  /// Pack into the paper's mem_map_config register byte.
+  [[nodiscard]] std::uint8_t config_register() const {
+    std::uint8_t v = static_cast<std::uint8_t>(block_shift & 0x07);
+    if (mode == DomainMode::MultiDomain) v |= 0x08;
+    v |= 0x80;  // enable
+    return v;
+  }
+  static Config from_registers(std::uint8_t cfg, std::uint16_t bot, std::uint16_t top,
+                               std::uint16_t base) {
+    Config c;
+    c.block_shift = cfg & 0x07;
+    c.mode = (cfg & 0x08) ? DomainMode::MultiDomain : DomainMode::TwoDomain;
+    c.prot_bot = bot;
+    c.prot_top = top;
+    c.map_base = base;
+    return c;
+  }
+};
+
+}  // namespace harbor::memmap

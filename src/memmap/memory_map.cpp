@@ -1,0 +1,101 @@
+#include "memmap/memory_map.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace harbor::memmap {
+
+MemoryMap::MemoryMap(const Config& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  const std::uint8_t free_byte =
+      cfg_.mode == DomainMode::MultiDomain
+          ? static_cast<std::uint8_t>(encode_perm(free_block(), cfg_.mode) * 0x11)
+          : static_cast<std::uint8_t>(encode_perm(free_block(), cfg_.mode) * 0x55);
+  table_.assign(cfg_.table_bytes(), free_byte);
+}
+
+Translation MemoryMap::translate(std::uint16_t addr) const {
+  if (!covers(addr)) throw std::out_of_range("memmap: address outside protected range");
+  Translation t;
+  t.offset = static_cast<std::uint32_t>(addr - cfg_.prot_bot);
+  t.block_index = t.offset >> cfg_.block_shift;
+  t.slot = code_slot(t.block_index, cfg_.mode);
+  t.table_addr = static_cast<std::uint16_t>(cfg_.map_base + t.slot.byte_offset);
+  return t;
+}
+
+BlockPerm MemoryMap::block(std::uint32_t block_index) const {
+  if (block_index >= block_count()) throw std::out_of_range("memmap: block index");
+  const CodeSlot s = code_slot(block_index, cfg_.mode);
+  const std::uint8_t code =
+      static_cast<std::uint8_t>((table_[s.byte_offset] & s.mask) >> s.shift);
+  return decode_perm(code, cfg_.mode);
+}
+
+void MemoryMap::set_block(std::uint32_t block_index, BlockPerm perm) {
+  if (block_index >= block_count()) throw std::out_of_range("memmap: block index");
+  const CodeSlot s = code_slot(block_index, cfg_.mode);
+  const std::uint8_t code = encode_perm(perm, cfg_.mode);
+  table_[s.byte_offset] = static_cast<std::uint8_t>(
+      (table_[s.byte_offset] & ~s.mask) | (code << s.shift));
+}
+
+void MemoryMap::set_segment(std::uint32_t first_block, std::uint32_t nblocks, DomainId domain) {
+  if (nblocks == 0) return;
+  if (first_block + nblocks > block_count())
+    throw std::out_of_range("memmap: segment beyond protected range");
+  set_block(first_block, BlockPerm{domain, true});
+  for (std::uint32_t i = 1; i < nblocks; ++i)
+    set_block(first_block + i, BlockPerm{domain, false});
+}
+
+std::optional<std::uint32_t> MemoryMap::segment_start(std::uint32_t block_index) const {
+  // A free block (trusted + start) is not part of any segment.
+  const BlockPerm p = block(block_index);
+  if (p == free_block()) return std::nullopt;
+  std::uint32_t i = block_index;
+  while (!block(i).start) {
+    if (i == 0) return std::nullopt;  // malformed table
+    --i;
+  }
+  return i;
+}
+
+std::uint32_t MemoryMap::segment_length(std::uint32_t first_block) const {
+  const BlockPerm head = block(first_block);
+  if (!head.start) return 0;
+  std::uint32_t n = 1;
+  while (first_block + n < block_count()) {
+    const BlockPerm p = block(first_block + n);
+    if (p.start || p.owner != head.owner) break;
+    ++n;
+  }
+  return n;
+}
+
+bool MemoryMap::free_segment(std::uint32_t first_block, DomainId domain) {
+  const BlockPerm head = block(first_block);
+  if (!head.start || head == free_block()) return false;
+  if (domain != kTrustedDomain && head.owner != domain) return false;
+  const std::uint32_t n = segment_length(first_block);
+  for (std::uint32_t i = 0; i < n; ++i) set_block(first_block + i, free_block());
+  return true;
+}
+
+bool MemoryMap::change_owner(std::uint32_t first_block, DomainId from, DomainId to) {
+  const BlockPerm head = block(first_block);
+  if (!head.start || head == free_block()) return false;
+  if (from != kTrustedDomain && head.owner != from) return false;
+  const std::uint32_t n = segment_length(first_block);
+  set_block(first_block, BlockPerm{to, true});
+  for (std::uint32_t i = 1; i < n; ++i) set_block(first_block + i, BlockPerm{to, false});
+  return true;
+}
+
+void MemoryMap::load_table(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != table_.size())
+    throw std::invalid_argument("memmap: table size mismatch");
+  std::copy(bytes.begin(), bytes.end(), table_.begin());
+}
+
+}  // namespace harbor::memmap

@@ -1,0 +1,93 @@
+#pragma once
+// Host-side reference model of the paper's Memory Map data structure.
+//
+// The same packed byte layout lives in guest SRAM (written by the guest
+// runtime library and read by the UMPU MMC); this model is the executable
+// specification: differential tests compare the guest table bytes against
+// this model after randomized operation sequences.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "memmap/codec.h"
+#include "memmap/config.h"
+
+namespace harbor::memmap {
+
+/// Result of the MMC address-translation pipeline (paper Fig. 3b).
+struct Translation {
+  std::uint32_t offset = 0;       ///< write address - mem_prot_bot
+  std::uint32_t block_index = 0;  ///< offset >> block_shift
+  CodeSlot slot;                  ///< byte offset + shift into the table
+  std::uint16_t table_addr = 0;   ///< map_base + slot.byte_offset
+};
+
+class MemoryMap {
+ public:
+  explicit MemoryMap(const Config& cfg);
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+  /// True if `addr` falls inside the protected range [prot_bot, prot_top).
+  [[nodiscard]] bool covers(std::uint16_t addr) const {
+    return addr >= cfg_.prot_bot && addr < cfg_.prot_top;
+  }
+
+  /// The MMC translation pipeline for a covered address.
+  [[nodiscard]] Translation translate(std::uint16_t addr) const;
+
+  // --- block-level access ---
+  [[nodiscard]] BlockPerm block(std::uint32_t block_index) const;
+  void set_block(std::uint32_t block_index, BlockPerm perm);
+  [[nodiscard]] std::uint32_t block_count() const { return cfg_.block_count(); }
+
+  // --- address-level queries ---
+  [[nodiscard]] BlockPerm perm_at(std::uint16_t addr) const {
+    return block(translate(addr).block_index);
+  }
+  [[nodiscard]] DomainId owner_of(std::uint16_t addr) const { return perm_at(addr).owner; }
+
+  /// The protection predicate the MMC enforces: the trusted domain may
+  /// write anywhere; others only into blocks they own.
+  [[nodiscard]] bool can_write(DomainId domain, std::uint16_t addr) const {
+    if (!covers(addr)) return true;  // outside the map's jurisdiction
+    if (domain == kTrustedDomain) return true;
+    return owner_of(addr) == domain;
+  }
+
+  // --- segment operations (used by the allocator model) ---
+  /// Mark `nblocks` blocks starting at `first_block` as one segment owned
+  /// by `domain` (start flag on the first block only).
+  void set_segment(std::uint32_t first_block, std::uint32_t nblocks, DomainId domain);
+
+  /// Find the first block of the segment containing `block_index` by
+  /// scanning back to a start flag. Returns nullopt if the block is free.
+  [[nodiscard]] std::optional<std::uint32_t> segment_start(std::uint32_t block_index) const;
+
+  /// Number of blocks in the segment starting at `first_block` (start block
+  /// plus following later-portion blocks with the same owner).
+  [[nodiscard]] std::uint32_t segment_length(std::uint32_t first_block) const;
+
+  /// Mark a whole segment free. Returns false (and changes nothing) unless
+  /// `domain` owns it or is trusted.
+  bool free_segment(std::uint32_t first_block, DomainId domain);
+
+  /// Transfer segment ownership (paper: change_own). Same ownership rule.
+  bool change_owner(std::uint32_t first_block, DomainId from, DomainId to);
+
+  /// Raw packed table (what lives in guest SRAM at mem_map_base).
+  [[nodiscard]] std::span<const std::uint8_t> table() const { return table_; }
+  void load_table(std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] std::uint16_t addr_of_block(std::uint32_t block_index) const {
+    return static_cast<std::uint16_t>(cfg_.prot_bot + (block_index << cfg_.block_shift));
+  }
+
+ private:
+  Config cfg_;
+  std::vector<std::uint8_t> table_;
+};
+
+}  // namespace harbor::memmap

@@ -1,0 +1,133 @@
+#include "runtime/heap_model.h"
+
+namespace harbor::runtime {
+
+using memmap::BlockPerm;
+using memmap::DomainId;
+using memmap::free_block;
+using memmap::kTrustedDomain;
+
+HeapModel::HeapModel(const memmap::Config& cfg, std::uint32_t first_block,
+                     std::uint32_t block_count, bool ownership_checks)
+    : map_(cfg), first_(first_block), end_(first_block + block_count),
+      checks_(ownership_checks) {
+  if (!checks_) {
+    fl_head_ = map_.addr_of_block(first_);
+    fl_size_[fl_head_] = static_cast<std::uint16_t>(block_count << cfg.block_shift);
+    fl_next_[fl_head_] = 0;
+  }
+}
+
+std::uint16_t HeapModel::malloc(std::uint16_t size, DomainId caller) {
+  if (!checks_) {
+    // Free-list baseline, operation-for-operation with the guest code.
+    if (size == 0) return 0;
+    std::uint16_t n = static_cast<std::uint16_t>((size + 3u) & ~1u);
+    if (n < 6) n = 6;
+    std::uint16_t prev = 0;  // 0 = head
+    std::uint16_t cur = fl_head_;
+    while (cur != 0) {
+      const std::uint16_t sz = fl_size_.at(cur);
+      if (sz >= n) {
+        const std::uint16_t rem = static_cast<std::uint16_t>(sz - n);
+        std::uint16_t replacement;
+        if (rem >= 6) {
+          fl_size_[cur] = n;
+          const std::uint16_t nc = static_cast<std::uint16_t>(cur + n);
+          fl_size_[nc] = rem;
+          fl_next_[nc] = fl_next_.at(cur);
+          replacement = nc;
+        } else {
+          replacement = fl_next_.at(cur);
+        }
+        if (prev == 0) fl_head_ = replacement;
+        else fl_next_[prev] = replacement;
+        fl_next_.erase(cur);
+        return static_cast<std::uint16_t>(cur + 2);
+      }
+      prev = cur;
+      cur = fl_next_.at(cur);
+    }
+    return 0;
+  }
+  const std::uint32_t bs = map_.config().block_size();
+  const std::uint32_t nblocks = (static_cast<std::uint32_t>(size) + bs - 1) >>
+                                map_.config().block_shift;
+  if (nblocks == 0 || nblocks > 255) return 0;
+  // Trusted-owned heap blocks are unrepresentable (Table 1 ambiguity);
+  // the guest allocator refuses them likewise.
+  if (checks_ && map_.config().mode == memmap::DomainMode::MultiDomain &&
+      caller == kTrustedDomain)
+    return 0;
+
+  // First-fit lowest scan, identical to the generated scan loop.
+  std::uint32_t run = 0, run_start = 0;
+  for (std::uint32_t b = first_; b < end_; ++b) {
+    if (map_.block(b) == free_block()) {
+      if (run == 0) run_start = b;
+      if (++run == nblocks) {
+        const DomainId owner = checks_ && map_.config().mode == memmap::DomainMode::MultiDomain
+                                   ? caller
+                                   : 0;
+        map_.set_segment(run_start, nblocks, owner);
+        return map_.addr_of_block(run_start);
+      }
+    } else {
+      run = 0;
+    }
+  }
+  return 0;
+}
+
+bool HeapModel::ptr_to_block(std::uint16_t ptr, std::uint32_t& block) const {
+  const auto& cfg = map_.config();
+  const std::uint16_t heap_base = map_.addr_of_block(first_);
+  if (ptr < heap_base || ptr >= cfg.prot_top) return false;
+  block = static_cast<std::uint32_t>(ptr - cfg.prot_bot) >> cfg.block_shift;
+  return true;
+}
+
+bool HeapModel::free(std::uint16_t ptr, DomainId caller) {
+  if (!checks_) {
+    const std::uint16_t heap_base = map_.addr_of_block(first_);
+    if (ptr < heap_base + 2 || ptr >= map_.config().prot_top) return false;
+    const std::uint16_t c = static_cast<std::uint16_t>(ptr - 2);
+    fl_next_[c] = fl_head_;
+    fl_head_ = c;
+    return true;
+  }
+  std::uint32_t b = 0;
+  if (!ptr_to_block(ptr, b)) return false;
+  const BlockPerm head = map_.block(b);
+  if (!head.start || head == free_block()) return false;
+  if (checks_ && caller != kTrustedDomain &&
+      map_.config().mode == memmap::DomainMode::MultiDomain && head.owner != caller)
+    return false;
+  // Clear until the next start flag / owner change / heap end.
+  map_.set_block(b, free_block());
+  for (std::uint32_t i = b + 1; i < end_; ++i) {
+    const BlockPerm p = map_.block(i);
+    if (p.start || p.owner != head.owner) break;
+    map_.set_block(i, free_block());
+  }
+  return true;
+}
+
+bool HeapModel::change_own(std::uint16_t ptr, DomainId caller, DomainId to) {
+  if (!checks_ || map_.config().mode != memmap::DomainMode::MultiDomain)
+    return true;  // unprotected baseline: bookkeeping only
+  std::uint32_t b = 0;
+  if (!ptr_to_block(ptr, b)) return false;
+  const BlockPerm head = map_.block(b);
+  if (!head.start || head == free_block()) return false;
+  if (caller != kTrustedDomain && head.owner != caller) return false;
+  map_.set_block(b, BlockPerm{to, true});
+  for (std::uint32_t i = b + 1; i < end_; ++i) {
+    const BlockPerm p = map_.block(i);
+    if (p.start || p.owner != head.owner) break;
+    map_.set_block(i, BlockPerm{to, false});
+  }
+  return true;
+}
+
+}  // namespace harbor::runtime

@@ -1,0 +1,50 @@
+#pragma once
+// Host-side reference model of the guest allocators in runtime.cpp.
+//
+// With ownership_checks (the protected library): mirrors the generated AVR
+// code operation-for-operation — first-fit lowest scan over the packed
+// memory map, Table-1 code stamping, owner-checked free/change_own — so
+// differential tests can compare guest table bytes and return values.
+//
+// Without (the Mode::None baseline): mirrors the header-based first-fit
+// free-list allocator ([size:2] headers, split at >= 6 spare bytes, LIFO
+// free, no validation beyond a heap-range check).
+
+#include <cstdint>
+#include <map>
+
+#include "memmap/memory_map.h"
+
+namespace harbor::runtime {
+
+class HeapModel {
+ public:
+  /// `first_block`/`block_count` bound the allocatable span inside the map,
+  /// exactly like the constants baked into the generated ker_malloc.
+  HeapModel(const memmap::Config& cfg, std::uint32_t first_block, std::uint32_t block_count,
+            bool ownership_checks);
+
+  /// ker_malloc: returns the data address of the allocation, 0 on failure.
+  std::uint16_t malloc(std::uint16_t size, memmap::DomainId caller);
+  /// ker_free: returns true on success.
+  bool free(std::uint16_t ptr, memmap::DomainId caller);
+  /// ker_change_own: returns true on success.
+  bool change_own(std::uint16_t ptr, memmap::DomainId caller, memmap::DomainId to);
+
+  [[nodiscard]] const memmap::MemoryMap& map() const { return map_; }
+
+ private:
+  [[nodiscard]] bool ptr_to_block(std::uint16_t ptr, std::uint32_t& block) const;
+
+  memmap::MemoryMap map_;
+  std::uint32_t first_;
+  std::uint32_t end_;
+  bool checks_;
+
+  // Free-list mirror (used when !checks_).
+  std::uint16_t fl_head_ = 0;
+  std::map<std::uint16_t, std::uint16_t> fl_size_;  // chunk addr -> size
+  std::map<std::uint16_t, std::uint16_t> fl_next_;  // free chunk -> next
+};
+
+}  // namespace harbor::runtime

@@ -1,0 +1,94 @@
+#pragma once
+// Memory and flash layout used by the generated Harbor guest runtime.
+//
+// SRAM (ATmega103 defaults):
+//   0x0060 .. globals_end      runtime globals (domain/bounds/code table)
+//   map_base .. map_end        packed memory-map table
+//   safe_stack .. ss_bound     safe stack (grows up)
+//   heap_base .. prot_top      allocatable heap (block aligned)
+//   prot_top .. ram_end        run-time stack region (stack-bound checked)
+//
+// The memory map covers [prot_bot, prot_top). Globals, table and safe stack
+// sit inside the covered range as free (= trusted-owned) blocks that the
+// allocator never hands out because its scan is bounded to the heap blocks.
+//
+// Flash (word addresses):
+//   0x0000  jmp harbor_init          (reset vector)
+//   0x0002  jmp timer0 irq handler
+//   0x0004  jmp harbor_fault_handler (fault vector; the host arms it)
+//   ...     runtime code
+//   jt_base                          per-domain jump tables (1-word rjmp
+//                                    entries, `jt_entries` per domain)
+//   module_base                      loadable module area
+
+#include <cstdint>
+
+#include "memmap/config.h"
+
+namespace harbor::runtime {
+
+struct Layout {
+  // --- SRAM ---
+  std::uint16_t globals = 0x0060;
+  std::uint16_t prot_bot = 0x0060;
+  std::uint16_t prot_top = 0x0e00;   ///< start of the run-time stack region
+  std::uint16_t ram_end = 0x0fff;
+  std::uint16_t map_base = 0x00a0;
+  std::uint16_t safe_stack = 0x0180;
+  std::uint16_t safe_stack_bound = 0x0280;
+  std::uint16_t heap_base = 0x0280;  ///< must be block aligned
+
+  std::uint8_t block_shift = 3;
+  memmap::DomainMode mode = memmap::DomainMode::MultiDomain;
+
+  // --- flash (word addresses) ---
+  std::uint32_t jt_base = 0x0800;
+  std::uint32_t jt_entries_log2 = 3;  ///< entries per domain (8 by default)
+  std::uint8_t domains = 8;           ///< jump tables incl. the trusted one
+  std::uint32_t module_base = 0x0900;
+
+  [[nodiscard]] memmap::Config memmap_config() const {
+    memmap::Config c;
+    c.prot_bot = prot_bot;
+    c.prot_top = prot_top;
+    c.map_base = map_base;
+    c.block_shift = block_shift;
+    c.mode = mode;
+    return c;
+  }
+
+  [[nodiscard]] std::uint32_t jt_entries() const { return 1u << jt_entries_log2; }
+  [[nodiscard]] std::uint32_t jt_end() const { return jt_base + jt_entries() * domains; }
+  [[nodiscard]] std::uint32_t jt_entry(std::uint8_t domain, std::uint32_t slot) const {
+    return jt_base + domain * jt_entries() + slot;
+  }
+
+  [[nodiscard]] std::uint32_t heap_first_block() const {
+    return (heap_base - prot_bot) >> block_shift;
+  }
+  [[nodiscard]] std::uint32_t heap_block_count() const {
+    return (prot_top - heap_base) >> block_shift;
+  }
+
+  // --- runtime global variable addresses (baked into the generated code) ---
+  [[nodiscard]] std::uint16_t g_cur_domain() const { return globals + 0; }
+  [[nodiscard]] std::uint16_t g_stack_bound() const { return globals + 1; }   // 2 bytes
+  [[nodiscard]] std::uint16_t g_ss_ptr() const { return globals + 3; }        // 2 bytes
+  [[nodiscard]] std::uint16_t g_fault_code() const { return globals + 5; }
+  /// Per-domain code bounds (word addresses): start[8] then end[8].
+  [[nodiscard]] std::uint16_t g_code_start(std::uint8_t d) const {
+    return static_cast<std::uint16_t>(globals + 6 + 2 * d);
+  }
+  [[nodiscard]] std::uint16_t g_code_end(std::uint8_t d) const {
+    return static_cast<std::uint16_t>(globals + 22 + 2 * d);
+  }
+  /// Stub-internal scratch words (SFI stubs have only r0/Z as free
+  /// registers, so they spill through trusted RAM; see runtime.cpp).
+  [[nodiscard]] std::uint16_t g_scratch() const { return globals + 38; }
+  [[nodiscard]] std::uint16_t g_scratch2() const { return globals + 40; }
+  /// Free-list head of the unprotected baseline allocator (Mode::None).
+  [[nodiscard]] std::uint16_t g_freelist() const { return globals + 42; }
+  [[nodiscard]] std::uint16_t globals_end() const { return globals + 44; }
+};
+
+}  // namespace harbor::runtime

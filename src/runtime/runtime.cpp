@@ -1,0 +1,1126 @@
+#include "runtime/runtime.h"
+
+#include <optional>
+#include <stdexcept>
+
+#include "asm/builder.h"
+#include "avr/hooks.h"
+#include "avr/memory.h"
+#include "avr/ports.h"
+
+// The generated code follows the avr-gcc ABI: arguments in r25:r24 /
+// r23:r22 / r21:r20 downward, return in r25:r24, call-clobbered
+// r18-r27/r30-r31, call-saved r2-r17/r28-r29, r0 = scratch, r1 = zero.
+//
+// Register discipline inside the kernel routines (trusted, ABI-free with
+// respect to module state, since modules reach them via cross-domain call):
+//   r24:r25  argument / result
+//   r22:r23  second argument
+//   r18:r19  block index
+//   r20      permission code (mm_code_read/write operand)
+//   r21      counter / byte temp (mm_code_write scratch: r25)
+//   r23      caller domain (get_caller_domain result)
+//   r26:r27  run-start block (malloc)
+//   r30:r31  table pointer
+//
+// SFI stub discipline: at a rewritten site everything except r0, SREG and
+// (for specific stubs) Z must be preserved; the stubs spill through the
+// trusted scratch words g_scratch/g_scratch2.
+
+namespace harbor::runtime {
+
+using namespace harbor::assembler;
+namespace ports = harbor::avr::ports;
+
+namespace {
+
+constexpr std::uint8_t lo(std::uint32_t v) { return static_cast<std::uint8_t>(v & 0xff); }
+constexpr std::uint8_t hi(std::uint32_t v) { return static_cast<std::uint8_t>((v >> 8) & 0xff); }
+/// subi/sbci pair adding a 16-bit constant (AVR has no addi).
+void add16(Assembler& a, Reg rlo, Reg rhi, std::uint16_t k) {
+  a.subi(rlo, lo(0x10000 - k));
+  a.sbci(rhi, hi(0x10000 - k));
+}
+
+/// Emitter for the whole runtime image.
+class Emitter {
+ public:
+  explicit Emitter(const Options& opts)
+      : o_(opts), L_(opts.layout), a_(0),
+        free_code_(L_.mode == memmap::DomainMode::MultiDomain ? 0x0f : 0x03) {}
+
+  Runtime build() {
+    emit_vectors();
+    emit_init();
+    emit_fault_handler();
+    a_.mark("sec_memmap_begin");
+    emit_mm_code_read();
+    emit_mm_code_write();
+    a_.mark("sec_memmap_end");
+    a_.mark("sec_alloc_begin");
+    if (o_.mode == Mode::None) {
+      // The unprotected baseline ("Normal" column of Table 4): a classic
+      // header-based first-fit free list with no memory-map maintenance.
+      emit_freelist_malloc();
+      emit_freelist_free();
+      emit_freelist_change_own();
+    } else {
+      emit_malloc();
+      emit_free();
+      emit_change_own();
+    }
+    a_.mark("sec_alloc_end");
+    // Measurement aid: an exported function with an empty body, so benches
+    // can subtract the call-mechanism cost from routine timings.
+    a_.bind_here("ker_nop");
+    a_.ret();
+    // Error stub: calls to unlinked cross-domain functions land here (SOS
+    // returns the invalid result 0xFFFF from failed cross-domain calls —
+    // the trigger of the Surge bug, paper §1.2).
+    a_.bind_here("ker_undefined");
+    a_.ldi(r24, 0xff);
+    a_.ldi(r25, 0xff);
+    a_.ret();
+    if (o_.mode == Mode::Sfi) {
+      a_.mark("sec_sfi_begin");
+      emit_sfi_panic();
+      emit_sfi_check_core();
+      emit_store_stubs();
+      emit_save_restore_ret();
+      emit_cross_call();
+      emit_computed_checks();
+      a_.mark("sec_sfi_end");
+    }
+    a_.mark("runtime_end");
+    Runtime r;
+    r.program = a_.assemble();
+    r.options = o_;
+    if (r.program.end() > L_.jt_base)
+      throw std::runtime_error("runtime: image overlaps the jump-table area");
+    return r;
+  }
+
+ private:
+  [[nodiscard]] bool protected_mode() const { return o_.mode != Mode::None; }
+  [[nodiscard]] bool multi() const { return L_.mode == memmap::DomainMode::MultiDomain; }
+
+  // --- vectors & init ------------------------------------------------------
+
+  void emit_vectors() {
+    init_ = a_.make_label("harbor_init");
+    fault_ = a_.make_label("harbor_fault_handler");
+    irq_default_ = a_.make_label("harbor_irq_default");
+    a_.jmp(init_);          // word 0: reset
+    a_.jmp(irq_default_);   // word 2: timer0 ovf (apps overwrite the slot)
+    a_.jmp(fault_);         // word 4: fault vector (the host arms the core)
+  }
+
+  void emit_init() {
+    a_.bind(init_);
+    // SP = ram_end.
+    a_.ldi(r16, lo(L_.ram_end));
+    a_.out(0x3d, r16);
+    a_.ldi(r16, hi(L_.ram_end));
+    a_.out(0x3e, r16);
+    // Globals.
+    a_.ldi(r16, ports::kTrustedDomain);
+    a_.sts(L_.g_cur_domain(), r16);
+    a_.ldi(r16, lo(L_.ram_end));
+    a_.sts(L_.g_stack_bound(), r16);
+    a_.ldi(r16, hi(L_.ram_end));
+    a_.sts(static_cast<std::uint16_t>(L_.g_stack_bound() + 1), r16);
+    a_.ldi(r16, lo(L_.safe_stack));
+    a_.sts(L_.g_ss_ptr(), r16);
+    a_.ldi(r16, hi(L_.safe_stack));
+    a_.sts(static_cast<std::uint16_t>(L_.g_ss_ptr() + 1), r16);
+    a_.clr(r16);
+    a_.sts(L_.g_fault_code(), r16);
+    for (std::uint8_t d = 0; d < 8; ++d) {
+      a_.sts(L_.g_code_start(d), r16);
+      a_.sts(static_cast<std::uint16_t>(L_.g_code_start(d) + 1), r16);
+      a_.sts(L_.g_code_end(d), r16);
+      a_.sts(static_cast<std::uint16_t>(L_.g_code_end(d) + 1), r16);
+    }
+    // Memory-map table: every block free (code 1111/11 -> 0xff bytes).
+    const std::uint32_t table_bytes = L_.memmap_config().table_bytes();
+    a_.ldi16(r26, L_.map_base);
+    a_.ldi16(r24, static_cast<std::uint16_t>(table_bytes));
+    a_.ldi(r16, 0xff);
+    auto fill = a_.make_label("init_map_fill");
+    a_.bind(fill);
+    a_.st_x_inc(r16);
+    a_.sbiw(r24, 1);
+    a_.brne(fill);
+
+    if (o_.mode == Mode::None) {
+      // Seed the baseline allocator: one free chunk spanning the heap.
+      const std::uint16_t heap_bytes = static_cast<std::uint16_t>(L_.prot_top - L_.heap_base);
+      a_.ldi(r16, lo(L_.heap_base));
+      a_.sts(L_.g_freelist(), r16);
+      a_.ldi(r16, hi(L_.heap_base));
+      a_.sts(static_cast<std::uint16_t>(L_.g_freelist() + 1), r16);
+      a_.ldi(r16, lo(heap_bytes));
+      a_.sts(L_.heap_base, r16);  // chunk.size
+      a_.ldi(r16, hi(heap_bytes));
+      a_.sts(static_cast<std::uint16_t>(L_.heap_base + 1), r16);
+      a_.clr(r16);
+      a_.sts(static_cast<std::uint16_t>(L_.heap_base + 2), r16);  // chunk.next = 0
+      a_.sts(static_cast<std::uint16_t>(L_.heap_base + 3), r16);
+    }
+    if (o_.mode == Mode::Umpu) {
+      // Program the UMPU register file (paper Table 2), then enable.
+      auto out16 = [&](std::uint8_t port, std::uint16_t v) {
+        a_.ldi(r16, lo(v));
+        a_.out(port, r16);
+        a_.ldi(r16, hi(v));
+        a_.out(static_cast<std::uint8_t>(port + 1), r16);
+      };
+      out16(ports::kMemMapBaseLo, L_.map_base);
+      out16(ports::kMemProtBotLo, L_.prot_bot);
+      out16(ports::kMemProtTopLo, L_.prot_top);
+      out16(ports::kSafeStackPtrLo, L_.safe_stack);
+      out16(ports::kSafeStackBndLo, L_.safe_stack_bound);
+      out16(ports::kStackBoundLo, L_.ram_end);
+      out16(ports::kJumpTableBaseLo, static_cast<std::uint16_t>(L_.jt_base));
+      a_.ldi(r16, static_cast<std::uint8_t>(L_.jt_entries_log2 |
+                                            ((L_.domains - 1) << 4)));
+      a_.out(ports::kJumpTableConfig, r16);
+      a_.ldi(r16, static_cast<std::uint8_t>(0x80 | (multi() ? 0x08 : 0x00) | L_.block_shift));
+      a_.out(ports::kMemMapConfig, r16);
+      a_.ldi(r16, 0x07);  // protect | safe stack | domain tracking
+      a_.out(ports::kUmpuCtl, r16);
+    }
+    a_.jmp_abs(o_.app_entry);
+
+    a_.bind(irq_default_);
+    a_.reti();
+  }
+
+  void emit_fault_handler() {
+    a_.bind(fault_);
+    if (o_.mode == Mode::Umpu) {
+      a_.in(r16, ports::kFaultKind);
+    } else {
+      a_.lds(r16, L_.g_fault_code());
+    }
+    a_.ori(r16, 0xf0);  // guest exit code 0xF0 | fault kind
+    a_.out(ports::kSimCtl, r16);
+    auto spin = a_.bind_here("harbor_fault_spin");
+    a_.rjmp(spin);
+  }
+
+  // --- memory-map primitives ------------------------------------------------
+
+  /// mm_code_read: block index in r19:r18 -> code in r20.
+  /// Clobbers r20, r30, r31.
+  void bind_shared(const char* name) { a_.bind(shared(name)); }
+
+  void emit_mm_code_read() {
+    bind_shared("mm_code_read");
+    a_.movw(r30, r18);
+    a_.lsr(r31);
+    a_.ror(r30);  // block >> 1
+    if (!multi()) {
+      a_.lsr(r31);
+      a_.ror(r30);  // block >> 2
+    }
+    add16(a_, r30, r31, L_.map_base);
+    a_.ld_z(r20);
+    if (multi()) {
+      auto even = a_.make_label();
+      a_.sbrc(r18, 0);  // odd block: code in the high nibble
+      a_.swap(r20);
+      a_.bind(even);
+      a_.andi(r20, 0x0f);
+    } else {
+      // Shift right by (block & 3) * 2. r21 belongs to our callers (loop
+      // counters / owner ids): preserve it around the shift loop.
+      a_.push(r21);
+      a_.mov(r21, r18);
+      a_.andi(r21, 0x03);
+      auto loop = a_.make_label(), done = a_.make_label();
+      a_.bind(loop);
+      a_.tst(r21);
+      a_.breq(done);
+      a_.lsr(r20);
+      a_.lsr(r20);
+      a_.dec(r21);
+      a_.rjmp(loop);
+      a_.bind(done);
+      a_.pop(r21);
+      a_.andi(r20, 0x03);
+    }
+    a_.ret();
+  }
+
+  /// mm_code_write: block index in r19:r18, code in r20 (masked) -> table.
+  /// Clobbers r20, r25, r30, r31.
+  void emit_mm_code_write() {
+    bind_shared("mm_code_write");
+    a_.movw(r30, r18);
+    a_.lsr(r31);
+    a_.ror(r30);
+    if (!multi()) {
+      a_.lsr(r31);
+      a_.ror(r30);
+    }
+    add16(a_, r30, r31, L_.map_base);
+    a_.ld_z(r25);
+    if (multi()) {
+      auto even = a_.make_label(), merge = a_.make_label();
+      a_.sbrs(r18, 0);
+      a_.rjmp(even);
+      a_.swap(r20);  // code << 4
+      a_.andi(r25, 0x0f);
+      a_.rjmp(merge);
+      a_.bind(even);
+      a_.andi(r25, 0xf0);
+      a_.bind(merge);
+      a_.or_(r25, r20);
+      a_.st_z(r25);
+    } else {
+      // mask = 0x03 << shift; shift = (block & 3) * 2. Preserve r21.
+      a_.push(r21);
+      a_.mov(r21, r18);
+      a_.andi(r21, 0x03);
+      auto loop = a_.make_label(), done = a_.make_label();
+      a_.ldi(r30, 0x03);  // NOTE: r30 low byte reused as mask after addressing
+      // r30/r31 hold the pointer; we need extra temps. Re-load pointer at
+      // the end instead: compute shifted code+mask in r20/r24.
+      a_.bind(loop);
+      a_.tst(r21);
+      a_.breq(done);
+      a_.lsl(r20);
+      a_.lsl(r20);
+      a_.lsl(r30);
+      a_.lsl(r30);
+      a_.dec(r21);
+      a_.rjmp(loop);
+      a_.bind(done);
+      a_.pop(r21);
+      a_.com(r30);        // ~mask
+      a_.and_(r25, r30);  // clear the slot
+      a_.or_(r25, r20);
+      // Re-derive the pointer (r30 was consumed as the mask).
+      a_.movw(r30, r18);
+      a_.lsr(r31);
+      a_.ror(r30);
+      a_.lsr(r31);
+      a_.ror(r30);
+      add16(a_, r30, r31, L_.map_base);
+      a_.st_z(r25);
+    }
+    a_.ret();
+  }
+
+  /// Inline caller-domain read -> r23. The caller's identity is read from
+  /// the top safe-stack frame: a cross-domain frame's marker byte carries
+  /// it; a local frame (or an empty stack) means the call came from inside
+  /// the trusted kernel. Emitted inline (not rcall'd): under UMPU a call
+  /// would itself push a local frame and hide the marker.
+  /// Clobbers r23, r30, r31.
+  void inline_caller_domain() {
+    if (o_.mode == Mode::Umpu) {
+      a_.in(r30, ports::kSafeStackPtrLo);
+      a_.in(r31, ports::kSafeStackPtrHi);
+    } else {
+      a_.lds(r30, L_.g_ss_ptr());
+      a_.lds(r31, static_cast<std::uint16_t>(L_.g_ss_ptr() + 1));
+    }
+    a_.ld_z_dec(r23);  // top byte of the safe stack
+    auto cross = a_.make_label();
+    auto done = a_.make_label();
+    a_.sbrc(r23, 7);
+    a_.rjmp(cross);
+    a_.ldi(r23, ports::kTrustedDomain);  // local frame: kernel-internal call
+    a_.rjmp(done);
+    a_.bind(cross);
+    a_.andi(r23, 0x07);
+    a_.bind(done);
+  }
+
+  // --- baseline allocator (Mode::None, the paper's "Normal" column) ---------
+  //
+  // Chunk layout: [size:2][payload...] when allocated; [size:2][next:2] when
+  // free. First-fit walk, split when the remainder can hold a free chunk
+  // (>= 6 bytes), LIFO free without coalescing.
+
+  /// ker_malloc(size r25:r24) -> ptr r25:r24 (0 on failure).
+  void emit_freelist_malloc() {
+    const std::uint16_t flist = L_.g_freelist();
+    a_.bind_here("ker_malloc");
+    auto fail = a_.make_label();
+    auto have_min = a_.make_label();
+    auto loop = a_.make_label("flm_loop");
+    auto fit = a_.make_label();
+    auto split = a_.make_label();
+    auto done = a_.make_label();
+    // Reject size 0, then n = (size + 3) & ~1, minimum 6.
+    a_.mov(r20, r24);
+    a_.or_(r20, r25);
+    a_.brne(have_min);
+    a_.rjmp(fail);
+    a_.bind(have_min);
+    add16(a_, r24, r25, 3);
+    a_.andi(r24, 0xfe);
+    auto min_ok = a_.make_label();
+    a_.cpi(r24, 6);
+    a_.ldi(r20, 0);
+    a_.cpc(r25, r20);
+    a_.brsh(min_ok);
+    a_.ldi(r24, 6);
+    a_.bind(min_ok);
+    // Z = &g_freelist (address of the pointer we may rewrite).
+    a_.ldi16(r30, flist);
+    a_.bind(loop);
+    a_.ld_z(r26);
+    a_.ldd_z(r27, 1);  // X = cur
+    a_.mov(r20, r26);
+    a_.or_(r20, r27);
+    a_.breq(fail);     // end of list
+    a_.ld_x_inc(r18);  // size lo
+    a_.ld_x_inc(r19);  // size hi; X = cur + 2
+    a_.cp(r18, r24);
+    a_.cpc(r19, r25);
+    a_.brsh(fit);      // size >= n
+    a_.movw(r30, r26); // prev = &cur->next (cur + 2)
+    a_.rjmp(loop);
+    a_.bind(fit);
+    a_.sub(r18, r24);  // remainder = size - n
+    a_.sbc(r19, r25);
+    a_.cpi(r18, 6);
+    a_.ldi(r20, 0);
+    a_.cpc(r19, r20);
+    a_.brsh(split);
+    // Take the whole chunk: *prev = cur->next.
+    a_.ld_x_inc(r20);  // next lo (X -> cur+3)
+    a_.ld_x(r21);      // next hi
+    a_.st_z(r20);
+    a_.std_z(r21, 1);
+    a_.sbiw(r26, 1);   // X = cur + 2 = payload
+    a_.movw(r24, r26);
+    a_.rjmp(done);
+    a_.bind(split);
+    // cur.size = n (X is cur+2; store hi then lo walking down).
+    a_.st_x_dec(r25);
+    a_.st_x_dec(r24);  // X = cur
+    // Y = new free chunk = cur + n (Y is call-saved: preserve it).
+    a_.push(r28);
+    a_.push(r29);
+    a_.movw(r28, r26);
+    a_.add(r28, r24);
+    a_.adc(r29, r25);
+    a_.st_y(r18);       // new.size = remainder
+    a_.std_y(r19, 1);
+    a_.adiw(r26, 2);    // X = cur + 2
+    a_.ld_x_inc(r20);   // cur->next
+    a_.ld_x(r21);
+    a_.std_y(r20, 2);   // new.next = cur->next
+    a_.std_y(r21, 3);
+    a_.st_z(r28);       // *prev = new
+    a_.std_z(r29, 1);
+    a_.pop(r29);
+    a_.pop(r28);
+    a_.sbiw(r26, 1);    // X = cur + 2 = payload
+    a_.movw(r24, r26);
+    a_.bind(done);
+    a_.ret();
+    a_.bind(fail);
+    a_.clr(r24);
+    a_.clr(r25);
+    a_.ret();
+  }
+
+  /// ker_free(ptr r25:r24) -> 0. LIFO insert, no validation (this is the
+  /// unsafe baseline the paper compares against).
+  void emit_freelist_free() {
+    const std::uint16_t flist = L_.g_freelist();
+    a_.bind_here("ker_free");
+    auto fail = a_.make_label();
+    // Minimal sanity so host tests can exercise bad pointers: the chunk
+    // must lie inside the heap.
+    a_.cpi(r24, lo(static_cast<std::uint16_t>(L_.heap_base + 2)));
+    a_.ldi(r20, hi(static_cast<std::uint16_t>(L_.heap_base + 2)));
+    a_.cpc(r25, r20);
+    a_.brlo(fail);
+    a_.cpi(r24, lo(L_.prot_top));
+    a_.ldi(r20, hi(L_.prot_top));
+    a_.cpc(r25, r20);
+    a_.brsh(fail);
+    a_.sbiw(r24, 2);  // chunk header
+    a_.lds(r18, flist);
+    a_.lds(r19, static_cast<std::uint16_t>(flist + 1));
+    a_.movw(r26, r24);
+    a_.adiw(r26, 2);
+    a_.st_x_inc(r18);  // chunk.next = old head
+    a_.st_x(r19);
+    a_.sts(flist, r24);
+    a_.sts(static_cast<std::uint16_t>(flist + 1), r25);
+    a_.clr(r24);
+    a_.clr(r25);
+    a_.ret();
+    a_.bind(fail);
+    a_.ldi(r24, 1);
+    a_.clr(r25);
+    a_.ret();
+  }
+
+  /// ker_change_own: ownership does not exist without protection; the
+  /// baseline is pure bookkeeping (paper Table 4's 55-cycle row).
+  void emit_freelist_change_own() {
+    a_.bind_here("ker_change_own");
+    a_.clr(r24);
+    a_.clr(r25);
+    a_.ret();
+  }
+
+  // --- allocator (the paper's "Dynamic Memory" library) ---------------------
+
+  /// ker_malloc(size r25:r24) -> ptr r25:r24 (0 on failure).
+  /// The packed memory map is the only allocation metadata: scan the heap
+  /// blocks for a free run, stamp owner/start codes (paper §2.4).
+  void emit_malloc() {
+    a_.bind_here("ker_malloc");
+    auto fail = a_.make_label("malloc_fail");
+    // nblocks = (size + bs - 1) >> shift, must fit a byte and be nonzero.
+    add16(a_, r24, r25, static_cast<std::uint16_t>(L_.memmap_config().block_size() - 1));
+    for (int i = 0; i < L_.block_shift; ++i) {
+      a_.lsr(r25);
+      a_.ror(r24);
+    }
+    auto size_hi_ok = a_.make_label();
+    a_.tst(r25);
+    a_.breq(size_hi_ok);
+    a_.rjmp(fail);
+    a_.bind(size_hi_ok);
+    a_.mov(r21, r24);
+    auto size_nonzero = a_.make_label();
+    a_.tst(r21);
+    a_.brne(size_nonzero);
+    a_.rjmp(fail);
+    a_.bind(size_nonzero);
+    if (protected_mode()) {
+      inline_caller_domain();
+      if (multi()) {
+        // SOS API: ker_malloc(size, id) — a trusted caller allocates on
+        // behalf of the domain in r22. Trusted-owned heap blocks are not
+        // representable (Table 1: 1111 = free OR start of trusted), so
+        // they are refused.
+        auto resolved = a_.make_label();
+        a_.cpi(r23, ports::kTrustedDomain);
+        a_.brne(resolved);
+        a_.mov(r23, r22);
+        a_.cpi(r23, ports::kTrustedDomain);
+        a_.brne(resolved);
+        a_.rjmp(fail);
+        a_.bind(resolved);
+      }
+    }
+    // Scan r19:r18 over heap blocks; r22 = current run length; X = run start.
+    a_.ldi16(r18, static_cast<std::uint16_t>(L_.heap_first_block()));
+    a_.clr(r22);
+    const std::uint16_t heap_end_block =
+        static_cast<std::uint16_t>(L_.heap_first_block() + L_.heap_block_count());
+    auto scan = a_.make_label("malloc_scan");
+    auto not_free = a_.make_label();
+    auto next = a_.make_label();
+    auto found = a_.make_label();
+    a_.bind(scan);
+    a_.cpi(r18, lo(heap_end_block));
+    a_.ldi(r20, hi(heap_end_block));
+    a_.cpc(r19, r20);
+    a_.brsh(fail);
+    a_.rcall(mm_read_label());
+    a_.cpi(r20, free_code_);
+    a_.brne(not_free);
+    auto run_started = a_.make_label();
+    a_.tst(r22);
+    a_.brne(run_started);
+    a_.movw(r26, r18);  // run starts here
+    a_.bind(run_started);
+    a_.inc(r22);
+    a_.cp(r22, r21);
+    a_.breq(found);
+    a_.rjmp(next);
+    a_.bind(not_free);
+    a_.clr(r22);
+    a_.bind(next);
+    add16(a_, r18, r19, 1);
+    a_.rjmp(scan);
+
+    // Mark the segment: first block (owner<<1)|1, rest (owner<<1).
+    a_.bind(found);
+    a_.movw(r18, r26);
+    a_.rcall(mark_code_label());  // r20 = start code for the caller
+    a_.rcall(mm_write_label());
+    auto mark_loop = a_.make_label("malloc_mark");
+    auto done = a_.make_label();
+    a_.bind(mark_loop);
+    a_.dec(r21);
+    a_.breq(done);
+    add16(a_, r18, r19, 1);
+    a_.rcall(mark_code_label());
+    a_.andi(r20, 0xfe);  // clear the start bit: later portion
+    a_.rcall(mm_write_label());
+    a_.rjmp(mark_loop);
+    a_.bind(done);
+    // ptr = prot_bot + (start_block << shift)
+    a_.movw(r24, r26);
+    for (int i = 0; i < L_.block_shift; ++i) {
+      a_.lsl(r24);
+      a_.rol(r25);
+    }
+    add16(a_, r24, r25, L_.prot_bot);
+    a_.ret();
+    a_.bind(fail);
+    a_.clr(r24);
+    a_.clr(r25);
+    a_.ret();
+
+    // mark_code: r20 = (owner << 1) | 1 for the caller's domain.
+    a_.bind(mark_code_label());
+    if (protected_mode() && multi()) {
+      a_.mov(r20, r23);
+      a_.lsl(r20);
+      a_.ori(r20, 1);
+    } else {
+      // Two-domain / unprotected: the single user domain owns the block.
+      a_.ldi(r20, 0x01);
+    }
+    a_.ret();
+  }
+
+  /// ker_free(ptr r25:r24) -> r24 = 0 on success, 1 on failure.
+  void emit_free() {
+    a_.bind_here("ker_free");
+    auto fail = a_.make_label("free_fail");
+    ptr_to_block();  // r19:r18 = block index (jumps to fail on bad range)
+    a_.rcall(mm_read_label());
+    a_.sbrs(r20, 0);  // must be a segment start
+    a_.rjmp(fail);
+    a_.cpi(r20, free_code_);
+    a_.breq(fail);
+    a_.mov(r21, r20);
+    a_.lsr(r21);  // owner
+    if (protected_mode()) {
+      // "it only permits the block owner to free or change its ownership"
+      inline_caller_domain();
+      auto owner_ok = a_.make_label();
+      a_.cpi(r23, ports::kTrustedDomain);
+      a_.breq(owner_ok);
+      if (multi()) {
+        a_.cp(r21, r23);
+        a_.brne(fail);
+      }
+      a_.bind(owner_ok);
+    }
+    // Clear the start block, then following later-portion blocks of the
+    // same owner.
+    a_.ldi(r20, free_code_);
+    a_.rcall(mm_write_label());
+    const std::uint16_t heap_end_block =
+        static_cast<std::uint16_t>(L_.heap_first_block() + L_.heap_block_count());
+    auto loop = a_.make_label("free_clear");
+    auto done = a_.make_label();
+    a_.bind(loop);
+    add16(a_, r18, r19, 1);
+    a_.cpi(r18, lo(heap_end_block));
+    a_.ldi(r20, hi(heap_end_block));
+    a_.cpc(r19, r20);
+    a_.brsh(done);
+    a_.rcall(mm_read_label());
+    a_.sbrc(r20, 0);  // start flag: next segment begins
+    a_.rjmp(done);
+    a_.mov(r22, r20);
+    a_.lsr(r22);
+    a_.cp(r22, r21);  // different owner: stop
+    a_.brne(done);
+    a_.ldi(r20, free_code_);
+    a_.rcall(mm_write_label());
+    a_.rjmp(loop);
+    a_.bind(done);
+    a_.clr(r24);
+    a_.clr(r25);
+    a_.ret();
+    a_.bind(fail);
+    a_.ldi(r24, 1);
+    a_.clr(r25);
+    a_.ret();
+  }
+
+  /// ker_change_own(ptr r25:r24, new_domain r22) -> r24 status.
+  void emit_change_own() {
+    a_.bind_here("ker_change_own");
+    if (!multi()) {
+      // No ownership notion without protection: report success (baseline
+      // for Table 4; the paper's unprotected change_own is bookkeeping only).
+      a_.clr(r24);
+      a_.clr(r25);
+      a_.ret();
+      return;
+    }
+    auto fail = a_.make_label("chown_fail");
+    ptr_to_block();
+    a_.rcall(mm_read_label());
+    a_.sbrs(r20, 0);
+    a_.rjmp(fail);
+    a_.cpi(r20, free_code_);
+    a_.breq(fail);
+    a_.mov(r21, r20);
+    a_.lsr(r21);  // current owner
+    inline_caller_domain();
+    auto owner_ok = a_.make_label();
+    a_.cpi(r23, ports::kTrustedDomain);
+    a_.breq(owner_ok);
+    a_.cp(r21, r23);
+    a_.brne(fail);
+    a_.bind(owner_ok);
+    // Rewrite the whole segment with the new owner, preserving flags.
+    a_.mov(r20, r22);
+    a_.lsl(r20);
+    a_.ori(r20, 1);  // start block
+    a_.rcall(mm_write_label());
+    const std::uint16_t heap_end_block =
+        static_cast<std::uint16_t>(L_.heap_first_block() + L_.heap_block_count());
+    auto loop = a_.make_label("chown_loop");
+    auto done = a_.make_label();
+    a_.bind(loop);
+    add16(a_, r18, r19, 1);
+    a_.cpi(r18, lo(heap_end_block));
+    a_.ldi(r20, hi(heap_end_block));
+    a_.cpc(r19, r20);
+    a_.brsh(done);
+    a_.rcall(mm_read_label());
+    a_.sbrc(r20, 0);
+    a_.rjmp(done);
+    a_.mov(r25, r20);
+    a_.lsr(r25);
+    a_.cp(r25, r21);
+    a_.brne(done);
+    a_.mov(r20, r22);
+    a_.lsl(r20);  // later portion of the new owner
+    a_.rcall(mm_write_label());
+    a_.rjmp(loop);
+    a_.bind(done);
+    a_.clr(r24);
+    a_.clr(r25);
+    a_.ret();
+    a_.bind(fail);
+    a_.ldi(r24, 1);
+    a_.clr(r25);
+    a_.ret();
+  }
+
+  /// Shared prologue: ptr r25:r24 -> block r19:r18; branches to "free_fail"
+  /// / "chown_fail" of the enclosing routine via the pending fail label.
+  void ptr_to_block() {
+    // ptr must be inside [heap_base, prot_top).
+    auto ok1 = a_.make_label();
+    a_.cpi(r24, lo(L_.heap_base));
+    a_.ldi(r20, hi(L_.heap_base));
+    a_.cpc(r25, r20);
+    a_.brsh(ok1);
+    a_.ldi(r24, 1);
+    a_.clr(r25);
+    a_.ret();
+    a_.bind(ok1);
+    auto ok2 = a_.make_label();
+    a_.cpi(r24, lo(L_.prot_top));
+    a_.ldi(r20, hi(L_.prot_top));
+    a_.cpc(r25, r20);
+    a_.brlo(ok2);
+    a_.ldi(r24, 1);
+    a_.clr(r25);
+    a_.ret();
+    a_.bind(ok2);
+    add16(a_, r24, r25, static_cast<std::uint16_t>(0x10000 - L_.prot_bot));  // ptr - prot_bot
+    for (int i = 0; i < L_.block_shift; ++i) {
+      a_.lsr(r25);
+      a_.ror(r24);
+    }
+    a_.movw(r18, r24);
+  }
+
+  // --- SFI runtime ----------------------------------------------------------
+
+  void emit_sfi_panic() {
+    // sfi_panic: fault kind in r18. Records the cause and enters the fault
+    // handler; the offending module never regains control.
+    bind_shared("sfi_panic");
+    a_.sts(L_.g_fault_code(), r18);
+    a_.jmp(fault_);
+  }
+
+  /// sfi_check_core: store address in r19:r18. Returns when the store is
+  /// allowed; diverts to sfi_panic otherwise. Clobbers r18-r21, r30, r31,
+  /// SREG. This is the software twin of the UMPU's MMC + stack-bound
+  /// comparator; the bit-shift translation loop is why the paper reports
+  /// 65 cycles for the software checker vs 1 for hardware.
+  void emit_sfi_check_core() {
+    bind_shared("sfi_check_core");
+    auto allow = a_.make_label("check_allow");
+    auto stack_check = a_.make_label();
+    auto memmap_deny = a_.make_label();
+    auto stack_deny = a_.make_label();
+    // Below the IO/register ceiling: not data memory, allow (the verifier
+    // constrains OUT separately).
+    a_.cpi(r18, lo(avr::DataSpace::kSramBase));
+    a_.ldi(r20, hi(avr::DataSpace::kSramBase));
+    a_.cpc(r19, r20);
+    a_.brlo(allow);
+    // Stack region?
+    a_.cpi(r18, lo(L_.prot_top));
+    a_.ldi(r20, hi(L_.prot_top));
+    a_.cpc(r19, r20);
+    a_.brsh(stack_check);
+    // Memory-map check: block = (addr - prot_bot) >> shift.
+    add16(a_, r18, r19, static_cast<std::uint16_t>(0x10000 - L_.prot_bot));
+    for (int i = 0; i < L_.block_shift; ++i) {
+      a_.lsr(r19);
+      a_.ror(r18);
+    }
+    a_.rcall(mm_read_label());
+    a_.lsr(r20);  // owner
+    a_.lds(r21, L_.g_cur_domain());
+    a_.cpi(r21, ports::kTrustedDomain);
+    a_.breq(allow);
+    if (multi()) {
+      a_.cp(r20, r21);
+      a_.breq(allow);
+    }
+    a_.rjmp(memmap_deny);
+    a_.bind(stack_check);
+    a_.lds(r20, L_.g_stack_bound());
+    a_.lds(r21, static_cast<std::uint16_t>(L_.g_stack_bound() + 1));
+    a_.cp(r20, r18);
+    a_.cpc(r21, r19);
+    a_.brlo(stack_deny);  // bound < addr
+    a_.bind(allow);
+    a_.ret();
+    a_.bind(memmap_deny);
+    a_.ldi(r18, static_cast<std::uint8_t>(avr::FaultKind::MemMapViolation));
+    a_.jmp(panic_label());
+    a_.bind(stack_deny);
+    a_.ldi(r18, static_cast<std::uint8_t>(avr::FaultKind::StackBoundViolation));
+    a_.jmp(panic_label());
+  }
+
+  /// One store-checker stub per addressing mode. Contract at the rewritten
+  /// site: data byte in r0; the pointer register of the original
+  /// instruction holds the pointer; everything except r0/SREG and the
+  /// instruction's own pointer side effect is preserved.
+  void emit_store_stubs() {
+    struct Mode {
+      const char* name;
+      Reg ptr_lo;
+      int pre;   // address adjustment before the check (-1 for pre-dec)
+      void (Assembler::*store)(Reg);
+    };
+    const Mode modes[] = {
+        {"harbor_st_x", r26, 0, &Assembler::st_x},
+        {"harbor_st_x_inc", r26, 0, &Assembler::st_x_inc},
+        {"harbor_st_x_dec", r26, -1, &Assembler::st_x_dec},
+        {"harbor_st_y_inc", r28, 0, &Assembler::st_y_inc},
+        {"harbor_st_y_dec", r28, -1, &Assembler::st_y_dec},
+        {"harbor_st_z_inc", r30, 0, &Assembler::st_z_inc},
+        {"harbor_st_z_dec", r30, -1, &Assembler::st_z_dec},
+    };
+    for (const Mode& m : modes) {
+      a_.bind_here(m.name);
+      // Preserve SREG and the checker's scratch registers.
+      a_.push(r18);
+      a_.in(r18, 0x3f);
+      a_.push(r18);
+      a_.push(r19);
+      a_.push(r20);
+      a_.push(r21);
+      a_.push(r30);
+      a_.push(r31);
+      a_.mov(r18, m.ptr_lo);
+      a_.mov(r19, Reg(static_cast<std::uint8_t>(m.ptr_lo.n + 1)));
+      if (m.pre == -1) add16(a_, r18, r19, 0xffff);  // effective addr = ptr - 1
+      a_.rcall(check_core_label());
+      a_.pop(r31);
+      a_.pop(r30);
+      a_.pop(r21);
+      a_.pop(r20);
+      a_.pop(r19);
+      a_.pop(r18);
+      a_.out(0x3f, r18);
+      a_.pop(r18);
+      (a_.*m.store)(r0);
+      a_.ret();
+    }
+  }
+
+  /// harbor_save_ret / harbor_restore_ret: move return addresses between
+  /// the run-time stack and the software safe stack. Free registers at a
+  /// function boundary: r0, Z, SREG; everything else spills through the
+  /// trusted scratch words.
+  void emit_save_restore_ret() {
+    const std::uint16_t sc = L_.g_scratch();
+    const std::uint16_t sc2 = L_.g_scratch2();
+
+    a_.bind_here("harbor_save_ret");
+    // Stack on entry (top first): ret_s (back into the function body),
+    // ret_f (the original caller's return address).
+    a_.pop(r31);
+    a_.pop(r30);  // Z = ret_s
+    a_.sts(sc, r30);
+    a_.sts(static_cast<std::uint16_t>(sc + 1), r31);
+    a_.pop(r31);  // hi(ret_f)
+    a_.pop(r30);  // lo(ret_f)
+    a_.sts(sc2, r30);
+    a_.sts(static_cast<std::uint16_t>(sc2 + 1), r31);
+    a_.lds(r30, L_.g_ss_ptr());
+    a_.lds(r31, static_cast<std::uint16_t>(L_.g_ss_ptr() + 1));
+    a_.lds(r0, sc2);
+    a_.st_z_inc(r0);  // lo first: matches the hardware frame layout
+    a_.lds(r0, static_cast<std::uint16_t>(sc2 + 1));
+    a_.st_z_inc(r0);
+    a_.sts(L_.g_ss_ptr(), r30);
+    a_.sts(static_cast<std::uint16_t>(L_.g_ss_ptr() + 1), r31);
+    // Overflow check (Z is dead after this).
+    auto ok = a_.make_label();
+    a_.subi(r30, lo(L_.safe_stack_bound));
+    a_.sbci(r31, hi(L_.safe_stack_bound));
+    a_.brlo(ok);
+    a_.ldi(r18, static_cast<std::uint8_t>(avr::FaultKind::SafeStackOverflow));
+    a_.jmp(panic_label());
+    a_.bind(ok);
+    a_.lds(r30, sc);
+    a_.lds(r31, static_cast<std::uint16_t>(sc + 1));
+    a_.ijmp();  // resume the function body
+
+    a_.bind_here("harbor_restore_ret");
+    a_.lds(r30, L_.g_ss_ptr());
+    a_.lds(r31, static_cast<std::uint16_t>(L_.g_ss_ptr() + 1));
+    // Underflow check: ss_ptr == safe_stack base means nothing to return to.
+    auto have_frame = a_.make_label();
+    a_.push(r24);
+    a_.cpi(r30, lo(L_.safe_stack));
+    a_.ldi(r24, hi(L_.safe_stack));
+    a_.cpc(r31, r24);
+    a_.brne(have_frame);
+    a_.ldi(r18, static_cast<std::uint8_t>(avr::FaultKind::IllegalReturn));
+    a_.jmp(panic_label());
+    a_.bind(have_frame);
+    a_.ld_z_dec(r24);  // top byte
+    auto local = a_.make_label();
+    a_.sbrs(r24, 7);
+    a_.rjmp(local);
+    // A cross-domain frame on top at a module's plain `ret` would mean the
+    // stub protocol was violated (the cross-domain unwinding lives in
+    // harbor_cross_call, matching the paper's CDC/CDR split).
+    a_.ldi(r18, static_cast<std::uint8_t>(avr::FaultKind::IllegalReturn));
+    a_.jmp(panic_label());
+    a_.bind(local);
+    a_.mov(r0, r24);   // hi(ret)
+    a_.ld_z_dec(r24);  // lo(ret)
+    a_.sts(L_.g_ss_ptr(), r30);
+    a_.sts(static_cast<std::uint16_t>(L_.g_ss_ptr() + 1), r31);
+    a_.sts(sc, r24);
+    a_.sts(static_cast<std::uint16_t>(sc + 1), r0);
+    a_.pop(r24);
+    a_.lds(r30, sc);
+    a_.lds(r31, static_cast<std::uint16_t>(sc + 1));
+    a_.ijmp();
+  }
+
+  /// harbor_cross_call: software cross-domain call; jump-table entry word
+  /// address in Z (the rewriter loads it). Mirrors the hardware unit: a
+  /// 5-byte frame on the safe stack, domain + stack-bound switch, then the
+  /// jump-table dispatch; after the callee returns, the cross-domain return
+  /// sequence unwinds the frame (paper Table 3 rows CDC 65 / CDR 28).
+  void emit_cross_call() {
+    const std::uint16_t sc = L_.g_scratch();
+    const std::uint16_t sc2 = L_.g_scratch2();
+    const std::uint32_t total_entries = L_.jt_entries() * L_.domains;
+    if (total_entries > 255)
+      throw std::runtime_error("runtime: SFI cross-call assumes <=255 jump-table entries");
+
+    bind_shared("harbor_cross_call");
+    auto bad_target = a_.make_label();
+    // Stash r20/r21 (possible argument registers).
+    a_.sts(sc, r20);
+    a_.sts(static_cast<std::uint16_t>(sc + 1), r21);
+    // callee = (Z - jt_base) / entries, with the paper's deferred
+    // upper-bound check (out-of-range quotient).
+    a_.movw(r20, r30);
+    a_.subi(r20, lo(L_.jt_base));
+    a_.sbci(r21, hi(L_.jt_base));
+    a_.brcs(bad_target);
+    a_.tst(r21);
+    a_.brne(bad_target);
+    a_.cpi(r20, static_cast<std::uint8_t>(total_entries));
+    a_.brsh(bad_target);
+    auto target_ok = a_.make_label();
+    a_.rjmp(target_ok);
+    a_.bind(bad_target);
+    a_.ldi(r18, static_cast<std::uint8_t>(avr::FaultKind::IllegalCallTarget));
+    a_.jmp(panic_label());
+    a_.bind(target_ok);
+    for (std::uint32_t i = 0; i < L_.jt_entries_log2; ++i) a_.lsr(r20);
+    // Pop the continuation (the call-site return address).
+    a_.pop(r21);  // hi
+    a_.pop(r0);   // lo
+    // Frame: cont_lo, cont_hi, bound_lo, bound_hi, marker|prev_domain.
+    a_.sts(sc2, r30);
+    a_.sts(static_cast<std::uint16_t>(sc2 + 1), r31);
+    a_.lds(r30, L_.g_ss_ptr());
+    a_.lds(r31, static_cast<std::uint16_t>(L_.g_ss_ptr() + 1));
+    a_.st_z_inc(r0);
+    a_.st_z_inc(r21);
+    a_.lds(r0, L_.g_stack_bound());
+    a_.st_z_inc(r0);
+    a_.lds(r0, static_cast<std::uint16_t>(L_.g_stack_bound() + 1));
+    a_.st_z_inc(r0);
+    a_.lds(r21, L_.g_cur_domain());
+    a_.ori(r21, 0x80);
+    a_.st_z_inc(r21);
+    a_.sts(L_.g_ss_ptr(), r30);
+    a_.sts(static_cast<std::uint16_t>(L_.g_ss_ptr() + 1), r31);
+    auto no_overflow = a_.make_label();
+    a_.subi(r30, lo(L_.safe_stack_bound));
+    a_.sbci(r31, hi(L_.safe_stack_bound));
+    a_.brlo(no_overflow);
+    a_.ldi(r18, static_cast<std::uint8_t>(avr::FaultKind::SafeStackOverflow));
+    a_.jmp(panic_label());
+    a_.bind(no_overflow);
+    // Switch domain and stack bound.
+    a_.sts(L_.g_cur_domain(), r20);
+    a_.in(r30, 0x3d);
+    a_.in(r31, 0x3e);
+    a_.sts(L_.g_stack_bound(), r30);
+    a_.sts(static_cast<std::uint16_t>(L_.g_stack_bound() + 1), r31);
+    // Restore argument registers and dispatch through the jump table.
+    a_.lds(r20, sc);
+    a_.lds(r21, static_cast<std::uint16_t>(sc + 1));
+    a_.lds(r30, sc2);
+    a_.lds(r31, static_cast<std::uint16_t>(sc2 + 1));
+    a_.mark("harbor_cross_ret");  // CDR sequence begins after the icall
+    a_.icall();
+    // === cross-domain return: unwind the 5-byte frame ===
+    a_.lds(r30, L_.g_ss_ptr());
+    a_.lds(r31, static_cast<std::uint16_t>(L_.g_ss_ptr() + 1));
+    a_.ld_z_dec(r20);  // marker | prev domain
+    auto frame_ok = a_.make_label();
+    a_.sbrc(r20, 7);
+    a_.rjmp(frame_ok);
+    a_.ldi(r18, static_cast<std::uint8_t>(avr::FaultKind::IllegalReturn));
+    a_.jmp(panic_label());
+    a_.bind(frame_ok);
+    a_.andi(r20, 0x07);
+    a_.sts(L_.g_cur_domain(), r20);
+    a_.ld_z_dec(r20);
+    a_.sts(static_cast<std::uint16_t>(L_.g_stack_bound() + 1), r20);
+    a_.ld_z_dec(r20);
+    a_.sts(L_.g_stack_bound(), r20);
+    a_.ld_z_dec(r21);  // cont hi
+    a_.ld_z_dec(r20);  // cont lo
+    a_.sts(L_.g_ss_ptr(), r30);
+    a_.sts(static_cast<std::uint16_t>(L_.g_ss_ptr() + 1), r31);
+    a_.movw(r30, r20);
+    a_.ijmp();
+  }
+
+  /// harbor_icall_check / harbor_ijmp_check: computed transfers must stay
+  /// within the current domain's code region or dispatch through a jump
+  /// table (calls only).
+  void emit_computed_checks() {
+    const std::uint16_t sc = L_.g_scratch();
+    const std::uint16_t sc2 = L_.g_scratch2();
+    const std::uint32_t total_entries = L_.jt_entries() * L_.domains;
+
+    auto emit_bounds_check = [&](const char* name, bool allow_jt,
+                                 avr::FaultKind fault) {
+      a_.bind_here(name);
+      auto not_jt = a_.make_label();
+      if (allow_jt) {
+        a_.subi(r30, lo(L_.jt_base));
+        a_.sbci(r31, hi(L_.jt_base));
+        auto in_jt = a_.make_label();
+        a_.brcs(not_jt);
+        a_.tst(r31);
+        a_.brne(not_jt);
+        a_.cpi(r30, static_cast<std::uint8_t>(total_entries));
+        a_.brsh(not_jt);
+        a_.bind(in_jt);
+        add16(a_, r30, r31, static_cast<std::uint16_t>(L_.jt_base));
+        a_.jmp(cross_call_label());
+        a_.bind(not_jt);
+        add16(a_, r30, r31, static_cast<std::uint16_t>(L_.jt_base));
+      }
+      // Bounds check against g_code_start/end[cur_domain].
+      a_.sts(sc, r20);
+      a_.sts(static_cast<std::uint16_t>(sc + 1), r21);
+      a_.sts(sc2, r26);
+      a_.sts(static_cast<std::uint16_t>(sc2 + 1), r27);
+      a_.lds(r20, L_.g_cur_domain());
+      a_.lsl(r20);
+      a_.ldi16(r26, L_.g_code_start(0));
+      a_.add(r26, r20);
+      a_.clr(r21);
+      a_.adc(r27, r21);
+      a_.ld_x_inc(r21);  // start lo
+      a_.ld_x(r20);      // start hi
+      auto deny = a_.make_label();
+      a_.cp(r30, r21);
+      a_.cpc(r31, r20);
+      a_.brlo(deny);
+      a_.adiw(r26, 15);  // -> end entry (tables are 16 bytes apart)
+      a_.ld_x_inc(r21);
+      a_.ld_x(r20);
+      a_.cp(r30, r21);
+      a_.cpc(r31, r20);
+      a_.brsh(deny);
+      a_.lds(r20, sc);
+      a_.lds(r21, static_cast<std::uint16_t>(sc + 1));
+      a_.lds(r26, sc2);
+      a_.lds(r27, static_cast<std::uint16_t>(sc2 + 1));
+      a_.ijmp();
+      a_.bind(deny);
+      a_.ldi(r18, static_cast<std::uint8_t>(fault));
+      a_.jmp(panic_label());
+    };
+
+    emit_bounds_check("harbor_icall_check", /*allow_jt=*/true,
+                      avr::FaultKind::IllegalCallTarget);
+    emit_bounds_check("harbor_ijmp_check", /*allow_jt=*/false,
+                      avr::FaultKind::IllegalJumpTarget);
+  }
+
+  // --- label plumbing -------------------------------------------------------
+
+  // The routines above cross-reference each other; keep one label per
+  // shared symbol, created lazily.
+  Label shared(const char* name) {
+    auto it = shared_.find(name);
+    if (it != shared_.end()) return it->second;
+    Label l = a_.make_label(name);
+    shared_.emplace(name, l);
+    return l;
+  }
+  Label mm_read_label() { return shared("mm_code_read"); }
+  Label mm_write_label() { return shared("mm_code_write"); }
+  Label check_core_label() { return shared("sfi_check_core"); }
+  Label panic_label() { return shared("sfi_panic"); }
+  Label cross_call_label() { return shared("harbor_cross_call"); }
+  Label mark_code_label() { return shared("malloc_mark_code"); }
+
+  Options o_;
+  Layout L_;
+  Assembler a_;
+  std::uint8_t free_code_;
+  Label init_, fault_, irq_default_;
+  std::map<std::string, Label> shared_;
+};
+
+}  // namespace
+
+Runtime build_runtime(const Options& opts) {
+  Emitter e(opts);
+  return e.build();
+}
+
+}  // namespace harbor::runtime

@@ -1,0 +1,78 @@
+#pragma once
+// Generator for the Harbor guest runtime: real AVR code, assembled with the
+// builder API, providing
+//
+//   - harbor_init:        SP, globals, memory-map table, UMPU registers
+//   - ker_malloc / ker_free / ker_change_own:
+//                          the paper's memory-map software library. The
+//                          packed memory map itself is the allocator's
+//                          metadata: malloc scans it for a run of free
+//                          blocks and stamps owner/start codes (Table 4).
+//   - software checkers (SFI mode):
+//       harbor_st_*       sandboxed store checkers per addressing mode
+//       harbor_save_ret / harbor_restore_ret
+//                          safe-stack prologue/epilogue stubs
+//       harbor_cross_call  software cross-domain call via Z
+//       harbor_icall_check / harbor_ijmp_check
+//                          computed-transfer checks
+//   - harbor_fault_handler: default fault sink (reports and exits)
+//
+// The same image supports both systems of the paper: under UMPU the
+// hardware units do the checking and the SFI stubs are simply never called;
+// under SFI the binary rewriter routes module code through them.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "asm/program.h"
+#include "runtime/layout.h"
+
+namespace harbor::runtime {
+
+/// Which protection system the generated runtime drives.
+enum class Mode : std::uint8_t {
+  None,  ///< no protection: baseline allocator, no checks (Table 4 "Normal")
+  Sfi,   ///< software-only: globals-based tracking + checker stubs
+  Umpu,  ///< hardware: UMPU registers configured, checks in hardware
+};
+
+struct Options {
+  Mode mode = Mode::Umpu;
+  Layout layout;
+  /// Word address harbor_init jumps to after initialization.
+  std::uint32_t app_entry = 0;
+};
+
+/// The generated runtime image plus the symbols the loader/rewriter needs.
+struct Runtime {
+  assembler::Program program;
+  Options options;
+
+  [[nodiscard]] std::uint32_t symbol(const std::string& name) const {
+    const auto s = program.symbol(name);
+    if (!s) throw std::out_of_range("runtime: no symbol " + name);
+    return *s;
+  }
+  [[nodiscard]] bool has_symbol(const std::string& name) const {
+    return program.symbol(name).has_value();
+  }
+
+  /// Flash bytes of the components, for the Table 5 footprint bench.
+  [[nodiscard]] std::size_t flash_bytes() const { return program.size_bytes(); }
+};
+
+/// Generate the runtime for the given options.
+Runtime build_runtime(const Options& opts);
+
+/// Kernel jump-table slots (exports of the trusted domain).
+namespace kernel_slots {
+inline constexpr std::uint32_t kMalloc = 0;
+inline constexpr std::uint32_t kFree = 1;
+inline constexpr std::uint32_t kChangeOwn = 2;
+inline constexpr std::uint32_t kPostMessage = 3;
+inline constexpr std::uint32_t kSubscribe = 4;
+inline constexpr std::uint32_t kConsole = 5;
+}  // namespace kernel_slots
+
+}  // namespace harbor::runtime

@@ -1,0 +1,253 @@
+#include "runtime/testbed.h"
+
+#include <stdexcept>
+
+#include "asm/builder.h"
+#include "avr/ports.h"
+
+namespace harbor::runtime {
+
+using namespace harbor::assembler;
+namespace ports = avr::ports;
+
+Testbed::Testbed(Mode mode, Layout layout) : rt_([&] {
+  Options o;
+  o.mode = mode;
+  o.layout = layout;
+  o.app_entry = layout.module_base;  // a BREAK stub: boot parks there
+  return build_runtime(o);
+}()) {
+  if (mode == Mode::Umpu) fabric_ = std::make_unique<umpu::Fabric>(dev_.cpu());
+  dev_.flash().load(rt_.program.words, rt_.program.origin);
+  install_jump_table();
+  install_trampolines();
+  set_code_regions();
+  dev_.cpu().set_fault_vector(rt_.symbol("harbor_fault_handler"));
+  dev_.reset();
+  dev_.run(200000);  // harbor_init -> app_entry BREAK
+  if (dev_.cpu().halt_reason() != avr::HaltReason::Break)
+    throw std::runtime_error("testbed: runtime boot did not reach the app entry");
+  dev_.cpu().clear_halt();
+}
+
+void Testbed::install_jump_table() {
+  const Layout& L = rt_.options.layout;
+  // Trusted-domain (kernel) jump table: rjmp entries for the exports.
+  Assembler jt(L.jt_entry(ports::kTrustedDomain, 0));
+  jt.rjmp_abs(rt_.symbol("ker_malloc"));
+  jt.rjmp_abs(rt_.symbol("ker_free"));
+  jt.rjmp_abs(rt_.symbol("ker_change_own"));
+  jt.pad_to(L.jt_entry(ports::kTrustedDomain, kNopSlot));
+  jt.rjmp_abs(rt_.symbol("ker_nop"));
+  const Program p = jt.assemble();
+  dev_.flash().load(p.words, p.origin);
+}
+
+void Testbed::install_trampolines() {
+  const Layout& L = rt_.options.layout;
+  Assembler a(L.module_base);
+  a.brk();  // app_entry: boot parks here
+  for (const std::uint32_t slot : {kernel_slots::kMalloc, kernel_slots::kFree,
+                                   kernel_slots::kChangeOwn, kNopSlot}) {
+    const std::uint32_t entry = L.jt_entry(ports::kTrustedDomain, slot);
+    trampoline_[slot] = a.here();
+    if (mode() == Mode::Sfi) {
+      // The shape the binary rewriter produces for a cross-domain call.
+      a.push(r30);
+      a.push(r31);
+      a.ldi16(r30, static_cast<std::uint16_t>(entry));
+      a.call_abs(rt_.symbol("harbor_cross_call"));
+      a.pop(r31);
+      a.pop(r30);
+    } else {
+      a.call_abs(entry);
+    }
+    a.brk();
+  }
+  const Program p = a.assemble();
+  dev_.flash().load(p.words, p.origin);
+  trampoline_base_ = p.origin;
+  trampoline_end_ = p.end();
+}
+
+void Testbed::set_code_regions() {
+  const Layout& L = rt_.options.layout;
+  for (std::uint8_t d = 0; d < 7; ++d) {
+    if (fabric_) {
+      fabric_->set_code_region(d, {trampoline_base_, trampoline_end_});
+    } else {
+      // SFI keeps the table in trusted guest RAM.
+      auto& ds = dev_.data();
+      ds.set_sram_raw(L.g_code_start(d), static_cast<std::uint8_t>(trampoline_base_ & 0xff));
+      ds.set_sram_raw(static_cast<std::uint16_t>(L.g_code_start(d) + 1),
+                      static_cast<std::uint8_t>(trampoline_base_ >> 8));
+      ds.set_sram_raw(L.g_code_end(d), static_cast<std::uint8_t>(trampoline_end_ & 0xff));
+      ds.set_sram_raw(static_cast<std::uint16_t>(L.g_code_end(d) + 1),
+                      static_cast<std::uint8_t>(trampoline_end_ >> 8));
+    }
+  }
+}
+
+void Testbed::set_caller_domain(memmap::DomainId d) {
+  if (fabric_) {
+    fabric_->regs().cur_domain = d;
+  } else {
+    dev_.data().set_sram_raw(rt_.options.layout.g_cur_domain(), d);
+  }
+}
+
+CallResult Testbed::run_trampoline(std::uint32_t pc, const GuestArgs& args,
+                                   memmap::DomainId domain) {
+  auto& cpu = dev_.cpu();
+  cpu.clear_halt();
+  cpu.clear_fault();
+  dev_.clear_guest_exit();
+  cpu.set_pc(pc);
+  cpu.set_sp(dev_.data().ram_end());
+  dev_.data().set_reg_pair(24, args.r24);
+  dev_.data().set_reg_pair(22, args.r22);
+  dev_.data().set_reg_pair(20, args.r20);
+  set_caller_domain(domain);
+  // Hermetic calls: rewind the safe stack (a previous faulting call may
+  // have left a dangling frame).
+  const Layout& L = rt_.options.layout;
+  if (fabric_) {
+    fabric_->regs().safe_stack_ptr = L.safe_stack;
+    fabric_->regs().stack_bound = dev_.data().ram_end();
+  } else {
+    auto& ds = dev_.data();
+    ds.set_sram_raw(L.g_ss_ptr(), static_cast<std::uint8_t>(L.safe_stack & 0xff));
+    ds.set_sram_raw(static_cast<std::uint16_t>(L.g_ss_ptr() + 1),
+                    static_cast<std::uint8_t>(L.safe_stack >> 8));
+    ds.set_sram_raw(L.g_stack_bound(), static_cast<std::uint8_t>(dev_.data().ram_end() & 0xff));
+    ds.set_sram_raw(static_cast<std::uint16_t>(L.g_stack_bound() + 1),
+                    static_cast<std::uint8_t>(dev_.data().ram_end() >> 8));
+  }
+
+  CallResult r;
+  const std::uint64_t start = cpu.cycle_count();
+  dev_.run(1'000'000);
+  r.cycles = cpu.cycle_count() - start;
+  r.value = dev_.data().reg_pair(24);
+  if (cpu.fault() || dev_.guest_exit().exited) {
+    r.faulted = true;
+    if (cpu.fault()) r.fault = cpu.fault()->kind;
+    if (!cpu.fault() && dev_.guest_exit().exited && (dev_.guest_exit().code & 0xf0) == 0xf0)
+      r.fault = static_cast<avr::FaultKind>(dev_.guest_exit().code & 0x0f);
+  }
+  if (dev_.cpu().halt_reason() == avr::HaltReason::Break) cpu.clear_halt();
+  return r;
+}
+
+CallResult Testbed::call(std::uint32_t kernel_slot, std::uint16_t arg1, std::uint8_t arg2,
+                         memmap::DomainId caller) {
+  const auto it = trampoline_.find(kernel_slot);
+  if (it == trampoline_.end()) throw std::out_of_range("testbed: no trampoline for slot");
+  return run_trampoline(it->second, GuestArgs{arg1, arg2, 0}, caller);
+}
+
+void Testbed::load_module_image(const assembler::Program& p, memmap::DomainId domain) {
+  dev_.flash().load(p.words, p.origin);
+  const Layout& L = rt_.options.layout;
+  if (fabric_) {
+    fabric_->set_code_region(domain, {p.origin, p.end()});
+  } else {
+    auto& ds = dev_.data();
+    ds.set_sram_raw(L.g_code_start(domain), static_cast<std::uint8_t>(p.origin & 0xff));
+    ds.set_sram_raw(static_cast<std::uint16_t>(L.g_code_start(domain) + 1),
+                    static_cast<std::uint8_t>(p.origin >> 8));
+    ds.set_sram_raw(L.g_code_end(domain), static_cast<std::uint8_t>(p.end() & 0xff));
+    ds.set_sram_raw(static_cast<std::uint16_t>(L.g_code_end(domain) + 1),
+                    static_cast<std::uint8_t>(p.end() >> 8));
+  }
+}
+
+void Testbed::set_jt_entry(memmap::DomainId domain, std::uint32_t slot, std::uint32_t target) {
+  Assembler a(rt_.options.layout.jt_entry(domain, slot));
+  a.rjmp_abs(target);
+  const Program p = a.assemble();
+  dev_.flash().load(p.words, p.origin);
+}
+
+CallResult Testbed::call_module(std::uint32_t entry_waddr, memmap::DomainId domain,
+                                std::uint16_t arg1, std::uint8_t arg2) {
+  const Layout& L = rt_.options.layout;
+  auto& cpu = dev_.cpu();
+  cpu.clear_halt();
+  cpu.clear_fault();
+  dev_.clear_guest_exit();
+  cpu.set_pc(entry_waddr);
+  dev_.data().set_reg_pair(24, arg1);
+  dev_.data().set_reg(22, arg2);
+  set_caller_domain(domain);
+
+  // Synthetic return linkage: the module's return lands on the app-entry
+  // BREAK (trampoline_base_). Under UMPU the return address lives on the
+  // safe stack; under SFI it starts on the run-time stack and the module's
+  // save_ret prologue moves it.
+  const std::uint16_t ret_lo = static_cast<std::uint8_t>(trampoline_base_ & 0xff);
+  const std::uint16_t ret_hi = static_cast<std::uint8_t>(trampoline_base_ >> 8);
+  if (fabric_) {
+    // Synthetic cross-domain frame: the module's final `ret` performs a
+    // cross-domain return to the trusted domain, landing on the BREAK —
+    // the same shape a kernel-dispatched handler invocation has.
+    auto& ds = dev_.data();
+    const std::uint16_t bound = dev_.data().ram_end();
+    ds.set_sram_raw(L.safe_stack, static_cast<std::uint8_t>(ret_lo));
+    ds.set_sram_raw(static_cast<std::uint16_t>(L.safe_stack + 1),
+                    static_cast<std::uint8_t>(ret_hi));
+    ds.set_sram_raw(static_cast<std::uint16_t>(L.safe_stack + 2),
+                    static_cast<std::uint8_t>(bound & 0xff));
+    ds.set_sram_raw(static_cast<std::uint16_t>(L.safe_stack + 3),
+                    static_cast<std::uint8_t>(bound >> 8));
+    ds.set_sram_raw(static_cast<std::uint16_t>(L.safe_stack + 4),
+                    static_cast<std::uint8_t>(0x80 | avr::ports::kTrustedDomain));
+    fabric_->regs().safe_stack_ptr = static_cast<std::uint16_t>(L.safe_stack + 5);
+    fabric_->regs().stack_bound = bound;
+    cpu.set_sp(dev_.data().ram_end());
+  } else {
+    auto& ds = dev_.data();
+    ds.set_sram_raw(L.g_ss_ptr(), static_cast<std::uint8_t>(L.safe_stack & 0xff));
+    ds.set_sram_raw(static_cast<std::uint16_t>(L.g_ss_ptr() + 1),
+                    static_cast<std::uint8_t>(L.safe_stack >> 8));
+    // Push the fake caller return address on the run-time stack.
+    const std::uint16_t sp0 = dev_.data().ram_end();
+    ds.set_sram_raw(sp0, static_cast<std::uint8_t>(ret_lo));
+    ds.set_sram_raw(static_cast<std::uint16_t>(sp0 - 1), static_cast<std::uint8_t>(ret_hi));
+    cpu.set_sp(static_cast<std::uint16_t>(sp0 - 2));
+  }
+
+  CallResult r;
+  const std::uint64_t start = cpu.cycle_count();
+  dev_.run(2'000'000);
+  r.cycles = cpu.cycle_count() - start;
+  r.value = dev_.data().reg_pair(24);
+  if (cpu.fault() || dev_.guest_exit().exited) {
+    r.faulted = true;
+    if (cpu.fault()) r.fault = cpu.fault()->kind;
+    if (!cpu.fault() && dev_.guest_exit().exited && (dev_.guest_exit().code & 0xf0) == 0xf0)
+      r.fault = static_cast<avr::FaultKind>(dev_.guest_exit().code & 0x0f);
+  }
+  if (dev_.cpu().halt_reason() == avr::HaltReason::Break) cpu.clear_halt();
+  return r;
+}
+
+std::vector<std::uint8_t> Testbed::guest_map_table() const {
+  const Layout& L = rt_.options.layout;
+  const std::uint32_t n = L.memmap_config().table_bytes();
+  std::vector<std::uint8_t> out(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    out[i] = dev_.data().sram_raw(static_cast<std::uint16_t>(L.map_base + i));
+  return out;
+}
+
+std::uint64_t Testbed::body_cycles(const CallResult& r, memmap::DomainId caller) {
+  auto it = nop_cycles_.find(caller);
+  if (it == nop_cycles_.end()) {
+    const CallResult n = nop(caller);
+    it = nop_cycles_.emplace(caller, n.cycles).first;
+  }
+  return r.cycles > it->second ? r.cycles - it->second : 0;
+}
+
+}  // namespace harbor::runtime

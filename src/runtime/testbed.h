@@ -1,0 +1,115 @@
+#pragma once
+// Boots a generated Harbor runtime on the simulated device and drives
+// kernel exports through the real protection machinery (jump table +
+// cross-domain call), as a module in any chosen domain would.
+//
+// Used by the runtime test suite (differential tests against HeapModel)
+// and by the Table 3/4 benchmarks.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "avr/device.h"
+#include "runtime/heap_model.h"
+#include "runtime/runtime.h"
+#include "umpu/fabric.h"
+
+namespace harbor::runtime {
+
+/// Result of one guest kernel call.
+struct CallResult {
+  std::uint16_t value = 0;    ///< r25:r24 on return
+  std::uint64_t cycles = 0;   ///< trampoline entry to halt
+  bool faulted = false;
+  avr::FaultKind fault = avr::FaultKind::None;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(Mode mode, Layout layout = {});
+
+  [[nodiscard]] avr::Device& device() { return dev_; }
+  [[nodiscard]] umpu::Fabric* fabric() { return fabric_.get(); }
+  [[nodiscard]] const Runtime& runtime() const { return rt_; }
+  [[nodiscard]] Mode mode() const { return rt_.options.mode; }
+  [[nodiscard]] const Layout& layout() const { return rt_.options.layout; }
+
+  /// Argument registers for a guest invocation (avr-gcc ABI pairs).
+  struct GuestArgs {
+    std::uint16_t r24 = 0;
+    std::uint16_t r22 = 0;
+    std::uint16_t r20 = 0;
+  };
+
+  /// Run guest code starting at `pc` as `domain` until it halts (BREAK,
+  /// guest exit, or fault), with a hermetic stack/safe-stack setup.
+  CallResult run_trampoline(std::uint32_t pc, const GuestArgs& args, memmap::DomainId domain);
+
+  /// Invoke a kernel export through its jump-table slot, as domain
+  /// `caller`. arg1 -> r25:r24, arg2 -> r22.
+  CallResult call(std::uint32_t kernel_slot, std::uint16_t arg1, std::uint8_t arg2 = 0,
+                  memmap::DomainId caller = memmap::kTrustedDomain);
+
+  /// ker_malloc as `caller`; a trusted caller allocates on behalf of
+  /// `owner` (SOS's ker_malloc(size, id)); untrusted callers own their own
+  /// allocations and `owner` is ignored by the guest code.
+  CallResult malloc(std::uint16_t size, memmap::DomainId caller,
+                    std::optional<memmap::DomainId> owner = std::nullopt) {
+    return call(kernel_slots::kMalloc, size, owner.value_or(caller), caller);
+  }
+  CallResult free(std::uint16_t ptr, memmap::DomainId caller) {
+    return call(kernel_slots::kFree, ptr, 0, caller);
+  }
+  CallResult change_own(std::uint16_t ptr, memmap::DomainId to, memmap::DomainId caller) {
+    return call(kernel_slots::kChangeOwn, ptr, to, caller);
+  }
+  /// The empty kernel export (pure call-mechanism cost).
+  CallResult nop(memmap::DomainId caller) { return call(kNopSlot, 0, 0, caller); }
+
+  /// Raw memory-map table bytes as seen by the guest/MMC.
+  [[nodiscard]] std::vector<std::uint8_t> guest_map_table() const;
+
+  /// First free flash word after the testbed's own trampolines — where
+  /// tests and examples may load module images.
+  [[nodiscard]] std::uint32_t module_area() const { return trampoline_end_; }
+
+  /// Load a module image into flash and register its extent as `domain`'s
+  /// code region (fabric registers under UMPU, the guest bounds table
+  /// under SFI).
+  void load_module_image(const assembler::Program& p, memmap::DomainId domain);
+
+  /// Install a jump-table entry: slot `slot` of `domain`'s table dispatches
+  /// to `target` (word address; must be rjmp-reachable).
+  void set_jt_entry(memmap::DomainId domain, std::uint32_t slot, std::uint32_t target);
+
+  /// Enter module code at `entry` as `domain`, with a synthetic return
+  /// frame that lands on a BREAK when the module returns.
+  CallResult call_module(std::uint32_t entry_waddr, memmap::DomainId domain,
+                         std::uint16_t arg1 = 0, std::uint8_t arg2 = 0);
+
+  /// Cycle cost of the routine body alone: call minus ker_nop baseline,
+  /// from the same caller domain.
+  [[nodiscard]] std::uint64_t body_cycles(const CallResult& r, memmap::DomainId caller);
+
+  static constexpr std::uint32_t kNopSlot = 7;
+
+ private:
+  void set_caller_domain(memmap::DomainId d);
+  void install_jump_table();
+  void install_trampolines();
+  void set_code_regions();
+
+  Runtime rt_;
+  avr::Device dev_;
+  std::unique_ptr<umpu::Fabric> fabric_;
+  std::uint32_t trampoline_base_ = 0;
+  std::uint32_t trampoline_end_ = 0;
+  std::map<std::uint32_t, std::uint32_t> trampoline_;  // slot -> word address
+  std::map<memmap::DomainId, std::uint64_t> nop_cycles_;
+};
+
+}  // namespace harbor::runtime

@@ -1,0 +1,359 @@
+#include "sfi/rewriter.h"
+
+#include <optional>
+
+#include "asm/builder.h"
+#include "avr/decoder.h"
+
+namespace harbor::sfi {
+
+using namespace harbor::assembler;
+using avr::Instr;
+using avr::Mnemonic;
+
+namespace {
+
+enum class Kind : std::uint8_t {
+  Keep,            // unchanged
+  StoreSimple,     // st through X/Y+/-Y/Z+/-Z pointer forms
+  StoreDisplaced,  // std Y+q / std Z+q via the X-synthesised path
+  StoreAbsolute,   // sts k via the X-synthesised path
+  Ret,             // -> jmp restore_ret
+  Icall,           // -> call icall_check
+  Ijmp,            // -> jmp ijmp_check
+  Branch,          // conditional, internal target (maybe relaxed)
+  Jump,            // rjmp/jmp, internal target -> jmp label
+  CallInternal,    // rcall/call, internal target -> call label
+  CrossCall,       // call into the jump table -> cross_call sequence
+  Skip,            // cpse/sbrc/sbrs/sbic/sbis (maybe transformed)
+};
+
+struct Node {
+  std::uint32_t old_off = 0;
+  Instr ins;
+  Kind kind = Kind::Keep;
+  std::uint32_t target_old = 0;   // internal branch/call target (old offset)
+  std::uint32_t jt_entry = 0;     // cross-call target (absolute)
+  bool is_entry = false;
+  bool relaxed = false;           // Branch: inverted + jmp; Skip: guarded
+  std::uint32_t new_size = 0;     // emitted words (excluding entry prefix)
+};
+
+[[noreturn]] void fail(std::uint32_t off, const std::string& what) {
+  throw RewriteError("rewrite @" + std::to_string(off) + ": " + what);
+}
+
+std::uint32_t stub_for(const StubTable& st, Mnemonic m) {
+  switch (m) {
+    case Mnemonic::StX: return st.st_x;
+    case Mnemonic::StXInc: return st.st_x_inc;
+    case Mnemonic::StXDec: return st.st_x_dec;
+    case Mnemonic::StYInc: return st.st_y_inc;
+    case Mnemonic::StYDec: return st.st_y_dec;
+    case Mnemonic::StZInc: return st.st_z_inc;
+    case Mnemonic::StZDec: return st.st_z_dec;
+    default: return 0;
+  }
+}
+
+/// Emitted word count of a node, excluding the entry prologue.
+std::uint32_t size_of(const Node& n) {
+  switch (n.kind) {
+    case Kind::Keep: return static_cast<std::uint32_t>(n.ins.words());
+    case Kind::StoreSimple: return n.ins.d == 0 ? 2u : 3u;
+    case Kind::StoreDisplaced: return n.ins.d == 0 ? 8u : 9u;
+    case Kind::StoreAbsolute: return n.ins.d == 0 ? 9u : 10u;
+    case Kind::Ret: return 2;
+    case Kind::Icall: return 2;
+    case Kind::Ijmp: return 2;
+    case Kind::Branch: return n.relaxed ? 3u : 1u;
+    case Kind::Jump: return 2;
+    case Kind::CallInternal: return 2;
+    case Kind::CrossCall: return 8;
+    case Kind::Skip: return n.relaxed ? 3u : 1u;
+  }
+  return 1;
+}
+
+}  // namespace
+
+RewriteResult rewrite(const RewriteInput& in, const StubTable& stubs,
+                      std::uint32_t load_origin) {
+  const std::uint32_t nwords = static_cast<std::uint32_t>(in.words.size());
+
+  // --- pass 1: decode & classify -------------------------------------------
+  std::vector<Node> nodes;
+  std::map<std::uint32_t, std::size_t> node_at;  // old offset -> node index
+  for (std::uint32_t off = 0; off < nwords;) {
+    const std::uint16_t w0 = in.words[off];
+    const std::uint16_t w1 = off + 1 < nwords ? in.words[off + 1] : 0;
+    Node n;
+    n.old_off = off;
+    n.ins = avr::decode(w0, w1);
+    if (n.ins.op == Mnemonic::Invalid) fail(off, "undecodable opcode");
+    using M = Mnemonic;
+    const Instr& i = n.ins;
+    auto internal = [&](std::int64_t target) {
+      if (target < 0 || target >= nwords) fail(off, "control transfer leaves the module");
+      n.target_old = static_cast<std::uint32_t>(target);
+    };
+    switch (i.op) {
+      case M::StX: case M::StXInc: case M::StXDec:
+      case M::StYInc: case M::StYDec: case M::StZInc: case M::StZDec:
+        n.kind = Kind::StoreSimple;
+        break;
+      case M::StdY: case M::StdZ:
+        n.kind = Kind::StoreDisplaced;
+        break;
+      case M::Sts:
+        n.kind = Kind::StoreAbsolute;
+        break;
+      case M::Ret:
+        n.kind = Kind::Ret;
+        break;
+      case M::Reti:
+        fail(off, "reti is not allowed in module code");
+      case M::Spm:
+        fail(off, "spm is not allowed in module code");
+      case M::Icall:
+        n.kind = Kind::Icall;
+        break;
+      case M::Ijmp:
+        n.kind = Kind::Ijmp;
+        break;
+      case M::Brbs: case M::Brbc:
+        n.kind = Kind::Branch;
+        internal(static_cast<std::int64_t>(off) + 1 + i.k);
+        break;
+      case M::Rjmp:
+        n.kind = Kind::Jump;
+        internal(static_cast<std::int64_t>(off) + 1 + i.k);
+        break;
+      case M::Rcall:
+        n.kind = Kind::CallInternal;
+        internal(static_cast<std::int64_t>(off) + 1 + i.k);
+        break;
+      case M::Jmp:
+        if (i.k32 < nwords) {
+          n.kind = Kind::Jump;
+          n.target_old = i.k32;
+        } else {
+          fail(off, "jmp to an external address");
+        }
+        break;
+      case M::Call:
+        if (i.k32 < nwords) {
+          n.kind = Kind::CallInternal;
+          n.target_old = i.k32;
+        } else if (stubs.in_jump_table(i.k32)) {
+          n.kind = Kind::CrossCall;
+          n.jt_entry = i.k32;
+        } else {
+          fail(off, "call to an external address outside the jump table");
+        }
+        break;
+      case M::Cpse: case M::Sbrc: case M::Sbrs: case M::Sbic: case M::Sbis:
+        n.kind = Kind::Skip;
+        break;
+      default:
+        n.kind = Kind::Keep;
+        break;
+    }
+    node_at[off] = nodes.size();
+    nodes.push_back(n);
+    off += static_cast<std::uint32_t>(n.ins.words());
+  }
+
+  // --- entries --------------------------------------------------------------
+  for (const std::uint32_t e : in.entries) {
+    const auto it = node_at.find(e);
+    if (it == node_at.end()) fail(e, "entry is not an instruction boundary");
+    nodes[it->second].is_entry = true;
+  }
+
+  // Resolve internal targets to node indices (must hit boundaries).
+  auto target_node = [&](const Node& n) -> std::size_t {
+    const auto it = node_at.find(n.target_old);
+    if (it == node_at.end()) fail(n.old_off, "branch into the middle of an instruction");
+    return it->second;
+  };
+
+  // --- pass 2: skip-guard + relaxation fixpoint ------------------------------
+  // A skip instruction conditionally skips exactly one word; if its
+  // successor expands (or gains an entry prologue), guard it with the
+  // cpse/rjmp/rjmp pattern.
+  for (std::size_t idx = 0; idx < nodes.size(); ++idx) {
+    if (nodes[idx].kind != Kind::Skip) continue;
+    if (idx + 1 >= nodes.size()) fail(nodes[idx].old_off, "skip at the end of the module");
+    const Node& next = nodes[idx + 1];
+    if (next.kind == Kind::Skip)
+      fail(nodes[idx].old_off, "skip followed by skip is not supported by the rewriter");
+  }
+
+  RewriteStats stats;
+  bool changed = true;
+  std::vector<std::uint32_t> new_off(nodes.size() + 1, 0);
+  while (changed) {
+    changed = false;
+    // Decide skip guards from current sizes.
+    for (std::size_t idx = 0; idx + 1 < nodes.size(); ++idx) {
+      Node& n = nodes[idx];
+      if (n.kind != Kind::Skip || n.relaxed) continue;
+      const Node& next = nodes[idx + 1];
+      if (next.is_entry || size_of(next) != 1) {
+        n.relaxed = true;
+        changed = true;
+      }
+    }
+    // Layout.
+    std::uint32_t pos = load_origin;
+    for (std::size_t idx = 0; idx < nodes.size(); ++idx) {
+      new_off[idx] = pos;
+      if (nodes[idx].is_entry) pos += 2;  // call save_ret
+      nodes[idx].new_size = size_of(nodes[idx]);
+      pos += nodes[idx].new_size;
+    }
+    new_off[nodes.size()] = pos;
+    // Relax out-of-range conditional branches.
+    for (std::size_t idx = 0; idx < nodes.size(); ++idx) {
+      Node& n = nodes[idx];
+      if (n.kind != Kind::Branch || n.relaxed) continue;
+      const std::uint32_t site = new_off[idx] + (n.is_entry ? 2u : 0u);
+      const std::int64_t dist =
+          static_cast<std::int64_t>(new_off[target_node(n)]) - (site + 1);
+      if (dist < -64 || dist > 63) {
+        n.relaxed = true;
+        changed = true;
+      }
+    }
+  }
+
+  // --- pass 3: emission -------------------------------------------------------
+  Assembler a(load_origin);
+  std::vector<Label> labels(nodes.size());
+  std::vector<bool> targeted(nodes.size(), false);
+  for (const Node& n : nodes) {
+    if (n.kind == Kind::Branch || n.kind == Kind::Jump || n.kind == Kind::CallInternal)
+      targeted[target_node(n)] = true;
+  }
+  for (std::size_t idx = 0; idx < nodes.size(); ++idx)
+    if (targeted[idx]) labels[idx] = a.make_label();
+
+  RewriteResult out;
+  std::optional<Label> pending_skip_done;  // bound after the next node
+
+  for (std::size_t idx = 0; idx < nodes.size(); ++idx) {
+    const Node& n = nodes[idx];
+    out.offset_map[n.old_off] = a.here();
+    if (targeted[idx]) a.bind(labels[idx]);
+    if (n.is_entry) {
+      a.call_abs(stubs.save_ret);
+      ++stats.entries;
+    }
+    const Instr& i = n.ins;
+    switch (n.kind) {
+      case Kind::Keep:
+        a.emit(i);
+        break;
+      case Kind::StoreSimple:
+        if (i.d != 0) a.mov(r0, Reg(i.d));
+        a.call_abs(stub_for(stubs, i.op));
+        ++stats.stores;
+        break;
+      case Kind::StoreDisplaced: {
+        if (i.d != 0) a.mov(r0, Reg(i.d));
+        a.push(r26);
+        a.push(r27);
+        a.movw(r26, i.op == Mnemonic::StdY ? r28 : r30);
+        a.adiw(r26, i.q);
+        a.call_abs(stubs.st_x);
+        a.pop(r27);
+        a.pop(r26);
+        ++stats.stores;
+        ++stats.displaced_stores;
+        break;
+      }
+      case Kind::StoreAbsolute:
+        if (i.d != 0) a.mov(r0, Reg(i.d));
+        a.push(r26);
+        a.push(r27);
+        a.ldi(r26, static_cast<std::uint8_t>(i.k32 & 0xff));
+        a.ldi(r27, static_cast<std::uint8_t>(i.k32 >> 8));
+        a.call_abs(stubs.st_x);
+        a.pop(r27);
+        a.pop(r26);
+        ++stats.stores;
+        ++stats.displaced_stores;
+        break;
+      case Kind::Ret:
+        a.jmp_abs(stubs.restore_ret);
+        ++stats.rets;
+        break;
+      case Kind::Icall:
+        a.call_abs(stubs.icall_check);
+        ++stats.computed;
+        break;
+      case Kind::Ijmp:
+        a.jmp_abs(stubs.ijmp_check);
+        ++stats.computed;
+        break;
+      case Kind::Branch:
+        if (!n.relaxed) {
+          if (i.op == Mnemonic::Brbs) a.brbs(i.b, labels[target_node(n)]);
+          else a.brbc(i.b, labels[target_node(n)]);
+        } else {
+          // Inverted branch over a jmp.
+          auto skip = a.make_label();
+          if (i.op == Mnemonic::Brbs) a.brbc(i.b, skip);
+          else a.brbs(i.b, skip);
+          a.jmp(labels[target_node(n)]);
+          a.bind(skip);
+          ++stats.relaxed_branches;
+        }
+        break;
+      case Kind::Jump:
+        a.jmp(labels[target_node(n)]);
+        break;
+      case Kind::CallInternal:
+        a.call(labels[target_node(n)]);
+        break;
+      case Kind::CrossCall:
+        a.push(r30);
+        a.push(r31);
+        a.ldi(r30, static_cast<std::uint8_t>(n.jt_entry & 0xff));
+        a.ldi(r31, static_cast<std::uint8_t>(n.jt_entry >> 8));
+        a.call_abs(stubs.cross_call);
+        a.pop(r31);
+        a.pop(r30);
+        ++stats.cross_calls;
+        break;
+      case Kind::Skip:
+        if (!n.relaxed) {
+          a.emit(i);
+        } else {
+          // if-skip: the guarded form preserves "skip exactly the next
+          // original instruction" over an expanded successor.
+          auto exec = a.make_label();
+          auto done = a.make_label();
+          a.emit(i);       // skips the next word when the condition holds
+          a.rjmp(exec);    // condition false: execute the successor
+          a.rjmp(done);    // condition true: skip it
+          a.bind(exec);
+          pending_skip_done = done;
+        }
+        break;
+    }
+    if (n.kind != Kind::Skip && pending_skip_done) {
+      a.bind(*pending_skip_done);
+      pending_skip_done.reset();
+    }
+  }
+  if (pending_skip_done) a.bind(*pending_skip_done);
+  out.offset_map[nwords] = a.here();
+
+  out.program = a.assemble();
+  out.stats = stats;
+  return out;
+}
+
+}  // namespace harbor::sfi

@@ -1,0 +1,73 @@
+#pragma once
+// Binary rewriter: sandboxes a compiled module by replacing every
+// potentially-unsafe instruction with a call/jump into the trusted runtime
+// checkers (paper §4 / Wahbe-style SFI adapted to AVR):
+//
+//   st/std/sts            -> data byte in r0, call harbor_st_<mode>
+//                            (displaced/absolute forms go through an
+//                            X-synthesised address)
+//   ret/reti              -> jmp harbor_restore_ret
+//   icall                 -> call harbor_icall_check
+//   ijmp                  -> jmp harbor_ijmp_check
+//   call <jump table>     -> Z := entry, call harbor_cross_call
+//   function entries      -> call harbor_save_ret prologue
+//
+// Internal control flow is re-laid out with exact relaxation: internal
+// rcall/rjmp are widened to call/jmp, conditional branches are inverted
+// around a jmp only when the expanded layout pushes them out of range.
+//
+// Correctness of the protection does NOT rest on this code: the verifier
+// (verifier.h) independently checks the output (paper: "Harbor's
+// correctness depends only upon the correctness of the verifier and the
+// Harbor runtime, and not on the rewriter").
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asm/program.h"
+#include "sfi/stub_table.h"
+
+namespace harbor::sfi {
+
+/// Raw module code plus the offsets (in words, from the module start) of
+/// every function entry reachable by call or taken as a pointer.
+struct RewriteInput {
+  std::vector<std::uint16_t> words;
+  std::vector<std::uint32_t> entries;
+};
+
+struct RewriteStats {
+  int stores = 0;
+  int displaced_stores = 0;  ///< std/sts routed through the X path
+  int rets = 0;
+  int cross_calls = 0;
+  int computed = 0;          ///< icall/ijmp
+  int entries = 0;
+  int relaxed_branches = 0;
+};
+
+struct RewriteResult {
+  assembler::Program program;  ///< rewritten module at its load origin
+  /// old word offset -> new absolute word address (defined for every
+  /// original instruction boundary).
+  std::map<std::uint32_t, std::uint32_t> offset_map;
+  RewriteStats stats;
+
+  [[nodiscard]] std::uint32_t map_offset(std::uint32_t old_offset) const {
+    return offset_map.at(old_offset);
+  }
+};
+
+class RewriteError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Rewrite `in`, producing an image based at `load_origin`. Throws
+/// RewriteError on undecodable input or disallowed external references.
+RewriteResult rewrite(const RewriteInput& in, const StubTable& stubs,
+                      std::uint32_t load_origin);
+
+}  // namespace harbor::sfi

@@ -1,0 +1,59 @@
+#pragma once
+// Addresses of the trusted runtime's checker stubs, as the rewriter and
+// verifier need them.
+
+#include <cstdint>
+
+#include "runtime/runtime.h"
+
+namespace harbor::sfi {
+
+/// Word addresses of the SFI runtime entry points plus the jump-table
+/// window. Everything a rewritten module is allowed to reach outside its
+/// own code must be listed here.
+struct StubTable {
+  std::uint32_t st_x = 0;
+  std::uint32_t st_x_inc = 0;
+  std::uint32_t st_x_dec = 0;
+  std::uint32_t st_y_inc = 0;
+  std::uint32_t st_y_dec = 0;
+  std::uint32_t st_z_inc = 0;
+  std::uint32_t st_z_dec = 0;
+  std::uint32_t save_ret = 0;
+  std::uint32_t restore_ret = 0;
+  std::uint32_t cross_call = 0;
+  std::uint32_t icall_check = 0;
+  std::uint32_t ijmp_check = 0;
+  std::uint32_t jt_base = 0;
+  std::uint32_t jt_end = 0;
+
+  static StubTable from_runtime(const runtime::Runtime& rt) {
+    const auto& L = rt.options.layout;
+    StubTable t;
+    t.st_x = rt.symbol("harbor_st_x");
+    t.st_x_inc = rt.symbol("harbor_st_x_inc");
+    t.st_x_dec = rt.symbol("harbor_st_x_dec");
+    t.st_y_inc = rt.symbol("harbor_st_y_inc");
+    t.st_y_dec = rt.symbol("harbor_st_y_dec");
+    t.st_z_inc = rt.symbol("harbor_st_z_inc");
+    t.st_z_dec = rt.symbol("harbor_st_z_dec");
+    t.save_ret = rt.symbol("harbor_save_ret");
+    t.restore_ret = rt.symbol("harbor_restore_ret");
+    t.cross_call = rt.symbol("harbor_cross_call");
+    t.icall_check = rt.symbol("harbor_icall_check");
+    t.ijmp_check = rt.symbol("harbor_ijmp_check");
+    t.jt_base = L.jt_base;
+    t.jt_end = L.jt_end();
+    return t;
+  }
+
+  [[nodiscard]] bool is_store_stub(std::uint32_t addr) const {
+    return addr == st_x || addr == st_x_inc || addr == st_x_dec || addr == st_y_inc ||
+           addr == st_y_dec || addr == st_z_inc || addr == st_z_dec;
+  }
+  [[nodiscard]] bool in_jump_table(std::uint32_t addr) const {
+    return addr >= jt_base && addr < jt_end;
+  }
+};
+
+}  // namespace harbor::sfi

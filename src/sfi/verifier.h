@@ -1,0 +1,54 @@
+#pragma once
+// Module verifier: independently checks that a (rewritten) binary cannot
+// escape its sandbox. Run on every node before a module is admitted; the
+// protection guarantee rests on this check plus the trusted runtime, not
+// on the rewriter (paper §4).
+//
+// Rules enforced:
+//   V1  every opcode decodes, and two-word instructions are not entered
+//       mid-way by any branch (instruction-boundary discipline)
+//   V2  no raw data stores (st/std/sts), no push-disguised escapes are
+//       possible (push targets the stack, guarded at run time by the
+//       stack bound in software mode -- allowed), no spm
+//   V3  no raw ret/reti/icall/ijmp: returns and computed transfers must
+//       go through the trusted stubs
+//   V4  direct calls stay inside the module or target a trusted stub
+//       entry; `call harbor_cross_call` must be immediately preceded by
+//       ldi r30/r31 of a jump-table entry
+//   V5  direct jumps/branches stay inside the module (or jmp to
+//       restore_ret / ijmp_check)
+//   V6  out/sbi/cbi may not touch the protection registers or SPL/SPH
+//   V7  skip instructions are followed by a one-word instruction (so the
+//       skip cannot land inside an operand word)
+//   V8  every declared entry begins with `call harbor_save_ret`
+//
+// State kept is one boundary bitmap (|module|/8 bytes) plus O(1) locals;
+// the paper's verifier is "constant state" under its simpler target rules,
+// see DESIGN.md for the deviation note.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sfi/stub_table.h"
+
+namespace harbor::sfi {
+
+struct VerifyResult {
+  bool ok = true;
+  std::string reason;
+  std::uint32_t at = 0;  ///< module-relative word offset of the violation
+
+  static VerifyResult failure(std::uint32_t at, std::string reason) {
+    return {false, std::move(reason), at};
+  }
+};
+
+/// Verify `words` as module code loaded at absolute word address `origin`.
+/// `entries` are absolute word addresses of the module's declared entry
+/// points (exports and address-taken functions).
+VerifyResult verify(std::span<const std::uint16_t> words, std::uint32_t origin,
+                    std::span<const std::uint32_t> entries, const StubTable& stubs);
+
+}  // namespace harbor::sfi

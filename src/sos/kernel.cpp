@@ -1,0 +1,288 @@
+#include "sos/kernel.h"
+
+#include <stdexcept>
+
+#include "asm/builder.h"
+#include "avr/ports.h"
+#include "sfi/rewriter.h"
+#include "sfi/verifier.h"
+
+namespace harbor::sos {
+
+using namespace harbor::assembler;
+using runtime::CallResult;
+using runtime::Testbed;
+namespace ports = avr::ports;
+
+namespace {
+// Host-syscall ports (free slots in the IO map; writable by modules, which
+// matches SOS: any module may post messages or look up subscriptions).
+constexpr std::uint8_t kSysA = 0x1d;
+constexpr std::uint8_t kSysB = 0x1e;
+constexpr std::uint8_t kSysTrig = 0x1f;
+constexpr std::uint8_t kSysSubscribe = 1;
+constexpr std::uint8_t kSysPost = 2;
+}  // namespace
+
+Kernel::Kernel(runtime::Mode mode, runtime::Layout layout) : tb_(mode, layout) {
+  install_syscall_services();
+  fill_default_jump_tables();
+}
+
+void Kernel::install_syscall_services() {
+  // Guest-side service stubs (trusted code, reached through the kernel's
+  // jump table like any other export).
+  Assembler a(tb_.module_area());
+  const std::uint32_t subscribe_impl = a.here();
+  a.out(kSysA, r24);   // domain
+  a.out(kSysB, r22);   // slot
+  a.ldi(r24, kSysSubscribe);
+  a.out(kSysTrig, r24);
+  a.in(r24, kSysA);    // entry address written back by the host
+  a.in(r25, kSysB);
+  a.ret();
+  const std::uint32_t post_impl = a.here();
+  a.out(kSysA, r24);   // destination domain
+  a.out(kSysB, r22);   // message id
+  a.ldi(r24, kSysPost);
+  a.out(kSysTrig, r24);
+  a.clr(r24);
+  a.clr(r25);
+  a.ret();
+  const Program p = a.assemble();
+  tb_.device().flash().load(p.words, p.origin);
+  load_cursor_ = p.end();
+
+  tb_.set_jt_entry(ports::kTrustedDomain, sys_slots::kPost, post_impl);
+  tb_.set_jt_entry(ports::kTrustedDomain, sys_slots::kSubscribe, subscribe_impl);
+  tb_.set_jt_entry(ports::kTrustedDomain, sys_slots::kUndefined,
+                   tb_.runtime().symbol("ker_undefined"));
+
+  // Host side of the syscalls.
+  auto& io = tb_.device().data().io();
+  io.on_write(kSysTrig, [this](std::uint8_t, std::uint8_t id) {
+    auto& io2 = tb_.device().data().io();
+    const std::uint8_t a0 = io2.raw(kSysA);
+    const std::uint8_t b0 = io2.raw(kSysB);
+    if (id == kSysSubscribe) {
+      const std::uint32_t entry = subscribe(static_cast<memmap::DomainId>(a0 & 7), b0);
+      io2.set_raw(kSysA, static_cast<std::uint8_t>(entry & 0xff));
+      io2.set_raw(kSysB, static_cast<std::uint8_t>(entry >> 8));
+    } else if (id == kSysPost) {
+      post(static_cast<memmap::DomainId>(a0 & 7), b0);
+    }
+  });
+}
+
+void Kernel::fill_default_jump_tables() {
+  const auto& L = tb_.layout();
+  const std::uint32_t undef = tb_.runtime().symbol("ker_undefined");
+  for (std::uint8_t d = 0; d < L.domains; ++d) {
+    for (std::uint32_t s = 0; s < L.jt_entries(); ++s) {
+      // Keep the kernel's own service entries.
+      if (d == ports::kTrustedDomain &&
+          (s <= runtime::kernel_slots::kChangeOwn || s == sys_slots::kPost ||
+           s == sys_slots::kSubscribe || s == sys_slots::kUndefined ||
+           s == Testbed::kNopSlot))
+        continue;
+      tb_.set_jt_entry(d, s, undef);
+    }
+  }
+}
+
+memmap::DomainId Kernel::load(const ModuleImage& image,
+                              std::optional<memmap::DomainId> want) {
+  memmap::DomainId domain = 0xff;
+  if (want) {
+    if (*want > 6 || modules_.count(*want)) throw std::runtime_error("sos: domain unavailable");
+    domain = *want;
+  } else {
+    for (memmap::DomainId d = 0; d < 7; ++d) {
+      if (!modules_.count(d)) {
+        domain = d;
+        break;
+      }
+    }
+    if (domain == 0xff) throw std::runtime_error("sos: no free protection domain");
+  }
+
+  LoadedModule m;
+  m.name = image.name;
+  m.domain = domain;
+
+  if (mode() == runtime::Mode::Sfi) {
+    sfi::RewriteInput in;
+    in.words = image.code;
+    for (const Export& e : image.exports) in.entries.push_back(e.offset);
+    for (const std::uint32_t e : image.extra_entries) in.entries.push_back(e);
+    const sfi::StubTable stubs = sfi::StubTable::from_runtime(tb_.runtime());
+    const sfi::RewriteResult res = sfi::rewrite(in, stubs, load_cursor_);
+    const sfi::VerifyResult v =
+        sfi::verify(res.program.words, res.program.origin,
+                    [&] {
+                      std::vector<std::uint32_t> abs;
+                      for (const std::uint32_t e : in.entries) abs.push_back(res.map_offset(e));
+                      return abs;
+                    }(),
+                    stubs);
+    if (!v.ok)
+      throw std::runtime_error("sos: module '" + image.name + "' rejected by verifier: " +
+                               v.reason);
+    tb_.load_module_image(res.program, domain);
+    m.base = res.program.origin;
+    m.end = res.program.end();
+    for (const Export& e : image.exports) m.export_addr[e.slot] = res.map_offset(e.offset);
+  } else {
+    // UMPU/None: the binary runs unmodified; the loader only rebases
+    // internal absolute references.
+    assembler::Program p;
+    p.origin = load_cursor_;
+    p.words = relocate_image(image, load_cursor_);
+    tb_.load_module_image(p, domain);
+    m.base = p.origin;
+    m.end = p.end();
+    for (const Export& e : image.exports) m.export_addr[e.slot] = p.origin + e.offset;
+  }
+  load_cursor_ = m.end;
+
+  // Link the exports into the domain's jump table.
+  for (const auto& [slot, addr] : m.export_addr) tb_.set_jt_entry(domain, slot, addr);
+
+  // Allocate module state on behalf of the module (SOS: the kernel calls
+  // ker_malloc(size, id) during registration; ownership goes to the
+  // module's domain).
+  if (image.state_size > 0) {
+    const CallResult r =
+        tb_.malloc(image.state_size, memmap::kTrustedDomain, domain);
+    if (r.faulted || r.value == 0)
+      throw std::runtime_error("sos: state allocation failed for '" + image.name + "'");
+    m.state_ptr = r.value;
+  }
+
+  modules_.emplace(domain, m);
+  images_[domain] = image;
+  post(domain, msg::kInit, m.state_ptr);
+  return domain;
+}
+
+void Kernel::unload(memmap::DomainId d) {
+  const auto it = modules_.find(d);
+  if (it == modules_.end()) return;
+
+  // Reclaim every heap segment the domain owns: walk the guest memory map
+  // and free as the trusted domain.
+  const auto& L = tb_.layout();
+  const memmap::Config cfg = L.memmap_config();
+  memmap::MemoryMap view(cfg);
+  view.load_table(tb_.guest_map_table());
+  for (std::uint32_t b = L.heap_first_block();
+       b < L.heap_first_block() + L.heap_block_count(); ++b) {
+    const memmap::BlockPerm p = view.block(b);
+    if (p.start && p.owner == d && p != memmap::free_block()) {
+      const CallResult r = tb_.free(view.addr_of_block(b), memmap::kTrustedDomain);
+      if (r.faulted || r.value != 0)
+        throw std::runtime_error("sos: unload could not reclaim a segment");
+    }
+  }
+
+  // Unlink the exports and retire the domain's code region.
+  const std::uint32_t undef = tb_.runtime().symbol("ker_undefined");
+  for (const auto& [slot, addr] : it->second.export_addr) tb_.set_jt_entry(d, slot, undef);
+  if (auto* fab = tb_.fabric()) fab->set_code_region(d, {0, 0});
+
+  // Drop queued messages addressed to the departing module.
+  for (auto qit = queue_.begin(); qit != queue_.end();)
+    qit = qit->dst == d ? queue_.erase(qit) : std::next(qit);
+  dispatch_tramp_.erase(std::make_pair(d, ModuleImage::kHandlerSlot));
+  modules_.erase(it);
+  images_.erase(d);
+}
+
+memmap::DomainId Kernel::restart(memmap::DomainId d, const ModuleImage& image) {
+  unload(d);
+  return load(image, d);
+}
+
+const LoadedModule* Kernel::module(memmap::DomainId d) const {
+  const auto it = modules_.find(d);
+  return it == modules_.end() ? nullptr : &it->second;
+}
+
+const LoadedModule* Kernel::module(const std::string& name) const {
+  for (const auto& [d, m] : modules_)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+void Kernel::post(memmap::DomainId dst, std::uint8_t msg, std::uint16_t arg) {
+  queue_.push_back({dst, msg, arg});
+}
+
+std::uint32_t Kernel::subscribe(memmap::DomainId domain, std::uint32_t slot) const {
+  const auto it = modules_.find(domain);
+  if (it != modules_.end() && it->second.export_addr.count(slot))
+    return tb_.layout().jt_entry(domain, slot);
+  // Absent module/slot: the caller gets the trusted error-stub entry; a
+  // call through it "succeeds" and returns the invalid result 0xFFFF
+  // (the paper's failed cross-domain call, §1.2).
+  return tb_.layout().jt_entry(avr::ports::kTrustedDomain, sys_slots::kUndefined);
+}
+
+std::vector<DispatchRecord> Kernel::run_pending(int max_dispatches) {
+  std::vector<DispatchRecord> log;
+  while (!queue_.empty() && static_cast<int>(log.size()) < max_dispatches) {
+    const PendingMessage pm = queue_.front();
+    queue_.pop_front();
+    const auto it = modules_.find(pm.dst);
+    if (it == modules_.end()) continue;  // module gone: drop
+    const LoadedModule& m = it->second;
+
+    // Dispatch trampoline: a trusted cross-domain call into the module's
+    // handler entry (slot 0 of its jump table).
+    const auto key = std::make_pair(pm.dst, ModuleImage::kHandlerSlot);
+    auto tit = dispatch_tramp_.find(key);
+    if (tit == dispatch_tramp_.end()) {
+      Assembler a(load_cursor_);
+      const std::uint32_t entry = tb_.layout().jt_entry(pm.dst, ModuleImage::kHandlerSlot);
+      if (mode() == runtime::Mode::Sfi) {
+        // The kernel's outgoing calls into modules go through the software
+        // cross-domain stub, exactly like rewritten module code.
+        a.ldi16(r30, static_cast<std::uint16_t>(entry));
+        a.call_abs(tb_.runtime().symbol("harbor_cross_call"));
+      } else {
+        a.call_abs(entry);
+      }
+      a.brk();
+      const assembler::Program p = a.assemble();
+      tb_.device().flash().load(p.words, p.origin);
+      load_cursor_ = p.end();
+      tit = dispatch_tramp_.emplace(key, p.origin).first;
+    }
+
+    Testbed::GuestArgs args;
+    args.r24 = pm.msg;
+    args.r22 = pm.arg;
+    args.r20 = m.state_ptr;
+    DispatchRecord rec{pm.dst, pm.msg, pm.arg,
+                       tb_.run_trampoline(tit->second, args, avr::ports::kTrustedDomain)};
+    log.push_back(rec);
+
+    if (rec.result.faulted && auto_restart_) {
+      // §2.1: the stable kernel restarts the corrupted module with fresh
+      // state; messages already queued for it survive the restart.
+      const auto img_it = images_.find(pm.dst);
+      if (img_it != images_.end()) {
+        const ModuleImage img = img_it->second;
+        std::deque<PendingMessage> keep;
+        for (const auto& q : queue_)
+          if (q.dst == pm.dst && q.msg != msg::kInit) keep.push_back(q);
+        restart(pm.dst, img);
+        for (const auto& q : keep) queue_.push_back(q);
+        ++restarts_[pm.dst];
+      }
+    }
+  }
+  return log;
+}
+
+}  // namespace harbor::sos

@@ -1,0 +1,120 @@
+#pragma once
+// Mini-SOS kernel: dynamically loads module binaries into protection
+// domains, links their exports into per-domain jump tables, allocates
+// module state through the guest allocator (owned by the module's domain),
+// and dispatches messages to module handlers through real cross-domain
+// calls.
+//
+// Substitutions vs. the real SOS (see DESIGN.md §2): the message queue and
+// scheduler loop are host-orchestrated (each dispatch enters guest code
+// through the protection machinery); `post`/`subscribe` are exposed to
+// guest code as kernel jump-table entries backed by host syscall ports.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "runtime/testbed.h"
+#include "sos/module.h"
+
+namespace harbor::sos {
+
+/// Kernel jump-table slots beyond the allocator trio (see
+/// runtime::kernel_slots for 0-2).
+namespace sys_slots {
+inline constexpr std::uint32_t kPost = 3;       ///< post(dst r24, msg r22) -> status
+inline constexpr std::uint32_t kSubscribe = 4;  ///< subscribe(domain r24, slot r22) -> fn addr
+inline constexpr std::uint32_t kUndefined = 6;  ///< error stub: returns 0xFFFF
+}  // namespace sys_slots
+
+struct LoadedModule {
+  std::string name;
+  memmap::DomainId domain = 0;
+  std::uint32_t base = 0;   ///< word address of the (rewritten) image
+  std::uint32_t end = 0;
+  std::uint16_t state_ptr = 0;
+  std::map<std::uint32_t, std::uint32_t> export_addr;  ///< slot -> word address
+};
+
+struct PendingMessage {
+  memmap::DomainId dst;
+  std::uint8_t msg;
+  std::uint16_t arg;
+};
+
+struct DispatchRecord {
+  memmap::DomainId domain;
+  std::uint8_t msg;
+  std::uint16_t arg;
+  runtime::CallResult result;
+};
+
+class Kernel {
+ public:
+  explicit Kernel(runtime::Mode mode, runtime::Layout layout = {});
+
+  /// Load a module into the lowest free domain (or `want` if given).
+  /// In SFI mode the image is rewritten and verified first; a verifier
+  /// rejection throws std::runtime_error and nothing is loaded.
+  memmap::DomainId load(const ModuleImage& image,
+                        std::optional<memmap::DomainId> want = std::nullopt);
+
+  /// Unload a module: every memory segment the domain owns is reclaimed
+  /// (the kernel, as the trusted domain, may free anything — paper §2.4),
+  /// its jump-table entries revert to the error stub, queued messages are
+  /// dropped, and the domain becomes reusable. This is the paper's §2.1
+  /// recovery story: "A stable kernel can always ensure a clean re-start
+  /// of user modules when corruption is detected."
+  void unload(memmap::DomainId d);
+
+  /// Convenience recovery: unload and immediately reload a (typically
+  /// fixed) image into the same domain.
+  memmap::DomainId restart(memmap::DomainId d, const ModuleImage& image);
+
+  /// Automatic recovery policy: when a dispatch faults, unload the
+  /// offending module and reload its image (fresh state), as the paper's
+  /// §2.1 envisions. Off by default; restarts are counted per domain.
+  void set_auto_restart(bool on) { auto_restart_ = on; }
+  [[nodiscard]] int restart_count(memmap::DomainId d) const {
+    const auto it = restarts_.find(d);
+    return it == restarts_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] const LoadedModule* module(memmap::DomainId d) const;
+  [[nodiscard]] const LoadedModule* module(const std::string& name) const;
+
+  /// Queue a message for a module (host-side API; modules use the
+  /// ker_post jump-table entry, which funnels here through a syscall).
+  void post(memmap::DomainId dst, std::uint8_t msg, std::uint16_t arg = 0);
+
+  /// Dispatch queued messages until the queue drains (new messages posted
+  /// by handlers are processed too, up to `max_dispatches`). Returns the
+  /// dispatch log.
+  std::vector<DispatchRecord> run_pending(int max_dispatches = 256);
+
+  /// Resolve an exported function: word address of the jump-table entry,
+  /// or the trusted error-stub entry (whose call returns 0xFFFF) when the
+  /// module or slot is absent — exactly the failure mode of the paper's
+  /// Surge anecdote.
+  [[nodiscard]] std::uint32_t subscribe(memmap::DomainId domain, std::uint32_t slot) const;
+
+  [[nodiscard]] runtime::Testbed& sys() { return tb_; }
+  [[nodiscard]] runtime::Mode mode() const { return tb_.mode(); }
+
+ private:
+  void install_syscall_services();
+  void fill_default_jump_tables();
+
+  runtime::Testbed tb_;
+  std::map<memmap::DomainId, LoadedModule> modules_;
+  std::map<memmap::DomainId, ModuleImage> images_;  ///< for auto restart
+  std::map<memmap::DomainId, int> restarts_;
+  bool auto_restart_ = false;
+  std::deque<PendingMessage> queue_;
+  std::uint32_t load_cursor_ = 0;      ///< next free flash word for modules
+  std::map<std::pair<memmap::DomainId, std::uint32_t>, std::uint32_t> dispatch_tramp_;
+};
+
+}  // namespace harbor::sos

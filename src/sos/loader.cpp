@@ -1,0 +1,50 @@
+#include <stdexcept>
+
+#include "avr/decoder.h"
+#include "avr/encoder.h"
+#include "sos/module.h"
+
+namespace harbor::sos {
+
+std::vector<std::uint16_t> relocate_image(const ModuleImage& image, std::uint32_t base) {
+  using avr::Instr;
+  using avr::Mnemonic;
+  std::vector<std::uint16_t> out = image.code;
+  const std::uint32_t n = static_cast<std::uint32_t>(out.size());
+
+  // Pass 1: rebase internal absolute call/jmp operands.
+  for (std::uint32_t off = 0; off < n;) {
+    const Instr i = avr::decode(out[off], off + 1 < n ? out[off + 1] : 0);
+    if (i.op == Mnemonic::Invalid)
+      throw std::runtime_error("relocate: undecodable opcode in '" + image.name + "'");
+    if ((i.op == Mnemonic::Call || i.op == Mnemonic::Jmp) && i.k32 < n) {
+      Instr r = i;
+      r.k32 = i.k32 + base;
+      const avr::Encoding e = avr::encode(r);
+      out[off] = e.word[0];
+      out[off + 1] = e.word[1];
+    }
+    off += static_cast<std::uint32_t>(i.words());
+  }
+
+  // Pass 2: explicit ldi-pair code pointers.
+  for (const std::uint32_t off : image.code_ptr_relocs) {
+    if (off + 1 >= n) throw std::runtime_error("relocate: reloc offset out of range");
+    const Instr lo = avr::decode(out[off], 0);
+    const Instr hi = avr::decode(out[off + 1], 0);
+    if (lo.op != Mnemonic::Ldi || hi.op != Mnemonic::Ldi)
+      throw std::runtime_error("relocate: reloc does not point at an ldi pair");
+    const std::uint32_t target =
+        (static_cast<std::uint32_t>(hi.imm) << 8 | lo.imm) + base;
+    if (target > 0xffff) throw std::runtime_error("relocate: rebased pointer overflows");
+    Instr nlo = lo;
+    nlo.imm = static_cast<std::uint8_t>(target & 0xff);
+    Instr nhi = hi;
+    nhi.imm = static_cast<std::uint8_t>(target >> 8);
+    out[off] = avr::encode(nlo).word[0];
+    out[off + 1] = avr::encode(nhi).word[0];
+  }
+  return out;
+}
+
+}  // namespace harbor::sos

@@ -1,0 +1,56 @@
+#pragma once
+// SOS-style loadable module images.
+//
+// A module is position-independent raw AVR code (assembled at origin 0;
+// the loader relocates it) plus metadata: exported functions (jump-table
+// slots), additional address-taken entries, a message handler, and the
+// size of its kernel-allocated state block.
+//
+// Handler convention (export slot 0):
+//   handler(msg r24, arg r23:r22, state_ptr r21:r20) -> status r24
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace harbor::sos {
+
+/// One exported function: jump-table `slot` dispatches to word `offset`
+/// inside the module.
+struct Export {
+  std::uint32_t slot = 0;
+  std::uint32_t offset = 0;
+};
+
+struct ModuleImage {
+  std::string name;
+  std::vector<std::uint16_t> code;           ///< raw words, origin 0
+  std::vector<Export> exports;               ///< slot 0 = message handler
+  std::vector<std::uint32_t> extra_entries;  ///< address-taken function offsets
+  std::uint16_t state_size = 0;              ///< kernel-allocated module state
+  /// Word offsets of `ldi rXX, lo8(...)` / `ldi rXX+1, hi8(...)` pairs that
+  /// load a module-internal code address (e.g. for icall): the loader
+  /// rebases them. Direct internal call/jmp operands are rebased
+  /// automatically; only immediate-loaded pointers need listing.
+  std::vector<std::uint32_t> code_ptr_relocs;
+
+  /// Conventional jump-table slots.
+  static constexpr std::uint32_t kHandlerSlot = 0;
+};
+
+/// Rebase a raw origin-0 module image to `base`: internal call/jmp operands
+/// (absolute word addresses below the image size) get `base` added, as do
+/// the ldi-pair code pointers listed in `code_ptr_relocs`. Relative flow
+/// and external absolute targets (jump tables, stubs) are untouched.
+/// Throws std::runtime_error on undecodable input or bad reloc offsets.
+std::vector<std::uint16_t> relocate_image(const ModuleImage& image, std::uint32_t base);
+
+/// Well-known message ids (mirrors SOS).
+namespace msg {
+inline constexpr std::uint8_t kInit = 0;
+inline constexpr std::uint8_t kFinal = 1;
+inline constexpr std::uint8_t kTimer = 2;
+inline constexpr std::uint8_t kData = 3;
+}  // namespace msg
+
+}  // namespace harbor::sos

@@ -1,0 +1,170 @@
+#include "sos/modules.h"
+
+#include "asm/builder.h"
+#include "avr/ports.h"
+#include "runtime/runtime.h"
+#include "sos/kernel.h"
+
+// All modules are position independent: internal control flow uses
+// rjmp/rcall/branches only; the only absolute targets are kernel jump-table
+// entries. Registers: handler(msg r24, arg r23:r22, state r21:r20); r16/r17
+// survive kernel cross-calls (the kernel routines never touch them).
+
+namespace harbor::sos::modules {
+
+using namespace harbor::assembler;
+namespace ports = avr::ports;
+
+namespace {
+std::uint32_t kernel_entry(const runtime::Layout& L, std::uint32_t slot) {
+  return L.jt_entry(ports::kTrustedDomain, slot);
+}
+
+void ret_ok(Assembler& a) {
+  a.clr(r24);
+  a.clr(r25);
+  a.ret();
+}
+}  // namespace
+
+ModuleImage blink() {
+  Assembler a;
+  ModuleImage m;
+  m.name = "blink";
+  m.state_size = 2;
+
+  // handler: count timer messages into state[0], mirror to the debug port.
+  auto not_timer = a.make_label();
+  a.cpi(r24, msg::kTimer);
+  a.brne(not_timer);
+  a.movw(r26, r20);  // X = state
+  a.ld_x(r18);
+  a.inc(r18);
+  a.st_x(r18);
+  a.out(ports::kDebugValLo, r18);
+  ret_ok(a);
+  a.bind(not_timer);
+  ret_ok(a);
+
+  const Program p = a.assemble();
+  m.code = p.words;
+  m.exports = {{ModuleImage::kHandlerSlot, 0}};
+  return m;
+}
+
+ModuleImage tree_routing() {
+  Assembler a;
+  ModuleImage m;
+  m.name = "tree_routing";
+
+  // handler (offset 0): nothing to do.
+  ret_ok(a);
+  // get_hdr_size (exported as slot 1).
+  const std::uint32_t get_hdr = a.here();
+  a.ldi(r24, kTreeHdrSize);
+  a.clr(r25);
+  a.ret();
+
+  const Program p = a.assemble();
+  m.code = p.words;
+  m.exports = {{ModuleImage::kHandlerSlot, 0}, {kTreeGetHdrSizeSlot, get_hdr}};
+  return m;
+}
+
+ModuleImage surge(std::uint8_t tree_domain, bool fixed) {
+  const runtime::Layout L{};  // modules are built against the default layout
+  Assembler a;
+  ModuleImage m;
+  m.name = fixed ? "surge_fixed" : "surge";
+  m.state_size = SurgeState::kSize;
+  constexpr std::uint8_t kPktSize = 32;
+
+  auto check_data = a.make_label();
+  auto done = a.make_label();
+
+  // === kInit ===
+  a.cpi(r24, msg::kInit);
+  a.brne(check_data);
+  a.movw(r16, r20);  // keep the state pointer across kernel calls
+  // buf = ker_malloc(kPktSize)
+  a.ldi(r24, kPktSize);
+  a.clr(r25);
+  a.call_abs(kernel_entry(L, runtime::kernel_slots::kMalloc));
+  a.movw(r26, r16);
+  a.st_x_inc(r24);  // state[0..1] = buf
+  a.st_x_inc(r25);
+  // fn = ker_subscribe(tree_domain, get_hdr_size). The unchecked use of
+  // this subscription's call result below is the bug from the paper.
+  a.ldi(r24, tree_domain);
+  a.ldi(r22, static_cast<std::uint8_t>(kTreeGetHdrSizeSlot));
+  a.call_abs(kernel_entry(L, sys_slots::kSubscribe));
+  a.st_x_inc(r24);  // state[2..3] = jump-table entry of get_hdr_size
+  a.st_x_inc(r25);
+  a.rjmp(done);
+
+  // === kData ===
+  a.bind(check_data);
+  a.cpi(r24, msg::kData);
+  a.brne(done);
+  // Sampling work: checksum over the sample window (keeps the macro
+  // benchmark's protection-op density realistic).
+  {
+    auto csum = a.make_label();
+    a.ldi(r18, 64);
+    a.clr(r19);
+    a.bind(csum);
+    a.add(r19, r18);
+    a.dec(r18);
+    a.brne(csum);
+  }
+  a.movw(r16, r20);
+  a.movw(r26, r16);
+  a.adiw(r26, SurgeState::kFnEntry);
+  a.ld_x_inc(r30);
+  a.ld_x(r31);       // Z = subscribed entry
+  a.icall();         // hdr = tree.get_hdr_size()  (0xFFFF when Tree is absent)
+  if (fixed) {
+    // The corrected module checks the cross-domain error code (§1.2:
+    // "A common programming mistake in SOS is to forget to check the
+    // error code returned by a cross-domain function call").
+    auto hdr_ok = a.make_label();
+    a.ldi(r18, 0xff);
+    a.cpi(r24, 0xff);
+    a.cpc(r25, r18);
+    a.brne(hdr_ok);
+    a.ldi(r24, 0xee);  // report the failure instead of using the value
+    a.clr(r25);
+    a.ret();
+    a.bind(hdr_ok);
+  }
+  // Write the sample at buf[kPktSize - hdr]. With the Tree module loaded
+  // hdr = 8 and this is buf[24]; with the 0xFFFF error result it is
+  // buf[33] — one block past the sample buffer: the wild write the paper's
+  // deployment suffered, which Harbor turns into a protection fault.
+  a.ldi(r18, kPktSize);
+  a.clr(r19);
+  a.sub(r18, r24);
+  a.sbc(r19, r25);
+  a.movw(r26, r16);  // X = state
+  a.ld_x_inc(r20);   // buf lo
+  a.ld_x(r21);       // buf hi
+  a.add(r20, r18);
+  a.adc(r21, r19);
+  a.movw(r26, r20);
+  a.ldi(r20, 0x5a);  // the sensor sample
+  a.st_x(r20);
+  // Report the sample over the radio (Surge's job in the deployment).
+  a.out(ports::kRadioData, r24);  // header size actually used
+  a.out(ports::kRadioData, r20);  // the sample
+  a.ldi(r20, 1);
+  a.out(ports::kRadioCtl, r20);   // commit the frame
+  a.bind(done);
+  ret_ok(a);
+
+  const Program p = a.assemble();
+  m.code = p.words;
+  m.exports = {{ModuleImage::kHandlerSlot, 0}};
+  return m;
+}
+
+}  // namespace harbor::sos::modules

@@ -1,0 +1,40 @@
+#pragma once
+// Stock SOS-style modules used by tests, examples and the macro benchmark:
+//
+//   blink         counts timer messages into its state, mirrors the count
+//                 to the debug-value port
+//   tree_routing  exports get_hdr_size() (slot 1), the paper's Tree routing
+//                 stand-in
+//   surge         the paper's §1.2 anecdote: on a data message it calls the
+//                 Tree routing module's get_hdr_size() through a subscribed
+//                 function pointer and uses the result as a buffer offset
+//                 WITHOUT checking for the 0xFFFF error value. When the
+//                 Tree module is absent, the failed cross-domain call's
+//                 result drives a wild store that Harbor catches.
+//                 `fixed` = true builds the corrected module that checks
+//                 the error code first.
+//
+// Modules are position-independent (relative internal control flow only)
+// so the same image runs raw under UMPU and rewritten under SFI.
+
+#include "sos/module.h"
+
+namespace harbor::sos::modules {
+
+/// Slot 1 of tree_routing: get_hdr_size() -> header size in r25:r24.
+inline constexpr std::uint32_t kTreeGetHdrSizeSlot = 1;
+inline constexpr std::uint8_t kTreeHdrSize = 8;
+
+/// Surge state layout (within its kernel-allocated state block).
+struct SurgeState {
+  static constexpr std::uint16_t kBufPtr = 0;   ///< 2 bytes: sample buffer
+  static constexpr std::uint16_t kFnEntry = 2;  ///< 2 bytes: subscribed entry
+  static constexpr std::uint16_t kSize = 8;
+};
+
+ModuleImage blink();
+ModuleImage tree_routing();
+/// `tree_domain`: the protection domain Surge expects Tree routing in.
+ModuleImage surge(std::uint8_t tree_domain, bool fixed);
+
+}  // namespace harbor::sos::modules

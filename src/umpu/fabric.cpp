@@ -1,0 +1,312 @@
+#include "umpu/fabric.h"
+
+namespace harbor::umpu {
+
+namespace ports = avr::ports;
+using avr::FaultKind;
+using avr::FlowDecision;
+using avr::FlowKind;
+using avr::ReadDecision;
+using avr::ReadKind;
+using avr::WriteDecision;
+using avr::WriteKind;
+
+namespace {
+/// Cross-domain frame marker: top byte of a 5-byte frame has bit 7 set;
+/// low 3 bits carry the previous domain. Local frames' top byte is a return
+/// address high byte, which is < 0x80 because code lives below flash word
+/// 0x8000 (see DESIGN.md).
+constexpr std::uint8_t kFrameMarker = 0x80;
+}  // namespace
+
+Fabric::Fabric(avr::Cpu& cpu) : cpu_(cpu) {
+  cpu_.set_hooks(this);
+  install_io_ports();
+}
+
+void Fabric::emit(TraceEvent::Kind kind, std::uint16_t addr, std::uint8_t to) {
+  if (!trace_) return;
+  trace_(TraceEvent{kind, cpu_.cycle_count(), cpu_.pc(), addr, regs_.cur_domain, to});
+}
+
+// --- IO register file ----------------------------------------------------------
+
+void Fabric::install_io_ports() {
+  auto& io = cpu_.data().io();
+
+  auto reg16 = [&](std::uint8_t lo_port, std::uint16_t Regs::* field) {
+    io.on_write(lo_port, [this, field](std::uint8_t, std::uint8_t v) {
+      regs_.*field = static_cast<std::uint16_t>((regs_.*field & 0xff00) | v);
+    });
+    io.on_write(static_cast<std::uint8_t>(lo_port + 1), [this, field](std::uint8_t, std::uint8_t v) {
+      regs_.*field = static_cast<std::uint16_t>((regs_.*field & 0x00ff) | (v << 8));
+    });
+    io.on_read(lo_port, [this, field](std::uint8_t) {
+      return static_cast<std::uint8_t>(regs_.*field & 0xff);
+    });
+    io.on_read(static_cast<std::uint8_t>(lo_port + 1), [this, field](std::uint8_t) {
+      return static_cast<std::uint8_t>(regs_.*field >> 8);
+    });
+  };
+
+  reg16(ports::kMemMapBaseLo, &Regs::mem_map_base);
+  reg16(ports::kMemProtBotLo, &Regs::mem_prot_bot);
+  reg16(ports::kMemProtTopLo, &Regs::mem_prot_top);
+  reg16(ports::kSafeStackBndLo, &Regs::safe_stack_bnd);
+  reg16(ports::kStackBoundLo, &Regs::stack_bound);
+  reg16(ports::kJumpTableBaseLo, &Regs::jump_table_base);
+
+  // safe_stack_ptr latches safe_stack_base when the high byte is written
+  // (the runtime writes lo then hi exactly once at initialization).
+  io.on_write(ports::kSafeStackPtrLo, [this](std::uint8_t, std::uint8_t v) {
+    regs_.safe_stack_ptr = static_cast<std::uint16_t>((regs_.safe_stack_ptr & 0xff00) | v);
+  });
+  io.on_write(ports::kSafeStackPtrHi, [this](std::uint8_t, std::uint8_t v) {
+    regs_.safe_stack_ptr = static_cast<std::uint16_t>((regs_.safe_stack_ptr & 0x00ff) | (v << 8));
+    regs_.safe_stack_base = regs_.safe_stack_ptr;
+  });
+  io.on_read(ports::kSafeStackPtrLo, [this](std::uint8_t) {
+    return static_cast<std::uint8_t>(regs_.safe_stack_ptr & 0xff);
+  });
+  io.on_read(ports::kSafeStackPtrHi, [this](std::uint8_t) {
+    return static_cast<std::uint8_t>(regs_.safe_stack_ptr >> 8);
+  });
+
+  io.on_write(ports::kMemMapConfig, [this](std::uint8_t, std::uint8_t v) {
+    regs_.mem_map_config = v;
+  });
+  io.on_read(ports::kMemMapConfig, [this](std::uint8_t) { return regs_.mem_map_config; });
+  io.on_write(ports::kJumpTableConfig, [this](std::uint8_t, std::uint8_t v) {
+    regs_.jump_table_config = v;
+  });
+  io.on_read(ports::kJumpTableConfig, [this](std::uint8_t) { return regs_.jump_table_config; });
+  io.on_write(ports::kUmpuCtl, [this](std::uint8_t, std::uint8_t v) { regs_.ctl = v; });
+  io.on_read(ports::kUmpuCtl, [this](std::uint8_t) { return regs_.ctl; });
+  io.on_write(ports::kCurDomain, [this](std::uint8_t, std::uint8_t v) {
+    regs_.cur_domain = v & 0x07;
+  });
+  io.on_read(ports::kCurDomain, [this](std::uint8_t) { return regs_.cur_domain; });
+
+  io.on_read(ports::kFaultKind, [this](std::uint8_t) {
+    return static_cast<std::uint8_t>(last_fault_.kind);
+  });
+  io.on_read(ports::kFaultAddrLo, [this](std::uint8_t) {
+    return static_cast<std::uint8_t>(last_fault_.addr & 0xff);
+  });
+  io.on_read(ports::kFaultAddrHi, [this](std::uint8_t) {
+    return static_cast<std::uint8_t>(last_fault_.addr >> 8);
+  });
+}
+
+// --- MMC + stack bound ----------------------------------------------------------
+
+std::uint8_t Fabric::owner_of(std::uint16_t addr) const {
+  const std::uint32_t offset = static_cast<std::uint32_t>(addr - regs_.mem_prot_bot);
+  const std::uint32_t block = offset >> regs_.block_shift();
+  const auto& ds = cpu_.data();
+  if (regs_.multi_domain()) {
+    const std::uint16_t taddr = static_cast<std::uint16_t>(regs_.mem_map_base + (block >> 1));
+    const std::uint8_t byte = ds.sram_raw(taddr);
+    const std::uint8_t code = (block & 1) ? static_cast<std::uint8_t>(byte >> 4)
+                                          : static_cast<std::uint8_t>(byte & 0x0f);
+    return static_cast<std::uint8_t>((code >> 1) & 0x7);
+  }
+  const std::uint16_t taddr = static_cast<std::uint16_t>(regs_.mem_map_base + (block >> 2));
+  const std::uint8_t code =
+      static_cast<std::uint8_t>((ds.sram_raw(taddr) >> ((block & 3) * 2)) & 0x3);
+  return (code & 0x2) ? ports::kTrustedDomain : 0;
+}
+
+WriteDecision Fabric::check_io_write(std::uint16_t addr) {
+  const std::uint8_t port = static_cast<std::uint8_t>(addr - avr::DataSpace::kIoBase);
+  if (!trusted() && port <= ports::kFaultAddrHi) {
+    emit(TraceEvent::Kind::MmcDeny, addr, regs_.cur_domain);
+    return WriteDecision::deny(FaultKind::IllegalIoWrite);
+  }
+  return WriteDecision::allow();
+}
+
+WriteDecision Fabric::on_write(std::uint16_t addr, std::uint8_t /*value*/, WriteKind kind) {
+  if (!regs_.protect_enabled()) return WriteDecision::allow();
+
+  if (kind == WriteKind::RetPush && regs_.safe_stack_enabled()) {
+    if (regs_.safe_stack_ptr >= regs_.safe_stack_bnd)
+      return WriteDecision::deny(FaultKind::SafeStackOverflow);
+    const std::uint16_t to = regs_.safe_stack_ptr++;
+    ++stats_.ss_push_bytes;
+    emit(TraceEvent::Kind::SsPush, to, regs_.cur_domain);
+    return WriteDecision::steal(to);
+  }
+
+  if (addr < avr::DataSpace::kIoBase) return WriteDecision::allow();  // register file
+  if (addr < avr::DataSpace::kSramBase) return check_io_write(addr);
+
+  // Run-time stack region (above the memory-mapped range): the stack-bound
+  // comparator runs in parallel with the write — no stall (paper §3.3).
+  if (addr >= regs_.mem_prot_top) {
+    if (!trusted() && addr > regs_.stack_bound) {
+      emit(TraceEvent::Kind::StackBoundDeny, addr, regs_.cur_domain);
+      return WriteDecision::deny(FaultKind::StackBoundViolation);
+    }
+    return WriteDecision::allow();
+  }
+
+  // Memory-map checked region: one added bus-stall cycle (paper Table 3).
+  if (regs_.memmap_enabled() && in_protected_range(addr)) {
+    ++stats_.mmc_checks;
+    ++stats_.mmc_stall_cycles;
+    if (!trusted() && owner_of(addr) != regs_.cur_domain) {
+      ++stats_.mmc_denies;
+      emit(TraceEvent::Kind::MmcDeny, addr, regs_.cur_domain);
+      return WriteDecision::deny(FaultKind::MemMapViolation);
+    }
+    emit(TraceEvent::Kind::MmcGrant, addr, regs_.cur_domain);
+    return WriteDecision::allow(/*extra=*/1);
+  }
+  return WriteDecision::allow();
+}
+
+ReadDecision Fabric::on_read(std::uint16_t /*addr*/, ReadKind kind) {
+  if (kind == ReadKind::RetPop && regs_.safe_stack_enabled()) {
+    if (regs_.safe_stack_ptr == regs_.safe_stack_base)
+      return ReadDecision{std::nullopt, 0, FaultKind::IllegalReturn};
+    --regs_.safe_stack_ptr;
+    ++stats_.ss_pop_bytes;
+    emit(TraceEvent::Kind::SsPop, regs_.safe_stack_ptr, regs_.cur_domain);
+    return ReadDecision{regs_.safe_stack_ptr, 0, FaultKind::None};
+  }
+  return {};
+}
+
+// --- cross-domain unit ----------------------------------------------------------
+
+bool Fabric::push_frame_byte(std::uint8_t v) {
+  if (regs_.safe_stack_ptr >= regs_.safe_stack_bnd) return false;
+  cpu_.data().set_sram_raw(regs_.safe_stack_ptr++, v);
+  ++stats_.cross_frame_cycles;
+  return true;
+}
+
+FlowDecision Fabric::cross_domain_call(std::uint32_t target, std::uint32_t ret_addr) {
+  const std::uint32_t idx = target - regs_.jump_table_base;
+  const std::uint8_t callee = static_cast<std::uint8_t>(idx / regs_.jt_entries_per_domain());
+  ++stats_.jump_checks;
+  // Paper: "If the target domain identifier exceeds the maximum number of
+  // domains in the system ... an exception is generated" (the deferred
+  // upper-bound check). in_jump_table() already bounds us; keep the check
+  // for partially-populated tables.
+  if (callee >= regs_.jt_domains())
+    return FlowDecision::deny(FaultKind::IllegalCallTarget);
+  if (callee == regs_.cur_domain) return FlowDecision::normal();
+
+  // 5-byte frame at one byte per cycle: ret_lo, ret_hi, bound_lo, bound_hi,
+  // marker|prev_domain (top byte carries the marker bit).
+  const std::uint8_t prev = regs_.cur_domain;
+  if (!push_frame_byte(static_cast<std::uint8_t>(ret_addr & 0xff)) ||
+      !push_frame_byte(static_cast<std::uint8_t>((ret_addr >> 8) & 0xff)) ||
+      !push_frame_byte(static_cast<std::uint8_t>(regs_.stack_bound & 0xff)) ||
+      !push_frame_byte(static_cast<std::uint8_t>(regs_.stack_bound >> 8)) ||
+      !push_frame_byte(static_cast<std::uint8_t>(kFrameMarker | prev)))
+    return FlowDecision::deny(FaultKind::SafeStackOverflow);
+
+  ++stats_.cross_calls;
+  // The callee may use stack below the caller's SP (the two unwritten
+  // return-address bytes the core still reserves are excluded).
+  regs_.stack_bound = static_cast<std::uint16_t>(cpu_.sp() - 2);
+  emit(TraceEvent::Kind::CrossCall, static_cast<std::uint16_t>(target), callee);
+  regs_.cur_domain = callee;
+  return FlowDecision::handled(/*extra=*/5);
+}
+
+FlowDecision Fabric::cross_domain_return() {
+  auto& ds = cpu_.data();
+  const std::uint16_t p = regs_.safe_stack_ptr;
+  if (p == regs_.safe_stack_base)
+    return FlowDecision::deny(FaultKind::IllegalReturn);
+  const std::uint8_t top = ds.sram_raw(static_cast<std::uint16_t>(p - 1));
+  if (!(top & kFrameMarker)) return FlowDecision::normal();  // local frame
+
+  if (p - regs_.safe_stack_base < 5)
+    return FlowDecision::deny(FaultKind::IllegalReturn);
+  const std::uint8_t prev = top & 0x07;
+  const std::uint16_t bound = static_cast<std::uint16_t>(
+      ds.sram_raw(static_cast<std::uint16_t>(p - 3)) |
+      (ds.sram_raw(static_cast<std::uint16_t>(p - 2)) << 8));
+  const std::uint32_t ret = static_cast<std::uint32_t>(
+      ds.sram_raw(static_cast<std::uint16_t>(p - 5)) |
+      (ds.sram_raw(static_cast<std::uint16_t>(p - 4)) << 8));
+  regs_.safe_stack_ptr = static_cast<std::uint16_t>(p - 5);
+  stats_.cross_frame_cycles += 5;
+  ++stats_.cross_rets;
+  emit(TraceEvent::Kind::CrossRet, static_cast<std::uint16_t>(ret), prev);
+  regs_.cur_domain = prev;
+  regs_.stack_bound = bound;
+  return FlowDecision::handled(/*extra=*/5, ret);
+}
+
+FlowDecision Fabric::on_flow(FlowKind kind, std::uint32_t target, std::uint32_t ret_addr) {
+  if (!regs_.domain_track_enabled()) return FlowDecision::normal();
+
+  switch (kind) {
+    case FlowKind::CallDirect:
+    case FlowKind::CallIndirect:
+      if (in_jump_table(target)) return cross_domain_call(target, ret_addr);
+      if (trusted()) return FlowDecision::normal();
+      ++stats_.jump_checks;
+      if (code_[regs_.cur_domain].contains(target)) return FlowDecision::normal();
+      return FlowDecision::deny(FaultKind::IllegalCallTarget);
+
+    case FlowKind::Ret:
+    case FlowKind::Reti:
+      return cross_domain_return();
+
+    case FlowKind::JumpDirect:
+    case FlowKind::JumpIndirect: {
+      if (trusted()) return FlowDecision::normal();
+      ++stats_.jump_checks;
+      emit(TraceEvent::Kind::JumpCheck, static_cast<std::uint16_t>(target), regs_.cur_domain);
+      if (code_[regs_.cur_domain].contains(target)) return FlowDecision::normal();
+      return FlowDecision::deny(FaultKind::IllegalJumpTarget);
+    }
+
+    case FlowKind::IrqEntry: {
+      // Interrupt handlers run in the trusted domain; entry behaves like a
+      // hardware-initiated cross-domain call (extension, see DESIGN.md §6).
+      const std::uint8_t prev = regs_.cur_domain;
+      if (!push_frame_byte(static_cast<std::uint8_t>(ret_addr & 0xff)) ||
+          !push_frame_byte(static_cast<std::uint8_t>((ret_addr >> 8) & 0xff)) ||
+          !push_frame_byte(static_cast<std::uint8_t>(regs_.stack_bound & 0xff)) ||
+          !push_frame_byte(static_cast<std::uint8_t>(regs_.stack_bound >> 8)) ||
+          !push_frame_byte(static_cast<std::uint8_t>(kFrameMarker | prev)))
+        return FlowDecision::deny(FaultKind::SafeStackOverflow);
+      ++stats_.irq_entries;
+      emit(TraceEvent::Kind::IrqFrame, static_cast<std::uint16_t>(target), ports::kTrustedDomain);
+      regs_.cur_domain = ports::kTrustedDomain;
+      return FlowDecision::handled(/*extra=*/5);
+    }
+  }
+  return FlowDecision::normal();
+}
+
+FaultKind Fabric::on_fetch(std::uint32_t pc) {
+  if (!regs_.domain_track_enabled() || trusted()) return FaultKind::None;
+  if (code_[regs_.cur_domain].contains(pc) || in_jump_table(pc)) return FaultKind::None;
+  ++stats_.fetch_denies;
+  emit(TraceEvent::Kind::FetchDeny, static_cast<std::uint16_t>(pc), regs_.cur_domain);
+  return FaultKind::PcOutOfDomain;
+}
+
+FaultKind Fabric::on_spm(std::uint32_t /*z_byte_addr*/) {
+  if (regs_.protect_enabled() && !trusted()) return FaultKind::IllegalInstruction;
+  return FaultKind::None;
+}
+
+void Fabric::on_fault(const avr::FaultInfo& info) {
+  // Hardware exception entry: record the cause and promote to the trusted
+  // domain so the kernel's fault handler can run.
+  last_fault_ = info;
+  last_fault_.domain = regs_.cur_domain;
+  regs_.cur_domain = ports::kTrustedDomain;
+}
+
+}  // namespace harbor::umpu

@@ -1,0 +1,125 @@
+#pragma once
+// The UMPU fabric: composition of the paper's hardware units, attached to
+// the AVR core through the CpuHooks bus interface.
+//
+//   - Memory Map Checker (MMC): intercepts data-memory writes, stalls the
+//     core one cycle while it translates the address, reads the packed
+//     permission byte from the memory map in SRAM and compares the owner
+//     against the current domain (paper §2.3, Fig. 3).
+//   - Run-time stack protection: writes into the stack region are compared
+//     against the stack_bound register in parallel (no stall; §3.3).
+//   - Safe stack unit: steals the address bus while the core pushes/pops
+//     return addresses, redirecting them to the safe stack (zero added
+//     cycles; §3.4 / Table 3 rows "Save/Restore Ret Addr").
+//   - Domain tracker + cross-domain unit: extends call/ret. Calls into the
+//     jump-table window derive the callee domain from the target offset,
+//     push a 5-byte frame (return address, stack bound, marker|previous
+//     domain) onto the safe stack at one byte per cycle (5-cycle stall,
+//     Table 3), and switch domains; returns unwind it. Computed jumps and
+//     instruction fetches are confined to the current domain (§3.2).
+//
+// Frame disambiguation: a local frame's top byte is the return address high
+// byte; code is required to live below flash word 0x8000 so bit 7 is clear.
+// A cross-domain frame's top byte is 0x80 | previous domain. This is the
+// hardware-visible encoding that lets `ret` decide between the two in one
+// byte-read (see DESIGN.md §5).
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "avr/cpu.h"
+#include "avr/hooks.h"
+#include "avr/ports.h"
+#include "umpu/regs.h"
+
+namespace harbor::umpu {
+
+/// Per-domain executable code region (word addresses, end exclusive).
+/// Programmed by the module loader; the trusted domain is unrestricted.
+struct CodeRegion {
+  std::uint32_t start = 0;
+  std::uint32_t end = 0;
+  [[nodiscard]] bool contains(std::uint32_t pc) const { return pc >= start && pc < end; }
+  [[nodiscard]] bool empty() const { return end <= start; }
+};
+
+/// Bus-level trace event, consumed by the Fig. 3 / Fig. 4 trace benches.
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    MmcGrant, MmcDeny, StackBoundDeny, SsPush, SsPop,
+    CrossCall, CrossRet, IrqFrame, JumpCheck, FetchDeny,
+  };
+  Kind kind;
+  std::uint64_t cycle;      ///< core cycle count at the event
+  std::uint32_t pc;         ///< word address of the instruction
+  std::uint16_t addr;       ///< data address / target
+  std::uint8_t domain_from; ///< active domain before the event
+  std::uint8_t domain_to;   ///< active domain after (calls/returns)
+};
+
+class Fabric : public avr::CpuHooks {
+ public:
+  /// Attaches to the core: installs itself as the hook sink and claims the
+  /// UMPU IO ports on the device's IO file.
+  explicit Fabric(avr::Cpu& cpu);
+
+  [[nodiscard]] Regs& regs() { return regs_; }
+  [[nodiscard]] const Regs& regs() const { return regs_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  [[nodiscard]] std::uint8_t current_domain() const { return regs_.cur_domain; }
+
+  /// Loader interface: program a domain's code-region registers.
+  void set_code_region(std::uint8_t domain, CodeRegion r) { code_[domain & 7] = r; }
+  [[nodiscard]] CodeRegion code_region(std::uint8_t domain) const { return code_[domain & 7]; }
+
+  /// Optional bus trace sink (Fig. 3 / Fig. 4 benches).
+  void set_trace(std::function<void(const TraceEvent&)> sink) { trace_ = std::move(sink); }
+
+  // --- CpuHooks ---
+  avr::WriteDecision on_write(std::uint16_t addr, std::uint8_t v, avr::WriteKind kind) override;
+  avr::ReadDecision on_read(std::uint16_t addr, avr::ReadKind kind) override;
+  avr::FlowDecision on_flow(avr::FlowKind kind, std::uint32_t target,
+                            std::uint32_t ret_addr) override;
+  avr::FaultKind on_fetch(std::uint32_t pc) override;
+  avr::FaultKind on_spm(std::uint32_t z_byte_addr) override;
+  void on_fault(const avr::FaultInfo& info) override;
+
+  /// Last fault recorded by the exception-entry path (also exposed to the
+  /// guest through the kFaultKind/kFaultAddr ports).
+  [[nodiscard]] const avr::FaultInfo& last_fault() const { return last_fault_; }
+
+ private:
+  [[nodiscard]] bool trusted() const { return regs_.cur_domain == avr::ports::kTrustedDomain; }
+  [[nodiscard]] bool in_protected_range(std::uint16_t addr) const {
+    return addr >= regs_.mem_prot_bot && addr < regs_.mem_prot_top;
+  }
+  [[nodiscard]] bool in_jump_table(std::uint32_t waddr) const {
+    return regs_.domain_track_enabled() && waddr >= regs_.jump_table_base &&
+           waddr < regs_.jt_end();
+  }
+
+  /// MMC permission lookup against the table in guest SRAM.
+  [[nodiscard]] std::uint8_t owner_of(std::uint16_t addr) const;
+
+  avr::WriteDecision check_io_write(std::uint16_t addr);
+  avr::FlowDecision cross_domain_call(std::uint32_t target, std::uint32_t ret_addr);
+  avr::FlowDecision cross_domain_return();
+
+  bool push_frame_byte(std::uint8_t v);
+  void emit(TraceEvent::Kind kind, std::uint16_t addr, std::uint8_t to);
+
+  void install_io_ports();
+
+  avr::Cpu& cpu_;
+  Regs regs_;
+  Stats stats_;
+  avr::FaultInfo last_fault_;
+  std::array<CodeRegion, 8> code_{};
+  std::function<void(const TraceEvent&)> trace_;
+};
+
+}  // namespace harbor::umpu

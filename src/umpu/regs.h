@@ -1,0 +1,70 @@
+#pragma once
+// UMPU register file state (paper Table 2 plus the control-flow manager's
+// registers) and per-unit statistics counters used by the benchmarks.
+
+#include <cstdint>
+
+namespace harbor::umpu {
+
+/// Architectural UMPU registers. All are IO-port accessible; writes are
+/// restricted to the trusted domain (enforced by the fabric).
+struct Regs {
+  std::uint16_t mem_map_base = 0;
+  std::uint16_t mem_prot_bot = 0;
+  std::uint16_t mem_prot_top = 0;
+  std::uint8_t mem_map_config = 0;   ///< block shift / domain mode / enable
+  std::uint8_t cur_domain = 7;       ///< current active domain (reset: trusted)
+  std::uint16_t safe_stack_ptr = 0;  ///< next free safe-stack byte (grows up)
+  std::uint16_t safe_stack_base = 0; ///< latched on safe_stack_ptr writes
+  std::uint16_t safe_stack_bnd = 0;  ///< overflow limit (exclusive)
+  std::uint16_t stack_bound = 0;     ///< run-time stack write limit
+  std::uint16_t jump_table_base = 0; ///< flash word address of domain 0's table
+  std::uint8_t jump_table_config = 0;///< log2(entries/domain) | (ndomains-1)<<4
+  std::uint8_t ctl = 0;              ///< master/safe-stack/domain-track enables
+
+  [[nodiscard]] bool protect_enabled() const { return ctl & 0x01; }
+  [[nodiscard]] bool safe_stack_enabled() const { return (ctl & 0x02) && protect_enabled(); }
+  /// Domain tracking needs the safe stack (frames live there), so the
+  /// enable is conjunctive.
+  [[nodiscard]] bool domain_track_enabled() const {
+    return (ctl & 0x04) && (ctl & 0x02) && protect_enabled();
+  }
+  [[nodiscard]] bool memmap_enabled() const {
+    return protect_enabled() && (mem_map_config & 0x80);
+  }
+
+  [[nodiscard]] std::uint8_t block_shift() const { return mem_map_config & 0x07; }
+  [[nodiscard]] bool multi_domain() const { return (mem_map_config & 0x08) != 0; }
+
+  [[nodiscard]] std::uint32_t jt_entries_per_domain() const {
+    return 1u << (jump_table_config & 0x07);
+  }
+  [[nodiscard]] std::uint32_t jt_domains() const {
+    return static_cast<std::uint32_t>(((jump_table_config >> 4) & 0x07) + 1);
+  }
+  [[nodiscard]] std::uint32_t jt_end() const {
+    return jump_table_base + jt_entries_per_domain() * jt_domains();
+  }
+};
+
+/// Cycle/operation counters, one group per hardware unit, so benchmarks can
+/// attribute overhead exactly the way the paper's Table 3 does.
+struct Stats {
+  // Memory map checker.
+  std::uint64_t mmc_checks = 0;        ///< stores routed through the MMC
+  std::uint64_t mmc_stall_cycles = 0;  ///< added bus-stall cycles
+  std::uint64_t mmc_denies = 0;
+  // Safe stack unit.
+  std::uint64_t ss_push_bytes = 0;  ///< redirected return-address bytes
+  std::uint64_t ss_pop_bytes = 0;
+  // Cross-domain unit.
+  std::uint64_t cross_calls = 0;
+  std::uint64_t cross_rets = 0;
+  std::uint64_t cross_frame_cycles = 0;  ///< stall cycles writing/reading frames
+  std::uint64_t irq_entries = 0;
+  // Domain tracker.
+  std::uint64_t jump_checks = 0;
+  std::uint64_t fetch_denies = 0;
+};
+
+}  // namespace harbor::umpu

@@ -1,0 +1,144 @@
+// Builder-level tests: label discipline, fixup range enforcement, symbol
+// tables, pad_to, and the IO register-file plumbing the builder-generated
+// code relies on.
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.h"
+#include "avr/decoder.h"
+#include "avr/memory.h"
+
+namespace {
+
+using namespace harbor::assembler;
+
+TEST(Builder, UnboundLabelRejectedAtAssemble) {
+  Assembler a;
+  auto l = a.make_label("missing");
+  a.rjmp(l);
+  EXPECT_THROW(a.assemble(), std::runtime_error);
+}
+
+TEST(Builder, DoubleBindRejected) {
+  Assembler a;
+  auto l = a.make_label("twice");
+  a.bind(l);
+  EXPECT_THROW(a.bind(l), std::runtime_error);
+}
+
+TEST(Builder, NamedLabelsLandInSymbolTable) {
+  Assembler a;
+  a.nop();
+  a.bind_here("entry");
+  a.nop();
+  a.mark("after");
+  const Program p = a.assemble();
+  EXPECT_EQ(p.symbol("entry"), 1u);
+  EXPECT_EQ(p.symbol("after"), 2u);
+  EXPECT_FALSE(p.symbol("nonexistent").has_value());
+}
+
+TEST(Builder, PadToEmitsNops) {
+  Assembler a(0x10);
+  a.nop();
+  a.pad_to(0x18);
+  EXPECT_EQ(a.here(), 0x18u);
+  a.brk();
+  const Program p = a.assemble();
+  EXPECT_EQ(p.words.size(), 9u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(p.words[i], 0x0000);
+  EXPECT_THROW(a.pad_to(0x10), std::runtime_error);  // backwards
+}
+
+TEST(Builder, BranchRangeEnforced) {
+  Assembler a;
+  auto far = a.make_label();
+  a.breq(far);
+  for (int i = 0; i < 80; ++i) a.nop();
+  a.bind(far);
+  EXPECT_THROW(a.assemble(), std::runtime_error);  // > 63 words
+}
+
+TEST(Builder, RjmpRangeEnforced) {
+  Assembler a;
+  auto far = a.make_label();
+  a.rjmp(far);
+  for (int i = 0; i < 2100; ++i) a.nop();
+  a.bind(far);
+  EXPECT_THROW(a.assemble(), std::runtime_error);  // > 2047 words
+}
+
+TEST(Builder, RjmpAbsRangeEnforced) {
+  Assembler a(0x1000);
+  EXPECT_THROW(a.rjmp_abs(0x2000), std::runtime_error);
+  a.rjmp_abs(0x1001);  // fine
+}
+
+TEST(Builder, LdiCodePtrResolvesForwardLabels) {
+  Assembler a;
+  auto target = a.make_label("t");
+  a.ldi_code_ptr(r30, target);
+  a.pad_to(0x234);
+  a.bind(target);
+  a.ret();
+  const Program p = a.assemble();
+  // The two LDIs must carry 0x34 and 0x02.
+  const auto lo = harbor::avr::decode(p.words[0], 0);
+  const auto hi = harbor::avr::decode(p.words[1], 0);
+  EXPECT_EQ(lo.imm, 0x34);
+  EXPECT_EQ(hi.imm, 0x02);
+}
+
+TEST(Builder, OriginOffsetsEverything) {
+  Assembler a(0x400);
+  EXPECT_EQ(a.here(), 0x400u);
+  a.bind_here("x");
+  a.nop();
+  const Program p = a.assemble();
+  EXPECT_EQ(p.origin, 0x400u);
+  EXPECT_EQ(*p.symbol("x"), 0x400u);
+  EXPECT_EQ(p.end(), 0x401u);
+}
+
+// --- IO register file plumbing ---
+
+TEST(IoFile, InterceptsOverrideBacking) {
+  harbor::avr::Io io;
+  io.write(5, 0x11);
+  EXPECT_EQ(io.read(5), 0x11);
+  int writes = 0;
+  io.on_write(5, [&](std::uint8_t, std::uint8_t v) { writes += v; });
+  io.on_read(5, [](std::uint8_t) -> std::uint8_t { return 0x77; });
+  io.write(5, 3);
+  EXPECT_EQ(writes, 3);
+  EXPECT_EQ(io.read(5), 0x77);
+  EXPECT_EQ(io.raw(5), 0x11);  // backing untouched by intercepted write
+}
+
+TEST(IoFile, OutOfRangePortsAreInert) {
+  harbor::avr::Io io;
+  io.write(200, 1);  // silently ignored
+  EXPECT_EQ(io.read(200), 0);
+}
+
+TEST(DataSpaceDispatch, RegIoSramRouting) {
+  harbor::avr::DataSpace ds(0x0fff);
+  ds.write(0x05, 0xaa);  // register file
+  EXPECT_EQ(ds.reg(5), 0xaa);
+  ds.write(0x25, 0xbb);  // IO port 5
+  EXPECT_EQ(ds.io().read(5), 0xbb);
+  ds.write(0x100, 0xcc);  // SRAM
+  EXPECT_EQ(ds.sram_raw(0x100), 0xcc);
+  ds.write(0x2000, 0xdd);  // beyond ram_end: ignored
+  EXPECT_EQ(ds.read(0x2000), 0);
+}
+
+TEST(DataSpaceDispatch, RegisterPairs) {
+  harbor::avr::DataSpace ds(0x0fff);
+  ds.set_reg_pair(26, 0x1234);
+  EXPECT_EQ(ds.reg(26), 0x34);
+  EXPECT_EQ(ds.reg(27), 0x12);
+  EXPECT_EQ(ds.reg_pair(26), 0x1234);
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Intel-HEX writer/loader tests: round trips, record structure, error
+// detection, and interchange with the simulator's flash loader.
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.h"
+#include "asm/ihex.h"
+#include "avr/device.h"
+
+namespace {
+
+using namespace harbor::assembler;
+
+Program sample_program(std::uint32_t origin, std::size_t nwords) {
+  Assembler a(origin);
+  for (std::size_t i = 0; i < nwords; ++i)
+    a.ldi(r16, static_cast<std::uint8_t>(i * 7 + 1));
+  return a.assemble();
+}
+
+TEST(IntelHex, RoundTripPreservesWordsAndOrigin) {
+  const Program p = sample_program(0x40, 37);  // odd count: partial last record
+  const std::string hex = to_intel_hex(p);
+  const Program back = from_intel_hex(hex);
+  EXPECT_EQ(back.origin, p.origin);
+  EXPECT_EQ(back.words, p.words);
+}
+
+TEST(IntelHex, RecordsAreWellFormed) {
+  const Program p = sample_program(0, 8);
+  const std::string hex = to_intel_hex(p);
+  EXPECT_EQ(hex.substr(0, 1), ":");
+  EXPECT_NE(hex.find(":00000001FF"), std::string::npos);  // EOF record
+  // 16 bytes of data -> one full record line: :10 0000 00 <32 hex> CC
+  EXPECT_EQ(hex.substr(0, 9), ":10000000");
+}
+
+TEST(IntelHex, EmptyProgram) {
+  Program p;
+  const std::string hex = to_intel_hex(p);
+  EXPECT_EQ(hex, ":00000001FF\n");
+  const Program back = from_intel_hex(hex);
+  EXPECT_TRUE(back.words.empty());
+}
+
+TEST(IntelHex, ChecksumMismatchRejected) {
+  const Program p = sample_program(0, 4);
+  std::string hex = to_intel_hex(p);
+  // Corrupt one data nibble (not the checksum itself).
+  const std::size_t i = hex.find("00", 9);
+  hex[i] = hex[i] == 'F' ? '0' : 'F';
+  EXPECT_THROW(from_intel_hex(hex), std::runtime_error);
+}
+
+TEST(IntelHex, MissingEofRejected) {
+  EXPECT_THROW(from_intel_hex(":020000000C94C963\n"), std::runtime_error);
+}
+
+TEST(IntelHex, GarbageRejected) {
+  EXPECT_THROW(from_intel_hex(":zz000001FF\n"), std::runtime_error);
+}
+
+TEST(IntelHex, LoadsIntoSimulatorFlash) {
+  // Assemble, serialize, parse back, load, execute.
+  Assembler a;
+  a.ldi(r16, 0x2b);
+  a.out(harbor::avr::ports::kDebugValLo, r16);
+  a.brk();
+  const std::string hex = to_intel_hex(a.assemble());
+
+  const Program img = from_intel_hex(hex);
+  harbor::avr::Device dev;
+  dev.flash().load(img.words, img.origin);
+  dev.reset();
+  dev.run(100);
+  EXPECT_EQ(dev.data().io().raw(harbor::avr::ports::kDebugValLo), 0x2b);
+}
+
+TEST(IntelHex, GapsFilledWithErasedFlash) {
+  // Two records with a 4-byte hole between them.
+  const std::string hex =
+      ":0200000001027B\n"
+      ":02000800030GF\n";  // malformed on purpose? no — build a good one below
+  (void)hex;
+  Program a1;
+  a1.origin = 0;
+  a1.words = {0x0201};
+  Program a2;
+  a2.origin = 4;
+  a2.words = {0x0403};
+  const std::string two = to_intel_hex(a1) + to_intel_hex(a2);
+  // Strip the first EOF so the concatenation is one valid stream.
+  std::string merged = two;
+  const std::size_t eof = merged.find(":00000001FF\n");
+  merged.erase(eof, 12);
+  const Program back = from_intel_hex(merged);
+  ASSERT_EQ(back.words.size(), 5u);
+  EXPECT_EQ(back.words[0], 0x0201);
+  EXPECT_EQ(back.words[1], 0xffff);  // erased gap
+  EXPECT_EQ(back.words[4], 0x0403);
+}
+
+}  // namespace

@@ -1,0 +1,177 @@
+// Property tests: encode(decode(w)) == w and decode(encode(i)) == i across
+// the instruction set, plus encoder range validation.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "asm/disasm.h"
+#include "avr/decoder.h"
+#include "avr/encoder.h"
+
+namespace {
+
+using namespace harbor::avr;
+
+std::vector<Instr> representative_instructions() {
+  std::vector<Instr> v;
+  auto push = [&](Instr i) { v.push_back(i); };
+
+  // Two-register forms across the register-index corners.
+  for (const Mnemonic m : {Mnemonic::Add, Mnemonic::Adc, Mnemonic::Sub, Mnemonic::Sbc,
+                           Mnemonic::And, Mnemonic::Or, Mnemonic::Eor, Mnemonic::Mov,
+                           Mnemonic::Cp, Mnemonic::Cpc, Mnemonic::Cpse, Mnemonic::Mul}) {
+    for (const std::uint8_t d : {0, 1, 15, 16, 31})
+      for (const std::uint8_t r : {0, 1, 15, 16, 31})
+        push(Instr{.op = m, .d = d, .r = r});
+  }
+  // Immediate forms (upper registers only).
+  for (const Mnemonic m : {Mnemonic::Cpi, Mnemonic::Sbci, Mnemonic::Subi, Mnemonic::Ori,
+                           Mnemonic::Andi, Mnemonic::Ldi}) {
+    for (const std::uint8_t d : {16, 23, 31})
+      for (const std::uint8_t k : {0x00, 0x01, 0x0f, 0x10, 0x7f, 0x80, 0xff})
+        push(Instr{.op = m, .d = d, .imm = k});
+  }
+  // Single-register forms.
+  for (const Mnemonic m : {Mnemonic::Com, Mnemonic::Neg, Mnemonic::Swap, Mnemonic::Inc,
+                           Mnemonic::Asr, Mnemonic::Lsr, Mnemonic::Ror, Mnemonic::Dec,
+                           Mnemonic::Push, Mnemonic::Pop, Mnemonic::Lpm, Mnemonic::LpmInc,
+                           Mnemonic::Elpm, Mnemonic::ElpmInc}) {
+    for (const std::uint8_t d : {0, 13, 31}) push(Instr{.op = m, .d = d});
+  }
+  // Pointer loads/stores.
+  for (const Mnemonic m : {Mnemonic::LdX, Mnemonic::LdXInc, Mnemonic::LdXDec,
+                           Mnemonic::LdYInc, Mnemonic::LdYDec, Mnemonic::LdZInc,
+                           Mnemonic::LdZDec, Mnemonic::StX, Mnemonic::StXInc,
+                           Mnemonic::StXDec, Mnemonic::StYInc, Mnemonic::StYDec,
+                           Mnemonic::StZInc, Mnemonic::StZDec}) {
+    for (const std::uint8_t d : {0, 17, 31}) push(Instr{.op = m, .d = d});
+  }
+  // Displaced forms.
+  for (const Mnemonic m : {Mnemonic::LddY, Mnemonic::LddZ, Mnemonic::StdY, Mnemonic::StdZ})
+    for (const std::uint8_t q : {0, 1, 7, 8, 31, 32, 63})
+      push(Instr{.op = m, .d = 10, .q = q});
+  // LDS/STS (two-word).
+  for (const std::uint32_t a : {0u, 0x60u, 0xfffu, 0xffffu}) {
+    push(Instr{.op = Mnemonic::Lds, .d = 3, .k32 = a});
+    push(Instr{.op = Mnemonic::Sts, .d = 3, .k32 = a});
+  }
+  // MOVW / MULS / MULSU family.
+  push(Instr{.op = Mnemonic::Movw, .d = 0, .r = 30});
+  push(Instr{.op = Mnemonic::Movw, .d = 24, .r = 2});
+  push(Instr{.op = Mnemonic::Muls, .d = 16, .r = 31});
+  push(Instr{.op = Mnemonic::Mulsu, .d = 16, .r = 23});
+  push(Instr{.op = Mnemonic::Fmul, .d = 17, .r = 22});
+  push(Instr{.op = Mnemonic::Fmuls, .d = 18, .r = 21});
+  push(Instr{.op = Mnemonic::Fmulsu, .d = 19, .r = 20});
+  // ADIW/SBIW.
+  for (const std::uint8_t d : {24, 26, 28, 30})
+    for (const std::uint8_t k : {0, 1, 15, 16, 47, 63}) {
+      push(Instr{.op = Mnemonic::Adiw, .d = d, .imm = k});
+      push(Instr{.op = Mnemonic::Sbiw, .d = d, .imm = k});
+    }
+  // IO forms.
+  for (const std::uint8_t a : {0, 15, 16, 31, 32, 63}) {
+    push(Instr{.op = Mnemonic::In, .d = 5, .a = a});
+    push(Instr{.op = Mnemonic::Out, .d = 5, .a = a});
+  }
+  for (const std::uint8_t a : {0, 7, 31})
+    for (const std::uint8_t b : {0, 3, 7}) {
+      push(Instr{.op = Mnemonic::Sbi, .a = a, .b = b});
+      push(Instr{.op = Mnemonic::Cbi, .a = a, .b = b});
+      push(Instr{.op = Mnemonic::Sbic, .a = a, .b = b});
+      push(Instr{.op = Mnemonic::Sbis, .a = a, .b = b});
+    }
+  // Relative control flow.
+  for (const std::int16_t k : {0, 1, -1, 2047, -2048}) {
+    push(Instr{.op = Mnemonic::Rjmp, .k = k});
+    push(Instr{.op = Mnemonic::Rcall, .k = k});
+  }
+  for (const std::int16_t k : {0, 1, -1, 63, -64})
+    for (const std::uint8_t b : {0, 1, 7}) {
+      push(Instr{.op = Mnemonic::Brbs, .b = b, .k = k});
+      push(Instr{.op = Mnemonic::Brbc, .b = b, .k = k});
+    }
+  // Absolute control flow (two-word).
+  for (const std::uint32_t k : {0u, 1u, 0xffffu, 0x10000u, 0x3fffffu}) {
+    push(Instr{.op = Mnemonic::Jmp, .k32 = k});
+    push(Instr{.op = Mnemonic::Call, .k32 = k});
+  }
+  // Bit tests.
+  for (const std::uint8_t b : {0, 4, 7}) {
+    push(Instr{.op = Mnemonic::Sbrc, .d = 9, .b = b});
+    push(Instr{.op = Mnemonic::Sbrs, .d = 9, .b = b});
+    push(Instr{.op = Mnemonic::Bst, .d = 9, .b = b});
+    push(Instr{.op = Mnemonic::Bld, .d = 9, .b = b});
+    push(Instr{.op = Mnemonic::Bset, .b = b});
+    push(Instr{.op = Mnemonic::Bclr, .b = b});
+  }
+  // Nullaries.
+  for (const Mnemonic m : {Mnemonic::Nop, Mnemonic::Ijmp, Mnemonic::Icall, Mnemonic::Ret,
+                           Mnemonic::Reti, Mnemonic::Sleep, Mnemonic::Break, Mnemonic::Wdr,
+                           Mnemonic::LpmR0, Mnemonic::ElpmR0, Mnemonic::Spm})
+    push(Instr{.op = m});
+  return v;
+}
+
+TEST(RoundTrip, EncodeDecodeIsIdentityOnRepresentativeSet) {
+  for (const Instr& i : representative_instructions()) {
+    const Encoding e = encode(i);
+    const Instr back = decode(e.word[0], e.words == 2 ? e.word[1] : 0);
+    EXPECT_EQ(back, i) << "mnemonic " << mnemonic_name(i.op)
+                       << " d=" << int(i.d) << " r=" << int(i.r) << " imm=" << int(i.imm)
+                       << " q=" << int(i.q) << " k=" << i.k << " k32=" << i.k32;
+  }
+}
+
+TEST(RoundTrip, DecodeEncodeIsIdentityOnAllSingleWordOpcodes) {
+  // For every 16-bit pattern that decodes to a valid single-word
+  // instruction, re-encoding must reproduce the original bits.
+  int valid = 0;
+  for (std::uint32_t w = 0; w <= 0xffff; ++w) {
+    const Instr i = decode(static_cast<std::uint16_t>(w), 0x0000);
+    if (i.op == Mnemonic::Invalid || i.words() != 1) continue;
+    const Encoding e = encode(i);
+    ASSERT_EQ(e.words, 1);
+    EXPECT_EQ(e.word[0], static_cast<std::uint16_t>(w))
+        << "mnemonic " << mnemonic_name(i.op) << " w=0x" << std::hex << w;
+    ++valid;
+  }
+  // The AVR opcode space is dense; expect a large valid fraction.
+  EXPECT_GT(valid, 40000);
+}
+
+TEST(RoundTrip, TwoWordFormsCarryTheirSecondWord) {
+  for (const std::uint16_t k : {std::uint16_t{0}, std::uint16_t{0x1234}, std::uint16_t{0xffff}}) {
+    const Encoding lds = encode(Instr{.op = Mnemonic::Lds, .d = 7, .k32 = k});
+    const Instr i = decode(lds.word[0], lds.word[1]);
+    EXPECT_EQ(i.op, Mnemonic::Lds);
+    EXPECT_EQ(i.k32, k);
+  }
+}
+
+TEST(EncoderValidation, RejectsOutOfRangeOperands) {
+  EXPECT_THROW(encode(Instr{.op = Mnemonic::Ldi, .d = 5, .imm = 1}), std::invalid_argument);
+  EXPECT_THROW(encode(Instr{.op = Mnemonic::Adiw, .d = 25, .imm = 1}), std::invalid_argument);
+  EXPECT_THROW(encode(Instr{.op = Mnemonic::Adiw, .d = 24, .imm = 64}), std::invalid_argument);
+  EXPECT_THROW(encode(Instr{.op = Mnemonic::LddY, .d = 1, .q = 64}), std::invalid_argument);
+  EXPECT_THROW(encode(Instr{.op = Mnemonic::Rjmp, .k = 2048}), std::invalid_argument);
+  EXPECT_THROW(encode(Instr{.op = Mnemonic::Rjmp, .k = -2049}), std::invalid_argument);
+  EXPECT_THROW(encode(Instr{.op = Mnemonic::Brbs, .b = 1, .k = 64}), std::invalid_argument);
+  EXPECT_THROW(encode(Instr{.op = Mnemonic::Movw, .d = 1, .r = 2}), std::invalid_argument);
+  EXPECT_THROW(encode(Instr{.op = Mnemonic::Sbi, .a = 32, .b = 0}), std::invalid_argument);
+  EXPECT_THROW(encode(Instr{.op = Mnemonic::Muls, .d = 2, .r = 16}), std::invalid_argument);
+  EXPECT_THROW(encode(Instr{.op = Mnemonic::Jmp, .k32 = 1u << 22}), std::invalid_argument);
+}
+
+TEST(Disasm, FormatsCommonInstructions) {
+  using harbor::assembler::format_instr;
+  EXPECT_EQ(format_instr(Instr{.op = Mnemonic::Ldi, .d = 16, .imm = 0x2a}, 0), "ldi r16, 0x2a");
+  EXPECT_EQ(format_instr(Instr{.op = Mnemonic::StX, .d = 5}, 0), "st X, r5");
+  EXPECT_EQ(format_instr(Instr{.op = Mnemonic::StdY, .d = 2, .q = 3}, 0), "std Y+3, r2");
+  EXPECT_EQ(format_instr(Instr{.op = Mnemonic::Rjmp, .k = -1}, 0x10), "rjmp 0x00010");
+  EXPECT_EQ(format_instr(Instr{.op = Mnemonic::Call, .k32 = 0x123}, 0), "call 0x00123");
+  EXPECT_EQ(format_instr(Instr{.op = Mnemonic::Ret}, 0), "ret");
+}
+
+}  // namespace

@@ -1,0 +1,203 @@
+// Text-assembler front-end tests: syntax coverage, directives, expressions,
+// error reporting, and equivalence with the builder API.
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.h"
+#include "asm/text.h"
+#include "avr/device.h"
+
+namespace {
+
+using namespace harbor::assembler;
+using harbor::avr::Device;
+namespace ports = harbor::avr::ports;
+
+std::uint8_t run_and_get_dbg(const std::string& src) {
+  const Program p = assemble_text(src);
+  Device dev;
+  dev.flash().load(p.words, p.origin);
+  dev.reset();
+  dev.run(100000);
+  return dev.data().io().raw(ports::kDebugValLo);
+}
+
+TEST(TextAsm, BasicProgramRuns) {
+  EXPECT_EQ(run_and_get_dbg(R"(
+      ; count to five
+          ldi r16, 0
+          ldi r17, 5
+      loop:
+          inc r16
+          dec r17
+          brne loop
+          out 0x1a, r16
+          break
+  )"),
+            5);
+}
+
+TEST(TextAsm, EquAndExpressions) {
+  EXPECT_EQ(run_and_get_dbg(R"(
+      .equ BASE = 0x40
+      .equ OFF  = 2
+          ldi r16, BASE + OFF
+          out 0x1a, r16
+          break
+  )"),
+            0x42);
+}
+
+TEST(TextAsm, HexBinaryAndNegativeLiterals) {
+  EXPECT_EQ(run_and_get_dbg(R"(
+          ldi r16, 0b1010
+          ldi r17, 0x30
+          add r16, r17
+          subi r16, 10
+          out 0x1a, r16
+          break
+  )"),
+            0x30);
+}
+
+TEST(TextAsm, PointerOperandsAllForms) {
+  const Program p = assemble_text(R"(
+          ldi r26, 0x00
+          ldi r27, 0x02
+          ldi r16, 1
+          st X+, r16
+          ldi r16, 2
+          st X, r16
+          ldi r28, 0x04
+          ldi r29, 0x02
+          ldi r16, 3
+          st -Y, r16
+          ldi r30, 0x00
+          ldi r31, 0x02
+          ld r20, Z+
+          ld r21, Z
+          ldd r22, Z+2
+          break
+  )");
+  Device dev;
+  dev.flash().load(p.words, p.origin);
+  dev.reset();
+  dev.run(100000);
+  EXPECT_EQ(dev.data().sram_raw(0x200), 1);
+  EXPECT_EQ(dev.data().sram_raw(0x201), 2);
+  EXPECT_EQ(dev.data().sram_raw(0x203), 3);
+  EXPECT_EQ(dev.data().reg(20), 1);
+  EXPECT_EQ(dev.data().reg(21), 2);
+  EXPECT_EQ(dev.data().reg(22), 3);
+}
+
+TEST(TextAsm, CallAndLo8Hi8OfLabel) {
+  EXPECT_EQ(run_and_get_dbg(R"(
+          ldi r30, lo8(fn)
+          ldi r31, hi8(fn)
+          icall
+          out 0x1a, r24
+          break
+      fn:
+          ldi r24, 0x99
+          ret
+  )"),
+            0x99);
+}
+
+TEST(TextAsm, DwAndDbDirectives) {
+  const Program p = assemble_text(R"(
+          rjmp start
+      data:
+          .dw 0xbeef
+          .db 1, 2, "ab"
+      start:
+          break
+  )");
+  ASSERT_TRUE(p.symbol("data").has_value());
+  const std::uint32_t d = *p.symbol("data");
+  EXPECT_EQ(p.words[d - p.origin], 0xbeef);
+  EXPECT_EQ(p.words[d + 1 - p.origin], 0x0201);
+  EXPECT_EQ(p.words[d + 2 - p.origin], static_cast<std::uint16_t>('a' | ('b' << 8)));
+}
+
+TEST(TextAsm, OrgPadsWithNops) {
+  const Program p = assemble_text(R"(
+          nop
+      .org 0x10
+      entry:
+          break
+  )");
+  EXPECT_EQ(*p.symbol("entry"), 0x10u);
+  EXPECT_EQ(p.words.size(), 0x11u);
+}
+
+TEST(TextAsm, MultipleLabelsAndSameLineLabel) {
+  const Program p = assemble_text(R"(
+      a: b:
+      c:  nop
+          break
+  )");
+  EXPECT_EQ(*p.symbol("a"), 0u);
+  EXPECT_EQ(*p.symbol("b"), 0u);
+  EXPECT_EQ(*p.symbol("c"), 0u);
+}
+
+TEST(TextAsm, ErrorsCarryLineNumbers) {
+  try {
+    assemble_text("  nop\n  bogus r1\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(TextAsm, UnboundLabelIsAnError) {
+  EXPECT_THROW(assemble_text("  rjmp nowhere\n"), AsmError);
+}
+
+TEST(TextAsm, DuplicateLabelIsAnError) {
+  EXPECT_THROW(assemble_text("x: nop\nx: nop\n"), AsmError);
+}
+
+TEST(TextAsm, BadRegisterIsAnError) {
+  EXPECT_THROW(assemble_text("  ldi r33, 1\n"), AsmError);
+  EXPECT_THROW(assemble_text("  ldi r5, 1\n"), AsmError);  // ldi needs r16+
+}
+
+TEST(TextAsm, BranchOutOfRangeIsAnError) {
+  std::string src = "start:\n";
+  for (int i = 0; i < 100; ++i) src += "  nop\n";
+  src += "  brne start\n";
+  EXPECT_THROW(assemble_text(src), AsmError);
+}
+
+TEST(TextAsm, CommentInsideStringSurvives) {
+  const Program p = assemble_text(R"(
+      s: .db "a;b"
+         break
+  )");
+  EXPECT_EQ(p.words[0] & 0xff, 'a');
+}
+
+TEST(TextAsm, EquivalentToBuilderOutput) {
+  Assembler a;
+  auto loop = a.make_label("loop");
+  a.ldi(r18, 3);
+  a.bind(loop);
+  a.dec(r18);
+  a.brne(loop);
+  a.ret();
+  const Program built = a.assemble();
+
+  const Program text = assemble_text(R"(
+          ldi r18, 3
+      loop:
+          dec r18
+          brne loop
+          ret
+  )");
+  EXPECT_EQ(built.words, text.words);
+}
+
+}  // namespace

@@ -1,0 +1,301 @@
+// Instruction-semantics tests for the AVR core ALU: flag behaviour checked
+// against a host-arithmetic oracle over parameterized operand sweeps.
+
+#include <gtest/gtest.h>
+
+#include "avr/cpu.h"
+#include "avr/encoder.h"
+
+namespace {
+
+using namespace harbor::avr;
+
+class AluFixture : public ::testing::Test {
+ protected:
+  AluFixture() : flash(1024), ds(0x0fff), cpu(flash, ds) {}
+
+  /// Place one instruction at word 0 followed by BREAK, run it, and leave
+  /// the core state for inspection.
+  void run1(const Instr& in) {
+    const Encoding e = encode(in);
+    flash.write_word(0, e.word[0]);
+    flash.write_word(1, e.words == 2 ? e.word[1] : encode(Instr{.op = Mnemonic::Break}).word[0]);
+    flash.write_word(2, encode(Instr{.op = Mnemonic::Break}).word[0]);
+    cpu.set_pc(0);
+    cpu.clear_halt();
+    cpu.step();
+  }
+
+  Flash flash;
+  DataSpace ds;
+  Cpu cpu;
+};
+
+// --- ADD/ADC/SUB/SBC flag oracle over an operand sweep ---
+
+struct AluCase {
+  std::uint8_t a, b;
+  bool carry_in;
+};
+
+class AddSubSweep : public AluFixture, public ::testing::WithParamInterface<AluCase> {};
+
+TEST_P(AddSubSweep, AddMatchesOracle) {
+  const auto [a, b, cin] = GetParam();
+  ds.set_reg(4, a);
+  ds.set_reg(5, b);
+  run1(Instr{.op = Mnemonic::Add, .d = 4, .r = 5});
+  const unsigned full = unsigned(a) + unsigned(b);
+  EXPECT_EQ(ds.reg(4), static_cast<std::uint8_t>(full));
+  EXPECT_EQ(cpu.sreg().c, full > 0xff);
+  EXPECT_EQ(cpu.sreg().z, static_cast<std::uint8_t>(full) == 0);
+  EXPECT_EQ(cpu.sreg().n, (full & 0x80) != 0);
+  const bool ovf = ((a ^ full) & (b ^ full) & 0x80) != 0;
+  EXPECT_EQ(cpu.sreg().v, ovf);
+  EXPECT_EQ(cpu.sreg().s, cpu.sreg().n != cpu.sreg().v);
+  EXPECT_EQ(cpu.sreg().h, ((a & 0x0f) + (b & 0x0f)) > 0x0f);
+}
+
+TEST_P(AddSubSweep, AdcMatchesOracle) {
+  const auto [a, b, cin] = GetParam();
+  ds.set_reg(4, a);
+  ds.set_reg(5, b);
+  cpu.sreg().c = cin;
+  run1(Instr{.op = Mnemonic::Adc, .d = 4, .r = 5});
+  const unsigned full = unsigned(a) + unsigned(b) + (cin ? 1 : 0);
+  EXPECT_EQ(ds.reg(4), static_cast<std::uint8_t>(full));
+  EXPECT_EQ(cpu.sreg().c, full > 0xff);
+  EXPECT_EQ(cpu.sreg().h, ((a & 0x0f) + (b & 0x0f) + (cin ? 1 : 0)) > 0x0f);
+}
+
+TEST_P(AddSubSweep, SubMatchesOracle) {
+  const auto [a, b, cin] = GetParam();
+  ds.set_reg(4, a);
+  ds.set_reg(5, b);
+  run1(Instr{.op = Mnemonic::Sub, .d = 4, .r = 5});
+  const std::uint8_t res = static_cast<std::uint8_t>(a - b);
+  EXPECT_EQ(ds.reg(4), res);
+  EXPECT_EQ(cpu.sreg().c, b > a);
+  EXPECT_EQ(cpu.sreg().z, res == 0);
+  const bool ovf = ((a ^ b) & (a ^ res) & 0x80) != 0;
+  EXPECT_EQ(cpu.sreg().v, ovf);
+}
+
+TEST_P(AddSubSweep, SbcMatchesOracleIncludingZChain) {
+  const auto [a, b, cin] = GetParam();
+  ds.set_reg(4, a);
+  ds.set_reg(5, b);
+  cpu.sreg().c = cin;
+  cpu.sreg().z = true;  // SBC must only keep Z when the result is zero
+  run1(Instr{.op = Mnemonic::Sbc, .d = 4, .r = 5});
+  const std::uint8_t res = static_cast<std::uint8_t>(a - b - (cin ? 1 : 0));
+  EXPECT_EQ(ds.reg(4), res);
+  EXPECT_EQ(cpu.sreg().c, unsigned(b) + (cin ? 1u : 0u) > a);
+  EXPECT_EQ(cpu.sreg().z, res == 0);  // previous Z was true
+}
+
+TEST_P(AddSubSweep, CpMatchesSubWithoutWriteback) {
+  const auto [a, b, cin] = GetParam();
+  ds.set_reg(4, a);
+  ds.set_reg(5, b);
+  run1(Instr{.op = Mnemonic::Cp, .d = 4, .r = 5});
+  EXPECT_EQ(ds.reg(4), a);  // no writeback
+  EXPECT_EQ(cpu.sreg().c, b > a);
+  EXPECT_EQ(cpu.sreg().z, a == b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OperandSweep, AddSubSweep,
+    ::testing::Values(AluCase{0, 0, false}, AluCase{1, 1, false}, AluCase{0xff, 1, false},
+                      AluCase{0x7f, 1, false}, AluCase{0x80, 0x80, false},
+                      AluCase{0x80, 1, true}, AluCase{0x0f, 0x01, false},
+                      AluCase{0xaa, 0x55, true}, AluCase{0x01, 0xff, true},
+                      AluCase{0xf0, 0x10, false}, AluCase{0x10, 0xf0, true},
+                      AluCase{0x7f, 0x7f, true}, AluCase{0xff, 0xff, true}));
+
+// --- logic ops ---
+
+TEST_F(AluFixture, AndOrEorClearVAndSetNZ) {
+  ds.set_reg(2, 0xf0);
+  ds.set_reg(3, 0x0f);
+  cpu.sreg().v = true;
+  run1(Instr{.op = Mnemonic::And, .d = 2, .r = 3});
+  EXPECT_EQ(ds.reg(2), 0x00);
+  EXPECT_TRUE(cpu.sreg().z);
+  EXPECT_FALSE(cpu.sreg().v);
+  EXPECT_FALSE(cpu.sreg().n);
+
+  ds.set_reg(2, 0xf0);
+  run1(Instr{.op = Mnemonic::Or, .d = 2, .r = 3});
+  EXPECT_EQ(ds.reg(2), 0xff);
+  EXPECT_TRUE(cpu.sreg().n);
+
+  run1(Instr{.op = Mnemonic::Eor, .d = 2, .r = 2});
+  EXPECT_EQ(ds.reg(2), 0x00);
+  EXPECT_TRUE(cpu.sreg().z);
+}
+
+TEST_F(AluFixture, ComSetsCarry) {
+  ds.set_reg(9, 0x55);
+  run1(Instr{.op = Mnemonic::Com, .d = 9});
+  EXPECT_EQ(ds.reg(9), 0xaa);
+  EXPECT_TRUE(cpu.sreg().c);
+}
+
+TEST_F(AluFixture, NegOfZeroClearsCarry) {
+  ds.set_reg(9, 0);
+  run1(Instr{.op = Mnemonic::Neg, .d = 9});
+  EXPECT_EQ(ds.reg(9), 0);
+  EXPECT_FALSE(cpu.sreg().c);
+  EXPECT_TRUE(cpu.sreg().z);
+  ds.set_reg(9, 1);
+  run1(Instr{.op = Mnemonic::Neg, .d = 9});
+  EXPECT_EQ(ds.reg(9), 0xff);
+  EXPECT_TRUE(cpu.sreg().c);
+}
+
+TEST_F(AluFixture, IncDecOverflowEdges) {
+  ds.set_reg(1, 0x7f);
+  run1(Instr{.op = Mnemonic::Inc, .d = 1});
+  EXPECT_EQ(ds.reg(1), 0x80);
+  EXPECT_TRUE(cpu.sreg().v);
+  ds.set_reg(1, 0x80);
+  run1(Instr{.op = Mnemonic::Dec, .d = 1});
+  EXPECT_EQ(ds.reg(1), 0x7f);
+  EXPECT_TRUE(cpu.sreg().v);
+  // INC/DEC must not touch carry.
+  cpu.sreg().c = true;
+  ds.set_reg(1, 5);
+  run1(Instr{.op = Mnemonic::Inc, .d = 1});
+  EXPECT_TRUE(cpu.sreg().c);
+}
+
+// --- shifts ---
+
+TEST_F(AluFixture, LsrRorAsrSemantics) {
+  ds.set_reg(7, 0x81);
+  run1(Instr{.op = Mnemonic::Lsr, .d = 7});
+  EXPECT_EQ(ds.reg(7), 0x40);
+  EXPECT_TRUE(cpu.sreg().c);
+  EXPECT_FALSE(cpu.sreg().n);
+
+  ds.set_reg(7, 0x02);
+  cpu.sreg().c = true;
+  run1(Instr{.op = Mnemonic::Ror, .d = 7});
+  EXPECT_EQ(ds.reg(7), 0x81);
+  EXPECT_FALSE(cpu.sreg().c);
+  EXPECT_TRUE(cpu.sreg().n);
+
+  ds.set_reg(7, 0x85);
+  run1(Instr{.op = Mnemonic::Asr, .d = 7});
+  EXPECT_EQ(ds.reg(7), 0xc2);
+  EXPECT_TRUE(cpu.sreg().c);
+}
+
+TEST_F(AluFixture, SwapNibbles) {
+  ds.set_reg(20, 0xa5);
+  run1(Instr{.op = Mnemonic::Swap, .d = 20});
+  EXPECT_EQ(ds.reg(20), 0x5a);
+}
+
+// --- 16-bit ADIW/SBIW ---
+
+struct WideCase {
+  std::uint16_t start;
+  std::uint8_t k;
+};
+
+class WideSweep : public AluFixture, public ::testing::WithParamInterface<WideCase> {};
+
+TEST_P(WideSweep, AdiwMatchesOracle) {
+  const auto [start, k] = GetParam();
+  ds.set_reg_pair(26, start);
+  run1(Instr{.op = Mnemonic::Adiw, .d = 26, .imm = k});
+  const std::uint16_t expect = static_cast<std::uint16_t>(start + k);
+  EXPECT_EQ(ds.reg_pair(26), expect);
+  EXPECT_EQ(cpu.sreg().z, expect == 0);
+  EXPECT_EQ(cpu.sreg().c, expect < start);
+}
+
+TEST_P(WideSweep, SbiwMatchesOracle) {
+  const auto [start, k] = GetParam();
+  ds.set_reg_pair(28, start);
+  run1(Instr{.op = Mnemonic::Sbiw, .d = 28, .imm = k});
+  const std::uint16_t expect = static_cast<std::uint16_t>(start - k);
+  EXPECT_EQ(ds.reg_pair(28), expect);
+  EXPECT_EQ(cpu.sreg().c, k > start);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WideSweep,
+                         ::testing::Values(WideCase{0, 0}, WideCase{0xffff, 1},
+                                           WideCase{0x00ff, 1}, WideCase{0x0100, 1},
+                                           WideCase{0x7fff, 63}, WideCase{0x8000, 1},
+                                           WideCase{0, 63}, WideCase{0x1234, 32}));
+
+// --- multiply family ---
+
+TEST_F(AluFixture, MulUnsigned) {
+  ds.set_reg(16, 200);
+  ds.set_reg(17, 100);
+  run1(Instr{.op = Mnemonic::Mul, .d = 16, .r = 17});
+  EXPECT_EQ(ds.reg_pair(0), 20000);
+  EXPECT_FALSE(cpu.sreg().c);
+  ds.set_reg(16, 255);
+  ds.set_reg(17, 255);
+  run1(Instr{.op = Mnemonic::Mul, .d = 16, .r = 17});
+  EXPECT_EQ(ds.reg_pair(0), 65025);
+  EXPECT_TRUE(cpu.sreg().c);
+}
+
+TEST_F(AluFixture, MulsSigned) {
+  ds.set_reg(16, static_cast<std::uint8_t>(-5));
+  ds.set_reg(17, 10);
+  run1(Instr{.op = Mnemonic::Muls, .d = 16, .r = 17});
+  EXPECT_EQ(static_cast<std::int16_t>(ds.reg_pair(0)), -50);
+}
+
+TEST_F(AluFixture, MulsuMixed) {
+  ds.set_reg(16, static_cast<std::uint8_t>(-2));
+  ds.set_reg(17, 200);
+  run1(Instr{.op = Mnemonic::Mulsu, .d = 16, .r = 17});
+  EXPECT_EQ(static_cast<std::int16_t>(ds.reg_pair(0)), -400);
+}
+
+// --- SREG bit ops ---
+
+TEST_F(AluFixture, BsetBclrBstBld) {
+  run1(Instr{.op = Mnemonic::Bset, .b = 0});
+  EXPECT_TRUE(cpu.sreg().c);
+  run1(Instr{.op = Mnemonic::Bclr, .b = 0});
+  EXPECT_FALSE(cpu.sreg().c);
+
+  ds.set_reg(3, 0b0100);
+  run1(Instr{.op = Mnemonic::Bst, .d = 3, .b = 2});
+  EXPECT_TRUE(cpu.sreg().t);
+  ds.set_reg(4, 0);
+  run1(Instr{.op = Mnemonic::Bld, .d = 4, .b = 7});
+  EXPECT_EQ(ds.reg(4), 0x80);
+}
+
+TEST_F(AluFixture, MovwMovesPair) {
+  ds.set_reg_pair(30, 0xbeef);
+  run1(Instr{.op = Mnemonic::Movw, .d = 24, .r = 30});
+  EXPECT_EQ(ds.reg_pair(24), 0xbeef);
+}
+
+// --- cycle counting sanity ---
+
+TEST_F(AluFixture, SingleCycleAluAndTwoCycleWide) {
+  ds.set_reg(4, 1);
+  ds.set_reg(5, 1);
+  const Encoding add = encode(Instr{.op = Mnemonic::Add, .d = 4, .r = 5});
+  flash.write_word(0, add.word[0]);
+  cpu.set_pc(0);
+  EXPECT_EQ(cpu.step().cycles, 1);
+
+  const Encoding adiw = encode(Instr{.op = Mnemonic::Adiw, .d = 24, .imm = 1});
+  flash.write_word(1, adiw.word[0]);
+  EXPECT_EQ(cpu.step().cycles, 2);
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Cycle-count conformance: every instruction class retires in the number
+// of cycles the AVR instruction-set manual specifies for an
+// ATmega103-class (16-bit PC) part. Table-driven.
+
+#include <gtest/gtest.h>
+
+#include "avr/cpu.h"
+#include "avr/encoder.h"
+
+namespace {
+
+using namespace harbor::avr;
+
+struct CycleCase {
+  const char* name;
+  Instr instr;
+  int cycles;
+  // Optional pre-state.
+  std::uint8_t rd_val = 0;
+  bool carry = false;
+};
+
+class CycleConformance : public ::testing::TestWithParam<CycleCase> {};
+
+TEST_P(CycleConformance, MatchesManual) {
+  const CycleCase& c = GetParam();
+  Flash flash(4096);
+  DataSpace ds(0x0fff);
+  Cpu cpu(flash, ds);
+  const Encoding e = encode(c.instr);
+  flash.write_word(0x100, e.word[0]);
+  if (e.words == 2) flash.write_word(0x101, e.word[1]);
+  cpu.set_pc(0x100);
+  cpu.set_sp(0x0f00);
+  ds.set_reg(c.instr.d, c.rd_val);
+  cpu.sreg().c = c.carry;
+  // For RET: plant a return address on the stack.
+  if (c.instr.op == Mnemonic::Ret || c.instr.op == Mnemonic::Reti) {
+    ds.set_sram_raw(0x0f01, 0);  // hi
+    ds.set_sram_raw(0x0f02, 0x10);
+  }
+  EXPECT_EQ(cpu.step().cycles, c.cycles) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Manual, CycleConformance,
+    ::testing::Values(
+        CycleCase{"add", {.op = Mnemonic::Add, .d = 1, .r = 2}, 1},
+        CycleCase{"subi", {.op = Mnemonic::Subi, .d = 17, .imm = 1}, 1},
+        CycleCase{"mov", {.op = Mnemonic::Mov, .d = 1, .r = 2}, 1},
+        CycleCase{"movw", {.op = Mnemonic::Movw, .d = 2, .r = 4}, 1},
+        CycleCase{"ldi", {.op = Mnemonic::Ldi, .d = 16, .imm = 5}, 1},
+        CycleCase{"nop", {.op = Mnemonic::Nop}, 1},
+        CycleCase{"in", {.op = Mnemonic::In, .d = 1, .a = 0x3f}, 1},
+        CycleCase{"out", {.op = Mnemonic::Out, .d = 1, .a = 0x1a}, 1},
+        CycleCase{"adiw", {.op = Mnemonic::Adiw, .d = 24, .imm = 1}, 2},
+        CycleCase{"sbiw", {.op = Mnemonic::Sbiw, .d = 24, .imm = 1}, 2},
+        CycleCase{"mul", {.op = Mnemonic::Mul, .d = 3, .r = 4}, 2},
+        CycleCase{"muls", {.op = Mnemonic::Muls, .d = 16, .r = 17}, 2},
+        CycleCase{"sbi", {.op = Mnemonic::Sbi, .a = 0x10, .b = 1}, 2},
+        CycleCase{"cbi", {.op = Mnemonic::Cbi, .a = 0x10, .b = 1}, 2},
+        CycleCase{"ld_x", {.op = Mnemonic::LdX, .d = 4}, 2},
+        CycleCase{"ld_x_inc", {.op = Mnemonic::LdXInc, .d = 4}, 2},
+        CycleCase{"ldd_y", {.op = Mnemonic::LddY, .d = 4, .q = 3}, 2},
+        CycleCase{"lds", {.op = Mnemonic::Lds, .d = 4, .k32 = 0x200}, 2},
+        CycleCase{"st_x", {.op = Mnemonic::StX, .d = 4}, 2},
+        CycleCase{"std_z", {.op = Mnemonic::StdZ, .d = 4, .q = 1}, 2},
+        CycleCase{"sts", {.op = Mnemonic::Sts, .d = 4, .k32 = 0x200}, 2},
+        CycleCase{"push", {.op = Mnemonic::Push, .d = 4}, 2},
+        CycleCase{"pop", {.op = Mnemonic::Pop, .d = 4}, 2},
+        CycleCase{"rjmp", {.op = Mnemonic::Rjmp, .k = 5}, 2},
+        CycleCase{"ijmp", {.op = Mnemonic::Ijmp}, 2},
+        CycleCase{"jmp", {.op = Mnemonic::Jmp, .k32 = 0x200}, 3},
+        CycleCase{"rcall", {.op = Mnemonic::Rcall, .k = 5}, 3},
+        CycleCase{"icall", {.op = Mnemonic::Icall}, 3},
+        CycleCase{"call", {.op = Mnemonic::Call, .k32 = 0x200}, 4},
+        CycleCase{"ret", {.op = Mnemonic::Ret}, 4},
+        CycleCase{"reti", {.op = Mnemonic::Reti}, 4},
+        CycleCase{"lpm", {.op = Mnemonic::Lpm, .d = 4}, 3},
+        CycleCase{"lpm_r0", {.op = Mnemonic::LpmR0}, 3},
+        CycleCase{"brcs_not_taken", {.op = Mnemonic::Brbs, .b = 0, .k = 3}, 1},
+        CycleCase{"brcs_taken", {.op = Mnemonic::Brbs, .b = 0, .k = 3}, 2, 0, true},
+        CycleCase{"brcc_taken", {.op = Mnemonic::Brbc, .b = 0, .k = 3}, 2, 0, false},
+        CycleCase{"sbrc_no_skip", {.op = Mnemonic::Sbrc, .d = 5, .b = 0}, 1, 0x01},
+        CycleCase{"sbrc_skip_1w", {.op = Mnemonic::Sbrc, .d = 5, .b = 0}, 2, 0x00},
+        CycleCase{"swap", {.op = Mnemonic::Swap, .d = 9}, 1},
+        CycleCase{"lsr", {.op = Mnemonic::Lsr, .d = 9}, 1},
+        CycleCase{"bset", {.op = Mnemonic::Bset, .b = 3}, 1},
+        CycleCase{"sleep", {.op = Mnemonic::Sleep}, 1},
+        CycleCase{"wdr", {.op = Mnemonic::Wdr}, 1}),
+    [](const ::testing::TestParamInfo<CycleCase>& info) { return info.param.name; });
+
+TEST(CycleConformance, SkipOverTwoWordInstructionCostsThree) {
+  Flash flash(4096);
+  DataSpace ds(0x0fff);
+  Cpu cpu(flash, ds);
+  flash.write_word(0, encode(Instr{.op = Mnemonic::Sbrc, .d = 5, .b = 0}).word[0]);
+  const Encoding call = encode(Instr{.op = Mnemonic::Call, .k32 = 0x300});
+  flash.write_word(1, call.word[0]);
+  flash.write_word(2, call.word[1]);
+  ds.set_reg(5, 0);  // bit clear -> skip
+  cpu.set_pc(0);
+  EXPECT_EQ(cpu.step().cycles, 3);
+  EXPECT_EQ(cpu.pc(), 3u);
+}
+
+TEST(CycleConformance, CpseSkipTiming) {
+  Flash flash(4096);
+  DataSpace ds(0x0fff);
+  Cpu cpu(flash, ds);
+  flash.write_word(0, encode(Instr{.op = Mnemonic::Cpse, .d = 1, .r = 2}).word[0]);
+  flash.write_word(1, encode(Instr{.op = Mnemonic::Nop}).word[0]);
+  ds.set_reg(1, 7);
+  ds.set_reg(2, 7);  // equal -> skip one word
+  cpu.set_pc(0);
+  EXPECT_EQ(cpu.step().cycles, 2);
+  ds.set_reg(2, 8);  // not equal
+  cpu.set_pc(0);
+  EXPECT_EQ(cpu.step().cycles, 1);
+}
+
+}  // namespace

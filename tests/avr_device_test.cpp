@@ -1,0 +1,163 @@
+// Device-level tests: timer prescaler/overflow, interrupt dispatch (with
+// return-address integrity), sleep/wake, and reset behaviour.
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.h"
+#include "avr/device.h"
+
+namespace {
+
+using namespace harbor::assembler;
+using harbor::avr::Device;
+using harbor::avr::HaltReason;
+namespace ports = harbor::avr::ports;
+
+TEST(DeviceTimer, OverflowSetsFlagWithoutInterrupts) {
+  Device dev;
+  Assembler a;
+  auto wait = a.make_label("wait");
+  // Start timer at prescale 1, then spin until TIFR bit 0 is set.
+  a.ldi(r16, 0xf0);
+  a.out(ports::kTcnt0, r16);
+  a.ldi(r16, 1);
+  a.out(ports::kTccr0, r16);
+  a.bind(wait);
+  a.sbis(ports::kTifr, 0);
+  a.rjmp(wait);
+  a.brk();
+  const Program p = a.assemble();
+  dev.flash().load(p.words, 0);
+  dev.reset();
+  dev.run(10000);
+  EXPECT_EQ(dev.cpu().halt_reason(), HaltReason::Break);
+}
+
+TEST(DeviceTimer, InterruptHandlerRunsAndReturns) {
+  Device dev;
+  Assembler a;
+  auto start = a.make_label("start");
+  auto handler = a.make_label("handler");
+  auto spin = a.make_label("spin");
+  // Vector table.
+  a.jmp(start);      // reset at word 0
+  a.jmp(handler);    // timer0 ovf at word 2
+  a.bind(start);
+  a.ldi(r16, 0xff);
+  a.out(0x3d, r16);  // SPL
+  a.ldi(r16, 0x0f);
+  a.out(0x3e, r16);  // SPH
+  a.clr(r20);
+  a.ldi(r16, 0xfe);
+  a.out(ports::kTcnt0, r16);
+  a.ldi(r16, 1);
+  a.out(ports::kTimsk, r16);
+  a.ldi(r16, 1);
+  a.out(ports::kTccr0, r16);
+  a.sei();
+  a.bind(spin);
+  a.cpi(r20, 1);
+  a.brne(spin);
+  a.ldi(r17, 0x5d);
+  a.out(ports::kDebugValLo, r17);
+  a.brk();
+  a.bind(handler);
+  a.inc(r20);
+  a.ldi(r18, 0);
+  a.out(ports::kTccr0, r18);  // stop the timer
+  a.reti();
+  const Program p = a.assemble();
+  dev.flash().load(p.words, 0);
+  dev.reset();
+  dev.run(100000);
+  EXPECT_EQ(dev.cpu().halt_reason(), HaltReason::Break);
+  EXPECT_EQ(dev.data().io().raw(ports::kDebugValLo), 0x5d);
+  EXPECT_EQ(dev.data().reg(20), 1);
+}
+
+TEST(DeviceTimer, SleepWakesOnTimerInterrupt) {
+  Device dev;
+  Assembler a;
+  auto start = a.make_label("start");
+  auto handler = a.make_label("handler");
+  a.jmp(start);
+  a.jmp(handler);
+  a.bind(start);
+  a.ldi(r16, 0xff);
+  a.out(0x3d, r16);
+  a.ldi(r16, 0x0f);
+  a.out(0x3e, r16);
+  a.ldi(r16, 0xf8);
+  a.out(ports::kTcnt0, r16);
+  a.ldi(r16, 1);
+  a.out(ports::kTimsk, r16);
+  a.out(ports::kTccr0, r16);
+  a.sei();
+  a.sleep();        // wait for the overflow
+  a.ldi(r17, 0x33);
+  a.out(ports::kDebugValLo, r17);
+  a.brk();
+  a.bind(handler);
+  a.ldi(r18, 0);
+  a.out(ports::kTccr0, r18);
+  a.reti();
+  const Program p = a.assemble();
+  dev.flash().load(p.words, 0);
+  dev.reset();
+  dev.run(100000);
+  EXPECT_EQ(dev.cpu().halt_reason(), HaltReason::Break);
+  EXPECT_EQ(dev.data().io().raw(ports::kDebugValLo), 0x33);
+}
+
+TEST(DeviceTimer, PrescalerSlowsOverflow) {
+  auto cycles_to_overflow = [](std::uint8_t prescale_bits) {
+    Device dev;
+    Assembler a;
+    auto wait = a.make_label();
+    a.ldi(r16, prescale_bits);
+    a.out(ports::kTccr0, r16);
+    a.bind(wait);
+    a.sbis(ports::kTifr, 0);
+    a.rjmp(wait);
+    a.brk();
+    const Program p = a.assemble();
+    dev.flash().load(p.words, 0);
+    dev.reset();
+    return dev.run(10'000'000);
+  };
+  const std::uint64_t fast = cycles_to_overflow(1);  // /1
+  const std::uint64_t slow = cycles_to_overflow(2);  // /8
+  EXPECT_GT(slow, fast * 4);
+}
+
+TEST(Device, ResetRestoresSpAndClearsExit) {
+  Device dev;
+  Assembler a;
+  a.ldi(r16, 7);
+  a.out(ports::kSimCtl, r16);
+  const Program p = a.assemble();
+  dev.flash().load(p.words, 0);
+  dev.reset();
+  dev.run(100);
+  EXPECT_TRUE(dev.guest_exit().exited);
+  dev.reset();
+  EXPECT_FALSE(dev.guest_exit().exited);
+  EXPECT_EQ(dev.cpu().sp(), dev.data().ram_end());
+  EXPECT_EQ(dev.cpu().pc(), 0u);
+}
+
+TEST(Device, RunHonorsCycleBudget) {
+  Device dev;
+  Assembler a;
+  auto spin = a.bind_here();
+  a.rjmp(spin);
+  const Program p = a.assemble();
+  dev.flash().load(p.words, 0);
+  dev.reset();
+  const std::uint64_t executed = dev.run(1000);
+  EXPECT_GE(executed, 1000u);
+  EXPECT_LT(executed, 1010u);
+  EXPECT_FALSE(dev.cpu().halted());
+}
+
+}  // namespace

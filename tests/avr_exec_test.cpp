@@ -1,0 +1,303 @@
+// Whole-program execution tests for the core: loops, call/ret and the
+// stack, pointer addressing modes, skips, LPM, and cycle accounting.
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.h"
+#include "avr/device.h"
+
+namespace {
+
+using namespace harbor::assembler;
+using harbor::avr::Device;
+using harbor::avr::HaltReason;
+namespace ports = harbor::avr::ports;
+
+/// Assemble with the builder, load at word 0, run until halt.
+Device& load_and_run(Device& dev, Assembler& a, std::uint64_t max_cycles = 100000) {
+  const Program p = a.assemble();
+  dev.flash().load(p.words, p.origin);
+  dev.reset();
+  dev.run(max_cycles);
+  return dev;
+}
+
+TEST(Exec, CountdownLoop) {
+  Device dev;
+  Assembler a;
+  auto loop = a.make_label("loop");
+  a.ldi(r16, 10);
+  a.clr(r17);
+  a.bind(loop);
+  a.inc(r17);
+  a.dec(r16);
+  a.brne(loop);
+  a.out(ports::kDebugValLo, r17);
+  a.brk();
+  load_and_run(dev, a);
+  EXPECT_EQ(dev.cpu().halt_reason(), HaltReason::Break);
+  EXPECT_EQ(dev.data().io().raw(ports::kDebugValLo), 10);
+}
+
+TEST(Exec, CallRetUsesStack) {
+  Device dev;
+  Assembler a;
+  auto fn = a.make_label("fn");
+  a.ldi16(r24, 0);
+  a.call(fn);
+  a.out(ports::kDebugValLo, r24);
+  a.brk();
+  a.bind(fn);
+  a.ldi(r24, 0x42);
+  a.ret();
+  load_and_run(dev, a);
+  EXPECT_EQ(dev.data().io().raw(ports::kDebugValLo), 0x42);
+  // SP restored after return.
+  EXPECT_EQ(dev.cpu().sp(), dev.data().ram_end());
+}
+
+TEST(Exec, NestedCallsRestoreInOrder) {
+  Device dev;
+  Assembler a;
+  auto f1 = a.make_label(), f2 = a.make_label();
+  a.clr(r20);
+  a.call(f1);
+  a.out(ports::kDebugValLo, r20);
+  a.brk();
+  a.bind(f1);
+  a.inc(r20);
+  a.call(f2);
+  a.inc(r20);  // runs after f2 returns
+  a.ret();
+  a.bind(f2);
+  a.inc(r20);
+  a.ret();
+  load_and_run(dev, a);
+  EXPECT_EQ(dev.data().io().raw(ports::kDebugValLo), 3);
+}
+
+TEST(Exec, PushPopRoundTrip) {
+  Device dev;
+  Assembler a;
+  a.ldi(r16, 0xaa);
+  a.ldi(r17, 0x55);
+  a.push(r16);
+  a.push(r17);
+  a.pop(r18);  // r18 = 0x55
+  a.pop(r19);  // r19 = 0xaa
+  a.out(ports::kDebugValLo, r18);
+  a.out(ports::kDebugValHi, r19);
+  a.brk();
+  load_and_run(dev, a);
+  EXPECT_EQ(dev.debug_value(), 0xaa55);
+}
+
+TEST(Exec, PointerModesStoreAndLoad) {
+  Device dev;
+  Assembler a;
+  constexpr std::uint16_t buf = 0x200;
+  a.ldi16(r26, buf);  // X
+  a.ldi(r16, 1);
+  a.st_x_inc(r16);    // [0x200] = 1, X = 0x201
+  a.ldi(r16, 2);
+  a.st_x_inc(r16);    // [0x201] = 2
+  a.ldi16(r28, buf + 4);  // Y
+  a.ldi(r16, 3);
+  a.st_y_dec(r16);    // Y = 0x203, [0x203] = 3 (pre-decrement)
+  a.ldi16(r30, buf);  // Z
+  a.ldd_z(r20, 1);    // r20 = [0x201] = 2
+  a.ld_z(r21);        // r21 = [0x200] = 1
+  a.ldi16(r30, buf + 3);
+  a.ld_z(r22);        // r22 = [0x203] = 3
+  a.out(ports::kDebugValLo, r20);
+  a.out(ports::kDebugValHi, r22);
+  a.brk();
+  load_and_run(dev, a);
+  EXPECT_EQ(dev.data().sram_raw(buf), 1);
+  EXPECT_EQ(dev.data().sram_raw(buf + 1), 2);
+  EXPECT_EQ(dev.data().sram_raw(buf + 3), 3);
+  EXPECT_EQ(dev.data().io().raw(ports::kDebugValLo), 2);
+  EXPECT_EQ(dev.data().io().raw(ports::kDebugValHi), 3);
+}
+
+TEST(Exec, LddStdDisplacement) {
+  Device dev;
+  Assembler a;
+  a.ldi16(r28, 0x300);
+  a.ldi(r16, 7);
+  a.std_y(r16, 63);
+  a.ldd_y(r17, 63);
+  a.out(ports::kDebugValLo, r17);
+  a.brk();
+  load_and_run(dev, a);
+  EXPECT_EQ(dev.data().sram_raw(0x300 + 63), 7);
+  EXPECT_EQ(dev.data().io().raw(ports::kDebugValLo), 7);
+}
+
+TEST(Exec, LdsStsAbsolute) {
+  Device dev;
+  Assembler a;
+  a.ldi(r16, 0x5a);
+  a.sts(0x400, r16);
+  a.lds(r17, 0x400);
+  a.out(ports::kDebugValLo, r17);
+  a.brk();
+  load_and_run(dev, a);
+  EXPECT_EQ(dev.data().io().raw(ports::kDebugValLo), 0x5a);
+}
+
+TEST(Exec, SkipInstructionsSkipTwoWordInstr) {
+  Device dev;
+  Assembler a;
+  a.ldi(r16, 1);
+  a.sbrs(r16, 0);       // bit set -> skip next
+  a.sts(0x400, r16);    // two-word instruction, must be fully skipped
+  a.ldi(r17, 9);
+  a.out(ports::kDebugValLo, r17);
+  a.brk();
+  load_and_run(dev, a);
+  EXPECT_EQ(dev.data().sram_raw(0x400), 0);  // store skipped
+  EXPECT_EQ(dev.data().io().raw(ports::kDebugValLo), 9);
+}
+
+TEST(Exec, CpseSkipsWhenEqual) {
+  Device dev;
+  Assembler a;
+  auto not_taken = a.make_label();
+  a.ldi(r16, 5);
+  a.ldi(r17, 5);
+  a.cpse(r16, r17);
+  a.rjmp(not_taken);  // skipped
+  a.ldi(r18, 1);
+  a.out(ports::kDebugValLo, r18);
+  a.brk();
+  a.bind(not_taken);
+  a.ldi(r18, 2);
+  a.out(ports::kDebugValLo, r18);
+  a.brk();
+  load_and_run(dev, a);
+  EXPECT_EQ(dev.data().io().raw(ports::kDebugValLo), 1);
+}
+
+TEST(Exec, IjmpAndIcallThroughZ) {
+  Device dev;
+  Assembler a;
+  auto fn = a.make_label("fn");
+  a.ldi_code_ptr(r30, fn);
+  a.icall();
+  a.out(ports::kDebugValLo, r24);
+  a.brk();
+  a.bind(fn);
+  a.ldi(r24, 0x77);
+  a.ret();
+  load_and_run(dev, a);
+  EXPECT_EQ(dev.data().io().raw(ports::kDebugValLo), 0x77);
+}
+
+TEST(Exec, LpmReadsFlashBytes) {
+  Device dev;
+  Assembler a;
+  auto data = a.make_label("data");
+  auto start = a.make_label("start");
+  a.rjmp(start);
+  a.bind(data);
+  a.dw(0x3412);  // bytes 0x12, 0x34 little-endian
+  a.bind(start);
+  a.ldi_code_ptr(r30, data);
+  a.lsl(r30);  // word -> byte address
+  a.rol(r31);
+  a.lpm_inc(r16);
+  a.lpm(r17);
+  a.out(ports::kDebugValLo, r16);
+  a.out(ports::kDebugValHi, r17);
+  a.brk();
+  load_and_run(dev, a);
+  EXPECT_EQ(dev.debug_value(), 0x3412);
+}
+
+TEST(Exec, CycleCostsOfControlFlow) {
+  Device dev;
+  Assembler a;
+  auto fn = a.make_label();
+  a.call(fn);   // 4 cycles
+  a.brk();      // 1
+  a.bind(fn);
+  a.ret();      // 4
+  const Program p = a.assemble();
+  dev.flash().load(p.words, 0);
+  dev.reset();
+  EXPECT_EQ(dev.step().cycles, 4);  // call
+  EXPECT_EQ(dev.step().cycles, 4);  // ret
+  EXPECT_EQ(dev.step().cycles, 1);  // break
+}
+
+TEST(Exec, BranchTakenCostsTwoCycles) {
+  Device dev;
+  Assembler a;
+  auto l = a.make_label();
+  a.clr(r16);        // Z flag set
+  a.breq(l);         // taken: 2 cycles
+  a.nop();
+  a.bind(l);
+  a.brne(l);         // not taken: 1 cycle
+  a.brk();
+  const Program p = a.assemble();
+  dev.flash().load(p.words, 0);
+  dev.reset();
+  dev.step();
+  EXPECT_EQ(dev.step().cycles, 2);
+  EXPECT_EQ(dev.step().cycles, 1);
+}
+
+TEST(Exec, SpWritableThroughIoPorts) {
+  Device dev;
+  Assembler a;
+  a.ldi(r16, 0x34);
+  a.ldi(r17, 0x02);
+  a.out(0x3d, r16);  // SPL
+  a.out(0x3e, r17);  // SPH
+  a.in(r20, 0x3d);
+  a.in(r21, 0x3e);
+  a.out(ports::kDebugValLo, r20);
+  a.out(ports::kDebugValHi, r21);
+  a.brk();
+  load_and_run(dev, a);
+  EXPECT_EQ(dev.cpu().sp(), 0x0234);
+  EXPECT_EQ(dev.debug_value(), 0x0234);
+}
+
+TEST(Exec, IllegalOpcodeFaults) {
+  Device dev;
+  // 0xff07 is not a valid AVR encoding (sbrs with bit3 set).
+  dev.flash().write_word(0, 0xff08);
+  dev.reset();
+  dev.run(100);
+  EXPECT_EQ(dev.cpu().halt_reason(), HaltReason::Fault);
+  ASSERT_TRUE(dev.cpu().fault().has_value());
+  EXPECT_EQ(dev.cpu().fault()->kind, harbor::avr::FaultKind::IllegalInstruction);
+}
+
+TEST(Exec, GuestExitThroughSimCtl) {
+  Device dev;
+  Assembler a;
+  a.ldi(r16, 42);
+  a.out(ports::kSimCtl, r16);
+  a.rjmp(a.bind_here());  // unreachable spin; exit latched first
+  load_and_run(dev, a, 1000);
+  EXPECT_TRUE(dev.guest_exit().exited);
+  EXPECT_EQ(dev.guest_exit().code, 42);
+}
+
+TEST(Exec, DebugConsoleCollectsBytes) {
+  Device dev;
+  Assembler a;
+  for (const char c : std::string("hi!")) {
+    a.ldi(r16, static_cast<std::uint8_t>(c));
+    a.out(ports::kDebugOut, r16);
+  }
+  a.brk();
+  load_and_run(dev, a);
+  EXPECT_EQ(dev.console(), "hi!");
+}
+
+}  // namespace

@@ -1,0 +1,59 @@
+// VCD writer tests: header structure, change deduplication, multi-bit
+// rendering, and signal-count limits.
+
+#include <gtest/gtest.h>
+
+#include "avr/vcd.h"
+
+namespace {
+
+using harbor::avr::VcdWriter;
+
+TEST(Vcd, HeaderListsSignals) {
+  VcdWriter v;
+  v.add_signal("clk", 1);
+  v.add_signal("addr", 16);
+  const std::string out = v.render("core");
+  EXPECT_NE(out.find("$scope module core $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 1 ! clk $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 16 \" addr $end"), std::string::npos);
+  EXPECT_NE(out.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(Vcd, ScalarAndVectorChanges) {
+  VcdWriter v;
+  const int clk = v.add_signal("clk", 1);
+  const int bus = v.add_signal("bus", 4);
+  v.sample(0, clk, 0);
+  v.sample(0, bus, 0x5);
+  v.sample(1, clk, 1);
+  v.sample(2, bus, 0xa);
+  const std::string out = v.render();
+  EXPECT_NE(out.find("#0\n0!"), std::string::npos);
+  EXPECT_NE(out.find("b0101 \""), std::string::npos);
+  EXPECT_NE(out.find("#1\n1!"), std::string::npos);
+  EXPECT_NE(out.find("b1010 \""), std::string::npos);
+}
+
+TEST(Vcd, UnchangedValuesDeduplicated) {
+  VcdWriter v;
+  const int s = v.add_signal("s", 1);
+  v.sample(0, s, 1);
+  v.sample(1, s, 1);
+  v.sample(2, s, 1);
+  v.sample(3, s, 0);
+  const std::string out = v.render();
+  // Only two change records for the signal.
+  std::size_t count = 0;
+  for (std::size_t pos = out.find("!"); pos != std::string::npos; pos = out.find("!", pos + 1))
+    if (pos > 0 && (out[pos - 1] == '0' || out[pos - 1] == '1')) ++count;
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(Vcd, TooManySignalsRejected) {
+  VcdWriter v;
+  for (int i = 0; i < 90; ++i) v.add_signal("s" + std::to_string(i), 1);
+  EXPECT_THROW(v.add_signal("overflow", 1), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Public-API tests: the harbor::System façade — boot, module lifecycle,
+// messaging, fault reporting, domain map rendering, and host-side kernel
+// services — across both protection systems.
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.h"
+#include "core/harbor.h"
+
+namespace {
+
+using namespace harbor;
+using namespace harbor::assembler;
+
+class CoreApi : public ::testing::TestWithParam<ProtectionMode> {};
+
+TEST_P(CoreApi, BootAndModuleLifecycle) {
+  System sys({GetParam(), {}});
+  EXPECT_GT(sys.cycles(), 0u);  // harbor_init ran
+  const auto blink = sys.load_module(sos::modules::blink());
+  sys.run_pending();
+  EXPECT_FALSE(sys.last_fault().has_value());
+  sys.post(blink, sos::msg::kTimer);
+  sys.post(blink, sos::msg::kTimer);
+  const auto log = sys.run_pending();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(sys.device().data().io().raw(avr::ports::kDebugValLo), 2);
+}
+
+TEST_P(CoreApi, FaultReportCarriesContext) {
+  System sys({GetParam(), {}});
+  const auto surge = sys.load_module(sos::modules::surge(/*tree_domain=*/1, false), 2);
+  sys.run_pending();
+  sys.post(surge, sos::msg::kData);
+  sys.run_pending();
+  ASSERT_TRUE(sys.last_fault().has_value());
+  const FaultReport& f = *sys.last_fault();
+  EXPECT_EQ(f.kind, avr::FaultKind::MemMapViolation);
+  EXPECT_EQ(f.domain, 2);
+  EXPECT_NE(f.to_string().find("memmap-violation"), std::string::npos);
+}
+
+TEST_P(CoreApi, DomainMapShowsOwnership) {
+  System sys({GetParam(), {}});
+  const auto blink = sys.load_module(sos::modules::blink());
+  sys.run_pending();
+  const std::string map = sys.domain_map();
+  EXPECT_NE(map.find("blink"), std::string::npos);
+  EXPECT_NE(map.find("free / trusted"), std::string::npos);
+  (void)blink;
+}
+
+TEST_P(CoreApi, HostMallocAllocatesOnBehalf) {
+  System sys({GetParam(), {}});
+  const auto r = sys.malloc(32, 4);
+  ASSERT_FALSE(r.faulted);
+  ASSERT_NE(r.value, 0);
+  // Domain 4 owns the block: a module in domain 5 cannot free it.
+  EXPECT_EQ(sys.driver().free(r.value, 5).value, 1);
+  EXPECT_EQ(sys.driver().free(r.value, 4).value, 0);
+}
+
+TEST_P(CoreApi, SubscribeResolvesOrReturnsErrorStub) {
+  System sys({GetParam(), {}});
+  const auto tree = sys.load_module(sos::modules::tree_routing());
+  const std::uint32_t good = sys.subscribe(tree, sos::modules::kTreeGetHdrSizeSlot);
+  EXPECT_NE(good, sys.subscribe(5, 0));  // absent -> error stub entry
+}
+
+TEST_P(CoreApi, SystemSurvivesFaultAndKeepsDispatching) {
+  System sys({GetParam(), {}});
+  const auto blink = sys.load_module(sos::modules::blink(), 0);
+  const auto surge = sys.load_module(sos::modules::surge(/*absent*/ 5, false), 1);
+  sys.run_pending();
+  sys.post(surge, sos::msg::kData);   // faults
+  sys.post(blink, sos::msg::kTimer);  // must still be delivered
+  const auto log = sys.run_pending();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_TRUE(log[0].result.faulted);
+  EXPECT_FALSE(log[1].result.faulted);
+  EXPECT_EQ(sys.device().data().io().raw(avr::ports::kDebugValLo), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSystems, CoreApi,
+                         ::testing::Values(ProtectionMode::Sfi, ProtectionMode::Umpu),
+                         [](const ::testing::TestParamInfo<ProtectionMode>& info) {
+                           return info.param == ProtectionMode::Sfi ? "Sfi" : "Umpu";
+                         });
+
+}  // namespace

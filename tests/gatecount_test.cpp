@@ -1,0 +1,77 @@
+// Area-model tests: structural sanity, paper-band agreement, and the
+// fixed-configuration ablation.
+
+#include <gtest/gtest.h>
+
+#include "gatecount/model.h"
+
+namespace {
+
+using namespace harbor::gatecount;
+
+double mapped(const UnitModel& u) { return u.total() * fpga_mapping_factor(); }
+
+TEST(GateModel, AllBlocksPositive) {
+  for (const auto& u : {mmc_model(), safe_stack_model(), domain_tracker_model(),
+                        fetch_decoder_delta_model(), integration_glue_model()}) {
+    EXPECT_GT(u.total(), 0.0) << u.name;
+    for (const auto& b : u.blocks) {
+      EXPECT_GT(b.total(), 0.0) << u.name << "/" << b.name;
+      EXPECT_GT(b.count, 0);
+      EXPECT_GT(b.width, 0);
+    }
+  }
+}
+
+TEST(GateModel, WithinPaperBands) {
+  // Structural estimate must land within +-30% of each Table 6 entry.
+  EXPECT_NEAR(mapped(mmc_model()), PaperTable6::kMmc, 0.30 * PaperTable6::kMmc);
+  EXPECT_NEAR(mapped(safe_stack_model()), PaperTable6::kSafeStack,
+              0.30 * PaperTable6::kSafeStack);
+  EXPECT_NEAR(mapped(domain_tracker_model()), PaperTable6::kDomainTracker,
+              0.30 * PaperTable6::kDomainTracker);
+  const int fetch_delta = PaperTable6::kFetchExt - PaperTable6::kFetchOrig;
+  EXPECT_NEAR(mapped(fetch_decoder_delta_model()), fetch_delta, 0.30 * fetch_delta);
+  EXPECT_NEAR(modeled_core_extension(), PaperTable6::kCoreExt,
+              0.10 * PaperTable6::kCoreExt);
+}
+
+TEST(GateModel, RelativeOrderingMatchesPaper) {
+  // MMC > Safe Stack > Domain Tracker > fetch delta (Table 6's structure).
+  EXPECT_GT(mmc_model().total(), safe_stack_model().total());
+  EXPECT_GT(safe_stack_model().total(), domain_tracker_model().total());
+  EXPECT_GT(domain_tracker_model().total(), fetch_decoder_delta_model().total());
+}
+
+TEST(GateModel, BarrelShifterDominatesMmcLogic) {
+  // "Most of the additions ... are in the memory map decoder that
+  // maintains a barrel shifter": the shifter must be the largest
+  // non-register combinational block of the MMC.
+  const UnitModel mmc = mmc_model();
+  double shifter = 0, largest_other_comb = 0;
+  for (const auto& b : mmc.blocks) {
+    const bool is_reg = b.name.find("register") != std::string::npos ||
+                        b.name.find("latch") != std::string::npos;
+    if (b.name.find("barrel") != std::string::npos) shifter = b.total();
+    else if (!is_reg) largest_other_comb = std::max(largest_other_comb, b.total());
+  }
+  EXPECT_GT(shifter, 0.0);
+  EXPECT_GE(shifter, largest_other_comb);
+}
+
+TEST(GateModel, FixedConfigAblationShrinksMmc) {
+  HwConfig fixed;
+  fixed.runtime_configurable = false;
+  EXPECT_LT(mmc_model(fixed).total(), mmc_model().total());
+  EXPECT_LT(domain_tracker_model(fixed).total(), domain_tracker_model().total());
+  EXPECT_LT(modeled_core_extension(fixed), modeled_core_extension());
+}
+
+TEST(GateModel, AddressWidthScalesRegisters) {
+  HwConfig wide;
+  wide.addr_bits = 24;
+  EXPECT_GT(mmc_model(wide).total(), mmc_model().total());
+  EXPECT_GT(safe_stack_model(wide).total(), safe_stack_model().total());
+}
+
+}  // namespace

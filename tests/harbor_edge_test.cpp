@@ -1,0 +1,236 @@
+// Edge-case battery across the stack: jump-table boundary domain
+// derivation, safe-stack boundary conditions, fault handling inside
+// cross-called code, the radio peripheral, and the execution tracer.
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.h"
+#include "asm/tracer.h"
+#include "avr/device.h"
+#include "avr/ports.h"
+#include "runtime/testbed.h"
+
+namespace {
+
+using namespace harbor;
+using namespace harbor::assembler;
+using namespace harbor::runtime;
+namespace ports = avr::ports;
+
+// --- jump-table boundary sweep -------------------------------------------
+
+TEST(JumpTableBoundary, DomainDerivationAcrossAllSlots) {
+  // Calls into every slot of every domain's table must derive exactly that
+  // domain (paper §3.2's divide); one word past the table must fault.
+  Testbed tb(Mode::Umpu);
+  const Layout& L = tb.layout();
+  auto& fab = *tb.fabric();
+  // A callee in each domain: a single ret, all domains share it via their
+  // own table entries (the code region is registered per domain).
+  Assembler callee(0x0a00);
+  callee.ret();
+  const Program pc = callee.assemble();
+  tb.device().flash().load(pc.words, pc.origin);
+  for (std::uint8_t d = 0; d < 7; ++d) {
+    fab.set_code_region(d, {pc.origin, pc.end()});
+    for (std::uint32_t s = 0; s < L.jt_entries(); ++s) tb.set_jt_entry(d, s, pc.origin);
+  }
+
+  for (std::uint8_t d = 0; d < 7; ++d) {
+    for (const std::uint32_t s : {0u, L.jt_entries() / 2, L.jt_entries() - 1}) {
+      Assembler a(0x0b00);
+      a.call_abs(L.jt_entry(d, s));
+      a.brk();
+      const Program p = a.assemble();
+      tb.device().flash().load(p.words, p.origin);
+      auto& cpu = tb.device().cpu();
+      cpu.clear_halt();
+      cpu.clear_fault();
+      tb.device().clear_guest_exit();
+      cpu.set_pc(p.origin);
+      cpu.set_sp(tb.device().data().ram_end());
+      fab.regs().cur_domain = ports::kTrustedDomain;
+      fab.regs().safe_stack_ptr = L.safe_stack;
+      tb.device().step();  // the call
+      EXPECT_EQ(fab.current_domain(), d) << "domain " << int(d) << " slot " << s;
+      tb.device().run(100);
+      ASSERT_EQ(tb.device().cpu().halt_reason(), avr::HaltReason::Break);
+      EXPECT_EQ(fab.current_domain(), ports::kTrustedDomain);  // returned
+    }
+  }
+}
+
+TEST(JumpTableBoundary, CallOnePastTableIsNotAJumpTableDispatch) {
+  Testbed tb(Mode::Umpu);
+  const Layout& L = tb.layout();
+  Assembler a(0x0b00);
+  a.call_abs(L.jt_end());  // first word after the last table
+  a.brk();
+  const Program p = a.assemble();
+  tb.device().flash().load(p.words, p.origin);
+  tb.fabric()->set_code_region(1, {p.origin, p.end()});
+  auto& cpu = tb.device().cpu();
+  cpu.set_pc(p.origin);
+  tb.fabric()->regs().cur_domain = 1;  // untrusted: out-of-table call denied
+  tb.device().run(100);
+  ASSERT_TRUE(cpu.fault().has_value());
+  EXPECT_EQ(cpu.fault()->kind, avr::FaultKind::IllegalCallTarget);
+}
+
+// --- safe stack boundaries --------------------------------------------------
+
+TEST(SafeStackBoundary, FillToExactlyTheBoundSucceeds) {
+  Testbed tb(Mode::Umpu);
+  const Layout& L = tb.layout();
+  auto& fab = *tb.fabric();
+  // Room for exactly N local frames.
+  const int frames = 4;
+  fab.regs().safe_stack_bnd = static_cast<std::uint16_t>(L.safe_stack + 2 * frames);
+  // A chain f0 -> f1 -> f2 -> f3, each a call + ret: exactly `frames`
+  // return addresses live on the safe stack at the deepest point.
+  Assembler b(0x0b00);
+  std::vector<Label> labels;
+  for (int i = 0; i < frames; ++i) labels.push_back(b.make_label());
+  b.rcall(labels[0]);
+  b.brk();
+  for (int i = 0; i < frames; ++i) {
+    b.bind(labels[i]);
+    if (i + 1 < frames) b.rcall(labels[i + 1]);
+    b.ret();
+  }
+  const Program p = b.assemble();
+  tb.device().flash().load(p.words, p.origin);
+  fab.set_code_region(1, {p.origin, p.end()});
+  auto& cpu = tb.device().cpu();
+  cpu.set_pc(p.origin);
+  cpu.set_sp(tb.device().data().ram_end());
+  fab.regs().cur_domain = 1;
+  fab.regs().safe_stack_ptr = L.safe_stack;
+  tb.device().run(1000);
+  EXPECT_EQ(cpu.halt_reason(), avr::HaltReason::Break);  // fits exactly
+  EXPECT_FALSE(cpu.fault().has_value());
+}
+
+// --- fault inside a cross-called callee -------------------------------------
+
+TEST(FaultUnwind, FaultInCalleePromotesToTrustedWithContext) {
+  Testbed tb(Mode::Umpu);
+  const Layout& L = tb.layout();
+  // Callee (domain 2) writes somewhere foreign.
+  Assembler callee(0x0a00);
+  callee.ldi16(r26, 0x0500);  // free block: not domain 2's
+  callee.ldi(r18, 1);
+  callee.st_x(r18);
+  callee.ret();
+  const Program pc = callee.assemble();
+  tb.device().flash().load(pc.words, pc.origin);
+  tb.fabric()->set_code_region(2, {pc.origin, pc.end()});
+  tb.set_jt_entry(2, 0, pc.origin);
+
+  Assembler a(0x0b00);
+  a.call_abs(L.jt_entry(2, 0));
+  a.brk();
+  const Program p = a.assemble();
+  tb.device().flash().load(p.words, p.origin);
+  tb.fabric()->set_code_region(1, {p.origin, p.end()});
+  auto& cpu = tb.device().cpu();
+  cpu.set_pc(p.origin);
+  cpu.set_sp(tb.device().data().ram_end());
+  tb.fabric()->regs().cur_domain = 1;
+  tb.fabric()->regs().safe_stack_ptr = L.safe_stack;
+  tb.device().run(1000);
+  ASSERT_TRUE(cpu.fault().has_value());
+  EXPECT_EQ(cpu.fault()->kind, avr::FaultKind::MemMapViolation);
+  // Exception entry recorded the *faulting* domain and promoted to trusted.
+  EXPECT_EQ(tb.fabric()->last_fault().domain, 2);
+  EXPECT_EQ(tb.fabric()->current_domain(), ports::kTrustedDomain);
+}
+
+// --- radio peripheral --------------------------------------------------------
+
+TEST(Radio, FramesCommitOnControlWrite) {
+  avr::Device dev;
+  Assembler a;
+  for (const std::uint8_t b : {0x11, 0x22, 0x33}) {
+    a.ldi(r16, b);
+    a.out(ports::kRadioData, r16);
+  }
+  a.ldi(r16, 1);
+  a.out(ports::kRadioCtl, r16);
+  a.ldi(r16, 0x44);
+  a.out(ports::kRadioData, r16);
+  a.ldi(r16, 1);
+  a.out(ports::kRadioCtl, r16);
+  a.in(r17, ports::kRadioCtl);  // TX count readback
+  a.out(ports::kDebugValLo, r17);
+  a.brk();
+  const Program p = a.assemble();
+  dev.flash().load(p.words, 0);
+  dev.reset();
+  dev.run(1000);
+  ASSERT_EQ(dev.radio_packets().size(), 2u);
+  EXPECT_EQ(dev.radio_packets()[0], (std::vector<std::uint8_t>{0x11, 0x22, 0x33}));
+  EXPECT_EQ(dev.radio_packets()[1], (std::vector<std::uint8_t>{0x44}));
+  EXPECT_EQ(dev.data().io().raw(ports::kDebugValLo), 2);
+}
+
+TEST(Radio, ResetClearsFrames) {
+  avr::Device dev;
+  dev.data().io().write(ports::kRadioData, 1);
+  dev.data().io().write(ports::kRadioCtl, 1);
+  EXPECT_EQ(dev.radio_packets().size(), 1u);
+  dev.reset();
+  EXPECT_TRUE(dev.radio_packets().empty());
+}
+
+// --- tracer --------------------------------------------------------------------
+
+TEST(Tracer, RecordsRetiredInstructionsWithCosts) {
+  avr::Device dev;
+  Assembler a;
+  a.ldi(r16, 3);
+  a.adiw(r24, 1);
+  a.brk();
+  const Program p = a.assemble();
+  dev.flash().load(p.words, 0);
+  dev.reset();
+  Tracer t;
+  t.run(dev, 100);
+  ASSERT_EQ(t.entries().size(), 3u);
+  EXPECT_EQ(t.entries()[0].text, "ldi r16, 0x03");
+  EXPECT_EQ(t.entries()[0].cost, 1);
+  EXPECT_EQ(t.entries()[1].cost, 2);  // adiw
+  EXPECT_EQ(t.entries()[2].text, "break");
+  EXPECT_NE(t.format().find("adiw r24, 1"), std::string::npos);
+}
+
+TEST(Tracer, FilterRestrictsRecording) {
+  avr::Device dev;
+  Assembler a;
+  for (int i = 0; i < 10; ++i) a.nop();
+  a.brk();
+  const Program p = a.assemble();
+  dev.flash().load(p.words, 0);
+  dev.reset();
+  Tracer t;
+  t.set_filter([](std::uint32_t pc) { return pc >= 5; });
+  t.run(dev, 100);
+  EXPECT_EQ(t.entries().size(), 6u);  // pc 5..9 nops + break at 10
+  for (const auto& e : t.entries()) EXPECT_GE(e.pc, 5u);
+}
+
+TEST(Tracer, RingBufferDropsOldest) {
+  avr::Device dev;
+  Assembler a;
+  for (int i = 0; i < 20; ++i) a.nop();
+  a.brk();
+  const Program p = a.assemble();
+  dev.flash().load(p.words, 0);
+  dev.reset();
+  Tracer t(8);
+  t.run(dev, 100);
+  EXPECT_EQ(t.entries().size(), 8u);
+  EXPECT_EQ(t.entries().front().pc, 13u);  // oldest retained
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Parameterized property sweep over memory-map configurations: every
+// (block size, domain mode, protected-range) combination must satisfy the
+// structural invariants — translation consistency, codec round trips
+// through the packed table, segment algebra, and footprint arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "memmap/memory_map.h"
+
+namespace {
+
+using namespace harbor::memmap;
+
+using SweepParam = std::tuple<int /*block shift*/, DomainMode, int /*range selector*/>;
+
+class MapSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  [[nodiscard]] Config config() const {
+    const auto [shift, mode, range] = GetParam();
+    Config c;
+    c.block_shift = static_cast<std::uint8_t>(shift);
+    c.mode = mode;
+    c.map_base = 0x80;
+    switch (range) {
+      case 0: c.prot_bot = 0x0000; c.prot_top = 0x1000; break;  // full space
+      case 1: c.prot_bot = 0x0400; c.prot_top = 0x0cc0; break;  // heap slice
+      default: c.prot_bot = 0x0100; c.prot_top = 0x0200; break; // tiny window
+    }
+    return c;
+  }
+};
+
+TEST_P(MapSweep, TranslationRoundTrip) {
+  const Config c = config();
+  const MemoryMap m(c);
+  // Every covered address translates to a block whose base address is at
+  // or below it, within one block size.
+  for (std::uint32_t addr = c.prot_bot; addr < c.prot_top;
+       addr += 1 + (addr % 7)) {  // stride through the range
+    const Translation t = m.translate(static_cast<std::uint16_t>(addr));
+    ASSERT_LT(t.block_index, m.block_count());
+    const std::uint16_t base = m.addr_of_block(t.block_index);
+    ASSERT_LE(base, addr);
+    ASSERT_LT(addr - base, c.block_size());
+  }
+}
+
+TEST_P(MapSweep, TableBytesMatchFormula) {
+  const Config c = config();
+  const MemoryMap m(c);
+  const std::uint32_t bits = m.block_count() * static_cast<std::uint32_t>(c.bits_per_block());
+  EXPECT_EQ(m.table().size(), (bits + 7) / 8);
+}
+
+TEST_P(MapSweep, CodecThroughPackedTable) {
+  const Config c = config();
+  MemoryMap m(c);
+  std::mt19937 rng(99);
+  const DomainId max_dom = c.mode == DomainMode::MultiDomain ? 6 : 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint32_t b = rng() % m.block_count();
+    const BlockPerm p{static_cast<DomainId>(rng() % (max_dom + 1)), (rng() & 1) != 0};
+    m.set_block(b, p);
+    ASSERT_EQ(m.block(b), p);
+  }
+}
+
+TEST_P(MapSweep, NeighboursUnaffectedBySet) {
+  const Config c = config();
+  MemoryMap m(c);
+  if (m.block_count() < 3) GTEST_SKIP();
+  m.set_segment(0, m.block_count(), 0);  // paint everything domain 0
+  const std::uint32_t mid = m.block_count() / 2;
+  m.set_block(mid, BlockPerm{c.mode == DomainMode::MultiDomain ? static_cast<DomainId>(5)
+                                                               : kTrustedDomain,
+                             true});
+  EXPECT_EQ(m.block(mid - 1).owner, 0);
+  EXPECT_EQ(m.block(mid + 1).owner, 0);
+}
+
+TEST_P(MapSweep, SegmentAlgebra) {
+  const Config c = config();
+  MemoryMap m(c);
+  if (m.block_count() < 8) GTEST_SKIP();
+  const DomainId d = c.mode == DomainMode::MultiDomain ? 3 : 0;
+  m.set_segment(2, 4, d);
+  EXPECT_EQ(m.segment_length(2), 4u);
+  EXPECT_EQ(m.segment_start(4), 2u);
+  EXPECT_TRUE(m.can_write(d, m.addr_of_block(3)));
+  EXPECT_TRUE(m.free_segment(2, d));
+  for (std::uint32_t b = 2; b < 6; ++b) EXPECT_EQ(m.block(b), free_block());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MapSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4, 6),
+                       ::testing::Values(DomainMode::TwoDomain, DomainMode::MultiDomain),
+                       ::testing::Values(0, 1, 2)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "bs" + std::to_string(1 << std::get<0>(info.param)) +
+             (std::get<1>(info.param) == DomainMode::MultiDomain ? "_multi" : "_two") +
+             "_r" + std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace

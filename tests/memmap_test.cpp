@@ -1,0 +1,281 @@
+// Memory-map model tests: Table-1 codec, Fig-3b translation, segment
+// operations, ownership rules, and footprint arithmetic (§5.2 numbers).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "memmap/memory_map.h"
+
+namespace {
+
+using namespace harbor::memmap;
+
+Config multi_cfg() {
+  Config c;
+  c.prot_bot = 0x0060;
+  c.prot_top = 0x1000;
+  c.map_base = 0x0100;
+  c.block_shift = 3;
+  c.mode = DomainMode::MultiDomain;
+  return c;
+}
+
+// --- codec (paper Table 1) ---
+
+TEST(Codec, Table1EncodingsMultiDomain) {
+  // 1111 = free or start of trusted segment.
+  EXPECT_EQ(encode_perm(BlockPerm{kTrustedDomain, true}, DomainMode::MultiDomain), 0b1111);
+  // 1110 = later portion of trusted segment.
+  EXPECT_EQ(encode_perm(BlockPerm{kTrustedDomain, false}, DomainMode::MultiDomain), 0b1110);
+  // xxx1 = start of domain segment.
+  EXPECT_EQ(encode_perm(BlockPerm{3, true}, DomainMode::MultiDomain), 0b0111);
+  // xxx0 = later portion of domain segment.
+  EXPECT_EQ(encode_perm(BlockPerm{3, false}, DomainMode::MultiDomain), 0b0110);
+  EXPECT_EQ(encode_perm(BlockPerm{0, true}, DomainMode::MultiDomain), 0b0001);
+  EXPECT_EQ(encode_perm(BlockPerm{6, false}, DomainMode::MultiDomain), 0b1100);
+}
+
+TEST(Codec, RoundTripAllCodes) {
+  for (int code = 0; code < 16; ++code) {
+    const BlockPerm p = decode_perm(static_cast<std::uint8_t>(code), DomainMode::MultiDomain);
+    EXPECT_EQ(encode_perm(p, DomainMode::MultiDomain), code);
+  }
+  for (int code = 0; code < 4; ++code) {
+    const BlockPerm p = decode_perm(static_cast<std::uint8_t>(code), DomainMode::TwoDomain);
+    EXPECT_EQ(encode_perm(p, DomainMode::TwoDomain), code);
+  }
+}
+
+TEST(Codec, SlotPackingMultiDomainTwoBlocksPerByte) {
+  const CodeSlot even = code_slot(4, DomainMode::MultiDomain);
+  EXPECT_EQ(even.byte_offset, 2u);
+  EXPECT_EQ(even.shift, 0);
+  EXPECT_EQ(even.mask, 0x0f);
+  const CodeSlot odd = code_slot(5, DomainMode::MultiDomain);
+  EXPECT_EQ(odd.byte_offset, 2u);
+  EXPECT_EQ(odd.shift, 4);
+  EXPECT_EQ(odd.mask, 0xf0);
+}
+
+TEST(Codec, SlotPackingTwoDomainFourBlocksPerByte) {
+  for (std::uint32_t b = 0; b < 8; ++b) {
+    const CodeSlot s = code_slot(b, DomainMode::TwoDomain);
+    EXPECT_EQ(s.byte_offset, b / 4);
+    EXPECT_EQ(s.shift, (b % 4) * 2);
+  }
+}
+
+// --- config / footprint (paper §5.2) ---
+
+TEST(Config, MaximumMapIs256BytesForMultiDomainFullAddressSpace) {
+  // "Maximum memory map size is 256 bytes for multi-domain protection"
+  // (4 KB address space, 8-byte blocks, 4-bit codes).
+  Config c;
+  c.prot_bot = 0x0000;
+  c.prot_top = 0x1000;
+  c.block_shift = 3;
+  c.mode = DomainMode::MultiDomain;
+  EXPECT_EQ(c.table_bytes(), 256u);
+}
+
+TEST(Config, HeapPlusSafeStackOnlyIs140Bytes) {
+  // "size of memory map required can be reduced to 140 bytes" — protecting
+  // 2240 bytes at 8-byte blocks with 4-bit codes.
+  Config c;
+  c.prot_bot = 0x0400;
+  c.prot_top = 0x0400 + 2240;
+  c.block_shift = 3;
+  c.mode = DomainMode::MultiDomain;
+  EXPECT_EQ(c.table_bytes(), 140u);
+}
+
+TEST(Config, TwoDomainHalvesTheTable) {
+  Config c;
+  c.prot_bot = 0x0400;
+  c.prot_top = 0x0400 + 2240;
+  c.block_shift = 3;
+  c.mode = DomainMode::TwoDomain;
+  EXPECT_EQ(c.table_bytes(), 70u);  // "the overhead can be reduced to only 70 bytes"
+}
+
+TEST(Config, RegisterRoundTrip) {
+  const Config c = multi_cfg();
+  const Config back = Config::from_registers(c.config_register(), c.prot_bot, c.prot_top,
+                                             c.map_base);
+  EXPECT_EQ(back.block_shift, c.block_shift);
+  EXPECT_EQ(back.mode, c.mode);
+}
+
+TEST(Config, ValidationRejectsBadGeometry) {
+  Config c = multi_cfg();
+  c.prot_top = c.prot_bot;
+  EXPECT_THROW(MemoryMap{c}, std::invalid_argument);
+  c = multi_cfg();
+  c.prot_bot = 0x0061;  // not block aligned
+  EXPECT_THROW(MemoryMap{c}, std::invalid_argument);
+}
+
+// --- translation (paper Fig. 3b) ---
+
+TEST(Translate, PipelineStages) {
+  const MemoryMap m(multi_cfg());
+  // addr 0x0123 -> offset 0xC3 -> block 0x18 (24) -> byte 12, low nibble.
+  const Translation t = m.translate(0x0123);
+  EXPECT_EQ(t.offset, 0x0123u - 0x60u);
+  EXPECT_EQ(t.block_index, (0x0123u - 0x60u) >> 3);
+  EXPECT_EQ(t.slot.byte_offset, t.block_index >> 1);
+  EXPECT_EQ(t.table_addr, 0x0100 + t.slot.byte_offset);
+}
+
+TEST(Translate, OutsideRangeThrows) {
+  const MemoryMap m(multi_cfg());
+  EXPECT_THROW((void)m.translate(0x0040), std::out_of_range);
+  EXPECT_THROW((void)m.translate(0x1000), std::out_of_range);
+}
+
+TEST(Translate, BlockSizeSweep) {
+  for (const std::uint8_t shift : {2, 3, 4, 5, 6}) {
+    Config c = multi_cfg();
+    c.prot_bot = 0x0100;  // aligned for every shift tested
+    c.block_shift = shift;
+    const MemoryMap m(c);
+    const std::uint16_t addr = 0x0100 + 5 * c.block_size() + 1;
+    EXPECT_EQ(m.translate(addr).block_index, 5u) << "shift " << int(shift);
+  }
+}
+
+// --- map semantics ---
+
+TEST(Map, FreshMapIsAllFree) {
+  const MemoryMap m(multi_cfg());
+  for (std::uint32_t b = 0; b < m.block_count(); ++b) EXPECT_EQ(m.block(b), free_block());
+}
+
+TEST(Map, SetSegmentMarksStartAndLaterBlocks) {
+  MemoryMap m(multi_cfg());
+  m.set_segment(10, 3, 2);
+  EXPECT_EQ(m.block(10), (BlockPerm{2, true}));
+  EXPECT_EQ(m.block(11), (BlockPerm{2, false}));
+  EXPECT_EQ(m.block(12), (BlockPerm{2, false}));
+  EXPECT_EQ(m.block(13), free_block());
+  EXPECT_EQ(m.segment_length(10), 3u);
+  EXPECT_EQ(m.segment_start(11), 10u);
+}
+
+TEST(Map, CanWriteEnforcesOwnership) {
+  MemoryMap m(multi_cfg());
+  m.set_segment(0, 2, 1);  // blocks at 0x60..0x70 owned by domain 1
+  EXPECT_TRUE(m.can_write(1, 0x0060));
+  EXPECT_TRUE(m.can_write(1, 0x006f));
+  EXPECT_FALSE(m.can_write(2, 0x0060));
+  EXPECT_FALSE(m.can_write(1, 0x0070));  // free block: owned by trusted
+  EXPECT_TRUE(m.can_write(kTrustedDomain, 0x0060));  // trusted writes anywhere
+  EXPECT_TRUE(m.can_write(2, 0x0040));   // below prot_bot: not covered
+}
+
+TEST(Map, FreeSegmentRequiresOwner) {
+  MemoryMap m(multi_cfg());
+  m.set_segment(4, 2, 3);
+  EXPECT_FALSE(m.free_segment(4, 5));  // non-owner cannot free (paper §2.4)
+  EXPECT_EQ(m.block(4), (BlockPerm{3, true}));
+  EXPECT_TRUE(m.free_segment(4, 3));
+  EXPECT_EQ(m.block(4), free_block());
+  EXPECT_EQ(m.block(5), free_block());
+}
+
+TEST(Map, FreeSegmentOnNonStartFails) {
+  MemoryMap m(multi_cfg());
+  m.set_segment(4, 2, 3);
+  EXPECT_FALSE(m.free_segment(5, 3));  // not a segment start
+}
+
+TEST(Map, ChangeOwnerRequiresOwnerAndMovesWholeSegment) {
+  MemoryMap m(multi_cfg());
+  m.set_segment(8, 4, 1);
+  EXPECT_FALSE(m.change_owner(8, 2, 3));  // "prevents a module from hijacking memory"
+  EXPECT_TRUE(m.change_owner(8, 1, 4));
+  EXPECT_EQ(m.block(8), (BlockPerm{4, true}));
+  EXPECT_EQ(m.block(11), (BlockPerm{4, false}));
+  EXPECT_EQ(m.segment_length(8), 4u);
+}
+
+TEST(Map, TrustedCanFreeAndTransferAnything) {
+  MemoryMap m(multi_cfg());
+  m.set_segment(2, 2, 5);
+  EXPECT_TRUE(m.change_owner(2, kTrustedDomain, 1));
+  EXPECT_TRUE(m.free_segment(2, kTrustedDomain));
+}
+
+TEST(Map, AdjacentSegmentsStayDistinct) {
+  MemoryMap m(multi_cfg());
+  m.set_segment(0, 2, 1);
+  m.set_segment(2, 2, 1);  // same owner, back-to-back
+  EXPECT_EQ(m.segment_length(0), 2u);  // start flag separates them
+  EXPECT_EQ(m.segment_length(2), 2u);
+  m.set_segment(4, 2, 2);
+  EXPECT_EQ(m.segment_length(2), 2u);
+}
+
+TEST(Map, TwoDomainModeSemantics) {
+  Config c = multi_cfg();
+  c.mode = DomainMode::TwoDomain;
+  MemoryMap m(c);
+  m.set_segment(0, 3, 0);  // the single user domain
+  EXPECT_TRUE(m.can_write(0, m.addr_of_block(1)));
+  EXPECT_FALSE(m.can_write(0, m.addr_of_block(3)));
+  EXPECT_EQ(m.owner_of(m.addr_of_block(3)), kTrustedDomain);
+}
+
+// --- randomized segment workout against a naive per-block shadow model ---
+
+TEST(Map, RandomizedOpsMatchShadowModel) {
+  MemoryMap m(multi_cfg());
+  struct Shadow {
+    DomainId owner = kTrustedDomain;
+    bool start = true;
+  };
+  std::vector<Shadow> shadow(m.block_count());
+  std::mt19937 rng(20070604);  // DAC'07
+  std::vector<std::uint32_t> segments;  // start blocks of live segments
+
+  for (int step = 0; step < 2000; ++step) {
+    const int op = static_cast<int>(rng() % 3);
+    if (op == 0) {  // allocate
+      const std::uint32_t len = 1 + rng() % 6;
+      const std::uint32_t first = rng() % (m.block_count() - len);
+      bool free_run = true;
+      for (std::uint32_t i = 0; i < len; ++i)
+        free_run = free_run && shadow[first + i].owner == kTrustedDomain &&
+                   shadow[first + i].start;
+      if (!free_run) continue;
+      const DomainId dom = static_cast<DomainId>(rng() % 7);
+      m.set_segment(first, len, dom);
+      shadow[first] = {dom, true};
+      for (std::uint32_t i = 1; i < len; ++i) shadow[first + i] = {dom, false};
+      segments.push_back(first);
+    } else if (op == 1 && !segments.empty()) {  // free
+      const std::size_t pick = rng() % segments.size();
+      const std::uint32_t first = segments[pick];
+      const DomainId owner = shadow[first].owner;
+      const std::uint32_t len = m.segment_length(first);
+      ASSERT_TRUE(m.free_segment(first, owner));
+      for (std::uint32_t i = 0; i < len; ++i) shadow[first + i] = {kTrustedDomain, true};
+      segments.erase(segments.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (op == 2 && !segments.empty()) {  // change_own
+      const std::uint32_t first = segments[rng() % segments.size()];
+      const DomainId owner = shadow[first].owner;
+      const DomainId to = static_cast<DomainId>(rng() % 7);
+      const std::uint32_t len = m.segment_length(first);
+      ASSERT_TRUE(m.change_owner(first, owner, to));
+      for (std::uint32_t i = 0; i < len; ++i) shadow[first + i].owner = to;
+    }
+    // Invariant: every block agrees with the shadow model.
+    for (std::uint32_t b = 0; b < m.block_count(); ++b) {
+      ASSERT_EQ(m.block(b).owner, shadow[b].owner) << "step " << step << " block " << b;
+      ASSERT_EQ(m.block(b).start, shadow[b].start) << "step " << step << " block " << b;
+    }
+  }
+}
+
+}  // namespace

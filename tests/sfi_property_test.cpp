@@ -1,0 +1,179 @@
+// Property test for the SFI toolchain: randomly generated "well-behaved"
+// modules (arithmetic, branches, local calls, stores into their own
+// buffer) are rewritten and verified, then executed both raw (no
+// protection) and sandboxed (SFI); the architectural results — register
+// outputs and buffer contents — must be identical, and the verifier must
+// accept every rewriter output.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "asm/builder.h"
+#include "runtime/testbed.h"
+#include "sfi/rewriter.h"
+#include "sfi/verifier.h"
+
+namespace {
+
+using namespace harbor;
+using namespace harbor::assembler;
+using namespace harbor::runtime;
+
+/// Generates a random module that computes over r18-r21 and stores into
+/// the 64-byte buffer whose address arrives in r24 (copied to X).
+/// Control flow: forward branches and one local helper function.
+std::vector<std::uint16_t> random_module(std::mt19937& rng, std::uint32_t* helper_off) {
+  Assembler a;
+  auto helper = a.make_label("helper");
+  a.movw(r26, r24);  // X = buffer
+  a.ldi(r18, static_cast<std::uint8_t>(rng() % 256));
+  a.ldi(r19, static_cast<std::uint8_t>(rng() % 256));
+  a.clr(r20);
+  a.clr(r21);
+
+  const int ops = 8 + static_cast<int>(rng() % 16);
+  std::vector<Label> pending;  // forward branch targets to bind
+  for (int i = 0; i < ops; ++i) {
+    // Bind at most one pending forward label here.
+    if (!pending.empty() && rng() % 2) {
+      a.bind(pending.back());
+      pending.pop_back();
+    }
+    switch (rng() % 8) {
+      case 0: a.add(r18, r19); break;
+      case 1: a.eor(r19, r18); break;
+      case 2: a.inc(r20); break;
+      case 3: a.lsr(r18); break;
+      case 4: a.st_x_inc(r18); break;  // store into own buffer
+      case 5: a.rcall(helper); break;
+      case 6: {  // forward branch over the next chunk
+        auto l = a.make_label();
+        a.tst(r19);
+        a.brne(l);
+        a.inc(r21);
+        pending.push_back(l);
+        break;
+      }
+      case 7: {
+        a.ldi(r22, static_cast<std::uint8_t>(1 + rng() % 7));
+        a.sbrc(r22, 0);  // safe skip: next instruction is one word
+        a.inc(r21);
+        break;
+      }
+    }
+  }
+  while (!pending.empty()) {
+    a.bind(pending.back());
+    pending.pop_back();
+  }
+  // Results out.
+  a.mov(r24, r20);
+  a.mov(r25, r21);
+  a.ret();
+  a.bind(helper);
+  a.add(r20, r18);
+  a.ret();
+  const Program p = a.assemble();
+  *helper_off = *p.symbol("helper");
+  return p.words;
+}
+
+struct Observed {
+  std::uint16_t result = 0;
+  std::vector<std::uint8_t> buffer;
+  bool faulted = false;
+};
+
+Observed run_in(Mode mode, const std::vector<std::uint16_t>& words, std::uint32_t helper) {
+  Testbed tb(mode);
+  const std::uint16_t buf = tb.malloc(64, 1).value;
+  std::uint32_t entry;
+  if (mode == Mode::Sfi) {
+    sfi::RewriteInput in;
+    in.words = words;
+    in.entries = {0, helper};
+    const auto stubs = sfi::StubTable::from_runtime(tb.runtime());
+    const auto res = sfi::rewrite(in, stubs, tb.module_area());
+    const auto v = sfi::verify(res.program.words, res.program.origin,
+                               std::vector<std::uint32_t>{res.map_offset(0),
+                                                          res.map_offset(helper)},
+                               stubs);
+    EXPECT_TRUE(v.ok) << v.reason << " @" << v.at;
+    tb.load_module_image(res.program, 1);
+    entry = res.map_offset(0);
+  } else {
+    assembler::Program p;
+    p.origin = tb.module_area();
+    p.words = words;
+    tb.load_module_image(p, 1);
+    entry = p.origin;
+  }
+  const CallResult r = tb.call_module(entry, 1, buf);
+  Observed o;
+  o.result = r.value;
+  o.faulted = r.faulted;
+  for (int i = 0; i < 64; ++i)
+    o.buffer.push_back(tb.device().data().sram_raw(static_cast<std::uint16_t>(buf + i)));
+  return o;
+}
+
+TEST(SfiProperty, RewrittenModulesBehaveIdentically) {
+  std::mt19937 rng(0xdac0 ^ 7);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::uint32_t helper = 0;
+    const auto words = random_module(rng, &helper);
+    const Observed raw = run_in(Mode::None, words, helper);
+    const Observed sfi = run_in(Mode::Sfi, words, helper);
+    ASSERT_FALSE(raw.faulted) << "trial " << trial;
+    ASSERT_FALSE(sfi.faulted) << "trial " << trial;
+    EXPECT_EQ(raw.result, sfi.result) << "trial " << trial;
+    EXPECT_EQ(raw.buffer, sfi.buffer) << "trial " << trial;
+  }
+}
+
+TEST(SfiProperty, VerifierAcceptsEveryRewriterOutput) {
+  std::mt19937 rng(42424242);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::uint32_t helper = 0;
+    const auto words = random_module(rng, &helper);
+    Testbed tb(Mode::Sfi);
+    sfi::RewriteInput in;
+    in.words = words;
+    in.entries = {0, helper};
+    const auto stubs = sfi::StubTable::from_runtime(tb.runtime());
+    const auto res = sfi::rewrite(in, stubs, tb.module_area());
+    const auto v = sfi::verify(res.program.words, res.program.origin,
+                               std::vector<std::uint32_t>{res.map_offset(0),
+                                                          res.map_offset(helper)},
+                               stubs);
+    EXPECT_TRUE(v.ok) << "trial " << trial << ": " << v.reason << " @" << v.at;
+  }
+}
+
+TEST(SfiProperty, RandomBitFlipsNeverCrashVerifier) {
+  // Robustness: the verifier must reject or accept, never misbehave, on
+  // arbitrarily corrupted binaries.
+  std::mt19937 rng(1337);
+  std::uint32_t helper = 0;
+  const auto words = random_module(rng, &helper);
+  Testbed tb(Mode::Sfi);
+  sfi::RewriteInput in;
+  in.words = words;
+  in.entries = {0, helper};
+  const auto stubs = sfi::StubTable::from_runtime(tb.runtime());
+  const auto res = sfi::rewrite(in, stubs, tb.module_area());
+  int rejected = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    auto w = res.program.words;
+    const std::size_t idx = rng() % w.size();
+    w[idx] ^= static_cast<std::uint16_t>(1u << (rng() % 16));
+    const auto v = sfi::verify(w, res.program.origin,
+                               std::vector<std::uint32_t>{res.map_offset(0)}, stubs);
+    if (!v.ok) ++rejected;
+  }
+  // Most single-bit flips break a rule; all must at least terminate.
+  EXPECT_GT(rejected, 50);
+}
+
+}  // namespace

@@ -1,0 +1,470 @@
+// SFI system tests: the binary rewriter + verifier + software runtime as a
+// whole. Modules are authored raw (with stores, returns, computed calls),
+// rewritten, verified, loaded and executed on the simulated core under the
+// software-only protection system.
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.h"
+#include "avr/ports.h"
+#include "runtime/testbed.h"
+#include "sfi/rewriter.h"
+#include "sfi/verifier.h"
+
+namespace {
+
+using namespace harbor;
+using namespace harbor::assembler;
+using namespace harbor::runtime;
+using avr::FaultKind;
+using sfi::RewriteInput;
+using sfi::RewriteResult;
+using sfi::StubTable;
+namespace ports = avr::ports;
+
+/// Author a raw module with the builder, rewrite it for the testbed's SFI
+/// runtime, verify, and load it as `domain`.
+struct SfiModule {
+  SfiModule(Testbed& tb, Assembler& raw, std::vector<std::uint32_t> entries,
+            memmap::DomainId domain)
+      : stubs(StubTable::from_runtime(tb.runtime())) {
+    const Program p = raw.assemble();
+    RewriteInput in;
+    in.words = p.words;
+    in.entries = entries;
+    result = sfi::rewrite(in, stubs, tb.module_area());
+    // Every module must pass the verifier before it is admitted.
+    std::vector<std::uint32_t> abs_entries;
+    for (const std::uint32_t e : entries) abs_entries.push_back(result.map_offset(e));
+    const sfi::VerifyResult v = sfi::verify(result.program.words, result.program.origin,
+                                            abs_entries, stubs);
+    EXPECT_TRUE(v.ok) << v.reason << " at offset " << v.at;
+    tb.load_module_image(result.program, domain);
+  }
+
+  [[nodiscard]] std::uint32_t entry(std::uint32_t old_offset) const {
+    return result.offset_map.at(old_offset);
+  }
+
+  StubTable stubs;
+  RewriteResult result;
+};
+
+TEST(SfiRewrite, ComputeOnlyModulePreservesSemantics) {
+  Testbed tb(Mode::Sfi);
+  Assembler raw;
+  // sum 1..10 via a loop, return in r24.
+  raw.ldi(r24, 0);
+  raw.ldi(r18, 10);
+  auto loop = raw.make_label();
+  raw.bind(loop);
+  raw.add(r24, r18);
+  raw.dec(r18);
+  raw.brne(loop);
+  raw.ldi(r25, 0);
+  raw.ret();
+  SfiModule m(tb, raw, {0}, 1);
+  const CallResult r = tb.call_module(m.entry(0), 1);
+  EXPECT_FALSE(r.faulted) << avr::fault_kind_name(r.fault);
+  EXPECT_EQ(r.value, 55);
+}
+
+TEST(SfiRewrite, ModuleMallocsAndWritesOwnMemory) {
+  Testbed tb(Mode::Sfi);
+  const Layout& L = tb.layout();
+  Assembler raw;
+  raw.ldi(r24, 16);
+  raw.ldi(r25, 0);
+  raw.call_abs(L.jt_entry(ports::kTrustedDomain, kernel_slots::kMalloc));
+  raw.movw(r26, r24);  // X = allocation
+  raw.ldi(r18, 0xab);
+  raw.st_x(r18);       // store into own memory: must pass the checker
+  raw.ret();
+  SfiModule m(tb, raw, {0}, 3);
+  const CallResult r = tb.call_module(m.entry(0), 3);
+  ASSERT_FALSE(r.faulted) << avr::fault_kind_name(r.fault);
+  ASSERT_NE(r.value, 0);
+  EXPECT_EQ(tb.device().data().sram_raw(r.value), 0xab);
+  EXPECT_GT(m.result.stats.cross_calls, 0);
+  EXPECT_GT(m.result.stats.stores, 0);
+}
+
+TEST(SfiRewrite, ForeignStoreCaughtBySoftwareChecker) {
+  Testbed tb(Mode::Sfi);
+  const std::uint16_t foreign = tb.malloc(16, 2).value;  // owned by domain 2
+  ASSERT_NE(foreign, 0);
+  Assembler raw;
+  raw.ldi(r26, static_cast<std::uint8_t>(foreign & 0xff));
+  raw.ldi(r27, static_cast<std::uint8_t>(foreign >> 8));
+  raw.ldi(r18, 0x66);
+  raw.st_x(r18);
+  raw.ret();
+  SfiModule m(tb, raw, {0}, 4);
+  const CallResult r = tb.call_module(m.entry(0), 4);
+  EXPECT_TRUE(r.faulted);
+  EXPECT_EQ(r.fault, FaultKind::MemMapViolation);
+  EXPECT_EQ(tb.device().data().sram_raw(foreign), 0);  // never written
+}
+
+TEST(SfiRewrite, AllStoreModesCheckedAndExecuted) {
+  Testbed tb(Mode::Sfi);
+  Assembler raw;
+  // Allocate 32 bytes, exercise every store form against it.
+  raw.ldi(r24, 32);
+  raw.ldi(r25, 0);
+  raw.call_abs(tb.layout().jt_entry(ports::kTrustedDomain, kernel_slots::kMalloc));
+  raw.movw(r26, r24);  // X
+  raw.movw(r28, r24);  // Y
+  raw.movw(r30, r24);  // Z
+  raw.adiw(r28, 8);
+  raw.adiw(r30, 16);
+  raw.ldi(r18, 1);
+  raw.st_x_inc(r18);   // [0]=1
+  raw.ldi(r18, 2);
+  raw.st_x(r18);       // [1]=2
+  raw.ldi(r18, 3);
+  raw.st_y_inc(r18);   // [8]=3
+  raw.ldi(r18, 4);
+  raw.st_y_dec(r18);   // [8]=4 (pre-dec back to 8)
+  raw.ldi(r18, 5);
+  raw.std_y(r18, 2);   // [10]=5
+  raw.ldi(r18, 6);
+  raw.st_z_inc(r18);   // [16]=6
+  raw.ldi(r18, 7);
+  raw.std_z(r18, 3);   // [20]=7
+  raw.ret();
+  SfiModule m(tb, raw, {0}, 2);
+  const CallResult r = tb.call_module(m.entry(0), 2);
+  ASSERT_FALSE(r.faulted) << avr::fault_kind_name(r.fault);
+  const std::uint16_t b = r.value;
+  ASSERT_NE(b, 0);
+  auto& ds = tb.device().data();
+  EXPECT_EQ(ds.sram_raw(b + 0), 1);
+  EXPECT_EQ(ds.sram_raw(b + 1), 2);
+  EXPECT_EQ(ds.sram_raw(b + 8), 4);
+  EXPECT_EQ(ds.sram_raw(b + 10), 5);
+  EXPECT_EQ(ds.sram_raw(b + 16), 6);
+  EXPECT_EQ(ds.sram_raw(b + 20), 7);
+  EXPECT_GE(m.result.stats.stores, 7);
+  EXPECT_GE(m.result.stats.displaced_stores, 2);
+}
+
+TEST(SfiRewrite, StsAbsoluteStoreRouted) {
+  Testbed tb(Mode::Sfi);
+  const std::uint16_t own = tb.malloc(8, 5).value;
+  ASSERT_NE(own, 0);
+  Assembler raw;
+  raw.ldi(r18, 0x42);
+  raw.sts(own, r18);
+  raw.ret();
+  SfiModule m(tb, raw, {0}, 5);
+  const CallResult r = tb.call_module(m.entry(0), 5);
+  ASSERT_FALSE(r.faulted) << avr::fault_kind_name(r.fault);
+  EXPECT_EQ(tb.device().data().sram_raw(own), 0x42);
+}
+
+TEST(SfiRewrite, ControlFlowSurvivesStackRegionWrites) {
+  // Under SFI no return addresses live on the run-time stack at all (they
+  // are relocated to the software safe stack by save_ret), so a module may
+  // write over its stack region freely without perturbing control flow.
+  // Writes within one byte of SP are excluded: that red zone is unsafe on
+  // any AVR (calls/interrupts clobber it).
+  Testbed tb(Mode::Sfi);
+  Assembler raw;
+  auto fn = raw.make_label();
+  auto smash = raw.make_label();
+  raw.call(fn);         // local call (rewritten to carry save_ret linkage)
+  raw.ldi(r24, 0x77);
+  raw.ldi(r25, 0);
+  raw.ret();
+  raw.bind(fn);
+  // Blanket-write a window in the stack region (0x0f00..0x0f0f).
+  raw.ldi(r26, 0x00);
+  raw.ldi(r27, 0x0f);
+  raw.ldi(r18, 0xff);
+  raw.ldi(r19, 16);
+  raw.bind(smash);
+  raw.st_x_inc(r18);
+  raw.dec(r19);
+  raw.brne(smash);
+  raw.ret();
+  SfiModule m(tb, raw, {0, 5}, 1);  // entries: module start and fn (offset 5)
+  const CallResult r = tb.call_module(m.entry(0), 1);
+  ASSERT_FALSE(r.faulted) << avr::fault_kind_name(r.fault);
+  EXPECT_EQ(r.value, 0x77);
+  EXPECT_EQ(tb.device().data().sram_raw(0x0f0f), 0xff);
+}
+
+TEST(SfiRewrite, CalleeCannotWriteAboveStackBound) {
+  // Module A (domain 1) cross-calls module B (domain 2) through B's jump
+  // table; B scribbles above the stack bound.
+  Testbed tb(Mode::Sfi);
+  const Layout& L = tb.layout();
+
+  Assembler rawB;
+  rawB.ldi(r26, 0xfe);
+  rawB.ldi(r27, 0x0f);  // 0x0ffe: inside the caller's stack frames
+  rawB.ldi(r18, 0x6b);
+  rawB.st_x(r18);
+  rawB.ret();
+  const Program pb_raw = rawB.assemble();
+  RewriteInput inb;
+  inb.words = pb_raw.words;
+  inb.entries = {0};
+  const StubTable stubs = StubTable::from_runtime(tb.runtime());
+  const RewriteResult bres = sfi::rewrite(inb, stubs, tb.module_area());
+  tb.load_module_image(bres.program, 2);
+  tb.set_jt_entry(2, 0, bres.map_offset(0));
+
+  Assembler rawA;
+  rawA.call_abs(L.jt_entry(2, 0));  // cross-domain call to B
+  rawA.ret();
+  const Program pa_raw = rawA.assemble();
+  RewriteInput ina;
+  ina.words = pa_raw.words;
+  ina.entries = {0};
+  const RewriteResult ares = sfi::rewrite(ina, stubs, bres.program.end());
+  tb.load_module_image(ares.program, 1);
+
+  const CallResult r = tb.call_module(ares.map_offset(0), 1);
+  EXPECT_TRUE(r.faulted);
+  EXPECT_EQ(r.fault, FaultKind::StackBoundViolation);
+  // The faulting store was suppressed (0x0ffe holds the testbed's own
+  // synthetic return-address byte, not the module's 0x6b).
+  EXPECT_NE(tb.device().data().sram_raw(0x0ffe), 0x6b);
+}
+
+TEST(SfiRewrite, IcallWithinModuleWorksAndForeignIcallFaults) {
+  Testbed tb(Mode::Sfi);
+  // The module receives the function pointer in r25:r24 (code pointers are
+  // relocated by the loader/caller, not baked into the image).
+  Assembler raw;
+  auto target = raw.make_label();
+  raw.movw(r30, r24);  // Z = argument
+  raw.icall();
+  raw.ret();
+  raw.bind(target);
+  raw.ldi(r24, 0x31);
+  raw.ldi(r25, 0);
+  raw.ret();
+  const Program p = raw.assemble();
+  const std::uint32_t target_off = 3;  // movw, icall, ret
+  RewriteInput in;
+  in.words = p.words;
+  in.entries = {0, target_off};
+  const StubTable stubs = StubTable::from_runtime(tb.runtime());
+  sfi::RewriteResult res = sfi::rewrite(in, stubs, tb.module_area());
+  tb.load_module_image(res.program, 3);
+  const CallResult ok = tb.call_module(res.map_offset(0), 3,
+                                       static_cast<std::uint16_t>(res.map_offset(target_off)));
+  ASSERT_FALSE(ok.faulted) << avr::fault_kind_name(ok.fault);
+  EXPECT_EQ(ok.value, 0x31);
+
+  // Foreign icall: Z pointing at the kernel's ker_malloc body.
+  const CallResult r2 = tb.call_module(
+      res.map_offset(0), 3, static_cast<std::uint16_t>(tb.runtime().symbol("ker_malloc")));
+  EXPECT_TRUE(r2.faulted);
+  EXPECT_EQ(r2.fault, FaultKind::IllegalCallTarget);
+}
+
+TEST(SfiRewrite, SkipOverExpandedStoreIsGuarded) {
+  Testbed tb(Mode::Sfi);
+  auto build = [&](std::uint8_t flagval) {
+    Assembler raw;
+    raw.ldi(r24, 16);
+    raw.ldi(r25, 0);
+    raw.call_abs(tb.layout().jt_entry(ports::kTrustedDomain, kernel_slots::kMalloc));
+    raw.movw(r26, r24);
+    raw.ldi(r18, 0x11);
+    raw.ldi(r19, flagval);
+    raw.sbrc(r19, 0);   // skip the store when bit0 of the flag is clear
+    raw.st_x(r18);      // expanded by the rewriter -> needs the guard
+    raw.ret();
+    return raw.assemble();
+  };
+  const StubTable stubs = StubTable::from_runtime(tb.runtime());
+  // sbrc skips when the bit is CLEAR: flag=0 -> store skipped.
+  for (const std::uint8_t flag : {std::uint8_t{0}, std::uint8_t{1}}) {
+    const Program p = build(flag);
+    RewriteInput in;
+    in.words = p.words;
+    in.entries = {0};
+    const sfi::RewriteResult res = sfi::rewrite(in, stubs, tb.module_area());
+    const auto v = sfi::verify(res.program.words, res.program.origin,
+                               std::vector<std::uint32_t>{res.map_offset(0)}, stubs);
+    ASSERT_TRUE(v.ok) << v.reason;
+    tb.load_module_image(res.program, 1);
+    const CallResult r = tb.call_module(res.map_offset(0), 1);
+    ASSERT_FALSE(r.faulted) << avr::fault_kind_name(r.fault);
+    const std::uint8_t stored = tb.device().data().sram_raw(r.value);
+    if (flag & 1) {
+      EXPECT_EQ(stored, 0x11) << "store should have executed";
+    } else {
+      EXPECT_EQ(stored, 0x00) << "store should have been skipped";
+    }
+    EXPECT_EQ(tb.free(r.value, 1).value, 0);  // clean up for the next round
+  }
+}
+
+TEST(SfiRewrite, LongRangeBranchGetsRelaxed) {
+  Testbed tb(Mode::Sfi);
+  const std::uint16_t own = tb.malloc(64, 6).value;
+  ASSERT_NE(own, 0);
+  Assembler raw;
+  auto done = raw.make_label();
+  raw.ldi(r26, static_cast<std::uint8_t>(own & 0xff));
+  raw.ldi(r27, static_cast<std::uint8_t>(own >> 8));
+  raw.ldi(r18, 0);
+  raw.tst(r18);
+  raw.breq(done);  // short in the raw module; far after expansion
+  // 30 stores, each expanding to 3 words.
+  for (int i = 0; i < 30; ++i) raw.st_x_inc(r18);
+  raw.bind(done);
+  raw.ldi(r24, 0x0d);
+  raw.ldi(r25, 0);
+  raw.ret();
+  SfiModule m(tb, raw, {0}, 6);
+  EXPECT_GT(m.result.stats.relaxed_branches, 0);
+  const CallResult r = tb.call_module(m.entry(0), 6);
+  ASSERT_FALSE(r.faulted) << avr::fault_kind_name(r.fault);
+  EXPECT_EQ(r.value, 0x0d);
+}
+
+// --- verifier hardening ----------------------------------------------------
+
+class VerifierTamper : public ::testing::Test {
+ protected:
+  VerifierTamper() : tb(Mode::Sfi), stubs(StubTable::from_runtime(tb.runtime())) {
+    Assembler raw;
+    raw.ldi(r24, 16);
+    raw.ldi(r25, 0);
+    raw.call_abs(tb.layout().jt_entry(ports::kTrustedDomain, kernel_slots::kMalloc));
+    raw.movw(r26, r24);
+    raw.ldi(r18, 1);
+    raw.st_x(r18);
+    raw.ret();
+    const Program p = raw.assemble();
+    RewriteInput in;
+    in.words = p.words;
+    in.entries = {0};
+    res = sfi::rewrite(in, stubs, tb.module_area());
+    entries = {res.map_offset(0)};
+  }
+
+  [[nodiscard]] sfi::VerifyResult verify_words(const std::vector<std::uint16_t>& w) const {
+    return sfi::verify(w, res.program.origin, entries, stubs);
+  }
+
+  Testbed tb;
+  StubTable stubs;
+  sfi::RewriteResult res;
+  std::vector<std::uint32_t> entries;
+};
+
+TEST_F(VerifierTamper, AcceptsRewriterOutput) {
+  EXPECT_TRUE(verify_words(res.program.words).ok);
+}
+
+TEST_F(VerifierTamper, RejectsRawStoreInsertion) {
+  auto w = res.program.words;
+  w[w.size() - 2] = avr::encode(avr::Instr{.op = avr::Mnemonic::StX, .d = 5}).word[0];
+  EXPECT_FALSE(verify_words(w).ok);
+}
+
+TEST_F(VerifierTamper, RejectsRawRet) {
+  auto w = res.program.words;
+  w[w.size() - 1] = avr::encode(avr::Instr{.op = avr::Mnemonic::Ret}).word[0];
+  EXPECT_FALSE(verify_words(w).ok);
+}
+
+TEST_F(VerifierTamper, RejectsRawIcallAndIjmp) {
+  auto w = res.program.words;
+  w[w.size() - 1] = avr::encode(avr::Instr{.op = avr::Mnemonic::Icall}).word[0];
+  EXPECT_FALSE(verify_words(w).ok);
+  w[w.size() - 1] = avr::encode(avr::Instr{.op = avr::Mnemonic::Ijmp}).word[0];
+  EXPECT_FALSE(verify_words(w).ok);
+}
+
+TEST_F(VerifierTamper, RejectsCallIntoKernelBody) {
+  auto w = res.program.words;
+  // Retarget the first call in the image to ker_malloc's body (not a stub).
+  const std::uint32_t target = tb.runtime().symbol("ker_malloc");
+  bool patched = false;
+  for (std::size_t i = 0; i + 1 < w.size(); ++i) {
+    const avr::Instr ins = avr::decode(w[i], w[i + 1]);
+    if (ins.op == avr::Mnemonic::Call) {
+      const auto e = avr::encode(avr::Instr{.op = avr::Mnemonic::Call, .k32 = target});
+      w[i] = e.word[0];
+      w[i + 1] = e.word[1];
+      patched = true;
+      break;
+    }
+    i += static_cast<std::size_t>(ins.op == avr::Mnemonic::Invalid ? 0 : ins.words() - 1);
+  }
+  ASSERT_TRUE(patched);
+  EXPECT_FALSE(verify_words(w).ok);
+}
+
+TEST_F(VerifierTamper, RejectsSpmAndProtectedPortWrites) {
+  auto w = res.program.words;
+  w[w.size() - 1] = avr::encode(avr::Instr{.op = avr::Mnemonic::Spm}).word[0];
+  EXPECT_FALSE(verify_words(w).ok);
+  w[w.size() - 1] =
+      avr::encode(avr::Instr{.op = avr::Mnemonic::Out, .d = 16, .a = ports::kUmpuCtl}).word[0];
+  EXPECT_FALSE(verify_words(w).ok);
+  w[w.size() - 1] =
+      avr::encode(avr::Instr{.op = avr::Mnemonic::Out, .d = 16, .a = 0x3d}).word[0];  // SPL
+  EXPECT_FALSE(verify_words(w).ok);
+}
+
+TEST_F(VerifierTamper, RejectsEntryWithoutSaveRetPrologue) {
+  auto w = res.program.words;
+  w[0] = avr::encode(avr::Instr{.op = avr::Mnemonic::Nop}).word[0];
+  w[1] = w[0];
+  EXPECT_FALSE(verify_words(w).ok);
+}
+
+TEST_F(VerifierTamper, RejectsBranchOutOfModule) {
+  auto w = res.program.words;
+  w[w.size() - 1] = avr::encode(avr::Instr{.op = avr::Mnemonic::Rjmp, .k = 100}).word[0];
+  EXPECT_FALSE(verify_words(w).ok);
+}
+
+TEST_F(VerifierTamper, RejectsSkipOverTwoWordInstruction) {
+  // sbrc followed by a two-word call: the skip could land inside the
+  // call's operand word. Construct the sequence directly.
+  std::vector<std::uint16_t> w;
+  const auto save = avr::encode(avr::Instr{.op = avr::Mnemonic::Call, .k32 = stubs.save_ret});
+  w.push_back(save.word[0]);
+  w.push_back(save.word[1]);
+  w.push_back(avr::encode(avr::Instr{.op = avr::Mnemonic::Sbrc, .d = 1, .b = 0}).word[0]);
+  w.push_back(save.word[0]);  // two-word instruction right after the skip
+  w.push_back(save.word[1]);
+  const auto jr = avr::encode(avr::Instr{.op = avr::Mnemonic::Jmp, .k32 = stubs.restore_ret});
+  w.push_back(jr.word[0]);
+  w.push_back(jr.word[1]);
+  const auto v = sfi::verify(w, res.program.origin,
+                             std::vector<std::uint32_t>{res.program.origin}, stubs);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("V7"), std::string::npos);
+}
+
+TEST_F(VerifierTamper, RejectsCrossCallWithoutZPreamble) {
+  // A bare `call harbor_cross_call` without the ldi r30/r31 preamble.
+  std::vector<std::uint16_t> w;
+  const auto save = avr::encode(avr::Instr{.op = avr::Mnemonic::Call, .k32 = stubs.save_ret});
+  w.push_back(save.word[0]);
+  w.push_back(save.word[1]);
+  const auto cc = avr::encode(avr::Instr{.op = avr::Mnemonic::Call, .k32 = stubs.cross_call});
+  w.push_back(cc.word[0]);
+  w.push_back(cc.word[1]);
+  const auto jr = avr::encode(avr::Instr{.op = avr::Mnemonic::Jmp, .k32 = stubs.restore_ret});
+  w.push_back(jr.word[0]);
+  w.push_back(jr.word[1]);
+  const auto v = sfi::verify(w, res.program.origin, std::vector<std::uint32_t>{res.program.origin},
+                             stubs);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("preamble"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,204 @@
+// Mini-SOS kernel tests: module loading (raw under UMPU, rewritten+verified
+// under SFI), per-domain jump-table linking, message dispatch through real
+// cross-domain calls, kernel services (subscribe/post) from guest code, and
+// the paper's §1.2 Surge scenario under both protection systems.
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.h"
+#include "avr/ports.h"
+#include "sos/kernel.h"
+#include "sos/modules.h"
+
+namespace {
+
+using namespace harbor;
+using namespace harbor::assembler;
+using namespace harbor::sos;
+using avr::FaultKind;
+using runtime::Mode;
+namespace ports = avr::ports;
+
+class SosKernel : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(SosKernel, LoadAssignsDomainsAndAllocatesState) {
+  Kernel k(GetParam());
+  const auto d1 = k.load(modules::blink());
+  const auto d2 = k.load(modules::tree_routing());
+  EXPECT_EQ(d1, 0);
+  EXPECT_EQ(d2, 1);
+  const LoadedModule* b = k.module("blink");
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(b->state_ptr, 0);  // blink has 2 bytes of state
+  EXPECT_GT(b->end, b->base);
+  const LoadedModule* t = k.module(d2);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->state_ptr, 0);  // tree routing is stateless
+  EXPECT_TRUE(t->export_addr.count(modules::kTreeGetHdrSizeSlot));
+}
+
+TEST_P(SosKernel, InitMessageDeliveredOnLoad) {
+  Kernel k(GetParam());
+  k.load(modules::blink());
+  const auto log = k.run_pending();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].msg, msg::kInit);
+  EXPECT_FALSE(log[0].result.faulted)
+      << avr::fault_kind_name(log[0].result.fault);
+}
+
+TEST_P(SosKernel, TimerMessagesCountedInModuleState) {
+  Kernel k(GetParam());
+  const auto d = k.load(modules::blink());
+  k.run_pending();  // init
+  for (int i = 0; i < 5; ++i) k.post(d, msg::kTimer);
+  const auto log = k.run_pending();
+  ASSERT_EQ(log.size(), 5u);
+  for (const auto& rec : log) EXPECT_FALSE(rec.result.faulted);
+  // The counter lives in blink's own state block.
+  const LoadedModule* b = k.module(d);
+  EXPECT_EQ(k.sys().device().data().sram_raw(b->state_ptr), 5);
+  EXPECT_EQ(k.sys().device().data().io().raw(ports::kDebugValLo), 5);
+}
+
+TEST_P(SosKernel, SubscribeResolvesLoadedExport) {
+  Kernel k(GetParam());
+  const auto tree = k.load(modules::tree_routing());
+  const std::uint32_t entry = k.subscribe(tree, modules::kTreeGetHdrSizeSlot);
+  EXPECT_EQ(entry, k.sys().layout().jt_entry(tree, modules::kTreeGetHdrSizeSlot));
+  // Absent module: the error-stub entry.
+  const std::uint32_t missing = k.subscribe(5, modules::kTreeGetHdrSizeSlot);
+  EXPECT_EQ(missing,
+            k.sys().layout().jt_entry(ports::kTrustedDomain, sys_slots::kUndefined));
+}
+
+TEST_P(SosKernel, SurgeWithTreeRoutingDeliversSamples) {
+  Kernel k(GetParam());
+  const auto tree = k.load(modules::tree_routing(), 1);
+  const auto surge = k.load(modules::surge(tree, /*fixed=*/false), 2);
+  auto log = k.run_pending();  // inits
+  for (const auto& rec : log) ASSERT_FALSE(rec.result.faulted);
+  k.post(surge, msg::kData);
+  log = k.run_pending();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_FALSE(log[0].result.faulted)
+      << avr::fault_kind_name(log[0].result.fault);
+  // The sample landed at buf[32 - 8].
+  const LoadedModule* s = k.module(surge);
+  const std::uint16_t buf =
+      static_cast<std::uint16_t>(k.sys().device().data().sram_raw(s->state_ptr) |
+                                 (k.sys().device().data().sram_raw(s->state_ptr + 1) << 8));
+  ASSERT_NE(buf, 0);
+  EXPECT_EQ(k.sys().device().data().sram_raw(buf + 32 - modules::kTreeHdrSize), 0x5a);
+  // The sample went out over the radio as one committed frame.
+  const auto& pkts = k.sys().device().radio_packets();
+  ASSERT_EQ(pkts.size(), 1u);
+  ASSERT_EQ(pkts[0].size(), 2u);
+  EXPECT_EQ(pkts[0][0], modules::kTreeHdrSize);
+  EXPECT_EQ(pkts[0][1], 0x5a);
+}
+
+TEST_P(SosKernel, SurgeBugCaughtWhenTreeRoutingAbsent) {
+  // The paper's anecdote: Surge loaded before/without the Tree routing
+  // module; its unchecked error result drives a wild write that Harbor
+  // turns into a protection fault instead of silent corruption.
+  Kernel k(GetParam());
+  const auto surge = k.load(modules::surge(/*tree_domain=*/1, /*fixed=*/false), 2);
+  auto log = k.run_pending();
+  ASSERT_FALSE(log[0].result.faulted);  // init is fine
+  k.post(surge, msg::kData);
+  log = k.run_pending();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_TRUE(log[0].result.faulted);
+  EXPECT_EQ(log[0].result.fault, FaultKind::MemMapViolation)
+      << avr::fault_kind_name(log[0].result.fault);
+}
+
+TEST_P(SosKernel, FixedSurgeChecksErrorCode) {
+  Kernel k(GetParam());
+  const auto surge = k.load(modules::surge(/*tree_domain=*/1, /*fixed=*/true), 2);
+  k.run_pending();
+  k.post(surge, msg::kData);
+  const auto log = k.run_pending();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_FALSE(log[0].result.faulted);
+  EXPECT_EQ(log[0].result.value, 0xee);  // reported the failure gracefully
+}
+
+TEST_P(SosKernel, ModulesCannotCorruptEachOthersState) {
+  // blink's counter survives surge's wild write attempt.
+  Kernel k(GetParam());
+  const auto blink = k.load(modules::blink());
+  const auto surge = k.load(modules::surge(/*tree_domain=*/5, /*fixed=*/false));
+  k.run_pending();
+  k.post(blink, msg::kTimer);
+  k.post(blink, msg::kTimer);
+  k.run_pending();
+  const std::uint8_t count_before =
+      k.sys().device().data().sram_raw(k.module(blink)->state_ptr);
+  ASSERT_EQ(count_before, 2);
+  k.post(surge, msg::kData);  // faults
+  k.post(blink, msg::kTimer);
+  const auto log = k.run_pending();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_TRUE(log[0].result.faulted);
+  EXPECT_FALSE(log[1].result.faulted);  // blink keeps running after the fault
+  EXPECT_EQ(k.sys().device().data().sram_raw(k.module(blink)->state_ptr), 3);
+}
+
+TEST_P(SosKernel, GuestPostSyscallEnqueuesMessages) {
+  // A module that posts a message to itself through the kernel's ker_post
+  // jump-table entry.
+  Kernel k(GetParam());
+  Assembler a;
+  ModuleImage img;
+  img.name = "poster";
+  auto not_init = a.make_label();
+  a.cpi(r24, msg::kInit);
+  a.brne(not_init);
+  a.ldi(r24, 0);  // destination: our own domain (loaded first -> domain 0)
+  a.ldi(r22, msg::kData);
+  a.call_abs(runtime::Layout{}.jt_entry(ports::kTrustedDomain, sys_slots::kPost));
+  a.clr(r24);
+  a.clr(r25);
+  a.ret();
+  a.bind(not_init);
+  a.ldi(r24, 0x99);  // visible proof the posted message arrived
+  a.clr(r25);
+  a.ret();
+  img.code = a.assemble().words;
+  img.exports = {{ModuleImage::kHandlerSlot, 0}};
+  k.load(img, 0);
+  const auto log = k.run_pending();
+  ASSERT_EQ(log.size(), 2u);  // init + the self-posted data message
+  EXPECT_EQ(log[1].msg, msg::kData);
+  EXPECT_EQ(log[1].result.value, 0x99);
+}
+
+TEST_P(SosKernel, VerifierGatesLoadInSfiMode) {
+  if (GetParam() != Mode::Sfi) GTEST_SKIP();
+  Kernel k(Mode::Sfi);
+  // A module whose code calls an arbitrary kernel address (not a stub):
+  // the rewriter refuses it outright.
+  Assembler a;
+  a.call_abs(0x100);  // inside the runtime, not a jump-table entry
+  a.ret();
+  ModuleImage img;
+  img.name = "evil";
+  img.code = a.assemble().words;
+  img.exports = {{ModuleImage::kHandlerSlot, 0}};
+  EXPECT_THROW(k.load(img), std::exception);
+}
+
+TEST_P(SosKernel, DomainsExhaust) {
+  Kernel k(GetParam());
+  for (int i = 0; i < 7; ++i) k.load(modules::tree_routing());
+  EXPECT_THROW(k.load(modules::tree_routing()), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSystems, SosKernel, ::testing::Values(Mode::Sfi, Mode::Umpu),
+                         [](const ::testing::TestParamInfo<Mode>& info) {
+                           return info.param == Mode::Sfi ? "Sfi" : "Umpu";
+                         });
+
+}  // namespace

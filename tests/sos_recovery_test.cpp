@@ -1,0 +1,218 @@
+// Recovery & loader tests: module unload reclaims memory and unlinks
+// exports; restart-after-fault reloads a fixed module into the same domain
+// (the paper's §2.1 "clean re-start" story); the relocating loader rebases
+// internal absolute references for unmodified UMPU binaries.
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.h"
+#include "avr/ports.h"
+#include "sos/kernel.h"
+#include "sos/modules.h"
+
+namespace {
+
+using namespace harbor;
+using namespace harbor::assembler;
+using namespace harbor::sos;
+using runtime::Mode;
+namespace ports = avr::ports;
+
+class Recovery : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(Recovery, UnloadReclaimsAllSegments) {
+  Kernel k(GetParam());
+  const auto d = k.load(modules::surge(1, false), 2);  // state + (after init) buffer
+  k.run_pending();
+  // Count blocks owned by domain 2 before/after.
+  auto owned_blocks = [&] {
+    const auto& L = k.sys().layout();
+    memmap::MemoryMap view(L.memmap_config());
+    view.load_table(k.sys().guest_map_table());
+    int count = 0;
+    for (std::uint32_t b = L.heap_first_block();
+         b < L.heap_first_block() + L.heap_block_count(); ++b)
+      if (view.block(b).owner == 2 && view.block(b) != memmap::free_block()) ++count;
+    return count;
+  };
+  EXPECT_GT(owned_blocks(), 0);
+  k.unload(d);
+  EXPECT_EQ(owned_blocks(), 0);
+  EXPECT_EQ(k.module(d), nullptr);
+}
+
+TEST_P(Recovery, UnloadedExportsRevertToErrorStub) {
+  Kernel k(GetParam());
+  const auto tree = k.load(modules::tree_routing(), 1);
+  k.run_pending();
+  EXPECT_EQ(k.subscribe(tree, modules::kTreeGetHdrSizeSlot),
+            k.sys().layout().jt_entry(tree, modules::kTreeGetHdrSizeSlot));
+  k.unload(tree);
+  EXPECT_EQ(k.subscribe(1, modules::kTreeGetHdrSizeSlot),
+            k.sys().layout().jt_entry(ports::kTrustedDomain, sys_slots::kUndefined));
+}
+
+TEST_P(Recovery, QueuedMessagesForUnloadedModuleAreDropped) {
+  Kernel k(GetParam());
+  const auto d = k.load(modules::blink());
+  k.run_pending();
+  k.post(d, msg::kTimer);
+  k.post(d, msg::kTimer);
+  k.unload(d);
+  EXPECT_TRUE(k.run_pending().empty());
+}
+
+TEST_P(Recovery, RestartAfterFaultWithFixedModule) {
+  // The §2.1 story end-to-end: buggy Surge faults, the stable kernel
+  // unloads it and reloads the corrected module into the same domain.
+  Kernel k(GetParam());
+  const auto surge = k.load(modules::surge(/*tree absent*/ 1, /*fixed=*/false), 2);
+  k.run_pending();
+  k.post(surge, msg::kData);
+  auto log = k.run_pending();
+  ASSERT_TRUE(log[0].result.faulted);
+
+  const auto again = k.restart(surge, modules::surge(1, /*fixed=*/true));
+  EXPECT_EQ(again, surge);
+  log = k.run_pending();  // the fresh init
+  ASSERT_EQ(log.size(), 1u);
+  ASSERT_FALSE(log[0].result.faulted);
+  k.post(again, msg::kData);
+  log = k.run_pending();
+  EXPECT_FALSE(log[0].result.faulted);
+  EXPECT_EQ(log[0].result.value, 0xee);  // fixed module reports the error
+}
+
+TEST_P(Recovery, AutoRestartPolicyRecoversFaultingModule) {
+  // The automated §2.1 policy: a faulting dispatch triggers unload+reload
+  // with fresh state; later messages still get served.
+  Kernel k(GetParam());
+  k.set_auto_restart(true);
+  const auto surge = k.load(modules::surge(/*tree absent*/ 1, false), 2);
+  k.run_pending();
+  k.post(surge, msg::kData);   // faults -> auto restart
+  k.post(surge, msg::kFinal);  // must survive the restart
+  const auto log = k.run_pending();
+  // fault, then the fresh init, then the surviving kFinal.
+  ASSERT_GE(log.size(), 3u);
+  EXPECT_TRUE(log[0].result.faulted);
+  EXPECT_EQ(log[1].msg, msg::kInit);
+  EXPECT_FALSE(log[1].result.faulted);
+  EXPECT_EQ(log[2].msg, msg::kFinal);
+  EXPECT_FALSE(log[2].result.faulted);
+  EXPECT_EQ(k.restart_count(surge), 1);
+  EXPECT_NE(k.module(surge), nullptr);
+}
+
+TEST_P(Recovery, DomainReusableAfterUnload) {
+  Kernel k(GetParam());
+  for (int round = 0; round < 3; ++round) {
+    const auto d = k.load(modules::blink(), 4);
+    k.run_pending();
+    k.post(d, msg::kTimer);
+    const auto log = k.run_pending();
+    ASSERT_FALSE(log[0].result.faulted) << "round " << round;
+    k.unload(d);
+  }
+}
+
+TEST(RelocatingLoader, InternalAbsoluteCallsRebased) {
+  // A module using absolute internal control flow (what avr-gcc emits for
+  // non-tiny code) must work when loaded at a non-zero base under UMPU.
+  Kernel k(Mode::Umpu);
+  Assembler a;
+  auto fn = a.make_label("fn");
+  auto skip = a.make_label("skip");
+  a.cpi(r24, msg::kInit);
+  a.breq(skip);
+  a.call(fn);       // absolute internal call
+  a.jmp(skip);      // absolute internal jump
+  a.bind(fn);
+  a.ldi(r24, 0x3c);
+  a.clr(r25);
+  a.ret();
+  a.bind(skip);
+  a.clr(r25);
+  a.ret();
+  ModuleImage img;
+  img.name = "absolute";
+  img.code = a.assemble().words;
+  img.exports = {{ModuleImage::kHandlerSlot, 0}};
+  const auto d = k.load(img);
+  k.run_pending();
+  k.post(d, msg::kData);
+  const auto log = k.run_pending();
+  ASSERT_FALSE(log[0].result.faulted)
+      << avr::fault_kind_name(log[0].result.fault);
+  EXPECT_EQ(log[0].result.value, 0x3c);
+}
+
+TEST(RelocatingLoader, LdiCodePointersRebased) {
+  // An icall through an immediate-loaded function pointer, rebased via the
+  // module's relocation list.
+  Kernel k(Mode::Umpu);
+  Assembler a;
+  auto target = a.make_label("target");
+  auto done = a.make_label("done");
+  a.cpi(r24, msg::kData);
+  a.brne(done);
+  const std::uint32_t reloc_at = a.here();
+  a.ldi_code_ptr(r30, target);  // Z = &target (origin-0 value, needs reloc)
+  a.icall();
+  a.bind(done);
+  a.clr(r25);
+  a.ret();
+  a.bind(target);
+  a.ldi(r24, 0x44);
+  a.clr(r25);
+  a.ret();
+  const Program p = a.assemble();
+  ModuleImage img;
+  img.name = "fnptr";
+  img.code = p.words;
+  img.exports = {{ModuleImage::kHandlerSlot, 0}};
+  img.extra_entries = {*p.symbol("target")};
+  img.code_ptr_relocs = {reloc_at};
+  const auto d = k.load(img);
+  k.run_pending();
+  k.post(d, msg::kData);
+  const auto log = k.run_pending();
+  ASSERT_FALSE(log[0].result.faulted)
+      << avr::fault_kind_name(log[0].result.fault);
+  EXPECT_EQ(log[0].result.value, 0x44);
+}
+
+TEST(RelocatingLoader, ExternalTargetsUntouched) {
+  // Calls into the kernel jump table must NOT be rebased.
+  const runtime::Layout L{};
+  Assembler a;
+  a.ldi(r24, 8);
+  a.clr(r25);
+  a.call_abs(L.jt_entry(ports::kTrustedDomain, runtime::kernel_slots::kMalloc));
+  a.ret();
+  ModuleImage img;
+  img.name = "ext";
+  img.code = a.assemble().words;
+  const auto out = relocate_image(img, 0x1000);
+  EXPECT_EQ(out, img.code);  // jump-table target is external: unchanged
+}
+
+TEST(RelocatingLoader, BadRelocRejected) {
+  ModuleImage img;
+  img.name = "bad";
+  Assembler a;
+  a.nop();
+  a.ret();
+  img.code = a.assemble().words;
+  img.code_ptr_relocs = {0};  // points at a nop, not an ldi pair
+  EXPECT_THROW(relocate_image(img, 0x100), std::runtime_error);
+  img.code_ptr_relocs = {99};
+  EXPECT_THROW(relocate_image(img, 0x100), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSystems, Recovery, ::testing::Values(Mode::Sfi, Mode::Umpu),
+                         [](const ::testing::TestParamInfo<Mode>& info) {
+                           return info.param == Mode::Sfi ? "Sfi" : "Umpu";
+                         });
+
+}  // namespace

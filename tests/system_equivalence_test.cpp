@@ -1,0 +1,187 @@
+// Cross-system equivalence: the paper ships two implementations of one
+// protection model, so a well-behaved module must produce identical
+// architectural results under None, SFI and UMPU, and a misbehaving module
+// must be caught by BOTH protected systems (silent only without
+// protection). Randomized modules exercise the property.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "asm/builder.h"
+#include "avr/ports.h"
+#include "sos/kernel.h"
+#include "sos/modules.h"
+
+namespace {
+
+using namespace harbor;
+using namespace harbor::assembler;
+using namespace harbor::sos;
+using runtime::Mode;
+namespace ports = avr::ports;
+
+/// A well-behaved random module: handler computes over its state block and
+/// an allocated buffer, stores results, returns a function of its inputs.
+ModuleImage random_good_module(std::mt19937& rng, int id) {
+  const runtime::Layout L{};
+  Assembler a;
+  ModuleImage m;
+  m.name = "rnd" + std::to_string(id);
+  m.state_size = 4;
+
+  auto not_init = a.make_label();
+  a.cpi(r24, msg::kInit);
+  a.brne(not_init);
+  // init: allocate a buffer, stash the pointer in state.
+  a.movw(r16, r20);
+  a.ldi(r24, static_cast<std::uint8_t>(8 + (rng() % 3) * 8));
+  a.clr(r25);
+  a.call_abs(L.jt_entry(ports::kTrustedDomain, runtime::kernel_slots::kMalloc));
+  a.movw(r26, r16);
+  a.st_x_inc(r24);
+  a.st_x(r25);
+  a.clr(r24);
+  a.clr(r25);
+  a.ret();
+  a.bind(not_init);
+  // data: load the buffer, do arithmetic seeded by the message arg, store.
+  a.movw(r26, r20);
+  a.ld_x_inc(r30);  // buffer ptr into Z... kept in r18:19 instead
+  a.mov(r18, r30);
+  a.ld_x(r19);
+  a.movw(r26, r18);
+  a.mov(r20, r22);  // arg low byte
+  const int ops = 4 + static_cast<int>(rng() % 8);
+  int stores = 0;
+  for (int i = 0; i < ops; ++i) {
+    switch (rng() % 4) {
+      case 0: a.add(r20, r22); break;
+      case 1: a.eor(r20, r23); break;
+      case 2: a.lsr(r20); break;
+      case 3:
+        if (stores < 7) {  // stay inside the smallest (8 B) buffer
+          a.st_x_inc(r20);
+          ++stores;
+        } else {
+          a.inc(r20);
+        }
+        break;
+    }
+  }
+  a.mov(r24, r20);
+  a.clr(r25);
+  a.ret();
+  const Program p = a.assemble();
+  m.code = p.words;
+  m.exports = {{ModuleImage::kHandlerSlot, 0}};
+  return m;
+}
+
+struct RunResult {
+  std::vector<std::uint16_t> values;
+  std::vector<bool> faults;
+  std::vector<std::uint8_t> state_and_buffer;
+};
+
+RunResult run_module(Mode mode, const ModuleImage& img, std::uint32_t seed) {
+  Kernel k(mode);
+  const auto d = k.load(img, 1);
+  k.run_pending();
+  std::mt19937 rng(seed);
+  RunResult r;
+  for (int i = 0; i < 6; ++i) k.post(d, msg::kData, static_cast<std::uint16_t>(rng()));
+  for (const auto& rec : k.run_pending()) {
+    r.values.push_back(rec.result.value);
+    r.faults.push_back(rec.result.faulted);
+  }
+  // Snapshot the module's observable memory: state + 32 bytes of buffer.
+  const auto* m = k.module(d);
+  auto& ds = k.sys().device().data();
+  const std::uint16_t buf =
+      static_cast<std::uint16_t>(ds.sram_raw(m->state_ptr) | (ds.sram_raw(m->state_ptr + 1) << 8));
+  for (int i = 0; i < 4; ++i)
+    r.state_and_buffer.push_back(ds.sram_raw(static_cast<std::uint16_t>(m->state_ptr + i)));
+  for (int i = 0; i < 8; ++i)
+    r.state_and_buffer.push_back(ds.sram_raw(static_cast<std::uint16_t>(buf + i)));
+  return r;
+}
+
+TEST(SystemEquivalence, WellBehavedModulesIdenticalAcrossAllThreeSystems) {
+  std::mt19937 rng(20070610);
+  for (int trial = 0; trial < 12; ++trial) {
+    const ModuleImage img = random_good_module(rng, trial);
+    const std::uint32_t seed = rng();
+    const RunResult none = run_module(Mode::None, img, seed);
+    const RunResult sfi = run_module(Mode::Sfi, img, seed);
+    const RunResult umpu = run_module(Mode::Umpu, img, seed);
+    for (const bool f : sfi.faults) ASSERT_FALSE(f) << "trial " << trial;
+    for (const bool f : umpu.faults) ASSERT_FALSE(f) << "trial " << trial;
+    EXPECT_EQ(none.values, sfi.values) << "trial " << trial;
+    EXPECT_EQ(none.values, umpu.values) << "trial " << trial;
+    EXPECT_EQ(none.state_and_buffer, sfi.state_and_buffer) << "trial " << trial;
+    EXPECT_EQ(none.state_and_buffer, umpu.state_and_buffer) << "trial " << trial;
+  }
+}
+
+/// A misbehaving module: writes at a fixed foreign SRAM address.
+ModuleImage wild_writer(std::uint16_t target) {
+  Assembler a;
+  ModuleImage m;
+  m.name = "wild";
+  auto done = a.make_label();
+  a.cpi(r24, msg::kData);
+  a.brne(done);
+  a.ldi(r26, static_cast<std::uint8_t>(target & 0xff));
+  a.ldi(r27, static_cast<std::uint8_t>(target >> 8));
+  a.ldi(r18, 0xbd);
+  a.st_x(r18);
+  a.bind(done);
+  a.clr(r24);
+  a.clr(r25);
+  a.ret();
+  m.code = a.assemble().words;
+  m.exports = {{ModuleImage::kHandlerSlot, 0}};
+  return m;
+}
+
+TEST(SystemEquivalence, BothProtectedSystemsCatchTheSameViolations) {
+  const runtime::Layout L{};
+  // Targets across the protected range: kernel globals, the memory map,
+  // the safe stack, free heap, another domain's heap, the stack region.
+  const std::uint16_t targets[] = {
+      static_cast<std::uint16_t>(L.map_base + 4),          // the memory map itself
+      static_cast<std::uint16_t>(L.safe_stack + 8),        // the safe stack
+      static_cast<std::uint16_t>(L.heap_base + 0x100),     // free heap block
+      0x0e80,                                              // below the stack bound? no: region
+  };
+  for (const std::uint16_t t : targets) {
+    std::vector<bool> caught;
+    for (const Mode mode : {Mode::Sfi, Mode::Umpu}) {
+      Kernel k(mode);
+      const auto d = k.load(wild_writer(t), 3);
+      k.run_pending();
+      k.post(d, msg::kData);
+      const auto log = k.run_pending();
+      caught.push_back(log[0].result.faulted);
+    }
+    EXPECT_EQ(caught[0], caught[1]) << "SFI and UMPU disagree for target 0x" << std::hex << t;
+    if (t < L.prot_top) {
+      EXPECT_TRUE(caught[0]) << "protected-range write not caught at 0x" << std::hex << t;
+    }
+  }
+}
+
+TEST(SystemEquivalence, UnprotectedSystemSilentlyCorrupts) {
+  const runtime::Layout L{};
+  Kernel k(Mode::None);
+  const std::uint16_t victim = static_cast<std::uint16_t>(L.heap_base + 0x100);
+  const auto d = k.load(wild_writer(victim), 3);
+  k.run_pending();
+  k.post(d, msg::kData);
+  const auto log = k.run_pending();
+  EXPECT_FALSE(log[0].result.faulted);
+  EXPECT_EQ(k.sys().device().data().sram_raw(victim), 0xbd);  // the corruption landed
+}
+
+}  // namespace

@@ -1,0 +1,659 @@
+// UMPU hardware-unit tests: MMC grant/deny and its 1-cycle stall, run-time
+// stack bound, safe-stack bus steal (0-cycle), cross-domain call/return
+// (5-byte frame, 5-cycle stall), domain tracking, PC containment, IO and
+// SPM protection, and fault exception entry.
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.h"
+#include "avr/device.h"
+#include "memmap/memory_map.h"
+#include "umpu/fabric.h"
+
+namespace {
+
+using namespace harbor;
+using namespace harbor::assembler;
+using avr::FaultKind;
+using avr::HaltReason;
+namespace ports = avr::ports;
+
+/// Harness: ATmega103 device + UMPU fabric + a memory map in guest SRAM.
+///
+/// Layout used by these tests:
+///   0x0060..0x017f  trusted data (memory map table lives at 0x0080)
+///   0x0180..0x0dff  memory-map protected region (8-byte blocks)
+///   0x0e00..0x0fff  run-time stack region (stack-bound protected)
+struct UmpuHarness {
+  static constexpr std::uint16_t kMapBase = 0x0080;
+  static constexpr std::uint16_t kProtBot = 0x0180;
+  static constexpr std::uint16_t kProtTop = 0x0e00;
+  static constexpr std::uint16_t kSafeStack = 0x0700;   // inside protected range
+  static constexpr std::uint16_t kSafeStackBnd = 0x07c0;
+  static constexpr std::uint32_t kJtBase = 0x0800;      // flash words (rjmp entries must reach module code)
+  static constexpr std::uint32_t kJtEntries = 8;        // per domain (log2 = 3)
+
+  UmpuHarness()
+      : fab(dev.cpu()),
+        map(memmap::Config{kProtBot, kProtTop, kMapBase, 3, memmap::DomainMode::MultiDomain}) {
+    auto& r = fab.regs();
+    r.mem_map_base = kMapBase;
+    r.mem_prot_bot = kProtBot;
+    r.mem_prot_top = kProtTop;
+    r.mem_map_config = 0x80 | 0x08 | 3;  // enable, multi-domain, 8-byte blocks
+    r.safe_stack_ptr = kSafeStack;
+    r.safe_stack_base = kSafeStack;
+    r.safe_stack_bnd = kSafeStackBnd;
+    r.stack_bound = dev.data().ram_end();
+    r.jump_table_base = kJtBase;
+    r.jump_table_config = 3 | (7 << 4);  // 8 entries/domain, 8 domains
+    r.ctl = 0x07;                        // protect | safe stack | domain tracking
+  }
+
+  /// Mirror the host-side map model into guest SRAM where the MMC reads it.
+  void sync_map() {
+    std::uint16_t a = kMapBase;
+    for (const std::uint8_t b : map.table()) dev.data().set_sram_raw(a++, b);
+  }
+
+  /// Load a program, mark its extent as `domain`'s code region, run it.
+  void run_as(std::uint8_t domain, Assembler& a, std::uint64_t max_cycles = 100000) {
+    const Program p = a.assemble();
+    dev.flash().load(p.words, p.origin);
+    fab.set_code_region(domain, {p.origin, p.end()});
+    sync_map();
+    dev.reset();
+    fab.regs().cur_domain = domain;
+    dev.run(max_cycles);
+  }
+
+  [[nodiscard]] FaultKind fault_kind() const {
+    return dev.cpu().fault() ? dev.cpu().fault()->kind : FaultKind::None;
+  }
+
+  avr::Device dev;
+  umpu::Fabric fab;
+  memmap::MemoryMap map;
+};
+
+// --- MMC ---
+
+TEST(Mmc, OwnerMayWriteOwnBlock) {
+  UmpuHarness h;
+  h.map.set_segment(0, 2, 1);  // blocks 0-1 (0x180..0x18f) owned by domain 1
+  Assembler a;
+  a.ldi16(r26, 0x0180);
+  a.ldi(r16, 0x42);
+  a.st_x(r16);
+  a.brk();
+  h.run_as(1, a);
+  EXPECT_EQ(h.dev.cpu().halt_reason(), HaltReason::Break);
+  EXPECT_EQ(h.dev.data().sram_raw(0x0180), 0x42);
+  EXPECT_EQ(h.fab.stats().mmc_checks, 1u);
+  EXPECT_EQ(h.fab.stats().mmc_denies, 0u);
+}
+
+TEST(Mmc, ForeignWriteDenied) {
+  UmpuHarness h;
+  h.map.set_segment(0, 2, 1);
+  Assembler a;
+  a.ldi16(r26, 0x0180);
+  a.ldi(r16, 0x42);
+  a.st_x(r16);
+  a.brk();
+  h.run_as(2, a);  // domain 2 writing domain 1's block
+  EXPECT_EQ(h.dev.cpu().halt_reason(), HaltReason::Fault);
+  EXPECT_EQ(h.fault_kind(), FaultKind::MemMapViolation);
+  EXPECT_EQ(h.dev.data().sram_raw(0x0180), 0);  // write suppressed
+  EXPECT_EQ(h.fab.stats().mmc_denies, 1u);
+}
+
+TEST(Mmc, WriteToFreeBlockDenied) {
+  UmpuHarness h;  // whole map free = trusted-owned
+  Assembler a;
+  a.ldi16(r26, 0x0200);
+  a.st_x(r16);
+  a.brk();
+  h.run_as(3, a);
+  EXPECT_EQ(h.fault_kind(), FaultKind::MemMapViolation);
+}
+
+TEST(Mmc, TrustedWritesAnywhere) {
+  UmpuHarness h;
+  h.map.set_segment(0, 2, 1);
+  Assembler a;
+  a.ldi16(r26, 0x0180);
+  a.ldi(r16, 9);
+  a.st_x(r16);
+  a.brk();
+  h.run_as(ports::kTrustedDomain, a);
+  EXPECT_EQ(h.dev.cpu().halt_reason(), HaltReason::Break);
+  EXPECT_EQ(h.dev.data().sram_raw(0x0180), 9);
+}
+
+TEST(Mmc, CheckedStoreCostsOneExtraCycle) {
+  // Paper Table 3: "Memmap Checker: 1" — a checked ST takes 3 cycles
+  // instead of 2.
+  UmpuHarness h;
+  h.map.set_segment(0, 2, 1);
+  Assembler a;
+  a.ldi16(r26, 0x0180);
+  a.st_x(r16);
+  a.brk();
+  const Program p = a.assemble();
+  h.dev.flash().load(p.words, 0);
+  h.fab.set_code_region(1, {0, p.end()});
+  h.sync_map();
+  h.dev.reset();
+  h.fab.regs().cur_domain = 1;
+  h.dev.step();  // ldi
+  h.dev.step();  // ldi
+  EXPECT_EQ(h.dev.step().cycles, 3);  // st with MMC stall
+  EXPECT_EQ(h.fab.stats().mmc_stall_cycles, 1u);
+}
+
+TEST(Mmc, UncheckedStoreOutsideRangeHasNoStall) {
+  UmpuHarness h;
+  Assembler a;
+  a.ldi16(r26, 0x00d0);  // below prot_bot: trusted scratch, unchecked
+  a.st_x(r16);
+  a.brk();
+  const Program p = a.assemble();
+  h.dev.flash().load(p.words, 0);
+  h.fab.set_code_region(1, {0, p.end()});
+  h.sync_map();
+  h.dev.reset();
+  h.fab.regs().cur_domain = ports::kTrustedDomain;
+  h.dev.step();
+  h.dev.step();
+  EXPECT_EQ(h.dev.step().cycles, 2);
+  EXPECT_EQ(h.fab.stats().mmc_checks, 0u);
+}
+
+TEST(Mmc, BlockGranularityBoundary) {
+  UmpuHarness h;
+  h.map.set_segment(0, 1, 4);  // exactly one 8-byte block: 0x100..0x107
+  Assembler a;
+  a.ldi16(r26, 0x0187);
+  a.ldi(r16, 1);
+  a.st_x_inc(r16);  // last byte of owned block: ok
+  a.st_x(r16);      // 0x0188: next block is free -> fault
+  a.brk();
+  h.run_as(4, a);
+  EXPECT_EQ(h.fault_kind(), FaultKind::MemMapViolation);
+  EXPECT_EQ(h.dev.data().sram_raw(0x0187), 1);
+  EXPECT_EQ(h.dev.data().sram_raw(0x0188), 0);
+}
+
+// --- run-time stack protection ---
+
+TEST(StackBound, WritesAboveBoundFault) {
+  UmpuHarness h;
+  Assembler a;
+  a.ldi16(r26, 0x0f80);  // stack region, above the bound we set below
+  a.ldi(r16, 1);
+  a.st_x(r16);
+  a.brk();
+  const Program p = a.assemble();
+  h.dev.flash().load(p.words, 0);
+  h.fab.set_code_region(2, {0, p.end()});
+  h.sync_map();
+  h.dev.reset();
+  h.fab.regs().cur_domain = 2;
+  h.fab.regs().stack_bound = 0x0f00;
+  h.dev.run(1000);
+  EXPECT_EQ(h.fault_kind(), FaultKind::StackBoundViolation);
+}
+
+TEST(StackBound, WritesBelowBoundAllowedWithoutStall) {
+  UmpuHarness h;
+  Assembler a;
+  a.ldi16(r26, 0x0e80);
+  a.ldi(r16, 7);
+  a.st_x(r16);
+  a.brk();
+  const Program p = a.assemble();
+  h.dev.flash().load(p.words, 0);
+  h.fab.set_code_region(2, {0, p.end()});
+  h.sync_map();
+  h.dev.reset();
+  h.fab.regs().cur_domain = 2;
+  h.fab.regs().stack_bound = 0x0f00;
+  h.dev.step();  // ldi16 low
+  h.dev.step();  // ldi16 high
+  h.dev.step();  // ldi r16
+  h.dev.step();  // st
+  EXPECT_EQ(h.dev.data().sram_raw(0x0e80), 7);
+  EXPECT_EQ(h.fab.stats().mmc_stall_cycles, 0u);  // comparator, not MMC
+}
+
+TEST(StackBound, PushAboveBoundFaults) {
+  UmpuHarness h;
+  Assembler a;
+  a.push(r16);
+  a.brk();
+  const Program p = a.assemble();
+  h.dev.flash().load(p.words, 0);
+  h.fab.set_code_region(2, {0, p.end()});
+  h.sync_map();
+  h.dev.reset();
+  h.dev.cpu().set_sp(0x0fff);
+  h.fab.regs().cur_domain = 2;
+  h.fab.regs().stack_bound = 0x0e80;  // SP is above the callee's bound
+  h.dev.run(100);
+  EXPECT_EQ(h.fault_kind(), FaultKind::StackBoundViolation);
+}
+
+// --- safe stack ---
+
+TEST(SafeStack, CallRedirectsReturnAddressAtZeroCost) {
+  // Paper Table 3: "Save Ret Addr: 0 / Restore Ret Addr: 0" — the unit
+  // steals the bus; call/ret cycle counts are unchanged.
+  UmpuHarness h;
+  Assembler a;
+  auto fn = a.make_label();
+  a.call(fn);
+  a.brk();
+  a.bind(fn);
+  a.ret();
+  const Program p = a.assemble();
+  h.dev.flash().load(p.words, 0);
+  h.fab.set_code_region(1, {0, p.end()});
+  h.sync_map();
+  h.dev.reset();
+  h.fab.regs().cur_domain = 1;
+  const std::uint16_t sp0 = h.dev.cpu().sp();
+  EXPECT_EQ(h.dev.step().cycles, 4);  // call: no added cycles
+  // Return address (word 2) is on the safe stack, not the run-time stack.
+  EXPECT_EQ(h.fab.regs().safe_stack_ptr, UmpuHarness::kSafeStack + 2);
+  EXPECT_EQ(h.dev.data().sram_raw(UmpuHarness::kSafeStack), 2);      // lo
+  EXPECT_EQ(h.dev.data().sram_raw(UmpuHarness::kSafeStack + 1), 0);  // hi
+  EXPECT_EQ(h.dev.data().sram_raw(sp0), 0);      // run-time stack untouched
+  EXPECT_EQ(h.dev.data().sram_raw(sp0 - 1), 0);
+  EXPECT_EQ(h.dev.step().cycles, 4);  // ret: no added cycles
+  EXPECT_EQ(h.dev.cpu().pc(), 2u);
+  EXPECT_EQ(h.fab.regs().safe_stack_ptr, UmpuHarness::kSafeStack);
+  EXPECT_EQ(h.dev.cpu().sp(), sp0);  // SP still moves symmetrically
+}
+
+TEST(SafeStack, ReturnAddressImmuneToStackSmash) {
+  // A module corrupts the entire run-time stack region it may touch;
+  // control flow still returns correctly (paper §3.4).
+  UmpuHarness h;
+  h.map.set_segment(0, 4, 1);
+  Assembler a;
+  auto fn = a.make_label();
+  auto smash = a.make_label();
+  a.call(fn);
+  a.ldi(r20, 0xaa);
+  a.out(ports::kDebugValLo, r20);
+  a.brk();
+  a.bind(fn);
+  // Overwrite stack bytes below SP where the return address would live.
+  a.in(r26, 0x3d);  // SPL
+  a.in(r27, 0x3e);  // SPH
+  a.ldi(r16, 0xff);
+  a.ldi(r17, 8);
+  a.bind(smash);
+  a.st_x_dec(r16);  // clobber [SP], [SP-1], ...
+  a.dec(r17);
+  a.brne(smash);
+  a.ret();
+  h.run_as(1, a);
+  EXPECT_EQ(h.dev.cpu().halt_reason(), HaltReason::Break);
+  EXPECT_EQ(h.dev.data().io().raw(ports::kDebugValLo), 0xaa);
+}
+
+TEST(SafeStack, OverflowFaults) {
+  UmpuHarness h;
+  h.fab.regs().safe_stack_bnd = UmpuHarness::kSafeStack + 4;  // room for 2 frames
+  Assembler a;
+  auto rec = a.make_label();
+  a.bind(rec);
+  a.rcall(rec);  // infinite recursion
+  h.run_as(1, a);
+  EXPECT_EQ(h.fault_kind(), FaultKind::SafeStackOverflow);
+}
+
+TEST(SafeStack, ReturnWithEmptySafeStackFaults) {
+  UmpuHarness h;
+  Assembler a;
+  a.ret();  // nothing was called
+  h.run_as(1, a);
+  EXPECT_EQ(h.fault_kind(), FaultKind::IllegalReturn);
+}
+
+// --- cross-domain calls ---
+
+/// Builds a two-domain scenario: domain 1 module calling an exported
+/// function of domain 2 through domain 2's jump table.
+struct CrossDomainScenario {
+  explicit CrossDomainScenario(UmpuHarness& h) : h(h) {
+    // Callee (domain 2) at 0x1000: writes a marker, returns.
+    Assembler callee(0x0900);
+    callee.ldi(r24, 0x5c);
+    callee.ret();
+    const Program pc = callee.assemble();
+    h.dev.flash().load(pc.words, pc.origin);
+    h.fab.set_code_region(2, {pc.origin, pc.end()});
+
+    // Jump table entry: domain 2, slot 0.
+    const std::uint32_t entry = UmpuHarness::kJtBase + 2 * UmpuHarness::kJtEntries;
+    Assembler jt(entry);
+    jt.rjmp_abs(0x0900);
+    const Program pj = jt.assemble();
+    h.dev.flash().load(pj.words, pj.origin);
+
+    // Caller (domain 1) at 0: cross-domain call, expose r24, exit.
+    Assembler caller;
+    caller.call_abs(entry);
+    caller.out(ports::kDebugValLo, r24);
+    caller.brk();
+    const Program p = caller.assemble();
+    h.dev.flash().load(p.words, 0);
+    h.fab.set_code_region(1, {0, p.end()});
+    h.sync_map();
+    h.dev.reset();
+    h.fab.regs().cur_domain = 1;
+  }
+  UmpuHarness& h;
+};
+
+TEST(CrossDomain, CallSwitchesDomainAndReturnRestores) {
+  UmpuHarness h;
+  CrossDomainScenario s(h);
+  h.dev.step();  // the cross-domain call
+  EXPECT_EQ(h.fab.current_domain(), 2);
+  EXPECT_EQ(h.fab.stats().cross_calls, 1u);
+  h.dev.step();  // jump-table rjmp
+  h.dev.step();  // callee ldi
+  h.dev.step();  // callee ret (cross-domain return)
+  EXPECT_EQ(h.fab.current_domain(), 1);
+  EXPECT_EQ(h.fab.stats().cross_rets, 1u);
+  h.dev.run(100);
+  EXPECT_EQ(h.dev.cpu().halt_reason(), HaltReason::Break);
+  EXPECT_EQ(h.dev.data().io().raw(ports::kDebugValLo), 0x5c);
+}
+
+TEST(CrossDomain, CallAndReturnCostFiveExtraCycles) {
+  // Paper Table 3: cross-domain call = 5, cross-domain return = 5.
+  UmpuHarness h;
+  CrossDomainScenario s(h);
+  EXPECT_EQ(h.dev.step().cycles, 4 + 5);  // call (4) + 5-byte frame
+  h.dev.step();                           // rjmp in the jump table
+  h.dev.step();                           // ldi
+  EXPECT_EQ(h.dev.step().cycles, 4 + 5);  // ret (4) + 5-byte frame restore
+  EXPECT_EQ(h.fab.stats().cross_frame_cycles, 10u);
+}
+
+TEST(CrossDomain, FrameLayoutOnSafeStack) {
+  UmpuHarness h;
+  CrossDomainScenario s(h);
+  const std::uint16_t bound0 = h.fab.regs().stack_bound;
+  h.dev.step();
+  const std::uint16_t base = UmpuHarness::kSafeStack;
+  EXPECT_EQ(h.fab.regs().safe_stack_ptr, base + 5);
+  EXPECT_EQ(h.dev.data().sram_raw(base + 0), 2);  // ret lo (word addr 2)
+  EXPECT_EQ(h.dev.data().sram_raw(base + 1), 0);  // ret hi
+  EXPECT_EQ(h.dev.data().sram_raw(base + 2), bound0 & 0xff);
+  EXPECT_EQ(h.dev.data().sram_raw(base + 3), bound0 >> 8);
+  EXPECT_EQ(h.dev.data().sram_raw(base + 4), 0x80 | 1);  // marker | caller domain
+  // New stack bound excludes the caller's frames.
+  EXPECT_EQ(h.fab.regs().stack_bound, h.dev.data().ram_end() - 2);
+}
+
+TEST(CrossDomain, ChainedCallsUnwindInOrder) {
+  // Domain 1 -> domain 2 -> domain 3, then return all the way back.
+  UmpuHarness h;
+  const std::uint32_t jt2 = UmpuHarness::kJtBase + 2 * UmpuHarness::kJtEntries;
+  const std::uint32_t jt3 = UmpuHarness::kJtBase + 3 * UmpuHarness::kJtEntries;
+
+  Assembler d3(0x0a00);
+  d3.ldi(r24, 3);
+  d3.ret();
+  const Program p3 = d3.assemble();
+  h.dev.flash().load(p3.words, p3.origin);
+  h.fab.set_code_region(3, {p3.origin, p3.end()});
+
+  Assembler d2(0x0900);
+  d2.call_abs(jt3);
+  d2.inc(r24);  // runs after d3 returns: r24 = 4
+  d2.ret();
+  const Program p2 = d2.assemble();
+  h.dev.flash().load(p2.words, p2.origin);
+  h.fab.set_code_region(2, {p2.origin, p2.end()});
+
+  Assembler jt(UmpuHarness::kJtBase);
+  jt.pad_to(jt2);
+  jt.rjmp_abs(0x0900);
+  jt.pad_to(jt3);
+  jt.rjmp_abs(0x0a00);
+  const Program pj = jt.assemble();
+  h.dev.flash().load(pj.words, pj.origin);
+
+  Assembler d1;
+  d1.call_abs(jt2);
+  d1.inc(r24);  // r24 = 5
+  d1.out(ports::kDebugValLo, r24);
+  d1.brk();
+  h.run_as(1, d1);
+  EXPECT_EQ(h.dev.cpu().halt_reason(), HaltReason::Break);
+  EXPECT_EQ(h.dev.data().io().raw(ports::kDebugValLo), 5);
+  EXPECT_EQ(h.fab.stats().cross_calls, 2u);
+  EXPECT_EQ(h.fab.stats().cross_rets, 2u);
+  EXPECT_EQ(h.fab.current_domain(), 1);
+}
+
+TEST(CrossDomain, DirectCallIntoForeignCodeFaults) {
+  // Bypassing the jump table is exactly what the domain tracker forbids.
+  UmpuHarness h;
+  Assembler callee(0x1000);
+  callee.ret();
+  const Program pc = callee.assemble();
+  h.dev.flash().load(pc.words, pc.origin);
+  h.fab.set_code_region(2, {pc.origin, pc.end()});
+
+  Assembler a;
+  a.call_abs(0x1000);  // direct, not through the jump table
+  a.brk();
+  h.run_as(1, a);
+  EXPECT_EQ(h.fault_kind(), FaultKind::IllegalCallTarget);
+}
+
+TEST(CrossDomain, ComputedJumpOutOfDomainFaults) {
+  UmpuHarness h;
+  Assembler a;
+  a.ldi16(r30, 0x1000);  // outside domain 1's code region
+  a.ijmp();
+  a.brk();
+  h.run_as(1, a);
+  EXPECT_EQ(h.fault_kind(), FaultKind::IllegalJumpTarget);
+}
+
+TEST(CrossDomain, LocalCallWithinDomainIsNormal) {
+  UmpuHarness h;
+  Assembler a;
+  auto fn = a.make_label();
+  a.call(fn);
+  a.out(ports::kDebugValLo, r24);
+  a.brk();
+  a.bind(fn);
+  a.ldi(r24, 0x11);
+  a.ret();
+  h.run_as(1, a);
+  EXPECT_EQ(h.dev.cpu().halt_reason(), HaltReason::Break);
+  EXPECT_EQ(h.fab.stats().cross_calls, 0u);
+  EXPECT_EQ(h.dev.data().io().raw(ports::kDebugValLo), 0x11);
+}
+
+TEST(CrossDomain, CalleeCannotWriteCallerStackFrames) {
+  UmpuHarness h;
+  // Domain 2's exported function tries to scribble above the stack bound.
+  Assembler callee(0x0900);
+  callee.ldi16(r26, 0x0ffe);  // caller's frame area near the stack top
+  callee.ldi(r16, 0x66);
+  callee.st_x(r16);
+  callee.ret();
+  const Program pc = callee.assemble();
+  h.dev.flash().load(pc.words, pc.origin);
+  h.fab.set_code_region(2, {pc.origin, pc.end()});
+
+  const std::uint32_t entry = UmpuHarness::kJtBase + 2 * UmpuHarness::kJtEntries;
+  Assembler jt(entry);
+  jt.rjmp_abs(0x0900);
+  const Program pj = jt.assemble();
+  h.dev.flash().load(pj.words, pj.origin);
+
+  Assembler a;
+  // Push caller data the callee must not touch, then cross-call.
+  a.ldi(r16, 1);
+  a.push(r16);
+  a.call_abs(entry);
+  a.brk();
+  h.run_as(1, a);
+  EXPECT_EQ(h.fault_kind(), FaultKind::StackBoundViolation);
+  EXPECT_EQ(h.dev.data().sram_raw(0x0ffe), 0);
+}
+
+// --- PC containment, IO and SPM protection, fault entry ---
+
+TEST(Containment, StraightLineEscapeFaults) {
+  UmpuHarness h;
+  Assembler a;
+  a.nop();
+  a.nop();  // falls off the end of the domain's region
+  const Program p = a.assemble();
+  h.dev.flash().load(p.words, 0);
+  // Fill following flash with NOPs so only containment can catch it.
+  for (std::uint32_t w = p.end(); w < p.end() + 8; ++w) h.dev.flash().write_word(w, 0);
+  h.fab.set_code_region(1, {0, p.end()});
+  h.sync_map();
+  h.dev.reset();
+  h.fab.regs().cur_domain = 1;
+  h.dev.run(100);
+  EXPECT_EQ(h.fault_kind(), FaultKind::PcOutOfDomain);
+}
+
+TEST(Protection, UntrustedWriteToUmpuPortFaults) {
+  UmpuHarness h;
+  Assembler a;
+  a.ldi(r16, 0);
+  a.out(ports::kUmpuCtl, r16);  // try to switch protection off
+  a.brk();
+  h.run_as(1, a);
+  EXPECT_EQ(h.fault_kind(), FaultKind::IllegalIoWrite);
+  EXPECT_EQ(h.fab.regs().ctl, 0x07);  // unchanged
+}
+
+TEST(Protection, TrustedMayConfigureUmpuPorts) {
+  UmpuHarness h;
+  Assembler a;
+  a.ldi(r16, 0x0e);
+  a.out(ports::kStackBoundLo, r16);
+  a.brk();
+  h.run_as(ports::kTrustedDomain, a);
+  EXPECT_EQ(h.dev.cpu().halt_reason(), HaltReason::Break);
+  EXPECT_EQ(h.fab.regs().stack_bound & 0xff, 0x0e);
+}
+
+TEST(Protection, UntrustedSpmFaults) {
+  UmpuHarness h;
+  Assembler a;
+  a.spm();
+  a.brk();
+  h.run_as(1, a);
+  EXPECT_EQ(h.fault_kind(), FaultKind::IllegalInstruction);
+}
+
+TEST(Protection, DebugConsoleStaysAccessible) {
+  UmpuHarness h;
+  Assembler a;
+  a.ldi(r16, 'x');
+  a.out(ports::kDebugOut, r16);
+  a.brk();
+  h.run_as(1, a);
+  EXPECT_EQ(h.dev.console(), "x");
+}
+
+TEST(FaultEntry, VectoredFaultPromotesToTrustedAndLatchesCause) {
+  UmpuHarness h;
+  // Fault handler at 0x2000 (trusted): reads the fault-kind port, exits.
+  Assembler handler(0x2000);
+  handler.in(r16, ports::kFaultKind);
+  handler.out(ports::kDebugValLo, r16);
+  handler.in(r16, ports::kFaultAddrLo);
+  handler.out(ports::kDebugValHi, r16);
+  handler.ldi(r16, 1);
+  handler.out(ports::kSimCtl, r16);
+  const Program ph = handler.assemble();
+  h.dev.flash().load(ph.words, ph.origin);
+
+  Assembler a;
+  a.ldi16(r26, 0x0300);
+  a.st_x(r16);  // free block: memmap violation
+  a.brk();
+  const Program p = a.assemble();
+  h.dev.flash().load(p.words, 0);
+  h.fab.set_code_region(1, {0, p.end()});
+  h.sync_map();
+  h.dev.reset();
+  h.dev.cpu().set_fault_vector(0x2000);
+  h.fab.regs().cur_domain = 1;
+  h.dev.run(1000);
+  EXPECT_TRUE(h.dev.guest_exit().exited);
+  EXPECT_EQ(h.dev.data().io().raw(ports::kDebugValLo),
+            static_cast<std::uint8_t>(FaultKind::MemMapViolation));
+  EXPECT_EQ(h.dev.data().io().raw(ports::kDebugValHi), 0x00);  // addr lo of 0x0300
+  EXPECT_EQ(h.fab.last_fault().domain, 1);
+}
+
+TEST(Protection, DisabledFabricIsTransparent) {
+  UmpuHarness h;
+  h.fab.regs().ctl = 0;  // everything off
+  Assembler a;
+  a.ldi16(r26, 0x0300);
+  a.ldi(r16, 1);
+  a.st_x(r16);  // would fault with protection on
+  a.brk();
+  h.run_as(2, a);
+  EXPECT_EQ(h.dev.cpu().halt_reason(), HaltReason::Break);
+  EXPECT_EQ(h.dev.data().sram_raw(0x0300), 1);
+  EXPECT_EQ(h.fab.stats().mmc_checks, 0u);
+}
+
+// --- interrupts through the UMPU ---
+
+TEST(Interrupts, IrqFromUntrustedDomainRunsTrustedAndRestores) {
+  UmpuHarness h;
+  // Handler at 0x2000 (trusted; vector installed via interrupt()).
+  Assembler handler(0x2000);
+  handler.ldi(r18, 1);
+  handler.out(ports::kDebugValHi, r18);
+  handler.reti();
+  const Program ph = handler.assemble();
+  h.dev.flash().load(ph.words, ph.origin);
+
+  Assembler a;
+  a.nop();
+  a.nop();
+  a.ldi(r16, 0x21);
+  a.out(ports::kDebugValLo, r16);
+  a.brk();
+  const Program p = a.assemble();
+  h.dev.flash().load(p.words, 0);
+  h.fab.set_code_region(1, {0, p.end()});
+  h.sync_map();
+  h.dev.reset();
+  h.fab.regs().cur_domain = 1;
+  h.dev.step();  // nop
+  const int cost = h.dev.cpu().interrupt(0x2000);
+  EXPECT_EQ(cost, 4 + 5);  // irq entry + cross-domain frame
+  EXPECT_EQ(h.fab.current_domain(), ports::kTrustedDomain);
+  h.dev.run(100);
+  EXPECT_EQ(h.dev.cpu().halt_reason(), HaltReason::Break);
+  EXPECT_EQ(h.fab.current_domain(), 1);  // restored by reti
+  EXPECT_EQ(h.dev.data().io().raw(ports::kDebugValLo), 0x21);
+  EXPECT_EQ(h.dev.data().io().raw(ports::kDebugValHi), 1);
+}
+
+}  // namespace
