@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_macro_surge.dir/bench_macro_surge.cpp.o"
+  "CMakeFiles/bench_macro_surge.dir/bench_macro_surge.cpp.o.d"
+  "bench_macro_surge"
+  "bench_macro_surge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_macro_surge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_malloc.dir/bench_table4_malloc.cpp.o"
+  "CMakeFiles/bench_table4_malloc.dir/bench_table4_malloc.cpp.o.d"
+  "bench_table4_malloc"
+  "bench_table4_malloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_malloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_swlib.dir/bench_table5_swlib.cpp.o"
+  "CMakeFiles/bench_table5_swlib.dir/bench_table5_swlib.cpp.o.d"
+  "bench_table5_swlib"
+  "bench_table5_swlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_swlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

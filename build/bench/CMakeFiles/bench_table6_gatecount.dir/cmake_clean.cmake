@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_gatecount.dir/bench_table6_gatecount.cpp.o"
+  "CMakeFiles/bench_table6_gatecount.dir/bench_table6_gatecount.cpp.o.d"
+  "bench_table6_gatecount"
+  "bench_table6_gatecount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_gatecount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asm_tool.dir/asm_tool.cpp.o"
+  "CMakeFiles/asm_tool.dir/asm_tool.cpp.o.d"
+  "asm_tool"
+  "asm_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asm_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for asm_tool.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_domain_app.dir/multi_domain_app.cpp.o"
+  "CMakeFiles/multi_domain_app.dir/multi_domain_app.cpp.o.d"
+  "multi_domain_app"
+  "multi_domain_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_domain_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

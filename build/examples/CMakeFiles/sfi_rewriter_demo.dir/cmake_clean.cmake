@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_rewriter_demo.dir/sfi_rewriter_demo.cpp.o"
+  "CMakeFiles/sfi_rewriter_demo.dir/sfi_rewriter_demo.cpp.o.d"
+  "sfi_rewriter_demo"
+  "sfi_rewriter_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_rewriter_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surge_bug.dir/surge_bug.cpp.o"
+  "CMakeFiles/surge_bug.dir/surge_bug.cpp.o.d"
+  "surge_bug"
+  "surge_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surge_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

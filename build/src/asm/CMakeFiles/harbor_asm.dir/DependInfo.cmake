@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asm/builder.cpp" "src/asm/CMakeFiles/harbor_asm.dir/builder.cpp.o" "gcc" "src/asm/CMakeFiles/harbor_asm.dir/builder.cpp.o.d"
+  "/root/repo/src/asm/disasm.cpp" "src/asm/CMakeFiles/harbor_asm.dir/disasm.cpp.o" "gcc" "src/asm/CMakeFiles/harbor_asm.dir/disasm.cpp.o.d"
+  "/root/repo/src/asm/ihex.cpp" "src/asm/CMakeFiles/harbor_asm.dir/ihex.cpp.o" "gcc" "src/asm/CMakeFiles/harbor_asm.dir/ihex.cpp.o.d"
+  "/root/repo/src/asm/text.cpp" "src/asm/CMakeFiles/harbor_asm.dir/text.cpp.o" "gcc" "src/asm/CMakeFiles/harbor_asm.dir/text.cpp.o.d"
+  "/root/repo/src/asm/tracer.cpp" "src/asm/CMakeFiles/harbor_asm.dir/tracer.cpp.o" "gcc" "src/asm/CMakeFiles/harbor_asm.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/avr/CMakeFiles/harbor_avr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harbor_asm.dir/builder.cpp.o"
+  "CMakeFiles/harbor_asm.dir/builder.cpp.o.d"
+  "CMakeFiles/harbor_asm.dir/disasm.cpp.o"
+  "CMakeFiles/harbor_asm.dir/disasm.cpp.o.d"
+  "CMakeFiles/harbor_asm.dir/ihex.cpp.o"
+  "CMakeFiles/harbor_asm.dir/ihex.cpp.o.d"
+  "CMakeFiles/harbor_asm.dir/text.cpp.o"
+  "CMakeFiles/harbor_asm.dir/text.cpp.o.d"
+  "CMakeFiles/harbor_asm.dir/tracer.cpp.o"
+  "CMakeFiles/harbor_asm.dir/tracer.cpp.o.d"
+  "libharbor_asm.a"
+  "libharbor_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harbor_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

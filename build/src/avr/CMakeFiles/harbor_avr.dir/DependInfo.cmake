@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avr/cpu.cpp" "src/avr/CMakeFiles/harbor_avr.dir/cpu.cpp.o" "gcc" "src/avr/CMakeFiles/harbor_avr.dir/cpu.cpp.o.d"
+  "/root/repo/src/avr/decoder.cpp" "src/avr/CMakeFiles/harbor_avr.dir/decoder.cpp.o" "gcc" "src/avr/CMakeFiles/harbor_avr.dir/decoder.cpp.o.d"
+  "/root/repo/src/avr/device.cpp" "src/avr/CMakeFiles/harbor_avr.dir/device.cpp.o" "gcc" "src/avr/CMakeFiles/harbor_avr.dir/device.cpp.o.d"
+  "/root/repo/src/avr/encoder.cpp" "src/avr/CMakeFiles/harbor_avr.dir/encoder.cpp.o" "gcc" "src/avr/CMakeFiles/harbor_avr.dir/encoder.cpp.o.d"
+  "/root/repo/src/avr/mnemonic.cpp" "src/avr/CMakeFiles/harbor_avr.dir/mnemonic.cpp.o" "gcc" "src/avr/CMakeFiles/harbor_avr.dir/mnemonic.cpp.o.d"
+  "/root/repo/src/avr/vcd.cpp" "src/avr/CMakeFiles/harbor_avr.dir/vcd.cpp.o" "gcc" "src/avr/CMakeFiles/harbor_avr.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

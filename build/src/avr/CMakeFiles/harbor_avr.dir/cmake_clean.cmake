@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harbor_avr.dir/cpu.cpp.o"
+  "CMakeFiles/harbor_avr.dir/cpu.cpp.o.d"
+  "CMakeFiles/harbor_avr.dir/decoder.cpp.o"
+  "CMakeFiles/harbor_avr.dir/decoder.cpp.o.d"
+  "CMakeFiles/harbor_avr.dir/device.cpp.o"
+  "CMakeFiles/harbor_avr.dir/device.cpp.o.d"
+  "CMakeFiles/harbor_avr.dir/encoder.cpp.o"
+  "CMakeFiles/harbor_avr.dir/encoder.cpp.o.d"
+  "CMakeFiles/harbor_avr.dir/mnemonic.cpp.o"
+  "CMakeFiles/harbor_avr.dir/mnemonic.cpp.o.d"
+  "CMakeFiles/harbor_avr.dir/vcd.cpp.o"
+  "CMakeFiles/harbor_avr.dir/vcd.cpp.o.d"
+  "libharbor_avr.a"
+  "libharbor_avr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harbor_avr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

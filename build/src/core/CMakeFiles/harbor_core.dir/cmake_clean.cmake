@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harbor_core.dir/harbor.cpp.o"
+  "CMakeFiles/harbor_core.dir/harbor.cpp.o.d"
+  "libharbor_core.a"
+  "libharbor_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harbor_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

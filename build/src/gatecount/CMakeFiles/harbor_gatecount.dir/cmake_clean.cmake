@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harbor_gatecount.dir/model.cpp.o"
+  "CMakeFiles/harbor_gatecount.dir/model.cpp.o.d"
+  "libharbor_gatecount.a"
+  "libharbor_gatecount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harbor_gatecount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for harbor_gatecount.
+# This may be replaced when dependencies are built.

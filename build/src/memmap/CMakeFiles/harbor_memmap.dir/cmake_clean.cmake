@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harbor_memmap.dir/memory_map.cpp.o"
+  "CMakeFiles/harbor_memmap.dir/memory_map.cpp.o.d"
+  "libharbor_memmap.a"
+  "libharbor_memmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harbor_memmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harbor_runtime.dir/heap_model.cpp.o"
+  "CMakeFiles/harbor_runtime.dir/heap_model.cpp.o.d"
+  "CMakeFiles/harbor_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/harbor_runtime.dir/runtime.cpp.o.d"
+  "CMakeFiles/harbor_runtime.dir/testbed.cpp.o"
+  "CMakeFiles/harbor_runtime.dir/testbed.cpp.o.d"
+  "libharbor_runtime.a"
+  "libharbor_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harbor_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfi/rewriter.cpp" "src/sfi/CMakeFiles/harbor_sfi.dir/rewriter.cpp.o" "gcc" "src/sfi/CMakeFiles/harbor_sfi.dir/rewriter.cpp.o.d"
+  "/root/repo/src/sfi/verifier.cpp" "src/sfi/CMakeFiles/harbor_sfi.dir/verifier.cpp.o" "gcc" "src/sfi/CMakeFiles/harbor_sfi.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/harbor_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/harbor_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/umpu/CMakeFiles/harbor_umpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/avr/CMakeFiles/harbor_avr.dir/DependInfo.cmake"
+  "/root/repo/build/src/memmap/CMakeFiles/harbor_memmap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

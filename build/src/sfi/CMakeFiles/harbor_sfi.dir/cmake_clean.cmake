@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harbor_sfi.dir/rewriter.cpp.o"
+  "CMakeFiles/harbor_sfi.dir/rewriter.cpp.o.d"
+  "CMakeFiles/harbor_sfi.dir/verifier.cpp.o"
+  "CMakeFiles/harbor_sfi.dir/verifier.cpp.o.d"
+  "libharbor_sfi.a"
+  "libharbor_sfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harbor_sfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

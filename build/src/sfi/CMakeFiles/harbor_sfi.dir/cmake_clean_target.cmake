@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libharbor_sfi.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harbor_sos.dir/kernel.cpp.o"
+  "CMakeFiles/harbor_sos.dir/kernel.cpp.o.d"
+  "CMakeFiles/harbor_sos.dir/loader.cpp.o"
+  "CMakeFiles/harbor_sos.dir/loader.cpp.o.d"
+  "CMakeFiles/harbor_sos.dir/modules.cpp.o"
+  "CMakeFiles/harbor_sos.dir/modules.cpp.o.d"
+  "libharbor_sos.a"
+  "libharbor_sos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harbor_sos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harbor_umpu.dir/fabric.cpp.o"
+  "CMakeFiles/harbor_umpu.dir/fabric.cpp.o.d"
+  "libharbor_umpu.a"
+  "libharbor_umpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harbor_umpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

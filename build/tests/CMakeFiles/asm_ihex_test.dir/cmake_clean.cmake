@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asm_ihex_test.dir/asm_ihex_test.cpp.o"
+  "CMakeFiles/asm_ihex_test.dir/asm_ihex_test.cpp.o.d"
+  "asm_ihex_test"
+  "asm_ihex_test.pdb"
+  "asm_ihex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asm_ihex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asm_text_test.dir/asm_text_test.cpp.o"
+  "CMakeFiles/asm_text_test.dir/asm_text_test.cpp.o.d"
+  "asm_text_test"
+  "asm_text_test.pdb"
+  "asm_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asm_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avr_alu_test.dir/avr_alu_test.cpp.o"
+  "CMakeFiles/avr_alu_test.dir/avr_alu_test.cpp.o.d"
+  "avr_alu_test"
+  "avr_alu_test.pdb"
+  "avr_alu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avr_alu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

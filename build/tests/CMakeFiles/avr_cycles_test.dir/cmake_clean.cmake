@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avr_cycles_test.dir/avr_cycles_test.cpp.o"
+  "CMakeFiles/avr_cycles_test.dir/avr_cycles_test.cpp.o.d"
+  "avr_cycles_test"
+  "avr_cycles_test.pdb"
+  "avr_cycles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avr_cycles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avr_device_test.dir/avr_device_test.cpp.o"
+  "CMakeFiles/avr_device_test.dir/avr_device_test.cpp.o.d"
+  "avr_device_test"
+  "avr_device_test.pdb"
+  "avr_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avr_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avr_exec_test.dir/avr_exec_test.cpp.o"
+  "CMakeFiles/avr_exec_test.dir/avr_exec_test.cpp.o.d"
+  "avr_exec_test"
+  "avr_exec_test.pdb"
+  "avr_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avr_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

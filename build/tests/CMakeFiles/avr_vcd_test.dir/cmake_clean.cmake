@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avr_vcd_test.dir/avr_vcd_test.cpp.o"
+  "CMakeFiles/avr_vcd_test.dir/avr_vcd_test.cpp.o.d"
+  "avr_vcd_test"
+  "avr_vcd_test.pdb"
+  "avr_vcd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avr_vcd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gatecount_test.dir/gatecount_test.cpp.o"
+  "CMakeFiles/gatecount_test.dir/gatecount_test.cpp.o.d"
+  "gatecount_test"
+  "gatecount_test.pdb"
+  "gatecount_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gatecount_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harbor_edge_test.dir/harbor_edge_test.cpp.o"
+  "CMakeFiles/harbor_edge_test.dir/harbor_edge_test.cpp.o.d"
+  "harbor_edge_test"
+  "harbor_edge_test.pdb"
+  "harbor_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harbor_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memmap_sweep_test.dir/memmap_sweep_test.cpp.o"
+  "CMakeFiles/memmap_sweep_test.dir/memmap_sweep_test.cpp.o.d"
+  "memmap_sweep_test"
+  "memmap_sweep_test.pdb"
+  "memmap_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memmap_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memmap_test.dir/memmap_test.cpp.o"
+  "CMakeFiles/memmap_test.dir/memmap_test.cpp.o.d"
+  "memmap_test"
+  "memmap_test.pdb"
+  "memmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_guest_test.dir/runtime_guest_test.cpp.o"
+  "CMakeFiles/runtime_guest_test.dir/runtime_guest_test.cpp.o.d"
+  "runtime_guest_test"
+  "runtime_guest_test.pdb"
+  "runtime_guest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_guest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

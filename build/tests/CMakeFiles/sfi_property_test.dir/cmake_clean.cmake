@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_property_test.dir/sfi_property_test.cpp.o"
+  "CMakeFiles/sfi_property_test.dir/sfi_property_test.cpp.o.d"
+  "sfi_property_test"
+  "sfi_property_test.pdb"
+  "sfi_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_test.dir/sfi_test.cpp.o"
+  "CMakeFiles/sfi_test.dir/sfi_test.cpp.o.d"
+  "sfi_test"
+  "sfi_test.pdb"
+  "sfi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

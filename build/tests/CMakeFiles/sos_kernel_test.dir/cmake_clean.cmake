@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos_kernel_test.dir/sos_kernel_test.cpp.o"
+  "CMakeFiles/sos_kernel_test.dir/sos_kernel_test.cpp.o.d"
+  "sos_kernel_test"
+  "sos_kernel_test.pdb"
+  "sos_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos_recovery_test.dir/sos_recovery_test.cpp.o"
+  "CMakeFiles/sos_recovery_test.dir/sos_recovery_test.cpp.o.d"
+  "sos_recovery_test"
+  "sos_recovery_test.pdb"
+  "sos_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_equivalence_test.dir/system_equivalence_test.cpp.o"
+  "CMakeFiles/system_equivalence_test.dir/system_equivalence_test.cpp.o.d"
+  "system_equivalence_test"
+  "system_equivalence_test.pdb"
+  "system_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umpu_exhaustive_test.dir/umpu_exhaustive_test.cpp.o"
+  "CMakeFiles/umpu_exhaustive_test.dir/umpu_exhaustive_test.cpp.o.d"
+  "umpu_exhaustive_test"
+  "umpu_exhaustive_test.pdb"
+  "umpu_exhaustive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umpu_exhaustive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umpu_fabric_test.dir/umpu_fabric_test.cpp.o"
+  "CMakeFiles/umpu_fabric_test.dir/umpu_fabric_test.cpp.o.d"
+  "umpu_fabric_test"
+  "umpu_fabric_test.pdb"
+  "umpu_fabric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umpu_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

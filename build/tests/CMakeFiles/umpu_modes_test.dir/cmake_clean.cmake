@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umpu_modes_test.dir/umpu_modes_test.cpp.o"
+  "CMakeFiles/umpu_modes_test.dir/umpu_modes_test.cpp.o.d"
+  "umpu_modes_test"
+  "umpu_modes_test.pdb"
+  "umpu_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umpu_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

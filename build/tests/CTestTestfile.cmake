@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/avr_alu_test[1]_include.cmake")
+include("/root/repo/build/tests/avr_exec_test[1]_include.cmake")
+include("/root/repo/build/tests/asm_roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/asm_text_test[1]_include.cmake")
+include("/root/repo/build/tests/avr_device_test[1]_include.cmake")
+include("/root/repo/build/tests/memmap_test[1]_include.cmake")
+include("/root/repo/build/tests/umpu_fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_guest_test[1]_include.cmake")
+include("/root/repo/build/tests/sfi_test[1]_include.cmake")
+include("/root/repo/build/tests/sos_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/asm_ihex_test[1]_include.cmake")
+include("/root/repo/build/tests/avr_cycles_test[1]_include.cmake")
+include("/root/repo/build/tests/sfi_property_test[1]_include.cmake")
+include("/root/repo/build/tests/umpu_modes_test[1]_include.cmake")
+include("/root/repo/build/tests/core_api_test[1]_include.cmake")
+include("/root/repo/build/tests/gatecount_test[1]_include.cmake")
+include("/root/repo/build/tests/sos_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/memmap_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/harbor_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/umpu_exhaustive_test[1]_include.cmake")
+include("/root/repo/build/tests/avr_vcd_test[1]_include.cmake")
+include("/root/repo/build/tests/system_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/asm_builder_test[1]_include.cmake")
