@@ -1,0 +1,243 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+#include <set>
+
+#include "avr/decoder.h"
+
+namespace harbor::analysis {
+
+using avr::Instr;
+using avr::Mnemonic;
+
+namespace {
+
+bool is_skip(Mnemonic m) {
+  return m == Mnemonic::Cpse || m == Mnemonic::Sbrc || m == Mnemonic::Sbrs ||
+         m == Mnemonic::Sbic || m == Mnemonic::Sbis;
+}
+
+bool is_cond_branch(Mnemonic m) { return m == Mnemonic::Brbs || m == Mnemonic::Brbc; }
+
+/// True if the instruction ends a basic block.
+bool is_terminator(Mnemonic m) {
+  return is_skip(m) || is_cond_branch(m) || m == Mnemonic::Rjmp || m == Mnemonic::Jmp ||
+         m == Mnemonic::Ijmp || m == Mnemonic::Ret || m == Mnemonic::Reti;
+}
+
+}  // namespace
+
+Cfg Cfg::build(std::span<const std::uint16_t> words, std::uint32_t origin,
+               std::span<const std::uint32_t> entries, const sfi::StubTable& stubs) {
+  Cfg g;
+  g.origin_ = origin;
+  g.size_ = static_cast<std::uint32_t>(words.size());
+  const std::uint32_t n = g.size_;
+  const std::uint32_t end = origin + n;
+  g.off_to_instr_.assign(n, -1);
+
+  // --- linear decode ---------------------------------------------------------
+  for (std::uint32_t off = 0; off < n;) {
+    const Instr i = avr::decode(words[off], off + 1 < n ? words[off + 1] : 0);
+    if (i.op == Mnemonic::Invalid) {
+      g.invalid_off_ = off;
+      break;
+    }
+    g.off_to_instr_[off] = static_cast<std::int32_t>(g.instrs_.size());
+    g.instrs_.push_back({off, i});
+    off += static_cast<std::uint32_t>(i.words());
+  }
+
+  // --- entry points ----------------------------------------------------------
+  for (const std::uint32_t e : entries) {
+    EntryInfo info;
+    info.abs = e;
+    info.in_range = e >= origin && e < end;
+    info.off = info.in_range ? e - origin : 0;
+    info.on_boundary = info.in_range && g.is_boundary(info.off);
+    g.entries_.push_back(info);
+  }
+
+  // --- leaders ---------------------------------------------------------------
+  // Relative/absolute target of an instruction, module-relative, or -1.
+  auto internal_target = [&](const InstrAt& ia) -> std::int64_t {
+    const Instr& i = ia.ins;
+    if (i.op == Mnemonic::Rjmp || i.op == Mnemonic::Rcall || is_cond_branch(i.op))
+      return static_cast<std::int64_t>(ia.off) + 1 + i.k;
+    if ((i.op == Mnemonic::Jmp || i.op == Mnemonic::Call) && i.k32 >= origin && i.k32 < end)
+      return static_cast<std::int64_t>(i.k32) - origin;
+    return -1;
+  };
+
+  std::set<std::uint32_t> leaders;
+  auto add_leader = [&](std::int64_t off) {
+    if (off >= 0 && off < n && g.is_boundary(static_cast<std::uint32_t>(off)))
+      leaders.insert(static_cast<std::uint32_t>(off));
+  };
+  if (!g.instrs_.empty()) leaders.insert(0);
+  for (const EntryInfo& e : g.entries_)
+    if (e.on_boundary) add_leader(e.off);
+  for (std::size_t idx = 0; idx < g.instrs_.size(); ++idx) {
+    const InstrAt& ia = g.instrs_[idx];
+    add_leader(internal_target(ia));
+    if (is_terminator(ia.ins.op)) {
+      const std::uint32_t next = ia.off + static_cast<std::uint32_t>(ia.ins.words());
+      add_leader(next);
+      if (is_skip(ia.ins.op) && idx + 1 < g.instrs_.size()) {
+        const InstrAt& ni = g.instrs_[idx + 1];
+        add_leader(static_cast<std::int64_t>(ni.off) + ni.ins.words());
+      }
+    }
+  }
+
+  // --- blocks ----------------------------------------------------------------
+  g.instr_block_.assign(g.instrs_.size(), 0);
+  for (std::size_t idx = 0; idx < g.instrs_.size(); ++idx) {
+    const bool starts = leaders.contains(g.instrs_[idx].off);
+    if (starts || g.blocks_.empty()) {
+      BasicBlock b;
+      b.first = static_cast<std::uint32_t>(idx);
+      b.start_off = g.instrs_[idx].off;
+      g.blocks_.push_back(b);
+    }
+    BasicBlock& b = g.blocks_.back();
+    ++b.count;
+    b.end_off = g.instrs_[idx].off + static_cast<std::uint32_t>(g.instrs_[idx].ins.words());
+    g.instr_block_[idx] = static_cast<std::uint32_t>(g.blocks_.size() - 1);
+  }
+
+  auto block_at_off = [&](std::int64_t off) -> std::optional<std::uint32_t> {
+    if (off < 0 || off >= n) return std::nullopt;
+    const auto idx = g.instr_at(static_cast<std::uint32_t>(off));
+    if (!idx) return std::nullopt;
+    return g.instr_block_[*idx];
+  };
+
+  for (const EntryInfo& e : g.entries_)
+    if (e.on_boundary) {
+      const auto b = block_at_off(e.off);
+      if (b && g.blocks_[*b].start_off == e.off) g.blocks_[*b].is_entry = true;
+    }
+
+  // --- call sites & edges ----------------------------------------------------
+  for (std::size_t idx = 0; idx < g.instrs_.size(); ++idx) {
+    const InstrAt& ia = g.instrs_[idx];
+    const Instr& i = ia.ins;
+    if (i.op == Mnemonic::Call || i.op == Mnemonic::Rcall) {
+      CallSite cs;
+      cs.instr = static_cast<std::uint32_t>(idx);
+      cs.off = ia.off;
+      if (i.op == Mnemonic::Rcall) {
+        const std::int64_t t = internal_target(ia);
+        if (t >= 0 && t < n) {
+          cs.kind = CallKind::Internal;
+          cs.target = static_cast<std::uint32_t>(t);
+        } else {
+          cs.kind = CallKind::Foreign;
+          cs.target = static_cast<std::uint32_t>(origin + ia.off + 1 + i.k);
+        }
+      } else if (i.k32 >= origin && i.k32 < end) {
+        cs.kind = CallKind::Internal;
+        cs.target = i.k32 - origin;
+      } else if (i.k32 == stubs.cross_call) {
+        cs.kind = CallKind::CrossCall;
+        cs.target = i.k32;
+      } else if (stubs.is_store_stub(i.k32) || i.k32 == stubs.save_ret ||
+                 i.k32 == stubs.icall_check) {
+        cs.kind = CallKind::Stub;
+        cs.target = i.k32;
+      } else {
+        cs.kind = CallKind::Foreign;
+        cs.target = i.k32;
+      }
+      g.calls_.push_back(cs);
+    } else if (i.op == Mnemonic::Icall) {
+      g.calls_.push_back(
+          {static_cast<std::uint32_t>(idx), ia.off, 0, CallKind::Computed});
+    }
+  }
+
+  for (std::uint32_t bi = 0; bi < g.blocks_.size(); ++bi) {
+    BasicBlock& b = g.blocks_[bi];
+    const std::uint32_t last = b.first + b.count - 1;
+    const InstrAt& ia = g.instrs_[last];
+    const Instr& i = ia.ins;
+    const std::uint32_t next_off = ia.off + static_cast<std::uint32_t>(i.words());
+    auto link = [&](std::optional<std::uint32_t> to, EdgeKind kind) {
+      if (!to) return false;
+      b.succs.push_back({*to, kind});
+      return true;
+    };
+    if (is_cond_branch(i.op)) {
+      if (!link(block_at_off(internal_target(ia)), EdgeKind::Branch)) b.exits = true;
+      if (!link(block_at_off(next_off), EdgeKind::FallThrough)) b.exits = true;
+    } else if (is_skip(i.op)) {
+      if (!link(block_at_off(next_off), EdgeKind::FallThrough)) b.exits = true;
+      if (last + 1 < g.instrs_.size()) {
+        const InstrAt& ni = g.instrs_[last + 1];
+        if (!link(block_at_off(static_cast<std::int64_t>(ni.off) + ni.ins.words()),
+                  EdgeKind::Skip))
+          b.exits = true;
+      } else {
+        b.exits = true;  // skip at the end of the module (V7)
+      }
+    } else if (i.op == Mnemonic::Rjmp || i.op == Mnemonic::Jmp) {
+      if (!link(block_at_off(internal_target(ia)), EdgeKind::Jump)) b.exits = true;
+    } else if (i.op == Mnemonic::Ret || i.op == Mnemonic::Reti || i.op == Mnemonic::Ijmp) {
+      b.exits = true;
+    } else {
+      // Block ended because the next instruction is a leader (or the
+      // module ends here).
+      if (!link(block_at_off(next_off), EdgeKind::FallThrough)) b.exits = true;
+    }
+  }
+
+  for (std::uint32_t bi = 0; bi < g.blocks_.size(); ++bi)
+    for (const Edge& e : g.blocks_[bi].succs) g.blocks_[e.block].preds.push_back(bi);
+
+  // --- reachability ----------------------------------------------------------
+  std::vector<std::uint32_t> work;
+  for (std::uint32_t bi = 0; bi < g.blocks_.size(); ++bi)
+    if (g.blocks_[bi].is_entry) {
+      g.blocks_[bi].reachable = true;
+      work.push_back(bi);
+    }
+  while (!work.empty()) {
+    const std::uint32_t bi = work.back();
+    work.pop_back();
+    for (const Edge& e : g.blocks_[bi].succs)
+      if (!g.blocks_[e.block].reachable) {
+        g.blocks_[e.block].reachable = true;
+        work.push_back(e.block);
+      }
+    // Internal calls transfer control too.
+    const BasicBlock& b = g.blocks_[bi];
+    for (const CallSite& cs : g.calls_) {
+      if (cs.instr < b.first || cs.instr >= b.first + b.count) continue;
+      if (cs.kind != CallKind::Internal) continue;
+      const auto tb = block_at_off(cs.target);
+      if (tb && !g.blocks_[*tb].reachable) {
+        g.blocks_[*tb].reachable = true;
+        work.push_back(*tb);
+      }
+    }
+  }
+  return g;
+}
+
+std::optional<std::uint32_t> Cfg::block_at(std::uint32_t off) const {
+  const auto idx = instr_at(off);
+  if (!idx) return std::nullopt;
+  const std::uint32_t b = instr_block_[*idx];
+  if (blocks_[b].start_off != off) return std::nullopt;
+  return b;
+}
+
+std::uint32_t Cfg::reachable_blocks() const {
+  std::uint32_t c = 0;
+  for (const BasicBlock& b : blocks_)
+    if (b.reachable) ++c;
+  return c;
+}
+
+}  // namespace harbor::analysis

@@ -1,0 +1,131 @@
+#pragma once
+// Control-flow graph over a module binary.
+//
+// The verifier and harbor-lint both work from this whole-module view: a
+// linear decode of the image is split into basic blocks connected by
+// fall-through, branch, skip and jump edges, with call sites (internal,
+// trusted-stub, cross-domain, computed, foreign) recorded separately since
+// calls return and therefore do not end a block. Reachability is computed
+// from the declared entry points so dead regions — where gadget material
+// could hide — are visible to the checks.
+//
+// Construction never throws: an undecodable word stops the linear decode
+// and is reported through invalid_off(); transfers that leave the module
+// or miss an instruction boundary simply produce no edge (the checks turn
+// them into V1/V5 findings).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "avr/instr.h"
+#include "sfi/stub_table.h"
+
+namespace harbor::analysis {
+
+enum class EdgeKind : std::uint8_t {
+  FallThrough,  ///< linear successor (incl. the not-taken side of a branch)
+  Branch,       ///< taken conditional branch
+  Skip,         ///< skip-taken edge of cpse/sbrc/sbrs/sbic/sbis
+  Jump,         ///< unconditional rjmp/jmp
+};
+
+enum class CallKind : std::uint8_t {
+  Internal,   ///< call/rcall with a target inside the module
+  Stub,       ///< call to a trusted runtime stub (store checkers, save_ret, ...)
+  CrossCall,  ///< call harbor_cross_call (cross-domain, Z selects the entry)
+  Computed,   ///< icall (target unknown statically; V3 in verified code)
+  Foreign,    ///< call to an address that is neither internal nor a stub (V4)
+};
+
+/// One decoded instruction at its module-relative word offset.
+struct InstrAt {
+  std::uint32_t off = 0;
+  avr::Instr ins;
+};
+
+struct Edge {
+  std::uint32_t block = 0;  ///< successor block index
+  EdgeKind kind = EdgeKind::FallThrough;
+};
+
+/// A call instruction inside a block (calls do not terminate blocks).
+struct CallSite {
+  std::uint32_t instr = 0;   ///< index into Cfg::instructions()
+  std::uint32_t off = 0;     ///< module-relative word offset
+  std::uint32_t target = 0;  ///< absolute word address (module-relative for
+                             ///< Internal; 0 for Computed)
+  CallKind kind = CallKind::Internal;
+};
+
+struct BasicBlock {
+  std::uint32_t first = 0;  ///< index of the first instruction
+  std::uint32_t count = 0;  ///< number of instructions
+  std::uint32_t start_off = 0;
+  std::uint32_t end_off = 0;  ///< one past the last word of the block
+  std::vector<Edge> succs;
+  std::vector<std::uint32_t> preds;
+  bool reachable = false;
+  bool is_entry = false;
+  bool exits = false;  ///< ends by leaving the module (ret / jmp restore_ret /
+                       ///< jmp ijmp_check / out-of-module transfer)
+};
+
+/// One declared entry point as the verifier sees it (absolute address).
+struct EntryInfo {
+  std::uint32_t abs = 0;
+  std::uint32_t off = 0;  ///< module-relative (0 when out of range)
+  bool in_range = false;
+  bool on_boundary = false;
+};
+
+class Cfg {
+ public:
+  /// Decode `words` (module loaded at absolute word address `origin`) and
+  /// build the graph. `entries` are absolute entry-point addresses, as
+  /// passed to sfi::verify().
+  static Cfg build(std::span<const std::uint16_t> words, std::uint32_t origin,
+                   std::span<const std::uint32_t> entries, const sfi::StubTable& stubs);
+
+  [[nodiscard]] std::uint32_t origin() const { return origin_; }
+  [[nodiscard]] std::uint32_t size() const { return size_; }  ///< module words
+  [[nodiscard]] const std::vector<InstrAt>& instructions() const { return instrs_; }
+  [[nodiscard]] const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  [[nodiscard]] const std::vector<CallSite>& calls() const { return calls_; }
+  [[nodiscard]] const std::vector<EntryInfo>& entries() const { return entries_; }
+
+  /// Offset of the first undecodable word, if the decode stopped early.
+  [[nodiscard]] std::optional<std::uint32_t> invalid_off() const { return invalid_off_; }
+
+  /// True if `off` is the start of a decoded instruction.
+  [[nodiscard]] bool is_boundary(std::uint32_t off) const {
+    return off < size_ && off_to_instr_[off] >= 0;
+  }
+  /// Index of the instruction starting at `off`, if any.
+  [[nodiscard]] std::optional<std::uint32_t> instr_at(std::uint32_t off) const {
+    if (!is_boundary(off)) return std::nullopt;
+    return static_cast<std::uint32_t>(off_to_instr_[off]);
+  }
+  /// Block containing instruction `idx`.
+  [[nodiscard]] std::uint32_t block_of_instr(std::uint32_t idx) const {
+    return instr_block_[idx];
+  }
+  /// Block whose first instruction is at `off`, if `off` is a block leader.
+  [[nodiscard]] std::optional<std::uint32_t> block_at(std::uint32_t off) const;
+
+  [[nodiscard]] std::uint32_t reachable_blocks() const;
+
+ private:
+  std::uint32_t origin_ = 0;
+  std::uint32_t size_ = 0;
+  std::vector<InstrAt> instrs_;
+  std::vector<BasicBlock> blocks_;
+  std::vector<CallSite> calls_;
+  std::vector<EntryInfo> entries_;
+  std::vector<std::int32_t> off_to_instr_;   // word offset -> instr index or -1
+  std::vector<std::uint32_t> instr_block_;   // instr index -> block index
+  std::optional<std::uint32_t> invalid_off_;
+};
+
+}  // namespace harbor::analysis

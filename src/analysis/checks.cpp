@@ -1,0 +1,175 @@
+#include "analysis/checks.h"
+
+#include <map>
+
+#include "avr/ports.h"
+
+namespace harbor::analysis {
+
+using avr::Instr;
+using avr::Mnemonic;
+namespace ports = avr::ports;
+
+namespace {
+
+/// IO ports module code may not write: the UMPU/protection register file
+/// and the stack pointer (SPL/SPH); SREG writes are permitted.
+bool forbidden_port(std::uint8_t port) {
+  return port <= ports::kFaultAddrHi || port == ports::kSpl || port == ports::kSph;
+}
+
+bool is_skip(Mnemonic m) {
+  return m == Mnemonic::Cpse || m == Mnemonic::Sbrc || m == Mnemonic::Sbrs ||
+         m == Mnemonic::Sbic || m == Mnemonic::Sbis;
+}
+
+void add(std::vector<Finding>& out, std::uint32_t off, const char* rule,
+         std::string message, bool violation = true) {
+  out.push_back({off, violation, rule, std::move(message)});
+}
+
+}  // namespace
+
+std::vector<Finding> check_module(const Cfg& cfg, const sfi::StubTable& stubs,
+                                  const ConstProp& flow) {
+  std::vector<Finding> out;
+  const std::uint32_t n = cfg.size();
+  const std::uint32_t origin = cfg.origin();
+  const std::uint32_t end = origin + n;
+  const auto& instrs = cfg.instructions();
+
+  // Cross-call sites by instruction index, for the V4 dataflow check.
+  std::map<std::uint32_t, const CallSite*> call_at;
+  for (const CallSite& cs : cfg.calls()) call_at[cs.instr] = &cs;
+
+  // --- per-instruction rules, linear order (legacy pass 1) -------------------
+  for (std::uint32_t idx = 0; idx < instrs.size(); ++idx) {
+    const std::uint32_t at = instrs[idx].off;
+    const Instr& i = instrs[idx].ins;
+    if (avr::is_data_store(i.op)) add(out, at, "V2", "raw data store (V2)");
+    if (i.op == Mnemonic::Spm) add(out, at, "V2", "spm self-programming (V2)");
+    if (i.op == Mnemonic::Ret || i.op == Mnemonic::Reti)
+      add(out, at, "V3", "raw return (V3)");
+    if (i.op == Mnemonic::Icall || i.op == Mnemonic::Ijmp)
+      add(out, at, "V3", "raw computed transfer (V3)");
+    if (i.op == Mnemonic::Out && forbidden_port(i.a))
+      add(out, at, "V6", "write to a protected IO port (V6)");
+    if ((i.op == Mnemonic::Sbi || i.op == Mnemonic::Cbi) && forbidden_port(i.a))
+      add(out, at, "V6", "bit write to a protected IO port (V6)");
+
+    if (i.op == Mnemonic::Call) {
+      const auto cs = call_at.find(idx);
+      if (cs != call_at.end() && cs->second->kind == CallKind::Foreign) {
+        add(out, at, "V4", "call to a foreign address (V4)");
+      } else if (cs != call_at.end() && cs->second->kind == CallKind::CrossCall) {
+        // V4 as a dataflow fact: Z must provably hold a jump-table entry.
+        const RegState s = flow.state_before(idx);
+        if (!s.known(30) || !s.known(31)) {
+          add(out, at, "V4", "cross call without Z preamble (V4)");
+        } else {
+          const std::uint32_t entry = static_cast<std::uint32_t>(s.value(30)) |
+                                      (static_cast<std::uint32_t>(s.value(31)) << 8);
+          if (!stubs.in_jump_table(entry))
+            add(out, at, "V4", "cross call outside the jump table (V4)");
+        }
+      }
+    }
+    if (i.op == Mnemonic::Jmp) {
+      const std::uint32_t t = i.k32;
+      const bool internal = t >= origin && t < end;
+      if (!internal && t != stubs.restore_ret && t != stubs.ijmp_check)
+        add(out, at, "V5", "jmp to a foreign address (V5)");
+    }
+    if (i.op == Mnemonic::Rjmp || i.op == Mnemonic::Rcall) {
+      const std::int64_t t = static_cast<std::int64_t>(origin) + at + 1 + i.k;
+      if (t < origin || t >= end)
+        add(out, at, "V5", "relative transfer leaves the module (V5)");
+    }
+    if (i.op == Mnemonic::Brbs || i.op == Mnemonic::Brbc) {
+      const std::int64_t t = static_cast<std::int64_t>(origin) + at + 1 + i.k;
+      if (t < origin || t >= end)
+        add(out, at, "V5", "branch leaves the module (V5)");
+    }
+    if (is_skip(i.op)) {
+      const std::uint32_t next = at + 1;
+      if (next >= n) {
+        add(out, at, "V7", "skip at the end of the module (V7)");
+      } else if (idx + 1 >= instrs.size() || instrs[idx + 1].ins.words() != 1) {
+        // The word after the skip is either undecodable or the start of a
+        // two-word instruction: the skip could land inside an operand word.
+        add(out, at, "V7", "skip over a multi-word instruction (V7)");
+      }
+    }
+  }
+  if (cfg.invalid_off())
+    add(out, *cfg.invalid_off(), "V1", "undecodable opcode (V1)");
+
+  // --- transfer-target boundary discipline (legacy pass 2, V1) ---------------
+  for (const InstrAt& ia : instrs) {
+    const Instr& i = ia.ins;
+    std::int64_t t = -1;
+    if (i.op == Mnemonic::Rjmp || i.op == Mnemonic::Rcall || i.op == Mnemonic::Brbs ||
+        i.op == Mnemonic::Brbc)
+      t = static_cast<std::int64_t>(ia.off) + 1 + i.k;
+    if ((i.op == Mnemonic::Jmp || i.op == Mnemonic::Call) && i.k32 >= origin && i.k32 < end)
+      t = static_cast<std::int64_t>(i.k32) - origin;
+    if (t >= 0 && (t >= n || !cfg.is_boundary(static_cast<std::uint32_t>(t))))
+      add(out, ia.off, "V1", "transfer into the middle of an instruction (V1)");
+  }
+
+  // --- entry points (V8), module-relative offsets per the VerifyResult
+  // contract ------------------------------------------------------------------
+  for (const EntryInfo& e : cfg.entries()) {
+    if (!e.in_range || !e.on_boundary) {
+      add(out, e.off, "V8", "entry is not an instruction boundary (V8)");
+      continue;
+    }
+    const Instr& i = instrs[*cfg.instr_at(e.off)].ins;
+    if (i.op != Mnemonic::Call || i.k32 != stubs.save_ret)
+      add(out, e.off, "V8", "entry without save_ret prologue (V8)");
+  }
+  return out;
+}
+
+std::vector<Finding> lint_module(const Cfg& cfg, const sfi::StubTable& stubs,
+                                 const ConstProp& flow, const StackAnalysis& stack,
+                                 const LintOptions& opt) {
+  std::vector<Finding> out = check_module(cfg, stubs, flow);
+
+  if (opt.warn_unreachable) {
+    // Coalesce runs of unreachable blocks into one finding each.
+    const auto& blocks = cfg.blocks();
+    for (std::size_t bi = 0; bi < blocks.size();) {
+      if (blocks[bi].reachable) {
+        ++bi;
+        continue;
+      }
+      const std::uint32_t start = blocks[bi].start_off;
+      std::uint32_t stop = blocks[bi].end_off;
+      while (bi < blocks.size() && !blocks[bi].reachable) stop = blocks[bi++].end_off;
+      add(out, start,
+          "L1", "unreachable code: words " + std::to_string(start) + ".." +
+                    std::to_string(stop - 1) + " never reached from any entry (L1)",
+          /*violation=*/false);
+    }
+  }
+
+  for (const EntryInfo& e : cfg.entries()) {
+    if (!e.on_boundary) continue;
+    const StackDepth d = stack.function_depth(e.off);
+    if (!d.bounded()) {
+      add(out, e.off, "L2",
+          "unbounded worst-case stack depth (recursive call cycle) (L2)",
+          /*violation=*/false);
+    } else if (opt.stack_capacity != 0 && d.bytes > opt.stack_capacity) {
+      add(out, e.off, "L2",
+          "worst-case stack depth " + std::to_string(d.bytes) +
+              " bytes exceeds the " + std::to_string(opt.stack_capacity) +
+              "-byte stack capacity (L2)",
+          /*violation=*/false);
+    }
+  }
+  return out;
+}
+
+}  // namespace harbor::analysis

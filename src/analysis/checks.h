@@ -1,0 +1,48 @@
+#pragma once
+// Module checks over the CFG + dataflow results.
+//
+// check_module() evaluates the verifier rules V1-V8 (see sfi/verifier.h)
+// and returns every violation, in the order the legacy two-pass verifier
+// discovered them: per-instruction rules in linear order (with V4's
+// cross-call rule decided by the ConstProp dataflow fact about Z), then
+// transfer-target boundary checks, then entry-point checks. sfi::verify()
+// reports the first violation; harbor-lint reports them all.
+//
+// lint_module() additionally emits warnings the admission decision does not
+// depend on: unreachable regions (dead code that could hide gadget
+// material) and worst-case stack-depth findings against a capacity.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "analysis/stack_depth.h"
+
+namespace harbor::analysis {
+
+struct Finding {
+  std::uint32_t off = 0;   ///< module-relative word offset
+  bool violation = true;   ///< false: lint warning only
+  std::string rule;        ///< "V1".."V8" or "L1"/"L2"
+  std::string message;     ///< V-rule text matches the legacy verifier
+};
+
+/// Verifier rules V1-V8. Violations only, legacy discovery order.
+std::vector<Finding> check_module(const Cfg& cfg, const sfi::StubTable& stubs,
+                                  const ConstProp& flow);
+
+struct LintOptions {
+  /// Stack capacity in bytes for the L2 check (0 disables it). Callers
+  /// typically pass the safe-stack capacity from runtime::Layout.
+  std::uint32_t stack_capacity = 0;
+  bool warn_unreachable = true;
+};
+
+/// V1-V8 plus lint warnings (L1 unreachable code, L2 stack depth).
+std::vector<Finding> lint_module(const Cfg& cfg, const sfi::StubTable& stubs,
+                                 const ConstProp& flow, const StackAnalysis& stack,
+                                 const LintOptions& opt);
+
+}  // namespace harbor::analysis

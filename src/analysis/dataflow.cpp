@@ -1,0 +1,185 @@
+#include "analysis/dataflow.h"
+
+#include <deque>
+
+namespace harbor::analysis {
+
+using avr::Instr;
+using avr::Mnemonic;
+
+void ConstProp::apply(const Instr& i, RegState& s) {
+  using M = Mnemonic;
+  auto fold1 = [&](std::uint8_t d, auto fn) {
+    if (s.known(d))
+      s.set(d, static_cast<std::uint8_t>(fn(s.value(d))));
+    else
+      s.havoc(d);
+  };
+  switch (i.op) {
+    // --- constants and moves (the facts V4 relies on) ---
+    case M::Ldi:
+      s.set(i.d, i.imm);
+      break;
+    case M::Ser:
+      s.set(i.d, 0xff);
+      break;
+    case M::Mov:
+      s.v[i.d] = s.v[i.r];
+      break;
+    case M::Movw:
+      s.v[i.d] = s.v[i.r];
+      s.v[i.d + 1] = s.v[i.r + 1];
+      break;
+    case M::Eor:
+      if (i.d == i.r) s.set(i.d, 0);           // clr idiom
+      else if (s.known(i.d) && s.known(i.r)) s.set(i.d, s.value(i.d) ^ s.value(i.r));
+      else s.havoc(i.d);
+      break;
+
+    // --- foldable immediate / unary arithmetic ---
+    case M::Subi: fold1(i.d, [&](std::uint8_t x) { return x - i.imm; }); break;
+    case M::Andi: fold1(i.d, [&](std::uint8_t x) { return x & i.imm; }); break;
+    case M::Ori:  fold1(i.d, [&](std::uint8_t x) { return x | i.imm; }); break;
+    case M::Inc:  fold1(i.d, [](std::uint8_t x) { return x + 1; }); break;
+    case M::Dec:  fold1(i.d, [](std::uint8_t x) { return x - 1; }); break;
+    case M::Com:  fold1(i.d, [](std::uint8_t x) { return ~x; }); break;
+    case M::Neg:  fold1(i.d, [](std::uint8_t x) { return -x; }); break;
+    case M::Swap: fold1(i.d, [](std::uint8_t x) { return (x << 4) | (x >> 4); }); break;
+    case M::Lsr:  fold1(i.d, [](std::uint8_t x) { return x >> 1; }); break;
+    case M::Asr:  fold1(i.d, [](std::uint8_t x) { return static_cast<std::uint8_t>(
+                                  static_cast<std::int8_t>(x) >> 1); }); break;
+    case M::Add:
+    case M::Sub:
+    case M::And:
+    case M::Or:
+      if (s.known(i.d) && s.known(i.r)) {
+        const std::uint8_t a = s.value(i.d), b = s.value(i.r);
+        std::uint8_t r = 0;
+        if (i.op == M::Add) r = static_cast<std::uint8_t>(a + b);
+        if (i.op == M::Sub) r = static_cast<std::uint8_t>(a - b);
+        if (i.op == M::And) r = a & b;
+        if (i.op == M::Or) r = a | b;
+        s.set(i.d, r);
+      } else {
+        s.havoc(i.d);
+      }
+      break;
+    case M::Adiw:
+    case M::Sbiw:
+      if (s.known(i.d) && s.known(i.d + 1)) {
+        std::uint16_t w = static_cast<std::uint16_t>(s.value(i.d) |
+                                                     (s.value(i.d + 1) << 8));
+        w = i.op == M::Adiw ? static_cast<std::uint16_t>(w + i.imm)
+                            : static_cast<std::uint16_t>(w - i.imm);
+        s.set(i.d, static_cast<std::uint8_t>(w & 0xff));
+        s.set(i.d + 1, static_cast<std::uint8_t>(w >> 8));
+      } else {
+        s.havoc(i.d);
+        s.havoc(i.d + 1);
+      }
+      break;
+
+    // --- carry/flag-dependent or unmodelled writes -> Unknown ---
+    case M::Adc: case M::Sbc: case M::Sbci: case M::Ror: case M::Bld:
+      s.havoc(i.d);
+      break;
+    case M::Mul: case M::Muls: case M::Mulsu:
+    case M::Fmul: case M::Fmuls: case M::Fmulsu:
+      s.havoc(0);
+      s.havoc(1);
+      break;
+
+    // --- loads: destination unknown; post-inc/dec forms move the pointer ---
+    case M::LdX: case M::LddY: case M::LddZ: case M::Lds:
+    case M::Lpm: case M::Elpm: case M::In: case M::Pop:
+      s.havoc(i.d);
+      break;
+    case M::LdXInc: case M::LdXDec:
+      s.havoc(i.d); s.havoc(26); s.havoc(27);
+      break;
+    case M::LdYInc: case M::LdYDec:
+      s.havoc(i.d); s.havoc(28); s.havoc(29);
+      break;
+    case M::LdZInc: case M::LdZDec:
+      s.havoc(i.d); s.havoc(30); s.havoc(31);
+      break;
+    case M::LpmInc: case M::ElpmInc:
+      s.havoc(i.d); s.havoc(30); s.havoc(31);
+      break;
+    case M::LpmR0: case M::ElpmR0:
+      s.havoc(0);
+      break;
+
+    // --- stores only move the pointer in inc/dec forms ---
+    case M::StXInc: case M::StXDec:
+      s.havoc(26); s.havoc(27);
+      break;
+    case M::StYInc: case M::StYDec:
+      s.havoc(28); s.havoc(29);
+      break;
+    case M::StZInc: case M::StZDec:
+      s.havoc(30); s.havoc(31);
+      break;
+
+    // --- calls clobber everything (callee behaviour is not modelled) ---
+    case M::Call: case M::Rcall: case M::Icall:
+      s.havoc_all();
+      break;
+
+    default:
+      break;  // no register-file effect
+  }
+}
+
+ConstProp ConstProp::run(const Cfg& cfg) {
+  ConstProp cp;
+  cp.cfg_ = &cfg;
+  cp.block_in_.assign(cfg.blocks().size(), RegState::top());
+
+  const auto& blocks = cfg.blocks();
+  std::vector<bool> visited(blocks.size(), false);
+  std::deque<std::uint32_t> work;
+  for (std::uint32_t bi = 0; bi < blocks.size(); ++bi)
+    if (blocks[bi].is_entry) {
+      visited[bi] = true;  // entry in-state is top (caller state unknown)
+      work.push_back(bi);
+    }
+  std::vector<bool> queued(blocks.size(), false);
+  for (const std::uint32_t bi : work) queued[bi] = true;
+
+  while (!work.empty()) {
+    const std::uint32_t bi = work.front();
+    work.pop_front();
+    queued[bi] = false;
+    RegState out = cp.block_in_[bi];
+    const BasicBlock& b = blocks[bi];
+    for (std::uint32_t k = 0; k < b.count; ++k)
+      apply(cfg.instructions()[b.first + k].ins, out);
+    for (const Edge& e : b.succs) {
+      bool changed;
+      if (!visited[e.block] && !blocks[e.block].is_entry) {
+        cp.block_in_[e.block] = out;
+        visited[e.block] = true;
+        changed = true;
+      } else {
+        changed = cp.block_in_[e.block].join(out);
+      }
+      if (changed && !queued[e.block]) {
+        queued[e.block] = true;
+        work.push_back(e.block);
+      }
+    }
+  }
+  return cp;
+}
+
+RegState ConstProp::state_before(std::uint32_t instr_index) const {
+  const std::uint32_t bi = cfg_->block_of_instr(instr_index);
+  const BasicBlock& b = cfg_->blocks()[bi];
+  RegState s = block_in_[bi];
+  for (std::uint32_t k = b.first; k < instr_index; ++k)
+    apply(cfg_->instructions()[k].ins, s);
+  return s;
+}
+
+}  // namespace harbor::analysis

@@ -1,0 +1,82 @@
+#pragma once
+// Abstract interpretation over the CFG: a per-register constant lattice.
+//
+// Each of r0-r31 is either Const(k) or Unknown (top). The transfer function
+// tracks ldi, register moves (mov/movw), the common clear idioms and
+// immediate arithmetic it can fold; every other register write — including
+// all calls, which conservatively havoc the whole file — maps to Unknown.
+//
+// This is what turns the verifier's V4 cross-call rule into a proven
+// dataflow fact: at every `call harbor_cross_call` site the analysis either
+// proves Z = a specific jump-table entry (tracking the constant across
+// intervening moves and block boundaries) or the call is rejected. Entry
+// blocks start from all-Unknown; block in-states are the join (equal
+// constants survive, anything else widens to Unknown) over predecessor
+// out-states, iterated to fixpoint with a worklist.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace harbor::analysis {
+
+/// Abstract register file: per-register -1 = Unknown, else the byte value.
+struct RegState {
+  std::array<std::int16_t, 32> v{};
+
+  static RegState top() {
+    RegState s;
+    s.v.fill(-1);
+    return s;
+  }
+
+  [[nodiscard]] bool known(std::uint8_t r) const { return v[r & 31] >= 0; }
+  [[nodiscard]] std::uint8_t value(std::uint8_t r) const {
+    return static_cast<std::uint8_t>(v[r & 31]);
+  }
+  void set(std::uint8_t r, std::uint8_t k) { v[r & 31] = k; }
+  void havoc(std::uint8_t r) { v[r & 31] = -1; }
+  void havoc_all() { v.fill(-1); }
+
+  /// Join with `o` (least upper bound). Returns true if this state changed.
+  bool join(const RegState& o) {
+    bool changed = false;
+    for (int r = 0; r < 32; ++r)
+      if (v[r] != o.v[r] && v[r] != -1) {
+        v[r] = -1;
+        changed = true;
+      }
+    return changed;
+  }
+
+  friend bool operator==(const RegState&, const RegState&) = default;
+};
+
+class ConstProp {
+ public:
+  /// Run the worklist analysis to fixpoint. The result keeps a reference to
+  /// `cfg`, which must outlive it (temporaries are rejected).
+  static ConstProp run(const Cfg& cfg);
+  static ConstProp run(Cfg&&) = delete;
+
+  /// Abstract state immediately before instruction `instr_index`
+  /// (recomputed from the containing block's in-state). Blocks never
+  /// reached from an entry report all-Unknown.
+  [[nodiscard]] RegState state_before(std::uint32_t instr_index) const;
+
+  /// In-state of a block (all-Unknown when unreached).
+  [[nodiscard]] const RegState& block_in(std::uint32_t block) const {
+    return block_in_[block];
+  }
+
+  /// Apply one instruction's transfer function to `s`.
+  static void apply(const avr::Instr& i, RegState& s);
+
+ private:
+  const Cfg* cfg_ = nullptr;
+  std::vector<RegState> block_in_;
+};
+
+}  // namespace harbor::analysis

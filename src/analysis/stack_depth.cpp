@@ -1,0 +1,93 @@
+#include "analysis/stack_depth.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace harbor::analysis {
+
+using avr::Mnemonic;
+
+namespace {
+
+/// Depth cap: a provable worst case beyond the whole SRAM means a
+/// net-positive push loop; report unbounded instead of iterating forever.
+constexpr std::int64_t kDepthCap = 4096;
+
+struct Analyzer {
+  const Cfg& cfg;
+  std::map<std::uint32_t, const CallSite*> call_at;  // instr index -> site
+  std::map<std::uint32_t, StackDepth> memo;          // function off -> depth
+  std::set<std::uint32_t> on_stack;                  // call-graph DFS spine
+
+  explicit Analyzer(const Cfg& g) : cfg(g) {
+    for (const CallSite& cs : g.calls()) call_at[cs.instr] = &cs;
+  }
+
+  StackDepth analyze(std::uint32_t fn_off) {
+    if (const auto it = memo.find(fn_off); it != memo.end()) return it->second;
+    if (on_stack.contains(fn_off)) return {kUnboundedDepth};  // recursion
+    on_stack.insert(fn_off);
+    const StackDepth d = body_depth(fn_off);
+    on_stack.erase(fn_off);
+    memo[fn_off] = d;
+    return d;
+  }
+
+  StackDepth body_depth(std::uint32_t fn_off) {
+    const auto entry = cfg.block_at(fn_off);
+    if (!entry) return {};
+    std::map<std::uint32_t, std::int64_t> in_depth;  // block -> depth at entry
+    in_depth[*entry] = 0;
+    std::vector<std::uint32_t> work{*entry};
+    std::int64_t worst = 0;
+    while (!work.empty()) {
+      const std::uint32_t bi = work.back();
+      work.pop_back();
+      const BasicBlock& b = cfg.blocks()[bi];
+      std::int64_t cur = in_depth[bi];
+      for (std::uint32_t k = b.first; k < b.first + b.count; ++k) {
+        const avr::Instr& i = cfg.instructions()[k].ins;
+        if (i.op == Mnemonic::Push) {
+          ++cur;
+          worst = std::max(worst, cur);
+        } else if (i.op == Mnemonic::Pop) {
+          --cur;
+        } else if (const auto it = call_at.find(k); it != call_at.end()) {
+          const CallSite& cs = *it->second;
+          std::int64_t callee = 0;  // stubs / cross-domain: return address only
+          if (cs.kind == CallKind::Internal) {
+            const StackDepth cd = analyze(cs.target);
+            if (!cd.bounded()) return {kUnboundedDepth};
+            callee = cd.bytes;
+          }
+          worst = std::max(worst, cur + 2 + callee);
+        }
+      }
+      for (const Edge& e : b.succs) {
+        const auto it = in_depth.find(e.block);
+        if (it != in_depth.end() && it->second >= cur) continue;
+        if (cur > kDepthCap) return {kUnboundedDepth};  // net-positive loop
+        in_depth[e.block] = cur;
+        work.push_back(e.block);
+      }
+    }
+    return {static_cast<std::uint32_t>(std::max<std::int64_t>(worst, 0))};
+  }
+};
+
+}  // namespace
+
+StackAnalysis StackAnalysis::run(const Cfg& cfg) {
+  StackAnalysis sa;
+  Analyzer az(cfg);
+  std::set<std::uint32_t> fns;
+  for (const EntryInfo& e : cfg.entries())
+    if (e.on_boundary) fns.insert(e.off);
+  for (const CallSite& cs : cfg.calls())
+    if (cs.kind == CallKind::Internal && cfg.is_boundary(cs.target)) fns.insert(cs.target);
+  for (const std::uint32_t f : fns) sa.depth_[f] = az.analyze(f);
+  return sa;
+}
+
+}  // namespace harbor::analysis

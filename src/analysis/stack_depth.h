@@ -1,0 +1,57 @@
+#pragma once
+// Worst-case stack-depth analysis over the CFG.
+//
+// For every function (declared entry points plus internal call targets) the
+// analysis computes the maximum number of bytes the module can have live on
+// the stack: push/pop contribute ±1 and every call contributes the 2-byte
+// return address plus the callee's own worst case. Under Harbor's SFI
+// runtime a frame's return address migrates from the run-time stack to the
+// safe stack (harbor_save_ret) for the duration of the callee, so the same
+// figure bounds the module's combined run-time + safe-stack occupancy; it
+// is the number harbor-lint checks against the safe-stack capacity and the
+// stack region of runtime::Layout (the run-time incarnation of the paper's
+// stack_bound check).
+//
+// The analysis is cycle-safe in both graphs: recursion in the call graph
+// and any loop with a positive net push gain report kUnbounded instead of
+// diverging. Calls into trusted stubs and cross-domain calls count only
+// their 2-byte return address — the stubs spill through trusted scratch
+// RAM, and a cross-domain callee runs under its own domain's stack bound.
+
+#include <cstdint>
+#include <map>
+
+#include "analysis/cfg.h"
+
+namespace harbor::analysis {
+
+inline constexpr std::uint32_t kUnboundedDepth = 0xffffffffu;
+
+struct StackDepth {
+  std::uint32_t bytes = 0;  ///< worst case; kUnboundedDepth if unbounded
+
+  [[nodiscard]] bool bounded() const { return bytes != kUnboundedDepth; }
+};
+
+class StackAnalysis {
+ public:
+  static StackAnalysis run(const Cfg& cfg);
+
+  /// Worst-case depth of the function whose body starts at module-relative
+  /// offset `off` (a declared entry or internal call target). Unknown
+  /// offsets report 0.
+  [[nodiscard]] StackDepth function_depth(std::uint32_t off) const {
+    const auto it = depth_.find(off);
+    return it == depth_.end() ? StackDepth{} : it->second;
+  }
+
+  /// All analyzed functions: body start offset -> worst-case depth.
+  [[nodiscard]] const std::map<std::uint32_t, StackDepth>& functions() const {
+    return depth_;
+  }
+
+ private:
+  std::map<std::uint32_t, StackDepth> depth_;
+};
+
+}  // namespace harbor::analysis

@@ -51,6 +51,12 @@ inline constexpr std::uint8_t kCtlProtect = 0x01;     ///< master enable
 inline constexpr std::uint8_t kCtlSafeStack = 0x02;   ///< safe-stack redirection
 inline constexpr std::uint8_t kCtlDomainTrack = 0x04; ///< call/ret domain tracking
 
+// --- architectural registers (classic AVR IO assignments) ---
+inline constexpr std::uint8_t kRampz = 0x3b;  ///< flash high-byte select (ELPM)
+inline constexpr std::uint8_t kSpl = 0x3d;    ///< stack pointer low
+inline constexpr std::uint8_t kSph = 0x3e;    ///< stack pointer high
+inline constexpr std::uint8_t kSreg = 0x3f;   ///< status register
+
 // --- simulation devices ---
 inline constexpr std::uint8_t kDebugOut = 0x18;   ///< write: append byte to host console
 inline constexpr std::uint8_t kSimCtl = 0x19;     ///< write: halt with exit code

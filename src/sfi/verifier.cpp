@@ -1,132 +1,24 @@
 #include "sfi/verifier.h"
 
-#include "avr/decoder.h"
-#include "avr/ports.h"
+#include "analysis/checks.h"
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
 
 namespace harbor::sfi {
 
-using avr::Instr;
-using avr::Mnemonic;
-namespace ports = avr::ports;
-
-namespace {
-
-/// IO ports module code may not write: the UMPU/protection register file
-/// and the stack pointer (SPL/SPH); SREG writes are permitted.
-bool forbidden_port(std::uint8_t port) {
-  return port <= ports::kFaultAddrHi || port == 0x3d || port == 0x3e;
-}
-
-bool is_raw_store(Mnemonic m) { return avr::is_data_store(m); }
-
-bool is_skip(Mnemonic m) {
-  return m == Mnemonic::Cpse || m == Mnemonic::Sbrc || m == Mnemonic::Sbrs ||
-         m == Mnemonic::Sbic || m == Mnemonic::Sbis;
-}
-
-}  // namespace
-
+// The rules V1-V8 are implemented as analyses over the module's control-flow
+// graph (src/analysis): per-instruction rules and transfer-target discipline
+// walk the decoded CFG, and the V4 cross-call rule is discharged by the
+// constant-propagation dataflow fact about Z rather than a peek at the two
+// linearly preceding instructions. verify() reports the first violation in
+// the legacy discovery order, so verdicts (and `at` offsets) are unchanged
+// or stricter relative to the original two-pass scan.
 VerifyResult verify(std::span<const std::uint16_t> words, std::uint32_t origin,
                     std::span<const std::uint32_t> entries, const StubTable& stubs) {
-  const std::uint32_t n = static_cast<std::uint32_t>(words.size());
-  const std::uint32_t end = origin + n;
-  std::vector<bool> boundary(n, false);
-
-  // Pass 1: decode, per-instruction rules, record boundaries. Track the
-  // previous two instructions for the cross-call preamble rule (V4).
-  Instr prev1, prev2;  // prev1 = immediately preceding
-  for (std::uint32_t off = 0; off < n;) {
-    boundary[off] = true;
-    const Instr i = avr::decode(words[off], off + 1 < n ? words[off + 1] : 0);
-    const std::uint32_t at = off;
-    if (i.op == Mnemonic::Invalid)
-      return VerifyResult::failure(at, "undecodable opcode (V1)");
-    if (is_raw_store(i.op))
-      return VerifyResult::failure(at, "raw data store (V2)");
-    if (i.op == Mnemonic::Spm)
-      return VerifyResult::failure(at, "spm self-programming (V2)");
-    if (i.op == Mnemonic::Ret || i.op == Mnemonic::Reti)
-      return VerifyResult::failure(at, "raw return (V3)");
-    if (i.op == Mnemonic::Icall || i.op == Mnemonic::Ijmp)
-      return VerifyResult::failure(at, "raw computed transfer (V3)");
-    if (i.op == Mnemonic::Out && forbidden_port(i.a))
-      return VerifyResult::failure(at, "write to a protected IO port (V6)");
-    if ((i.op == Mnemonic::Sbi || i.op == Mnemonic::Cbi) && forbidden_port(i.a))
-      return VerifyResult::failure(at, "bit write to a protected IO port (V6)");
-
-    if (i.op == Mnemonic::Call) {
-      const std::uint32_t t = i.k32;
-      const bool internal = t >= origin && t < end;
-      const bool stub = stubs.is_store_stub(t) || t == stubs.save_ret ||
-                        t == stubs.icall_check || t == stubs.cross_call;
-      if (!internal && !stub)
-        return VerifyResult::failure(at, "call to a foreign address (V4)");
-      if (t == stubs.cross_call) {
-        // Preamble: ldi r30, lo; ldi r31, hi with a jump-table target.
-        if (prev2.op != Mnemonic::Ldi || prev2.d != 30 || prev1.op != Mnemonic::Ldi ||
-            prev1.d != 31)
-          return VerifyResult::failure(at, "cross call without Z preamble (V4)");
-        const std::uint32_t entry =
-            static_cast<std::uint32_t>(prev2.imm) | (static_cast<std::uint32_t>(prev1.imm) << 8);
-        if (!stubs.in_jump_table(entry))
-          return VerifyResult::failure(at, "cross call outside the jump table (V4)");
-      }
-    }
-    if (i.op == Mnemonic::Jmp) {
-      const std::uint32_t t = i.k32;
-      const bool internal = t >= origin && t < end;
-      if (!internal && t != stubs.restore_ret && t != stubs.ijmp_check)
-        return VerifyResult::failure(at, "jmp to a foreign address (V5)");
-    }
-    if (i.op == Mnemonic::Rjmp || i.op == Mnemonic::Rcall) {
-      const std::int64_t t = static_cast<std::int64_t>(origin) + off + 1 + i.k;
-      if (t < origin || t >= end)
-        return VerifyResult::failure(at, "relative transfer leaves the module (V5)");
-    }
-    if (i.op == Mnemonic::Brbs || i.op == Mnemonic::Brbc) {
-      const std::int64_t t = static_cast<std::int64_t>(origin) + off + 1 + i.k;
-      if (t < origin || t >= end)
-        return VerifyResult::failure(at, "branch leaves the module (V5)");
-    }
-    if (is_skip(i.op)) {
-      const std::uint32_t next = off + 1;
-      if (next >= n)
-        return VerifyResult::failure(at, "skip at the end of the module (V7)");
-      const Instr ni = avr::decode(words[next], next + 1 < n ? words[next + 1] : 0);
-      if (ni.op == Mnemonic::Invalid || ni.words() != 1)
-        return VerifyResult::failure(at, "skip over a multi-word instruction (V7)");
-    }
-    prev2 = prev1;
-    prev1 = i;
-    off += static_cast<std::uint32_t>(i.words());
-  }
-
-  // Pass 2: all internal transfer targets hit instruction boundaries (V1).
-  for (std::uint32_t off = 0; off < n;) {
-    const Instr i = avr::decode(words[off], off + 1 < n ? words[off + 1] : 0);
-    std::int64_t t = -1;
-    if (i.op == Mnemonic::Rjmp || i.op == Mnemonic::Rcall || i.op == Mnemonic::Brbs ||
-        i.op == Mnemonic::Brbc)
-      t = static_cast<std::int64_t>(off) + 1 + i.k;
-    if ((i.op == Mnemonic::Jmp || i.op == Mnemonic::Call) && i.k32 >= origin && i.k32 < end)
-      t = static_cast<std::int64_t>(i.k32) - origin;
-    if (t >= 0) {
-      if (t >= n || !boundary[static_cast<std::uint32_t>(t)])
-        return VerifyResult::failure(off, "transfer into the middle of an instruction (V1)");
-    }
-    off += static_cast<std::uint32_t>(i.words());
-  }
-
-  // V8: declared entries start with `call harbor_save_ret`.
-  for (const std::uint32_t e : entries) {
-    if (e < origin || e >= end || !boundary[e - origin])
-      return VerifyResult::failure(e, "entry is not an instruction boundary (V8)");
-    const std::uint32_t off = e - origin;
-    const Instr i = avr::decode(words[off], off + 1 < n ? words[off + 1] : 0);
-    if (i.op != Mnemonic::Call || i.k32 != stubs.save_ret)
-      return VerifyResult::failure(off, "entry without save_ret prologue (V8)");
-  }
-
+  const analysis::Cfg cfg = analysis::Cfg::build(words, origin, entries, stubs);
+  const analysis::ConstProp flow = analysis::ConstProp::run(cfg);
+  for (analysis::Finding& f : analysis::check_module(cfg, stubs, flow))
+    if (f.violation) return VerifyResult::failure(f.off, std::move(f.message));
   return {};
 }
 

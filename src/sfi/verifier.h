@@ -13,8 +13,8 @@
 //   V3  no raw ret/reti/icall/ijmp: returns and computed transfers must
 //       go through the trusted stubs
 //   V4  direct calls stay inside the module or target a trusted stub
-//       entry; `call harbor_cross_call` must be immediately preceded by
-//       ldi r30/r31 of a jump-table entry
+//       entry; at every `call harbor_cross_call` the dataflow analysis
+//       must prove Z holds a jump-table entry constant
 //   V5  direct jumps/branches stay inside the module (or jmp to
 //       restore_ret / ijmp_check)
 //   V6  out/sbi/cbi may not touch the protection registers or SPL/SPH
@@ -22,9 +22,11 @@
 //       skip cannot land inside an operand word)
 //   V8  every declared entry begins with `call harbor_save_ret`
 //
-// State kept is one boundary bitmap (|module|/8 bytes) plus O(1) locals;
-// the paper's verifier is "constant state" under its simpler target rules,
-// see DESIGN.md for the deviation note.
+// The rules are evaluated as analyses over a whole-module control-flow
+// graph (src/analysis: CFG construction, constant-propagation dataflow,
+// stack-depth analysis); the paper's verifier is "constant state" under its
+// simpler target rules, see DESIGN.md for the deviation note. harbor-lint
+// (examples/) runs the same analyses and reports every finding.
 
 #include <cstdint>
 #include <span>

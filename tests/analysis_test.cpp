@@ -1,0 +1,536 @@
+// Tests for the static-analysis library (src/analysis): CFG construction
+// on hand-built modules, the constant-propagation dataflow, worst-case
+// stack-depth analysis, and the check layer's findings (including the V8
+// module-relative offset contract and the lint warnings).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/checks.h"
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "analysis/stack_depth.h"
+#include "asm/builder.h"
+#include "sfi/verifier.h"
+
+namespace {
+
+using namespace harbor;
+using namespace harbor::assembler;
+using analysis::Cfg;
+using analysis::ConstProp;
+using analysis::EdgeKind;
+
+constexpr std::uint32_t kOrigin = 0x900;
+
+/// A synthetic stub table with distinct, recognizable addresses; the
+/// analyses only compare against these values, so no runtime is needed.
+sfi::StubTable test_stubs() {
+  sfi::StubTable t;
+  t.st_x = 0x100;
+  t.st_x_inc = 0x101;
+  t.st_x_dec = 0x102;
+  t.st_y_inc = 0x103;
+  t.st_y_dec = 0x104;
+  t.st_z_inc = 0x105;
+  t.st_z_dec = 0x106;
+  t.save_ret = 0x110;
+  t.restore_ret = 0x111;
+  t.cross_call = 0x112;
+  t.icall_check = 0x113;
+  t.ijmp_check = 0x114;
+  t.jt_base = 0x800;
+  t.jt_end = 0x840;
+  return t;
+}
+
+Cfg build(const Program& p, std::vector<std::uint32_t> rel_entries = {0}) {
+  for (std::uint32_t& e : rel_entries) e += p.origin;
+  return Cfg::build(p.words, p.origin, rel_entries, test_stubs());
+}
+
+bool has_succ(const analysis::BasicBlock& b, std::uint32_t block, EdgeKind kind) {
+  return std::any_of(b.succs.begin(), b.succs.end(), [&](const analysis::Edge& e) {
+    return e.block == block && e.kind == kind;
+  });
+}
+
+// --- CFG construction ------------------------------------------------------
+
+TEST(Cfg, DiamondControlFlow) {
+  Assembler a(kOrigin);
+  auto else_ = a.make_label("else");
+  auto join = a.make_label("join");
+  a.tst(r24);                         // 0
+  a.breq(else_);                      // 1
+  a.inc(r24);                         // 2
+  a.rjmp(join);                       // 3
+  a.bind(else_);
+  a.dec(r24);                         // 4
+  a.bind(join);
+  a.jmp_abs(test_stubs().restore_ret);  // 5..6
+  const Program p = a.assemble();
+
+  const Cfg cfg = build(p);
+  ASSERT_EQ(cfg.blocks().size(), 4u);
+  const auto head = *cfg.block_at(0);
+  const auto then_b = *cfg.block_at(2);
+  const auto else_b = *cfg.block_at(4);
+  const auto join_b = *cfg.block_at(5);
+
+  EXPECT_TRUE(has_succ(cfg.blocks()[head], else_b, EdgeKind::Branch));
+  EXPECT_TRUE(has_succ(cfg.blocks()[head], then_b, EdgeKind::FallThrough));
+  EXPECT_TRUE(has_succ(cfg.blocks()[then_b], join_b, EdgeKind::Jump));
+  EXPECT_TRUE(has_succ(cfg.blocks()[else_b], join_b, EdgeKind::FallThrough));
+  EXPECT_EQ(cfg.blocks()[join_b].preds.size(), 2u);
+  EXPECT_TRUE(cfg.blocks()[join_b].succs.empty());
+  EXPECT_TRUE(cfg.blocks()[join_b].exits);  // jmp restore_ret leaves the module
+  EXPECT_EQ(cfg.reachable_blocks(), 4u);
+  EXPECT_TRUE(cfg.blocks()[head].is_entry);
+}
+
+TEST(Cfg, TwoWordInstructionBoundaries) {
+  Assembler a(kOrigin);
+  a.call_abs(test_stubs().save_ret);    // 0..1 (two words)
+  a.ldi(r24, 7);                        // 2
+  a.jmp_abs(test_stubs().restore_ret);  // 3..4 (two words)
+  const Program p = a.assemble();
+
+  const Cfg cfg = build(p);
+  ASSERT_EQ(cfg.instructions().size(), 3u);
+  EXPECT_TRUE(cfg.is_boundary(0));
+  EXPECT_FALSE(cfg.is_boundary(1));  // operand word of the call
+  EXPECT_TRUE(cfg.is_boundary(2));
+  EXPECT_TRUE(cfg.is_boundary(3));
+  EXPECT_FALSE(cfg.is_boundary(4));  // operand word of the jmp
+  EXPECT_FALSE(cfg.instr_at(1).has_value());
+  EXPECT_EQ(*cfg.instr_at(2), 1u);
+  EXPECT_FALSE(cfg.invalid_off().has_value());
+}
+
+TEST(Cfg, SkipProducesFallThroughAndSkipEdges) {
+  Assembler a(kOrigin);
+  a.sbrc(r18, 0);                       // 0
+  a.inc(r24);                           // 1 (skipped when bit clear)
+  a.dec(r24);                           // 2 (skip target)
+  a.jmp_abs(test_stubs().restore_ret);  // 3..4
+  const Program p = a.assemble();
+
+  const Cfg cfg = build(p);
+  const auto skip_b = *cfg.block_at(0);
+  const auto inc_b = *cfg.block_at(1);
+  const auto dec_b = *cfg.block_at(2);
+  EXPECT_TRUE(has_succ(cfg.blocks()[skip_b], inc_b, EdgeKind::FallThrough));
+  EXPECT_TRUE(has_succ(cfg.blocks()[skip_b], dec_b, EdgeKind::Skip));
+  EXPECT_TRUE(has_succ(cfg.blocks()[inc_b], dec_b, EdgeKind::FallThrough));
+  EXPECT_EQ(cfg.reachable_blocks(), 3u);
+}
+
+TEST(Cfg, UnreachableRegionAfterExit) {
+  Assembler a(kOrigin);
+  auto dead = a.make_label("dead");
+  a.jmp_abs(test_stubs().restore_ret);  // 0..1: exits
+  a.bind(dead);
+  a.inc(r24);                           // 2: no path from the entry
+  a.rjmp(dead);                         // 3
+  const Program p = a.assemble();
+
+  const Cfg cfg = build(p);
+  ASSERT_EQ(cfg.blocks().size(), 2u);
+  EXPECT_EQ(cfg.reachable_blocks(), 1u);
+  const auto dead_b = *cfg.block_at(2);
+  EXPECT_FALSE(cfg.blocks()[dead_b].reachable);
+  EXPECT_TRUE(has_succ(cfg.blocks()[dead_b], dead_b, EdgeKind::Jump));  // self-loop
+}
+
+TEST(Cfg, CallsAreClassifiedAndDoNotEndBlocks) {
+  const sfi::StubTable stubs = test_stubs();
+  Assembler a(kOrigin);
+  auto helper = a.make_label("helper");
+  a.call_abs(stubs.save_ret);      // Stub
+  a.ldi(r30, 0x10);
+  a.ldi(r31, 0x08);
+  a.call_abs(stubs.cross_call);    // CrossCall
+  a.rcall(helper);                 // Internal
+  a.call_abs(0x50);                // Foreign: neither internal nor a stub
+  a.jmp_abs(stubs.restore_ret);
+  a.bind(helper);
+  a.jmp_abs(stubs.restore_ret);
+  const Program p = a.assemble();
+
+  const Cfg cfg = build(p);
+  // Calls return, so the whole body up to the jmp stays one block.
+  ASSERT_EQ(cfg.blocks().size(), 2u);
+  EXPECT_EQ(cfg.blocks()[0].count, 7u);
+  ASSERT_EQ(cfg.calls().size(), 4u);
+  EXPECT_EQ(cfg.calls()[0].kind, analysis::CallKind::Stub);
+  EXPECT_EQ(cfg.calls()[1].kind, analysis::CallKind::CrossCall);
+  EXPECT_EQ(cfg.calls()[2].kind, analysis::CallKind::Internal);
+  EXPECT_EQ(cfg.calls()[2].target, *p.symbol("helper") - p.origin);  // module-relative
+  EXPECT_EQ(cfg.calls()[3].kind, analysis::CallKind::Foreign);
+  // The helper is reachable through the internal call edge.
+  EXPECT_EQ(cfg.reachable_blocks(), 2u);
+}
+
+TEST(Cfg, UndecodableWordStopsDecode) {
+  Assembler a(kOrigin);
+  a.ldi(r24, 1);
+  const Program p = a.assemble();
+  std::vector<std::uint16_t> words = p.words;
+  words.push_back(0xff08);  // invalid encoding (sbrs with bit 3 set)
+  words.push_back(0x0000);  // never reached by the decode
+
+  const Cfg cfg = Cfg::build(words, kOrigin, std::vector<std::uint32_t>{kOrigin},
+                             test_stubs());
+  ASSERT_TRUE(cfg.invalid_off().has_value());
+  EXPECT_EQ(*cfg.invalid_off(), 1u);
+  EXPECT_EQ(cfg.instructions().size(), 1u);
+
+  const auto v = sfi::verify(words, kOrigin, std::vector<std::uint32_t>{kOrigin},
+                             test_stubs());
+  ASSERT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("V1"), std::string::npos);
+}
+
+// --- constant-propagation dataflow -----------------------------------------
+
+TEST(Dataflow, TracksConstantsAcrossMoves) {
+  Assembler a(kOrigin);
+  a.ldi(r24, 0x34);  // 0
+  a.mov(r30, r24);   // 1
+  a.ldi(r31, 0x08);  // 2
+  a.nop();           // 3
+  const Program p = a.assemble();
+
+  const Cfg cfg = build(p);
+  const ConstProp flow = ConstProp::run(cfg);
+  const analysis::RegState s = flow.state_before(3);
+  ASSERT_TRUE(s.known(30));
+  ASSERT_TRUE(s.known(31));
+  EXPECT_EQ(s.value(30), 0x34);
+  EXPECT_EQ(s.value(31), 0x08);
+}
+
+TEST(Dataflow, MovwTracksRegisterPair) {
+  Assembler a(kOrigin);
+  a.ldi(r24, 0x10);  // 0
+  a.ldi(r25, 0x08);  // 1
+  a.movw(r30, r24);  // 2
+  a.nop();           // 3
+  const Program p = a.assemble();
+
+  const Cfg cfg = build(p);
+  const ConstProp flow = ConstProp::run(cfg);
+  const analysis::RegState s = flow.state_before(3);
+  ASSERT_TRUE(s.known(30) && s.known(31));
+  EXPECT_EQ(s.value(30), 0x10);
+  EXPECT_EQ(s.value(31), 0x08);
+}
+
+TEST(Dataflow, JoinWidensConflictingConstants) {
+  Assembler a(kOrigin);
+  auto else_ = a.make_label("else");
+  auto join = a.make_label("join");
+  a.tst(r24);                           // 0
+  a.breq(else_);                        // 1
+  a.ldi(r30, 0x10);                     // 2
+  a.rjmp(join);                         // 3
+  a.bind(else_);
+  a.ldi(r30, 0x20);                     // 4: different value on this path
+  a.bind(join);
+  a.nop();                              // 5
+  a.jmp_abs(test_stubs().restore_ret);  // 6..7
+  const Program p = a.assemble();
+
+  const Cfg cfg = build(p);
+  const ConstProp flow = ConstProp::run(cfg);
+  EXPECT_FALSE(flow.state_before(5).known(30));  // 0x10 vs 0x20 joins to top
+  // On both arms r31 was never written, so it stays unknown (entry = top).
+  EXPECT_FALSE(flow.state_before(5).known(31));
+}
+
+TEST(Dataflow, JoinKeepsAgreeingConstants) {
+  Assembler a(kOrigin);
+  auto else_ = a.make_label("else");
+  auto join = a.make_label("join");
+  a.tst(r24);                           // 0
+  a.breq(else_);                        // 1
+  a.ldi(r30, 0x11);                     // 2
+  a.rjmp(join);                         // 3
+  a.bind(else_);
+  a.ldi(r30, 0x11);                     // 4: same value on both paths
+  a.bind(join);
+  a.nop();                              // 5
+  a.jmp_abs(test_stubs().restore_ret);  // 6..7
+  const Program p = a.assemble();
+
+  const Cfg cfg = build(p);
+  const ConstProp flow = ConstProp::run(cfg);
+  const analysis::RegState s = flow.state_before(5);
+  ASSERT_TRUE(s.known(30));
+  EXPECT_EQ(s.value(30), 0x11);
+}
+
+TEST(Dataflow, CallsHavocRegisters) {
+  Assembler a(kOrigin);
+  auto helper = a.make_label("helper");
+  a.ldi(r24, 5);   // 0
+  a.rcall(helper); // 1
+  a.nop();         // 2
+  a.jmp_abs(test_stubs().restore_ret);  // 3..4
+  a.bind(helper);
+  a.ret();         // 5 (CFG-level test; the checks would flag this as V3)
+  const Program p = a.assemble();
+
+  const Cfg cfg = build(p);
+  const ConstProp flow = ConstProp::run(cfg);
+  EXPECT_TRUE(flow.state_before(1).known(24));
+  EXPECT_FALSE(flow.state_before(2).known(24));  // the call havocs everything
+}
+
+// --- cross-call rule as a dataflow fact ------------------------------------
+
+TEST(CrossCallDataflow, AcceptsEntryConstantMovedIntoZ) {
+  // The legacy verifier insisted on `ldi r30 / ldi r31` immediately before
+  // the call; the dataflow proves the same fact across intervening moves.
+  const sfi::StubTable stubs = test_stubs();
+  Assembler a(kOrigin);
+  a.call_abs(stubs.save_ret);
+  a.ldi(r24, 0x10);
+  a.ldi(r25, 0x08);            // r25:r24 = 0x0810, inside [jt_base, jt_end)
+  a.movw(r30, r24);            // Z gets the entry via a move, not ldi
+  a.call_abs(stubs.cross_call);
+  a.jmp_abs(stubs.restore_ret);
+  const Program p = a.assemble();
+
+  const auto v = sfi::verify(p.words, p.origin, std::vector<std::uint32_t>{p.origin}, stubs);
+  EXPECT_TRUE(v.ok) << v.reason << " @" << v.at;
+}
+
+TEST(CrossCallDataflow, RejectsUnprovenZ) {
+  const sfi::StubTable stubs = test_stubs();
+  Assembler a(kOrigin);
+  a.call_abs(stubs.save_ret);
+  a.mov(r30, r24);             // runtime value: not provably a jump-table entry
+  a.ldi(r31, 0x08);
+  a.call_abs(stubs.cross_call);
+  a.jmp_abs(stubs.restore_ret);
+  const Program p = a.assemble();
+
+  const auto v = sfi::verify(p.words, p.origin, std::vector<std::uint32_t>{p.origin}, stubs);
+  ASSERT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("preamble"), std::string::npos);
+}
+
+TEST(CrossCallDataflow, RejectsConstantOutsideJumpTable) {
+  const sfi::StubTable stubs = test_stubs();
+  Assembler a(kOrigin);
+  a.call_abs(stubs.save_ret);
+  a.ldi(r30, 0x00);
+  a.ldi(r31, 0x0a);            // 0x0a00 is outside [0x800, 0x840)
+  a.call_abs(stubs.cross_call);
+  a.jmp_abs(stubs.restore_ret);
+  const Program p = a.assemble();
+
+  const auto v = sfi::verify(p.words, p.origin, std::vector<std::uint32_t>{p.origin}, stubs);
+  ASSERT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("outside the jump table"), std::string::npos);
+}
+
+// --- stack-depth analysis --------------------------------------------------
+
+TEST(StackDepth, StraightLineWithInternalCall) {
+  Assembler a(kOrigin);
+  auto f1 = a.make_label("f1");
+  a.push(r18);   // depth 1
+  a.push(r19);   // depth 2
+  a.rcall(f1);   // 2 + (2 return bytes + callee depth 1) = 5
+  a.pop(r19);
+  a.pop(r18);
+  a.ret();
+  a.bind(f1);
+  a.push(r20);
+  a.pop(r20);
+  a.ret();
+  const Program p = a.assemble();
+
+  const Cfg cfg = build(p);
+  const auto stack = analysis::StackAnalysis::run(cfg);
+  EXPECT_EQ(stack.function_depth(0).bytes, 5u);
+  EXPECT_EQ(stack.function_depth(*p.symbol("f1") - p.origin).bytes, 1u);
+}
+
+TEST(StackDepth, DiamondTakesDeepestPath) {
+  Assembler a(kOrigin);
+  auto else_ = a.make_label("else");
+  auto join = a.make_label("join");
+  a.tst(r24);
+  a.breq(else_);
+  a.push(r18);
+  a.push(r19);
+  a.push(r20);   // deep arm: 3 bytes
+  a.pop(r20);
+  a.pop(r19);
+  a.pop(r18);
+  a.rjmp(join);
+  a.bind(else_);
+  a.push(r18);   // shallow arm: 1 byte
+  a.pop(r18);
+  a.bind(join);
+  a.ret();
+  const Program p = a.assemble();
+
+  const auto stack = analysis::StackAnalysis::run(build(p));
+  EXPECT_EQ(stack.function_depth(0).bytes, 3u);
+}
+
+TEST(StackDepth, RecursionIsUnbounded) {
+  Assembler a(kOrigin);
+  auto self = a.make_label("self");
+  a.bind(self);
+  a.push(r18);
+  a.rcall(self);  // direct recursion
+  a.ret();
+  const Program p = a.assemble();
+
+  const auto stack = analysis::StackAnalysis::run(build(p));
+  EXPECT_FALSE(stack.function_depth(0).bounded());
+  EXPECT_EQ(stack.function_depth(0).bytes, analysis::kUnboundedDepth);
+}
+
+TEST(StackDepth, MutualRecursionIsUnbounded) {
+  Assembler a(kOrigin);
+  auto f = a.make_label("f");
+  auto g = a.make_label("g");
+  a.rcall(f);
+  a.ret();
+  a.bind(f);
+  a.rcall(g);
+  a.ret();
+  a.bind(g);
+  a.rcall(f);
+  a.ret();
+  const Program p = a.assemble();
+
+  const auto stack = analysis::StackAnalysis::run(build(p));
+  EXPECT_FALSE(stack.function_depth(0).bounded());
+  EXPECT_FALSE(stack.function_depth(*p.symbol("f") - p.origin).bounded());
+  EXPECT_FALSE(stack.function_depth(*p.symbol("g") - p.origin).bounded());
+}
+
+TEST(StackDepth, LoopWithNetPushGainIsUnbounded) {
+  Assembler a(kOrigin);
+  auto loop = a.make_label("loop");
+  a.bind(loop);
+  a.push(r18);   // each iteration grows the stack by one byte
+  a.rjmp(loop);
+  const Program p = a.assemble();
+
+  const auto stack = analysis::StackAnalysis::run(build(p));
+  EXPECT_FALSE(stack.function_depth(0).bounded());
+}
+
+TEST(StackDepth, StubCallsCountOnlyReturnAddress) {
+  const sfi::StubTable stubs = test_stubs();
+  Assembler a(kOrigin);
+  a.call_abs(stubs.save_ret);
+  a.jmp_abs(stubs.restore_ret);
+  const Program p = a.assemble();
+
+  const auto stack = analysis::StackAnalysis::run(build(p));
+  EXPECT_EQ(stack.function_depth(0).bytes, 2u);
+}
+
+// --- check layer: V8 offsets and lint warnings -----------------------------
+
+TEST(Checks, V8FailureOffsetsAreModuleRelative) {
+  const sfi::StubTable stubs = test_stubs();
+  Assembler a(kOrigin);
+  a.call_abs(stubs.save_ret);    // 0..1
+  a.jmp_abs(stubs.restore_ret);  // 2..3
+  const Program p = a.assemble();
+
+  // Entry into the middle of the two-word call: offset must be
+  // module-relative (1), not the absolute address (kOrigin + 1).
+  auto v = sfi::verify(p.words, p.origin,
+                       std::vector<std::uint32_t>{kOrigin, kOrigin + 1}, stubs);
+  ASSERT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("instruction boundary (V8)"), std::string::npos);
+  EXPECT_EQ(v.at, 1u);
+
+  // Entry below the module: reported at offset 0 (no in-module position).
+  v = sfi::verify(p.words, p.origin, std::vector<std::uint32_t>{kOrigin - 4}, stubs);
+  ASSERT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("V8"), std::string::npos);
+  EXPECT_EQ(v.at, 0u);
+}
+
+TEST(Checks, V8MissingProloguePointsAtEntry) {
+  const sfi::StubTable stubs = test_stubs();
+  Assembler a(kOrigin);
+  a.nop();                       // 0: not `call save_ret`
+  a.nop();                       // 1
+  a.jmp_abs(stubs.restore_ret);  // 2..3
+  const Program p = a.assemble();
+
+  const auto v = sfi::verify(p.words, p.origin, std::vector<std::uint32_t>{kOrigin + 1}, stubs);
+  ASSERT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("save_ret prologue (V8)"), std::string::npos);
+  EXPECT_EQ(v.at, 1u);
+}
+
+TEST(Checks, LintWarnsOnUnreachableCode) {
+  const sfi::StubTable stubs = test_stubs();
+  Assembler a(kOrigin);
+  auto dead = a.make_label("dead");
+  a.call_abs(stubs.save_ret);
+  a.jmp_abs(stubs.restore_ret);
+  a.bind(dead);
+  a.ldi(r19, 1);  // unreachable from the entry
+  a.ret();        // gadget in the dead region: still a V3 violation
+  const Program p = a.assemble();
+
+  const Cfg cfg = build(p);
+  const ConstProp flow = ConstProp::run(cfg);
+  const auto stack = analysis::StackAnalysis::run(cfg);
+  const auto findings =
+      analysis::lint_module(cfg, stubs, flow, stack, analysis::LintOptions{});
+
+  const auto l1 = std::find_if(findings.begin(), findings.end(),
+                               [](const analysis::Finding& f) { return f.rule == "L1"; });
+  ASSERT_NE(l1, findings.end());
+  EXPECT_FALSE(l1->violation);
+  EXPECT_NE(l1->message.find("unreachable"), std::string::npos);
+  const auto v3 = std::find_if(findings.begin(), findings.end(),
+                               [](const analysis::Finding& f) { return f.rule == "V3"; });
+  ASSERT_NE(v3, findings.end());
+  EXPECT_TRUE(v3->violation);
+}
+
+TEST(Checks, LintWarnsOnStackDepthOverCapacity) {
+  const sfi::StubTable stubs = test_stubs();
+  Assembler a(kOrigin);
+  a.call_abs(stubs.save_ret);
+  a.push(r18);
+  a.push(r19);
+  a.pop(r19);
+  a.pop(r18);
+  a.jmp_abs(stubs.restore_ret);
+  const Program p = a.assemble();
+
+  const Cfg cfg = build(p);
+  const ConstProp flow = ConstProp::run(cfg);
+  const auto stack = analysis::StackAnalysis::run(cfg);
+  analysis::LintOptions opt;
+  opt.stack_capacity = 1;  // worst case here is 2 bytes: below the pushes
+  const auto findings = analysis::lint_module(cfg, stubs, flow, stack, opt);
+
+  const auto l2 = std::find_if(findings.begin(), findings.end(),
+                               [](const analysis::Finding& f) { return f.rule == "L2"; });
+  ASSERT_NE(l2, findings.end());
+  EXPECT_FALSE(l2->violation);
+  EXPECT_NE(l2->message.find("stack"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,404 @@
+// Equivalence suite for the CFG-based verifier.
+//
+// `reference_verify` below is a verbatim copy of the original two-pass
+// linear verifier (the implementation sfi::verify() replaced). The suite
+// asserts the refactor is never weaker:
+//   * every rewriter output is accepted by both implementations,
+//   * every binary the reference rejects is also rejected by the new
+//     verifier (over a large corpus of single-bit-flip mutations),
+//   * every hand-written tamper case from the original hardening corpus
+//     is still rejected.
+// The new verifier is allowed to be stricter; the one sanctioned
+// relaxation (cross-call entry constants tracked across intervening
+// moves) is covered separately in analysis_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "asm/builder.h"
+#include "avr/decoder.h"
+#include "avr/encoder.h"
+#include "avr/ports.h"
+#include "runtime/testbed.h"
+#include "sfi/rewriter.h"
+#include "sfi/verifier.h"
+
+namespace {
+
+using namespace harbor;
+using namespace harbor::assembler;
+using namespace harbor::runtime;
+using avr::Instr;
+using avr::Mnemonic;
+namespace ports = avr::ports;
+
+// --- reference implementation (frozen copy of the legacy verifier) ---------
+
+bool ref_forbidden_port(std::uint8_t port) {
+  return port <= ports::kFaultAddrHi || port == 0x3d || port == 0x3e;
+}
+
+bool ref_is_skip(Mnemonic m) {
+  return m == Mnemonic::Cpse || m == Mnemonic::Sbrc || m == Mnemonic::Sbrs ||
+         m == Mnemonic::Sbic || m == Mnemonic::Sbis;
+}
+
+sfi::VerifyResult reference_verify(std::span<const std::uint16_t> words,
+                                   std::uint32_t origin,
+                                   std::span<const std::uint32_t> entries,
+                                   const sfi::StubTable& stubs) {
+  const std::uint32_t n = static_cast<std::uint32_t>(words.size());
+  const std::uint32_t end = origin + n;
+  std::vector<bool> boundary(n, false);
+
+  Instr prev1, prev2;
+  for (std::uint32_t off = 0; off < n;) {
+    boundary[off] = true;
+    const Instr i = avr::decode(words[off], off + 1 < n ? words[off + 1] : 0);
+    const std::uint32_t at = off;
+    if (i.op == Mnemonic::Invalid)
+      return sfi::VerifyResult::failure(at, "undecodable opcode (V1)");
+    if (avr::is_data_store(i.op))
+      return sfi::VerifyResult::failure(at, "raw data store (V2)");
+    if (i.op == Mnemonic::Spm)
+      return sfi::VerifyResult::failure(at, "spm self-programming (V2)");
+    if (i.op == Mnemonic::Ret || i.op == Mnemonic::Reti)
+      return sfi::VerifyResult::failure(at, "raw return (V3)");
+    if (i.op == Mnemonic::Icall || i.op == Mnemonic::Ijmp)
+      return sfi::VerifyResult::failure(at, "raw computed transfer (V3)");
+    if (i.op == Mnemonic::Out && ref_forbidden_port(i.a))
+      return sfi::VerifyResult::failure(at, "write to a protected IO port (V6)");
+    if ((i.op == Mnemonic::Sbi || i.op == Mnemonic::Cbi) && ref_forbidden_port(i.a))
+      return sfi::VerifyResult::failure(at, "bit write to a protected IO port (V6)");
+
+    if (i.op == Mnemonic::Call) {
+      const std::uint32_t t = i.k32;
+      const bool internal = t >= origin && t < end;
+      const bool stub = stubs.is_store_stub(t) || t == stubs.save_ret ||
+                        t == stubs.icall_check || t == stubs.cross_call;
+      if (!internal && !stub)
+        return sfi::VerifyResult::failure(at, "call to a foreign address (V4)");
+      if (t == stubs.cross_call) {
+        if (prev2.op != Mnemonic::Ldi || prev2.d != 30 || prev1.op != Mnemonic::Ldi ||
+            prev1.d != 31)
+          return sfi::VerifyResult::failure(at, "cross call without Z preamble (V4)");
+        const std::uint32_t entry = static_cast<std::uint32_t>(prev2.imm) |
+                                    (static_cast<std::uint32_t>(prev1.imm) << 8);
+        if (!stubs.in_jump_table(entry))
+          return sfi::VerifyResult::failure(at, "cross call outside the jump table (V4)");
+      }
+    }
+    if (i.op == Mnemonic::Jmp) {
+      const std::uint32_t t = i.k32;
+      const bool internal = t >= origin && t < end;
+      if (!internal && t != stubs.restore_ret && t != stubs.ijmp_check)
+        return sfi::VerifyResult::failure(at, "jmp to a foreign address (V5)");
+    }
+    if (i.op == Mnemonic::Rjmp || i.op == Mnemonic::Rcall) {
+      const std::int64_t t = static_cast<std::int64_t>(origin) + off + 1 + i.k;
+      if (t < origin || t >= end)
+        return sfi::VerifyResult::failure(at, "relative transfer leaves the module (V5)");
+    }
+    if (i.op == Mnemonic::Brbs || i.op == Mnemonic::Brbc) {
+      const std::int64_t t = static_cast<std::int64_t>(origin) + off + 1 + i.k;
+      if (t < origin || t >= end)
+        return sfi::VerifyResult::failure(at, "branch leaves the module (V5)");
+    }
+    if (ref_is_skip(i.op)) {
+      const std::uint32_t next = off + 1;
+      if (next >= n)
+        return sfi::VerifyResult::failure(at, "skip at the end of the module (V7)");
+      const Instr ni = avr::decode(words[next], next + 1 < n ? words[next + 1] : 0);
+      if (ni.op == Mnemonic::Invalid || ni.words() != 1)
+        return sfi::VerifyResult::failure(at, "skip over a multi-word instruction (V7)");
+    }
+    prev2 = prev1;
+    prev1 = i;
+    off += static_cast<std::uint32_t>(i.words());
+  }
+
+  for (std::uint32_t off = 0; off < n;) {
+    const Instr i = avr::decode(words[off], off + 1 < n ? words[off + 1] : 0);
+    std::int64_t t = -1;
+    if (i.op == Mnemonic::Rjmp || i.op == Mnemonic::Rcall || i.op == Mnemonic::Brbs ||
+        i.op == Mnemonic::Brbc)
+      t = static_cast<std::int64_t>(off) + 1 + i.k;
+    if ((i.op == Mnemonic::Jmp || i.op == Mnemonic::Call) && i.k32 >= origin && i.k32 < end)
+      t = static_cast<std::int64_t>(i.k32) - origin;
+    if (t >= 0) {
+      if (t >= n || !boundary[static_cast<std::uint32_t>(t)])
+        return sfi::VerifyResult::failure(off, "transfer into the middle of an instruction (V1)");
+    }
+    off += static_cast<std::uint32_t>(i.words());
+  }
+
+  for (const std::uint32_t e : entries) {
+    if (e < origin || e >= end || !boundary[e - origin])
+      return sfi::VerifyResult::failure(e, "entry is not an instruction boundary (V8)");
+    const std::uint32_t off = e - origin;
+    const Instr i = avr::decode(words[off], off + 1 < n ? words[off + 1] : 0);
+    if (i.op != Mnemonic::Call || i.k32 != stubs.save_ret)
+      return sfi::VerifyResult::failure(off, "entry without save_ret prologue (V8)");
+  }
+
+  return {};
+}
+
+// --- corpus generation (mirrors the property-test module shape) ------------
+
+std::vector<std::uint16_t> random_module(std::mt19937& rng, std::uint32_t* helper_off) {
+  Assembler a;
+  auto helper = a.make_label("helper");
+  a.movw(r26, r24);
+  a.ldi(r18, static_cast<std::uint8_t>(rng() % 256));
+  a.ldi(r19, static_cast<std::uint8_t>(rng() % 256));
+  a.clr(r20);
+  a.clr(r21);
+  const int ops = 8 + static_cast<int>(rng() % 16);
+  std::vector<Label> pending;
+  for (int i = 0; i < ops; ++i) {
+    if (!pending.empty() && rng() % 2) {
+      a.bind(pending.back());
+      pending.pop_back();
+    }
+    switch (rng() % 8) {
+      case 0: a.add(r18, r19); break;
+      case 1: a.eor(r19, r18); break;
+      case 2: a.inc(r20); break;
+      case 3: a.lsr(r18); break;
+      case 4: a.st_x_inc(r18); break;
+      case 5: a.rcall(helper); break;
+      case 6: {
+        auto l = a.make_label();
+        a.tst(r19);
+        a.brne(l);
+        a.inc(r21);
+        pending.push_back(l);
+        break;
+      }
+      case 7: {
+        a.ldi(r22, static_cast<std::uint8_t>(1 + rng() % 7));
+        a.sbrc(r22, 0);
+        a.inc(r21);
+        break;
+      }
+    }
+  }
+  while (!pending.empty()) {
+    a.bind(pending.back());
+    pending.pop_back();
+  }
+  a.mov(r24, r20);
+  a.mov(r25, r21);
+  a.ret();
+  a.bind(helper);
+  a.add(r20, r18);
+  a.ret();
+  const Program p = a.assemble();
+  *helper_off = *p.symbol("helper");
+  return p.words;
+}
+
+struct Rewritten {
+  sfi::RewriteResult res;
+  sfi::StubTable stubs;
+  std::vector<std::uint32_t> entries;
+};
+
+Rewritten rewrite_random(Testbed& tb, std::mt19937& rng) {
+  std::uint32_t helper = 0;
+  const auto words = random_module(rng, &helper);
+  sfi::RewriteInput in;
+  in.words = words;
+  in.entries = {0, helper};
+  Rewritten r;
+  r.stubs = sfi::StubTable::from_runtime(tb.runtime());
+  r.res = sfi::rewrite(in, r.stubs, tb.module_area());
+  r.entries = {r.res.map_offset(0), r.res.map_offset(helper)};
+  return r;
+}
+
+// --- tests -----------------------------------------------------------------
+
+TEST(VerifierEquivalence, BothAcceptEveryRewriterOutput) {
+  std::mt19937 rng(0x5eed);
+  Testbed tb(Mode::Sfi);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Rewritten r = rewrite_random(tb, rng);
+    const auto ref = reference_verify(r.res.program.words, r.res.program.origin,
+                                      r.entries, r.stubs);
+    const auto now = sfi::verify(r.res.program.words, r.res.program.origin,
+                                 r.entries, r.stubs);
+    ASSERT_TRUE(ref.ok) << "trial " << trial << ": " << ref.reason << " @" << ref.at;
+    ASSERT_TRUE(now.ok) << "trial " << trial << ": " << now.reason << " @" << now.at;
+  }
+}
+
+TEST(VerifierEquivalence, NeverWeakerUnderBitFlips) {
+  // Over a large mutation corpus: everything the legacy verifier rejects,
+  // the CFG-based verifier must also reject (same first-violation offset
+  // and reason whenever the reference rejects).
+  std::mt19937 rng(0xf1ee7);
+  Testbed tb(Mode::Sfi);
+  int ref_rejects = 0, stricter = 0;
+  for (int m = 0; m < 4; ++m) {
+    const Rewritten r = rewrite_random(tb, rng);
+    for (int trial = 0; trial < 150; ++trial) {
+      auto w = r.res.program.words;
+      const std::size_t idx = rng() % w.size();
+      w[idx] ^= static_cast<std::uint16_t>(1u << (rng() % 16));
+      const auto ref = reference_verify(w, r.res.program.origin, r.entries, r.stubs);
+      const auto now = sfi::verify(w, r.res.program.origin, r.entries, r.stubs);
+      if (!ref.ok) {
+        ++ref_rejects;
+        ASSERT_FALSE(now.ok) << "weaker than reference on mutation " << m << "/" << trial
+                             << ": reference rejected with \"" << ref.reason << "\" @"
+                             << ref.at;
+        EXPECT_EQ(now.at, ref.at) << "mutation " << m << "/" << trial;
+        EXPECT_EQ(now.reason, ref.reason) << "mutation " << m << "/" << trial;
+      } else if (!now.ok) {
+        ++stricter;  // allowed: the new verifier may only be stricter
+      }
+    }
+  }
+  EXPECT_GT(ref_rejects, 100);  // the corpus actually exercised rejections
+  SUCCEED() << ref_rejects << " reference rejections, " << stricter
+            << " strictly-new rejections";
+}
+
+class EquivalenceTamper : public ::testing::Test {
+ protected:
+  EquivalenceTamper() : tb(Mode::Sfi), stubs(sfi::StubTable::from_runtime(tb.runtime())) {
+    Assembler raw;
+    raw.ldi(r24, 16);
+    raw.ldi(r25, 0);
+    raw.call_abs(tb.layout().jt_entry(ports::kTrustedDomain, kernel_slots::kMalloc));
+    raw.movw(r26, r24);
+    raw.ldi(r18, 1);
+    raw.st_x(r18);
+    raw.ret();
+    const Program p = raw.assemble();
+    sfi::RewriteInput in;
+    in.words = p.words;
+    in.entries = {0};
+    res = sfi::rewrite(in, stubs, tb.module_area());
+    entries = {res.map_offset(0)};
+  }
+
+  /// Both implementations must reject, for the same reason at the same
+  /// offset (none of these cases involves the sanctioned V4 relaxation).
+  void expect_both_reject(const std::vector<std::uint16_t>& w) {
+    const auto ref = reference_verify(w, res.program.origin, entries, stubs);
+    const auto now = sfi::verify(w, res.program.origin, entries, stubs);
+    ASSERT_FALSE(ref.ok);
+    ASSERT_FALSE(now.ok) << "reference rejected (\"" << ref.reason << "\" @" << ref.at
+                         << ") but the CFG verifier accepted";
+    EXPECT_EQ(now.reason, ref.reason);
+    EXPECT_EQ(now.at, ref.at);
+  }
+
+  Testbed tb;
+  sfi::StubTable stubs;
+  sfi::RewriteResult res;
+  std::vector<std::uint32_t> entries;
+};
+
+TEST_F(EquivalenceTamper, RawStoreInsertion) {
+  auto w = res.program.words;
+  w[w.size() - 2] = avr::encode(Instr{.op = Mnemonic::StX, .d = 5}).word[0];
+  expect_both_reject(w);
+}
+
+TEST_F(EquivalenceTamper, RawRet) {
+  auto w = res.program.words;
+  w[w.size() - 1] = avr::encode(Instr{.op = Mnemonic::Ret}).word[0];
+  expect_both_reject(w);
+}
+
+TEST_F(EquivalenceTamper, RawIcallAndIjmp) {
+  auto w = res.program.words;
+  w[w.size() - 1] = avr::encode(Instr{.op = Mnemonic::Icall}).word[0];
+  expect_both_reject(w);
+  w[w.size() - 1] = avr::encode(Instr{.op = Mnemonic::Ijmp}).word[0];
+  expect_both_reject(w);
+}
+
+TEST_F(EquivalenceTamper, CallIntoKernelBody) {
+  auto w = res.program.words;
+  const std::uint32_t target = tb.runtime().symbol("ker_malloc");
+  bool patched = false;
+  for (std::size_t i = 0; i + 1 < w.size(); ++i) {
+    const Instr ins = avr::decode(w[i], w[i + 1]);
+    if (ins.op == Mnemonic::Call) {
+      const auto e = avr::encode(Instr{.op = Mnemonic::Call, .k32 = target});
+      w[i] = e.word[0];
+      w[i + 1] = e.word[1];
+      patched = true;
+      break;
+    }
+    i += static_cast<std::size_t>(ins.op == Mnemonic::Invalid ? 0 : ins.words() - 1);
+  }
+  ASSERT_TRUE(patched);
+  expect_both_reject(w);
+}
+
+TEST_F(EquivalenceTamper, SpmAndProtectedPortWrites) {
+  auto w = res.program.words;
+  w[w.size() - 1] = avr::encode(Instr{.op = Mnemonic::Spm}).word[0];
+  expect_both_reject(w);
+  w[w.size() - 1] =
+      avr::encode(Instr{.op = Mnemonic::Out, .d = 16, .a = ports::kUmpuCtl}).word[0];
+  expect_both_reject(w);
+  w[w.size() - 1] =
+      avr::encode(Instr{.op = Mnemonic::Out, .d = 16, .a = ports::kSpl}).word[0];
+  expect_both_reject(w);
+  w[w.size() - 1] =
+      avr::encode(Instr{.op = Mnemonic::Out, .d = 16, .a = ports::kSph}).word[0];
+  expect_both_reject(w);
+}
+
+TEST_F(EquivalenceTamper, EntryWithoutSaveRetPrologue) {
+  auto w = res.program.words;
+  w[0] = avr::encode(Instr{.op = Mnemonic::Nop}).word[0];
+  w[1] = w[0];
+  expect_both_reject(w);
+}
+
+TEST_F(EquivalenceTamper, BranchOutOfModule) {
+  auto w = res.program.words;
+  w[w.size() - 1] = avr::encode(Instr{.op = Mnemonic::Rjmp, .k = 100}).word[0];
+  expect_both_reject(w);
+}
+
+TEST_F(EquivalenceTamper, SkipOverTwoWordInstruction) {
+  std::vector<std::uint16_t> w;
+  const auto save = avr::encode(Instr{.op = Mnemonic::Call, .k32 = stubs.save_ret});
+  w.push_back(save.word[0]);
+  w.push_back(save.word[1]);
+  w.push_back(avr::encode(Instr{.op = Mnemonic::Sbrc, .d = 1, .b = 0}).word[0]);
+  w.push_back(save.word[0]);
+  w.push_back(save.word[1]);
+  const auto jr = avr::encode(Instr{.op = Mnemonic::Jmp, .k32 = stubs.restore_ret});
+  w.push_back(jr.word[0]);
+  w.push_back(jr.word[1]);
+  entries = {res.program.origin};
+  expect_both_reject(w);
+}
+
+TEST_F(EquivalenceTamper, BareCrossCall) {
+  std::vector<std::uint16_t> w;
+  const auto save = avr::encode(Instr{.op = Mnemonic::Call, .k32 = stubs.save_ret});
+  w.push_back(save.word[0]);
+  w.push_back(save.word[1]);
+  const auto cc = avr::encode(Instr{.op = Mnemonic::Call, .k32 = stubs.cross_call});
+  w.push_back(cc.word[0]);
+  w.push_back(cc.word[1]);
+  const auto jr = avr::encode(Instr{.op = Mnemonic::Jmp, .k32 = stubs.restore_ret});
+  w.push_back(jr.word[0]);
+  w.push_back(jr.word[1]);
+  entries = {res.program.origin};
+  expect_both_reject(w);
+}
+
+}  // namespace
