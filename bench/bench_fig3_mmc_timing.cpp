@@ -10,6 +10,7 @@
 
 #include "asm/builder.h"
 #include "avr/vcd.h"
+#include "bench_util.h"
 #include "memmap/memory_map.h"
 #include "runtime/testbed.h"
 
@@ -111,9 +112,10 @@ int main() {
       vcd.sample(cpu2.cycle_count() - c0v, sig_stall, stalls != prev_stalls);
       prev_stalls = stalls;
     }
-    std::ofstream out("fig3_mmc_timing.vcd");
+    const auto vcd_path = harbor::bench::out_dir() / "fig3_mmc_timing.vcd";
+    std::ofstream out(vcd_path);
     out << vcd.render("umpu");
-    std::printf("VCD waveform written to fig3_mmc_timing.vcd (open in GTKWave)\n\n");
+    std::printf("VCD waveform written to %s (open in GTKWave)\n\n", vcd_path.string().c_str());
   }
 
   std::printf("MMC stats for this run: checks=%llu stalls=%llu denies=%llu\n",

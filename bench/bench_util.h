@@ -2,8 +2,11 @@
 // Shared helpers for the table-reproduction benchmarks: paper-vs-measured
 // table rendering and PC-range cycle attribution on the simulated core.
 
+#include <cctype>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -18,6 +21,68 @@ struct Row {
   std::vector<double> values;
 };
 
+/// Directory for benchmark artifacts (VCDs, BENCH_*.json). The build defines
+/// HARBOR_BENCH_OUT_DIR under the build tree so source checkouts stay clean;
+/// ad-hoc compiles fall back to the working directory.
+inline std::filesystem::path out_dir() {
+#ifdef HARBOR_BENCH_OUT_DIR
+  const std::filesystem::path dir(HARBOR_BENCH_OUT_DIR);
+#else
+  const std::filesystem::path dir(".");
+#endif
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+/// "Table 3: per-instr cost" -> "table_3" (the part before ':', slugged).
+inline std::string table_slug(const std::string& title) {
+  std::string head = title.substr(0, title.find(':'));
+  std::string slug;
+  for (const char c : head) {
+    if (std::isalnum(static_cast<unsigned char>(c)))
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    else if (!slug.empty() && slug.back() != '_')
+      slug += '_';
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug.empty() ? "table" : slug;
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Machine-readable twin of print_table: BENCH_<slug>.json in out_dir().
+/// Columns whose header mentions "(paper)" are the paper-reference values;
+/// the schema keeps columns positional so consumers can diff paper vs meas.
+inline void write_table_json(const std::string& title, const std::vector<std::string>& columns,
+                             const std::vector<Row>& rows) {
+  const std::filesystem::path path = out_dir() / ("BENCH_" + table_slug(title) + ".json");
+  std::ofstream out(path);
+  if (!out) return;
+  out << "{\n  \"name\": \"" << json_escape(table_slug(title)) << "\",\n";
+  out << "  \"title\": \"" << json_escape(title) << "\",\n  \"columns\": [";
+  for (std::size_t i = 0; i < columns.size(); ++i)
+    out << (i ? ", " : "") << '"' << json_escape(columns[i]) << '"';
+  out << "],\n  \"rows\": [\n";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    out << "    {\"label\": \"" << json_escape(rows[r].label) << "\", \"values\": [";
+    for (std::size_t i = 0; i < rows[r].values.size(); ++i) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%g", rows[r].values[i]);
+      out << (i ? ", " : "") << buf;
+    }
+    out << "]}" << (r + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
 inline void print_table(const std::string& title, const std::vector<std::string>& columns,
                         const std::vector<Row>& rows) {
   std::printf("\n=== %s ===\n", title.c_str());
@@ -29,6 +94,7 @@ inline void print_table(const std::string& title, const std::vector<std::string>
     for (const double v : r.values) std::printf("%16.0f", v);
     std::printf("\n");
   }
+  write_table_json(title, columns, rows);
 }
 
 /// Runs the device while attributing cycles to named PC ranges (word

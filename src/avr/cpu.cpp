@@ -22,6 +22,14 @@ const char* fault_kind_name(FaultKind k) {
   return "?";
 }
 
+std::optional<FaultKind> fault_kind_from_name(std::string_view name) {
+  for (int i = 0; i < kFaultKindCount; ++i) {
+    const FaultKind k = static_cast<FaultKind>(i);
+    if (name == fault_kind_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
 Cpu::Cpu(Flash& flash, DataSpace& ds) : flash_(flash), ds_(ds) {
   // SP and SREG live at the architecturally defined IO ports.
   auto& io = ds_.io();

@@ -44,6 +44,8 @@ class Cpu {
 
   /// Install the hook sink (UMPU fabric / tracer). Pass nullptr to detach.
   void set_hooks(CpuHooks* hooks) { hooks_ = hooks; }
+  /// Currently installed sink (so decorators can wrap and later restore it).
+  [[nodiscard]] CpuHooks* hooks() const { return hooks_; }
 
   /// Execute one instruction (or service a latched fault/halt).
   StepResult step();

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 
 namespace harbor::avr {
 
@@ -24,6 +25,12 @@ enum class FaultKind : std::uint8_t {
 };
 
 const char* fault_kind_name(FaultKind k);
+
+/// Number of FaultKind values (None included) — for iteration/round-trips.
+inline constexpr int kFaultKindCount = static_cast<int>(FaultKind::IllegalInstruction) + 1;
+
+/// Inverse of fault_kind_name. Returns nullopt for unknown names.
+std::optional<FaultKind> fault_kind_from_name(std::string_view name);
 
 /// A recorded protection fault.
 struct FaultInfo {

@@ -6,6 +6,21 @@ namespace harbor {
 
 System::System(const SystemConfig& cfg) : kernel_(cfg.mode, cfg.layout) {}
 
+trace::Tracer& System::enable_tracing(trace::TracerOptions opts) {
+  disable_tracing();
+  tracer_ = std::make_unique<trace::Tracer>(opts);
+  tracer_->attach(device().cpu(), fabric());
+  kernel_.set_tracer(tracer_.get());
+  return *tracer_;
+}
+
+void System::disable_tracing() {
+  if (!tracer_) return;
+  kernel_.set_tracer(nullptr);
+  tracer_->detach();
+  tracer_.reset();
+}
+
 std::vector<sos::DispatchRecord> System::run_pending(int max_dispatches) {
   auto log = kernel_.run_pending(max_dispatches);
   for (const auto& rec : log) {

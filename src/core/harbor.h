@@ -16,11 +16,13 @@
 // modules into protection domains and dispatches messages to them.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "sos/kernel.h"
 #include "sos/modules.h"
+#include "trace/tracer.h"
 
 namespace harbor {
 
@@ -75,6 +77,15 @@ class System {
   /// from the live guest memory map (the paper's Fig. 2 view).
   [[nodiscard]] std::string domain_map();
 
+  // --- observability (harbor::trace) ---
+  /// Attach a Tracer across the whole stack: the core's hook chain (wrapping
+  /// the UMPU fabric when present) and the SOS kernel's dispatch path. The
+  /// returned tracer lives as long as the System. Calling again replaces the
+  /// previous tracer (its ring and metrics are discarded).
+  trace::Tracer& enable_tracing(trace::TracerOptions opts = {});
+  void disable_tracing();
+  [[nodiscard]] trace::Tracer* tracer() { return tracer_.get(); }
+
   // --- escape hatches into the stack ---
   [[nodiscard]] sos::Kernel& kernel() { return kernel_; }
   [[nodiscard]] runtime::Testbed& driver() { return kernel_.sys(); }
@@ -84,6 +95,7 @@ class System {
 
  private:
   sos::Kernel kernel_;
+  std::unique_ptr<trace::Tracer> tracer_;
   std::optional<FaultReport> last_fault_;
 };
 

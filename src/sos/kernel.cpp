@@ -161,6 +161,7 @@ memmap::DomainId Kernel::load(const ModuleImage& image,
 
   modules_.emplace(domain, m);
   images_[domain] = image;
+  if (tracer_) tracer_->sos_load(domain, m.base);
   post(domain, msg::kInit, m.state_ptr);
   return domain;
 }
@@ -196,6 +197,7 @@ void Kernel::unload(memmap::DomainId d) {
   dispatch_tramp_.erase(std::make_pair(d, ModuleImage::kHandlerSlot));
   modules_.erase(it);
   images_.erase(d);
+  if (tracer_) tracer_->sos_unload(d);
 }
 
 memmap::DomainId Kernel::restart(memmap::DomainId d, const ModuleImage& image) {
@@ -263,8 +265,11 @@ std::vector<DispatchRecord> Kernel::run_pending(int max_dispatches) {
     args.r24 = pm.msg;
     args.r22 = pm.arg;
     args.r20 = m.state_ptr;
+    if (tracer_) tracer_->sos_dispatch_begin(pm.dst, pm.msg);
     DispatchRecord rec{pm.dst, pm.msg, pm.arg,
                        tb_.run_trampoline(tit->second, args, avr::ports::kTrustedDomain)};
+    if (tracer_)
+      tracer_->sos_dispatch_end(pm.dst, pm.msg, rec.result.cycles, rec.result.faulted);
     log.push_back(rec);
 
     if (rec.result.faulted && auto_restart_) {

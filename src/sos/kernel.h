@@ -18,6 +18,7 @@
 
 #include "runtime/testbed.h"
 #include "sos/module.h"
+#include "trace/tracer.h"
 
 namespace harbor::sos {
 
@@ -103,11 +104,18 @@ class Kernel {
   [[nodiscard]] runtime::Testbed& sys() { return tb_; }
   [[nodiscard]] runtime::Mode mode() const { return tb_.mode(); }
 
+  /// Observability: when a tracer is registered, module lifecycle and
+  /// message dispatch are recorded as SOS events (see DESIGN.md §8). The
+  /// kernel does not own the tracer; pass nullptr to stop recording.
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
+  [[nodiscard]] trace::Tracer* tracer() const { return tracer_; }
+
  private:
   void install_syscall_services();
   void fill_default_jump_tables();
 
   runtime::Testbed tb_;
+  trace::Tracer* tracer_ = nullptr;
   std::map<memmap::DomainId, LoadedModule> modules_;
   std::map<memmap::DomainId, ModuleImage> images_;  ///< for auto restart
   std::map<memmap::DomainId, int> restarts_;

@@ -1,0 +1,80 @@
+#pragma once
+// Event taxonomy for harbor::trace — one fixed-size POD record per observable
+// action of the protection machinery (see DESIGN.md §8). Events are produced
+// by the TracingHooks decorator (src/trace/tracer.h) and by host-side
+// instrumentation in the SOS kernel, and consumed by the exporters.
+
+#include <cstdint>
+
+#include "avr/hooks.h"
+
+namespace harbor::trace {
+
+/// What happened. Grouped by producing unit; the exporters key off this.
+enum class EventKind : std::uint8_t {
+  // Core.
+  InstrRetire,       ///< one instruction retired (optional, high volume)
+  Fault,             ///< protection fault raised (aux = FaultKind)
+  // Memory map checker.
+  MmcGrant,          ///< checked store granted (addr = data address)
+  MmcDeny,           ///< checked store denied
+  // Run-time stack protection.
+  StackBoundDeny,    ///< store above stack_bound rejected
+  StackBoundUpdate,  ///< stack_bound reprogrammed (value = new bound)
+  // Safe stack unit.
+  SsPush,            ///< return-address byte redirected to the safe stack
+  SsPop,             ///< return-address byte restored from the safe stack
+  // Cross-domain unit / domain tracker.
+  CrossCall,         ///< cross-domain call (domain -> domain_to)
+  CrossRet,          ///< cross-domain return (value = callee cycles)
+  IrqFrame,          ///< interrupt entry frame pushed
+  JumpCheck,         ///< computed/direct jump confined to the domain
+  FetchDeny,         ///< instruction fetch outside the domain's code
+  // SOS kernel (host-side instrumentation).
+  SosLoad,           ///< module loaded into a domain
+  SosUnload,         ///< module unloaded / domain reclaimed
+  SosDispatchBegin,  ///< message handler dispatch entered (aux = msg id)
+  SosDispatchEnd,    ///< dispatch returned (value = cycles, aux8 = faulted)
+};
+
+const char* event_kind_name(EventKind k);
+
+/// One trace record. 24 bytes, trivially copyable; the ring stores these by
+/// value so recording never allocates.
+struct Event {
+  EventKind kind = EventKind::InstrRetire;
+  std::uint8_t domain = 0;     ///< active domain when the event fired
+  std::uint8_t domain_to = 0;  ///< callee (calls) / resumed (returns) domain
+  std::uint8_t aux = 0;        ///< FaultKind / message id / written value
+  std::uint32_t pc = 0;        ///< word address of the executing instruction
+  std::uint16_t addr = 0;      ///< data address or control-transfer target
+  std::uint32_t value = 0;     ///< bound / latency in cycles / argument
+  std::uint64_t cycle = 0;     ///< core cycle count at the event
+};
+
+static_assert(sizeof(Event) <= 24, "Event must stay small: the ring is bounded by bytes");
+
+/// Fault <-> event conversion (round-trips every FaultInfo field).
+inline Event fault_event(const avr::FaultInfo& f, std::uint64_t cycle) {
+  Event e;
+  e.kind = EventKind::Fault;
+  e.domain = f.domain;
+  e.aux = static_cast<std::uint8_t>(f.kind);
+  e.pc = f.pc;
+  e.addr = f.addr;
+  e.value = f.value;
+  e.cycle = cycle;
+  return e;
+}
+
+inline avr::FaultInfo fault_info_of(const Event& e) {
+  avr::FaultInfo f;
+  f.kind = static_cast<avr::FaultKind>(e.aux);
+  f.pc = e.pc;
+  f.addr = e.addr;
+  f.value = static_cast<std::uint8_t>(e.value);
+  f.domain = e.domain;
+  return f;
+}
+
+}  // namespace harbor::trace

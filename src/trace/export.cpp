@@ -1,0 +1,213 @@
+#include "trace/export.h"
+
+#include <cstdio>
+#include <set>
+
+#include "asm/disasm.h"
+#include "avr/decoder.h"
+#include "avr/vcd.h"
+#include "trace/json.h"
+
+namespace harbor::trace {
+
+namespace {
+
+constexpr int kPid = 1;           ///< one simulated device = one process
+constexpr int kKernelTid = 100;   ///< SOS kernel dispatch track
+
+std::string domain_track_name(int d) {
+  std::string n = "domain " + std::to_string(d);
+  if (d == avr::ports::kTrustedDomain) n += " (trusted/kernel)";
+  return n;
+}
+
+void meta_event(std::string& out, json::Joiner& events, int tid, const std::string& name) {
+  events.item();
+  out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" + std::to_string(kPid) +
+         ",\"tid\":" + std::to_string(tid) + ",\"args\":{\"name\":\"" + json::escape(name) +
+         "\"}}";
+}
+
+/// Opens one trace-event object with the shared fields filled in.
+void begin_event(std::string& out, json::Joiner& events, const char* ph, int tid,
+                 std::uint64_t ts, const std::string& name) {
+  events.item();
+  out += "{\"ph\":\"";
+  out += ph;
+  out += "\",\"pid\":" + std::to_string(kPid) + ",\"tid\":" + std::to_string(tid) +
+         ",\"ts\":" + std::to_string(ts) + ",\"name\":\"" + json::escape(name) + '"';
+}
+
+std::string hex(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%04x", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string perfetto_json(const Tracer& tracer) {
+  const std::vector<Event> events = tracer.ring().snapshot();
+
+  // Track metadata: every domain that appears in the stream gets a track;
+  // the trusted domain and the kernel dispatch track always exist.
+  std::set<int> domains{avr::ports::kTrustedDomain};
+  for (const Event& e : events) {
+    domains.insert(e.domain & 7);
+    switch (e.kind) {
+      case EventKind::CrossCall:
+      case EventKind::CrossRet:
+      case EventKind::IrqFrame:
+      case EventKind::SosLoad:
+      case EventKind::SosUnload:
+      case EventKind::SosDispatchBegin:
+      case EventKind::SosDispatchEnd:
+        domains.insert(e.domain_to & 7);
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  json::Joiner ev(out);
+  ev.item();
+  out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + std::to_string(kPid) +
+         ",\"args\":{\"name\":\"harbor simulated device\"}}";
+  for (const int d : domains) meta_event(out, ev, d, domain_track_name(d));
+  meta_event(out, ev, kKernelTid, "sos kernel dispatch");
+
+  for (const Event& e : events) {
+    const int tid = e.domain & 7;
+    switch (e.kind) {
+      case EventKind::CrossCall:
+        // Slice on the callee's track; Perfetto closes it at the matching E.
+        begin_event(out, ev, "B", e.domain_to & 7, e.cycle,
+                    "call d" + std::to_string(e.domain) + "->d" + std::to_string(e.domain_to));
+        out += ",\"args\":{\"target\":\"" + hex(e.addr) + "\",\"pc\":\"" + hex(e.pc) + "\"}}";
+        break;
+      case EventKind::CrossRet:
+        begin_event(out, ev, "E", tid, e.cycle, "");
+        out += ",\"args\":{\"callee_cycles\":" + std::to_string(e.value) + "}}";
+        break;
+      case EventKind::IrqFrame:
+        begin_event(out, ev, "i", e.domain_to & 7, e.cycle, "irq entry");
+        out += ",\"s\":\"t\"}";
+        break;
+      case EventKind::Fault:
+        begin_event(out, ev, "i", tid, e.cycle,
+                    std::string("fault: ") +
+                        avr::fault_kind_name(static_cast<avr::FaultKind>(e.aux)));
+        out += ",\"s\":\"g\",\"args\":{\"pc\":\"" + hex(e.pc) + "\",\"addr\":\"" + hex(e.addr) +
+               "\",\"domain\":" + std::to_string(e.domain) + "}}";
+        break;
+      case EventKind::MmcDeny:
+      case EventKind::StackBoundDeny:
+      case EventKind::FetchDeny:
+        begin_event(out, ev, "i", tid, e.cycle, event_kind_name(e.kind));
+        out += ",\"s\":\"t\",\"args\":{\"addr\":\"" + hex(e.addr) + "\"}}";
+        break;
+      case EventKind::SsPush:
+      case EventKind::SsPop:
+        begin_event(out, ev, "C", tid, e.cycle, "safe_stack_bytes");
+        out += ",\"args\":{\"bytes\":" + std::to_string(e.value) + "}}";
+        break;
+      case EventKind::SosDispatchBegin:
+        begin_event(out, ev, "B", kKernelTid, e.cycle,
+                    "dispatch d" + std::to_string(e.domain_to) + " msg=" +
+                        std::to_string(e.aux));
+        out += '}';
+        break;
+      case EventKind::SosDispatchEnd:
+        begin_event(out, ev, "E", kKernelTid, e.cycle, "");
+        out += ",\"args\":{\"cycles\":" + std::to_string(e.value) +
+               ",\"faulted\":" + (e.addr ? "true" : "false") + "}}";
+        break;
+      case EventKind::SosLoad:
+      case EventKind::SosUnload:
+        begin_event(out, ev, "i", kKernelTid, e.cycle,
+                    std::string(event_kind_name(e.kind)) + " d" + std::to_string(e.domain_to));
+        out += ",\"s\":\"p\"}";
+        break;
+      // High-volume / bookkeeping events stay out of the timeline view;
+      // they are fully represented in the metrics dump.
+      case EventKind::InstrRetire:
+      case EventKind::MmcGrant:
+      case EventKind::StackBoundUpdate:
+      case EventKind::JumpCheck:
+        break;
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ns\",\"otherData\":{\"ts_unit\":\"cpu_cycle\","
+         "\"generator\":\"harbor-trace\"}}";
+  return out;
+}
+
+std::string metrics_json(Tracer& tracer) { return tracer.metrics().to_json(); }
+
+std::string trace_vcd(const Tracer& tracer) {
+  avr::VcdWriter vcd;
+  const int sig_dom = vcd.add_signal("cur_domain", 3);
+  const int sig_ss = vcd.add_signal("safe_stack_bytes", 16);
+  const int sig_fault = vcd.add_signal("fault_kind", 8);
+  const int sig_deny = vcd.add_signal("deny", 1);
+
+  vcd.sample(0, sig_dom, avr::ports::kTrustedDomain);
+  vcd.sample(0, sig_ss, 0);
+  vcd.sample(0, sig_fault, 0);
+  vcd.sample(0, sig_deny, 0);
+  for (const Event& e : tracer.ring().snapshot()) {
+    switch (e.kind) {
+      case EventKind::CrossCall:
+      case EventKind::CrossRet:
+      case EventKind::IrqFrame:
+        vcd.sample(e.cycle, sig_dom, e.domain_to);
+        break;
+      case EventKind::SsPush:
+      case EventKind::SsPop:
+        vcd.sample(e.cycle, sig_ss, e.value);
+        break;
+      case EventKind::Fault:
+        vcd.sample(e.cycle, sig_fault, e.aux);
+        vcd.sample(e.cycle, sig_dom, avr::ports::kTrustedDomain);
+        break;
+      case EventKind::MmcDeny:
+      case EventKind::StackBoundDeny:
+      case EventKind::FetchDeny:
+        vcd.sample(e.cycle, sig_deny, 1);
+        vcd.sample(e.cycle + 1, sig_deny, 0);
+        break;
+      default:
+        break;
+    }
+  }
+  return vcd.render("harbor_trace");
+}
+
+std::string flight_record_text(const Tracer& tracer, const avr::Flash* flash) {
+  const std::vector<Event>& rec = tracer.flight_record();
+  std::string out;
+  if (rec.empty()) return "flight recorder: no fault observed\n";
+  if (tracer.last_fault()) {
+    const avr::FaultInfo& f = *tracer.last_fault();
+    out += "flight recorder: " + std::string(avr::fault_kind_name(f.kind)) + " in domain " +
+           std::to_string(f.domain) + " at pc " + hex(f.pc) + " (addr " + hex(f.addr) +
+           ", value " + std::to_string(f.value) + ")\n";
+  }
+  out += "last " + std::to_string(rec.size()) + " events:\n";
+  char line[160];
+  for (const Event& e : rec) {
+    std::snprintf(line, sizeof line, "  %10llu  %-18s d%d  pc=%s addr=%s value=%u",
+                  static_cast<unsigned long long>(e.cycle), event_kind_name(e.kind),
+                  e.domain, hex(e.pc).c_str(), hex(e.addr).c_str(), e.value);
+    out += line;
+    if (flash && e.pc) {
+      const avr::Instr in = avr::decode(flash->read_word(e.pc), flash->read_word(e.pc + 1));
+      out += "   | " + assembler::format_instr(in, e.pc);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace harbor::trace

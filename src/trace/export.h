@@ -1,0 +1,32 @@
+#pragma once
+// Exporters for harbor::trace (see DESIGN.md §8 for the formats):
+//
+//   - perfetto_json: Chrome/Perfetto trace-event JSON. One track (thread)
+//     per protection domain, cross-domain call slices on the callee's
+//     track, SOS dispatch slices on a kernel track, fault/deny instants,
+//     and a safe-stack depth counter track. Timestamps are CPU cycles
+//     (1 "us" in the viewer = 1 simulated cycle).
+//   - metrics_json: flat dump of the metrics registry.
+//   - trace_vcd: the event stream rendered as waveforms (current domain,
+//     safe-stack depth, fault kind) through the existing VCD backend —
+//     loadable in GTKWave next to the Fig. 3 bench output.
+//   - flight_record_text: human-readable dump of the fault flight
+//     recorder, with one line of disassembly per PC-bearing event.
+
+#include <string>
+
+#include "avr/memory.h"
+#include "trace/tracer.h"
+
+namespace harbor::trace {
+
+std::string perfetto_json(const Tracer& tracer);
+
+std::string metrics_json(Tracer& tracer);
+
+std::string trace_vcd(const Tracer& tracer);
+
+/// `flash`: when given, each event's PC is disassembled for context.
+std::string flight_record_text(const Tracer& tracer, const avr::Flash* flash = nullptr);
+
+}  // namespace harbor::trace

@@ -1,0 +1,71 @@
+#pragma once
+// Minimal JSON emission helper shared by the trace exporters. Writes
+// syntactically valid JSON by construction (comma management + string
+// escaping); no external dependency.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace harbor::trace::json {
+
+inline std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Appends `, ` between items of one object/array level.
+class Joiner {
+ public:
+  explicit Joiner(std::string& out) : out_(out) {}
+  void item() {
+    if (!first_) out_ += ',';
+    first_ = false;
+  }
+
+ private:
+  std::string& out_;
+  bool first_ = true;
+};
+
+inline void kv(std::string& out, Joiner& j, const std::string& key, const std::string& str) {
+  j.item();
+  out += '"' + escape(key) + "\":\"" + escape(str) + '"';
+}
+inline void kv(std::string& out, Joiner& j, const std::string& key, std::uint64_t v) {
+  j.item();
+  out += '"' + escape(key) + "\":" + std::to_string(v);
+}
+inline void kv(std::string& out, Joiner& j, const std::string& key, std::int64_t v) {
+  j.item();
+  out += '"' + escape(key) + "\":" + std::to_string(v);
+}
+inline void kv(std::string& out, Joiner& j, const std::string& key, int v) {
+  kv(out, j, key, static_cast<std::int64_t>(v));
+}
+inline void kv(std::string& out, Joiner& j, const std::string& key, double v) {
+  j.item();
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += '"' + escape(key) + "\":" + buf;
+}
+
+}  // namespace harbor::trace::json

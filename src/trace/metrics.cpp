@@ -1,0 +1,48 @@
+#include "trace/metrics.h"
+
+#include "trace/json.h"
+
+namespace harbor::trace {
+
+std::string Metrics::to_json() const {
+  std::string out = "{\"counters\":[";
+  json::Joiner items(out);
+  for (const auto& [key, value] : counters_) {
+    items.item();
+    out += '{';
+    json::Joiner j(out);
+    json::kv(out, j, "name", key.first);
+    json::kv(out, j, "domain", key.second);
+    json::kv(out, j, "value", value);
+    out += '}';
+  }
+  out += "],\"histograms\":[";
+  json::Joiner hists(out);
+  for (const auto& [key, h] : histograms_) {
+    hists.item();
+    out += '{';
+    json::Joiner j(out);
+    json::kv(out, j, "name", key.first);
+    json::kv(out, j, "domain", key.second);
+    json::kv(out, j, "count", h.count);
+    json::kv(out, j, "sum", h.sum);
+    json::kv(out, j, "min", h.count ? h.min : 0);
+    json::kv(out, j, "max", h.max);
+    json::kv(out, j, "mean", h.mean());
+    j.item();
+    out += "\"buckets\":[";
+    // Trailing zero buckets are elided to keep the dump compact.
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
+      if (h.buckets[i]) last = i + 1;
+    for (std::size_t i = 0; i < last; ++i) {
+      if (i) out += ',';
+      out += std::to_string(h.buckets[i]);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace harbor::trace

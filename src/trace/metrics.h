@@ -1,0 +1,106 @@
+#pragma once
+// Metrics registry for harbor::trace: named counters and power-of-two
+// histograms, optionally labelled with a protection domain. The registry is
+// how per-domain overheads (stores checked/denied, cycles attributed,
+// cross-domain call latency) survive a run in machine-readable form.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+namespace harbor::trace {
+
+/// Power-of-two bucket histogram: bucket i counts values v with
+/// 2^(i-1) <= v < 2^i (bucket 0: v == 0; the last bucket is open-ended).
+struct Histogram {
+  static constexpr std::size_t kBuckets = 24;
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  void record(std::uint64_t v) {
+    ++count;
+    sum += v;
+    if (v < min) min = v;
+    if (v > max) max = v;
+    std::size_t b = 0;
+    while (b + 1 < kBuckets && (1ull << b) <= v) ++b;
+    ++buckets[b];
+  }
+
+  [[nodiscard]] double mean() const { return count ? double(sum) / double(count) : 0.0; }
+};
+
+class Metrics {
+ public:
+  /// Label value meaning "not attributed to any domain".
+  static constexpr int kNoDomain = -1;
+
+  /// Counter cell (created zeroed on first access).
+  std::uint64_t& counter(const std::string& name, int domain = kNoDomain) {
+    return counters_[{name, domain}];
+  }
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name,
+                                            int domain = kNoDomain) const {
+    const auto it = counters_.find({name, domain});
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  Histogram& histogram(const std::string& name, int domain = kNoDomain) {
+    return histograms_[{name, domain}];
+  }
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name,
+                                                int domain = kNoDomain) const {
+    const auto it = histograms_.find({name, domain});
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+
+  using Key = std::pair<std::string, int>;
+  [[nodiscard]] const std::map<Key, std::uint64_t>& counters() const { return counters_; }
+  [[nodiscard]] const std::map<Key, Histogram>& histograms() const { return histograms_; }
+
+  void clear() {
+    counters_.clear();
+    histograms_.clear();
+  }
+
+  /// Flat JSON dump: {"counters":[{name,domain,value}...],
+  ///                  "histograms":[{name,domain,count,sum,min,max,mean,buckets}...]}
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::map<Key, std::uint64_t> counters_;
+  std::map<Key, Histogram> histograms_;
+};
+
+/// Well-known metric names (kept in one place so exporters, tests and docs
+/// agree; the registry itself accepts any name).
+namespace metric {
+inline constexpr const char* kStoresChecked = "mmc.stores_checked";
+inline constexpr const char* kStoresDenied = "mmc.stores_denied";
+inline constexpr const char* kStackBoundDenies = "stack.bound_denies";
+inline constexpr const char* kSsPushBytes = "safe_stack.push_bytes";
+inline constexpr const char* kSsPopBytes = "safe_stack.pop_bytes";
+inline constexpr const char* kSsHighWater = "safe_stack.high_water_bytes";
+inline constexpr const char* kCrossCalls = "cross_domain.calls";
+inline constexpr const char* kCrossRets = "cross_domain.returns";
+inline constexpr const char* kCrossLatency = "cross_domain.callee_cycles";
+inline constexpr const char* kJumpTableHits = "jump_table.hits";
+inline constexpr const char* kJumpChecks = "jump_table.checks";
+inline constexpr const char* kFetchDenies = "fetch.denies";
+inline constexpr const char* kIrqFrames = "irq.frames";
+inline constexpr const char* kFaults = "faults";
+inline constexpr const char* kCyclesInDomain = "cycles.in_domain";
+inline constexpr const char* kInstrInDomain = "instructions.in_domain";
+inline constexpr const char* kSosDispatches = "sos.dispatches";
+inline constexpr const char* kSosDispatchCycles = "sos.dispatch_cycles";
+inline constexpr const char* kSosLoads = "sos.loads";
+inline constexpr const char* kSosUnloads = "sos.unloads";
+}  // namespace metric
+
+}  // namespace harbor::trace

@@ -1,0 +1,79 @@
+#pragma once
+// Bounded event ring for harbor::trace. Overwrite-oldest semantics: the
+// producer never blocks and never allocates after construction, so it can
+// sit on the simulator's hot path. Single producer; snapshots are safe from
+// the producing thread and from a concurrent reader (the write index is
+// published with release/acquire ordering and slots are committed before
+// the index moves, so a reader sees only fully-written records).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace harbor::trace {
+
+class EventRing {
+ public:
+  /// `capacity` = retained events. 0 is legal: events are counted but none
+  /// are stored (metrics-only tracing).
+  explicit EventRing(std::size_t capacity) : buf_(capacity) {}
+
+  /// Restrict recording to events whose PC the predicate accepts (events
+  /// with no meaningful PC — pc == 0 host-side records — always pass).
+  void set_pc_filter(std::function<bool(std::uint32_t pc)> f) { filter_ = std::move(f); }
+
+  /// Record an event. Returns false when the PC filter rejected it.
+  bool push(const Event& e) {
+    if (filter_ && e.pc != 0 && !filter_(e.pc)) {
+      ++filtered_;
+      return false;
+    }
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (!buf_.empty()) buf_[static_cast<std::size_t>(h % buf_.size())] = e;
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  /// Events currently retained (<= capacity).
+  [[nodiscard]] std::size_t size() const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(h < buf_.size() ? h : buf_.size());
+  }
+  /// Total events accepted (including those since overwritten).
+  [[nodiscard]] std::uint64_t accepted() const { return head_.load(std::memory_order_acquire); }
+  /// Accepted events that have been overwritten by newer ones.
+  [[nodiscard]] std::uint64_t dropped() const {
+    const std::uint64_t h = accepted();
+    return h > buf_.size() ? h - buf_.size() : 0;
+  }
+  /// Events rejected by the PC filter.
+  [[nodiscard]] std::uint64_t filtered() const { return filtered_; }
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<Event> snapshot() const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::size_t n = static_cast<std::size_t>(h < buf_.size() ? h : buf_.size());
+    std::vector<Event> out;
+    out.reserve(n);
+    for (std::uint64_t i = h - n; i < h; ++i)
+      out.push_back(buf_[static_cast<std::size_t>(i % buf_.size())]);
+    return out;
+  }
+
+  void clear() {
+    head_.store(0, std::memory_order_release);
+    filtered_ = 0;
+  }
+
+ private:
+  std::vector<Event> buf_;
+  std::atomic<std::uint64_t> head_{0};
+  std::uint64_t filtered_ = 0;
+  std::function<bool(std::uint32_t)> filter_;
+};
+
+}  // namespace harbor::trace

@@ -1,0 +1,318 @@
+#include "trace/tracer.h"
+
+#include <algorithm>
+
+namespace harbor::trace {
+
+using avr::FlowDecision;
+using avr::FlowKind;
+using avr::ReadDecision;
+using avr::ReadKind;
+using avr::WriteDecision;
+using avr::WriteKind;
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::InstrRetire: return "instr-retire";
+    case EventKind::Fault: return "fault";
+    case EventKind::MmcGrant: return "mmc-grant";
+    case EventKind::MmcDeny: return "mmc-deny";
+    case EventKind::StackBoundDeny: return "stack-bound-deny";
+    case EventKind::StackBoundUpdate: return "stack-bound-update";
+    case EventKind::SsPush: return "ss-push";
+    case EventKind::SsPop: return "ss-pop";
+    case EventKind::CrossCall: return "cross-call";
+    case EventKind::CrossRet: return "cross-ret";
+    case EventKind::IrqFrame: return "irq-frame";
+    case EventKind::JumpCheck: return "jump-check";
+    case EventKind::FetchDeny: return "fetch-deny";
+    case EventKind::SosLoad: return "sos-load";
+    case EventKind::SosUnload: return "sos-unload";
+    case EventKind::SosDispatchBegin: return "sos-dispatch-begin";
+    case EventKind::SosDispatchEnd: return "sos-dispatch-end";
+  }
+  return "?";
+}
+
+// --- TracingHooks -------------------------------------------------------------
+
+WriteDecision TracingHooks::on_write(std::uint16_t addr, std::uint8_t value,
+                                     WriteKind kind) {
+  const WriteDecision d =
+      inner_ ? inner_->on_write(addr, value, kind) : WriteDecision::allow();
+  tracer_.note_write(addr, value, kind, d);
+  return d;
+}
+
+ReadDecision TracingHooks::on_read(std::uint16_t addr, ReadKind kind) {
+  const ReadDecision d = inner_ ? inner_->on_read(addr, kind) : ReadDecision{};
+  tracer_.note_read(addr, kind, d);
+  return d;
+}
+
+FlowDecision TracingHooks::on_flow(FlowKind kind, std::uint32_t target,
+                                   std::uint32_t ret_addr) {
+  const std::uint8_t before = tracer_.current_domain();
+  const FlowDecision d =
+      inner_ ? inner_->on_flow(kind, target, ret_addr) : FlowDecision::normal();
+  tracer_.note_flow(kind, target, before, d);
+  return d;
+}
+
+avr::FaultKind TracingHooks::on_fetch(std::uint32_t pc) {
+  tracer_.note_fetch(pc);
+  return inner_ ? inner_->on_fetch(pc) : avr::FaultKind::None;
+}
+
+avr::FaultKind TracingHooks::on_spm(std::uint32_t z_byte_addr) {
+  return inner_ ? inner_->on_spm(z_byte_addr) : avr::FaultKind::None;
+}
+
+void TracingHooks::on_fault(const avr::FaultInfo& info) {
+  tracer_.note_fault(info);
+  if (inner_) inner_->on_fault(info);
+}
+
+// --- Tracer -------------------------------------------------------------------
+
+Tracer::Tracer(TracerOptions opts)
+    : opts_(opts), ring_(opts.ring_capacity), hooks_(*this) {}
+
+void Tracer::attach(avr::Cpu& cpu, umpu::Fabric* fabric) {
+  detach();
+  cpu_ = &cpu;
+  fabric_ = fabric;
+  hooks_.set_inner(cpu.hooks());
+  cpu.set_hooks(&hooks_);
+  last_fetch_cycle_ = cpu.cycle_count();
+  last_fetch_domain_ = current_domain();
+}
+
+void Tracer::detach() {
+  if (cpu_ && cpu_->hooks() == &hooks_) cpu_->set_hooks(hooks_.inner());
+  hooks_.set_inner(nullptr);
+  cpu_ = nullptr;
+  fabric_ = nullptr;
+  open_calls_.clear();
+}
+
+Metrics& Tracer::metrics() {
+  for (int d = 0; d < 8; ++d) {
+    if (cycles_in_domain_[d]) metrics_.counter(metric::kCyclesInDomain, d) = cycles_in_domain_[d];
+    if (instr_in_domain_[d]) metrics_.counter(metric::kInstrInDomain, d) = instr_in_domain_[d];
+  }
+  return metrics_;
+}
+
+Event Tracer::base_event(EventKind kind) const {
+  Event e;
+  e.kind = kind;
+  e.cycle = now();
+  e.pc = cpu_ ? cpu_->pc() : 0;
+  e.domain = current_domain();
+  return e;
+}
+
+void Tracer::note_write(std::uint16_t addr, std::uint8_t value, WriteKind kind,
+                        const WriteDecision& d) {
+  const int dom = current_domain();
+  if (kind == WriteKind::RetPush && d.redirect_addr) {
+    // Safe stack unit stole the bus: a return-address byte went to the
+    // safe stack instead of the run-time stack.
+    ++metrics_.counter(metric::kSsPushBytes, dom);
+    const std::uint16_t depth = safe_stack_depth();
+    auto& hwm = metrics_.counter(metric::kSsHighWater);
+    if (depth > hwm) hwm = depth;
+    Event e = base_event(EventKind::SsPush);
+    e.addr = *d.redirect_addr;
+    e.value = depth;
+    ring_.push(e);
+    return;
+  }
+  if (d.action == WriteDecision::Action::Fault) {
+    Event e = base_event(d.fault == avr::FaultKind::StackBoundViolation
+                             ? EventKind::StackBoundDeny
+                             : EventKind::MmcDeny);
+    e.addr = addr;
+    e.aux = static_cast<std::uint8_t>(d.fault);
+    e.value = value;
+    ring_.push(e);
+    if (d.fault == avr::FaultKind::StackBoundViolation) {
+      ++metrics_.counter(metric::kStackBoundDenies, dom);
+    } else {
+      ++metrics_.counter(metric::kStoresChecked, dom);
+      ++metrics_.counter(metric::kStoresDenied, dom);
+    }
+    return;
+  }
+  // An MMC-checked grant is visible as the one-cycle bus stall the checker
+  // inserts (paper Table 3 row 1); unchecked stores add no cycles.
+  if (d.extra_cycles > 0 && kind != WriteKind::Io) {
+    ++metrics_.counter(metric::kStoresChecked, dom);
+    Event e = base_event(EventKind::MmcGrant);
+    e.addr = addr;
+    e.value = value;
+    ring_.push(e);
+  }
+}
+
+void Tracer::note_read(std::uint16_t addr, ReadKind kind, const ReadDecision& d) {
+  if (kind == ReadKind::RetPop && d.redirect_addr) {
+    ++metrics_.counter(metric::kSsPopBytes, current_domain());
+    Event e = base_event(EventKind::SsPop);
+    e.addr = *d.redirect_addr;
+    e.value = safe_stack_depth();
+    ring_.push(e);
+  } else {
+    (void)addr;
+  }
+}
+
+void Tracer::note_flow(FlowKind kind, std::uint32_t target, std::uint8_t domain_before,
+                       const FlowDecision& d) {
+  const std::uint8_t domain_after = current_domain();
+  switch (kind) {
+    case FlowKind::CallDirect:
+    case FlowKind::CallIndirect: {
+      if (fabric_ && fabric_->regs().domain_track_enabled() &&
+          target >= fabric_->regs().jump_table_base && target < fabric_->regs().jt_end())
+        ++metrics_.counter(metric::kJumpTableHits, domain_before);
+      if (d.action == FlowDecision::Action::Handled && domain_after != domain_before) {
+        ++metrics_.counter(metric::kCrossCalls, domain_before);
+        if (open_calls_.size() < 64)
+          open_calls_.push_back({now(), domain_before, domain_after});
+        Event e = base_event(EventKind::CrossCall);
+        e.domain = domain_before;
+        e.domain_to = domain_after;
+        e.addr = static_cast<std::uint16_t>(target);
+        ring_.push(e);
+        if (fabric_) {
+          Event b = base_event(EventKind::StackBoundUpdate);
+          b.value = fabric_->regs().stack_bound;
+          ring_.push(b);
+        }
+      }
+      break;
+    }
+    case FlowKind::Ret:
+    case FlowKind::Reti: {
+      if (d.action == FlowDecision::Action::Handled && domain_after != domain_before) {
+        ++metrics_.counter(metric::kCrossRets, domain_after);
+        Event e = base_event(EventKind::CrossRet);
+        e.domain = domain_before;  // the callee we are leaving
+        e.domain_to = domain_after;
+        if (d.override_target) e.addr = static_cast<std::uint16_t>(*d.override_target);
+        if (!open_calls_.empty()) {
+          const OpenCall oc = open_calls_.back();
+          open_calls_.pop_back();
+          e.value = static_cast<std::uint32_t>(now() - oc.start_cycle);
+          metrics_.histogram(metric::kCrossLatency, domain_before)
+              .record(e.value);
+        }
+        ring_.push(e);
+        if (fabric_) {
+          Event b = base_event(EventKind::StackBoundUpdate);
+          b.value = fabric_->regs().stack_bound;
+          ring_.push(b);
+        }
+      }
+      break;
+    }
+    case FlowKind::JumpDirect:
+    case FlowKind::JumpIndirect: {
+      // Only untrusted jumps are checked by the domain tracker; trusted
+      // ones would flood the ring with uninteresting events.
+      if (domain_before != avr::ports::kTrustedDomain &&
+          d.action == FlowDecision::Action::Normal) {
+        ++metrics_.counter(metric::kJumpChecks, domain_before);
+        Event e = base_event(EventKind::JumpCheck);
+        e.addr = static_cast<std::uint16_t>(target);
+        ring_.push(e);
+      }
+      break;
+    }
+    case FlowKind::IrqEntry: {
+      if (d.action == FlowDecision::Action::Handled) {
+        ++metrics_.counter(metric::kIrqFrames, domain_before);
+        Event e = base_event(EventKind::IrqFrame);
+        e.domain = domain_before;
+        e.domain_to = domain_after;
+        e.addr = static_cast<std::uint16_t>(target);
+        ring_.push(e);
+      }
+      break;
+    }
+  }
+}
+
+void Tracer::note_fetch(std::uint32_t pc) {
+  // Attribute the cycles since the previous fetch to the domain that was
+  // executing then — per-domain cycle accounting with zero per-event cost.
+  const std::uint64_t now_c = cpu_ ? cpu_->cycle_count() : 0;
+  cycles_in_domain_[last_fetch_domain_ & 7] += now_c - last_fetch_cycle_;
+  ++instr_in_domain_[current_domain() & 7];
+  last_fetch_cycle_ = now_c;
+  last_fetch_domain_ = current_domain();
+  if (opts_.record_retire) {
+    Event e = base_event(EventKind::InstrRetire);
+    e.pc = pc;
+    ring_.push(e);
+  }
+}
+
+void Tracer::note_fault(const avr::FaultInfo& info) {
+  // The core raises faults with domain unfilled; we run before the fabric's
+  // exception entry, so the faulting domain is still current here.
+  avr::FaultInfo fi = info;
+  fi.domain = current_domain();
+  ++metrics_.counter(metric::kFaults, fi.domain);
+  const Event e = fault_event(fi, now());
+  ring_.push(e);
+  last_fault_ = fi;
+
+  // Flight recorder: freeze the last N events (the fault included) so the
+  // run-up survives even if the ring keeps rolling afterwards.
+  const std::vector<Event> snap = ring_.snapshot();
+  const std::size_t n = std::min(opts_.flight_depth, snap.size());
+  flight_.assign(snap.end() - static_cast<std::ptrdiff_t>(n), snap.end());
+  if (flight_.empty()) flight_.push_back(e);
+
+  open_calls_.clear();
+}
+
+void Tracer::sos_load(std::uint8_t domain, std::uint32_t base_waddr) {
+  ++metrics_.counter(metric::kSosLoads, domain);
+  Event e = base_event(EventKind::SosLoad);
+  e.domain_to = domain;
+  e.value = base_waddr;
+  ring_.push(e);
+}
+
+void Tracer::sos_unload(std::uint8_t domain) {
+  ++metrics_.counter(metric::kSosUnloads, domain);
+  Event e = base_event(EventKind::SosUnload);
+  e.domain_to = domain;
+  ring_.push(e);
+}
+
+void Tracer::sos_dispatch_begin(std::uint8_t domain, std::uint8_t msg) {
+  Event e = base_event(EventKind::SosDispatchBegin);
+  e.domain_to = domain;
+  e.aux = msg;
+  ring_.push(e);
+}
+
+void Tracer::sos_dispatch_end(std::uint8_t domain, std::uint8_t msg, std::uint64_t cycles,
+                              bool faulted) {
+  ++metrics_.counter(metric::kSosDispatches, domain);
+  metrics_.counter(metric::kSosDispatchCycles, domain) += cycles;
+  metrics_.histogram("sos.dispatch_cycles_hist", domain).record(cycles);
+  Event e = base_event(EventKind::SosDispatchEnd);
+  e.domain_to = domain;
+  e.aux = msg;
+  e.value = static_cast<std::uint32_t>(cycles);
+  e.addr = faulted ? 1 : 0;  // fault detail is carried by the Fault event itself
+  ring_.push(e);
+}
+
+}  // namespace harbor::trace

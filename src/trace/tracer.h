@@ -1,0 +1,159 @@
+#pragma once
+// harbor::trace — structured observability for the protection stack.
+//
+// A Tracer owns a bounded event ring (src/trace/ring.h) and a metrics
+// registry (src/trace/metrics.h) and feeds them from a TracingHooks
+// decorator interposed on the core's CpuHooks chain:
+//
+//     Cpu ──▶ TracingHooks ──▶ umpu::Fabric (or nothing, under SFI/None)
+//
+// The stock core pays nothing when tracing is off: attach() swaps the hook
+// pointer, detach() restores it, and no trace code sits on any path until
+// then. Bus-unit verdicts (MMC grant/deny, stack-bound, safe-stack traffic,
+// cross-domain transfers) are reconstructed from the inner hooks' decisions,
+// so the fabric itself needs no tracing branches.
+//
+// Host-side producers (the SOS kernel's load/unload/dispatch path) feed the
+// same ring through the sos_* helpers, giving exporters one merged,
+// cycle-timestamped stream.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "avr/cpu.h"
+#include "avr/hooks.h"
+#include "trace/metrics.h"
+#include "trace/ring.h"
+#include "umpu/fabric.h"
+
+namespace harbor::trace {
+
+struct TracerOptions {
+  std::size_t ring_capacity = 8192;
+  /// Record one event per retired instruction (high volume; off by default —
+  /// the per-domain cycle/instruction metrics are kept regardless).
+  bool record_retire = false;
+  /// Events captured by the fault flight recorder (last N before + the fault).
+  std::size_t flight_depth = 32;
+};
+
+class Tracer;
+
+/// Pass-through CpuHooks decorator. Forwards every callback to the inner
+/// sink unchanged (fully permissive when none is installed) and mirrors what
+/// it observes into the owning Tracer. Decisions are never altered, so a
+/// traced run is cycle-identical to an untraced one.
+class TracingHooks final : public avr::CpuHooks {
+ public:
+  explicit TracingHooks(Tracer& tracer) : tracer_(tracer) {}
+
+  void set_inner(avr::CpuHooks* inner) { inner_ = inner; }
+  [[nodiscard]] avr::CpuHooks* inner() const { return inner_; }
+
+  avr::WriteDecision on_write(std::uint16_t addr, std::uint8_t value,
+                              avr::WriteKind kind) override;
+  avr::ReadDecision on_read(std::uint16_t addr, avr::ReadKind kind) override;
+  avr::FlowDecision on_flow(avr::FlowKind kind, std::uint32_t target,
+                            std::uint32_t ret_addr) override;
+  avr::FaultKind on_fetch(std::uint32_t pc) override;
+  avr::FaultKind on_spm(std::uint32_t z_byte_addr) override;
+  void on_fault(const avr::FaultInfo& info) override;
+
+ private:
+  Tracer& tracer_;
+  avr::CpuHooks* inner_ = nullptr;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TracerOptions opts = {});
+
+  /// Interpose on `cpu`'s hook chain, wrapping whatever sink is currently
+  /// installed (under UMPU that is the fabric; pass it too so unit register
+  /// state — current domain, stack bound, safe-stack depth — can be sampled
+  /// alongside the bus events).
+  void attach(avr::Cpu& cpu, umpu::Fabric* fabric = nullptr);
+
+  /// Restore the original hook sink. Safe to call when not attached.
+  void detach();
+  [[nodiscard]] bool attached() const { return cpu_ != nullptr; }
+
+  [[nodiscard]] EventRing& ring() { return ring_; }
+  [[nodiscard]] const EventRing& ring() const { return ring_; }
+  /// Metrics registry (per-domain cycle/instruction tallies are flushed into
+  /// it on every call, so the view is always current).
+  [[nodiscard]] Metrics& metrics();
+  [[nodiscard]] const TracerOptions& options() const { return opts_; }
+  [[nodiscard]] avr::Cpu* cpu() const { return cpu_; }
+  [[nodiscard]] umpu::Fabric* fabric() const { return fabric_; }
+
+  /// Current cycle timestamp (0 before attach).
+  [[nodiscard]] std::uint64_t now() const { return cpu_ ? cpu_->cycle_count() : 0; }
+  [[nodiscard]] std::uint8_t current_domain() const {
+    return fabric_ ? fabric_->current_domain() : avr::ports::kTrustedDomain;
+  }
+
+  /// Host-side event feed (SOS kernel instrumentation and tests).
+  void record(const Event& e) { ring_.push(e); }
+  void sos_load(std::uint8_t domain, std::uint32_t base_waddr);
+  void sos_unload(std::uint8_t domain);
+  void sos_dispatch_begin(std::uint8_t domain, std::uint8_t msg);
+  void sos_dispatch_end(std::uint8_t domain, std::uint8_t msg, std::uint64_t cycles,
+                        bool faulted);
+
+  // --- fault flight recorder ---
+  /// The last `flight_depth` events leading up to (and including) the most
+  /// recent fault; empty when no fault has been observed.
+  [[nodiscard]] const std::vector<Event>& flight_record() const { return flight_; }
+  [[nodiscard]] const std::optional<avr::FaultInfo>& last_fault() const { return last_fault_; }
+
+ private:
+  friend class TracingHooks;
+
+  // Recording paths, called from the decorator.
+  void note_write(std::uint16_t addr, std::uint8_t value, avr::WriteKind kind,
+                  const avr::WriteDecision& d);
+  void note_read(std::uint16_t addr, avr::ReadKind kind, const avr::ReadDecision& d);
+  void note_flow(avr::FlowKind kind, std::uint32_t target, std::uint8_t domain_before,
+                 const avr::FlowDecision& d);
+  void note_fetch(std::uint32_t pc);
+  void note_fault(const avr::FaultInfo& info);
+
+  [[nodiscard]] std::uint16_t safe_stack_depth() const {
+    return fabric_ ? static_cast<std::uint16_t>(fabric_->regs().safe_stack_ptr -
+                                                fabric_->regs().safe_stack_base)
+                   : 0;
+  }
+  Event base_event(EventKind kind) const;
+
+  TracerOptions opts_;
+  EventRing ring_;
+  Metrics metrics_;
+  TracingHooks hooks_;
+
+  avr::Cpu* cpu_ = nullptr;
+  umpu::Fabric* fabric_ = nullptr;
+
+  // Per-domain execution tallies, kept as flat arrays off the map-based
+  // registry because they are touched once per instruction.
+  std::array<std::uint64_t, 8> cycles_in_domain_{};
+  std::array<std::uint64_t, 8> instr_in_domain_{};
+  std::uint64_t last_fetch_cycle_ = 0;
+  std::uint8_t last_fetch_domain_ = avr::ports::kTrustedDomain;
+
+  // Open cross-domain calls (for callee-latency attribution). A fault can
+  // strand entries (the hardware promotes to the trusted domain without
+  // unwinding), so the stack is cleared on fault and bounded in depth.
+  struct OpenCall {
+    std::uint64_t start_cycle;
+    std::uint8_t caller, callee;
+  };
+  std::vector<OpenCall> open_calls_;
+
+  std::vector<Event> flight_;
+  std::optional<avr::FaultInfo> last_fault_;
+};
+
+}  // namespace harbor::trace

@@ -1,0 +1,340 @@
+// harbor::trace unit + integration tests: FaultKind/FaultInfo round-trips,
+// event-ring edge cases (wrap-around, PC filter, capacity 0/1), the metrics
+// registry, tracing pass-through equivalence (a traced run is cycle-identical
+// to an untraced one and detach restores the hook chain), cross-domain call
+// latency attribution, the fault flight recorder, and exporter output.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "asm/builder.h"
+#include "avr/ports.h"
+#include "core/harbor.h"
+#include "runtime/testbed.h"
+#include "trace/export.h"
+#include "trace/tracer.h"
+
+namespace {
+
+using namespace harbor;
+using namespace harbor::assembler;
+using namespace harbor::runtime;
+
+// --- FaultKind name round-trip ------------------------------------------
+
+TEST(FaultKindNames, EveryKindRoundTrips) {
+  for (int i = 0; i < avr::kFaultKindCount; ++i) {
+    const auto kind = static_cast<avr::FaultKind>(i);
+    const char* name = avr::fault_kind_name(kind);
+    ASSERT_NE(name, nullptr);
+    const auto back = avr::fault_kind_from_name(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, kind) << name;
+  }
+}
+
+TEST(FaultKindNames, UnknownNameIsNullopt) {
+  EXPECT_FALSE(avr::fault_kind_from_name("no-such-fault").has_value());
+  EXPECT_FALSE(avr::fault_kind_from_name("").has_value());
+  EXPECT_FALSE(avr::fault_kind_from_name("Memmap-Violation").has_value());  // case-sensitive
+}
+
+TEST(FaultKindNames, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (int i = 0; i < avr::kFaultKindCount; ++i)
+    names.insert(avr::fault_kind_name(static_cast<avr::FaultKind>(i)));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(avr::kFaultKindCount));
+}
+
+// --- FaultInfo <-> Event round-trip -------------------------------------
+
+TEST(FaultEvent, RoundTripsEveryField) {
+  avr::FaultInfo f;
+  f.kind = avr::FaultKind::StackBoundViolation;
+  f.pc = 0x1abcd;
+  f.addr = 0x0f20;
+  f.value = 0xee;
+  f.domain = 5;
+  const trace::Event e = trace::fault_event(f, 12345);
+  EXPECT_EQ(e.kind, trace::EventKind::Fault);
+  EXPECT_EQ(e.cycle, 12345u);
+  const avr::FaultInfo back = trace::fault_info_of(e);
+  EXPECT_EQ(back.kind, f.kind);
+  EXPECT_EQ(back.pc, f.pc);
+  EXPECT_EQ(back.addr, f.addr);
+  EXPECT_EQ(back.value, f.value);
+  EXPECT_EQ(back.domain, f.domain);
+}
+
+// --- EventRing edges ----------------------------------------------------
+
+trace::Event ev(std::uint32_t pc, std::uint64_t cycle) {
+  trace::Event e;
+  e.kind = trace::EventKind::MmcGrant;
+  e.pc = pc;
+  e.cycle = cycle;
+  return e;
+}
+
+TEST(EventRing, WrapAroundKeepsNewestOldestFirst) {
+  trace::EventRing ring(4);
+  for (std::uint64_t i = 1; i <= 10; ++i) ring.push(ev(0x100, i));
+  EXPECT_EQ(ring.accepted(), 10u);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(snap[i].cycle, 7 + i);
+}
+
+TEST(EventRing, CapacityZeroCountsButStoresNothing) {
+  trace::EventRing ring(0);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.push(ev(0x100, i)));
+  EXPECT_EQ(ring.accepted(), 5u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 5u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(EventRing, CapacityOneHoldsTheNewest) {
+  trace::EventRing ring(1);
+  ring.push(ev(0x100, 1));
+  ring.push(ev(0x100, 2));
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].cycle, 2u);
+}
+
+TEST(EventRing, PcFilterRejectsButZeroPcAlwaysPasses) {
+  trace::EventRing ring(8);
+  ring.set_pc_filter([](std::uint32_t pc) { return pc < 0x200; });
+  EXPECT_TRUE(ring.push(ev(0x100, 1)));
+  EXPECT_FALSE(ring.push(ev(0x300, 2)));   // filtered
+  EXPECT_TRUE(ring.push(ev(0, 3)));        // host-side record: no PC, passes
+  EXPECT_EQ(ring.accepted(), 2u);
+  EXPECT_EQ(ring.filtered(), 1u);
+  EXPECT_EQ(ring.snapshot().size(), 2u);
+}
+
+TEST(EventRing, ClearResets) {
+  trace::EventRing ring(4);
+  ring.push(ev(0x100, 1));
+  ring.clear();
+  EXPECT_EQ(ring.accepted(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+// --- Metrics registry ---------------------------------------------------
+
+TEST(Metrics, CountersArePerDomainAndAccumulate) {
+  trace::Metrics m;
+  m.counter("mmc.stores_checked", 1) += 3;
+  m.counter("mmc.stores_checked", 1) += 2;
+  m.counter("mmc.stores_checked", 2) += 7;
+  EXPECT_EQ(m.counter_value("mmc.stores_checked", 1), 5u);
+  EXPECT_EQ(m.counter_value("mmc.stores_checked", 2), 7u);
+  EXPECT_EQ(m.counter_value("mmc.stores_checked", 3), 0u);
+}
+
+TEST(Metrics, HistogramTracksMoments) {
+  trace::Metrics m;
+  auto& h = m.histogram("cross_domain.callee_cycles", 4);
+  h.record(10);
+  h.record(20);
+  h.record(60);
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.sum, 90u);
+  EXPECT_EQ(h.min, 10u);
+  EXPECT_EQ(h.max, 60u);
+  EXPECT_DOUBLE_EQ(h.mean(), 30.0);
+}
+
+TEST(Metrics, JsonDumpContainsCountersAndHistograms) {
+  trace::Metrics m;
+  m.counter("faults", 3) += 1;
+  m.histogram("lat", 0).record(42);
+  const std::string j = m.to_json();
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"faults\""), std::string::npos);
+  EXPECT_NE(j.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(j.find("\"lat\""), std::string::npos);
+}
+
+// --- Scene helpers ------------------------------------------------------
+
+/// One store into `target`, from a module owned by `domain`.
+assembler::Program store_module(std::uint32_t origin) {
+  Assembler a;
+  a.movw(r26, r24);
+  a.ldi(r18, 0x5a);
+  a.st_x(r18);
+  a.ret();
+  assembler::Program p;
+  p.origin = origin;
+  p.words = a.assemble().words;
+  return p;
+}
+
+// --- Pass-through equivalence -------------------------------------------
+
+TEST(TracingHooks, TracedRunIsCycleIdenticalToUntraced) {
+  CallResult plain, traced;
+  {
+    Testbed tb(Mode::Umpu);
+    const std::uint16_t buf = tb.malloc(16, 1).value;
+    const auto p = store_module(tb.module_area());
+    tb.load_module_image(p, 1);
+    plain = tb.call_module(p.origin, 1, buf);
+  }
+  {
+    Testbed tb(Mode::Umpu);
+    trace::Tracer tracer;
+    tracer.attach(tb.device().cpu(), tb.fabric());
+    const std::uint16_t buf = tb.malloc(16, 1).value;
+    const auto p = store_module(tb.module_area());
+    tb.load_module_image(p, 1);
+    traced = tb.call_module(p.origin, 1, buf);
+  }
+  ASSERT_FALSE(plain.faulted);
+  ASSERT_FALSE(traced.faulted);
+  EXPECT_EQ(traced.cycles, plain.cycles);
+  EXPECT_EQ(traced.value, plain.value);
+}
+
+TEST(TracingHooks, DetachRestoresTheOriginalHookChain) {
+  Testbed tb(Mode::Umpu);
+  avr::CpuHooks* before = tb.device().cpu().hooks();
+  ASSERT_NE(before, nullptr);  // the fabric
+  {
+    trace::Tracer tracer;
+    tracer.attach(tb.device().cpu(), tb.fabric());
+    EXPECT_NE(tb.device().cpu().hooks(), before);
+    tracer.detach();
+    EXPECT_EQ(tb.device().cpu().hooks(), before);
+    EXPECT_FALSE(tracer.attached());
+  }
+  // The scene still works after attach/detach.
+  const std::uint16_t buf = tb.malloc(16, 1).value;
+  const auto p = store_module(tb.module_area());
+  tb.load_module_image(p, 1);
+  EXPECT_FALSE(tb.call_module(p.origin, 1, buf).faulted);
+}
+
+// --- Event stream from a live UMPU scene --------------------------------
+
+TEST(TracerScene, CheckedStoresProduceMmcGrantsAndPerDomainMetrics) {
+  Testbed tb(Mode::Umpu);
+  trace::Tracer tracer;
+  tracer.attach(tb.device().cpu(), tb.fabric());
+  const std::uint16_t buf = tb.malloc(16, 1).value;
+  const auto p = store_module(tb.module_area());
+  tb.load_module_image(p, 1);
+  ASSERT_FALSE(tb.call_module(p.origin, 1, buf).faulted);
+
+  int grants = 0;
+  for (const auto& e : tracer.ring().snapshot())
+    if (e.kind == trace::EventKind::MmcGrant && e.domain == 1 && e.addr == buf) ++grants;
+  EXPECT_GE(grants, 1);
+  EXPECT_GE(tracer.metrics().counter_value(trace::metric::kStoresChecked, 1), 1u);
+  EXPECT_EQ(tracer.metrics().counter_value(trace::metric::kStoresDenied, 1), 0u);
+  EXPECT_GT(tracer.metrics().counter_value(trace::metric::kCyclesInDomain, 1), 0u);
+  EXPECT_GT(tracer.metrics().counter_value(trace::metric::kInstrInDomain, 1), 0u);
+}
+
+TEST(TracerScene, CrossDomainCallsGetLatencyAttribution) {
+  // call_module() enters the module domain out-of-band, so a genuine
+  // jump-table cross-call needs the SOS dispatch path.
+  System sys({ProtectionMode::Umpu, {}});
+  trace::Tracer& tracer = sys.enable_tracing();
+  const auto d = sys.load_module(sos::modules::blink());
+  sys.run_pending();
+  sys.post(d, sos::msg::kTimer);
+  sys.run_pending();
+
+  bool saw_call = false, saw_ret = false;
+  for (const auto& e : tracer.ring().snapshot()) {
+    if (e.kind == trace::EventKind::CrossCall && e.domain_to == d) saw_call = true;
+    if (e.kind == trace::EventKind::CrossRet && e.domain == d) {
+      saw_ret = true;
+      EXPECT_GT(e.value, 0u);  // callee latency in cycles
+    }
+  }
+  EXPECT_TRUE(saw_call);
+  EXPECT_TRUE(saw_ret);
+  const auto* h = tracer.metrics().find_histogram(trace::metric::kCrossLatency, d);
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->count, 1u);
+  EXPECT_GT(h->min, 0u);
+}
+
+// --- Fault flight recorder ----------------------------------------------
+
+TEST(FlightRecorder, CapturesAMemMapViolationWithContext) {
+  Layout L;
+  Testbed tb(Mode::Umpu, L);
+  trace::Tracer tracer;
+  tracer.attach(tb.device().cpu(), tb.fabric());
+  (void)tb.malloc(16, 1).value;
+  const auto p = store_module(tb.module_area());
+  tb.load_module_image(p, 1);
+  // Store into a kernel-owned heap block: denied, faults the dispatch.
+  const auto r =
+      tb.call_module(p.origin, 1, static_cast<std::uint16_t>(L.heap_base + 0x100));
+  ASSERT_TRUE(r.faulted);
+  EXPECT_EQ(r.fault, avr::FaultKind::MemMapViolation);
+
+  ASSERT_TRUE(tracer.last_fault().has_value());
+  EXPECT_EQ(tracer.last_fault()->kind, avr::FaultKind::MemMapViolation);
+  EXPECT_EQ(tracer.last_fault()->domain, 1);
+
+  const auto& flight = tracer.flight_record();
+  ASSERT_FALSE(flight.empty());
+  EXPECT_LE(flight.size(), tracer.options().flight_depth);
+  EXPECT_EQ(flight.back().kind, trace::EventKind::Fault);
+  EXPECT_EQ(trace::fault_info_of(flight.back()).kind, avr::FaultKind::MemMapViolation);
+
+  const std::string text = trace::flight_record_text(tracer, &tb.device().flash());
+  EXPECT_NE(text.find("memmap-violation"), std::string::npos);
+  EXPECT_NE(text.find("fault"), std::string::npos);
+}
+
+TEST(FlightRecorder, EmptyBeforeAnyFault) {
+  trace::Tracer tracer;
+  EXPECT_TRUE(tracer.flight_record().empty());
+  EXPECT_FALSE(tracer.last_fault().has_value());
+}
+
+// --- Exporters ----------------------------------------------------------
+
+TEST(Exporters, PerfettoJsonHasDomainTracksAndFaultInstant) {
+  Layout L;
+  Testbed tb(Mode::Umpu, L);
+  trace::Tracer tracer;
+  tracer.attach(tb.device().cpu(), tb.fabric());
+  const std::uint16_t buf = tb.malloc(16, 1).value;
+  const auto p = store_module(tb.module_area());
+  tb.load_module_image(p, 1);
+  ASSERT_FALSE(tb.call_module(p.origin, 1, buf).faulted);
+  ASSERT_TRUE(
+      tb.call_module(p.origin, 1, static_cast<std::uint16_t>(L.heap_base + 0x100)).faulted);
+
+  const std::string j = trace::perfetto_json(tracer);
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(j.find("thread_name"), std::string::npos);
+  EXPECT_NE(j.find("\"domain 1\""), std::string::npos);
+  EXPECT_NE(j.find("call d"), std::string::npos);               // cross-call slice
+  EXPECT_NE(j.find("fault: memmap-violation"), std::string::npos);
+  EXPECT_NE(j.find("\"s\":\"g\""), std::string::npos);           // global instant
+
+  const std::string v = trace::trace_vcd(tracer);
+  EXPECT_NE(v.find("cur_domain"), std::string::npos);
+  EXPECT_NE(v.find("fault_kind"), std::string::npos);
+
+  const std::string mj = trace::metrics_json(tracer);
+  EXPECT_NE(mj.find("mmc.stores_checked"), std::string::npos);
+  EXPECT_NE(mj.find("cycles.in_domain"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate harbor-trace output against tools/trace_schema.json.
+
+Usage: validate_trace.py TRACE_DIR [BENCH_JSON...]
+
+TRACE_DIR must hold trace.json + metrics.json as written by
+`harbor-trace ... --out TRACE_DIR`. Any extra arguments are BENCH_*.json
+table dumps (from bench/bench_util.h) checked against the "bench" schema.
+
+Standard library only — the schema interpreter supports the subset of JSON
+Schema the checked-in schemas use: type, required, properties, items,
+enum, minimum. On top of the structural check, semantic checks assert the
+trace actually shows the protection machinery working: per-domain tracks,
+at least one cross-domain/dispatch slice, and at least one fault instant.
+"""
+
+import json
+import os
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+def check(value, schema, path, errors):
+    t = schema.get("type")
+    if t:
+        expected = TYPES[t]
+        ok = isinstance(value, expected)
+        if t in ("integer", "number") and isinstance(value, bool):
+            ok = False
+        if not ok:
+            errors.append(f"{path}: expected {t}, got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                check(value[key], sub, f"{path}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            check(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(value, schema, label):
+    errors = []
+    check(value, schema, label, errors)
+    if errors:
+        for e in errors[:20]:
+            print(f"validate_trace: {e}", file=sys.stderr)
+        fail(f"{label}: {len(errors)} schema violation(s)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    here = os.path.dirname(os.path.abspath(__file__))
+    schemas = load(os.path.join(here, "trace_schema.json"))
+    trace_dir = sys.argv[1]
+
+    trace = load(os.path.join(trace_dir, "trace.json"))
+    validate(trace, schemas["trace"], "trace.json")
+    events = trace["traceEvents"]
+
+    # Semantic checks: the trace must show the machinery actually working.
+    tracks = {
+        e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e.get("name") == "thread_name"
+    }
+    domain_tracks = [t for t in tracks if t.startswith("domain ")]
+    if not domain_tracks:
+        fail("no per-domain thread_name tracks")
+    slices = [e for e in events if e["ph"] in ("B", "X")]
+    if not slices:
+        fail("no cross-domain call / dispatch slices")
+    faults = [
+        e for e in events if e["ph"] == "i" and e.get("s") == "g"
+        and str(e.get("name", "")).startswith("fault:")
+    ]
+    if not faults:
+        fail("no fault instant on the timeline")
+
+    metrics = load(os.path.join(trace_dir, "metrics.json"))
+    validate(metrics, schemas["metrics"], "metrics.json")
+    counter_names = {c["name"] for c in metrics["counters"]}
+    for needed in ("mmc.stores_checked", "cycles.in_domain", "faults"):
+        if needed not in counter_names:
+            fail(f"metrics.json: missing counter {needed!r}")
+
+    checked = []
+    for bench_path in sys.argv[2:]:
+        bench = load(bench_path)
+        validate(bench, schemas["bench"], os.path.basename(bench_path))
+        if not bench["rows"]:
+            fail(f"{bench_path}: empty table")
+        checked.append(os.path.basename(bench_path))
+
+    print(
+        f"validate_trace: OK — {len(events)} events, "
+        f"{len(domain_tracks)} domain tracks, {len(slices)} slices, "
+        f"{len(faults)} fault instant(s), "
+        f"{len(metrics['counters'])} counters"
+        + (f", bench tables: {', '.join(checked)}" if checked else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
