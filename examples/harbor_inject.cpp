@@ -1,0 +1,128 @@
+// harbor-inject: seeded fault-injection campaign against the protection
+// machinery (see DESIGN.md §10).
+//
+// Mutates a subject module image (single-bit flips, dangerous opcode
+// substitutions, jump-table index corruption, live SRAM bit flips), runs
+// every mutant hermetically under the selected protection mode, and
+// classifies each against a golden-run memory oracle:
+//
+//   benign | contained | rejected | hung | escape
+//
+// A healthy campaign reports ZERO escapes; any escape makes the tool exit
+// nonzero (CI runs it as a gate) and prints the flight-recorder dump.
+//
+// --weakened disables the checker (UMPU memory-map enable bit / SFI
+// verifier) as a self-test of the oracle: in that configuration escapes are
+// EXPECTED, and the tool exits nonzero if none is observed.
+//
+// Usage: harbor-inject [--mode umpu|sfi|both] [--count N] [--seed S]
+//                      [--budget CYCLES] [--weakened] [--out FILE.json]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "inject/campaign.h"
+#include "inject/report.h"
+
+using namespace harbor;
+using inject::CampaignConfig;
+using inject::CampaignReport;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: harbor-inject [--mode umpu|sfi|both] [--count N] [--seed S]\n"
+               "                     [--budget CYCLES] [--weakened] [--out FILE.json]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = "both";
+  std::string out_path;
+  CampaignConfig base;
+  base.count = 200;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--mode") {
+      const char* v = next();
+      if (!v) return usage();
+      mode = v;
+    } else if (arg == "--count") {
+      const char* v = next();
+      if (!v) return usage();
+      base.count = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return usage();
+      base.seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--budget") {
+      const char* v = next();
+      if (!v) return usage();
+      base.cycle_budget = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--weakened") {
+      base.weakened = true;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return usage();
+      out_path = v;
+    } else {
+      return usage();
+    }
+  }
+  if (mode != "umpu" && mode != "sfi" && mode != "both") return usage();
+  if (base.count <= 0) return usage();
+
+  std::vector<runtime::Mode> modes;
+  if (mode == "umpu" || mode == "both") modes.push_back(runtime::Mode::Umpu);
+  if (mode == "sfi" || mode == "both") modes.push_back(runtime::Mode::Sfi);
+
+  int escapes = 0;
+  std::string json = "[";
+  bool first = true;
+  for (const runtime::Mode m : modes) {
+    CampaignConfig cfg = base;
+    cfg.mode = m;
+    const CampaignReport rep = inject::run_campaign(cfg);
+    std::fputs(inject::report_text(rep).c_str(), stdout);
+    escapes += rep.escapes();
+    if (!first) json += ',';
+    json += inject::report_json(rep);
+    first = false;
+  }
+  json += "]\n";
+
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    if (!f) {
+      std::fprintf(stderr, "harbor-inject: cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    f << json;
+    std::printf("report written to %s\n", out_path.c_str());
+  }
+
+  if (base.weakened) {
+    // Oracle self-test: with the checker off, the campaign must catch at
+    // least one escape, or the oracle is blind.
+    if (escapes == 0) {
+      std::fprintf(stderr, "harbor-inject: weakened checker produced no escape "
+                           "-- the oracle failed its self-test\n");
+      return 1;
+    }
+    std::printf("weakened checker: %d escape(s) detected, oracle self-test OK\n", escapes);
+    return 0;
+  }
+  if (escapes > 0) {
+    std::fprintf(stderr, "harbor-inject: %d ESCAPE(S) -- protection failure\n", escapes);
+    return 1;
+  }
+  std::printf("no escapes: every mutant contained, rejected, hung or benign\n");
+  return 0;
+}

@@ -12,7 +12,13 @@
 // The default scenario is the multi_domain_app pipeline (producer ->
 // filter -> sink) followed by a tamper stage: a rogue module stores into a
 // buffer it does not own, so every run also demonstrates the fault flight
-// recorder and puts at least one fault instant on the timeline.
+// recorder and puts at least one fault instant on the timeline. A final
+// supervision stage loads a runaway module that spins forever on kData:
+// the per-dispatch cycle budget kills it (fault:watchdog instants), the
+// kernel supervisor restarts it with exponential backoff ("restart" /
+// "sos-backoff-defer" / "sos-probe" instants) and quarantines it once the
+// restart budget is spent ("quarantine", then "sos-dead-letter" for mail
+// that arrives while the domain is down).
 //
 // Usage: harbor-trace [multi_domain_app] [--mode umpu|sfi] [--out DIR]
 //                     [--ring N] [--retire] [--rounds N]
@@ -156,6 +162,28 @@ ModuleImage tamper() {
   return m;
 }
 
+/// runaway: on kData enters an infinite compute loop. Nothing it does is a
+/// memory violation — only the per-dispatch cycle budget (the watchdog)
+/// gets control back to the kernel.
+ModuleImage runaway() {
+  Assembler a;
+  ModuleImage m;
+  m.name = "runaway";
+  auto done = a.make_label();
+  a.cpi(r24, msg::kData);
+  a.brne(done);
+  const Label spin = a.bind_here("spin");
+  a.inc(r18);
+  a.rjmp(spin);
+  a.bind(done);
+  a.clr(r24);
+  a.clr(r25);
+  a.ret();
+  m.code = a.assemble().words;
+  m.exports = {{ModuleImage::kHandlerSlot, 0}};
+  return m;
+}
+
 int fail_usage() {
   std::fprintf(stderr,
                "usage: harbor-trace [multi_domain_app] [--mode umpu|sfi]\n"
@@ -234,6 +262,32 @@ int main(int argc, char** argv) {
     for (const char c : sys.console()) std::printf(" %d", static_cast<unsigned char>(c));
     std::printf("\ntamper dispatch faulted: %s\n", tamper_faulted ? "yes" : "NO (bug!)");
     if (!tamper_faulted) return 1;
+
+    // Supervision path: a runaway module spins forever; the watchdog kills
+    // each dispatch, the supervisor restarts with backoff, then
+    // quarantines. Every decision becomes a timeline instant.
+    sys.driver().set_cycle_budget(20'000);
+    sos::SupervisorConfig sup;
+    sup.auto_restart = true;
+    sup.restart_budget = 2;
+    sup.backoff_base = 1;
+    sys.kernel().set_supervisor(sup);
+    const auto d_run = sys.load_module(runaway(), 4);
+    sys.run_pending();
+    int spin_rounds = 0;
+    while (!sys.kernel().quarantined(d_run) && spin_rounds < 16) {
+      sys.post(d_run, msg::kData);
+      sys.run_pending();
+      ++spin_rounds;
+    }
+    std::printf("runaway module: watchdog-killed and quarantined after %d rounds: %s\n",
+                spin_rounds,
+                sys.kernel().quarantined(d_run) ? "yes" : "NO (bug!)");
+    if (!sys.kernel().quarantined(d_run)) return 1;
+    sys.post(d_run, msg::kData);  // dead-lettered, not dropped
+    sys.run_pending();
+    std::printf("dead letters held for the quarantined domain: %zu\n",
+                sys.kernel().dead_letters().size());
   }
 
   // --- artifacts ---

@@ -18,6 +18,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::PcOutOfDomain: return "pc-out-of-domain";
     case FaultKind::SafeStackOverflow: return "safe-stack-overflow";
     case FaultKind::IllegalInstruction: return "illegal-instruction";
+    case FaultKind::Watchdog: return "watchdog";
   }
   return "?";
 }

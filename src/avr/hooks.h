@@ -22,12 +22,13 @@ enum class FaultKind : std::uint8_t {
   PcOutOfDomain,        ///< instruction fetched outside the domain's code
   SafeStackOverflow,    ///< safe stack collided with its bound
   IllegalInstruction,   ///< undecodable opcode or SPM from untrusted code
+  Watchdog,             ///< cycle budget exhausted without halting (runaway code)
 };
 
 const char* fault_kind_name(FaultKind k);
 
 /// Number of FaultKind values (None included) — for iteration/round-trips.
-inline constexpr int kFaultKindCount = static_cast<int>(FaultKind::IllegalInstruction) + 1;
+inline constexpr int kFaultKindCount = static_cast<int>(FaultKind::Watchdog) + 1;
 
 /// Inverse of fault_kind_name. Returns nullopt for unknown names.
 std::optional<FaultKind> fault_kind_from_name(std::string_view name);

@@ -1,0 +1,309 @@
+#include "inject/campaign.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "asm/builder.h"
+#include "inject/oracle.h"
+#include "runtime/testbed.h"
+#include "sfi/rewriter.h"
+#include "sfi/verifier.h"
+#include "trace/export.h"
+#include "trace/tracer.h"
+
+namespace harbor::inject {
+
+using assembler::Program;
+using runtime::CallResult;
+using runtime::Testbed;
+
+namespace {
+
+constexpr std::uint16_t kBufBytes = 24;
+constexpr memmap::DomainId kVictimDomain = 1;
+constexpr memmap::DomainId kSubjectDomain = 2;
+constexpr std::uint16_t kStackWindow = 64;  ///< run-time stack bytes mutated
+
+/// Subject module, raw at origin 0. Entry (r25:r24 = own buffer): fill the
+/// buffer with a ramp, checksum the victim buffer (reads are unrestricted),
+/// one cross-domain call to the kernel nop export, return the checksum.
+Program subject_program(std::uint16_t victim_addr, std::uint32_t jt_nop) {
+  using namespace assembler;
+  Assembler a(0);
+  a.movw(r26, r24);  // X = own buffer
+  a.ldi(r18, kBufBytes);
+  a.ldi(r19, 0xA5);
+  const Label fill = a.bind_here("fill");
+  a.st_x_inc(r19);
+  a.inc(r19);
+  a.dec(r18);
+  a.brne(fill);
+  a.ldi16(r28, victim_addr);  // Y = victim buffer (read-only view)
+  a.ldi(r20, 8);
+  a.clr(r21);
+  const Label sum = a.bind_here("sum");
+  a.mark("victim_ld");
+  a.ld_y_inc(r22);
+  a.add(r21, r22);
+  a.dec(r20);
+  a.brne(sum);
+  a.call_abs(jt_nop);  // cross-domain call through the kernel jump table
+  a.mov(r24, r21);
+  a.clr(r25);
+  a.ret();
+  return a.assemble();
+}
+
+/// Host-side scenario setup, identical before the golden run and before
+/// every mutant: allocate the victim and subject buffers (deterministic
+/// addresses) and stamp the victim with a recognizable pattern.
+struct Addrs {
+  std::uint16_t victim = 0;
+  std::uint16_t buf = 0;
+};
+
+Addrs setup(Testbed& tb) {
+  const CallResult v = tb.malloc(kBufBytes, memmap::kTrustedDomain, kVictimDomain);
+  const CallResult b = tb.malloc(kBufBytes, memmap::kTrustedDomain, kSubjectDomain);
+  if (v.faulted || b.faulted || v.value == 0 || b.value == 0)
+    throw std::runtime_error("inject: scenario allocation failed");
+  auto& data = tb.device().data();
+  for (std::uint16_t i = 0; i < kBufBytes; ++i)
+    data.set_sram_raw(static_cast<std::uint16_t>(v.value + i),
+                      static_cast<std::uint8_t>(0x5A + i));
+  return {v.value, b.value};
+}
+
+/// Everything shared across the mutant loop, derived once per campaign.
+struct Prepared {
+  Program clean;                           ///< image as loaded (mode-specific)
+  std::uint32_t entry = 0;                 ///< absolute entry word address
+  std::vector<std::uint32_t> entries_abs;  ///< declared entries (SFI verify)
+  sfi::StubTable stubs{};                  ///< SFI checker stubs
+  Addrs addrs;
+  Oracle oracle;
+  std::uint64_t golden_instrs = 0;
+  std::uint16_t golden_value = 0;
+  std::uint32_t victim_ld_index = 0;       ///< word index of the victim load
+};
+
+Prepared prepare(const CampaignConfig& cfg) {
+  if (cfg.mode != runtime::Mode::Umpu && cfg.mode != runtime::Mode::Sfi)
+    throw std::invalid_argument("inject: campaign mode must be Umpu or Sfi");
+
+  Prepared P;
+
+  // Probe run: learn the (deterministic) scenario addresses and build the
+  // mode-specific image.
+  Testbed probe(cfg.mode);
+  P.addrs = setup(probe);
+  const runtime::Layout& L = probe.layout();
+  const Program raw = subject_program(
+      P.addrs.victim, L.jt_entry(memmap::kTrustedDomain, Testbed::kNopSlot));
+  const std::uint32_t ld_off = raw.symbol("victim_ld").value();
+
+  if (cfg.mode == runtime::Mode::Sfi) {
+    P.stubs = sfi::StubTable::from_runtime(probe.runtime());
+    sfi::RewriteInput in;
+    in.words = raw.words;
+    in.entries = {0};
+    const sfi::RewriteResult res = sfi::rewrite(in, P.stubs, probe.module_area());
+    P.clean = res.program;
+    P.entry = res.map_offset(0);
+    P.entries_abs = {P.entry};
+    P.victim_ld_index = res.map_offset(ld_off) - res.program.origin;
+  } else {
+    P.clean.origin = probe.module_area();
+    P.clean.words = raw.words;
+    P.entry = P.clean.origin;
+    P.entries_abs = {P.entry};
+    P.victim_ld_index = ld_off;
+  }
+
+  // Golden run in a fresh testbed: the oracle snapshot and the reference
+  // instruction count come from here.
+  Testbed golden(cfg.mode);
+  golden.set_cycle_budget(cfg.cycle_budget);
+  const Addrs ga = setup(golden);
+  if (ga.victim != P.addrs.victim || ga.buf != P.addrs.buf)
+    throw std::runtime_error("inject: scenario addresses are not deterministic");
+  golden.load_module_image(P.clean, kSubjectDomain);
+  const std::uint64_t i0 = golden.device().cpu().instruction_count();
+  const CallResult r = golden.call_module(P.entry, kSubjectDomain, P.addrs.buf);
+  if (r.faulted)
+    throw std::runtime_error("inject: golden run faulted (" +
+                             std::string(avr::fault_kind_name(r.fault)) + ")");
+  P.golden_instrs = golden.device().cpu().instruction_count() - i0;
+  P.golden_value = r.value;
+  P.oracle = Oracle::capture(golden, kSubjectDomain);
+  return P;
+}
+
+/// CpuHooks decorator that flips one SRAM bit after N retired instructions
+/// (the live-state corruption model), forwarding everything to the inner
+/// sink so protection and tracing behave exactly as without it.
+class SramFlipHook final : public avr::CpuHooks {
+ public:
+  SramFlipHook(avr::DataSpace& data, avr::CpuHooks* inner, const Mutation& m)
+      : data_(data), inner_(inner), addr_(m.sram_addr), bit_(m.bit),
+        left_(m.trigger_instr) {}
+
+  avr::FaultKind on_fetch(std::uint32_t pc) override {
+    if (left_ > 0 && --left_ == 0)
+      data_.set_sram_raw(addr_, static_cast<std::uint8_t>(
+                                    data_.sram_raw(addr_) ^ (1u << bit_)));
+    return inner_ ? inner_->on_fetch(pc) : avr::FaultKind::None;
+  }
+  avr::WriteDecision on_write(std::uint16_t addr, std::uint8_t value,
+                              avr::WriteKind kind) override {
+    return inner_ ? inner_->on_write(addr, value, kind) : avr::WriteDecision{};
+  }
+  avr::ReadDecision on_read(std::uint16_t addr, avr::ReadKind kind) override {
+    return inner_ ? inner_->on_read(addr, kind) : avr::ReadDecision{};
+  }
+  avr::FlowDecision on_flow(avr::FlowKind kind, std::uint32_t target,
+                            std::uint32_t ret_addr) override {
+    return inner_ ? inner_->on_flow(kind, target, ret_addr) : avr::FlowDecision{};
+  }
+  avr::FaultKind on_spm(std::uint32_t z) override {
+    return inner_ ? inner_->on_spm(z) : avr::FaultKind::None;
+  }
+  void on_fault(const avr::FaultInfo& info) override {
+    if (inner_) inner_->on_fault(info);
+  }
+
+ private:
+  avr::DataSpace& data_;
+  avr::CpuHooks* inner_;
+  std::uint16_t addr_;
+  std::uint8_t bit_;
+  std::uint64_t left_;
+};
+
+MutantRecord run_one(const Prepared& P, const CampaignConfig& cfg, int index,
+                     const Mutation& m) {
+  MutantRecord rec;
+  rec.index = index;
+  rec.mutation = m;
+
+  std::vector<std::uint16_t> words = P.clean.words;
+  const bool code_mutation = m.kind != MutationKind::SramBitFlip;
+  if (code_mutation) apply_mutation(words, m);
+
+  // SFI line one: the verifier. A weakened campaign skips it to prove the
+  // oracle notices what then slips through.
+  if (cfg.mode == runtime::Mode::Sfi && code_mutation && !cfg.weakened) {
+    const sfi::VerifyResult v =
+        sfi::verify(words, P.clean.origin, P.entries_abs, P.stubs);
+    if (!v.ok) {
+      rec.outcome = Outcome::Rejected;
+      rec.detail = v.reason + " @" + std::to_string(v.at);
+      return rec;
+    }
+  }
+
+  Testbed tb(cfg.mode);
+  tb.set_cycle_budget(cfg.cycle_budget);
+  const Addrs a = setup(tb);
+  if (a.victim != P.addrs.victim || a.buf != P.addrs.buf)
+    throw std::runtime_error("inject: scenario addresses are not deterministic");
+
+  trace::TracerOptions topts;
+  topts.ring_capacity = 512;
+  topts.flight_depth = cfg.flight_depth;
+  trace::Tracer tracer(topts);
+  tracer.attach(tb.device().cpu(), tb.fabric());
+
+  Program p;
+  p.origin = P.clean.origin;
+  p.words = words;
+  tb.load_module_image(p, kSubjectDomain);
+
+  if (cfg.weakened && cfg.mode == runtime::Mode::Umpu)
+    tb.fabric()->regs().mem_map_config &= 0x7f;  // clear the MMC enable bit
+
+  std::unique_ptr<SramFlipHook> flip;
+  avr::CpuHooks* saved = nullptr;
+  if (m.kind == MutationKind::SramBitFlip) {
+    saved = tb.device().cpu().hooks();
+    flip = std::make_unique<SramFlipHook>(tb.device().data(), saved, m);
+    tb.device().cpu().set_hooks(flip.get());
+  }
+  const CallResult r = tb.call_module(P.entry, kSubjectDomain, P.addrs.buf);
+  if (flip) tb.device().cpu().set_hooks(saved);
+
+  rec.fault = r.faulted ? r.fault : avr::FaultKind::None;
+  rec.value = r.value;
+
+  const std::vector<std::uint16_t> div = P.oracle.diff(tb);
+  if (!div.empty()) {
+    rec.outcome = Outcome::Escape;
+    rec.divergent.assign(div.begin(),
+                         div.size() > 8 ? div.begin() + 8 : div.end());
+    rec.detail = describe(m) + "; " + std::to_string(div.size()) +
+                 " protected bytes diverged\n" +
+                 trace::flight_record_text(tracer, &tb.device().flash());
+  } else if (r.faulted && r.fault == avr::FaultKind::Watchdog) {
+    rec.outcome = Outcome::Hung;
+  } else if (r.faulted) {
+    rec.outcome = Outcome::Contained;
+  } else {
+    rec.outcome = Outcome::Benign;
+  }
+  tracer.detach();
+  return rec;
+}
+
+CampaignReport run(const CampaignConfig& cfg, const Prepared& P,
+                   const std::vector<Mutation>& plan) {
+  CampaignReport rep;
+  rep.config = cfg;
+  rep.protected_bytes = P.oracle.protected_bytes();
+  rep.golden_value = P.golden_value;
+  rep.golden_instructions = P.golden_instrs;
+  rep.mutants.reserve(plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    MutantRecord rec = run_one(P, cfg, static_cast<int>(i), plan[i]);
+    ++rep.counts[static_cast<int>(rec.outcome)];
+    rep.mutants.push_back(std::move(rec));
+  }
+  return rep;
+}
+
+}  // namespace
+
+CampaignReport run_campaign(const CampaignConfig& config) {
+  const Prepared P = prepare(config);
+  const runtime::Layout L{};  // the campaign always runs the default layout
+  PlanContext ctx;
+  ctx.words = P.clean.words;
+  ctx.origin = P.clean.origin;
+  ctx.jt_lo = L.jt_base;
+  ctx.jt_hi = L.jt_end();
+  ctx.buf_lo = P.addrs.buf;
+  ctx.buf_hi = static_cast<std::uint16_t>(P.addrs.buf + kBufBytes);
+  ctx.stack_lo = static_cast<std::uint16_t>(L.ram_end - kStackWindow);
+  ctx.stack_hi = L.ram_end;
+  ctx.instr_count = P.golden_instrs;
+  const std::vector<Mutation> plan = plan_campaign(ctx, config.seed, config.count);
+  return run(config, P, plan);
+}
+
+CampaignReport run_campaign(const CampaignConfig& config,
+                            const std::vector<Mutation>& plan) {
+  const Prepared P = prepare(config);
+  return run(config, P, plan);
+}
+
+Mutation store_escape_mutation(const CampaignConfig& config) {
+  const Prepared P = prepare(config);
+  assembler::Assembler one;
+  one.st_y_inc(assembler::r22);
+  Mutation m;
+  m.kind = MutationKind::OpcodeSub;
+  m.word_index = P.victim_ld_index;
+  m.new_word = one.assemble().words.at(0);
+  return m;
+}
+
+}  // namespace harbor::inject

@@ -1,0 +1,75 @@
+#pragma once
+// Fault-injection campaign engine.
+//
+// Fixed scenario (identical for golden run and every mutant): a victim
+// buffer owned by domain 1, a subject module in domain 2 that fills its own
+// kernel-allocated buffer, checksums the victim buffer (reads are
+// unrestricted), and makes one cross-domain call into the kernel jump
+// table. The subject image is mutated per a seeded plan and every mutant is
+// run in a fresh, hermetic Testbed under the selected protection mode, then
+// classified against the golden-run memory oracle (oracle.h) into the
+// Outcome taxonomy (classify.h).
+//
+// The `weakened` switch is a test-only hook that disables the checker —
+// the UMPU memory-map checker enable bit, or the SFI load-time verifier —
+// to demonstrate that the oracle really detects escapes when protection is
+// absent. A healthy campaign (weakened = false) must report zero escapes.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "avr/hooks.h"
+#include "inject/classify.h"
+#include "inject/mutation.h"
+#include "runtime/runtime.h"
+
+namespace harbor::inject {
+
+struct CampaignConfig {
+  runtime::Mode mode = runtime::Mode::Umpu;  ///< Umpu or Sfi
+  std::uint64_t seed = 1;
+  int count = 100;
+  std::uint64_t cycle_budget = 100'000;  ///< watchdog per guest call
+  bool weakened = false;                 ///< disable the checker (oracle self-test)
+  std::size_t flight_depth = 16;         ///< flight-recorder depth for escape dumps
+};
+
+struct MutantRecord {
+  int index = 0;
+  Mutation mutation;
+  Outcome outcome = Outcome::Benign;
+  avr::FaultKind fault = avr::FaultKind::None;
+  std::uint16_t value = 0;                ///< guest return value (r25:r24)
+  std::vector<std::uint16_t> divergent;   ///< first divergent addresses (escapes)
+  std::string detail;                     ///< verifier reason / flight dump
+};
+
+struct CampaignReport {
+  CampaignConfig config;
+  std::size_t protected_bytes = 0;        ///< oracle coverage
+  std::uint16_t golden_value = 0;         ///< golden-run return value
+  std::uint64_t golden_instructions = 0;
+  std::array<int, kOutcomeCount> counts{};
+  std::vector<MutantRecord> mutants;
+
+  [[nodiscard]] int escapes() const {
+    return counts[static_cast<int>(Outcome::Escape)];
+  }
+  [[nodiscard]] int count_of(Outcome o) const { return counts[static_cast<int>(o)]; }
+};
+
+/// Run a seeded campaign: plan `config.count` mutants and classify each.
+CampaignReport run_campaign(const CampaignConfig& config);
+
+/// Run an explicit plan (for targeted tests and resumable tooling).
+CampaignReport run_campaign(const CampaignConfig& config,
+                            const std::vector<Mutation>& plan);
+
+/// The deterministic escape demonstrator: an OpcodeSub that turns the
+/// subject's victim-buffer *load* into a *store*. With the checker active
+/// it is Contained (UMPU) / Rejected (SFI); weakened, it escapes.
+Mutation store_escape_mutation(const CampaignConfig& config);
+
+}  // namespace harbor::inject

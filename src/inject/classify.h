@@ -1,0 +1,44 @@
+#pragma once
+// Outcome taxonomy of the fault-injection campaign (see DESIGN.md §10).
+//
+// Every mutant is classified against a golden-run memory oracle; the enum
+// is total, so a campaign can never produce an unclassified mutant.
+
+#include <cstdint>
+#include <string_view>
+
+namespace harbor::inject {
+
+enum class Outcome : std::uint8_t {
+  /// The mutant ran to completion without a fault and without touching any
+  /// protected byte (the corruption was masked or inconsequential).
+  Benign,
+  /// The protection machinery stopped the mutant: it faulted (MMC deny,
+  /// stack bound, fetch deny, checker fault, ...) and no protected byte
+  /// diverged from the golden run.
+  Contained,
+  /// SFI only: the verifier refused to admit the mutated binary, so it
+  /// never executed (the paper's load-time line of defence).
+  Rejected,
+  /// The mutant neither halted nor faulted within the cycle budget and was
+  /// killed by the watchdog; no protected byte diverged.
+  Hung,
+  /// A protected byte differs from the golden run: the mutant wrote memory
+  /// it does not own. This is a protection failure and fails the campaign.
+  Escape,
+};
+
+inline constexpr int kOutcomeCount = static_cast<int>(Outcome::Escape) + 1;
+
+constexpr std::string_view outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::Benign: return "benign";
+    case Outcome::Contained: return "contained";
+    case Outcome::Rejected: return "rejected";
+    case Outcome::Hung: return "hung";
+    case Outcome::Escape: return "escape";
+  }
+  return "?";
+}
+
+}  // namespace harbor::inject

@@ -1,0 +1,170 @@
+#include "inject/mutation.h"
+
+#include <cstdio>
+#include <random>
+#include <string>
+
+#include "asm/builder.h"
+#include "avr/decoder.h"
+
+namespace harbor::inject {
+
+namespace {
+
+/// Word of a single-instruction program (for the OpcodeSub table).
+template <typename Emit>
+std::uint16_t word_of(Emit emit) {
+  assembler::Assembler a;
+  emit(a);
+  return a.assemble().words.at(0);
+}
+
+/// Dangerous single-word opcodes a mutant may be rewritten to. Each is an
+/// instruction the SFI verifier must reject raw and the UMPU hardware must
+/// contain at run time.
+std::vector<std::uint16_t> dangerous_opcodes() {
+  using assembler::Assembler;
+  using namespace assembler;
+  return {
+      word_of([](Assembler& a) { a.st_x_inc(r19); }),
+      word_of([](Assembler& a) { a.st_y_inc(r22); }),
+      word_of([](Assembler& a) { a.st_z_inc(r24); }),
+      word_of([](Assembler& a) { a.st_x(r0); }),
+      word_of([](Assembler& a) { a.ret(); }),
+      word_of([](Assembler& a) { a.reti(); }),
+      word_of([](Assembler& a) { a.icall(); }),
+      word_of([](Assembler& a) { a.ijmp(); }),
+      word_of([](Assembler& a) { a.spm(); }),
+      word_of([](Assembler& a) { a.out(0x3d, r24); }),  // SPL
+  };
+}
+
+/// Instruction-boundary scan of the image: boundaries, plus the operand
+/// words / immediate loads that feed jump-table dispatch.
+struct Sites {
+  std::vector<std::uint32_t> boundaries;  ///< word index of every instruction
+  std::vector<std::uint32_t> jt_sites;    ///< words whose corruption redirects
+                                          ///< a jump-table transfer
+};
+
+Sites scan(const PlanContext& ctx) {
+  Sites s;
+  const auto& w = ctx.words;
+  for (std::uint32_t i = 0; i < w.size();) {
+    const std::uint16_t w1 = i + 1 < w.size() ? w[i + 1] : 0;
+    const avr::Instr in = avr::decode(w[i], w1);
+    s.boundaries.push_back(i);
+    const int n = in.op == avr::Mnemonic::Invalid ? 1 : in.words();
+    if ((in.op == avr::Mnemonic::Call || in.op == avr::Mnemonic::Jmp) &&
+        in.k32 >= ctx.jt_lo && in.k32 < ctx.jt_hi && i + 1 < w.size()) {
+      s.jt_sites.push_back(i + 1);  // the absolute-address operand word
+    }
+    // SFI cross-call sequences load the jump-table entry into Z with
+    // ldi r30/r31 immediates; corrupting those redirects the dispatch.
+    if (in.op == avr::Mnemonic::Ldi && (in.d == 30 || in.d == 31)) s.jt_sites.push_back(i);
+    i += static_cast<std::uint32_t>(n);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<Mutation> plan_campaign(const PlanContext& ctx, std::uint64_t seed, int count) {
+  std::mt19937_64 rng(seed);
+  const Sites sites = scan(ctx);
+  const std::vector<std::uint16_t> opcodes = dangerous_opcodes();
+
+  auto pick = [&rng](std::uint64_t n) { return n ? rng() % n : 0; };
+
+  std::vector<Mutation> plan;
+  plan.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Mutation m;
+    // Class mix: mostly random flips, with a steady diet of adversarial
+    // substitutions, dispatch corruption and live-state corruption.
+    const std::uint64_t roll = pick(100);
+    if (roll < 40) {
+      m.kind = MutationKind::BitFlip;
+    } else if (roll < 65) {
+      m.kind = MutationKind::OpcodeSub;
+    } else if (roll < 80) {
+      m.kind = MutationKind::JumpTableIndex;
+    } else {
+      m.kind = MutationKind::SramBitFlip;
+    }
+    // Degrade gracefully if a class has no sites in this image.
+    if (m.kind == MutationKind::JumpTableIndex && sites.jt_sites.empty())
+      m.kind = MutationKind::BitFlip;
+    if (m.kind == MutationKind::SramBitFlip &&
+        ctx.buf_hi <= ctx.buf_lo && ctx.stack_hi <= ctx.stack_lo)
+      m.kind = MutationKind::BitFlip;
+
+    switch (m.kind) {
+      case MutationKind::BitFlip:
+        m.word_index = static_cast<std::uint32_t>(pick(ctx.words.size()));
+        m.bit = static_cast<std::uint8_t>(pick(16));
+        break;
+      case MutationKind::OpcodeSub:
+        m.word_index = sites.boundaries[pick(sites.boundaries.size())];
+        m.new_word = opcodes[pick(opcodes.size())];
+        break;
+      case MutationKind::JumpTableIndex:
+        m.word_index = sites.jt_sites[pick(sites.jt_sites.size())];
+        m.bit = static_cast<std::uint8_t>(pick(8));  // low byte: entry select
+        break;
+      case MutationKind::SramBitFlip: {
+        const std::uint32_t buf = ctx.buf_hi > ctx.buf_lo ? ctx.buf_hi - ctx.buf_lo : 0;
+        const std::uint32_t stk =
+            ctx.stack_hi > ctx.stack_lo ? ctx.stack_hi - ctx.stack_lo : 0;
+        const std::uint64_t off = pick(buf + stk);
+        m.sram_addr = off < buf ? static_cast<std::uint16_t>(ctx.buf_lo + off)
+                                : static_cast<std::uint16_t>(ctx.stack_lo + (off - buf));
+        m.bit = static_cast<std::uint8_t>(pick(8));
+        m.trigger_instr = 1 + pick(ctx.instr_count ? ctx.instr_count : 1);
+        break;
+      }
+    }
+    plan.push_back(m);
+  }
+  return plan;
+}
+
+void apply_mutation(std::vector<std::uint16_t>& words, const Mutation& m) {
+  switch (m.kind) {
+    case MutationKind::BitFlip:
+    case MutationKind::JumpTableIndex:
+      words.at(m.word_index) ^= static_cast<std::uint16_t>(1u << m.bit);
+      break;
+    case MutationKind::OpcodeSub:
+      words.at(m.word_index) = m.new_word;
+      break;
+    case MutationKind::SramBitFlip:
+      break;  // applied live by the campaign's fetch hook
+  }
+}
+
+std::string describe(const Mutation& m) {
+  std::string out(mutation_kind_name(m.kind));
+  switch (m.kind) {
+    case MutationKind::BitFlip:
+    case MutationKind::JumpTableIndex:
+      out += " word " + std::to_string(m.word_index) + " bit " + std::to_string(m.bit);
+      break;
+    case MutationKind::OpcodeSub: {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "0x%04x", m.new_word);
+      out += " word " + std::to_string(m.word_index) + " -> " + buf;
+      break;
+    }
+    case MutationKind::SramBitFlip: {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "0x%04x", m.sram_addr);
+      out += " addr " + std::string(buf) + " bit " + std::to_string(m.bit) + " @instr " +
+             std::to_string(m.trigger_instr);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace harbor::inject

@@ -1,0 +1,80 @@
+#pragma once
+// Seeded mutation planning for the fault-injection campaign.
+//
+// A plan is a deterministic function of (image, seed, count): the same seed
+// always yields the same mutants, so campaign results are reproducible
+// across runs and machines. Mutation classes model the corruptions the
+// paper's protection must contain:
+//
+//   BitFlip         single-bit flip anywhere in the loaded image (cosmic-ray
+//                   / flash-wear model)
+//   OpcodeSub       an instruction replaced by a dangerous one (st/ret/
+//                   icall/ijmp/spm) — the adversarial "what if the rewriter
+//                   missed one" model
+//   JumpTableIndex  corrupt the operand that selects a jump-table entry
+//                   (call operand words, cross-call Z loads)
+//   SramBitFlip     a live bit flip in the module's own RAM (buffer or
+//                   run-time stack) mid-execution — corrupted module state,
+//                   not a corrupted TCB
+//
+// Code mutations apply to the image *as loaded*: the raw binary under UMPU,
+// the rewritten binary under SFI (so SFI mutants exercise the verifier).
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace harbor::inject {
+
+enum class MutationKind : std::uint8_t {
+  BitFlip,
+  OpcodeSub,
+  JumpTableIndex,
+  SramBitFlip,
+};
+
+inline constexpr int kMutationKindCount = static_cast<int>(MutationKind::SramBitFlip) + 1;
+
+constexpr std::string_view mutation_kind_name(MutationKind k) {
+  switch (k) {
+    case MutationKind::BitFlip: return "bit-flip";
+    case MutationKind::OpcodeSub: return "opcode-sub";
+    case MutationKind::JumpTableIndex: return "jt-index";
+    case MutationKind::SramBitFlip: return "sram-flip";
+  }
+  return "?";
+}
+
+struct Mutation {
+  MutationKind kind = MutationKind::BitFlip;
+  std::uint32_t word_index = 0;    ///< image word touched (code mutations)
+  std::uint8_t bit = 0;            ///< bit flipped (BitFlip/JumpTableIndex/SramBitFlip)
+  std::uint16_t new_word = 0;      ///< replacement opcode (OpcodeSub)
+  std::uint16_t sram_addr = 0;     ///< data address (SramBitFlip)
+  std::uint64_t trigger_instr = 0; ///< retired-instruction count that arms the flip
+};
+
+/// Everything the planner needs to pick mutation sites.
+struct PlanContext {
+  std::vector<std::uint16_t> words;  ///< image as loaded (mode-specific)
+  std::uint32_t origin = 0;          ///< load origin (word address)
+  std::uint32_t jt_lo = 0;           ///< jump-table window [jt_lo, jt_hi)
+  std::uint32_t jt_hi = 0;
+  std::uint16_t buf_lo = 0;          ///< subject-owned buffer window
+  std::uint16_t buf_hi = 0;
+  std::uint16_t stack_lo = 0;        ///< run-time stack window the subject uses
+  std::uint16_t stack_hi = 0;
+  std::uint64_t instr_count = 0;     ///< golden-run retired instructions
+};
+
+/// Plan exactly `count` mutations, deterministically from `seed`.
+std::vector<Mutation> plan_campaign(const PlanContext& ctx, std::uint64_t seed, int count);
+
+/// Apply a code mutation (BitFlip/OpcodeSub/JumpTableIndex) to image words.
+/// SramBitFlip mutations are applied at run time and leave `words` alone.
+void apply_mutation(std::vector<std::uint16_t>& words, const Mutation& m);
+
+/// One-line human description ("bit-flip word 12 bit 3", ...).
+std::string describe(const Mutation& m);
+
+}  // namespace harbor::inject

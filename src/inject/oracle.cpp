@@ -1,0 +1,54 @@
+#include "inject/oracle.h"
+
+#include "memmap/memory_map.h"
+
+namespace harbor::inject {
+
+Oracle Oracle::capture(runtime::Testbed& tb, memmap::DomainId subject) {
+  const runtime::Layout& L = tb.layout();
+  const memmap::Config cfg = L.memmap_config();
+  memmap::MemoryMap view(cfg);
+  view.load_table(tb.guest_map_table());
+
+  // A block is a bystander's iff an untrusted domain other than the
+  // subject owns it in the golden map.
+  const auto bystander = [&](std::uint32_t block) {
+    if (block >= view.block_count()) return false;
+    const memmap::DomainId owner = view.block(block).owner;
+    return owner != subject && owner != memmap::kTrustedDomain;
+  };
+
+  Oracle o;
+  auto& data = tb.device().data();
+  const std::uint16_t map_end =
+      static_cast<std::uint16_t>(L.map_base + cfg.table_bytes());
+  for (std::uint32_t a = L.prot_bot; a < L.prot_top; ++a) {
+    const auto addr = static_cast<std::uint16_t>(a);
+    bool protect;
+    if (addr >= L.map_base && addr < map_end) {
+      // A table byte is protected when every block it encodes belongs to a
+      // bystander (legitimate allocator calls may rewrite the others).
+      protect = true;
+      const std::uint32_t first = (addr - L.map_base) *
+                                  static_cast<std::uint32_t>(cfg.blocks_per_byte());
+      for (int k = 0; k < cfg.blocks_per_byte(); ++k)
+        if (!bystander(first + static_cast<std::uint32_t>(k))) protect = false;
+    } else {
+      protect = bystander(view.translate(addr).block_index);
+    }
+    if (!protect) continue;
+    o.addrs_.push_back(addr);
+    o.golden_.push_back(data.sram_raw(addr));
+  }
+  return o;
+}
+
+std::vector<std::uint16_t> Oracle::diff(runtime::Testbed& tb) const {
+  std::vector<std::uint16_t> out;
+  const auto& data = tb.device().data();
+  for (std::size_t i = 0; i < addrs_.size(); ++i)
+    if (data.sram_raw(addrs_[i]) != golden_[i]) out.push_back(addrs_[i]);
+  return out;
+}
+
+}  // namespace harbor::inject

@@ -1,0 +1,47 @@
+#pragma once
+// Golden-run memory oracle: the ground truth a mutant's final memory is
+// judged against.
+//
+// The protected set is every byte that NO legitimate action of the subject
+// module may alter — not even a confused-but-authorized one. A corrupted
+// module can still call kernel services through the jump table (malloc,
+// free, ...), and those run as the trusted domain and legitimately rewrite
+// the memory-map table, heap headers and free blocks; such changes are the
+// kernel acting on an authorized request, not a containment failure. What
+// the subject can never legitimately change is a *bystander's* memory:
+//
+//   - every byte of a block whose golden owner is an untrusted domain
+//     other than the subject (the victim's data), and
+//   - every memory-map table byte all of whose covered blocks are owned by
+//     such bystander domains (the permission codes that guard them; a
+//     mutant that grants itself a victim block flips exactly these).
+//
+// Any divergence between a mutant's final protected bytes and the golden
+// snapshot means the protection let a cross-domain write through — an
+// Escape, regardless of whether the run also faulted.
+
+#include <cstdint>
+#include <vector>
+
+#include "memmap/config.h"
+#include "runtime/testbed.h"
+
+namespace harbor::inject {
+
+class Oracle {
+ public:
+  /// Snapshot the protected set from `tb` after the golden run.
+  static Oracle capture(runtime::Testbed& tb, memmap::DomainId subject);
+
+  /// Addresses whose current value in `tb` differs from the golden
+  /// snapshot (empty = no escape).
+  [[nodiscard]] std::vector<std::uint16_t> diff(runtime::Testbed& tb) const;
+
+  [[nodiscard]] std::size_t protected_bytes() const { return addrs_.size(); }
+
+ private:
+  std::vector<std::uint16_t> addrs_;
+  std::vector<std::uint8_t> golden_;
+};
+
+}  // namespace harbor::inject

@@ -1,0 +1,119 @@
+#include "inject/report.h"
+
+#include <cstdio>
+
+#include "trace/json.h"
+
+namespace harbor::inject {
+
+namespace json = trace::json;
+
+namespace {
+
+const char* mode_name(runtime::Mode m) {
+  switch (m) {
+    case runtime::Mode::Umpu: return "umpu";
+    case runtime::Mode::Sfi: return "sfi";
+    default: return "none";
+  }
+}
+
+std::string hex(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%04x", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string report_text(const CampaignReport& r) {
+  // Built with += pieces (not operator+ chains): GCC 12's -Wrestrict trips
+  // on false positives in literal+to_string chains under -O2.
+  std::string out = "fault-injection campaign: mode=";
+  out += mode_name(r.config.mode);
+  out += " seed=";
+  out += std::to_string(r.config.seed);
+  out += " mutants=";
+  out += std::to_string(r.mutants.size());
+  if (r.config.weakened) out += " [WEAKENED CHECKER]";
+  out += "\noracle: ";
+  out += std::to_string(r.protected_bytes);
+  out += " protected bytes; golden value=";
+  out += std::to_string(r.golden_value);
+  out += ", ";
+  out += std::to_string(r.golden_instructions);
+  out += " instructions\n";
+  for (int i = 0; i < kOutcomeCount; ++i) {
+    const auto o = static_cast<Outcome>(i);
+    char line[64];
+    std::snprintf(line, sizeof line, "  %-10s %6d\n",
+                  std::string(outcome_name(o)).c_str(), r.counts[i]);
+    out += line;
+  }
+  for (const MutantRecord& m : r.mutants) {
+    if (m.outcome != Outcome::Escape) continue;
+    out += "ESCAPE mutant #";
+    out += std::to_string(m.index);
+    out += ": ";
+    out += m.detail;
+    out += "  divergent:";
+    for (const std::uint16_t a : m.divergent) {
+      out += ' ';
+      out += hex(a);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string report_json(const CampaignReport& r) {
+  using json::escape;
+  std::string out = "{";
+  out += "\"schema\":\"harbor-inject-report-v1\"";
+  out += ",\"mode\":\"" + std::string(mode_name(r.config.mode)) + '"';
+  out += ",\"seed\":" + std::to_string(r.config.seed);
+  out += ",\"count\":" + std::to_string(r.mutants.size());
+  out += ",\"cycle_budget\":" + std::to_string(r.config.cycle_budget);
+  out += std::string(",\"weakened\":") + (r.config.weakened ? "true" : "false");
+  out += ",\"protected_bytes\":" + std::to_string(r.protected_bytes);
+  out += ",\"golden_value\":" + std::to_string(r.golden_value);
+  out += ",\"golden_instructions\":" + std::to_string(r.golden_instructions);
+  out += ",\"outcomes\":{";
+  {
+    json::Joiner j(out);
+    for (int i = 0; i < kOutcomeCount; ++i) {
+      j.item();
+      out += '"' + std::string(outcome_name(static_cast<Outcome>(i))) +
+             "\":" + std::to_string(r.counts[i]);
+    }
+  }
+  out += "},\"mutants\":[";
+  {
+    json::Joiner j(out);
+    for (const MutantRecord& m : r.mutants) {
+      j.item();
+      out += "{\"index\":" + std::to_string(m.index);
+      out += ",\"kind\":\"" + std::string(mutation_kind_name(m.mutation.kind)) + '"';
+      out += ",\"mutation\":\"" + escape(describe(m.mutation)) + '"';
+      out += ",\"outcome\":\"" + std::string(outcome_name(m.outcome)) + '"';
+      if (m.fault != avr::FaultKind::None)
+        out += ",\"fault\":\"" + std::string(avr::fault_kind_name(m.fault)) + '"';
+      if (!m.divergent.empty()) {
+        out += ",\"divergent\":[";
+        json::Joiner d(out);
+        for (const std::uint16_t a : m.divergent) {
+          d.item();
+          out += std::to_string(a);
+        }
+        out += ']';
+      }
+      if (m.outcome == Outcome::Escape || m.outcome == Outcome::Rejected)
+        out += ",\"detail\":\"" + escape(m.detail) + '"';
+      out += '}';
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace harbor::inject

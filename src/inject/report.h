@@ -1,0 +1,19 @@
+#pragma once
+// Campaign report rendering: a human-readable summary and a machine-
+// readable JSON document (schema: tools/trace_schema.json,
+// "inject_report"). CI runs the smoke campaign, archives the JSON and
+// fails the build on any escape.
+
+#include <string>
+
+#include "inject/campaign.h"
+
+namespace harbor::inject {
+
+/// Multi-line text summary (outcome table + escape details).
+std::string report_text(const CampaignReport& report);
+
+/// Full JSON document, including one record per mutant.
+std::string report_json(const CampaignReport& report);
+
+}  // namespace harbor::inject

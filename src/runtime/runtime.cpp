@@ -762,12 +762,22 @@ class Emitter {
     auto stack_check = a_.make_label();
     auto memmap_deny = a_.make_label();
     auto stack_deny = a_.make_label();
-    // Below the IO/register ceiling: not data memory, allow (the verifier
-    // constrains OUT separately).
+    auto io_deny = a_.make_label();
+    // Register file (below the IO base): not data memory, allow.
+    a_.cpi(r18, lo(avr::DataSpace::kIoBase));
+    a_.ldi(r20, hi(avr::DataSpace::kIoBase));
+    a_.cpc(r19, r20);
+    a_.brlo(allow);
+    // Data-mapped IO window [kIoBase, kSramBase): deny for untrusted
+    // callers. The hardware fabric can leave SPL/SPH writable here because
+    // the safe stack keeps return addresses out of SP-addressed memory; the
+    // software scheme has no safe-stack shield, so a checked store to the
+    // data-mapped stack pointer would redirect RET (the verifier's OUT rule
+    // closes only the direct path).
     a_.cpi(r18, lo(avr::DataSpace::kSramBase));
     a_.ldi(r20, hi(avr::DataSpace::kSramBase));
     a_.cpc(r19, r20);
-    a_.brlo(allow);
+    a_.brlo(io_deny);
     // Stack region?
     a_.cpi(r18, lo(L_.prot_top));
     a_.ldi(r20, hi(L_.prot_top));
@@ -802,6 +812,12 @@ class Emitter {
     a_.jmp(panic_label());
     a_.bind(stack_deny);
     a_.ldi(r18, static_cast<std::uint8_t>(avr::FaultKind::StackBoundViolation));
+    a_.jmp(panic_label());
+    a_.bind(io_deny);
+    a_.lds(r21, L_.g_cur_domain());
+    a_.cpi(r21, ports::kTrustedDomain);
+    a_.breq(allow);
+    a_.ldi(r18, static_cast<std::uint8_t>(avr::FaultKind::IllegalIoWrite));
     a_.jmp(panic_label());
   }
 

@@ -124,18 +124,35 @@ CallResult Testbed::run_trampoline(std::uint32_t pc, const GuestArgs& args,
                     static_cast<std::uint8_t>(dev_.data().ram_end() >> 8));
   }
 
-  CallResult r;
   const std::uint64_t start = cpu.cycle_count();
-  dev_.run(1'000'000);
-  r.cycles = cpu.cycle_count() - start;
+  dev_.run(cycle_budget_);
+  return finish_guest_run(start, domain);
+}
+
+CallResult Testbed::finish_guest_run(std::uint64_t start_cycle, memmap::DomainId domain) {
+  auto& cpu = dev_.cpu();
+  CallResult r;
+  r.cycles = cpu.cycle_count() - start_cycle;
   r.value = dev_.data().reg_pair(24);
+  if (!cpu.halted() && !cpu.fault() && !dev_.guest_exit().exited) {
+    // The cycle budget ran out with the guest still executing: a runaway
+    // module. Surface it as a watchdog fault (never silent success) so the
+    // tracer's flight recorder and the kernel's supervisor both see it.
+    avr::FaultInfo wd;
+    wd.kind = avr::FaultKind::Watchdog;
+    wd.pc = cpu.pc();
+    wd.domain = fabric_ ? fabric_->regs().cur_domain
+                        : dev_.data().sram_raw(rt_.options.layout.g_cur_domain());
+    if (wd.domain > 7) wd.domain = domain;
+    cpu.raise_fault(wd);
+  }
   if (cpu.fault() || dev_.guest_exit().exited) {
     r.faulted = true;
     if (cpu.fault()) r.fault = cpu.fault()->kind;
     if (!cpu.fault() && dev_.guest_exit().exited && (dev_.guest_exit().code & 0xf0) == 0xf0)
       r.fault = static_cast<avr::FaultKind>(dev_.guest_exit().code & 0x0f);
   }
-  if (dev_.cpu().halt_reason() == avr::HaltReason::Break) cpu.clear_halt();
+  if (cpu.halt_reason() == avr::HaltReason::Break) cpu.clear_halt();
   return r;
 }
 
@@ -217,19 +234,9 @@ CallResult Testbed::call_module(std::uint32_t entry_waddr, memmap::DomainId doma
     cpu.set_sp(static_cast<std::uint16_t>(sp0 - 2));
   }
 
-  CallResult r;
   const std::uint64_t start = cpu.cycle_count();
-  dev_.run(2'000'000);
-  r.cycles = cpu.cycle_count() - start;
-  r.value = dev_.data().reg_pair(24);
-  if (cpu.fault() || dev_.guest_exit().exited) {
-    r.faulted = true;
-    if (cpu.fault()) r.fault = cpu.fault()->kind;
-    if (!cpu.fault() && dev_.guest_exit().exited && (dev_.guest_exit().code & 0xf0) == 0xf0)
-      r.fault = static_cast<avr::FaultKind>(dev_.guest_exit().code & 0x0f);
-  }
-  if (dev_.cpu().halt_reason() == avr::HaltReason::Break) cpu.clear_halt();
-  return r;
+  dev_.run(cycle_budget_);
+  return finish_guest_run(start, domain);
 }
 
 std::vector<std::uint8_t> Testbed::guest_map_table() const {

@@ -28,6 +28,10 @@ struct CallResult {
   avr::FaultKind fault = avr::FaultKind::None;
 };
 
+/// Default per-call cycle budget: generous for any legitimate handler (a
+/// dispatch is a few thousand cycles) while still bounding runaway code.
+inline constexpr std::uint64_t kDefaultCycleBudget = 1'000'000;
+
 class Testbed {
  public:
   explicit Testbed(Mode mode, Layout layout = {});
@@ -95,9 +99,16 @@ class Testbed {
   /// from the same caller domain.
   [[nodiscard]] std::uint64_t body_cycles(const CallResult& r, memmap::DomainId caller);
 
+  /// Per-call watchdog: a guest invocation that neither halts, faults nor
+  /// exits within this many cycles is killed and reported as a
+  /// FaultKind::Watchdog fault (never silent success).
+  void set_cycle_budget(std::uint64_t cycles) { cycle_budget_ = cycles; }
+  [[nodiscard]] std::uint64_t cycle_budget() const { return cycle_budget_; }
+
   static constexpr std::uint32_t kNopSlot = 7;
 
  private:
+  CallResult finish_guest_run(std::uint64_t start_cycle, memmap::DomainId domain);
   void set_caller_domain(memmap::DomainId d);
   void install_jump_table();
   void install_trampolines();
@@ -110,6 +121,7 @@ class Testbed {
   std::uint32_t trampoline_end_ = 0;
   std::map<std::uint32_t, std::uint32_t> trampoline_;  // slot -> word address
   std::map<memmap::DomainId, std::uint64_t> nop_cycles_;
+  std::uint64_t cycle_budget_ = kDefaultCycleBudget;
 };
 
 }  // namespace harbor::runtime

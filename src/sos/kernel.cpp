@@ -96,9 +96,12 @@ memmap::DomainId Kernel::load(const ModuleImage& image,
   if (want) {
     if (*want > 6 || modules_.count(*want)) throw std::runtime_error("sos: domain unavailable");
     domain = *want;
+    // Explicitly loading into a quarantined domain is a manual revive
+    // decision; the old tenant's record is discarded.
+    quarantine_.erase(domain);
   } else {
     for (memmap::DomainId d = 0; d < 7; ++d) {
-      if (!modules_.count(d)) {
+      if (!modules_.count(d) && !quarantine_.count(d)) {
         domain = d;
         break;
       }
@@ -197,12 +200,21 @@ void Kernel::unload(memmap::DomainId d) {
   dispatch_tramp_.erase(std::make_pair(d, ModuleImage::kHandlerSlot));
   modules_.erase(it);
   images_.erase(d);
+  // A domain given back to the kernel carries no history: the next tenant
+  // must not inherit the previous module's restart record.
+  restarts_.erase(d);
+  sup_.erase(d);
   if (tracer_) tracer_->sos_unload(d);
 }
 
 memmap::DomainId Kernel::restart(memmap::DomainId d, const ModuleImage& image) {
+  // A restart is the same tenant with fresh state, so its restart count
+  // survives the internal unload (unlike an explicit unload+load).
+  const int keep_restarts = restart_count(d);
   unload(d);
-  return load(image, d);
+  const memmap::DomainId dom = load(image, d);
+  if (keep_restarts) restarts_[dom] = keep_restarts;
+  return dom;
 }
 
 const LoadedModule* Kernel::module(memmap::DomainId d) const {
@@ -217,6 +229,13 @@ const LoadedModule* Kernel::module(const std::string& name) const {
 }
 
 void Kernel::post(memmap::DomainId dst, std::uint8_t msg, std::uint16_t arg) {
+  if (quarantine_.count(dst)) {
+    // Quarantined domains keep their mail: dead-letter, don't drop, so a
+    // revive can replay what arrived while the module was down.
+    dead_letters_.push_back({dst, msg, arg});
+    if (tracer_) tracer_->sos_dead_letter(dst, msg);
+    return;
+  }
   queue_.push_back({dst, msg, arg});
 }
 
@@ -230,13 +249,78 @@ std::uint32_t Kernel::subscribe(memmap::DomainId domain, std::uint32_t slot) con
   return tb_.layout().jt_entry(avr::ports::kTrustedDomain, sys_slots::kUndefined);
 }
 
+int Kernel::backoff_rounds(int streak) const {
+  if (streak <= 0 || supervisor_.backoff_base <= 0) return 0;
+  const int shift = streak - 1 > 30 ? 30 : streak - 1;
+  const long long r = static_cast<long long>(supervisor_.backoff_base) << shift;
+  return static_cast<int>(r < supervisor_.backoff_cap ? r : supervisor_.backoff_cap);
+}
+
+void Kernel::quarantine_domain(memmap::DomainId d, int streak) {
+  QuarantineRecord rec;
+  rec.image = images_.at(d);
+  rec.crash_streak = streak;
+  // Mail already queued for the domain moves to the dead-letter queue
+  // before unload() (which would drop it).
+  for (auto qit = queue_.begin(); qit != queue_.end();) {
+    if (qit->dst == d) {
+      dead_letters_.push_back(*qit);
+      if (tracer_) tracer_->sos_dead_letter(d, qit->msg);
+      qit = queue_.erase(qit);
+    } else {
+      ++qit;
+    }
+  }
+  unload(d);
+  quarantine_.emplace(d, std::move(rec));
+  if (tracer_) tracer_->sos_quarantine(d, streak);
+}
+
+memmap::DomainId Kernel::revive(memmap::DomainId d) {
+  const auto it = quarantine_.find(d);
+  if (it == quarantine_.end()) throw std::runtime_error("sos: domain is not quarantined");
+  const ModuleImage img = it->second.image;
+  quarantine_.erase(it);
+  const memmap::DomainId dom = load(img, d);  // posts the fresh kInit
+  for (auto dit = dead_letters_.begin(); dit != dead_letters_.end();) {
+    if (dit->dst == d) {
+      queue_.push_back(*dit);
+      dit = dead_letters_.erase(dit);
+    } else {
+      ++dit;
+    }
+  }
+  return dom;
+}
+
 std::vector<DispatchRecord> Kernel::run_pending(int max_dispatches) {
   std::vector<DispatchRecord> log;
+  // One scheduler round per call even if nothing dispatches, so the
+  // backoff clock of an otherwise idle system still advances.
+  ++round_;
+  std::deque<PendingMessage> deferred;
   while (!queue_.empty() && static_cast<int>(log.size()) < max_dispatches) {
     const PendingMessage pm = queue_.front();
     queue_.pop_front();
     const auto it = modules_.find(pm.dst);
     if (it == modules_.end()) continue;  // module gone: drop
+
+    // Backoff gate. The kInit a restart posts is exempt — module (re)init
+    // is part of the restart decision, not new work for a suspect domain.
+    auto& sv = sup_[pm.dst];
+    if (pm.msg != msg::kInit && round_ < sv.backoff_until) {
+      if (tracer_)
+        tracer_->sos_backoff_defer(pm.dst, pm.msg,
+                                   static_cast<int>(sv.backoff_until - round_));
+      deferred.push_back(pm);
+      continue;
+    }
+    if (pm.msg != msg::kInit && sv.backoff_until != 0 && sv.crash_streak > 0) {
+      // Backoff expired: this dispatch is the probe that decides whether
+      // the domain has recovered.
+      sv.backoff_until = 0;
+      if (tracer_) tracer_->sos_probe(pm.dst, pm.msg);
+    }
     const LoadedModule& m = it->second;
 
     // Dispatch trampoline: a trusted cross-domain call into the module's
@@ -271,22 +355,43 @@ std::vector<DispatchRecord> Kernel::run_pending(int max_dispatches) {
     if (tracer_)
       tracer_->sos_dispatch_end(pm.dst, pm.msg, rec.result.cycles, rec.result.faulted);
     log.push_back(rec);
+    ++round_;
 
-    if (rec.result.faulted && auto_restart_) {
-      // §2.1: the stable kernel restarts the corrupted module with fresh
-      // state; messages already queued for it survive the restart.
-      const auto img_it = images_.find(pm.dst);
-      if (img_it != images_.end()) {
-        const ModuleImage img = img_it->second;
-        std::deque<PendingMessage> keep;
-        for (const auto& q : queue_)
-          if (q.dst == pm.dst && q.msg != msg::kInit) keep.push_back(q);
-        restart(pm.dst, img);
-        for (const auto& q : keep) queue_.push_back(q);
-        ++restarts_[pm.dst];
+    if (!rec.result.faulted) {
+      // A clean regular dispatch marks the domain healthy again. A clean
+      // kInit does not: it is posted by the restart itself, so it proves
+      // nothing about the crash that triggered the restart.
+      if (pm.msg != msg::kInit) {
+        auto& healthy = sup_[pm.dst];
+        healthy.crash_streak = 0;
+        healthy.backoff_until = 0;
       }
+    } else if (supervisor_.auto_restart && images_.count(pm.dst)) {
+      // §2.1: the stable kernel restarts the corrupted module with fresh
+      // state; messages already queued for it survive the restart. The
+      // supervisor bounds this: consecutive crashes escalate the backoff
+      // and, past the restart budget, quarantine the domain.
+      const int streak = ++sup_[pm.dst].crash_streak;
+      if (supervisor_.restart_budget >= 0 && streak > supervisor_.restart_budget) {
+        quarantine_domain(pm.dst, streak);
+        continue;
+      }
+      const ModuleImage img = images_.at(pm.dst);
+      std::deque<PendingMessage> keep;
+      for (const auto& q : queue_)
+        if (q.dst == pm.dst && q.msg != msg::kInit) keep.push_back(q);
+      restart(pm.dst, img);  // unload clears sup_[dst]; re-arm below
+      for (const auto& q : keep) queue_.push_back(q);
+      ++restarts_[pm.dst];
+      const int off = backoff_rounds(streak);
+      auto& sv2 = sup_[pm.dst];
+      sv2.crash_streak = streak;
+      sv2.backoff_until = round_ + static_cast<std::uint64_t>(off);
+      if (tracer_) tracer_->sos_restart(pm.dst, restarts_[pm.dst], off);
     }
   }
+  // Deferred messages go back to the front in their original order.
+  for (auto rit = deferred.rbegin(); rit != deferred.rend(); ++rit) queue_.push_front(*rit);
   return log;
 }
 

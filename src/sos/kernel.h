@@ -52,6 +52,24 @@ struct DispatchRecord {
   runtime::CallResult result;
 };
 
+/// Supervision policy for faulting modules (paper §2.1, made bounded).
+/// A faulting dispatch restarts the module with fresh state, but restarts
+/// are budgeted: after `restart_budget` consecutive crashes the domain is
+/// quarantined (module unloaded, messages dead-lettered) instead of
+/// crash-looping forever. Between a restart and the next dispatch the
+/// domain backs off exponentially, measured in dispatch rounds.
+struct SupervisorConfig {
+  bool auto_restart = false;
+  /// Consecutive crashes tolerated before quarantine; < 0 = unbounded
+  /// (the legacy crash-loop policy, kept only for experiments).
+  int restart_budget = 3;
+  /// Backoff after the n-th consecutive crash: min(base << (n-1), cap)
+  /// dispatch rounds. A round advances per dispatch and once per
+  /// run_pending call, so an idle system still drains its backoff.
+  int backoff_base = 1;
+  int backoff_cap = 64;
+};
+
 class Kernel {
  public:
   explicit Kernel(runtime::Mode mode, runtime::Layout layout = {});
@@ -76,12 +94,32 @@ class Kernel {
 
   /// Automatic recovery policy: when a dispatch faults, unload the
   /// offending module and reload its image (fresh state), as the paper's
-  /// §2.1 envisions. Off by default; restarts are counted per domain.
-  void set_auto_restart(bool on) { auto_restart_ = on; }
+  /// §2.1 envisions. Off by default; restarts are counted per domain and
+  /// bounded by the supervisor's restart budget (see SupervisorConfig).
+  void set_auto_restart(bool on) { supervisor_.auto_restart = on; }
+  void set_supervisor(const SupervisorConfig& cfg) { supervisor_ = cfg; }
+  [[nodiscard]] const SupervisorConfig& supervisor() const { return supervisor_; }
   [[nodiscard]] int restart_count(memmap::DomainId d) const {
     const auto it = restarts_.find(d);
     return it == restarts_.end() ? 0 : it->second;
   }
+  /// Consecutive faulted dispatches since the last clean one (what the
+  /// supervisor weighs against the restart budget).
+  [[nodiscard]] int crash_streak(memmap::DomainId d) const {
+    const auto it = sup_.find(d);
+    return it == sup_.end() ? 0 : it->second.crash_streak;
+  }
+  [[nodiscard]] std::uint64_t dispatch_round() const { return round_; }
+
+  // --- quarantine ---
+  [[nodiscard]] bool quarantined(memmap::DomainId d) const { return quarantine_.count(d) != 0; }
+  /// Messages addressed to a quarantined domain land here instead of being
+  /// dropped; revive() re-posts them.
+  [[nodiscard]] const std::deque<PendingMessage>& dead_letters() const { return dead_letters_; }
+  /// Lift a quarantine: reload the quarantined module image into its old
+  /// domain (fresh state, crash streak reset) and re-queue its dead
+  /// letters. Throws std::runtime_error if `d` is not quarantined.
+  memmap::DomainId revive(memmap::DomainId d);
 
   [[nodiscard]] const LoadedModule* module(memmap::DomainId d) const;
   [[nodiscard]] const LoadedModule* module(const std::string& name) const;
@@ -113,13 +151,30 @@ class Kernel {
  private:
   void install_syscall_services();
   void fill_default_jump_tables();
+  [[nodiscard]] int backoff_rounds(int streak) const;
+  void quarantine_domain(memmap::DomainId d, int streak);
+
+  /// Per-domain supervisor state (cleared on unload: a fresh tenant starts
+  /// with a clean record).
+  struct Supervision {
+    int crash_streak = 0;
+    std::uint64_t backoff_until = 0;  ///< dispatch round when the domain may run again
+  };
+  struct QuarantineRecord {
+    ModuleImage image;  ///< for revive()
+    int crash_streak = 0;
+  };
 
   runtime::Testbed tb_;
   trace::Tracer* tracer_ = nullptr;
   std::map<memmap::DomainId, LoadedModule> modules_;
   std::map<memmap::DomainId, ModuleImage> images_;  ///< for auto restart
   std::map<memmap::DomainId, int> restarts_;
-  bool auto_restart_ = false;
+  SupervisorConfig supervisor_;
+  std::map<memmap::DomainId, Supervision> sup_;
+  std::map<memmap::DomainId, QuarantineRecord> quarantine_;
+  std::deque<PendingMessage> dead_letters_;
+  std::uint64_t round_ = 0;  ///< dispatch rounds (backoff clock)
   std::deque<PendingMessage> queue_;
   std::uint32_t load_cursor_ = 0;      ///< next free flash word for modules
   std::map<std::pair<memmap::DomainId, std::uint32_t>, std::uint32_t> dispatch_tramp_;

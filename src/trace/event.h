@@ -35,6 +35,12 @@ enum class EventKind : std::uint8_t {
   SosUnload,         ///< module unloaded / domain reclaimed
   SosDispatchBegin,  ///< message handler dispatch entered (aux = msg id)
   SosDispatchEnd,    ///< dispatch returned (value = cycles, aux8 = faulted)
+  // SOS kernel supervisor (crash-loop policy; see DESIGN.md §10).
+  SosRestart,        ///< faulting module restarted (value = restart count, addr = backoff rounds)
+  SosBackoffDefer,   ///< dispatch deferred: domain is backing off (aux = msg id)
+  SosProbe,          ///< backoff expired: one probe dispatch admitted (aux = msg id)
+  SosQuarantine,     ///< restart budget exhausted: domain quarantined (value = restarts)
+  SosDeadLetter,     ///< message for a quarantined domain dead-lettered (aux = msg id)
 };
 
 const char* event_kind_name(EventKind k);

@@ -62,6 +62,11 @@ std::string perfetto_json(const Tracer& tracer) {
       case EventKind::SosUnload:
       case EventKind::SosDispatchBegin:
       case EventKind::SosDispatchEnd:
+      case EventKind::SosRestart:
+      case EventKind::SosBackoffDefer:
+      case EventKind::SosProbe:
+      case EventKind::SosQuarantine:
+      case EventKind::SosDeadLetter:
         domains.insert(e.domain_to & 7);
         break;
       default:
@@ -128,6 +133,26 @@ std::string perfetto_json(const Tracer& tracer) {
         begin_event(out, ev, "i", kKernelTid, e.cycle,
                     std::string(event_kind_name(e.kind)) + " d" + std::to_string(e.domain_to));
         out += ",\"s\":\"p\"}";
+        break;
+      case EventKind::SosQuarantine:
+        // Supervisor verdicts are process-scoped instants: a quarantine is
+        // as significant on the timeline as a fault.
+        begin_event(out, ev, "i", kKernelTid, e.cycle,
+                    "quarantine d" + std::to_string(e.domain_to));
+        out += ",\"s\":\"g\",\"args\":{\"restarts\":" + std::to_string(e.value) + "}}";
+        break;
+      case EventKind::SosRestart:
+        begin_event(out, ev, "i", kKernelTid, e.cycle,
+                    "restart d" + std::to_string(e.domain_to));
+        out += ",\"s\":\"p\",\"args\":{\"count\":" + std::to_string(e.value) +
+               ",\"backoff_rounds\":" + std::to_string(e.addr) + "}}";
+        break;
+      case EventKind::SosBackoffDefer:
+      case EventKind::SosProbe:
+      case EventKind::SosDeadLetter:
+        begin_event(out, ev, "i", kKernelTid, e.cycle,
+                    std::string(event_kind_name(e.kind)) + " d" + std::to_string(e.domain_to));
+        out += ",\"s\":\"t\",\"args\":{\"msg\":" + std::to_string(e.aux) + "}}";
         break;
       // High-volume / bookkeeping events stay out of the timeline view;
       // they are fully represented in the metrics dump.

@@ -101,6 +101,9 @@ inline constexpr const char* kSosDispatches = "sos.dispatches";
 inline constexpr const char* kSosDispatchCycles = "sos.dispatch_cycles";
 inline constexpr const char* kSosLoads = "sos.loads";
 inline constexpr const char* kSosUnloads = "sos.unloads";
+inline constexpr const char* kSosRestarts = "sos.restarts";
+inline constexpr const char* kSosQuarantines = "sos.quarantines";
+inline constexpr const char* kSosDeadLetters = "sos.dead_letters";
 }  // namespace metric
 
 }  // namespace harbor::trace

@@ -30,6 +30,11 @@ const char* event_kind_name(EventKind k) {
     case EventKind::SosUnload: return "sos-unload";
     case EventKind::SosDispatchBegin: return "sos-dispatch-begin";
     case EventKind::SosDispatchEnd: return "sos-dispatch-end";
+    case EventKind::SosRestart: return "sos-restart";
+    case EventKind::SosBackoffDefer: return "sos-backoff-defer";
+    case EventKind::SosProbe: return "sos-probe";
+    case EventKind::SosQuarantine: return "sos-quarantine";
+    case EventKind::SosDeadLetter: return "sos-dead-letter";
   }
   return "?";
 }
@@ -312,6 +317,46 @@ void Tracer::sos_dispatch_end(std::uint8_t domain, std::uint8_t msg, std::uint64
   e.aux = msg;
   e.value = static_cast<std::uint32_t>(cycles);
   e.addr = faulted ? 1 : 0;  // fault detail is carried by the Fault event itself
+  ring_.push(e);
+}
+
+void Tracer::sos_restart(std::uint8_t domain, int restart_count, int backoff_rounds) {
+  ++metrics_.counter(metric::kSosRestarts, domain);
+  Event e = base_event(EventKind::SosRestart);
+  e.domain_to = domain;
+  e.value = static_cast<std::uint32_t>(restart_count);
+  e.addr = static_cast<std::uint16_t>(backoff_rounds);
+  ring_.push(e);
+}
+
+void Tracer::sos_backoff_defer(std::uint8_t domain, std::uint8_t msg, int rounds_left) {
+  Event e = base_event(EventKind::SosBackoffDefer);
+  e.domain_to = domain;
+  e.aux = msg;
+  e.value = static_cast<std::uint32_t>(rounds_left);
+  ring_.push(e);
+}
+
+void Tracer::sos_probe(std::uint8_t domain, std::uint8_t msg) {
+  Event e = base_event(EventKind::SosProbe);
+  e.domain_to = domain;
+  e.aux = msg;
+  ring_.push(e);
+}
+
+void Tracer::sos_quarantine(std::uint8_t domain, int restart_count) {
+  ++metrics_.counter(metric::kSosQuarantines, domain);
+  Event e = base_event(EventKind::SosQuarantine);
+  e.domain_to = domain;
+  e.value = static_cast<std::uint32_t>(restart_count);
+  ring_.push(e);
+}
+
+void Tracer::sos_dead_letter(std::uint8_t domain, std::uint8_t msg) {
+  ++metrics_.counter(metric::kSosDeadLetters, domain);
+  Event e = base_event(EventKind::SosDeadLetter);
+  e.domain_to = domain;
+  e.aux = msg;
   ring_.push(e);
 }
 

@@ -102,6 +102,12 @@ class Tracer {
   void sos_dispatch_begin(std::uint8_t domain, std::uint8_t msg);
   void sos_dispatch_end(std::uint8_t domain, std::uint8_t msg, std::uint64_t cycles,
                         bool faulted);
+  // Supervisor decisions (see sos::SupervisorConfig).
+  void sos_restart(std::uint8_t domain, int restart_count, int backoff_rounds);
+  void sos_backoff_defer(std::uint8_t domain, std::uint8_t msg, int rounds_left);
+  void sos_probe(std::uint8_t domain, std::uint8_t msg);
+  void sos_quarantine(std::uint8_t domain, int restart_count);
+  void sos_dead_letter(std::uint8_t domain, std::uint8_t msg);
 
   // --- fault flight recorder ---
   /// The last `flight_depth` events leading up to (and including) the most

@@ -1,0 +1,218 @@
+// Fault-injection campaign tests: seeded campaigns are deterministic, the
+// healthy protection stack contains every mutant (zero escapes, zero
+// unclassified), the weakened-checker hook demonstrably produces escapes
+// (the oracle's self-test), the watchdog catches runaway guests, and the
+// report serializers round-trip the outcome taxonomy.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "asm/builder.h"
+#include "inject/campaign.h"
+#include "inject/classify.h"
+#include "inject/mutation.h"
+#include "inject/report.h"
+#include "runtime/testbed.h"
+#include "sfi/rewriter.h"
+
+namespace {
+
+using namespace harbor;
+using namespace harbor::assembler;
+using inject::CampaignConfig;
+using inject::CampaignReport;
+using inject::Outcome;
+using runtime::Mode;
+using runtime::Testbed;
+
+// --- name tables ---------------------------------------------------------
+
+TEST(InjectNames, OutcomeNamesAreDistinctAndStable) {
+  std::set<std::string> names;
+  for (int i = 0; i < inject::kOutcomeCount; ++i)
+    names.insert(std::string(inject::outcome_name(static_cast<Outcome>(i))));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(inject::kOutcomeCount));
+  EXPECT_EQ(inject::outcome_name(Outcome::Escape), "escape");
+  EXPECT_EQ(inject::outcome_name(Outcome::Hung), "hung");
+}
+
+TEST(InjectNames, MutationKindNamesAreDistinct) {
+  std::set<std::string> names;
+  for (auto k : {inject::MutationKind::BitFlip, inject::MutationKind::OpcodeSub,
+                 inject::MutationKind::JumpTableIndex, inject::MutationKind::SramBitFlip})
+    names.insert(std::string(inject::mutation_kind_name(k)));
+  EXPECT_EQ(names.size(), 4u);
+}
+
+// --- campaign engine -----------------------------------------------------
+
+class Campaign : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(Campaign, SeededCampaignIsDeterministic) {
+  CampaignConfig cfg;
+  cfg.mode = GetParam();
+  cfg.seed = 7;
+  cfg.count = 120;
+  const CampaignReport a = inject::run_campaign(cfg);
+  const CampaignReport b = inject::run_campaign(cfg);
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_EQ(a.golden_value, b.golden_value);
+  EXPECT_EQ(a.protected_bytes, b.protected_bytes);
+  ASSERT_EQ(a.mutants.size(), b.mutants.size());
+  for (std::size_t i = 0; i < a.mutants.size(); ++i) {
+    EXPECT_EQ(a.mutants[i].outcome, b.mutants[i].outcome) << "mutant " << i;
+    EXPECT_EQ(inject::describe(a.mutants[i].mutation),
+              inject::describe(b.mutants[i].mutation))
+        << "mutant " << i;
+  }
+}
+
+TEST_P(Campaign, DifferentSeedsGiveDifferentPlans) {
+  CampaignConfig cfg;
+  cfg.mode = GetParam();
+  cfg.count = 60;
+  cfg.seed = 1;
+  const CampaignReport a = inject::run_campaign(cfg);
+  cfg.seed = 2;
+  const CampaignReport b = inject::run_campaign(cfg);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.mutants.size() && !any_diff; ++i)
+    any_diff = inject::describe(a.mutants[i].mutation) !=
+               inject::describe(b.mutants[i].mutation);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_P(Campaign, ThousandMutantsZeroEscapesZeroUnclassified) {
+  // The headline claim: under an intact checker no mutant — bit flip,
+  // opcode substitution, dispatch corruption or live SRAM flip — reaches a
+  // bystander's memory. Every mutant lands in exactly one outcome bucket.
+  CampaignConfig cfg;
+  cfg.mode = GetParam();
+  cfg.seed = 42;
+  cfg.count = 1000;
+  const CampaignReport r = inject::run_campaign(cfg);
+  EXPECT_EQ(r.escapes(), 0);
+  int classified = 0;
+  for (int c : r.counts) classified += c;
+  EXPECT_EQ(classified, 1000);
+  EXPECT_EQ(r.mutants.size(), 1000u);
+  EXPECT_GT(r.protected_bytes, 0u);
+}
+
+TEST_P(Campaign, WeakenedCheckerProducesTheEscape) {
+  // Oracle self-test: the deterministic load->store mutant is contained
+  // (UMPU) or rejected (SFI) with the checker on, and escapes with it off.
+  // If this test fails the campaign's zero-escape claim is vacuous.
+  CampaignConfig cfg;
+  cfg.mode = GetParam();
+  const inject::Mutation m = inject::store_escape_mutation(cfg);
+
+  const CampaignReport guarded = inject::run_campaign(cfg, {m});
+  ASSERT_EQ(guarded.mutants.size(), 1u);
+  EXPECT_EQ(guarded.mutants[0].outcome,
+            cfg.mode == Mode::Sfi ? Outcome::Rejected : Outcome::Contained);
+
+  cfg.weakened = true;
+  const CampaignReport open = inject::run_campaign(cfg, {m});
+  ASSERT_EQ(open.mutants.size(), 1u);
+  EXPECT_EQ(open.mutants[0].outcome, Outcome::Escape);
+  EXPECT_FALSE(open.mutants[0].divergent.empty());
+  // Escapes carry a flight-recorder dump for post-mortem analysis.
+  EXPECT_NE(open.mutants[0].detail.find("flight"), std::string::npos);
+}
+
+TEST_P(Campaign, ReportSerializersCoverTheCampaign) {
+  CampaignConfig cfg;
+  cfg.mode = GetParam();
+  cfg.count = 40;
+  const CampaignReport r = inject::run_campaign(cfg);
+  const std::string text = inject::report_text(r);
+  for (int i = 0; i < inject::kOutcomeCount; ++i)
+    EXPECT_NE(text.find(inject::outcome_name(static_cast<Outcome>(i))),
+              std::string::npos);
+  const std::string js = inject::report_json(r);
+  EXPECT_NE(js.find("\"schema\":\"harbor-inject-report-v1\""), std::string::npos);
+  EXPECT_NE(js.find("\"outcomes\":{"), std::string::npos);
+  EXPECT_NE(js.find("\"mutants\":["), std::string::npos);
+  EXPECT_NE(js.find(cfg.mode == Mode::Sfi ? "\"mode\":\"sfi\"" : "\"mode\":\"umpu\""),
+            std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSystems, Campaign,
+                         ::testing::Values(Mode::Umpu, Mode::Sfi),
+                         [](const auto& info) {
+                           return info.param == Mode::Umpu ? "Umpu" : "Sfi";
+                         });
+
+// --- watchdog ------------------------------------------------------------
+
+class Watchdog : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(Watchdog, RunawayGuestTripsTheCycleBudget) {
+  Testbed tb(GetParam());
+  tb.set_cycle_budget(5'000);
+  Assembler a(0);
+  a.clr(r24);  // entry instruction; the loop below never re-crosses it
+  const Label spin = a.bind_here("spin");
+  a.inc(r24);
+  a.rjmp(spin);
+  a.ret();  // unreachable
+  assembler::Program p = a.assemble();
+  std::uint32_t entry = tb.module_area();
+  if (GetParam() == Mode::Sfi) {
+    const auto stubs = sfi::StubTable::from_runtime(tb.runtime());
+    auto res = sfi::rewrite(sfi::RewriteInput{p.words, {0}}, stubs, tb.module_area());
+    p = res.program;
+    entry = res.map_offset(0);
+  } else {
+    p.origin = tb.module_area();
+  }
+  tb.load_module_image(p, 2);
+  const auto r = tb.call_module(entry, 2);
+  EXPECT_TRUE(r.faulted);
+  EXPECT_EQ(r.fault, avr::FaultKind::Watchdog);
+}
+
+TEST_P(Watchdog, BudgetIsConfigurablePerCall) {
+  // A guest needing ~N cycles completes under a generous budget and is
+  // killed under a stingy one — the cap is honored per call, not global.
+  Testbed tb(GetParam());
+  Assembler a(0);
+  a.ldi(r24, 200);  // ~200 * 3 cycles of busy loop
+  const Label loop = a.bind_here("loop");
+  a.dec(r24);
+  a.brne(loop);
+  a.clr(r24);
+  a.clr(r25);
+  a.ret();
+  assembler::Program p = a.assemble();
+  std::uint32_t entry = tb.module_area();
+  if (GetParam() == Mode::Sfi) {
+    const auto stubs = sfi::StubTable::from_runtime(tb.runtime());
+    auto res = sfi::rewrite(sfi::RewriteInput{p.words, {0}}, stubs, tb.module_area());
+    p = res.program;
+    entry = res.map_offset(0);
+  } else {
+    p.origin = tb.module_area();
+  }
+  tb.load_module_image(p, 2);
+
+  tb.set_cycle_budget(100'000);
+  const auto ok = tb.call_module(entry, 2);
+  EXPECT_FALSE(ok.faulted);
+
+  tb.set_cycle_budget(100);
+  const auto killed = tb.call_module(entry, 2);
+  EXPECT_TRUE(killed.faulted);
+  EXPECT_EQ(killed.fault, avr::FaultKind::Watchdog);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSystems, Watchdog,
+                         ::testing::Values(Mode::Umpu, Mode::Sfi),
+                         [](const auto& info) {
+                           return info.param == Mode::Umpu ? "Umpu" : "Sfi";
+                         });
+
+}  // namespace

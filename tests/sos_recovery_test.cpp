@@ -215,4 +215,208 @@ INSTANTIATE_TEST_SUITE_P(BothSystems, Recovery, ::testing::Values(Mode::Sfi, Mod
                            return info.param == Mode::Sfi ? "Sfi" : "Umpu";
                          });
 
+// --- supervision ---------------------------------------------------------
+
+/// A module that faults on every message, kInit included: it stores into
+/// the kernel-owned memory-map table. The worst supervisee — even its
+/// restart probe crashes.
+ModuleImage init_crasher(const runtime::Layout& L) {
+  Assembler a;
+  a.ldi16(r26, static_cast<std::uint16_t>(L.map_base));
+  a.ldi(r18, 1);
+  a.st_x(r18);
+  a.clr(r24);
+  a.clr(r25);
+  a.ret();
+  ModuleImage m;
+  m.name = "init_crasher";
+  m.code = a.assemble().words;
+  m.exports = {{ModuleImage::kHandlerSlot, 0}};
+  return m;
+}
+
+int count_events(trace::Tracer& t, trace::EventKind kind) {
+  int n = 0;
+  for (const auto& e : t.ring().snapshot())
+    if (e.kind == kind) ++n;
+  return n;
+}
+
+class Supervisor : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(Supervisor, InitCrashLoopQuarantinesInsteadOfLoopingForever) {
+  // The crash-loop hazard of naive auto restart: a module whose kInit
+  // faults would restart forever. The budget turns that into bounded work
+  // ending in quarantine — and every decision lands in the trace ring.
+  Kernel k(GetParam());
+  trace::Tracer t;
+  k.set_tracer(&t);
+  SupervisorConfig cfg;
+  cfg.auto_restart = true;
+  cfg.restart_budget = 2;
+  k.set_supervisor(cfg);
+
+  const auto d = k.load(init_crasher(k.sys().layout()), 2);
+  const auto log = k.run_pending();
+
+  EXPECT_TRUE(k.quarantined(d));
+  EXPECT_EQ(k.module(d), nullptr);
+  int faulted = 0;
+  for (const auto& r : log)
+    if (r.result.faulted) ++faulted;
+  EXPECT_EQ(faulted, 3);  // the original kInit + one per budgeted restart
+  EXPECT_EQ(count_events(t, trace::EventKind::SosRestart), 2);
+  EXPECT_EQ(count_events(t, trace::EventKind::SosQuarantine), 1);
+}
+
+TEST_P(Supervisor, PostToQuarantinedDomainDeadLettersAndRevives) {
+  Kernel k(GetParam());
+  trace::Tracer t;
+  k.set_tracer(&t);
+  SupervisorConfig cfg;
+  cfg.auto_restart = true;
+  cfg.restart_budget = 1;
+  k.set_supervisor(cfg);
+  const auto d = k.load(init_crasher(k.sys().layout()), 2);
+  k.run_pending();
+  ASSERT_TRUE(k.quarantined(d));
+
+  // Messages for a quarantined domain are preserved, not dropped.
+  k.post(d, msg::kTimer, 0x11);
+  k.post(d, msg::kData, 0x22);
+  EXPECT_TRUE(k.run_pending().empty());
+  ASSERT_EQ(k.dead_letters().size(), 2u);
+  EXPECT_EQ(k.dead_letters()[0].msg, msg::kTimer);
+  EXPECT_GE(count_events(t, trace::EventKind::SosDeadLetter), 2);
+
+  // revive() lifts the quarantine and replays the dead letters.
+  const auto again = k.revive(d);
+  EXPECT_EQ(again, d);
+  EXPECT_FALSE(k.quarantined(d));
+  EXPECT_TRUE(k.dead_letters().empty());
+  EXPECT_NE(k.module(d), nullptr);
+  EXPECT_THROW(k.revive(d), std::runtime_error);  // not quarantined anymore
+}
+
+TEST_P(Supervisor, BackoffDefersDispatchUntilTheProbe) {
+  // After a crash the domain backs off in dispatch rounds: queued work is
+  // deferred (SosBackoffDefer), then exactly one probe dispatch is
+  // admitted when the backoff expires (SosProbe).
+  Kernel k(GetParam());
+  trace::Tracer t;
+  k.set_tracer(&t);
+  SupervisorConfig cfg;
+  cfg.auto_restart = true;
+  cfg.restart_budget = 10;
+  cfg.backoff_base = 4;
+  k.set_supervisor(cfg);
+  const auto d = k.load(modules::surge(/*tree absent*/ 1, false), 2);
+  k.run_pending();
+
+  k.post(d, msg::kData);
+  auto log = k.run_pending();  // faults -> restart, 4-round backoff
+  ASSERT_FALSE(log.empty());
+  EXPECT_TRUE(log[0].result.faulted);
+  EXPECT_EQ(k.crash_streak(d), 1);
+
+  k.post(d, msg::kData);
+  log = k.run_pending();  // inside the backoff window: deferred
+  EXPECT_TRUE(log.empty());
+  EXPECT_GE(count_events(t, trace::EventKind::SosBackoffDefer), 1);
+
+  int idle_rounds = 0;
+  while (log.empty() && idle_rounds < 10) {
+    log = k.run_pending();  // each call advances the backoff clock
+    ++idle_rounds;
+  }
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log[0].msg, msg::kData);  // the probe is the deferred message
+  EXPECT_GE(count_events(t, trace::EventKind::SosProbe), 1);
+  EXPECT_EQ(k.crash_streak(d), 2);  // still broken: the probe crashed too
+}
+
+TEST_P(Supervisor, RunawayModuleIsWatchdogKilledThenQuarantined) {
+  // The full supervision arc for a module that never faults on memory but
+  // simply refuses to yield: the per-dispatch cycle budget kills each run
+  // (FaultKind::Watchdog), the supervisor restarts with backoff, and the
+  // restart budget ends in quarantine — every step a typed trace event.
+  Kernel k(GetParam());
+  trace::Tracer t;
+  k.set_tracer(&t);
+  k.sys().set_cycle_budget(20'000);
+  SupervisorConfig cfg;
+  cfg.auto_restart = true;
+  cfg.restart_budget = 2;
+  cfg.backoff_base = 1;
+  k.set_supervisor(cfg);
+
+  Assembler a;
+  auto done = a.make_label();
+  a.cpi(r24, msg::kData);
+  a.brne(done);
+  const Label spin = a.bind_here("spin");
+  a.inc(r18);
+  a.rjmp(spin);
+  a.bind(done);
+  a.clr(r24);
+  a.clr(r25);
+  a.ret();
+  ModuleImage img;
+  img.name = "runaway";
+  img.code = a.assemble().words;
+  img.exports = {{ModuleImage::kHandlerSlot, 0}};
+
+  const auto d = k.load(img, 4);
+  k.run_pending();
+  int watchdog_kills = 0;
+  int rounds = 0;
+  while (!k.quarantined(d) && rounds < 16) {
+    k.post(d, msg::kData);
+    for (const auto& rec : k.run_pending())
+      if (rec.result.faulted && rec.result.fault == avr::FaultKind::Watchdog)
+        ++watchdog_kills;
+    ++rounds;
+  }
+  ASSERT_TRUE(k.quarantined(d));
+  EXPECT_EQ(watchdog_kills, 3);  // the original + one per budgeted restart
+  EXPECT_EQ(count_events(t, trace::EventKind::SosRestart), 2);
+  EXPECT_EQ(count_events(t, trace::EventKind::SosQuarantine), 1);
+  EXPECT_GE(count_events(t, trace::EventKind::SosBackoffDefer) +
+                count_events(t, trace::EventKind::SosProbe),
+            1);
+}
+
+TEST_P(Supervisor, DomainReuseAfterUnloadStartsClean) {
+  // A domain handed back to the kernel carries no supervision history: the
+  // next tenant must not inherit restart counts, streaks or backoff.
+  Kernel k(GetParam());
+  SupervisorConfig cfg;
+  cfg.auto_restart = true;
+  cfg.restart_budget = 5;
+  k.set_supervisor(cfg);
+  const auto d = k.load(modules::surge(/*tree absent*/ 1, false), 3);
+  k.run_pending();
+  k.post(d, msg::kData);
+  k.run_pending();  // fault -> restart
+  EXPECT_EQ(k.restart_count(d), 1);
+  EXPECT_EQ(k.crash_streak(d), 1);
+
+  k.unload(d);
+  const auto d2 = k.load(modules::blink(), 3);
+  EXPECT_EQ(d2, d);
+  EXPECT_EQ(k.restart_count(d2), 0);
+  EXPECT_EQ(k.crash_streak(d2), 0);
+  k.run_pending();
+  k.post(d2, msg::kTimer);  // must not be deferred by stale backoff
+  const auto log = k.run_pending();
+  ASSERT_FALSE(log.empty());
+  EXPECT_FALSE(log[0].result.faulted);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSystems, Supervisor,
+                         ::testing::Values(Mode::Sfi, Mode::Umpu),
+                         [](const ::testing::TestParamInfo<Mode>& info) {
+                           return info.param == Mode::Sfi ? "Sfi" : "Umpu";
+                         });
+
 }  // namespace

@@ -1,11 +1,15 @@
 #!/usr/bin/env python3
 """Validate harbor-trace output against tools/trace_schema.json.
 
-Usage: validate_trace.py TRACE_DIR [BENCH_JSON...]
+Usage: validate_trace.py TRACE_DIR [BENCH_JSON...] [--inject REPORT.json]
 
 TRACE_DIR must hold trace.json + metrics.json as written by
 `harbor-trace ... --out TRACE_DIR`. Any extra arguments are BENCH_*.json
 table dumps (from bench/bench_util.h) checked against the "bench" schema.
+`--inject REPORT.json` additionally validates a harbor-inject campaign
+report: schema conformance, outcome counts consistent with the mutant
+list, and zero escapes unless the report was produced with the weakened
+(self-test) checker.
 
 Standard library only — the schema interpreter supports the subset of JSON
 Schema the checked-in schemas use: type, required, properties, items,
@@ -73,13 +77,50 @@ def validate(value, schema, label):
         fail(f"{label}: {len(errors)} schema violation(s)")
 
 
+def validate_inject_report(path, schemas):
+    """harbor-inject campaign report: structure + containment invariants."""
+    reports = load(path)
+    validate(reports, schemas["inject_report"], os.path.basename(path))
+    for rep in reports:
+        label = f"{os.path.basename(path)}[{rep['mode']}]"
+        outcomes = rep["outcomes"]
+        if sum(outcomes.values()) != rep["count"]:
+            fail(f"{label}: outcome counts {outcomes} do not sum to count {rep['count']}")
+        if len(rep["mutants"]) != rep["count"]:
+            fail(f"{label}: {len(rep['mutants'])} mutant records for count {rep['count']}")
+        tallied = {k: 0 for k in outcomes}
+        for m in rep["mutants"]:
+            tallied[m["outcome"]] += 1
+            if m["outcome"] == "escape" and "detail" not in m:
+                fail(f"{label}: escape mutant #{m['index']} has no flight-recorder detail")
+        if tallied != outcomes:
+            fail(f"{label}: mutant list tally {tallied} != outcome counts {outcomes}")
+        if not rep["weakened"] and outcomes["escape"] != 0:
+            fail(f"{label}: {outcomes['escape']} escape(s) with the checker intact")
+        if rep["weakened"] and outcomes["escape"] == 0:
+            fail(f"{label}: weakened checker produced no escape — oracle self-test failed")
+    modes = [r["mode"] for r in reports]
+    print(f"validate_trace: inject report OK — modes {modes}, "
+          f"{sum(r['count'] for r in reports)} mutants, "
+          f"{sum(r['outcomes']['escape'] for r in reports)} escape(s)")
+
+
 def main():
-    if len(sys.argv) < 2:
+    args = list(sys.argv[1:])
+    inject_paths = []
+    while "--inject" in args:
+        i = args.index("--inject")
+        if i + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 2
+        inject_paths.append(args[i + 1])
+        del args[i:i + 2]
+    if not args:
         print(__doc__, file=sys.stderr)
         return 2
     here = os.path.dirname(os.path.abspath(__file__))
     schemas = load(os.path.join(here, "trace_schema.json"))
-    trace_dir = sys.argv[1]
+    trace_dir = args[0]
 
     trace = load(os.path.join(trace_dir, "trace.json"))
     validate(trace, schemas["trace"], "trace.json")
@@ -103,6 +144,16 @@ def main():
     ]
     if not faults:
         fail("no fault instant on the timeline")
+    watchdogs = [e for e in faults if "watchdog" in str(e.get("name", ""))]
+    if not watchdogs:
+        fail("no watchdog fault instant (runaway stage missing from the trace)")
+    supervision = [
+        e for e in events if e["ph"] == "i"
+        and str(e.get("name", "")).split(" ")[0]
+        in ("restart", "quarantine", "sos-backoff-defer", "sos-probe", "sos-dead-letter")
+    ]
+    if not supervision:
+        fail("no supervision instants (restart/quarantine/backoff) on the timeline")
 
     metrics = load(os.path.join(trace_dir, "metrics.json"))
     validate(metrics, schemas["metrics"], "metrics.json")
@@ -112,17 +163,20 @@ def main():
             fail(f"metrics.json: missing counter {needed!r}")
 
     checked = []
-    for bench_path in sys.argv[2:]:
+    for bench_path in args[1:]:
         bench = load(bench_path)
         validate(bench, schemas["bench"], os.path.basename(bench_path))
         if not bench["rows"]:
             fail(f"{bench_path}: empty table")
         checked.append(os.path.basename(bench_path))
 
+    for path in inject_paths:
+        validate_inject_report(path, schemas)
+
     print(
         f"validate_trace: OK — {len(events)} events, "
         f"{len(domain_tracks)} domain tracks, {len(slices)} slices, "
-        f"{len(faults)} fault instant(s), "
+        f"{len(faults)} fault instant(s), {len(supervision)} supervision instant(s), "
         f"{len(metrics['counters'])} counters"
         + (f", bench tables: {', '.join(checked)}" if checked else "")
     )
