@@ -1,0 +1,76 @@
+// OTA pipeline cost: transfer effort as a function of link loss (frames,
+// retries, backoff) plus the flash-operation budget of the transactional
+// install and the reboot-time recovery walk. No paper reference exists for
+// these numbers — the table documents the reproduction's own overheads so
+// regressions in the journal or protocol show up as cost jumps.
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.h"
+#include "ota/image.h"
+#include "ota/link.h"
+#include "ota/store.h"
+#include "ota/transfer.h"
+#include "sos/modules.h"
+
+using namespace harbor;
+
+namespace {
+
+struct Cost {
+  double frames = 0;
+  double retries = 0;
+  double backoff_ticks = 0;
+  double link_ticks = 0;
+  double flash_ops = 0;
+  double recover_ops = 0;
+};
+
+Cost measure(double loss, std::uint64_t seed) {
+  const auto v1 = ota::serialize_image(sos::modules::blink());
+  const auto v2 = ota::serialize_image(sos::modules::tree_routing());
+  ota::FlashModel flash({}, seed);
+  ota::ModuleStore store(flash);
+  ota::install_image(store, v1);  // the update case: v1 already on board
+  const std::uint64_t ops_before = flash.ops();
+
+  ota::TransferConfig cfg;
+  cfg.chunk_words = 8;
+  cfg.progress_every_chunks = 2;
+  ota::Sender sender(v2, cfg);
+  ota::Receiver receiver(store, cfg);
+  const ota::LinkFaults faults{loss, loss / 4, loss / 4, loss / 4};
+  ota::LossyLink down(faults, seed * 2 + 1), up(faults, seed * 2 + 2);
+  const ota::TransferResult r = run_transfer(sender, receiver, down, up);
+
+  Cost c;
+  c.frames = r.sender.frames_sent;
+  c.retries = r.sender.retries;
+  c.backoff_ticks = r.sender.backoff_ticks;
+  c.link_ticks = static_cast<double>(r.ticks);
+  c.flash_ops = static_cast<double>(flash.ops() - ops_before);
+  ota::ModuleStore boot(flash);  // reboot: replay journal + CRC the image
+  c.recover_ops = static_cast<double>(boot.last_recovery().ops);
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  using harbor::bench::Row;
+  std::vector<Row> rows;
+  for (const double loss : {0.0, 0.1, 0.2, 0.3}) {
+    const Cost c = measure(loss, 1);
+    char label[48];
+    std::snprintf(label, sizeof label, "v1->v2 update, %2.0f%% link loss", loss * 100);
+    rows.push_back(Row{label,
+                       {c.frames, c.retries, c.backoff_ticks, c.link_ticks,
+                        c.flash_ops, c.recover_ops}});
+  }
+  harbor::bench::print_table(
+      "OTA: transfer + transactional install cost vs link loss",
+      {"frames", "retries", "backoff tk", "link ticks", "flash ops", "recover ops"},
+      rows);
+  return 0;
+}

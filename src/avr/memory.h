@@ -14,10 +14,18 @@ class Flash {
  public:
   explicit Flash(std::size_t words) : words_(words, 0) {}
 
+  /// Optional write intercept for tooling. Called before every write_word
+  /// (module loads included); returning false suppresses the write. The OTA
+  /// power-cut campaign uses it to count device-flash programming and to
+  /// interrupt a kernel install mid-write (see src/ota/campaign.cpp).
+  using WriteHook = std::function<bool(std::uint32_t waddr, std::uint16_t value)>;
+  void set_write_hook(WriteHook fn) { write_hook_ = std::move(fn); }
+
   [[nodiscard]] std::uint16_t read_word(std::uint32_t waddr) const {
     return waddr < words_.size() ? words_[waddr] : 0xffff;
   }
   void write_word(std::uint32_t waddr, std::uint16_t v) {
+    if (write_hook_ && !write_hook_(waddr, v)) return;
     if (waddr < words_.size()) words_[waddr] = v;
   }
   /// Byte view used by LPM/ELPM (little-endian within a word).
@@ -32,6 +40,7 @@ class Flash {
 
  private:
   std::vector<std::uint16_t> words_;
+  WriteHook write_hook_;
 };
 
 /// The 64-port IO register file (data-space 0x20-0x5F). Ports have byte

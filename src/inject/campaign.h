@@ -14,6 +14,11 @@
 // the UMPU memory-map checker enable bit, or the SFI load-time verifier —
 // to demonstrate that the oracle really detects escapes when protection is
 // absent. A healthy campaign (weakened = false) must report zero escapes.
+//
+// The OTA power-cut campaign (src/ota/campaign.h) applies this same
+// recipe — seeded deterministic plan, golden-run oracle, typed outcome
+// taxonomy, weakened self-test — to flash-write interruption instead of
+// image mutation.
 
 #include <array>
 #include <cstdint>

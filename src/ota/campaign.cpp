@@ -1,0 +1,363 @@
+#include "ota/campaign.h"
+
+#include <stdexcept>
+
+#include "ota/crc32.h"
+#include "ota/image.h"
+#include "sos/kernel.h"
+#include "sos/modules.h"
+#include "trace/json.h"
+#include "trace/tracer.h"
+
+namespace harbor::ota {
+
+namespace {
+
+const char* mode_name(runtime::Mode m) {
+  switch (m) {
+    case runtime::Mode::Umpu: return "umpu";
+    case runtime::Mode::Sfi: return "sfi";
+    case runtime::Mode::None: return "none";
+  }
+  return "?";
+}
+
+/// The two campaign versions: v1 = blink, v2 = tree_routing. Different
+/// state sizes and export sets, so a hybrid would be visible in the memory
+/// map and the jump table, not just in the code bytes.
+struct Versions {
+  std::vector<std::uint16_t> v1;
+  std::vector<std::uint16_t> v2;
+};
+
+Versions make_versions() {
+  return {serialize_image(sos::modules::blink()),
+          serialize_image(sos::modules::tree_routing())};
+}
+
+/// What a clean boot from a committed image must look like. Captured once
+/// per version per mode; every post-cut reboot is compared against it.
+struct Golden {
+  memmap::DomainId domain = 0;
+  std::vector<std::uint8_t> map_table;
+  std::uint32_t subscribe1 = 0;
+  std::uint16_t probe_value = 0;
+  bool probe_faulted = false;
+};
+
+/// Probe a freshly booted kernel: drain the load-time kInit, then dispatch
+/// one kTimer and keep the handler's verdict.
+Golden snapshot(sos::Kernel& k, memmap::DomainId d) {
+  Golden g;
+  g.domain = d;
+  k.run_pending();
+  k.post(d, sos::msg::kTimer);
+  const std::vector<sos::DispatchRecord> log = k.run_pending();
+  g.map_table = k.sys().guest_map_table();
+  g.subscribe1 = k.subscribe(d, 1);
+  if (!log.empty()) {
+    g.probe_value = log.back().result.value;
+    g.probe_faulted = log.back().result.faulted;
+  }
+  return g;
+}
+
+Golden golden_run(runtime::Mode mode, const std::vector<std::uint16_t>& words) {
+  FlashModel flash;
+  ModuleStore store(flash);
+  if (install_image(store, words) != InstallStatus::Ok)
+    throw std::runtime_error("ota campaign: golden install failed");
+  sos::Kernel k(mode);
+  k.recover_store(store);
+  const memmap::DomainId d = k.load_from_store(store);
+  return snapshot(k, d);
+}
+
+/// One deterministic end-to-end scenario on `flash`: install v1 directly,
+/// optionally arm a power cut `cut` flash-ops into the v2 pipeline, then
+/// stream v2 through the lossy link into the store.
+TransferResult run_scenario(FlashModel& flash, const OtaCampaignConfig& cfg,
+                            const Versions& v, std::uint64_t cut,
+                            trace::Tracer* tracer) {
+  ModuleStore store(flash, {}, tracer);
+  store.set_journal_enabled(!cfg.weakened);
+  if (install_image(store, v.v1) != InstallStatus::Ok)
+    throw std::runtime_error("ota campaign: baseline v1 install failed");
+  if (cut) flash.set_cut_at(cut);
+  Sender sender(v.v2, cfg.transfer, tracer);
+  Receiver receiver(store, cfg.transfer, tracer);
+  LossyLink down(cfg.link, cfg.seed * 2 + 1);
+  LossyLink up(cfg.link, cfg.seed * 2 + 2);
+  return run_transfer(sender, receiver, down, up);
+}
+
+/// Reboot `flash`, recover, and judge old-or-new + golden consistency.
+TrialRecord judge(FlashModel& flash, const OtaCampaignConfig& cfg, const Versions& v,
+                  const Golden& gold_v1, const Golden& gold_v2, std::uint64_t cut,
+                  bool device_cut, trace::Tracer* tracer) {
+  TrialRecord t;
+  t.cut = cut;
+  t.device_cut = device_cut;
+  t.outcome = TrialOutcome::Hybrid;
+
+  flash.power_cycle();
+  sos::Kernel k(cfg.mode);
+  k.set_tracer(tracer);
+  ModuleStore store(flash, {}, tracer);
+  store.set_journal_enabled(!cfg.weakened);
+  const RecoveryResult rec = k.recover_store(store);
+
+  if (rec.state == StoreState::Watchdog) {
+    t.outcome = TrialOutcome::Watchdog;
+    t.detail = "recovery exceeded the boot budget";
+    return t;
+  }
+  if (rec.state != StoreState::Committed) {
+    if (cfg.weakened) {
+      // Exactly the journal-less failure mode: the old version is gone and
+      // the node can tell (embedded CRC / blank header) but not undo it.
+      t.outcome = TrialOutcome::CorruptDetected;
+      t.detail = std::string("recovered as ") + store_state_name(rec.state);
+    } else {
+      t.detail = std::string("journaled store lost its committed state: ") +
+                 store_state_name(rec.state);
+    }
+    return t;
+  }
+
+  const std::optional<std::vector<std::uint16_t>> img = store.committed_image();
+  const bool is_v1 = img && *img == v.v1;
+  const bool is_v2 = img && *img == v.v2;
+  if (!is_v1 && !is_v2) {
+    t.detail = "committed bytes match neither version";
+    return t;
+  }
+  // An interrupted install may still be open in the journal; roll it back
+  // the way a boot path would before going back to steady state.
+  if (store.install_open()) store.abort_install();
+
+  const Golden& gold = is_v1 ? gold_v1 : gold_v2;
+  try {
+    const memmap::DomainId d = k.load_from_store(store);
+    const Golden got = snapshot(k, d);
+    if (got.domain != gold.domain) {
+      t.detail = "domain id drifted across recovery";
+      return t;
+    }
+    if (got.map_table != gold.map_table) {
+      t.detail = "memory-map table differs from the golden run";
+      return t;
+    }
+    if (got.subscribe1 != gold.subscribe1) {
+      t.detail = "jump-table subscription differs from the golden run";
+      return t;
+    }
+    if (got.probe_value != gold.probe_value || got.probe_faulted != gold.probe_faulted) {
+      t.detail = "probe dispatch diverged from the golden run";
+      return t;
+    }
+  } catch (const std::exception& e) {
+    t.detail = std::string("reload failed: ") + e.what();
+    return t;
+  }
+  t.outcome = is_v1 ? TrialOutcome::OldVersion : TrialOutcome::NewVersion;
+  return t;
+}
+
+}  // namespace
+
+const char* trial_outcome_name(TrialOutcome o) {
+  switch (o) {
+    case TrialOutcome::OldVersion: return "old";
+    case TrialOutcome::NewVersion: return "new";
+    case TrialOutcome::CorruptDetected: return "corrupt-detected";
+    case TrialOutcome::Hybrid: return "hybrid";
+    case TrialOutcome::Watchdog: return "watchdog";
+  }
+  return "?";
+}
+
+std::uint64_t OtaCampaignReport::violations() const {
+  std::uint64_t n = count(TrialOutcome::Hybrid) + count(TrialOutcome::Watchdog);
+  if (!config.weakened) n += count(TrialOutcome::CorruptDetected);
+  return n;
+}
+
+bool OtaCampaignReport::self_test_ok() const {
+  return !config.weakened || count(TrialOutcome::CorruptDetected) > 0;
+}
+
+OtaCampaignReport run_ota_campaign(const OtaCampaignConfig& config, trace::Tracer* tracer) {
+  OtaCampaignReport report;
+  report.config = config;
+  const Versions v = make_versions();
+  const Golden gold_v1 = golden_run(config.mode, v.v1);
+  const Golden gold_v2 = golden_run(config.mode, v.v2);
+
+  // Reference run: same seeds, no cut. Counts the flash operations of the
+  // full v2 pipeline — the cut-point space — and proves the transfer
+  // completes under the configured link loss.
+  FlashModel ref_flash(FlashConfig{}, config.seed);
+  {
+    ModuleStore probe(ref_flash);
+    probe.set_journal_enabled(!config.weakened);
+    if (install_image(probe, v.v1) != InstallStatus::Ok)
+      throw std::runtime_error("ota campaign: reference v1 install failed");
+  }
+  const std::uint64_t ops_v1 = ref_flash.ops();
+  FlashModel clean_flash(FlashConfig{}, config.seed);
+  report.clean_transfer = run_scenario(clean_flash, config, v, 0, tracer);
+  if (report.clean_transfer.status != TransferStatus::Complete ||
+      !report.clean_transfer.committed)
+    throw std::runtime_error("ota campaign: reference transfer did not complete");
+  report.install_ops = clean_flash.ops() - ops_v1;
+
+  // Sweep 1: tear every flash program/erase boundary of the v2 pipeline.
+  const std::uint64_t stride = std::max<std::uint64_t>(config.store_cut_stride, 1);
+  for (std::uint64_t cut = 1; cut <= report.install_ops; cut += stride) {
+    FlashModel flash(FlashConfig{}, config.seed);
+    run_scenario(flash, config, v, cut, nullptr);
+    TrialRecord t = judge(flash, config, v, gold_v1, gold_v2, cut, false, tracer);
+    ++report.outcome_counts[static_cast<std::size_t>(t.outcome)];
+    report.trials.push_back(std::move(t));
+  }
+
+  // Sweep 2 (journaled only): tear the *device* flash programming of the
+  // kernel install path. The interrupted kernel is discarded whole — the
+  // invariant under test is that a fresh boot re-derives map ownership and
+  // jump tables purely from the committed store bytes.
+  if (!config.weakened && config.device_flash_stride > 0) {
+    FlashModel base = clean_flash;  // committed v2 store
+    std::uint32_t total_writes = 0;
+    {
+      sos::Kernel k(config.mode);
+      FlashModel f = base;
+      ModuleStore store(f);
+      k.recover_store(store);
+      k.sys().device().flash().set_write_hook([&total_writes](std::uint32_t, std::uint16_t) {
+        ++total_writes;
+        return true;
+      });
+      k.load_from_store(store);
+    }
+    for (std::uint32_t cut = 1; cut <= total_writes; cut += config.device_flash_stride) {
+      {
+        sos::Kernel k(config.mode);
+        FlashModel f = base;
+        ModuleStore store(f);
+        k.recover_store(store);
+        std::uint32_t writes = 0;
+        k.sys().device().flash().set_write_hook(
+            [&writes, cut](std::uint32_t, std::uint16_t) { return ++writes < cut; });
+        try {
+          k.load_from_store(store);
+        } catch (const std::exception&) {
+          // A truncated device image may fail verification outright; the
+          // node is dead either way and the fresh boot below is the test.
+        }
+      }
+      FlashModel f = base;
+      TrialRecord t = judge(f, config, v, gold_v1, gold_v2, cut, true, tracer);
+      ++report.outcome_counts[static_cast<std::size_t>(t.outcome)];
+      report.trials.push_back(std::move(t));
+      ++report.device_flash_cuts;
+    }
+  }
+  return report;
+}
+
+std::string ota_report_text(const OtaCampaignReport& r) {
+  std::string out = "OTA power-cut campaign: mode=";
+  out += mode_name(r.config.mode);
+  out += " seed=" + std::to_string(r.config.seed);
+  out += r.config.weakened ? " journal=OFF (weakened)\n" : " journal=on\n";
+  out += "  reference transfer: " + std::to_string(r.clean_transfer.chunks_staged) +
+         " chunks, " + std::to_string(r.clean_transfer.sender.frames_sent) + " frames, " +
+         std::to_string(r.clean_transfer.sender.retries) + " retries, " +
+         std::to_string(r.clean_transfer.sender.backoff_ticks) + " backoff ticks, " +
+         std::to_string(r.clean_transfer.ticks) + " ticks\n";
+  out += "  cut points: " + std::to_string(r.install_ops) + " store flash ops + " +
+         std::to_string(r.device_flash_cuts) + " device-flash writes\n";
+  out += "  outcomes:";
+  for (std::size_t i = 0; i < kTrialOutcomeCount; ++i) {
+    out += std::string(" ") + trial_outcome_name(static_cast<TrialOutcome>(i)) + "=" +
+           std::to_string(r.outcome_counts[i]);
+  }
+  out += "\n  violations: " + std::to_string(r.violations()) + "\n";
+  if (r.config.weakened)
+    out += std::string("  weakened self-test: ") +
+           (r.self_test_ok() ? "PASS (corruption is detectable)\n"
+                             : "FAIL (no corruption detected)\n");
+  for (const TrialRecord& t : r.trials) {
+    if (t.outcome != TrialOutcome::Hybrid && t.outcome != TrialOutcome::Watchdog) continue;
+    out += "  VIOLATION cut=" + std::to_string(t.cut) +
+           (t.device_cut ? " (device)" : " (store)") + ": " +
+           trial_outcome_name(t.outcome) + " — " + t.detail + "\n";
+  }
+  return out;
+}
+
+std::string ota_report_json(const OtaCampaignReport& r) {
+  using trace::json::Joiner;
+  using trace::json::kv;
+  std::string out = "{";
+  Joiner j(out);
+  kv(out, j, "schema", std::string("harbor-ota-report-v1"));
+  kv(out, j, "mode", std::string(mode_name(r.config.mode)));
+  kv(out, j, "seed", static_cast<std::uint64_t>(r.config.seed));
+  j.item();
+  out += std::string("\"weakened\":") + (r.config.weakened ? "true" : "false");
+  kv(out, j, "install_ops", static_cast<std::uint64_t>(r.install_ops));
+  kv(out, j, "device_flash_cuts", static_cast<std::uint64_t>(r.device_flash_cuts));
+  kv(out, j, "violations", static_cast<std::uint64_t>(r.violations()));
+
+  j.item();
+  out += "\"outcomes\":{";
+  {
+    Joiner jo(out);
+    kv(out, jo, "old", static_cast<std::uint64_t>(r.count(TrialOutcome::OldVersion)));
+    kv(out, jo, "new", static_cast<std::uint64_t>(r.count(TrialOutcome::NewVersion)));
+    kv(out, jo, "corrupt_detected",
+       static_cast<std::uint64_t>(r.count(TrialOutcome::CorruptDetected)));
+    kv(out, jo, "hybrid", static_cast<std::uint64_t>(r.count(TrialOutcome::Hybrid)));
+    kv(out, jo, "watchdog", static_cast<std::uint64_t>(r.count(TrialOutcome::Watchdog)));
+  }
+  out += "}";
+
+  j.item();
+  out += "\"transfer\":{";
+  {
+    Joiner jt(out);
+    kv(out, jt, "chunks", static_cast<std::uint64_t>(r.clean_transfer.chunks_staged));
+    kv(out, jt, "frames", static_cast<std::uint64_t>(r.clean_transfer.sender.frames_sent));
+    kv(out, jt, "retries", static_cast<std::uint64_t>(r.clean_transfer.sender.retries));
+    kv(out, jt, "nacks", static_cast<std::uint64_t>(r.clean_transfer.sender.nacks));
+    kv(out, jt, "backoff_ticks",
+       static_cast<std::uint64_t>(r.clean_transfer.sender.backoff_ticks));
+    kv(out, jt, "ticks", static_cast<std::uint64_t>(r.clean_transfer.ticks));
+    jt.item();
+    out += std::string("\"committed\":") + (r.clean_transfer.committed ? "true" : "false");
+  }
+  out += "}";
+
+  j.item();
+  out += "\"trials\":[";
+  {
+    Joiner ja(out);
+    for (const TrialRecord& t : r.trials) {
+      ja.item();
+      out += "{";
+      Joiner jt(out);
+      kv(out, jt, "cut", static_cast<std::uint64_t>(t.cut));
+      jt.item();
+      out += std::string("\"device\":") + (t.device_cut ? "true" : "false");
+      kv(out, jt, "outcome", std::string(trial_outcome_name(t.outcome)));
+      if (!t.detail.empty()) kv(out, jt, "detail", t.detail);
+      out += "}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace harbor::ota

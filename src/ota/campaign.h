@@ -1,0 +1,107 @@
+#pragma once
+// Power-cut campaign for the OTA pipeline (DESIGN.md §11), following the
+// src/inject pattern: a deterministic plan, a golden-run oracle, a typed
+// outcome taxonomy, and a --weakened self-test that proves the oracle can
+// see the failures the journal exists to prevent.
+//
+// Plan: install version v1, then dry-run a full lossy transfer + install of
+// v2 to count its flash program/erase operations T. For every cut point
+// c in [1, T]: replay the identical scenario on a fresh store, tear the
+// c-th operation (FlashModel::set_cut_at), power-cycle, boot a fresh
+// kernel, recover_store(), and judge:
+//
+//   old / new          the committed image is bit-identical to v1 or v2 AND
+//                      a fresh kernel booted from it reproduces the golden
+//                      run (memory-map table, jump-table subscription,
+//                      probe dispatch) for that version
+//   corrupt-detected   recovery itself reported the damage (weakened mode's
+//                      expected outcome; a journaled run never shows it)
+//   hybrid             anything else — torn state that recovery failed to
+//                      resolve or mask; always a campaign failure
+//   watchdog           recovery exceeded its boot budget
+//
+// A second sweep cuts the *device* flash-programming of the kernel install
+// path (avr::Flash::set_write_hook): the interrupted kernel is discarded,
+// a fresh boot re-derives map ownership and jump tables purely from the
+// committed store — proving no install state lives only in pre-cut RAM.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ota/link.h"
+#include "ota/store.h"
+#include "ota/transfer.h"
+#include "runtime/runtime.h"
+
+namespace harbor::trace {
+class Tracer;
+}
+
+namespace harbor::ota {
+
+struct OtaCampaignConfig {
+  runtime::Mode mode = runtime::Mode::Umpu;
+  std::uint64_t seed = 1;
+  /// Journal disabled: installs overwrite in place. The campaign then
+  /// *requires* at least one corrupt-detected outcome (oracle self-test).
+  bool weakened = false;
+  /// Link faults applied during every trial transfer (the cut-point op
+  /// sequence is loss-invariant: retries touch the radio, not the flash).
+  LinkFaults link{0.2, 0.05, 0.05, 0.05};
+  TransferConfig transfer;
+  /// Stride over store flash-op cut points. 1 = every boundary (the
+  /// acceptance setting); CI smoke runs may stride wider.
+  std::uint32_t store_cut_stride = 1;
+  /// Stride over device-flash write cuts in the kernel install path
+  /// (0 = skip that sweep; it is skipped in weakened mode regardless).
+  std::uint32_t device_flash_stride = 4;
+};
+
+enum class TrialOutcome : std::uint8_t {
+  OldVersion,
+  NewVersion,
+  CorruptDetected,
+  Hybrid,
+  Watchdog,
+};
+inline constexpr std::size_t kTrialOutcomeCount = 5;
+
+const char* trial_outcome_name(TrialOutcome o);
+
+struct TrialRecord {
+  std::uint64_t cut = 0;  ///< flash op index (store sweep) or device write index
+  bool device_cut = false;
+  TrialOutcome outcome = TrialOutcome::Hybrid;
+  std::string detail;
+};
+
+struct OtaCampaignReport {
+  OtaCampaignConfig config;
+  std::uint64_t install_ops = 0;      ///< store cut points enumerated
+  std::uint32_t device_flash_cuts = 0;
+  std::array<std::uint64_t, kTrialOutcomeCount> outcome_counts{};
+  /// The no-cut reference transfer (under the same link faults).
+  TransferResult clean_transfer;
+  std::vector<TrialRecord> trials;
+
+  [[nodiscard]] std::uint64_t count(TrialOutcome o) const {
+    return outcome_counts[static_cast<std::size_t>(o)];
+  }
+  /// Hybrids always violate; corrupt-detected violates unless weakened
+  /// (where it is the expected evidence); watchdogs violate (recovery must
+  /// fit the boot budget at default settings).
+  [[nodiscard]] std::uint64_t violations() const;
+  /// Weakened runs must demonstrate >= 1 detectable corruption.
+  [[nodiscard]] bool self_test_ok() const;
+};
+
+OtaCampaignReport run_ota_campaign(const OtaCampaignConfig& config,
+                                   trace::Tracer* tracer = nullptr);
+
+std::string ota_report_text(const OtaCampaignReport& r);
+/// One JSON object, schema "harbor-ota-report-v1" (tools/trace_schema.json).
+std::string ota_report_json(const OtaCampaignReport& r);
+
+}  // namespace harbor::ota

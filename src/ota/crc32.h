@@ -1,0 +1,38 @@
+#pragma once
+// CRC-32 (IEEE 802.3: reflected, polynomial 0xEDB88320) — the one checksum
+// used across the OTA pipeline: serialized image payloads, transfer frames,
+// and journal records all carry it, so a torn flash write or a corrupted
+// link frame fails validation the same way everywhere.
+
+#include <cstdint>
+#include <span>
+
+namespace harbor::ota {
+
+[[nodiscard]] inline std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) {
+    crc ^= b;
+    for (int i = 0; i < 8; ++i)
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+  }
+  return ~crc;
+}
+
+/// Word-vector convenience, hashing each word little-endian — matching both
+/// the wire frames and the flash byte order, so host, link and store compute
+/// identical digests for the same image.
+[[nodiscard]] inline std::uint32_t crc32_words(std::span<const std::uint16_t> words) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint16_t w : words) {
+    for (const std::uint8_t b : {static_cast<std::uint8_t>(w & 0xff),
+                                 static_cast<std::uint8_t>(w >> 8)}) {
+      crc ^= b;
+      for (int i = 0; i < 8; ++i)
+        crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return ~crc;
+}
+
+}  // namespace harbor::ota

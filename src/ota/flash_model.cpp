@@ -1,0 +1,73 @@
+#include "ota/flash_model.h"
+
+namespace harbor::ota {
+
+const char* flash_status_name(FlashStatus s) {
+  switch (s) {
+    case FlashStatus::Ok: return "ok";
+    case FlashStatus::OutOfRange: return "out-of-range";
+    case FlashStatus::ProgramWithoutErase: return "program-without-erase";
+    case FlashStatus::PowerCut: return "power-cut";
+    case FlashStatus::PoweredOff: return "powered-off";
+  }
+  return "?";
+}
+
+FlashModel::FlashModel(FlashConfig cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      words_(static_cast<std::size_t>(cfg.pages) * cfg.page_words, 0xFFFF),
+      wear_(cfg.pages, 0),
+      rng_(seed) {}
+
+FlashStatus FlashModel::program_word(std::uint32_t waddr, std::uint16_t value) {
+  if (powered_off_) return FlashStatus::PoweredOff;
+  if (waddr >= words_.size()) return FlashStatus::OutOfRange;
+  ++ops_;
+  std::uint16_t& cell = words_[waddr];
+  if (cut_at_ && ops_ == cut_at_) {
+    // Torn program: only a seeded subset of the bits that should clear
+    // actually made it before the supply collapsed.
+    const std::uint16_t to_clear = cell & static_cast<std::uint16_t>(~value);
+    const std::uint16_t kept = to_clear & static_cast<std::uint16_t>(rng_());
+    cell &= static_cast<std::uint16_t>(value | kept);
+    powered_off_ = true;
+    return FlashStatus::PowerCut;
+  }
+  const bool needs_set = (static_cast<std::uint16_t>(~cell) & value) != 0;
+  cell &= value;
+  return needs_set ? FlashStatus::ProgramWithoutErase : FlashStatus::Ok;
+}
+
+FlashStatus FlashModel::erase_page(std::uint32_t page) {
+  if (powered_off_) return FlashStatus::PoweredOff;
+  if (page >= cfg_.pages) return FlashStatus::OutOfRange;
+  ++ops_;
+  ++wear_[page];  // the erase pulse started, so the cycle counts either way
+  const std::uint32_t base = page * cfg_.page_words;
+  if (cut_at_ && ops_ == cut_at_) {
+    // Torn erase: only a prefix of the page was blanked.
+    const std::uint32_t done =
+        static_cast<std::uint32_t>(rng_() % cfg_.page_words);
+    for (std::uint32_t i = 0; i < done; ++i) words_[base + i] = 0xFFFF;
+    powered_off_ = true;
+    return FlashStatus::PowerCut;
+  }
+  for (std::uint32_t i = 0; i < cfg_.page_words; ++i) words_[base + i] = 0xFFFF;
+  return FlashStatus::Ok;
+}
+
+std::uint16_t FlashModel::read_word(std::uint32_t waddr) const {
+  return waddr < words_.size() ? words_[waddr] : 0xFFFF;
+}
+
+std::uint32_t FlashModel::wear(std::uint32_t page) const {
+  return page < wear_.size() ? wear_[page] : 0;
+}
+
+std::uint64_t FlashModel::total_erases() const {
+  std::uint64_t total = 0;
+  for (const std::uint32_t w : wear_) total += w;
+  return total;
+}
+
+}  // namespace harbor::ota

@@ -1,0 +1,82 @@
+#pragma once
+// Flash device model for the OTA module store (DESIGN.md §11).
+//
+// NOR-style semantics: an erase sets every word of a page to 0xFFFF, and a
+// program can only clear bits (1 -> 0) — the device ANDs the new value into
+// the cell. Programming a word whose cleared bits would need to be set again
+// is a program-without-erase violation: the model applies the AND anyway (as
+// the real part does) and reports it. Every page keeps an erase-cycle wear
+// counter.
+//
+// Power-cut injection: set_cut_at(n) makes the n-th subsequent program or
+// erase operation tear — a torn program clears only a seeded subset of the
+// bits it should, a torn erase blanks only a prefix of the page — after
+// which the device is powered off: every further operation fails with
+// PoweredOff and changes nothing. power_cycle() brings it back with the torn
+// contents and wear counters intact, modelling a reboot after a brown-out.
+// The whole model is deterministic in (config, seed, operation sequence),
+// which is what lets the power-cut campaign enumerate every boundary.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace harbor::ota {
+
+struct FlashConfig {
+  std::uint32_t pages = 32;
+  std::uint32_t page_words = 64;  ///< 32 x 64 words = a 4 KB module store
+};
+
+enum class FlashStatus : std::uint8_t {
+  Ok,
+  OutOfRange,
+  ProgramWithoutErase,  ///< program needed a cleared bit set again
+  PowerCut,             ///< this operation tore: the device just browned out
+  PoweredOff,           ///< device is down; the operation had no effect
+};
+
+const char* flash_status_name(FlashStatus s);
+
+class FlashModel {
+ public:
+  explicit FlashModel(FlashConfig cfg = {}, std::uint64_t seed = 1);
+
+  [[nodiscard]] std::uint32_t pages() const { return cfg_.pages; }
+  [[nodiscard]] std::uint32_t page_words() const { return cfg_.page_words; }
+  [[nodiscard]] std::uint32_t size_words() const { return cfg_.pages * cfg_.page_words; }
+
+  FlashStatus program_word(std::uint32_t waddr, std::uint16_t value);
+  FlashStatus erase_page(std::uint32_t page);
+  /// Reads are unconditional: a powered-off device reads as whatever the
+  /// cells held when it died (the next boot sees exactly that).
+  [[nodiscard]] std::uint16_t read_word(std::uint32_t waddr) const;
+
+  [[nodiscard]] std::uint32_t wear(std::uint32_t page) const;
+  [[nodiscard]] std::uint64_t total_erases() const;
+  /// Program + erase operations accepted since construction. The power-cut
+  /// campaign enumerates cut points over this counter, so its monotonicity
+  /// is part of the model's contract.
+  [[nodiscard]] std::uint64_t ops() const { return ops_; }
+
+  /// Tear the `op`-th operation from now (1-based) and power the device off.
+  void set_cut_at(std::uint64_t op) { cut_at_ = ops_ + op; }
+  void clear_cut() { cut_at_ = 0; }
+  [[nodiscard]] bool powered_off() const { return powered_off_; }
+  /// Reboot after a brown-out: contents and wear survive, the cut clears.
+  void power_cycle() {
+    powered_off_ = false;
+    cut_at_ = 0;
+  }
+
+ private:
+  FlashConfig cfg_;
+  std::vector<std::uint16_t> words_;
+  std::vector<std::uint32_t> wear_;
+  std::mt19937_64 rng_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t cut_at_ = 0;  ///< ops_ value at which to tear (0 = never)
+  bool powered_off_ = false;
+};
+
+}  // namespace harbor::ota

@@ -1,0 +1,120 @@
+#include "ota/image.h"
+
+#include "ota/crc32.h"
+
+namespace harbor::ota {
+
+namespace {
+
+void push_u16(std::vector<std::uint16_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint16_t>(v & 0xFFFF));
+}
+
+/// Cursor over the payload with hard bounds checking: any read past the end
+/// poisons the parse instead of fabricating zeros.
+struct Reader {
+  std::span<const std::uint16_t> words;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint16_t u16() {
+    if (pos >= words.size()) {
+      ok = false;
+      return 0;
+    }
+    return words[pos++];
+  }
+  bool has(std::size_t n) const { return pos + n <= words.size(); }
+};
+
+}  // namespace
+
+std::vector<std::uint16_t> serialize_image(const sos::ModuleImage& image) {
+  std::vector<std::uint16_t> payload;
+  push_u16(payload, static_cast<std::uint32_t>(image.name.size()));
+  for (std::size_t i = 0; i < image.name.size(); i += 2) {
+    std::uint16_t w = static_cast<std::uint8_t>(image.name[i]);
+    if (i + 1 < image.name.size())
+      w |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(image.name[i + 1]) << 8);
+    payload.push_back(w);
+  }
+  push_u16(payload, image.state_size);
+  push_u16(payload, static_cast<std::uint32_t>(image.exports.size()));
+  for (const sos::Export& e : image.exports) {
+    push_u16(payload, e.slot);
+    push_u16(payload, e.offset);
+  }
+  push_u16(payload, static_cast<std::uint32_t>(image.extra_entries.size()));
+  for (const std::uint32_t off : image.extra_entries) push_u16(payload, off);
+  push_u16(payload, static_cast<std::uint32_t>(image.code_ptr_relocs.size()));
+  for (const std::uint32_t off : image.code_ptr_relocs) push_u16(payload, off);
+  push_u16(payload, static_cast<std::uint32_t>(image.code.size()));
+  for (const std::uint16_t w : image.code) payload.push_back(w);
+
+  const std::uint32_t crc = crc32_words(payload);
+  std::vector<std::uint16_t> out;
+  out.reserve(kImageHeaderWords + payload.size());
+  out.push_back(kImageMagic);
+  push_u16(out, static_cast<std::uint32_t>(payload.size()) & 0xFFFF);
+  push_u16(out, static_cast<std::uint32_t>(payload.size()) >> 16);
+  push_u16(out, crc & 0xFFFF);
+  push_u16(out, crc >> 16);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::uint32_t image_size_words(std::span<const std::uint16_t> words) {
+  if (words.size() < kImageHeaderWords || words[0] != kImageMagic) return 0;
+  const std::uint32_t payload_words =
+      words[1] | (static_cast<std::uint32_t>(words[2]) << 16);
+  return kImageHeaderWords + payload_words;
+}
+
+bool image_valid(std::span<const std::uint16_t> words) {
+  const std::uint32_t total = image_size_words(words);
+  if (total == 0 || total > words.size()) return false;
+  const std::uint32_t want_crc =
+      words[3] | (static_cast<std::uint32_t>(words[4]) << 16);
+  return crc32_words(words.subspan(kImageHeaderWords, total - kImageHeaderWords)) ==
+         want_crc;
+}
+
+std::optional<sos::ModuleImage> deserialize_image(std::span<const std::uint16_t> words) {
+  if (!image_valid(words)) return std::nullopt;
+  const std::uint32_t total = image_size_words(words);
+  Reader r{words.subspan(kImageHeaderWords, total - kImageHeaderWords)};
+
+  sos::ModuleImage img;
+  const std::uint16_t name_len = r.u16();
+  const std::size_t name_words = (static_cast<std::size_t>(name_len) + 1) / 2;
+  if (!r.has(name_words)) return std::nullopt;
+  for (std::uint16_t i = 0; i < name_len; i += 2) {
+    const std::uint16_t w = r.u16();
+    img.name.push_back(static_cast<char>(w & 0xff));
+    if (i + 1 < name_len) img.name.push_back(static_cast<char>(w >> 8));
+  }
+  img.state_size = r.u16();
+
+  const std::uint16_t n_exports = r.u16();
+  if (!r.has(static_cast<std::size_t>(n_exports) * 2)) return std::nullopt;
+  for (std::uint16_t i = 0; i < n_exports; ++i) {
+    sos::Export e;
+    e.slot = r.u16();
+    e.offset = r.u16();
+    img.exports.push_back(e);
+  }
+  const std::uint16_t n_extras = r.u16();
+  if (!r.has(n_extras)) return std::nullopt;
+  for (std::uint16_t i = 0; i < n_extras; ++i) img.extra_entries.push_back(r.u16());
+  const std::uint16_t n_relocs = r.u16();
+  if (!r.has(n_relocs)) return std::nullopt;
+  for (std::uint16_t i = 0; i < n_relocs; ++i) img.code_ptr_relocs.push_back(r.u16());
+  const std::uint16_t n_code = r.u16();
+  if (!r.has(n_code)) return std::nullopt;
+  for (std::uint16_t i = 0; i < n_code; ++i) img.code.push_back(r.u16());
+
+  if (!r.ok || r.pos != r.words.size()) return std::nullopt;
+  return img;
+}
+
+}  // namespace harbor::ota

@@ -1,0 +1,43 @@
+#pragma once
+// Wire/flash serialization of SOS module images (DESIGN.md §11).
+//
+// A serialized image is self-describing: a 4-word header (magic, payload
+// word count, payload CRC32) followed by the payload. Any module-store slot
+// can therefore be judged standalone — valid image, blank, or garbage — with
+// no journal in sight. The weakened (journal-less) installer relies on
+// exactly this to *detect* the torn states it can no longer prevent.
+//
+// Layout (all little-endian u16 words):
+//   header:  [magic][payload words lo][payload words hi][payload crc32... ]
+//            — crc32 spans two words (lo, hi), so the header is 4 words and
+//              the crc the last two.
+//   payload: [name len][name chars, 2 per word][state_size]
+//            [n exports][(slot, offset)*] [n extras][extra*]
+//            [n relocs][reloc*] [n code][code words*]
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sos/module.h"
+
+namespace harbor::ota {
+
+inline constexpr std::uint16_t kImageMagic = 0x484D;  ///< "MH": module, harbor
+inline constexpr std::uint32_t kImageHeaderWords = 5;
+
+std::vector<std::uint16_t> serialize_image(const sos::ModuleImage& image);
+
+/// Full parse with header, length and CRC validation; nullopt when `words`
+/// does not hold a well-formed image (trailing slack words are ignored).
+std::optional<sos::ModuleImage> deserialize_image(std::span<const std::uint16_t> words);
+
+/// Header + CRC validation only (cheaper than a full parse).
+bool image_valid(std::span<const std::uint16_t> words);
+
+/// Total serialized size (header + payload) declared by the header, or 0
+/// when no plausible header is present.
+std::uint32_t image_size_words(std::span<const std::uint16_t> words);
+
+}  // namespace harbor::ota

@@ -1,0 +1,36 @@
+#include "ota/link.h"
+
+namespace harbor::ota {
+
+void LossyLink::send(Frame f) {
+  ++counters_.sent;
+  if (uniform() < faults_.drop) {
+    ++counters_.dropped;
+    return;
+  }
+  if (!f.empty() && uniform() < faults_.corrupt) {
+    ++counters_.corrupted;
+    const std::size_t byte = static_cast<std::size_t>(rng_() % f.size());
+    f[byte] ^= static_cast<std::uint8_t>(1u << (rng_() % 8));
+  }
+  const bool dup = uniform() < faults_.duplicate;
+  if (!queue_.empty() && uniform() < faults_.reorder) {
+    ++counters_.reordered;
+    queue_.insert(queue_.end() - 1, f);
+  } else {
+    queue_.push_back(f);
+  }
+  if (dup) {
+    ++counters_.duplicated;
+    queue_.push_back(std::move(f));
+  }
+}
+
+std::vector<Frame> LossyLink::drain() {
+  std::vector<Frame> out(queue_.begin(), queue_.end());
+  counters_.delivered += out.size();
+  queue_.clear();
+  return out;
+}
+
+}  // namespace harbor::ota

@@ -1,0 +1,59 @@
+#pragma once
+// Deterministic lossy-link model for OTA transfers (DESIGN.md §11).
+//
+// One direction of a radio: frames go in, and a seeded fault process drops,
+// duplicates, reorders (by one slot) or bit-corrupts them before they come
+// out. Every decision derives from std::mt19937_64(seed) and the send
+// sequence alone, so a transfer replays identically for a given seed — which
+// is what lets the power-cut campaign put cuts at reproducible points under
+// 20%+ loss.
+
+#include <cstdint>
+#include <deque>
+#include <random>
+#include <vector>
+
+namespace harbor::ota {
+
+using Frame = std::vector<std::uint8_t>;
+
+struct LinkFaults {
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+  double corrupt = 0.0;
+};
+
+struct LinkCounters {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t corrupted = 0;
+};
+
+class LossyLink {
+ public:
+  explicit LossyLink(LinkFaults faults = {}, std::uint64_t seed = 1)
+      : faults_(faults), rng_(seed) {}
+
+  void send(Frame f);
+  /// Next deliverable frame, or empty when the queue is drained.
+  std::vector<Frame> drain();
+
+  [[nodiscard]] const LinkCounters& counters() const { return counters_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+
+ private:
+  /// Uniform [0,1) from the top 53 bits — identical on every platform,
+  /// unlike std::uniform_real_distribution.
+  double uniform() { return static_cast<double>(rng_() >> 11) * 0x1.0p-53; }
+
+  LinkFaults faults_;
+  std::mt19937_64 rng_;
+  LinkCounters counters_;
+  std::deque<Frame> queue_;
+};
+
+}  // namespace harbor::ota

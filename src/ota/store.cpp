@@ -1,0 +1,505 @@
+#include "ota/store.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "ota/crc32.h"
+#include "ota/image.h"
+#include "trace/tracer.h"
+
+namespace harbor::ota {
+
+namespace {
+
+constexpr std::uint16_t kRecordMagic = 0xA500;  ///< high byte of word 0
+
+}  // namespace
+
+const char* install_status_name(InstallStatus s) {
+  switch (s) {
+    case InstallStatus::Ok: return "ok";
+    case InstallStatus::PowerCut: return "power-cut";
+    case InstallStatus::Dead: return "dead";
+    case InstallStatus::Invalid: return "invalid";
+    case InstallStatus::Busy: return "busy";
+    case InstallStatus::NoSpace: return "no-space";
+    case InstallStatus::CrcMismatch: return "crc-mismatch";
+  }
+  return "?";
+}
+
+const char* store_state_name(StoreState s) {
+  switch (s) {
+    case StoreState::Empty: return "empty";
+    case StoreState::Committed: return "committed";
+    case StoreState::Corrupt: return "corrupt";
+    case StoreState::Watchdog: return "watchdog";
+  }
+  return "?";
+}
+
+ModuleStore::ModuleStore(FlashModel& flash, StoreLayout layout, trace::Tracer* tracer)
+    : flash_(flash), layout_(layout), tracer_(tracer) {
+  if (layout_.journal_pages < 2 || layout_.journal_pages % 2 != 0 ||
+      layout_.journal_pages + 2 > flash_.pages())
+    throw std::runtime_error("ota: store layout needs an even journal and two slots");
+  slot_pages_ = (flash_.pages() - layout_.journal_pages) / 2;
+  if (records_per_half() == 0)
+    throw std::runtime_error("ota: journal half smaller than one record");
+  recover();
+}
+
+std::uint32_t ModuleStore::journal_half_words() const {
+  return (layout_.journal_pages / 2) * flash_.page_words();
+}
+
+std::uint32_t ModuleStore::record_addr(int half, std::uint32_t idx) const {
+  return static_cast<std::uint32_t>(half) * journal_half_words() + idx * kRecordWords;
+}
+
+std::uint32_t ModuleStore::slot_base_words(int slot) const {
+  return (layout_.journal_pages + static_cast<std::uint32_t>(slot) * slot_pages_) *
+         flash_.page_words();
+}
+
+InstallStatus ModuleStore::flash_err(FlashStatus s) const {
+  switch (s) {
+    case FlashStatus::Ok: return InstallStatus::Ok;
+    case FlashStatus::PowerCut: return InstallStatus::PowerCut;
+    case FlashStatus::PoweredOff: return InstallStatus::Dead;
+    case FlashStatus::OutOfRange:
+    case FlashStatus::ProgramWithoutErase: return InstallStatus::Invalid;
+  }
+  return InstallStatus::Invalid;
+}
+
+// --- journal records ----------------------------------------------------------
+
+std::optional<ModuleStore::Record> ModuleStore::read_record(std::uint32_t waddr,
+                                                            std::uint64_t& ops) const {
+  std::array<std::uint16_t, kRecordWords> w{};
+  bool blank = true;
+  for (std::uint32_t i = 0; i < kRecordWords; ++i) {
+    w[i] = flash_.read_word(waddr + i);
+    if (w[i] != 0xFFFF) blank = false;
+  }
+  ops += kRecordWords;
+  if (blank) return std::nullopt;
+  if ((w[0] & 0xFF00) != kRecordMagic) return std::nullopt;
+  const std::uint32_t want =
+      w[7] | (static_cast<std::uint32_t>(w[8]) << 16);
+  if (crc32_words({w.data(), 7}) != want) return std::nullopt;
+  const std::uint8_t t = static_cast<std::uint8_t>(w[0] & 0xFF);
+  if (t < 1 || t > 5) return std::nullopt;
+  Record r;
+  r.type = static_cast<RecordType>(t);
+  r.seq = w[1] | (static_cast<std::uint32_t>(w[2]) << 16);
+  r.arg0 = w[3];
+  r.arg1 = w[4];
+  r.crc = w[5] | (static_cast<std::uint32_t>(w[6]) << 16);
+  return r;
+}
+
+InstallStatus ModuleStore::write_record_at(std::uint32_t waddr, const Record& r) {
+  std::array<std::uint16_t, kRecordWords> w{};
+  w[0] = static_cast<std::uint16_t>(kRecordMagic | static_cast<std::uint8_t>(r.type));
+  w[1] = static_cast<std::uint16_t>(r.seq & 0xFFFF);
+  w[2] = static_cast<std::uint16_t>(r.seq >> 16);
+  w[3] = r.arg0;
+  w[4] = r.arg1;
+  w[5] = static_cast<std::uint16_t>(r.crc & 0xFFFF);
+  w[6] = static_cast<std::uint16_t>(r.crc >> 16);
+  const std::uint32_t body_crc = crc32_words({w.data(), 7});
+  w[7] = static_cast<std::uint16_t>(body_crc & 0xFFFF);
+  w[8] = static_cast<std::uint16_t>(body_crc >> 16);
+  for (std::uint32_t i = 0; i < kRecordWords; ++i) {
+    const FlashStatus s = flash_.program_word(waddr + i, w[i]);
+    if (s != FlashStatus::Ok) return flash_err(s);
+  }
+  return InstallStatus::Ok;
+}
+
+InstallStatus ModuleStore::compact(int into_half) {
+  const std::uint32_t half_pages = layout_.journal_pages / 2;
+  const std::uint32_t into_page = static_cast<std::uint32_t>(into_half) * half_pages;
+  for (std::uint32_t p = 0; p < half_pages; ++p) {
+    const FlashStatus s = flash_.erase_page(into_page + p);
+    if (s != FlashStatus::Ok) return flash_err(s);
+  }
+  std::uint32_t idx = 0;
+  auto emit = [&](Record r) -> InstallStatus {
+    r.seq = next_seq_++;
+    const InstallStatus s = write_record_at(record_addr(into_half, idx), r);
+    if (s == InstallStatus::Ok) ++idx;
+    return s;
+  };
+  if (state_.state == StoreState::Committed) {
+    Record ck;
+    ck.type = RecordType::Checkpoint;
+    ck.arg0 = static_cast<std::uint16_t>(state_.slot);
+    ck.arg1 = static_cast<std::uint16_t>(state_.words);
+    ck.crc = state_.crc;
+    if (const InstallStatus s = emit(ck); s != InstallStatus::Ok) return s;
+    state_.seq = next_seq_ - 1;
+  }
+  if (open_) {
+    Record b;
+    b.type = RecordType::Begin;
+    b.arg0 = static_cast<std::uint16_t>(open_->slot);
+    b.arg1 = static_cast<std::uint16_t>(open_->words_total);
+    b.crc = open_->crc;
+    if (const InstallStatus s = emit(b); s != InstallStatus::Ok) return s;
+    open_->seq = next_seq_ - 1;
+    if (open_->erased) {
+      Record p;
+      p.type = RecordType::Progress;
+      p.arg0 = static_cast<std::uint16_t>(open_->words_staged);
+      if (const InstallStatus s = emit(p); s != InstallStatus::Ok) return s;
+    }
+  }
+  active_half_ = into_half;
+  next_record_idx_ = idx;
+  // Only now is the old half disposable: a cut anywhere above leaves the
+  // previous records intact and recovery picks the highest valid sequence.
+  const std::uint32_t old_page = static_cast<std::uint32_t>(1 - into_half) * half_pages;
+  for (std::uint32_t p = 0; p < half_pages; ++p) {
+    const FlashStatus s = flash_.erase_page(old_page + p);
+    if (s != FlashStatus::Ok) return flash_err(s);
+  }
+  return InstallStatus::Ok;
+}
+
+InstallStatus ModuleStore::append_record(Record& r) {
+  if (next_record_idx_ >= records_per_half()) {
+    const InstallStatus s = compact(1 - active_half_);
+    if (s != InstallStatus::Ok) return s;
+  }
+  r.seq = next_seq_++;
+  const InstallStatus s = write_record_at(record_addr(active_half_, next_record_idx_), r);
+  if (s == InstallStatus::Ok) ++next_record_idx_;
+  return s;
+}
+
+// --- installer ----------------------------------------------------------------
+
+InstallStatus ModuleStore::erase_slot(int slot) {
+  const std::uint32_t first = layout_.journal_pages +
+                              static_cast<std::uint32_t>(slot) * slot_pages_;
+  for (std::uint32_t p = 0; p < slot_pages_; ++p) {
+    const FlashStatus s = flash_.erase_page(first + p);
+    if (s != FlashStatus::Ok) return flash_err(s);
+  }
+  return InstallStatus::Ok;
+}
+
+InstallStatus ModuleStore::begin_install(std::uint32_t image_words, std::uint32_t image_crc) {
+  if (open_) return InstallStatus::Busy;
+  if (image_words < kImageHeaderWords) return InstallStatus::Invalid;
+  if (image_words > slot_capacity_words()) return InstallStatus::NoSpace;
+
+  if (!journal_enabled_) {
+    // Weakened mode: overwrite the (only) active copy in place. The old
+    // version is gone the moment the erase starts.
+    if (const InstallStatus s = erase_slot(0); s != InstallStatus::Ok) return s;
+    open_ = PendingInstall{0, 0, image_words, image_crc, 0, true};
+    return InstallStatus::Ok;
+  }
+
+  const int target = state_.slot == 0 ? 1 : 0;
+  Record b;
+  b.type = RecordType::Begin;
+  b.arg0 = static_cast<std::uint16_t>(target);
+  b.arg1 = static_cast<std::uint16_t>(image_words);
+  b.crc = image_crc;
+  if (const InstallStatus s = append_record(b); s != InstallStatus::Ok) return s;
+  open_ = PendingInstall{b.seq, target, image_words, image_crc, 0, false};
+  if (const InstallStatus s = erase_slot(target); s != InstallStatus::Ok) return s;
+  // Progress(0) doubles as the durable "slot fully erased" marker: a Begin
+  // without it must re-erase, because the erase itself may have torn.
+  Record p;
+  p.type = RecordType::Progress;
+  p.arg0 = 0;
+  if (const InstallStatus s = append_record(p); s != InstallStatus::Ok) return s;
+  open_->erased = true;
+  return InstallStatus::Ok;
+}
+
+InstallStatus ModuleStore::stage_words(std::uint32_t offset,
+                                       std::span<const std::uint16_t> words) {
+  if (!open_ || !open_->erased) return InstallStatus::Invalid;
+  if (offset + words.size() > open_->words_total) return InstallStatus::Invalid;
+  const std::uint32_t base = slot_base_words(open_->slot);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const FlashStatus s =
+        flash_.program_word(base + offset + static_cast<std::uint32_t>(i), words[i]);
+    if (s != FlashStatus::Ok) return flash_err(s);
+  }
+  return InstallStatus::Ok;
+}
+
+InstallStatus ModuleStore::note_progress(std::uint32_t words_staged) {
+  if (!open_) return InstallStatus::Invalid;
+  if (words_staged > open_->words_total) return InstallStatus::Invalid;
+  if (journal_enabled_) {
+    Record p;
+    p.type = RecordType::Progress;
+    p.arg0 = static_cast<std::uint16_t>(words_staged);
+    if (const InstallStatus s = append_record(p); s != InstallStatus::Ok) return s;
+  }
+  open_->words_staged = std::max(open_->words_staged, words_staged);
+  return InstallStatus::Ok;
+}
+
+InstallStatus ModuleStore::commit() {
+  if (!open_) return InstallStatus::Invalid;
+  const std::uint32_t base = slot_base_words(open_->slot);
+  std::vector<std::uint16_t> staged(open_->words_total);
+  for (std::uint32_t i = 0; i < open_->words_total; ++i)
+    staged[i] = flash_.read_word(base + i);
+  if (crc32_words(staged) != open_->crc) return InstallStatus::CrcMismatch;
+
+  std::uint32_t seq = 0;
+  if (journal_enabled_) {
+    Record c;
+    c.type = RecordType::Commit;
+    c.arg0 = static_cast<std::uint16_t>(open_->slot);
+    c.arg1 = static_cast<std::uint16_t>(open_->words_total);
+    c.crc = open_->crc;
+    if (const InstallStatus s = append_record(c); s != InstallStatus::Ok) return s;
+    seq = c.seq;
+  }
+  state_.state = StoreState::Committed;
+  state_.seq = seq;
+  state_.slot = open_->slot;
+  state_.words = open_->words_total;
+  state_.crc = open_->crc;
+  state_.pending.reset();
+  const int slot = open_->slot;
+  open_.reset();
+  if (tracer_) tracer_->ota_commit(static_cast<std::uint8_t>(slot), seq);
+  return InstallStatus::Ok;
+}
+
+InstallStatus ModuleStore::abort_install() {
+  if (!open_) return InstallStatus::Invalid;
+  const int slot = open_->slot;
+  const std::uint32_t seq = open_->seq;
+  if (journal_enabled_) {
+    Record a;
+    a.type = RecordType::Abort;
+    a.arg0 = static_cast<std::uint16_t>(slot);
+    if (const InstallStatus s = append_record(a); s != InstallStatus::Ok) return s;
+  }
+  open_.reset();
+  state_.pending.reset();
+  if (tracer_) tracer_->ota_rollback(static_cast<std::uint8_t>(slot), seq);
+  return InstallStatus::Ok;
+}
+
+// --- recovery -----------------------------------------------------------------
+
+RecoveryResult ModuleStore::recover(std::uint64_t op_budget) {
+  std::uint64_t ops = 0;
+  RecoveryResult r;
+
+  const auto watchdog = [&]() {
+    r = RecoveryResult{};
+    r.state = StoreState::Watchdog;
+    r.fault = avr::FaultKind::Watchdog;
+    r.ops = ops;
+    state_ = r;
+    open_.reset();
+    if (tracer_) tracer_->ota_recover(static_cast<std::uint8_t>(r.state), r.seq);
+    return r;
+  };
+
+  // CRC a slot's content in page-sized steps so the budget check runs
+  // between reads; returns nullopt when the budget dies first.
+  const auto slot_crc_ok = [&](int slot, std::uint32_t words,
+                               std::uint32_t want) -> std::optional<bool> {
+    const std::uint32_t base = slot_base_words(slot);
+    std::vector<std::uint16_t> buf(words);
+    for (std::uint32_t i = 0; i < words; i += flash_.page_words()) {
+      const std::uint32_t n = std::min(flash_.page_words(), words - i);
+      for (std::uint32_t j = 0; j < n; ++j) buf[i + j] = flash_.read_word(base + i + j);
+      ops += n;
+      if (ops > op_budget) return std::nullopt;
+    }
+    return crc32_words(buf) == want;
+  };
+
+  open_.reset();
+
+  if (!journal_enabled_) {
+    // Weakened mode: no journal to replay — judge slot 0 by its embedded
+    // image header alone.
+    const std::uint32_t base = slot_base_words(0);
+    std::array<std::uint16_t, kImageHeaderWords> hdr{};
+    bool blank = true;
+    for (std::uint32_t i = 0; i < kImageHeaderWords; ++i) {
+      hdr[i] = flash_.read_word(base + i);
+      if (hdr[i] != 0xFFFF) blank = false;
+    }
+    ops += kImageHeaderWords;
+    if (ops > op_budget) return watchdog();
+    if (blank) {
+      r.state = StoreState::Empty;
+    } else if (hdr[0] != kImageMagic) {
+      r.state = StoreState::Corrupt;
+    } else {
+      const std::uint32_t total =
+          kImageHeaderWords + (hdr[1] | (static_cast<std::uint32_t>(hdr[2]) << 16));
+      const std::uint32_t want = hdr[3] | (static_cast<std::uint32_t>(hdr[4]) << 16);
+      if (total > slot_capacity_words()) {
+        r.state = StoreState::Corrupt;
+      } else {
+        std::vector<std::uint16_t> payload(total - kImageHeaderWords);
+        for (std::uint32_t i = 0; i < payload.size(); ++i)
+          payload[i] = flash_.read_word(base + kImageHeaderWords + i);
+        ops += payload.size();
+        if (ops > op_budget) return watchdog();
+        if (crc32_words(payload) == want) {
+          r.state = StoreState::Committed;
+          r.slot = 0;
+          r.words = total;
+          r.crc = crc32_words([&] {
+            std::vector<std::uint16_t> all(hdr.begin(), hdr.end());
+            all.insert(all.end(), payload.begin(), payload.end());
+            return all;
+          }());
+        } else {
+          r.state = StoreState::Corrupt;
+        }
+      }
+    }
+    r.ops = ops;
+    state_ = r;
+    if (tracer_) tracer_->ota_recover(static_cast<std::uint8_t>(r.state), r.seq);
+    return r;
+  }
+
+  // Journaled: merge both halves, ordered by sequence number.
+  std::vector<Record> records;
+  std::uint32_t max_seq = 0;
+  int max_seq_half = 0;
+  std::array<std::uint32_t, 2> first_blank{records_per_half(), records_per_half()};
+  for (int half = 0; half < 2; ++half) {
+    for (std::uint32_t idx = 0; idx < records_per_half(); ++idx) {
+      const std::uint32_t waddr = record_addr(half, idx);
+      bool blank = true;
+      for (std::uint32_t i = 0; i < kRecordWords && blank; ++i)
+        if (flash_.read_word(waddr + i) != 0xFFFF) blank = false;
+      if (blank) {
+        ops += kRecordWords;
+        if (ops > op_budget) return watchdog();
+        first_blank[half] = std::min(first_blank[half], idx);
+        continue;
+      }
+      first_blank[half] = records_per_half();  // occupied after a gap: keep appending past it
+      const std::optional<Record> rec = read_record(waddr, ops);
+      if (ops > op_budget) return watchdog();
+      if (!rec) continue;  // torn or foreign bytes: invisible to recovery
+      records.push_back(*rec);
+      if (rec->seq >= max_seq) {
+        max_seq = rec->seq;
+        max_seq_half = half;
+      }
+    }
+  }
+  // Drop semantically impossible records (a forged length larger than the
+  // slot, a slot index out of range) the same way a bad CRC is dropped —
+  // before the fold, so a forged high-seq Commit cannot mask the real one.
+  records.erase(std::remove_if(records.begin(), records.end(),
+                               [&](const Record& rec) {
+                                 switch (rec.type) {
+                                   case RecordType::Begin:
+                                   case RecordType::Commit:
+                                   case RecordType::Checkpoint:
+                                     return rec.arg0 > 1 ||
+                                            rec.arg1 > slot_capacity_words();
+                                   case RecordType::Progress:
+                                     return rec.arg0 > slot_capacity_words();
+                                   case RecordType::Abort:
+                                     return rec.arg0 > 1;
+                                 }
+                                 return true;
+                               }),
+                records.end());
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) { return a.seq < b.seq; });
+
+  std::optional<Record> committed;
+  std::optional<PendingInstall> pending;
+  for (const Record& rec : records) {
+    switch (rec.type) {
+      case RecordType::Commit:
+      case RecordType::Checkpoint:
+        committed = rec;
+        pending.reset();
+        break;
+      case RecordType::Begin:
+        pending = PendingInstall{rec.seq, rec.arg0, rec.arg1, rec.crc, 0, false};
+        break;
+      case RecordType::Progress:
+        if (pending) {
+          pending->erased = true;
+          pending->words_staged =
+              std::min(std::max(pending->words_staged,
+                                static_cast<std::uint32_t>(rec.arg0)),
+                       pending->words_total);
+        }
+        break;
+      case RecordType::Abort:
+        pending.reset();
+        break;
+    }
+  }
+
+  if (committed) {
+    const std::optional<bool> ok =
+        slot_crc_ok(committed->arg0, committed->arg1, committed->crc);
+    if (!ok) return watchdog();
+    if (*ok) {
+      r.state = StoreState::Committed;
+      r.seq = committed->seq;
+      r.slot = committed->arg0;
+      r.words = committed->arg1;
+      r.crc = committed->crc;
+    } else {
+      r.state = StoreState::Corrupt;
+      r.seq = committed->seq;
+    }
+  } else {
+    r.state = StoreState::Empty;
+  }
+  r.pending = pending;
+  r.ops = ops;
+
+  active_half_ = max_seq ? max_seq_half : 0;
+  next_record_idx_ = first_blank[active_half_];
+  next_seq_ = max_seq + 1;
+  state_ = r;
+  open_ = pending;
+  if (tracer_) tracer_->ota_recover(static_cast<std::uint8_t>(r.state), r.seq);
+  return r;
+}
+
+InstallStatus install_image(ModuleStore& store, std::span<const std::uint16_t> words) {
+  InstallStatus s = store.begin_install(static_cast<std::uint32_t>(words.size()),
+                                        crc32_words(words));
+  if (s != InstallStatus::Ok) return s;
+  s = store.stage_words(0, words);
+  if (s != InstallStatus::Ok) return s;
+  return store.commit();
+}
+
+std::optional<std::vector<std::uint16_t>> ModuleStore::committed_image() const {
+  if (state_.state != StoreState::Committed) return std::nullopt;
+  const std::uint32_t base = slot_base_words(state_.slot);
+  std::vector<std::uint16_t> out(state_.words);
+  for (std::uint32_t i = 0; i < state_.words; ++i) out[i] = flash_.read_word(base + i);
+  return out;
+}
+
+}  // namespace harbor::ota

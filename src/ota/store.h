@@ -1,0 +1,204 @@
+#pragma once
+// Transactional module store: intent journal + A/B image slots on the
+// FlashModel, with two-phase commit and reboot-time recovery (DESIGN.md §11).
+//
+// Page layout:
+//   [0, j)        intent journal, split into two ping-pong halves
+//   [j, j+s)      slot 0
+//   [j+s, j+2s)   slot 1            (j = journal pages, s = slot pages)
+//
+// Journal records are fixed-size (9 words), append-only, each sealed with a
+// CRC32 over its body. A torn append fails the CRC and is simply invisible
+// to recovery — which is the whole design: the only durable state transition
+// is "one more valid record exists".
+//
+//   Begin{slot, words, crc}   install intent opened; the target slot is about
+//                             to be erased and staged
+//   Progress{words}           staging high-water mark. The first Progress(0)
+//                             doubles as "target slot fully erased" — a Begin
+//                             with no Progress must re-erase before staging.
+//   Commit{slot, words, crc}  the linearization point: this single record
+//                             append atomically makes the staged slot active
+//   Abort{slot}               an interrupted install was rolled back
+//   Checkpoint{slot,words,crc} compaction summary of the committed state
+//
+// Sequence numbers are globally monotonic across both halves, so recovery
+// can merge them: committed state = the highest-seq valid Commit/Checkpoint;
+// a valid Begin above it is a resumable pending install. When the active
+// half fills, compaction writes a Checkpoint (plus a restated Begin/Progress
+// for any open install) into the blank other half, then erases the old one;
+// a cut between those steps leaves both halves readable and the highest
+// sequence number still wins.
+//
+// recover() takes an operation budget: every flash read/program/erase spent
+// replaying the journal counts against it, and exhaustion returns
+// StoreState::Watchdog with FaultKind::Watchdog — a corrupted journal can
+// slow boot down, never hang it (the kernel derives the budget from
+// Testbed::set_cycle_budget; see sos::Kernel::recover_store).
+//
+// set_journal_enabled(false) is the --weakened mode: installs overwrite
+// slot 0 in place with no intent records. A power cut mid-install then
+// destroys the old version; recovery can only *detect* the damage through
+// the image's embedded CRC (StoreState::Corrupt). That detectable-but-
+// unpreventable corruption is what the power-cut campaign's self-test
+// demonstrates.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "avr/hooks.h"
+#include "ota/flash_model.h"
+
+namespace harbor::trace {
+class Tracer;
+}
+
+namespace harbor::ota {
+
+enum class InstallStatus : std::uint8_t {
+  Ok,
+  PowerCut,     ///< the flash tore mid-operation; the device is now down
+  Dead,         ///< device already powered off; nothing happened
+  Invalid,      ///< bad arguments or no open install
+  Busy,         ///< an install is already open
+  NoSpace,      ///< image exceeds the slot capacity
+  CrcMismatch,  ///< staged bytes do not hash to the declared image CRC
+};
+
+const char* install_status_name(InstallStatus s);
+
+enum class StoreState : std::uint8_t {
+  Empty,      ///< no committed module
+  Committed,  ///< exactly one valid committed image is active
+  Corrupt,    ///< active content fails validation (journal-less installs only)
+  Watchdog,   ///< recovery exceeded its flash-operation budget
+};
+
+const char* store_state_name(StoreState s);
+
+struct PendingInstall {
+  std::uint32_t seq = 0;
+  int slot = 0;
+  std::uint32_t words_total = 0;
+  std::uint32_t crc = 0;
+  /// Journal high-water mark: words known durably staged (resume offset).
+  std::uint32_t words_staged = 0;
+  /// True once a Progress record exists, i.e. the slot erase completed. A
+  /// pending install without it must restart (the erase itself may be torn).
+  bool erased = false;
+};
+
+struct RecoveryResult {
+  StoreState state = StoreState::Empty;
+  std::uint32_t seq = 0;  ///< sequence number of the committed record
+  int slot = -1;          ///< active slot (-1 when none)
+  std::uint32_t words = 0;
+  std::uint32_t crc = 0;
+  std::optional<PendingInstall> pending;
+  std::uint64_t ops = 0;  ///< flash operations spent recovering
+  avr::FaultKind fault = avr::FaultKind::None;
+};
+
+struct StoreLayout {
+  std::uint32_t journal_pages = 2;  ///< must be even (two ping-pong halves)
+};
+
+class ModuleStore;
+
+/// Whole-image install in one call (no radio in between): begin, stage
+/// everything, commit. The host-side path used to seed stores in tests,
+/// benchmarks and the campaign's version-1 baseline.
+InstallStatus install_image(ModuleStore& store, std::span<const std::uint16_t> words);
+
+class ModuleStore {
+ public:
+  static constexpr std::uint32_t kRecordWords = 9;
+  static constexpr std::uint64_t kUnboundedOps = ~0ull;
+
+  /// Binds to `flash` and runs an unbounded recover() to learn the committed
+  /// state. Boot paths that must stay watchdog-bounded re-run recover() with
+  /// a budget (sos::Kernel::recover_store does).
+  explicit ModuleStore(FlashModel& flash, StoreLayout layout = {},
+                       trace::Tracer* tracer = nullptr);
+
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
+  void set_journal_enabled(bool on) { journal_enabled_ = on; }
+  [[nodiscard]] bool journal_enabled() const { return journal_enabled_; }
+
+  // --- transactional installer ---
+  /// Phase 1 open: journal the intent, erase the target slot, mark it
+  /// stageable. Resumes nothing — use pending() + stage_words to resume.
+  InstallStatus begin_install(std::uint32_t image_words, std::uint32_t image_crc);
+  InstallStatus stage_words(std::uint32_t offset, std::span<const std::uint16_t> words);
+  /// Journal the staging high-water mark (durable resume-from-offset point).
+  InstallStatus note_progress(std::uint32_t words_staged);
+  /// Phase 2: CRC-verify the staged slot against the declared image CRC,
+  /// then append the Commit record — the single-word linearization point.
+  InstallStatus commit();
+  InstallStatus abort_install();
+  [[nodiscard]] bool install_open() const { return open_.has_value(); }
+  [[nodiscard]] const std::optional<PendingInstall>& pending() const { return open_; }
+
+  // --- reboot-time recovery ---
+  RecoveryResult recover(std::uint64_t op_budget = kUnboundedOps);
+  [[nodiscard]] const RecoveryResult& last_recovery() const { return state_; }
+
+  // --- committed state ---
+  [[nodiscard]] bool has_committed() const { return state_.state == StoreState::Committed; }
+  /// The committed serialized image (header included), or nullopt.
+  [[nodiscard]] std::optional<std::vector<std::uint16_t>> committed_image() const;
+  [[nodiscard]] int active_slot() const { return state_.slot; }
+
+  [[nodiscard]] std::uint32_t slot_capacity_words() const { return slot_pages_ * flash_.page_words(); }
+  [[nodiscard]] std::uint32_t slot_base_words(int slot) const;
+  [[nodiscard]] FlashModel& flash() { return flash_; }
+
+ private:
+  enum class RecordType : std::uint8_t {
+    Begin = 1,
+    Progress = 2,
+    Commit = 3,
+    Abort = 4,
+    Checkpoint = 5,
+  };
+
+  struct Record {
+    RecordType type = RecordType::Begin;
+    std::uint32_t seq = 0;
+    std::uint16_t arg0 = 0;  ///< slot (Begin/Commit/Abort/Checkpoint), words staged (Progress)
+    std::uint16_t arg1 = 0;  ///< image words (Begin/Commit/Checkpoint)
+    std::uint32_t crc = 0;   ///< image payload crc32
+  };
+
+  [[nodiscard]] std::uint32_t journal_half_words() const;
+  [[nodiscard]] std::uint32_t records_per_half() const { return journal_half_words() / kRecordWords; }
+  [[nodiscard]] std::uint32_t record_addr(int half, std::uint32_t idx) const;
+
+  /// Appends with the next sequence number (written back into `r`),
+  /// compacting into the other half first when the active one is full.
+  InstallStatus append_record(Record& r);
+  InstallStatus write_record_at(std::uint32_t waddr, const Record& r);
+  InstallStatus compact(int into_half);
+  InstallStatus erase_slot(int slot);
+  [[nodiscard]] InstallStatus flash_err(FlashStatus s) const;
+
+  /// Reads one record slot, charging `ops`; nullopt if blank or corrupt.
+  std::optional<Record> read_record(std::uint32_t waddr, std::uint64_t& ops) const;
+
+  FlashModel& flash_;
+  StoreLayout layout_;
+  trace::Tracer* tracer_ = nullptr;
+  bool journal_enabled_ = true;
+
+  std::uint32_t slot_pages_ = 0;
+  int active_half_ = 0;
+  std::uint32_t next_record_idx_ = 0;  ///< next free slot in the active half
+  std::uint32_t next_seq_ = 1;
+
+  RecoveryResult state_;                 ///< last recovery verdict (kept current)
+  std::optional<PendingInstall> open_;   ///< install in flight (RAM mirror)
+};
+
+}  // namespace harbor::ota

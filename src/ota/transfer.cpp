@@ -1,0 +1,349 @@
+#include "ota/transfer.h"
+
+#include <algorithm>
+
+#include "ota/crc32.h"
+#include "trace/tracer.h"
+
+namespace harbor::ota {
+
+namespace {
+
+constexpr std::uint8_t kSyn = 0x51;
+constexpr std::uint8_t kSynAck = 0x52;
+constexpr std::uint8_t kData = 0xD1;
+constexpr std::uint8_t kAck = 0xA1;
+
+constexpr std::uint8_t kAckOk = 0;
+constexpr std::uint8_t kAckNack = 1;
+constexpr std::uint8_t kAckDone = 2;
+
+void push_u16(Frame& f, std::uint16_t v) {
+  f.push_back(static_cast<std::uint8_t>(v & 0xff));
+  f.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void push_u32(Frame& f, std::uint32_t v) {
+  push_u16(f, static_cast<std::uint16_t>(v & 0xFFFF));
+  push_u16(f, static_cast<std::uint16_t>(v >> 16));
+}
+
+std::uint16_t get_u16(const Frame& f, std::size_t at) {
+  return static_cast<std::uint16_t>(f[at] | (f[at + 1] << 8));
+}
+
+std::uint32_t get_u32(const Frame& f, std::size_t at) {
+  return get_u16(f, at) | (static_cast<std::uint32_t>(get_u16(f, at + 2)) << 16);
+}
+
+void seal(Frame& f) { push_u32(f, crc32(f)); }
+
+/// CRC + minimum-length check; every malformed frame is dropped silently,
+/// exactly like a radio CRC failure.
+bool frame_ok(const Frame& f, std::size_t min_body) {
+  if (f.size() < min_body + 4) return false;
+  const Frame body(f.begin(), f.end() - 4);
+  return crc32(body) == get_u32(f, f.size() - 4);
+}
+
+Frame make_ack(std::uint8_t session, std::uint16_t seq, std::uint8_t status) {
+  Frame f{kAck, session};
+  push_u16(f, seq);
+  f.push_back(status);
+  seal(f);
+  return f;
+}
+
+}  // namespace
+
+const char* transfer_status_name(TransferStatus s) {
+  switch (s) {
+    case TransferStatus::Complete: return "complete";
+    case TransferStatus::SenderFailed: return "sender-failed";
+    case TransferStatus::ReceiverDead: return "receiver-dead";
+    case TransferStatus::Stopped: return "stopped";
+    case TransferStatus::Timeout: return "timeout";
+  }
+  return "?";
+}
+
+// --- Sender -------------------------------------------------------------------
+
+Sender::Sender(std::vector<std::uint16_t> image, TransferConfig cfg, trace::Tracer* tracer)
+    : image_(std::move(image)), cfg_(cfg), tracer_(tracer) {
+  image_crc_ = crc32_words(image_);
+  total_chunks_ = (static_cast<std::uint32_t>(image_.size()) + cfg_.chunk_words - 1) /
+                  cfg_.chunk_words;
+}
+
+std::uint16_t Sender::current_seq() const {
+  return phase_ == Phase::Syn ? 0xFFFF : static_cast<std::uint16_t>(next_chunk_);
+}
+
+Frame Sender::current_frame() const {
+  if (phase_ == Phase::Syn) {
+    Frame f{kSyn, session_};
+    push_u32(f, static_cast<std::uint32_t>(image_.size()));
+    push_u32(f, image_crc_);
+    push_u16(f, static_cast<std::uint16_t>(cfg_.chunk_words));
+    seal(f);
+    return f;
+  }
+  Frame f{kData, session_};
+  push_u16(f, static_cast<std::uint16_t>(next_chunk_));
+  const std::uint32_t first = next_chunk_ * cfg_.chunk_words;
+  const std::uint32_t last =
+      std::min<std::uint32_t>(first + cfg_.chunk_words,
+                              static_cast<std::uint32_t>(image_.size()));
+  for (std::uint32_t i = first; i < last; ++i) push_u16(f, image_[i]);
+  seal(f);
+  return f;
+}
+
+void Sender::tick(std::uint64_t now, std::vector<Frame>& out) {
+  if (phase_ == Phase::Done || phase_ == Phase::Failed) return;
+  if (!awaiting_) {
+    out.push_back(current_frame());
+    ++stats_.frames_sent;
+    ++attempt_;
+    if (attempt_ > 1) {
+      ++stats_.retries;
+      if (tracer_) tracer_->ota_retry(current_seq(), static_cast<std::uint8_t>(attempt_));
+    }
+    awaiting_ = true;
+    arm(now);
+    return;
+  }
+  if (now < deadline_) return;
+  if (in_backoff_) {
+    // Backoff elapsed: fall back to "send it again" on the next tick.
+    in_backoff_ = false;
+    awaiting_ = false;
+    return;
+  }
+  // Ack timeout.
+  if (attempt_ >= cfg_.max_attempts) {
+    phase_ = Phase::Failed;
+    return;
+  }
+  const std::uint32_t shift = std::min(attempt_ - 1, 16u);
+  const std::uint32_t backoff =
+      std::min(cfg_.backoff_base_ticks << shift, cfg_.backoff_cap_ticks);
+  stats_.backoff_ticks += backoff;
+  if (tracer_) tracer_->ota_backoff(current_seq(), backoff);
+  in_backoff_ = true;
+  deadline_ = now + backoff;
+}
+
+void Sender::on_frame(const Frame& f, std::uint64_t now) {
+  (void)now;
+  if (phase_ == Phase::Done || phase_ == Phase::Failed) return;
+  if (f.empty()) return;
+  if (f[0] == kSynAck && phase_ == Phase::Syn) {
+    if (!frame_ok(f, 7) || f[1] != session_) return;
+    const std::uint32_t resume_words = get_u32(f, 2);
+    if (!f[6]) {
+      phase_ = Phase::Failed;  // receiver rejected (e.g. image too large)
+      return;
+    }
+    stats_.resume_offset_words = resume_words;
+    next_chunk_ = std::min(resume_words / cfg_.chunk_words,
+                           total_chunks_ ? total_chunks_ - 1 : 0);
+    phase_ = Phase::Data;
+    awaiting_ = false;
+    in_backoff_ = false;
+    attempt_ = 0;
+    return;
+  }
+  if (f[0] == kAck && phase_ == Phase::Data) {
+    if (!frame_ok(f, 5) || f[1] != session_) return;
+    const std::uint16_t seq = get_u16(f, 2);
+    if (seq != static_cast<std::uint16_t>(next_chunk_)) return;  // stale
+    const std::uint8_t status = f[4];
+    if (status == kAckNack) {
+      ++stats_.nacks;
+      awaiting_ = false;  // resend immediately
+      in_backoff_ = false;
+      return;
+    }
+    ++stats_.chunks_acked;
+    awaiting_ = false;
+    in_backoff_ = false;
+    attempt_ = 0;
+    if (status == kAckDone || next_chunk_ + 1 >= total_chunks_) {
+      phase_ = Phase::Done;
+      return;
+    }
+    ++next_chunk_;
+  }
+}
+
+// --- Receiver -----------------------------------------------------------------
+
+Receiver::Receiver(ModuleStore& store, TransferConfig cfg, trace::Tracer* tracer)
+    : store_(store), cfg_(cfg), tracer_(tracer) {}
+
+void Receiver::on_frame(const Frame& f, std::vector<Frame>& out) {
+  if (dead_ || f.empty()) return;
+
+  if (f[0] == kSyn) {
+    if (!frame_ok(f, 12)) return;
+    const std::uint8_t session = f[1];
+    const std::uint32_t total_words = get_u32(f, 2);
+    const std::uint32_t image_crc = get_u32(f, 6);
+    const std::uint32_t chunk_words = get_u16(f, 10);
+    if (chunk_words == 0) return;
+    if (synced_ && session == session_) {
+      // Duplicate SYN: re-state where we are.
+      Frame r{kSynAck, session_};
+      push_u32(r, expected_words_);
+      r.push_back(1);
+      seal(r);
+      out.push_back(std::move(r));
+      return;
+    }
+    std::uint32_t resume = 0;
+    const std::optional<PendingInstall>& p = store_.pending();
+    if (p && p->erased && p->crc == image_crc && p->words_total == total_words) {
+      // recover() handed us a matching half-staged install: resume it.
+      resume = p->words_staged;
+    } else {
+      if (store_.install_open()) {
+        const InstallStatus s = store_.abort_install();
+        if (s == InstallStatus::PowerCut || s == InstallStatus::Dead) {
+          dead_ = true;
+          return;
+        }
+      }
+      const InstallStatus s = store_.begin_install(total_words, image_crc);
+      if (s == InstallStatus::PowerCut || s == InstallStatus::Dead) {
+        dead_ = true;
+        return;
+      }
+      if (s != InstallStatus::Ok) {
+        Frame r{kSynAck, session};
+        push_u32(r, 0);
+        r.push_back(0);  // reject
+        seal(r);
+        out.push_back(std::move(r));
+        return;
+      }
+    }
+    synced_ = true;
+    committed_ = false;
+    session_ = session;
+    total_words_ = total_words;
+    chunk_words_ = chunk_words;
+    expected_words_ = resume;
+    resume_offset_ = resume;
+    chunks_since_progress_ = 0;
+    Frame r{kSynAck, session_};
+    push_u32(r, resume);
+    r.push_back(1);
+    seal(r);
+    out.push_back(std::move(r));
+    return;
+  }
+
+  if (f[0] == kData) {
+    if (!synced_ || !frame_ok(f, 4) || f[1] != session_) return;
+    const std::uint16_t seq = get_u16(f, 2);
+    const std::size_t payload_bytes = f.size() - 4 - 4;
+    if (payload_bytes % 2 != 0) return;
+    const std::uint32_t nwords = static_cast<std::uint32_t>(payload_bytes / 2);
+    const std::uint32_t offset = seq * chunk_words_;
+    if (offset + nwords > total_words_) return;
+    if (offset + nwords <= expected_words_) {
+      // Duplicate of an already-staged chunk (link duplication/reorder).
+      out.push_back(make_ack(session_, seq, committed_ ? kAckDone : kAckOk));
+      return;
+    }
+    if (offset != expected_words_) {
+      out.push_back(make_ack(session_, seq, kAckNack));
+      return;
+    }
+    std::vector<std::uint16_t> words(nwords);
+    for (std::uint32_t i = 0; i < nwords; ++i) words[i] = get_u16(f, 4 + 2 * i);
+    InstallStatus s = store_.stage_words(offset, words);
+    if (s == InstallStatus::PowerCut || s == InstallStatus::Dead) {
+      dead_ = true;
+      return;
+    }
+    if (s != InstallStatus::Ok) {
+      out.push_back(make_ack(session_, seq, kAckNack));
+      return;
+    }
+    expected_words_ += nwords;
+    ++chunks_staged_;
+    ++chunks_since_progress_;
+    if (tracer_) tracer_->ota_chunk(seq, expected_words_);
+    if (chunks_since_progress_ >= cfg_.progress_every_chunks &&
+        expected_words_ < total_words_) {
+      s = store_.note_progress(expected_words_);
+      if (s == InstallStatus::PowerCut || s == InstallStatus::Dead) {
+        dead_ = true;
+        return;
+      }
+      chunks_since_progress_ = 0;
+    }
+    if (expected_words_ == total_words_) {
+      s = store_.commit();
+      if (s == InstallStatus::PowerCut || s == InstallStatus::Dead) {
+        dead_ = true;
+        return;
+      }
+      if (s != InstallStatus::Ok) {
+        out.push_back(make_ack(session_, seq, kAckNack));
+        return;
+      }
+      committed_ = true;
+      out.push_back(make_ack(session_, seq, kAckDone));
+      return;
+    }
+    out.push_back(make_ack(session_, seq, kAckOk));
+  }
+}
+
+// --- loop ---------------------------------------------------------------------
+
+TransferResult run_transfer(Sender& sender, Receiver& receiver, LossyLink& down,
+                            LossyLink& up, TransferOptions opt) {
+  TransferResult res;
+  std::vector<Frame> tx;
+  std::vector<Frame> rx;
+  for (std::uint64_t t = 0; t < opt.max_ticks; ++t) {
+    tx.clear();
+    sender.tick(t, tx);
+    for (Frame& f : tx) down.send(std::move(f));
+    for (const Frame& f : down.drain()) {
+      rx.clear();
+      receiver.on_frame(f, rx);
+      for (Frame& r : rx) up.send(std::move(r));
+    }
+    for (const Frame& f : up.drain()) sender.on_frame(f, t);
+
+    res.ticks = t + 1;
+    if (sender.done()) {
+      res.status = TransferStatus::Complete;
+      break;
+    }
+    if (sender.failed()) {
+      res.status = TransferStatus::SenderFailed;
+      break;
+    }
+    if (receiver.dead()) {
+      res.status = TransferStatus::ReceiverDead;
+      break;
+    }
+    if (opt.stop_after_chunks && receiver.chunks_staged() >= opt.stop_after_chunks) {
+      res.status = TransferStatus::Stopped;
+      break;
+    }
+  }
+  res.sender = sender.stats();
+  res.chunks_staged = receiver.chunks_staged();
+  res.committed = receiver.committed();
+  return res;
+}
+
+}  // namespace harbor::ota

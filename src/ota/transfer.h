@@ -1,0 +1,147 @@
+#pragma once
+// Chunked OTA transfer protocol (DESIGN.md §11).
+//
+// Stop-and-wait over two LossyLink directions: the sender streams a
+// serialized module image in fixed-size chunks, every frame carries a
+// trailing CRC32, the receiver acks/nacks per chunk, and a timeout triggers
+// retry with exponential backoff (base << (attempt-1), capped). The receiver
+// stages chunks straight into a ModuleStore install and journals a progress
+// high-water mark every few chunks, so a reboot mid-transfer resumes from
+// the last durable offset: the handshake's SYNACK tells the sender where to
+// continue, matching the pending install recover() reconstructed.
+//
+// Frames (bytes, little-endian, CRC32 over everything before it):
+//   SYN    [0x51][session][total words u32][image crc u32][chunk words u16][crc]
+//   SYNACK [0x52][session][resume words u32][accept u8][crc]
+//   DATA   [0xD1][session][seq u16][payload bytes...][crc]
+//   ACK    [0xA1][session][seq u16][status: 0 ok, 1 nack, 2 done][crc]
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ota/link.h"
+#include "ota/store.h"
+
+namespace harbor::trace {
+class Tracer;
+}
+
+namespace harbor::ota {
+
+struct TransferConfig {
+  std::uint32_t chunk_words = 16;
+  std::uint32_t ack_timeout_ticks = 8;
+  std::uint32_t backoff_base_ticks = 4;
+  std::uint32_t backoff_cap_ticks = 64;
+  std::uint32_t max_attempts = 16;       ///< per frame, first send included
+  std::uint32_t progress_every_chunks = 4;
+};
+
+struct SenderStats {
+  std::uint32_t frames_sent = 0;
+  std::uint32_t chunks_acked = 0;
+  std::uint32_t retries = 0;
+  std::uint32_t nacks = 0;
+  std::uint32_t backoff_ticks = 0;
+  std::uint32_t resume_offset_words = 0;  ///< where the receiver told us to start
+};
+
+class Sender {
+ public:
+  Sender(std::vector<std::uint16_t> image, TransferConfig cfg = {},
+         trace::Tracer* tracer = nullptr);
+
+  /// Advance one tick: emit the initial/retried frame when due.
+  void tick(std::uint64_t now, std::vector<Frame>& out);
+  void on_frame(const Frame& f, std::uint64_t now);
+
+  [[nodiscard]] bool done() const { return phase_ == Phase::Done; }
+  [[nodiscard]] bool failed() const { return phase_ == Phase::Failed; }
+  [[nodiscard]] const SenderStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint32_t total_chunks() const { return total_chunks_; }
+
+ private:
+  enum class Phase : std::uint8_t { Syn, Data, Done, Failed };
+
+  Frame current_frame() const;
+  void arm(std::uint64_t now) { deadline_ = now + cfg_.ack_timeout_ticks; }
+  [[nodiscard]] std::uint16_t current_seq() const;
+
+  std::vector<std::uint16_t> image_;
+  TransferConfig cfg_;
+  trace::Tracer* tracer_;
+  std::uint32_t image_crc_ = 0;
+  std::uint32_t total_chunks_ = 0;
+
+  Phase phase_ = Phase::Syn;
+  std::uint8_t session_ = 1;
+  std::uint32_t next_chunk_ = 0;
+  std::uint32_t attempt_ = 0;    ///< sends of the currently awaited frame
+  bool awaiting_ = false;
+  bool in_backoff_ = false;
+  std::uint64_t deadline_ = 0;
+  SenderStats stats_;
+};
+
+class Receiver {
+ public:
+  explicit Receiver(ModuleStore& store, TransferConfig cfg = {},
+                    trace::Tracer* tracer = nullptr);
+
+  void on_frame(const Frame& f, std::vector<Frame>& out);
+
+  /// True after a flash power cut killed the node: it stops responding and
+  /// the transfer must resume after power_cycle() + recover().
+  [[nodiscard]] bool dead() const { return dead_; }
+  [[nodiscard]] bool committed() const { return committed_; }
+  [[nodiscard]] std::uint32_t chunks_staged() const { return chunks_staged_; }
+  [[nodiscard]] std::uint32_t resume_offset_words() const { return resume_offset_; }
+
+ private:
+  ModuleStore& store_;
+  TransferConfig cfg_;
+  trace::Tracer* tracer_;
+
+  bool synced_ = false;
+  bool dead_ = false;
+  bool committed_ = false;
+  std::uint8_t session_ = 0;
+  std::uint32_t total_words_ = 0;
+  std::uint32_t chunk_words_ = 16;
+  std::uint32_t expected_words_ = 0;
+  std::uint32_t resume_offset_ = 0;
+  std::uint32_t chunks_staged_ = 0;
+  std::uint32_t chunks_since_progress_ = 0;
+};
+
+enum class TransferStatus : std::uint8_t {
+  Complete,      ///< sender done (receiver committed)
+  SenderFailed,  ///< max_attempts exhausted on some frame
+  ReceiverDead,  ///< flash power cut mid-transfer
+  Stopped,       ///< stop_after_chunks reached (simulated reboot)
+  Timeout,       ///< max_ticks elapsed
+};
+
+const char* transfer_status_name(TransferStatus s);
+
+struct TransferOptions {
+  std::uint64_t max_ticks = 1u << 20;
+  /// Stop the loop once this many chunks staged (0 = never) — the harness
+  /// for "node rebooted mid-transfer".
+  std::uint32_t stop_after_chunks = 0;
+};
+
+struct TransferResult {
+  TransferStatus status = TransferStatus::Timeout;
+  std::uint64_t ticks = 0;
+  SenderStats sender;
+  std::uint32_t chunks_staged = 0;
+  bool committed = false;
+};
+
+/// Drive sender and receiver over the two link directions to completion.
+TransferResult run_transfer(Sender& sender, Receiver& receiver, LossyLink& down,
+                            LossyLink& up, TransferOptions opt = {});
+
+}  // namespace harbor::ota

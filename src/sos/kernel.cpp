@@ -1,8 +1,10 @@
 #include "sos/kernel.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "asm/builder.h"
+#include "ota/image.h"
 #include "avr/ports.h"
 #include "sfi/rewriter.h"
 #include "sfi/verifier.h"
@@ -393,6 +395,25 @@ std::vector<DispatchRecord> Kernel::run_pending(int max_dispatches) {
   // Deferred messages go back to the front in their original order.
   for (auto rit = deferred.rbegin(); rit != deferred.rend(); ++rit) queue_.push_front(*rit);
   return log;
+}
+
+ota::RecoveryResult Kernel::recover_store(ota::ModuleStore& store) {
+  const std::uint64_t budget =
+      std::max<std::uint64_t>(tb_.cycle_budget() / kCyclesPerFlashOp, 1);
+  return store.recover(budget);
+}
+
+memmap::DomainId Kernel::load_from_store(ota::ModuleStore& store,
+                                         std::optional<memmap::DomainId> want) {
+  const std::optional<std::vector<std::uint16_t>> words = store.committed_image();
+  if (!words)
+    throw std::runtime_error("sos: module store has no committed image (state " +
+                             std::string(ota::store_state_name(store.last_recovery().state)) +
+                             ")");
+  const std::optional<ModuleImage> image = ota::deserialize_image(*words);
+  if (!image)
+    throw std::runtime_error("sos: committed store image failed to deserialize");
+  return load(*image, want);
 }
 
 }  // namespace harbor::sos

@@ -16,6 +16,7 @@
 #include <optional>
 #include <string>
 
+#include "ota/store.h"
 #include "runtime/testbed.h"
 #include "sos/module.h"
 #include "trace/tracer.h"
@@ -141,6 +142,24 @@ class Kernel {
 
   [[nodiscard]] runtime::Testbed& sys() { return tb_; }
   [[nodiscard]] runtime::Mode mode() const { return tb_.mode(); }
+
+  // --- OTA module store (DESIGN.md §11) ---
+  /// Cost model for journal replay at boot: one flash read/program/erase is
+  /// worth this many cycles against the testbed's cycle budget.
+  static constexpr std::uint64_t kCyclesPerFlashOp = 64;
+
+  /// Reboot-time recovery of an OTA store, bounded by the same cycle budget
+  /// that watchdogs guest code (Testbed::set_cycle_budget): a corrupted
+  /// journal surfaces as StoreState::Watchdog / FaultKind::Watchdog instead
+  /// of a boot that never completes.
+  ota::RecoveryResult recover_store(ota::ModuleStore& store);
+
+  /// Install the store's committed image into a domain through the normal
+  /// load path — memory-map ownership and jump-table entries are re-derived
+  /// from the committed bytes, never from pre-cut RAM state. Throws
+  /// std::runtime_error when the store has no valid committed image.
+  memmap::DomainId load_from_store(ota::ModuleStore& store,
+                                   std::optional<memmap::DomainId> want = std::nullopt);
 
   /// Observability: when a tracer is registered, module lifecycle and
   /// message dispatch are recorded as SOS events (see DESIGN.md §8). The

@@ -17,6 +17,10 @@ std::vector<std::uint16_t> relocate_image(const ModuleImage& image, std::uint32_
     const Instr i = avr::decode(out[off], off + 1 < n ? out[off + 1] : 0);
     if (i.op == Mnemonic::Invalid)
       throw std::runtime_error("relocate: undecodable opcode in '" + image.name + "'");
+    if (i.words() == 2 && off + 1 >= n)
+      throw std::runtime_error(
+          "relocate: truncated image '" + image.name + "': two-word instruction at word " +
+          std::to_string(off) + " has no second word");
     if ((i.op == Mnemonic::Call || i.op == Mnemonic::Jmp) && i.k32 < n) {
       Instr r = i;
       r.k32 = i.k32 + base;

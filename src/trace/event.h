@@ -41,6 +41,13 @@ enum class EventKind : std::uint8_t {
   SosProbe,          ///< backoff expired: one probe dispatch admitted (aux = msg id)
   SosQuarantine,     ///< restart budget exhausted: domain quarantined (value = restarts)
   SosDeadLetter,     ///< message for a quarantined domain dead-lettered (aux = msg id)
+  // OTA pipeline (src/ota; host-side instrumentation, see DESIGN.md §11).
+  OtaChunk,          ///< transfer chunk staged to the module store (addr = seq, value = words staged)
+  OtaRetry,          ///< chunk retransmitted after timeout/nack (addr = seq, aux = attempt)
+  OtaBackoff,        ///< sender backing off before a retry (addr = seq, value = ticks)
+  OtaCommit,         ///< install committed: staged slot becomes active (value = journal seq, aux = slot)
+  OtaRollback,       ///< interrupted install rolled back (value = journal seq, aux = slot)
+  OtaRecover,        ///< reboot-time recovery verdict (aux = StoreState, value = committed seq)
 };
 
 const char* event_kind_name(EventKind k);

@@ -14,6 +14,7 @@ namespace {
 
 constexpr int kPid = 1;           ///< one simulated device = one process
 constexpr int kKernelTid = 100;   ///< SOS kernel dispatch track
+constexpr int kOtaTid = 101;      ///< OTA transfer/install track
 
 std::string domain_track_name(int d) {
   std::string n = "domain " + std::to_string(d);
@@ -81,6 +82,7 @@ std::string perfetto_json(const Tracer& tracer) {
          ",\"args\":{\"name\":\"harbor simulated device\"}}";
   for (const int d : domains) meta_event(out, ev, d, domain_track_name(d));
   meta_event(out, ev, kKernelTid, "sos kernel dispatch");
+  meta_event(out, ev, kOtaTid, "ota pipeline");
 
   for (const Event& e : events) {
     const int tid = e.domain & 7;
@@ -153,6 +155,32 @@ std::string perfetto_json(const Tracer& tracer) {
         begin_event(out, ev, "i", kKernelTid, e.cycle,
                     std::string(event_kind_name(e.kind)) + " d" + std::to_string(e.domain_to));
         out += ",\"s\":\"t\",\"args\":{\"msg\":" + std::to_string(e.aux) + "}}";
+        break;
+      case EventKind::OtaChunk:
+        begin_event(out, ev, "i", kOtaTid, e.cycle, "chunk " + std::to_string(e.addr));
+        out += ",\"s\":\"t\",\"args\":{\"words_staged\":" + std::to_string(e.value) + "}}";
+        break;
+      case EventKind::OtaRetry:
+        begin_event(out, ev, "i", kOtaTid, e.cycle, "retry " + std::to_string(e.addr));
+        out += ",\"s\":\"t\",\"args\":{\"attempt\":" + std::to_string(e.aux) + "}}";
+        break;
+      case EventKind::OtaBackoff:
+        begin_event(out, ev, "i", kOtaTid, e.cycle, "backoff " + std::to_string(e.addr));
+        out += ",\"s\":\"t\",\"args\":{\"ticks\":" + std::to_string(e.value) + "}}";
+        break;
+      case EventKind::OtaCommit:
+      case EventKind::OtaRollback:
+        // Install verdicts are process-scoped: the device's module set changed
+        // (or an interrupted install was undone) at this instant.
+        begin_event(out, ev, "i", kOtaTid, e.cycle,
+                    std::string(e.kind == EventKind::OtaCommit ? "commit" : "rollback") +
+                        " slot " + std::to_string(e.aux));
+        out += ",\"s\":\"g\",\"args\":{\"journal_seq\":" + std::to_string(e.value) + "}}";
+        break;
+      case EventKind::OtaRecover:
+        begin_event(out, ev, "i", kOtaTid, e.cycle, "recover");
+        out += ",\"s\":\"g\",\"args\":{\"state\":" + std::to_string(e.aux) +
+               ",\"committed_seq\":" + std::to_string(e.value) + "}}";
         break;
       // High-volume / bookkeeping events stay out of the timeline view;
       // they are fully represented in the metrics dump.

@@ -104,6 +104,12 @@ inline constexpr const char* kSosUnloads = "sos.unloads";
 inline constexpr const char* kSosRestarts = "sos.restarts";
 inline constexpr const char* kSosQuarantines = "sos.quarantines";
 inline constexpr const char* kSosDeadLetters = "sos.dead_letters";
+inline constexpr const char* kOtaChunks = "ota.chunks";
+inline constexpr const char* kOtaRetries = "ota.retries";
+inline constexpr const char* kOtaBackoffTicks = "ota.backoff_ticks";
+inline constexpr const char* kOtaCommits = "ota.commits";
+inline constexpr const char* kOtaRollbacks = "ota.rollbacks";
+inline constexpr const char* kOtaRecovers = "ota.recovers";
 }  // namespace metric
 
 }  // namespace harbor::trace

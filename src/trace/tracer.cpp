@@ -35,6 +35,12 @@ const char* event_kind_name(EventKind k) {
     case EventKind::SosProbe: return "sos-probe";
     case EventKind::SosQuarantine: return "sos-quarantine";
     case EventKind::SosDeadLetter: return "sos-dead-letter";
+    case EventKind::OtaChunk: return "ota-chunk";
+    case EventKind::OtaRetry: return "ota-retry";
+    case EventKind::OtaBackoff: return "ota-backoff";
+    case EventKind::OtaCommit: return "ota-commit";
+    case EventKind::OtaRollback: return "ota-rollback";
+    case EventKind::OtaRecover: return "ota-recover";
   }
   return "?";
 }
@@ -357,6 +363,54 @@ void Tracer::sos_dead_letter(std::uint8_t domain, std::uint8_t msg) {
   Event e = base_event(EventKind::SosDeadLetter);
   e.domain_to = domain;
   e.aux = msg;
+  ring_.push(e);
+}
+
+void Tracer::ota_chunk(std::uint16_t seq, std::uint32_t words_staged) {
+  ++metrics_.counter(metric::kOtaChunks);
+  Event e = base_event(EventKind::OtaChunk);
+  e.addr = seq;
+  e.value = words_staged;
+  ring_.push(e);
+}
+
+void Tracer::ota_retry(std::uint16_t seq, std::uint8_t attempt) {
+  ++metrics_.counter(metric::kOtaRetries);
+  Event e = base_event(EventKind::OtaRetry);
+  e.addr = seq;
+  e.aux = attempt;
+  ring_.push(e);
+}
+
+void Tracer::ota_backoff(std::uint16_t seq, std::uint32_t ticks) {
+  metrics_.counter(metric::kOtaBackoffTicks) += ticks;
+  Event e = base_event(EventKind::OtaBackoff);
+  e.addr = seq;
+  e.value = ticks;
+  ring_.push(e);
+}
+
+void Tracer::ota_commit(std::uint8_t slot, std::uint32_t journal_seq) {
+  ++metrics_.counter(metric::kOtaCommits);
+  Event e = base_event(EventKind::OtaCommit);
+  e.aux = slot;
+  e.value = journal_seq;
+  ring_.push(e);
+}
+
+void Tracer::ota_rollback(std::uint8_t slot, std::uint32_t journal_seq) {
+  ++metrics_.counter(metric::kOtaRollbacks);
+  Event e = base_event(EventKind::OtaRollback);
+  e.aux = slot;
+  e.value = journal_seq;
+  ring_.push(e);
+}
+
+void Tracer::ota_recover(std::uint8_t state, std::uint32_t committed_seq) {
+  ++metrics_.counter(metric::kOtaRecovers);
+  Event e = base_event(EventKind::OtaRecover);
+  e.aux = state;
+  e.value = committed_seq;
   ring_.push(e);
 }
 

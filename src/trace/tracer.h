@@ -108,6 +108,13 @@ class Tracer {
   void sos_probe(std::uint8_t domain, std::uint8_t msg);
   void sos_quarantine(std::uint8_t domain, int restart_count);
   void sos_dead_letter(std::uint8_t domain, std::uint8_t msg);
+  // OTA pipeline (transfer + module store; see src/ota and DESIGN.md §11).
+  void ota_chunk(std::uint16_t seq, std::uint32_t words_staged);
+  void ota_retry(std::uint16_t seq, std::uint8_t attempt);
+  void ota_backoff(std::uint16_t seq, std::uint32_t ticks);
+  void ota_commit(std::uint8_t slot, std::uint32_t journal_seq);
+  void ota_rollback(std::uint8_t slot, std::uint32_t journal_seq);
+  void ota_recover(std::uint8_t state, std::uint32_t committed_seq);
 
   // --- fault flight recorder ---
   /// The last `flight_depth` events leading up to (and including) the most

@@ -1,0 +1,85 @@
+// Power-cut campaign acceptance tests: in both isolation modes, every cut
+// point must recover to exactly the old or the new version (zero hybrids,
+// zero watchdogs), and the weakened (journal-less) run must demonstrate at
+// least one detectable corruption — the oracle self-test.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ota/campaign.h"
+#include "runtime/runtime.h"
+
+namespace harbor::ota {
+namespace {
+
+class OtaCampaignModes : public ::testing::TestWithParam<runtime::Mode> {};
+
+TEST_P(OtaCampaignModes, EveryCutRecoversToOldOrNew) {
+  OtaCampaignConfig cfg;
+  cfg.mode = GetParam();
+  cfg.seed = 1;
+  const OtaCampaignReport r = run_ota_campaign(cfg);
+
+  EXPECT_GT(r.install_ops, 0u);
+  EXPECT_TRUE(r.clean_transfer.committed);
+  EXPECT_GT(r.clean_transfer.sender.retries, 0u)
+      << "the reference transfer should actually exercise the lossy link";
+
+  EXPECT_EQ(r.count(TrialOutcome::Hybrid), 0u);
+  EXPECT_EQ(r.count(TrialOutcome::Watchdog), 0u);
+  EXPECT_EQ(r.count(TrialOutcome::CorruptDetected), 0u)
+      << "a journaled install must never even need detection";
+  EXPECT_EQ(r.violations(), 0u);
+  EXPECT_TRUE(r.self_test_ok());
+
+  // Early cuts land before the journal's commit record (old survives);
+  // late cuts land after it (new survives). Both must occur.
+  EXPECT_GT(r.count(TrialOutcome::OldVersion), 0u);
+  EXPECT_GT(r.count(TrialOutcome::NewVersion), 0u);
+  EXPECT_EQ(r.count(TrialOutcome::OldVersion) + r.count(TrialOutcome::NewVersion),
+            r.trials.size());
+  EXPECT_GT(r.device_flash_cuts, 0u);
+
+  const std::string json = ota_report_json(r);
+  EXPECT_NE(json.find("harbor-ota-report-v1"), std::string::npos);
+  EXPECT_NE(json.find("\"violations\":0"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, OtaCampaignModes,
+                         ::testing::Values(runtime::Mode::Umpu, runtime::Mode::Sfi),
+                         [](const auto& info) {
+                           return info.param == runtime::Mode::Umpu ? "Umpu" : "Sfi";
+                         });
+
+TEST(OtaCampaignWeakened, JournalLessInstallShowsDetectableCorruption) {
+  OtaCampaignConfig cfg;
+  cfg.mode = runtime::Mode::Umpu;
+  cfg.seed = 1;
+  cfg.weakened = true;
+  const OtaCampaignReport r = run_ota_campaign(cfg);
+
+  // The whole point of the self-test: without the journal the oracle must
+  // observe >= 1 corrupt-detected trial, or the campaign could not tell a
+  // working installer from a vacuous one.
+  EXPECT_TRUE(r.self_test_ok());
+  EXPECT_GE(r.count(TrialOutcome::CorruptDetected), 1u);
+  // Detection is still required to be sound: no undetected hybrid boots.
+  EXPECT_EQ(r.count(TrialOutcome::Hybrid), 0u);
+  EXPECT_EQ(r.count(TrialOutcome::Watchdog), 0u);
+  EXPECT_EQ(r.violations(), 0u);
+}
+
+TEST(OtaCampaign, StrideSubsamplesCutPoints) {
+  OtaCampaignConfig cfg;
+  cfg.mode = runtime::Mode::Sfi;
+  cfg.store_cut_stride = 8;
+  cfg.device_flash_stride = 0;  // skip the device sweep for speed
+  const OtaCampaignReport r = run_ota_campaign(cfg);
+  EXPECT_EQ(r.violations(), 0u);
+  EXPECT_LE(r.trials.size(), r.install_ops / 8 + 1);
+  EXPECT_GT(r.trials.size(), 0u);
+}
+
+}  // namespace
+}  // namespace harbor::ota

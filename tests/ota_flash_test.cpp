@@ -1,0 +1,131 @@
+// Tests for the OTA flash device model: NOR program/erase semantics,
+// program-without-erase detection, wear counters, and deterministic
+// power-cut (torn write / torn erase) injection.
+
+#include <gtest/gtest.h>
+
+#include "ota/flash_model.h"
+
+namespace harbor::ota {
+namespace {
+
+TEST(OtaFlash, ErasedPageReadsAllOnes) {
+  FlashModel f;
+  ASSERT_EQ(f.erase_page(0), FlashStatus::Ok);
+  for (std::uint32_t w = 0; w < f.page_words(); ++w)
+    EXPECT_EQ(f.read_word(w), 0xFFFF);
+}
+
+TEST(OtaFlash, ProgramClearsBitsOnly) {
+  FlashModel f;
+  ASSERT_EQ(f.erase_page(0), FlashStatus::Ok);
+  ASSERT_EQ(f.program_word(3, 0x1234), FlashStatus::Ok);
+  EXPECT_EQ(f.read_word(3), 0x1234);
+  // Re-programming the identical value is idempotent (AND semantics).
+  ASSERT_EQ(f.program_word(3, 0x1234), FlashStatus::Ok);
+  EXPECT_EQ(f.read_word(3), 0x1234);
+  // Clearing more bits is allowed.
+  ASSERT_EQ(f.program_word(3, 0x1230), FlashStatus::Ok);
+  EXPECT_EQ(f.read_word(3), 0x1230);
+}
+
+TEST(OtaFlash, ProgramWithoutEraseDetectedAndAndsAnyway) {
+  FlashModel f;
+  ASSERT_EQ(f.erase_page(0), FlashStatus::Ok);
+  ASSERT_EQ(f.program_word(0, 0x00F0), FlashStatus::Ok);
+  // 0x0F0F needs bits set that 0x00F0 already cleared.
+  EXPECT_EQ(f.program_word(0, 0x0F0F), FlashStatus::ProgramWithoutErase);
+  EXPECT_EQ(f.read_word(0), 0x00F0 & 0x0F0F);
+}
+
+TEST(OtaFlash, OutOfRangeRejected) {
+  FlashModel f;
+  EXPECT_EQ(f.program_word(f.size_words(), 0), FlashStatus::OutOfRange);
+  EXPECT_EQ(f.erase_page(f.pages()), FlashStatus::OutOfRange);
+}
+
+TEST(OtaFlash, WearCountersTrackErases) {
+  FlashModel f;
+  EXPECT_EQ(f.wear(2), 0u);
+  ASSERT_EQ(f.erase_page(2), FlashStatus::Ok);
+  ASSERT_EQ(f.erase_page(2), FlashStatus::Ok);
+  ASSERT_EQ(f.erase_page(5), FlashStatus::Ok);
+  EXPECT_EQ(f.wear(2), 2u);
+  EXPECT_EQ(f.wear(5), 1u);
+  EXPECT_EQ(f.total_erases(), 3u);
+}
+
+TEST(OtaFlash, OpsCounterIsMonotonic) {
+  FlashModel f;
+  EXPECT_EQ(f.ops(), 0u);
+  ASSERT_EQ(f.erase_page(0), FlashStatus::Ok);
+  ASSERT_EQ(f.program_word(0, 1), FlashStatus::Ok);
+  EXPECT_EQ(f.ops(), 2u);
+}
+
+TEST(OtaFlash, TornProgramKeepsSubsetOfBitsAndPowersOff) {
+  FlashModel f({}, /*seed=*/7);
+  ASSERT_EQ(f.erase_page(0), FlashStatus::Ok);
+  f.set_cut_at(1);
+  EXPECT_EQ(f.program_word(0, 0x00FF), FlashStatus::PowerCut);
+  EXPECT_TRUE(f.powered_off());
+  // The torn cell holds a superset of the intended value's set bits:
+  // only bits the program meant to clear can remain (wrongly) set, so a
+  // re-program of the same value after reboot is always corrective.
+  const std::uint16_t cell = f.read_word(0);
+  EXPECT_EQ(cell & 0x00FF, 0x00FF);
+  // Device is down: nothing else lands.
+  EXPECT_EQ(f.program_word(1, 0x1111), FlashStatus::PoweredOff);
+  EXPECT_EQ(f.read_word(1), 0xFFFF);
+  EXPECT_EQ(f.erase_page(1), FlashStatus::PoweredOff);
+  // Reboot: contents survive, operations work again.
+  f.power_cycle();
+  EXPECT_FALSE(f.powered_off());
+  EXPECT_EQ(f.read_word(0), cell);
+  ASSERT_EQ(f.program_word(0, 0x00FF), FlashStatus::Ok);
+  EXPECT_EQ(f.read_word(0), 0x00FF);
+}
+
+TEST(OtaFlash, TornEraseBlanksOnlyPrefix) {
+  FlashModel f({}, /*seed=*/9);
+  ASSERT_EQ(f.erase_page(0), FlashStatus::Ok);
+  for (std::uint32_t w = 0; w < f.page_words(); ++w)
+    ASSERT_EQ(f.program_word(w, 0x0000), FlashStatus::Ok);
+  f.set_cut_at(1);
+  EXPECT_EQ(f.erase_page(0), FlashStatus::PowerCut);
+  // Some prefix is blank, the tail still holds the old value; the wear
+  // counter still charged the cycle (the high voltage was applied).
+  bool tail_seen = false;
+  bool in_prefix = true;
+  for (std::uint32_t w = 0; w < f.page_words(); ++w) {
+    const std::uint16_t v = f.read_word(w);
+    if (v == 0xFFFF) {
+      EXPECT_TRUE(in_prefix) << "blank word after non-blank at " << w;
+    } else {
+      in_prefix = false;
+      tail_seen = true;
+      EXPECT_EQ(v, 0x0000);
+    }
+  }
+  EXPECT_TRUE(tail_seen);
+  EXPECT_EQ(f.wear(0), 2u);
+}
+
+TEST(OtaFlash, DeterministicUnderSeedAndOpSequence) {
+  auto run = [](std::uint64_t seed) {
+    FlashModel f({}, seed);
+    (void)f.erase_page(0);
+    f.set_cut_at(2);
+    (void)f.program_word(0, 0x00FF);
+    (void)f.program_word(1, 0x0000);  // torn
+    return std::pair<std::uint16_t, std::uint16_t>{f.read_word(0), f.read_word(1)};
+  };
+  EXPECT_EQ(run(42), run(42));
+  FlashModel a({}, 1), b({}, 1);
+  (void)a.erase_page(3);
+  (void)b.erase_page(3);
+  EXPECT_EQ(a.ops(), b.ops());
+}
+
+}  // namespace
+}  // namespace harbor::ota

@@ -1,0 +1,303 @@
+// Tests for image serialization and the transactional module store:
+// install/commit/recover round-trips, torn-commit and torn-staging
+// recovery, journal compaction, weakened-mode detection, and the
+// watchdog bound on a corrupted journal (via sos::Kernel::recover_store).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "ota/crc32.h"
+#include "ota/image.h"
+#include "ota/store.h"
+#include "runtime/runtime.h"
+#include "sos/kernel.h"
+#include "sos/modules.h"
+
+namespace harbor::ota {
+namespace {
+
+std::vector<std::uint16_t> blink_words() {
+  return serialize_image(sos::modules::blink());
+}
+
+std::vector<std::uint16_t> tree_words() {
+  return serialize_image(sos::modules::tree_routing());
+}
+
+// --- serialization ---
+
+TEST(OtaImage, RoundTripPreservesEveryField) {
+  const sos::ModuleImage m = sos::modules::tree_routing();
+  const auto words = serialize_image(m);
+  ASSERT_TRUE(image_valid(words));
+  EXPECT_EQ(image_size_words(words), words.size());
+  const auto back = deserialize_image(words);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->name, m.name);
+  EXPECT_EQ(back->state_size, m.state_size);
+  EXPECT_EQ(back->code, m.code);
+  EXPECT_EQ(back->extra_entries, m.extra_entries);
+  EXPECT_EQ(back->code_ptr_relocs, m.code_ptr_relocs);
+  ASSERT_EQ(back->exports.size(), m.exports.size());
+  for (std::size_t i = 0; i < m.exports.size(); ++i) {
+    EXPECT_EQ(back->exports[i].slot, m.exports[i].slot);
+    EXPECT_EQ(back->exports[i].offset, m.exports[i].offset);
+  }
+}
+
+TEST(OtaImage, CorruptionAndTruncationRejected) {
+  auto words = blink_words();
+  auto flipped = words;
+  flipped[words.size() / 2] ^= 0x0100;
+  EXPECT_FALSE(image_valid(flipped));
+  EXPECT_FALSE(deserialize_image(flipped).has_value());
+
+  auto truncated = words;
+  truncated.pop_back();
+  EXPECT_FALSE(image_valid(truncated));
+  EXPECT_FALSE(deserialize_image(truncated).has_value());
+
+  EXPECT_FALSE(image_valid({}));
+  EXPECT_EQ(image_size_words({}), 0u);
+}
+
+// --- install / commit / recover round-trip ---
+
+TEST(OtaStore, InstallCommitRecoverRoundTrip) {
+  FlashModel flash;
+  ModuleStore store(flash);
+  EXPECT_FALSE(store.has_committed());
+
+  const auto v1 = blink_words();
+  ASSERT_EQ(install_image(store, v1), InstallStatus::Ok);
+  ASSERT_TRUE(store.has_committed());
+  EXPECT_EQ(store.committed_image(), v1);
+
+  // A fresh store over the same flash (= reboot) sees the same state.
+  ModuleStore store2(flash);
+  EXPECT_TRUE(store2.has_committed());
+  EXPECT_EQ(store2.active_slot(), store.active_slot());
+  EXPECT_EQ(store2.committed_image(), v1);
+  EXPECT_EQ(store2.last_recovery().state, StoreState::Committed);
+  EXPECT_EQ(store2.last_recovery().fault, avr::FaultKind::None);
+}
+
+TEST(OtaStore, SecondInstallFlipsSlotOldPreservedUntilThen) {
+  FlashModel flash;
+  ModuleStore store(flash);
+  const auto v1 = blink_words();
+  const auto v2 = tree_words();
+  ASSERT_EQ(install_image(store, v1), InstallStatus::Ok);
+  const int slot1 = store.active_slot();
+  ASSERT_EQ(install_image(store, v2), InstallStatus::Ok);
+  EXPECT_NE(store.active_slot(), slot1);
+  EXPECT_EQ(store.committed_image(), v2);
+  // The old slot still holds v1 verbatim (A/B: rollback material).
+  const std::uint32_t base = store.slot_base_words(slot1);
+  for (std::size_t i = 0; i < v1.size(); ++i)
+    EXPECT_EQ(flash.read_word(base + static_cast<std::uint32_t>(i)), v1[i]);
+}
+
+TEST(OtaStore, BeginRejectsOversizeAndDoubleOpen) {
+  FlashModel flash;
+  ModuleStore store(flash);
+  EXPECT_EQ(store.begin_install(store.slot_capacity_words() + 1, 0),
+            InstallStatus::NoSpace);
+  ASSERT_EQ(store.begin_install(8, 0x1234), InstallStatus::Ok);
+  EXPECT_EQ(store.begin_install(8, 0x1234), InstallStatus::Busy);
+  EXPECT_EQ(store.abort_install(), InstallStatus::Ok);
+  EXPECT_FALSE(store.install_open());
+}
+
+TEST(OtaStore, CommitRefusesCrcMismatch) {
+  FlashModel flash;
+  ModuleStore store(flash);
+  const auto v1 = blink_words();
+  const std::uint32_t bogus_crc = crc32_words(v1) ^ 0xDEAD;
+  ASSERT_EQ(store.begin_install(static_cast<std::uint32_t>(v1.size()), bogus_crc),
+            InstallStatus::Ok);
+  ASSERT_EQ(store.stage_words(0, v1), InstallStatus::Ok);
+  EXPECT_EQ(store.commit(), InstallStatus::CrcMismatch);
+  EXPECT_FALSE(store.has_committed());
+}
+
+// --- power-cut recovery ---
+
+// Runs install_image(v1), then stages v2 up to the cut. Returns the flash
+// for post-reboot inspection.
+FlashModel cut_during_v2(std::uint64_t cut_at_op, std::uint64_t seed = 3) {
+  FlashModel flash({}, seed);
+  ModuleStore store(flash);
+  EXPECT_EQ(install_image(store, blink_words()), InstallStatus::Ok);
+  flash.set_cut_at(cut_at_op);
+  const auto v2 = tree_words();
+  (void)install_image(store, v2);  // dies somewhere inside
+  EXPECT_TRUE(flash.powered_off());
+  flash.power_cycle();
+  return flash;
+}
+
+TEST(OtaStore, CutDuringBeginRecordLeavesNoPending) {
+  // The Begin record costs 9 program ops; tearing inside it makes the
+  // record CRC-invalid, so recovery sees no intent at all.
+  FlashModel flash = cut_during_v2(2);
+  ModuleStore store(flash);
+  ASSERT_TRUE(store.has_committed());
+  EXPECT_EQ(store.committed_image(), blink_words());
+  EXPECT_FALSE(store.last_recovery().pending.has_value());
+}
+
+TEST(OtaStore, CutDuringSlotEraseRecoversOldWithUnerasedPending) {
+  // Ops 1-9 of the v2 install write the Begin record; op 10 is the first
+  // page erase of the target slot.
+  FlashModel flash = cut_during_v2(10);
+  ModuleStore store(flash);
+  ASSERT_TRUE(store.has_committed());
+  EXPECT_EQ(store.committed_image(), blink_words());
+  const auto& pending = store.last_recovery().pending;
+  ASSERT_TRUE(pending.has_value());
+  EXPECT_FALSE(pending->erased);  // must re-erase before staging
+  EXPECT_EQ(pending->words_staged, 0u);
+}
+
+TEST(OtaStore, CutMidStagingResumesFromJournaledHighWater) {
+  // Enough ops to be past erase (slot pages) + Progress(0), into staging.
+  FlashModel flash = cut_during_v2(40);
+  ModuleStore store(flash);
+  ASSERT_TRUE(store.has_committed());
+  EXPECT_EQ(store.committed_image(), blink_words());
+  const auto pending = store.last_recovery().pending;
+  ASSERT_TRUE(pending.has_value());
+  EXPECT_TRUE(pending->erased);
+
+  // Resume exactly from the durable high-water mark and finish.
+  const auto v2 = tree_words();
+  ASSERT_LT(pending->words_staged, v2.size());
+  const std::uint32_t from = pending->words_staged;
+  ASSERT_EQ(store.stage_words(
+                from, std::span<const std::uint16_t>(v2).subspan(from)),
+            InstallStatus::Ok);
+  ASSERT_EQ(store.commit(), InstallStatus::Ok);
+  EXPECT_EQ(store.committed_image(), v2);
+}
+
+TEST(OtaStore, EveryCutLeavesOldOrNewNeverHybrid) {
+  // Count the ops of a clean v1-then-v2 double install, then cut each one
+  // of the v2 pipeline and demand the old-or-new invariant.
+  const auto v1 = blink_words();
+  const auto v2 = tree_words();
+  std::uint64_t total = 0, after_v1 = 0;
+  {
+    FlashModel flash({}, 3);
+    ModuleStore store(flash);
+    ASSERT_EQ(install_image(store, v1), InstallStatus::Ok);
+    after_v1 = flash.ops();
+    ASSERT_EQ(install_image(store, v2), InstallStatus::Ok);
+    total = flash.ops();
+  }
+  ASSERT_GT(total, after_v1);
+  for (std::uint64_t cut = 1; cut <= total - after_v1; ++cut) {
+    FlashModel flash = cut_during_v2(cut, 3);
+    ModuleStore store(flash);
+    ASSERT_EQ(store.last_recovery().state, StoreState::Committed)
+        << "cut " << cut;
+    const auto img = store.committed_image();
+    ASSERT_TRUE(img.has_value()) << "cut " << cut;
+    EXPECT_TRUE(*img == v1 || *img == v2) << "hybrid at cut " << cut;
+  }
+}
+
+TEST(OtaStore, CompactionSurvivesJournalOverflowAndCuts) {
+  // Two halves of 7 records each: spam Progress records to force several
+  // compactions, then make sure the committed state never wavers.
+  FlashModel flash;
+  ModuleStore store(flash);
+  const auto v1 = blink_words();
+  ASSERT_EQ(install_image(store, v1), InstallStatus::Ok);
+  ASSERT_EQ(store.begin_install(8, 0x5A5A), InstallStatus::Ok);
+  for (std::uint32_t i = 1; i <= 40; ++i)
+    ASSERT_EQ(store.note_progress(i % 8), InstallStatus::Ok) << i;
+  ModuleStore reread(flash);
+  EXPECT_EQ(reread.committed_image(), v1);
+  ASSERT_TRUE(reread.last_recovery().pending.has_value());
+  EXPECT_EQ(reread.last_recovery().pending->words_total, 8u);
+}
+
+// --- weakened (journal-less) mode ---
+
+TEST(OtaStore, WeakenedCutDestroysOldButIsDetected) {
+  FlashModel flash({}, 11);
+  ModuleStore store(flash);
+  store.set_journal_enabled(false);
+  const auto v1 = blink_words();
+  ASSERT_EQ(install_image(store, v1), InstallStatus::Ok);
+  ASSERT_TRUE(store.has_committed());
+
+  // Cut mid-staging of v2: the in-place overwrite already chewed up v1.
+  flash.set_cut_at(static_cast<std::uint64_t>(v1.size()) / 2 + 3);
+  (void)install_image(store, tree_words());
+  flash.power_cycle();
+  ModuleStore after(flash);
+  after.set_journal_enabled(false);
+  const auto r = after.recover();
+  EXPECT_NE(r.state, StoreState::Committed);
+  EXPECT_TRUE(r.state == StoreState::Corrupt || r.state == StoreState::Empty);
+}
+
+// --- watchdog bound (ISSUE satellite: set_cycle_budget must bound boot) ---
+
+TEST(OtaStore, ForgedJournalRecordsCannotInflateRecovery) {
+  FlashModel flash;
+  ModuleStore store(flash);
+  ASSERT_EQ(install_image(store, blink_words()), InstallStatus::Ok);
+  // Forge a "Commit" claiming an absurd image length, with a valid CRC
+  // seal. Recovery must drop it on the capacity sanity check.
+  std::array<std::uint16_t, ModuleStore::kRecordWords> rec{};
+  rec[0] = 0xA500 | 3;  // Commit
+  rec[1] = 0xFFFE;      // seq lo: far above anything legitimate
+  rec[2] = 0x7FFF;      // seq hi
+  rec[3] = 1;           // slot
+  rec[4] = 0xFFFF;      // words: way past slot capacity
+  rec[5] = 0x1234;
+  rec[6] = 0x5678;
+  const std::uint32_t seal =
+      crc32_words(std::span<const std::uint16_t>(rec.data(), 7));
+  rec[7] = static_cast<std::uint16_t>(seal & 0xFFFF);
+  rec[8] = static_cast<std::uint16_t>(seal >> 16);
+  // Journal half 1 starts at page 1; write into its first record slot.
+  const std::uint32_t base = flash.page_words();
+  for (std::uint32_t i = 0; i < rec.size(); ++i)
+    ASSERT_EQ(flash.program_word(base + i, rec[i]), FlashStatus::Ok);
+
+  ModuleStore after(flash);
+  EXPECT_EQ(after.last_recovery().state, StoreState::Committed);
+  EXPECT_EQ(after.committed_image(), blink_words());
+}
+
+TEST(OtaStore, KernelRecoveryIsWatchdogBounded) {
+  FlashModel flash;
+  {
+    ModuleStore store(flash);
+    ASSERT_EQ(install_image(store, tree_words()), InstallStatus::Ok);
+  }
+  sos::Kernel kernel(runtime::Mode::Umpu);
+
+  // A sane budget verifies the committed image comfortably.
+  ModuleStore store(flash);
+  auto ok = kernel.recover_store(store);
+  EXPECT_EQ(ok.state, StoreState::Committed);
+  EXPECT_LE(ok.ops * sos::Kernel::kCyclesPerFlashOp, kernel.sys().cycle_budget());
+
+  // A starved budget must surface FaultKind::Watchdog instead of letting a
+  // slow (or corrupted) journal walk stall boot forever.
+  kernel.sys().set_cycle_budget(sos::Kernel::kCyclesPerFlashOp * 2);
+  auto starved = kernel.recover_store(store);
+  EXPECT_EQ(starved.state, StoreState::Watchdog);
+  EXPECT_EQ(starved.fault, avr::FaultKind::Watchdog);
+}
+
+}  // namespace
+}  // namespace harbor::ota

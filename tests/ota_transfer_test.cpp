@@ -1,0 +1,185 @@
+// Tests for the chunked OTA transfer protocol: clean and heavily lossy
+// links, retry/backoff accounting, resume-from-offset across a simulated
+// reboot, sender failure on a dead link, and the ota-* trace events.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ota/image.h"
+#include "ota/link.h"
+#include "ota/store.h"
+#include "ota/transfer.h"
+#include "sos/modules.h"
+#include "trace/event.h"
+#include "trace/metrics.h"
+#include "trace/tracer.h"
+
+namespace harbor::ota {
+namespace {
+
+std::vector<std::uint16_t> tree_words() {
+  return serialize_image(sos::modules::tree_routing());
+}
+
+TEST(OtaLink, CleanLinkDeliversInOrder) {
+  LossyLink link;  // no faults
+  link.send({1, 2, 3});
+  link.send({4, 5});
+  const auto frames = link.drain();
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], (Frame{1, 2, 3}));
+  EXPECT_EQ(frames[1], (Frame{4, 5}));
+  EXPECT_TRUE(link.empty());
+}
+
+TEST(OtaLink, FaultsAreDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    LossyLink link({0.3, 0.1, 0.1, 0.1}, seed);
+    std::vector<Frame> got;
+    for (std::uint8_t i = 0; i < 50; ++i) {
+      link.send({i, static_cast<std::uint8_t>(i * 3)});
+      for (auto& f : link.drain()) got.push_back(std::move(f));
+    }
+    return got;
+  };
+  EXPECT_EQ(run(9), run(9));
+  LossyLink lossy({1.0, 0, 0, 0}, 1);
+  lossy.send({1});
+  EXPECT_TRUE(lossy.drain().empty());
+  EXPECT_EQ(lossy.counters().dropped, 1u);
+}
+
+TEST(OtaTransfer, CleanLinkCompletesWithoutRetries) {
+  const auto image = tree_words();
+  FlashModel flash;
+  ModuleStore store(flash);
+  Sender sender(image);
+  Receiver receiver(store);
+  LossyLink down, up;
+  const TransferResult r = run_transfer(sender, receiver, down, up);
+  EXPECT_EQ(r.status, TransferStatus::Complete);
+  EXPECT_TRUE(r.committed);
+  EXPECT_EQ(r.sender.retries, 0u);
+  EXPECT_EQ(r.sender.chunks_acked, sender.total_chunks());
+  EXPECT_EQ(store.committed_image(), image);
+}
+
+TEST(OtaTransfer, SurvivesTwentyPercentLossWithRetries) {
+  const auto image = tree_words();
+  FlashModel flash;
+  ModuleStore store(flash);
+  Sender sender(image);
+  Receiver receiver(store);
+  // ISSUE acceptance: completes at >= 20% seeded chunk loss.
+  LossyLink down({0.25, 0.05, 0.05, 0.05}, 77);
+  LossyLink up({0.25, 0.05, 0.05, 0.05}, 78);
+  const TransferResult r = run_transfer(sender, receiver, down, up);
+  ASSERT_EQ(r.status, TransferStatus::Complete);
+  EXPECT_TRUE(r.committed);
+  EXPECT_GT(r.sender.retries, 0u);
+  EXPECT_GT(r.sender.backoff_ticks, 0u);
+  EXPECT_EQ(store.committed_image(), image);
+  EXPECT_GT(down.counters().dropped + up.counters().dropped, 0u);
+}
+
+TEST(OtaTransfer, ResumesAcrossRebootFromJournaledOffset) {
+  const auto image = tree_words();
+  FlashModel flash;
+  TransferConfig cfg;
+  // Small chunks + frequent progress records so the half-way stop point is
+  // guaranteed to sit past at least one journaled high-water mark.
+  cfg.chunk_words = 4;
+  cfg.progress_every_chunks = 2;
+  {
+    ModuleStore store(flash);
+    Sender sender(image, cfg);
+    Receiver receiver(store, cfg);
+    LossyLink down({0.2, 0.05, 0.05, 0.05}, 5);
+    LossyLink up({0.2, 0.05, 0.05, 0.05}, 6);
+    TransferOptions opt;
+    opt.stop_after_chunks = sender.total_chunks() / 2;
+    const TransferResult r = run_transfer(sender, receiver, down, up, opt);
+    ASSERT_EQ(r.status, TransferStatus::Stopped);
+    EXPECT_FALSE(r.committed);
+  }
+  // "Reboot": recover a fresh store over the same flash; the pending
+  // install's journaled high-water mark seeds the SYNACK resume offset.
+  flash.power_cycle();
+  ModuleStore store(flash);
+  ASSERT_TRUE(store.last_recovery().pending.has_value());
+  const std::uint32_t durable = store.last_recovery().pending->words_staged;
+  EXPECT_GT(durable, 0u);
+
+  Sender sender(image, cfg);
+  Receiver receiver(store, cfg);
+  LossyLink down({0.2, 0.05, 0.05, 0.05}, 7);
+  LossyLink up({0.2, 0.05, 0.05, 0.05}, 8);
+  const TransferResult r = run_transfer(sender, receiver, down, up);
+  ASSERT_EQ(r.status, TransferStatus::Complete);
+  EXPECT_TRUE(r.committed);
+  EXPECT_EQ(r.sender.resume_offset_words, durable);
+  EXPECT_EQ(store.committed_image(), image);
+}
+
+TEST(OtaTransfer, DeadDownlinkFailsSenderAfterMaxAttempts) {
+  const auto image = tree_words();
+  FlashModel flash;
+  ModuleStore store(flash);
+  TransferConfig cfg;
+  cfg.max_attempts = 4;
+  Sender sender(image, cfg);
+  Receiver receiver(store, cfg);
+  LossyLink down({1.0, 0, 0, 0}, 1);  // everything vanishes
+  LossyLink up;
+  const TransferResult r = run_transfer(sender, receiver, down, up);
+  EXPECT_EQ(r.status, TransferStatus::SenderFailed);
+  EXPECT_TRUE(sender.failed());
+  EXPECT_FALSE(r.committed);
+}
+
+TEST(OtaTransfer, ReceiverDeathStopsTheExchange) {
+  const auto image = tree_words();
+  FlashModel flash;
+  ModuleStore store(flash);
+  Sender sender(image);
+  Receiver receiver(store);
+  LossyLink down, up;
+  // Tear a flash op somewhere inside staging: the node browns out and the
+  // transfer loop reports the death instead of spinning to the tick limit.
+  flash.set_cut_at(flash.ops() + 30);
+  const TransferResult r = run_transfer(sender, receiver, down, up);
+  EXPECT_EQ(r.status, TransferStatus::ReceiverDead);
+  EXPECT_TRUE(receiver.dead());
+  EXPECT_FALSE(r.committed);
+}
+
+TEST(OtaTransfer, EmitsTypedTraceEvents) {
+  const auto image = tree_words();
+  trace::Tracer tracer;
+  FlashModel flash;
+  ModuleStore store(flash, {}, &tracer);
+  Sender sender(image, {}, &tracer);
+  Receiver receiver(store, {}, &tracer);
+  LossyLink down({0.3, 0.0, 0.0, 0.0}, 3);
+  LossyLink up({0.3, 0.0, 0.0, 0.0}, 4);
+  const TransferResult r = run_transfer(sender, receiver, down, up);
+  ASSERT_EQ(r.status, TransferStatus::Complete);
+
+  auto& m = tracer.metrics();
+  EXPECT_GE(m.counter_value(trace::metric::kOtaChunks), sender.total_chunks());
+  EXPECT_GT(m.counter_value(trace::metric::kOtaRetries), 0u);
+  EXPECT_GT(m.counter_value(trace::metric::kOtaBackoffTicks), 0u);
+  EXPECT_EQ(m.counter_value(trace::metric::kOtaCommits), 1u);
+
+  bool saw_chunk = false, saw_commit = false;
+  for (const auto& ev : tracer.ring().snapshot()) {
+    if (ev.kind == trace::EventKind::OtaChunk) saw_chunk = true;
+    if (ev.kind == trace::EventKind::OtaCommit) saw_commit = true;
+  }
+  EXPECT_TRUE(saw_chunk);
+  EXPECT_TRUE(saw_commit);
+}
+
+}  // namespace
+}  // namespace harbor::ota

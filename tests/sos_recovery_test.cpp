@@ -197,6 +197,30 @@ TEST(RelocatingLoader, ExternalTargetsUntouched) {
   EXPECT_EQ(out, img.code);  // jump-table target is external: unchanged
 }
 
+TEST(RelocatingLoader, TruncatedTwoWordInstructionRejected) {
+  // Regression: an image whose last word is the first half of a two-word
+  // instruction (call/jmp/lds/sts) used to sail through pass 1 with a
+  // fabricated all-zero second word — a silent decode of garbage. It must
+  // be rejected with a diagnosable error instead.
+  Assembler a;
+  auto end = a.make_label("end");
+  a.nop();
+  a.call(end);  // emits 2 words
+  a.bind(end);
+  a.ret();
+  ModuleImage img;
+  img.name = "chopped";
+  img.code = a.assemble().words;
+  img.code.resize(2);  // nop + the first call word only
+  try {
+    relocate_image(img, 0x100);
+    FAIL() << "truncated image accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(RelocatingLoader, BadRelocRejected) {
   ModuleImage img;
   img.name = "bad";
@@ -411,6 +435,42 @@ TEST_P(Supervisor, DomainReuseAfterUnloadStartsClean) {
   const auto log = k.run_pending();
   ASSERT_FALSE(log.empty());
   EXPECT_FALSE(log[0].result.faulted);
+}
+
+TEST_P(Supervisor, DomainReloadableAfterQuarantineAndRevive) {
+  // The mid-campaign repair story: a module crash-loops into quarantine,
+  // an operator revives it, decides it is beyond saving, unloads it and
+  // installs a healthy replacement into the very same domain id — which
+  // must start with a clean slate, not the dead tenant's rap sheet.
+  Kernel k(GetParam());
+  SupervisorConfig cfg;
+  cfg.auto_restart = true;
+  cfg.restart_budget = 1;
+  k.set_supervisor(cfg);
+  const auto d = k.load(init_crasher(k.sys().layout()), 2);
+  k.run_pending();
+  ASSERT_TRUE(k.quarantined(d));
+  k.post(d, msg::kTimer);  // parked as a dead letter while quarantined
+  k.run_pending();
+
+  const auto revived = k.revive(d);
+  ASSERT_EQ(revived, d);
+  EXPECT_FALSE(k.quarantined(d));
+
+  k.unload(d);
+  EXPECT_EQ(k.module(d), nullptr);
+  const auto d2 = k.load(modules::blink(), 2);
+  EXPECT_EQ(d2, d);
+  EXPECT_FALSE(k.quarantined(d2));
+  EXPECT_EQ(k.restart_count(d2), 0);
+  EXPECT_EQ(k.crash_streak(d2), 0);
+  EXPECT_TRUE(k.dead_letters().empty());
+  k.run_pending();
+  k.post(d2, msg::kTimer);
+  const auto log = k.run_pending();
+  ASSERT_FALSE(log.empty());
+  EXPECT_FALSE(log[0].result.faulted);
+  EXPECT_EQ(log[0].msg, msg::kTimer);
 }
 
 INSTANTIATE_TEST_SUITE_P(BothSystems, Supervisor,

@@ -2,6 +2,7 @@
 """Validate harbor-trace output against tools/trace_schema.json.
 
 Usage: validate_trace.py TRACE_DIR [BENCH_JSON...] [--inject REPORT.json]
+                         [--ota REPORT.json]
 
 TRACE_DIR must hold trace.json + metrics.json as written by
 `harbor-trace ... --out TRACE_DIR`. Any extra arguments are BENCH_*.json
@@ -10,6 +11,11 @@ table dumps (from bench/bench_util.h) checked against the "bench" schema.
 report: schema conformance, outcome counts consistent with the mutant
 list, and zero escapes unless the report was produced with the weakened
 (self-test) checker.
+`--ota REPORT.json` validates a harbor-ota power-cut campaign report:
+schema conformance, outcome counts consistent with the trial list, the
+old-or-new invariant (zero hybrids/watchdogs), a committed reference
+transfer, and — for weakened (journal-less) runs — at least one
+corrupt-detected trial proving the oracle can see torn state.
 
 Standard library only — the schema interpreter supports the subset of JSON
 Schema the checked-in schemas use: type, required, properties, items,
@@ -105,6 +111,44 @@ def validate_inject_report(path, schemas):
           f"{sum(r['outcomes']['escape'] for r in reports)} escape(s)")
 
 
+def validate_ota_report(path, schemas):
+    """harbor-ota power-cut campaign report: structure + crash-safety invariants."""
+    reports = load(path)
+    validate(reports, schemas["ota_report"], os.path.basename(path))
+    for rep in reports:
+        label = f"{os.path.basename(path)}[{rep['mode']}]"
+        outcomes = rep["outcomes"]
+        if sum(outcomes.values()) != len(rep["trials"]):
+            fail(f"{label}: outcome counts {outcomes} do not sum to "
+                 f"{len(rep['trials'])} trials")
+        tallied = {k: 0 for k in outcomes}
+        key = {"old": "old", "new": "new", "corrupt-detected": "corrupt_detected",
+               "hybrid": "hybrid", "watchdog": "watchdog"}
+        for t in rep["trials"]:
+            tallied[key[t["outcome"]]] += 1
+        if tallied != outcomes:
+            fail(f"{label}: trial tally {tallied} != outcome counts {outcomes}")
+        if not rep["transfer"]["committed"]:
+            fail(f"{label}: the no-cut reference transfer did not commit")
+        if outcomes["hybrid"] != 0:
+            fail(f"{label}: {outcomes['hybrid']} HYBRID state(s) survived recovery")
+        if outcomes["watchdog"] != 0:
+            fail(f"{label}: {outcomes['watchdog']} recovery watchdog timeout(s)")
+        if not rep["weakened"] and outcomes["corrupt_detected"] != 0:
+            fail(f"{label}: {outcomes['corrupt_detected']} corrupt-detected with "
+                 f"the journal on — journaled installs must never need detection")
+        if rep["weakened"] and outcomes["corrupt_detected"] == 0:
+            fail(f"{label}: weakened journal produced no detectable corruption "
+                 f"— oracle self-test failed")
+        if rep["violations"] != 0:
+            fail(f"{label}: report claims {rep['violations']} violation(s)")
+    modes = [r["mode"] for r in reports]
+    print(f"validate_trace: ota report OK — modes {modes}, "
+          f"{sum(len(r['trials']) for r in reports)} power-cut trials, "
+          f"{sum(r['outcomes']['corrupt_detected'] for r in reports)} "
+          f"corrupt-detected")
+
+
 def main():
     args = list(sys.argv[1:])
     inject_paths = []
@@ -114,6 +158,14 @@ def main():
             print(__doc__, file=sys.stderr)
             return 2
         inject_paths.append(args[i + 1])
+        del args[i:i + 2]
+    ota_paths = []
+    while "--ota" in args:
+        i = args.index("--ota")
+        if i + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 2
+        ota_paths.append(args[i + 1])
         del args[i:i + 2]
     if not args:
         print(__doc__, file=sys.stderr)
@@ -172,6 +224,9 @@ def main():
 
     for path in inject_paths:
         validate_inject_report(path, schemas)
+
+    for path in ota_paths:
+        validate_ota_report(path, schemas)
 
     print(
         f"validate_trace: OK — {len(events)} events, "
