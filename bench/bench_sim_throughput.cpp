@@ -1,12 +1,17 @@
-// Host-side throughput of the simulator itself (google-benchmark): how many
-// simulated cycles per host second the core executes, with and without the
-// UMPU fabric attached. Not a paper table — engineering data for users of
-// this reproduction.
+// Host-side throughput of the simulator itself: how many simulated cycles
+// per host second the core executes — bare, with the UMPU fabric attached,
+// and with the cycle-attribution profiler on top of the fabric — plus raw
+// decoder throughput. Not a paper table: engineering data for users of this
+// reproduction, emitted as BENCH_sim_throughput.json for tools/bench_trend.py
+// like every other benchmark (wall-clock rates, so trend thresholds for these
+// rows are looser than for the deterministic cycle-count tables).
 
-#include <benchmark/benchmark.h>
+#include <chrono>
 
 #include "asm/builder.h"
 #include "avr/device.h"
+#include "bench_util.h"
+#include "prof/profiler.h"
 #include "umpu/fabric.h"
 
 namespace {
@@ -29,21 +34,7 @@ assembler::Program workload() {
   return a.assemble();
 }
 
-void BM_BareCore(benchmark::State& state) {
-  avr::Device dev;
-  const auto p = workload();
-  dev.flash().load(p.words, 0);
-  dev.reset();
-  std::uint64_t cycles = 0;
-  for (auto _ : state) cycles += dev.cpu().run(10000);
-  state.counters["sim_cycles_per_s"] =
-      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_BareCore);
-
-void BM_CoreWithUmpuFabric(benchmark::State& state) {
-  avr::Device dev;
-  umpu::Fabric fab(dev.cpu());
+void arm_fabric(umpu::Fabric& fab) {
   auto& r = fab.regs();
   r.mem_map_base = 0x80;
   r.mem_prot_bot = 0x180;
@@ -52,28 +43,69 @@ void BM_CoreWithUmpuFabric(benchmark::State& state) {
   r.ctl = 0x07;
   r.stack_bound = 0x0fff;
   r.cur_domain = avr::ports::kTrustedDomain;
+}
+
+/// Repeat `chunk()` (which returns simulated work units) until ~0.2s of host
+/// wall clock has elapsed; return units per host second.
+template <typename F>
+double measure_rate(F&& chunk) {
+  using clock = std::chrono::steady_clock;
+  // Warm-up pass so first-touch costs (page faults, cache fills) stay out of
+  // the measured window.
+  (void)chunk();
+  double units = 0;
+  const auto start = clock::now();
+  auto now = start;
+  do {
+    units += static_cast<double>(chunk());
+    now = clock::now();
+  } while (now - start < std::chrono::milliseconds(200));
+  const double secs = std::chrono::duration<double>(now - start).count();
+  return secs > 0 ? units / secs : 0;
+}
+
+double bare_core_rate() {
+  avr::Device dev;
   const auto p = workload();
   dev.flash().load(p.words, 0);
   dev.reset();
-  std::uint64_t cycles = 0;
-  for (auto _ : state) cycles += dev.cpu().run(10000);
-  state.counters["sim_cycles_per_s"] =
-      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  return measure_rate([&] { return dev.cpu().run(10000); });
 }
-BENCHMARK(BM_CoreWithUmpuFabric);
 
-void BM_DecoderExhaustive(benchmark::State& state) {
-  std::uint64_t n = 0;
-  for (auto _ : state) {
-    for (std::uint32_t w = 0; w <= 0xffff; ++w)
-      benchmark::DoNotOptimize(avr::decode(static_cast<std::uint16_t>(w), 0));
-    n += 0x10000;
-  }
-  state.counters["decodes_per_s"] =
-      benchmark::Counter(static_cast<double>(n), benchmark::Counter::kIsRate);
+double umpu_core_rate(bool profiled) {
+  avr::Device dev;
+  umpu::Fabric fab(dev.cpu());
+  arm_fabric(fab);
+  const auto p = workload();
+  dev.flash().load(p.words, 0);
+  dev.reset();
+  prof::Profiler profiler;
+  if (profiled) profiler.attach(dev.cpu(), &fab);
+  const double rate = measure_rate([&] { return dev.cpu().run(10000); });
+  if (profiled) profiler.detach();
+  return rate;
 }
-BENCHMARK(BM_DecoderExhaustive);
+
+double decoder_rate() {
+  return measure_rate([] {
+    for (std::uint32_t w = 0; w <= 0xffff; ++w) {
+      volatile auto in = avr::decode(static_cast<std::uint16_t>(w), 0);
+      (void)in;
+    }
+    return 0x10000;
+  });
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  using harbor::bench::Row;
+  std::vector<Row> rows;
+  rows.push_back({"bare core (sim cycles/s)", {bare_core_rate()}});
+  rows.push_back({"core + UMPU fabric (sim cycles/s)", {umpu_core_rate(false)}});
+  rows.push_back({"fabric + profiler (sim cycles/s)", {umpu_core_rate(true)}});
+  rows.push_back({"decoder (decodes/s)", {decoder_rate()}});
+  harbor::bench::print_table("Sim throughput: host-side simulator speed",
+                             {"rate (per host s)"}, rows);
+  return 0;
+}

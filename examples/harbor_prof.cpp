@@ -1,0 +1,526 @@
+// harbor-prof: cycle-attribution profiles and campaign coverage maps
+// (DESIGN.md §12). Three modes:
+//
+//   harbor-prof [surge] [--mode umpu|sfi] [--rounds N] [--fixed] [--out DIR]
+//       Run the paper's Surge application (surge + tree_routing + blink)
+//       under the selected protection mode with the profiler attached and
+//       emit:
+//         <out>/profile.json        harbor-prof-report-v1: totals (with the
+//                                   attribution-error bound the CI asserts),
+//                                   per-domain/per-region cycles, guard
+//                                   coverage, fault kinds, top PCs, flame
+//         <out>/flame.json          d3-flame-graph hierarchy alone
+//         <out>/prof_counters.json  Perfetto counter tracks (cycles/domain
+//                                   over time; load at ui.perfetto.dev)
+//       Exits 1 if per-domain attribution drifts more than 0.1% from the
+//       cycles the core actually retired.
+//
+//   harbor-prof --diff A/profile.json B/profile.json
+//       Compare two profiles: window/per-domain/per-region cycle deltas.
+//
+//   harbor-prof --coverage inject|ota [--mode umpu|sfi|both] [--count N]
+//               [--seed S] [--guard-floor F] [--out FILE]
+//       Run the mutation (or power-cut) campaign with coverage accounting
+//       and report which basic blocks, guard sites and fault-handler paths
+//       it exercised. Exits 1 if guard-site coverage falls below the floor
+//       (default 1.0 — every check site must be exercised).
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/harbor.h"
+#include "inject/campaign.h"
+#include "inject/report.h"
+#include "ota/campaign.h"
+#include "prof/coverage.h"
+#include "prof/export.h"
+#include "trace/export.h"
+#include "trace/json.h"
+
+using namespace harbor;
+
+namespace {
+
+int fail_usage() {
+  std::fprintf(
+      stderr,
+      "usage: harbor-prof [surge] [--mode umpu|sfi] [--rounds N] [--fixed] [--out DIR]\n"
+      "       harbor-prof --diff A/profile.json B/profile.json\n"
+      "       harbor-prof --coverage inject|ota [--mode umpu|sfi|both] [--count N]\n"
+      "                   [--seed S] [--guard-floor F] [--out FILE]\n");
+  return 2;
+}
+
+void write_file(const std::filesystem::path& p, const std::string& content) {
+  std::ofstream out(p);
+  out << content;
+  std::printf("  wrote %s (%zu bytes)\n", p.string().c_str(), content.size());
+}
+
+// --- minimal JSON reader (for --diff; stdlib only) --------------------------
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  [[nodiscard]] const JsonValue* get(const std::string& key) const {
+    for (const auto& [k, v] : obj)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  [[nodiscard]] double num_at(const std::string& key) const {
+    const JsonValue* v = get(key);
+    return v ? v->number : 0.0;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue& out) { return value(out) && (ws(), pos_ == s_.size()); }
+
+ private:
+  void ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool lit(const char* t, JsonValue& out, JsonValue::Kind k, bool b) {
+    const std::size_t n = std::strlen(t);
+    if (s_.compare(pos_, n, t) != 0) return false;
+    pos_ += n;
+    out.kind = k;
+    out.boolean = b;
+    return true;
+  }
+  bool string(std::string& out) {
+    if (s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        const char e = s_[pos_++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u':
+            pos_ += 4;  // escaped control char: keep a placeholder
+            c = '?';
+            break;
+          default: c = e;
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool value(JsonValue& out) {
+    ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == 'n') return lit("null", out, JsonValue::Kind::Null, false);
+    if (c == 't') return lit("true", out, JsonValue::Kind::Bool, true);
+    if (c == 'f') return lit("false", out, JsonValue::Kind::Bool, false);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::String;
+      return string(out.str);
+    }
+    if (c == '[') {
+      ++pos_;
+      out.kind = JsonValue::Kind::Array;
+      ws();
+      if (pos_ < s_.size() && s_[pos_] == ']') return ++pos_, true;
+      while (true) {
+        JsonValue v;
+        if (!value(v)) return false;
+        out.arr.push_back(std::move(v));
+        ws();
+        if (pos_ >= s_.size()) return false;
+        if (s_[pos_] == ',') { ++pos_; continue; }
+        if (s_[pos_] == ']') return ++pos_, true;
+        return false;
+      }
+    }
+    if (c == '{') {
+      ++pos_;
+      out.kind = JsonValue::Kind::Object;
+      ws();
+      if (pos_ < s_.size() && s_[pos_] == '}') return ++pos_, true;
+      while (true) {
+        ws();
+        std::string key;
+        if (pos_ >= s_.size() || !string(key)) return false;
+        ws();
+        if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+        ++pos_;
+        JsonValue v;
+        if (!value(v)) return false;
+        out.obj.emplace_back(std::move(key), std::move(v));
+        ws();
+        if (pos_ >= s_.size()) return false;
+        if (s_[pos_] == ',') { ++pos_; continue; }
+        if (s_[pos_] == '}') return ++pos_, true;
+        return false;
+      }
+    }
+    // number
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
+            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) return false;
+    out.kind = JsonValue::Kind::Number;
+    out.number = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+bool load_json(const std::string& path, JsonValue& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "harbor-prof: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  JsonParser p(text);
+  if (!p.parse(out) || out.kind != JsonValue::Kind::Object) {
+    std::fprintf(stderr, "harbor-prof: %s is not valid JSON\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// --- profile mode ------------------------------------------------------------
+
+int run_profile(const std::string& scenario, ProtectionMode mode, int rounds, bool fixed,
+                const std::string& out_dir) {
+  if (scenario != "surge") return fail_usage();
+
+  System sys({mode, {}});
+  const auto tree = sys.load_module(sos::modules::tree_routing(), 1);
+  const auto surge = sys.load_module(sos::modules::surge(tree, fixed), 2);
+  const auto blink = sys.load_module(sos::modules::blink(), 3);
+  sys.run_pending();  // drain init dispatches before the profiled window
+
+  prof::ProfilerOptions popts;
+  popts.sample_interval = 256;  // dense counter tracks for short demo windows
+  prof::Profiler& p = sys.enable_profiling(popts);
+  for (int r = 0; r < rounds; ++r) {
+    sys.post(surge, sos::msg::kData);
+    sys.post(blink, sos::msg::kTimer);
+    sys.run_pending();
+  }
+  p.detach();
+
+  const char* mode_name = mode == ProtectionMode::Sfi ? "sfi" : "umpu";
+  const std::uint64_t window = p.window_cycles();
+  const std::uint64_t attributed = p.attributed_cycles();
+  const double err_pct =
+      window ? 100.0 *
+                   static_cast<double>(window > attributed ? window - attributed
+                                                           : attributed - window) /
+                   static_cast<double>(window)
+             : 0.0;
+
+  std::printf("harbor-prof: surge, mode=%s, %d rounds\n", mode_name, rounds);
+  std::printf("  window: %llu cycles, %llu instructions retired\n",
+              static_cast<unsigned long long>(window),
+              static_cast<unsigned long long>(p.retires()));
+  std::printf("  per-domain attribution:\n");
+  for (int d = 0; d < 8; ++d) {
+    const auto i = static_cast<std::size_t>(d);
+    if (p.instr_in_domain()[i] == 0) continue;
+    std::printf("    domain %d%s: %10llu cycles (%5.1f%%), %8llu instr\n", d,
+                d == avr::ports::kTrustedDomain ? " (trusted)" : "",
+                static_cast<unsigned long long>(p.cycles_in_domain()[i]),
+                attributed ? 100.0 * static_cast<double>(p.cycles_in_domain()[i]) /
+                                 static_cast<double>(attributed)
+                           : 0.0,
+                static_cast<unsigned long long>(p.instr_in_domain()[i]));
+  }
+  std::printf("  attribution: %llu/%llu cycles (error %.4f%%)\n",
+              static_cast<unsigned long long>(attributed),
+              static_cast<unsigned long long>(window), err_pct);
+  std::printf("  instruction latency: p50=%llu p90=%llu p99=%llu cycles\n",
+              static_cast<unsigned long long>(p.retire_cost().percentile(0.50)),
+              static_cast<unsigned long long>(p.retire_cost().percentile(0.90)),
+              static_cast<unsigned long long>(p.retire_cost().percentile(0.99)));
+  for (const prof::Region& r : p.regions()) {
+    std::printf("  region %-14s domain %d: %10llu cycles, blocks %u/%u, guards %u/%zu\n",
+                r.name.c_str(), r.domain, static_cast<unsigned long long>(r.cycles),
+                r.blocks_covered(), r.blocks_total(), r.guards_covered(),
+                r.guards.size());
+  }
+  for (int k = 0; k < avr::kFaultKindCount; ++k) {
+    const auto n = p.fault_counts()[static_cast<std::size_t>(k)];
+    if (n)
+      std::printf("  fault path: %s x%llu\n",
+                  avr::fault_kind_name(static_cast<avr::FaultKind>(k)),
+                  static_cast<unsigned long long>(n));
+  }
+
+  std::filesystem::create_directories(out_dir);
+  const std::filesystem::path dir(out_dir);
+  write_file(dir / "profile.json", prof::profile_json(p, mode_name));
+  write_file(dir / "flame.json", prof::flame_json(p));
+  write_file(dir / "prof_counters.json",
+             trace::perfetto_counters_json(prof::domain_counter_tracks(p)));
+
+  if (err_pct > 0.1) {
+    std::fprintf(stderr,
+                 "harbor-prof: FAIL: per-domain attribution off by %.4f%% (> 0.1%%)\n",
+                 err_pct);
+    return 1;
+  }
+  std::printf("harbor-prof: OK — attribution within 0.1%% of retired cycles\n");
+  return 0;
+}
+
+// --- diff mode ---------------------------------------------------------------
+
+void diff_line(const char* label, double a, double b) {
+  const double delta = b - a;
+  const double pct = a != 0.0 ? 100.0 * delta / a : 0.0;
+  std::printf("  %-24s %14.0f -> %14.0f  %+12.0f (%+.2f%%)\n", label, a, b, delta, pct);
+}
+
+int run_diff(const std::string& path_a, const std::string& path_b) {
+  JsonValue a, b;
+  if (!load_json(path_a, a) || !load_json(path_b, b)) return 1;
+  const JsonValue *ta = a.get("totals"), *tb = b.get("totals");
+  if (!ta || !tb) {
+    std::fprintf(stderr, "harbor-prof: inputs are not harbor-prof-report-v1 profiles\n");
+    return 1;
+  }
+  std::printf("profile diff: %s -> %s\n", path_a.c_str(), path_b.c_str());
+  diff_line("window_cycles", ta->num_at("window_cycles"), tb->num_at("window_cycles"));
+  diff_line("instructions", ta->num_at("instructions"), tb->num_at("instructions"));
+  diff_line("instr_cycles_p99", ta->num_at("instr_cycles_p99"),
+            tb->num_at("instr_cycles_p99"));
+
+  auto by_key = [](const JsonValue* list, const std::string& key,
+                   auto name_of) {
+    std::vector<std::pair<std::string, double>> out;
+    if (!list) return out;
+    for (const JsonValue& item : list->arr)
+      out.emplace_back(name_of(item), item.num_at(key));
+    return out;
+  };
+  const auto doms_a = by_key(a.get("domains"), "cycles", [](const JsonValue& d) {
+    return "domain " + std::to_string(static_cast<int>(d.num_at("domain")));
+  });
+  const auto doms_b = by_key(b.get("domains"), "cycles", [](const JsonValue& d) {
+    return "domain " + std::to_string(static_cast<int>(d.num_at("domain")));
+  });
+  auto find = [](const std::vector<std::pair<std::string, double>>& v,
+                 const std::string& k) {
+    for (const auto& [key, val] : v)
+      if (key == k) return val;
+    return 0.0;
+  };
+  std::printf("per-domain cycles:\n");
+  for (const auto& [name, va] : doms_a) diff_line(name.c_str(), va, find(doms_b, name));
+  for (const auto& [name, vb] : doms_b)
+    if (find(doms_a, name) == 0.0 && vb != 0.0) diff_line(name.c_str(), 0.0, vb);
+
+  const auto regs_a = by_key(a.get("regions"), "cycles", [](const JsonValue& r) {
+    const JsonValue* n = r.get("name");
+    return n ? n->str : std::string("?");
+  });
+  const auto regs_b = by_key(b.get("regions"), "cycles", [](const JsonValue& r) {
+    const JsonValue* n = r.get("name");
+    return n ? n->str : std::string("?");
+  });
+  std::printf("per-region cycles:\n");
+  for (const auto& [name, va] : regs_a) diff_line(name.c_str(), va, find(regs_b, name));
+  return 0;
+}
+
+// --- coverage mode -----------------------------------------------------------
+
+int coverage_inject(const std::vector<ProtectionMode>& modes, int count,
+                    std::uint64_t seed, double floor, const std::string& out_path) {
+  std::string out = "[";
+  trace::json::Joiner docs(out);
+  bool ok = true;
+  for (const ProtectionMode mode : modes) {
+    inject::CampaignConfig cfg;
+    cfg.mode = mode;
+    cfg.count = count;
+    cfg.seed = seed;
+    cfg.coverage = true;
+    const inject::CampaignReport rep = inject::run_campaign(cfg);
+    std::fputs(inject::report_text(rep).c_str(), stdout);
+    if (!rep.coverage) {
+      std::fprintf(stderr, "harbor-prof: campaign produced no coverage map\n");
+      return 1;
+    }
+    const prof::CoverageSummary& c = *rep.coverage;
+    const char* mode_name = mode == ProtectionMode::Sfi ? "sfi" : "umpu";
+    docs.item();
+    out += "{\"schema\":\"harbor-prof-coverage-v1\",\"campaign\":\"inject\",\"mode\":\"";
+    out += mode_name;
+    out += "\",\"mutants\":" + std::to_string(rep.mutants.size());
+    out += ",\"guard_floor\":" + trace::json::number(floor);
+    out += ",\"coverage\":" + c.to_json() + "}";
+    if (c.guard_coverage() < floor) {
+      std::fprintf(stderr,
+                   "harbor-prof: FAIL: %s guard-site coverage %u/%u below floor %.2f\n",
+                   mode_name, c.guards_covered(), c.guards_total(), floor);
+      ok = false;
+    }
+    if (rep.escapes() != 0) {
+      std::fprintf(stderr, "harbor-prof: FAIL: campaign reported %d escape(s)\n",
+                   rep.escapes());
+      ok = false;
+    }
+  }
+  out += "]";
+  if (!out_path.empty()) write_file(out_path, out);
+  if (ok) std::printf("harbor-prof: OK — guard-site coverage meets the floor\n");
+  return ok ? 0 : 1;
+}
+
+int coverage_ota(const std::vector<ProtectionMode>& modes, std::uint64_t seed,
+                 const std::string& out_path) {
+  std::string out = "[";
+  trace::json::Joiner docs(out);
+  bool ok = true;
+  for (const ProtectionMode mode : modes) {
+    ota::OtaCampaignConfig cfg;
+    cfg.mode = mode;
+    cfg.seed = seed;
+    const ota::OtaCampaignReport rep = ota::run_ota_campaign(cfg);
+    std::fputs(ota::ota_report_text(rep).c_str(), stdout);
+    const char* mode_name = mode == ProtectionMode::Sfi ? "sfi" : "umpu";
+    docs.item();
+    out += "{\"schema\":\"harbor-prof-coverage-v1\",\"campaign\":\"ota\",\"mode\":\"";
+    out += mode_name;
+    out += "\",\"trials\":" + std::to_string(rep.trials.size());
+    out += ",\"coverage\":{\"recovery_paths_covered\":" +
+           std::to_string(rep.recovery_paths_covered());
+    out += ",\"recovery_paths_total\":" + std::to_string(ota::kStoreStateCount);
+    out += ",\"outcome_paths_covered\":" + std::to_string(rep.outcome_paths_covered());
+    out += ",\"outcome_paths_total\":" + std::to_string(ota::kTrialOutcomeCount);
+    out += "}}";
+    if (rep.violations() != 0) {
+      std::fprintf(stderr, "harbor-prof: FAIL: ota campaign reported %llu violation(s)\n",
+                   static_cast<unsigned long long>(rep.violations()));
+      ok = false;
+    }
+    if (rep.recovery_paths_covered() == 0) {
+      std::fprintf(stderr, "harbor-prof: FAIL: ota campaign covered no recovery path\n");
+      ok = false;
+    }
+  }
+  out += "]";
+  if (!out_path.empty()) write_file(out_path, out);
+  if (ok) std::printf("harbor-prof: OK — recovery-path coverage recorded\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario = "surge";
+  std::string out;
+  std::string mode_arg = "";
+  std::string coverage;
+  std::vector<std::string> diff_paths;
+  int rounds = 20;
+  int count = 200;
+  std::uint64_t seed = 1;
+  double guard_floor = 1.0;
+  bool fixed = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--out") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      out = v;
+    } else if (arg == "--mode") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      mode_arg = v;
+    } else if (arg == "--rounds") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      rounds = std::atoi(v);
+    } else if (arg == "--count") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      count = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--guard-floor") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      guard_floor = std::atof(v);
+    } else if (arg == "--fixed") {
+      fixed = true;
+    } else if (arg == "--coverage") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      coverage = v;
+    } else if (arg == "--diff") {
+      const char* a = next();
+      const char* b = next();
+      if (!a || !b) return fail_usage();
+      diff_paths = {a, b};
+    } else if (arg[0] != '-') {
+      scenario = arg;
+    } else {
+      return fail_usage();
+    }
+  }
+
+  if (!diff_paths.empty()) return run_diff(diff_paths[0], diff_paths[1]);
+
+  std::vector<ProtectionMode> modes;
+  if (mode_arg.empty() || mode_arg == "both") {
+    modes = {ProtectionMode::Umpu, ProtectionMode::Sfi};
+  } else if (mode_arg == "umpu") {
+    modes = {ProtectionMode::Umpu};
+  } else if (mode_arg == "sfi") {
+    modes = {ProtectionMode::Sfi};
+  } else {
+    return fail_usage();
+  }
+
+  if (!coverage.empty()) {
+    if (coverage == "inject")
+      return coverage_inject(modes, count, seed, guard_floor,
+                             out.empty() ? "prof_coverage.json" : out);
+    if (coverage == "ota")
+      return coverage_ota(modes, seed, out.empty() ? "prof_coverage.json" : out);
+    return fail_usage();
+  }
+
+  // Profile mode runs one mode; default umpu unless --mode sfi was given.
+  const ProtectionMode mode =
+      mode_arg == "sfi" ? ProtectionMode::Sfi : ProtectionMode::Umpu;
+  return run_profile(scenario, mode, rounds, fixed, out.empty() ? "prof_out" : out);
+}

@@ -146,8 +146,10 @@ StepResult Cpu::step() {
   }
 
   ++instructions_;
+  const std::uint32_t fetched_pc = pc_;
   const int cost = exec(in) + pending_extra_;
   cycles_ += static_cast<std::uint64_t>(cost);
+  if (hooks_) hooks_->on_retire(fetched_pc, cost);
   return {cost, halted()};
 }
 

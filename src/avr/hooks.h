@@ -130,6 +130,11 @@ class CpuHooks {
   virtual FaultKind on_fetch(std::uint32_t /*pc*/) { return FaultKind::None; }
   /// Called before an SPM self-programming write (Z holds the byte address).
   virtual FaultKind on_spm(std::uint32_t /*z_byte_addr*/) { return FaultKind::None; }
+  /// Called after an instruction retires. `pc` is the word address it was
+  /// fetched from; `cycles` its full cost including guard stalls. Faulting
+  /// fetches/decodes never retire, so the sum of `cycles` over all calls
+  /// equals the growth of Cpu::cycle_count() minus interrupt-entry costs.
+  virtual void on_retire(std::uint32_t /*pc*/, int /*cycles*/) {}
   /// Called after a protection fault has been raised (hardware exception
   /// entry: the UMPU fabric switches to the trusted domain here).
   virtual void on_fault(const FaultInfo& /*info*/) {}

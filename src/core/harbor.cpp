@@ -21,6 +21,51 @@ void System::disable_tracing() {
   tracer_.reset();
 }
 
+prof::Profiler& System::enable_profiling(prof::ProfilerOptions opts) {
+  disable_profiling();
+  profiler_ = std::make_unique<prof::Profiler>(opts);
+  for (int d = 0; d < 8; ++d) profile_module(static_cast<memmap::DomainId>(d));
+  // Keep an active tracer outermost so the hook stack reads
+  // Cpu ▶ TracingHooks ▶ ProfilingHooks ▶ fabric: detach it, slide the
+  // profiler in, re-attach it on top.
+  const bool traced = tracer_ && tracer_->attached();
+  if (traced) tracer_->detach();
+  profiler_->attach(device().cpu(), fabric());
+  if (traced) tracer_->attach(device().cpu(), fabric());
+  return *profiler_;
+}
+
+void System::disable_profiling() {
+  if (!profiler_) return;
+  // LIFO detach: peel the tracer off first so the profiler sits on top of
+  // the chain, then restore the tracer.
+  const bool traced = tracer_ && tracer_->attached();
+  if (traced) tracer_->detach();
+  profiler_->detach();
+  if (traced) tracer_->attach(device().cpu(), fabric());
+  profiler_.reset();
+}
+
+void System::profile_module(memmap::DomainId domain) {
+  if (!profiler_) return;
+  const sos::LoadedModule* m = kernel_.module(domain);
+  if (!m || m->end <= m->base) return;
+  prof::RegionSpec spec;
+  spec.name = m->name;
+  spec.domain = domain;
+  spec.origin = m->base;
+  spec.words.reserve(m->end - m->base);
+  auto& flash = device().flash();
+  for (std::uint32_t w = m->base; w < m->end; ++w) spec.words.push_back(flash.read_word(w));
+  for (const auto& [slot, addr] : m->export_addr) spec.entries.push_back(addr);
+  sfi::StubTable stubs;
+  if (mode() == ProtectionMode::Sfi) {
+    stubs = sfi::StubTable::from_runtime(driver().runtime());
+    spec.stubs = &stubs;
+  }
+  profiler_->add_region(spec);
+}
+
 std::vector<sos::DispatchRecord> System::run_pending(int max_dispatches) {
   auto log = kernel_.run_pending(max_dispatches);
   for (const auto& rec : log) {

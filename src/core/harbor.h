@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 
+#include "prof/profiler.h"
 #include "sos/kernel.h"
 #include "sos/modules.h"
 #include "trace/tracer.h"
@@ -86,6 +87,19 @@ class System {
   void disable_tracing();
   [[nodiscard]] trace::Tracer* tracer() { return tracer_.get(); }
 
+  // --- profiling & coverage (harbor::prof, DESIGN.md §12) ---
+  /// Attach a cycle-attribution Profiler with every currently loaded module
+  /// registered as a region (blocks looked up via its CFG, guard sites
+  /// extracted for the active protection mode). Inserted *under* an active
+  /// tracer so the hook stack reads Cpu ▶ TracingHooks ▶ ProfilingHooks ▶
+  /// fabric. Calling again replaces the previous profiler.
+  prof::Profiler& enable_profiling(prof::ProfilerOptions opts = {});
+  void disable_profiling();
+  [[nodiscard]] prof::Profiler* profiler() { return profiler_.get(); }
+  /// Register one loaded module (by domain) with the active profiler —
+  /// for modules loaded after enable_profiling().
+  void profile_module(memmap::DomainId domain);
+
   // --- escape hatches into the stack ---
   [[nodiscard]] sos::Kernel& kernel() { return kernel_; }
   [[nodiscard]] runtime::Testbed& driver() { return kernel_.sys(); }
@@ -96,6 +110,7 @@ class System {
  private:
   sos::Kernel kernel_;
   std::unique_ptr<trace::Tracer> tracer_;
+  std::unique_ptr<prof::Profiler> profiler_;
   std::optional<FaultReport> last_fault_;
 };
 

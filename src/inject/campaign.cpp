@@ -5,6 +5,7 @@
 
 #include "asm/builder.h"
 #include "inject/oracle.h"
+#include "prof/profiler.h"
 #include "runtime/testbed.h"
 #include "sfi/rewriter.h"
 #include "sfi/verifier.h"
@@ -171,6 +172,9 @@ class SramFlipHook final : public avr::CpuHooks {
   void on_fault(const avr::FaultInfo& info) override {
     if (inner_) inner_->on_fault(info);
   }
+  void on_retire(std::uint32_t pc, int cycles) override {
+    if (inner_) inner_->on_retire(pc, cycles);
+  }
 
  private:
   avr::DataSpace& data_;
@@ -181,7 +185,7 @@ class SramFlipHook final : public avr::CpuHooks {
 };
 
 MutantRecord run_one(const Prepared& P, const CampaignConfig& cfg, int index,
-                     const Mutation& m) {
+                     const Mutation& m, prof::Profiler* profiler) {
   MutantRecord rec;
   rec.index = index;
   rec.mutation = m;
@@ -208,6 +212,10 @@ MutantRecord run_one(const Prepared& P, const CampaignConfig& cfg, int index,
   if (a.victim != P.addrs.victim || a.buf != P.addrs.buf)
     throw std::runtime_error("inject: scenario addresses are not deterministic");
 
+  // Hook stack (attach order → Cpu ▶ TracingHooks ▶ ProfilingHooks ▶ inner):
+  // the campaign-lifetime profiler wraps the fresh testbed first, the
+  // per-mutant tracer wraps it in turn, so coverage accumulates across runs.
+  if (profiler) profiler->attach(tb.device().cpu(), tb.fabric());
   trace::TracerOptions topts;
   topts.ring_capacity = 512;
   topts.flight_depth = cfg.flight_depth;
@@ -251,6 +259,7 @@ MutantRecord run_one(const Prepared& P, const CampaignConfig& cfg, int index,
     rec.outcome = Outcome::Benign;
   }
   tracer.detach();
+  if (profiler) profiler->detach();
   return rec;
 }
 
@@ -262,11 +271,31 @@ CampaignReport run(const CampaignConfig& cfg, const Prepared& P,
   rep.golden_value = P.golden_value;
   rep.golden_instructions = P.golden_instrs;
   rep.mutants.reserve(plan.size());
+
+  // One profiler for the whole campaign: coverage of the clean subject image
+  // accumulates across every mutant's fresh Testbed.
+  std::unique_ptr<prof::Profiler> profiler;
+  if (cfg.coverage) {
+    prof::ProfilerOptions popts;
+    popts.sample_interval = 0;  // campaigns want coverage, not counter tracks
+    popts.track_pcs = false;
+    profiler = std::make_unique<prof::Profiler>(popts);
+    prof::RegionSpec spec;
+    spec.name = "subject";
+    spec.domain = kSubjectDomain;
+    spec.origin = P.clean.origin;
+    spec.words = P.clean.words;
+    spec.entries = P.entries_abs;
+    spec.stubs = cfg.mode == runtime::Mode::Sfi ? &P.stubs : nullptr;
+    profiler->add_region(spec);
+  }
+
   for (std::size_t i = 0; i < plan.size(); ++i) {
-    MutantRecord rec = run_one(P, cfg, static_cast<int>(i), plan[i]);
+    MutantRecord rec = run_one(P, cfg, static_cast<int>(i), plan[i], profiler.get());
     ++rep.counts[static_cast<int>(rec.outcome)];
     rep.mutants.push_back(std::move(rec));
   }
+  if (profiler) rep.coverage = prof::summarize_coverage(*profiler, 0);
   return rep;
 }
 

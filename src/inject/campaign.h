@@ -22,12 +22,14 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "avr/hooks.h"
 #include "inject/classify.h"
 #include "inject/mutation.h"
+#include "prof/coverage.h"
 #include "runtime/runtime.h"
 
 namespace harbor::inject {
@@ -39,6 +41,9 @@ struct CampaignConfig {
   std::uint64_t cycle_budget = 100'000;  ///< watchdog per guest call
   bool weakened = false;                 ///< disable the checker (oracle self-test)
   std::size_t flight_depth = 16;         ///< flight-recorder depth for escape dumps
+  /// Accumulate a coverage map of the clean subject image across all mutant
+  /// runs (which blocks/guard sites/fault paths the campaign exercised).
+  bool coverage = false;
 };
 
 struct MutantRecord {
@@ -58,6 +63,9 @@ struct CampaignReport {
   std::uint64_t golden_instructions = 0;
   std::array<int, kOutcomeCount> counts{};
   std::vector<MutantRecord> mutants;
+  /// Present when config.coverage: the campaign-wide coverage map of the
+  /// clean subject image (blocks, guard sites, fault-handler paths).
+  std::optional<prof::CoverageSummary> coverage;
 
   [[nodiscard]] int escapes() const {
     return counts[static_cast<int>(Outcome::Escape)];

@@ -50,6 +50,24 @@ std::string report_text(const CampaignReport& r) {
                   std::string(outcome_name(o)).c_str(), r.counts[i]);
     out += line;
   }
+  if (r.coverage) {
+    const prof::CoverageSummary& c = *r.coverage;
+    out += "coverage: blocks ";
+    out += std::to_string(c.blocks_covered);
+    out += "/";
+    out += std::to_string(c.blocks_total);
+    out += ", guard sites ";
+    out += std::to_string(c.guards_covered());
+    out += "/";
+    out += std::to_string(c.guards_total());
+    for (const prof::GuardSite& g : c.uncovered_guards()) {
+      out += "\n  NEVER EXERCISED: ";
+      out += prof::guard_kind_name(g.kind);
+      out += " @+";
+      out += std::to_string(g.off);
+    }
+    out += "\n";
+  }
   for (const MutantRecord& m : r.mutants) {
     if (m.outcome != Outcome::Escape) continue;
     out += "ESCAPE mutant #";
@@ -112,7 +130,9 @@ std::string report_json(const CampaignReport& r) {
       out += '}';
     }
   }
-  out += "]}";
+  out += "]";
+  if (r.coverage) out += ",\"coverage\":" + r.coverage->to_json();
+  out += "}";
   return out;
 }
 

@@ -106,6 +106,7 @@ TrialRecord judge(FlashModel& flash, const OtaCampaignConfig& cfg, const Version
   ModuleStore store(flash, {}, tracer);
   store.set_journal_enabled(!cfg.weakened);
   const RecoveryResult rec = k.recover_store(store);
+  t.recover_state = rec.state;
 
   if (rec.state == StoreState::Watchdog) {
     t.outcome = TrialOutcome::Watchdog;
@@ -187,6 +188,20 @@ bool OtaCampaignReport::self_test_ok() const {
   return !config.weakened || count(TrialOutcome::CorruptDetected) > 0;
 }
 
+std::uint32_t OtaCampaignReport::recovery_paths_covered() const {
+  std::uint32_t n = 0;
+  for (const std::uint64_t c : recover_state_counts)
+    if (c > 0) ++n;
+  return n;
+}
+
+std::uint32_t OtaCampaignReport::outcome_paths_covered() const {
+  std::uint32_t n = 0;
+  for (const std::uint64_t c : outcome_counts)
+    if (c > 0) ++n;
+  return n;
+}
+
 OtaCampaignReport run_ota_campaign(const OtaCampaignConfig& config, trace::Tracer* tracer) {
   OtaCampaignReport report;
   report.config = config;
@@ -219,6 +234,7 @@ OtaCampaignReport run_ota_campaign(const OtaCampaignConfig& config, trace::Trace
     run_scenario(flash, config, v, cut, nullptr);
     TrialRecord t = judge(flash, config, v, gold_v1, gold_v2, cut, false, tracer);
     ++report.outcome_counts[static_cast<std::size_t>(t.outcome)];
+    ++report.recover_state_counts[static_cast<std::size_t>(t.recover_state)];
     report.trials.push_back(std::move(t));
   }
 
@@ -259,6 +275,7 @@ OtaCampaignReport run_ota_campaign(const OtaCampaignConfig& config, trace::Trace
       FlashModel f = base;
       TrialRecord t = judge(f, config, v, gold_v1, gold_v2, cut, true, tracer);
       ++report.outcome_counts[static_cast<std::size_t>(t.outcome)];
+      ++report.recover_state_counts[static_cast<std::size_t>(t.recover_state)];
       report.trials.push_back(std::move(t));
       ++report.device_flash_cuts;
     }
@@ -284,6 +301,14 @@ std::string ota_report_text(const OtaCampaignReport& r) {
            std::to_string(r.outcome_counts[i]);
   }
   out += "\n  violations: " + std::to_string(r.violations()) + "\n";
+  out += "  recovery-path coverage: " + std::to_string(r.recovery_paths_covered()) +
+         "/" + std::to_string(kStoreStateCount) + " store states (";
+  for (std::size_t i = 0; i < kStoreStateCount; ++i) {
+    if (i) out += " ";
+    out += std::string(store_state_name(static_cast<StoreState>(i))) + "=" +
+           std::to_string(r.recover_state_counts[i]);
+  }
+  out += ")\n";
   if (r.config.weakened)
     out += std::string("  weakened self-test: ") +
            (r.self_test_ok() ? "PASS (corruption is detectable)\n"
@@ -341,6 +366,28 @@ std::string ota_report_json(const OtaCampaignReport& r) {
   out += "}";
 
   j.item();
+  out += "\"coverage\":{";
+  {
+    Joiner jc(out);
+    kv(out, jc, "recovery_paths_covered",
+       static_cast<std::uint64_t>(r.recovery_paths_covered()));
+    kv(out, jc, "recovery_paths_total", static_cast<std::uint64_t>(kStoreStateCount));
+    kv(out, jc, "outcome_paths_covered",
+       static_cast<std::uint64_t>(r.outcome_paths_covered()));
+    kv(out, jc, "outcome_paths_total", static_cast<std::uint64_t>(kTrialOutcomeCount));
+    jc.item();
+    out += "\"recover_states\":{";
+    {
+      Joiner js(out);
+      for (std::size_t i = 0; i < kStoreStateCount; ++i)
+        kv(out, js, std::string(store_state_name(static_cast<StoreState>(i))),
+           r.recover_state_counts[i]);
+    }
+    out += "}";
+  }
+  out += "}";
+
+  j.item();
   out += "\"trials\":[";
   {
     Joiner ja(out);
@@ -352,6 +399,7 @@ std::string ota_report_json(const OtaCampaignReport& r) {
       jt.item();
       out += std::string("\"device\":") + (t.device_cut ? "true" : "false");
       kv(out, jt, "outcome", std::string(trial_outcome_name(t.outcome)));
+      kv(out, jt, "recovered", std::string(store_state_name(t.recover_state)));
       if (!t.detail.empty()) kv(out, jt, "detail", t.detail);
       out += "}";
     }

@@ -74,17 +74,32 @@ struct TrialRecord {
   std::uint64_t cut = 0;  ///< flash op index (store sweep) or device write index
   bool device_cut = false;
   TrialOutcome outcome = TrialOutcome::Hybrid;
+  /// StoreState the post-cut boot recovered into (coverage accounting).
+  StoreState recover_state = StoreState::Empty;
   std::string detail;
 };
+
+/// Number of StoreState values (for recovery-path coverage tallies).
+inline constexpr std::size_t kStoreStateCount =
+    static_cast<std::size_t>(StoreState::Watchdog) + 1;
 
 struct OtaCampaignReport {
   OtaCampaignConfig config;
   std::uint64_t install_ops = 0;      ///< store cut points enumerated
   std::uint32_t device_flash_cuts = 0;
   std::array<std::uint64_t, kTrialOutcomeCount> outcome_counts{};
+  /// Recovery-path coverage: trials per recovered StoreState — which of the
+  /// recovery branches (committed / corrupt / empty / watchdog) the power-cut
+  /// sweep actually exercised.
+  std::array<std::uint64_t, kStoreStateCount> recover_state_counts{};
   /// The no-cut reference transfer (under the same link faults).
   TransferResult clean_transfer;
   std::vector<TrialRecord> trials;
+
+  /// Distinct recovery states reached across all trials.
+  [[nodiscard]] std::uint32_t recovery_paths_covered() const;
+  /// Distinct trial outcomes reached across all trials.
+  [[nodiscard]] std::uint32_t outcome_paths_covered() const;
 
   [[nodiscard]] std::uint64_t count(TrialOutcome o) const {
     return outcome_counts[static_cast<std::size_t>(o)];

@@ -1,0 +1,102 @@
+#include "prof/coverage.h"
+
+#include "trace/json.h"
+
+namespace harbor::prof {
+
+namespace json = trace::json;
+
+std::uint32_t CoverageSummary::guards_covered() const {
+  std::uint32_t n = 0;
+  for (const GuardSite& g : guards)
+    if (g.hits > 0) ++n;
+  return n;
+}
+
+std::vector<GuardSite> CoverageSummary::uncovered_guards() const {
+  std::vector<GuardSite> out;
+  for (const GuardSite& g : guards)
+    if (g.hits == 0) out.push_back(g);
+  return out;
+}
+
+double CoverageSummary::guard_coverage() const {
+  if (guards.empty()) return 1.0;
+  return static_cast<double>(guards_covered()) / static_cast<double>(guards.size());
+}
+
+std::string CoverageSummary::to_json() const {
+  std::string out = "{";
+  json::Joiner j(out);
+  json::kv(out, j, "region", region);
+  json::kv(out, j, "protection", std::string(sfi ? "sfi" : "umpu"));
+  json::kv(out, j, "blocks_total", std::uint64_t{blocks_total});
+  json::kv(out, j, "blocks_covered", std::uint64_t{blocks_covered});
+  json::kv(out, j, "guards_total", std::uint64_t{guards_total()});
+  json::kv(out, j, "guards_covered", std::uint64_t{guards_covered()});
+  json::kv(out, j, "retires", retires);
+  json::kv(out, j, "cycles", cycles);
+  j.item();
+  out += "\"guards\":[";
+  {
+    json::Joiner g(out);
+    for (const GuardSite& s : guards) {
+      g.item();
+      out += "{";
+      json::Joiner f(out);
+      json::kv(out, f, "off", std::uint64_t{s.off});
+      json::kv(out, f, "kind", std::string(guard_kind_name(s.kind)));
+      json::kv(out, f, "hits", s.hits);
+      out += "}";
+    }
+  }
+  out += "]";
+  j.item();
+  out += "\"uncovered_guards\":[";
+  {
+    json::Joiner g(out);
+    for (const GuardSite& s : guards) {
+      if (s.hits != 0) continue;
+      g.item();
+      out += "{";
+      json::Joiner f(out);
+      json::kv(out, f, "off", std::uint64_t{s.off});
+      json::kv(out, f, "kind", std::string(guard_kind_name(s.kind)));
+      out += "}";
+    }
+  }
+  out += "]";
+  j.item();
+  out += "\"fault_kinds\":[";
+  {
+    json::Joiner g(out);
+    for (int k = 0; k < avr::kFaultKindCount; ++k) {
+      if (fault_counts[static_cast<std::size_t>(k)] == 0) continue;
+      g.item();
+      out += "{";
+      json::Joiner f(out);
+      json::kv(out, f, "kind",
+               std::string(avr::fault_kind_name(static_cast<avr::FaultKind>(k))));
+      json::kv(out, f, "count", fault_counts[static_cast<std::size_t>(k)]);
+      out += "}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+CoverageSummary summarize_coverage(const Profiler& p, std::uint32_t index) {
+  CoverageSummary s;
+  const Region& r = p.regions().at(index);
+  s.region = r.name;
+  s.sfi = r.sfi;
+  s.blocks_total = r.blocks_total();
+  s.blocks_covered = r.blocks_covered();
+  s.retires = r.retires;
+  s.cycles = r.cycles;
+  s.guards = r.guards;
+  s.fault_counts = p.fault_counts();
+  return s;
+}
+
+}  // namespace harbor::prof

@@ -1,0 +1,44 @@
+#pragma once
+// Campaign coverage maps: a plain-data summary of what one profiled region's
+// blocks, guard sites and fault-handler paths a campaign actually exercised,
+// detachable from the Profiler so campaign reports can carry it.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prof/profiler.h"
+
+namespace harbor::prof {
+
+struct CoverageSummary {
+  std::string region;
+  bool sfi = false;
+  std::uint32_t blocks_total = 0;    ///< reachable basic blocks
+  std::uint32_t blocks_covered = 0;  ///< reachable blocks with >= 1 retirement
+  std::uint64_t retires = 0;
+  std::uint64_t cycles = 0;
+  std::vector<GuardSite> guards;  ///< all guard sites, with hit counts
+  /// Faults raised during the campaign, by FaultKind index — which
+  /// fault-handler paths were reached.
+  std::array<std::uint64_t, avr::kFaultKindCount> fault_counts{};
+
+  [[nodiscard]] std::uint32_t guards_total() const {
+    return static_cast<std::uint32_t>(guards.size());
+  }
+  [[nodiscard]] std::uint32_t guards_covered() const;
+  [[nodiscard]] std::vector<GuardSite> uncovered_guards() const;
+  /// Covered/total as a fraction in [0,1]; 1 when there are no guards.
+  [[nodiscard]] double guard_coverage() const;
+
+  /// JSON object: region, block/guard covered-vs-total, per-site hit list,
+  /// never-exercised guards, and fault-kind counts.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Snapshot region `index` of `p` (with the profiler's accumulated fault
+/// counts) into a CoverageSummary.
+CoverageSummary summarize_coverage(const Profiler& p, std::uint32_t index);
+
+}  // namespace harbor::prof

@@ -1,0 +1,233 @@
+#include "prof/export.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "trace/json.h"
+
+namespace harbor::prof {
+
+namespace json = trace::json;
+
+namespace {
+
+std::string hex_off(std::uint32_t off) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%04x", off);
+  return buf;
+}
+
+void flame_node(std::string& out, const std::string& name, std::uint64_t value) {
+  out += "{\"name\":\"" + json::escape(name) + "\",\"value\":" + std::to_string(value);
+}
+
+}  // namespace
+
+std::string flame_json(const Profiler& p) {
+  // all → region (or "outside regions") → basic block. Values are inclusive
+  // cycles; children always sum to their parent, so the hierarchy loads
+  // directly into d3-flame-graph / speedscope.
+  std::string out;
+  flame_node(out, "all", p.attributed_cycles());
+  out += ",\"children\":[";
+  json::Joiner regions(out);
+  std::uint64_t in_regions = 0;
+  for (const Region& r : p.regions()) {
+    in_regions += r.cycles;
+    regions.item();
+    flame_node(out, r.name, r.cycles);
+    out += ",\"children\":[";
+    json::Joiner blocks(out);
+    std::uint64_t in_blocks = 0;
+    const auto& bbs = r.cfg.blocks();
+    for (std::size_t b = 0; b < bbs.size(); ++b) {
+      if (r.block_cycles[b] == 0) continue;
+      in_blocks += r.block_cycles[b];
+      blocks.item();
+      flame_node(out, "bb@" + hex_off(bbs[b].start_off), r.block_cycles[b]);
+      out += "}";
+    }
+    // Retirements at non-boundary offsets (mutated images) stay attributable.
+    if (r.cycles > in_blocks) {
+      blocks.item();
+      flame_node(out, "(off-cfg)", r.cycles - in_blocks);
+      out += "}";
+    }
+    out += "]}";
+  }
+  if (p.attributed_cycles() > in_regions) {
+    regions.item();
+    flame_node(out, "(outside regions)", p.attributed_cycles() - in_regions);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<trace::CounterTrack> domain_counter_tracks(const Profiler& p) {
+  std::vector<trace::CounterTrack> tracks;
+  for (int d = 0; d < 8; ++d) {
+    if (p.instr_in_domain()[static_cast<std::size_t>(d)] == 0) continue;
+    trace::CounterTrack t;
+    t.name = "prof cycles domain " + std::to_string(d);
+    std::uint64_t prev = 0;
+    for (const DomainSample& s : p.samples()) {
+      const std::uint64_t cum = s.cycles_in_domain[static_cast<std::size_t>(d)];
+      t.samples.emplace_back(s.cycle, static_cast<double>(cum - prev));
+      prev = cum;
+    }
+    if (!t.samples.empty()) tracks.push_back(std::move(t));
+  }
+  return tracks;
+}
+
+std::string profile_json(const Profiler& p, const std::string& mode) {
+  std::string out = "{";
+  json::Joiner j(out);
+  json::kv(out, j, "schema", std::string("harbor-prof-report-v1"));
+  json::kv(out, j, "mode", mode);
+
+  const std::uint64_t window = p.window_cycles();
+  const std::uint64_t attributed = p.attributed_cycles();
+  const double err_pct =
+      window ? 100.0 *
+                   static_cast<double>(window > attributed ? window - attributed
+                                                           : attributed - window) /
+                   static_cast<double>(window)
+             : 0.0;
+  j.item();
+  out += "\"totals\":{";
+  {
+    json::Joiner t(out);
+    json::kv(out, t, "window_cycles", window);
+    json::kv(out, t, "attributed_cycles", attributed);
+    json::kv(out, t, "attribution_error_pct", err_pct);
+    json::kv(out, t, "instructions", p.retires());
+    json::kv(out, t, "instr_cycles_p50", p.retire_cost().percentile(0.50));
+    json::kv(out, t, "instr_cycles_p90", p.retire_cost().percentile(0.90));
+    json::kv(out, t, "instr_cycles_p99", p.retire_cost().percentile(0.99));
+  }
+  out += "}";
+
+  j.item();
+  out += "\"domains\":[";
+  {
+    json::Joiner d(out);
+    for (int i = 0; i < 8; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (p.instr_in_domain()[idx] == 0 && p.cycles_in_domain()[idx] == 0) continue;
+      d.item();
+      out += "{";
+      json::Joiner f(out);
+      json::kv(out, f, "domain", i);
+      json::kv(out, f, "cycles", p.cycles_in_domain()[idx]);
+      json::kv(out, f, "instructions", p.instr_in_domain()[idx]);
+      json::kv(out, f, "share_pct",
+               attributed ? 100.0 * static_cast<double>(p.cycles_in_domain()[idx]) /
+                                static_cast<double>(attributed)
+                          : 0.0);
+      out += "}";
+    }
+  }
+  out += "]";
+
+  j.item();
+  out += "\"regions\":[";
+  {
+    json::Joiner rj(out);
+    for (const Region& r : p.regions()) {
+      rj.item();
+      out += "{";
+      json::Joiner f(out);
+      json::kv(out, f, "name", r.name);
+      json::kv(out, f, "domain", int{r.domain});
+      json::kv(out, f, "origin", std::uint64_t{r.origin});
+      json::kv(out, f, "size", std::uint64_t{r.size});
+      json::kv(out, f, "protection", std::string(r.sfi ? "sfi" : "umpu"));
+      json::kv(out, f, "cycles", r.cycles);
+      json::kv(out, f, "instructions", r.retires);
+      json::kv(out, f, "blocks_total", std::uint64_t{r.blocks_total()});
+      json::kv(out, f, "blocks_covered", std::uint64_t{r.blocks_covered()});
+      json::kv(out, f, "guards_total", std::uint64_t{r.guards.size()});
+      json::kv(out, f, "guards_covered", std::uint64_t{r.guards_covered()});
+      f.item();
+      out += "\"guards\":[";
+      {
+        json::Joiner g(out);
+        for (const GuardSite& s : r.guards) {
+          g.item();
+          out += "{";
+          json::Joiner gf(out);
+          json::kv(out, gf, "off", std::uint64_t{s.off});
+          json::kv(out, gf, "kind", std::string(guard_kind_name(s.kind)));
+          json::kv(out, gf, "hits", s.hits);
+          out += "}";
+        }
+      }
+      out += "]";
+      f.item();
+      out += "\"uncovered_guards\":[";
+      {
+        json::Joiner g(out);
+        for (const GuardSite* s : r.uncovered_guards()) {
+          g.item();
+          out += "{";
+          json::Joiner gf(out);
+          json::kv(out, gf, "off", std::uint64_t{s->off});
+          json::kv(out, gf, "kind", std::string(guard_kind_name(s->kind)));
+          out += "}";
+        }
+      }
+      out += "]}";
+    }
+  }
+  out += "]";
+
+  j.item();
+  out += "\"fault_kinds\":[";
+  {
+    json::Joiner fj(out);
+    for (int k = 0; k < avr::kFaultKindCount; ++k) {
+      const auto n = p.fault_counts()[static_cast<std::size_t>(k)];
+      if (n == 0) continue;
+      fj.item();
+      out += "{";
+      json::Joiner f(out);
+      json::kv(out, f, "kind",
+               std::string(avr::fault_kind_name(static_cast<avr::FaultKind>(k))));
+      json::kv(out, f, "count", n);
+      out += "}";
+    }
+  }
+  out += "]";
+
+  j.item();
+  out += "\"top_pcs\":[";
+  {
+    std::vector<std::pair<std::uint32_t, PcStat>> top(p.pc_stats().begin(),
+                                                      p.pc_stats().end());
+    std::sort(top.begin(), top.end(), [](const auto& a, const auto& b) {
+      if (a.second.cycles != b.second.cycles) return a.second.cycles > b.second.cycles;
+      return a.first < b.first;
+    });
+    if (top.size() > 16) top.resize(16);
+    json::Joiner tj(out);
+    for (const auto& [pc, stat] : top) {
+      tj.item();
+      out += "{";
+      json::Joiner f(out);
+      json::kv(out, f, "pc", std::uint64_t{pc});
+      json::kv(out, f, "cycles", stat.cycles);
+      json::kv(out, f, "retires", stat.retires);
+      out += "}";
+    }
+  }
+  out += "]";
+
+  j.item();
+  out += "\"flame\":" + flame_json(p);
+  out += "}";
+  return out;
+}
+
+}  // namespace harbor::prof

@@ -1,0 +1,30 @@
+#pragma once
+// Exporters for harbor::prof (DESIGN.md §12):
+//
+//   - profile_json: the harbor-prof-report-v1 document — attribution totals
+//     (with the window-vs-attributed error the CI gate asserts on), per-
+//     domain and per-region breakdowns, guard-site coverage, fault-kind
+//     counts, top PCs, latency percentiles, and the flame tree.
+//   - flame_json: just the d3-flame-graph {name, value, children} hierarchy
+//     (all → region → basic block).
+//   - domain_counter_tracks: cycles/domain-over-time as trace::CounterTrack
+//     samples, rendered to Perfetto JSON by trace::perfetto_counters_json.
+
+#include <string>
+#include <vector>
+
+#include "prof/profiler.h"
+#include "trace/export.h"
+
+namespace harbor::prof {
+
+std::string profile_json(const Profiler& p, const std::string& mode);
+
+std::string flame_json(const Profiler& p);
+
+/// One track per domain that executed at least one instruction, each sample
+/// holding the cycles spent in that domain during the preceding sample
+/// window (so the viewer shows where time goes over time).
+std::vector<trace::CounterTrack> domain_counter_tracks(const Profiler& p);
+
+}  // namespace harbor::prof

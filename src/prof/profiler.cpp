@@ -1,0 +1,205 @@
+#include "prof/profiler.h"
+
+namespace harbor::prof {
+
+const char* guard_kind_name(GuardKind k) {
+  switch (k) {
+    case GuardKind::SfiStoreStub: return "sfi-store-stub";
+    case GuardKind::SfiSaveRet: return "sfi-save-ret";
+    case GuardKind::SfiRestoreRet: return "sfi-restore-ret";
+    case GuardKind::SfiCrossCall: return "sfi-cross-call";
+    case GuardKind::SfiIcallCheck: return "sfi-icall-check";
+    case GuardKind::SfiIjmpCheck: return "sfi-ijmp-check";
+    case GuardKind::UmpuStore: return "umpu-store-check";
+    case GuardKind::UmpuCall: return "umpu-call-check";
+    case GuardKind::UmpuComputed: return "umpu-computed-check";
+    case GuardKind::UmpuReturn: return "umpu-return-check";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Absolute word target of a direct transfer, or nullopt for everything else.
+std::optional<std::uint32_t> direct_target(const analysis::InstrAt& ia, std::uint32_t origin) {
+  switch (ia.ins.op) {
+    case avr::Mnemonic::Jmp:
+    case avr::Mnemonic::Call:
+      return ia.ins.k32;
+    case avr::Mnemonic::Rjmp:
+    case avr::Mnemonic::Rcall:
+      return origin + ia.off + 1 + static_cast<std::int32_t>(ia.ins.k);
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Guard class of one instruction in an SFI-rewritten image: the check
+/// sequences are calls/jumps into the trusted runtime's stub table, so
+/// classification is by transfer target.
+std::optional<GuardKind> sfi_guard(const analysis::InstrAt& ia, std::uint32_t origin,
+                                   const sfi::StubTable& stubs) {
+  const auto target = direct_target(ia, origin);
+  if (!target) return std::nullopt;
+  if (stubs.is_store_stub(*target)) return GuardKind::SfiStoreStub;
+  if (*target == stubs.save_ret) return GuardKind::SfiSaveRet;
+  if (*target == stubs.restore_ret) return GuardKind::SfiRestoreRet;
+  if (*target == stubs.cross_call || stubs.in_jump_table(*target))
+    return GuardKind::SfiCrossCall;
+  if (*target == stubs.icall_check) return GuardKind::SfiIcallCheck;
+  if (*target == stubs.ijmp_check) return GuardKind::SfiIjmpCheck;
+  return std::nullopt;
+}
+
+/// Guard class of one instruction under UMPU hardware protection: the check
+/// points are the instruction forms the bus/flow units intercept.
+std::optional<GuardKind> umpu_guard(const analysis::InstrAt& ia) {
+  const avr::Mnemonic op = ia.ins.op;
+  if (avr::is_data_store(op) || op == avr::Mnemonic::Push) return GuardKind::UmpuStore;
+  if (op == avr::Mnemonic::Call || op == avr::Mnemonic::Rcall) return GuardKind::UmpuCall;
+  if (op == avr::Mnemonic::Icall || op == avr::Mnemonic::Ijmp)
+    return GuardKind::UmpuComputed;
+  if (avr::is_return(op)) return GuardKind::UmpuReturn;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::uint32_t Region::blocks_total() const {
+  return cfg.reachable_blocks();
+}
+
+std::uint32_t Region::blocks_covered() const {
+  std::uint32_t n = 0;
+  const auto& blocks = cfg.blocks();
+  for (std::size_t b = 0; b < blocks.size(); ++b)
+    if (blocks[b].reachable && block_retires[b] > 0) ++n;
+  return n;
+}
+
+std::uint32_t Region::guards_covered() const {
+  std::uint32_t n = 0;
+  for (const GuardSite& g : guards)
+    if (g.hits > 0) ++n;
+  return n;
+}
+
+std::vector<const GuardSite*> Region::uncovered_guards() const {
+  std::vector<const GuardSite*> out;
+  for (const GuardSite& g : guards)
+    if (g.hits == 0) out.push_back(&g);
+  return out;
+}
+
+std::uint32_t Profiler::add_region(const RegionSpec& spec) {
+  Region r;
+  r.name = spec.name;
+  r.domain = spec.domain;
+  r.origin = spec.origin;
+  r.size = static_cast<std::uint32_t>(spec.words.size());
+  r.sfi = spec.stubs != nullptr;
+  const sfi::StubTable empty{};
+  r.cfg = analysis::Cfg::build(spec.words, spec.origin, spec.entries,
+                               spec.stubs ? *spec.stubs : empty);
+  r.block_cycles.assign(r.cfg.blocks().size(), 0);
+  r.block_retires.assign(r.cfg.blocks().size(), 0);
+  r.off_to_guard_.assign(r.size, -1);
+  for (const analysis::InstrAt& ia : r.cfg.instructions()) {
+    const auto kind = spec.stubs ? sfi_guard(ia, spec.origin, *spec.stubs) : umpu_guard(ia);
+    if (!kind) continue;
+    r.off_to_guard_[ia.off] = static_cast<std::int32_t>(r.guards.size());
+    r.guards.push_back(GuardSite{ia.off, *kind, 0});
+  }
+  regions_.push_back(std::move(r));
+  return static_cast<std::uint32_t>(regions_.size() - 1);
+}
+
+void Profiler::attach(avr::Cpu& cpu, umpu::Fabric* fabric) {
+  detach();
+  cpu_ = &cpu;
+  fabric_ = fabric;
+  hooks_.set_inner(cpu.hooks());
+  cpu.set_hooks(&hooks_);
+  attach_cycle_ = cpu.cycle_count();
+  last_cycle_ = attach_cycle_;
+  last_sample_ = attach_cycle_;
+}
+
+void Profiler::detach() {
+  if (!cpu_) return;
+  if (cpu_->hooks() == &hooks_) cpu_->set_hooks(hooks_.inner());
+  closed_windows_ += cpu_->cycle_count() - attach_cycle_;
+  cpu_ = nullptr;
+  fabric_ = nullptr;
+}
+
+std::uint64_t Profiler::window_cycles() const {
+  return closed_windows_ + (cpu_ ? cpu_->cycle_count() - attach_cycle_ : 0);
+}
+
+Region* Profiler::region_of(std::uint32_t pc) {
+  for (Region& r : regions_)
+    if (pc >= r.origin && pc < r.origin + r.size) return &r;
+  return nullptr;
+}
+
+void Profiler::note_retire(std::uint32_t pc, int /*cycles*/) {
+  // Charge the full cycle delta since the previous retirement rather than
+  // the instruction's own cost: that folds interrupt-entry cycles (which the
+  // core accrues between retirements) into the adjacent instruction, so the
+  // per-PC / per-domain / per-block sums reproduce the window exactly.
+  const std::uint64_t now = cpu_->cycle_count();
+  const std::uint64_t delta = now - last_cycle_;
+  last_cycle_ = now;
+  attributed_cycles_ += delta;
+  ++retires_;
+  retire_cost_.record(delta);
+
+  Region* r = region_of(pc);
+  const std::uint8_t dom =
+      fabric_ ? static_cast<std::uint8_t>(fabric_->current_domain() & 7)
+              : (r ? static_cast<std::uint8_t>(r->domain & 7) : avr::ports::kTrustedDomain);
+  cycles_in_domain_[dom] += delta;
+  ++instr_in_domain_[dom];
+
+  if (opts_.track_pcs) {
+    PcStat& s = pc_stats_[pc];
+    s.cycles += delta;
+    ++s.retires;
+  }
+
+  if (r) {
+    r->cycles += delta;
+    ++r->retires;
+    const std::uint32_t off = pc - r->origin;
+    if (const auto idx = r->cfg.instr_at(off)) {
+      const std::uint32_t b = r->cfg.block_of_instr(*idx);
+      r->block_cycles[b] += delta;
+      ++r->block_retires[b];
+    }
+    if (off < r->off_to_guard_.size() && r->off_to_guard_[off] >= 0)
+      ++r->guards[static_cast<std::size_t>(r->off_to_guard_[off])].hits;
+  }
+
+  if (opts_.sample_interval && now - last_sample_ >= opts_.sample_interval) {
+    samples_.push_back(DomainSample{now, cycles_in_domain_});
+    last_sample_ = now;
+  }
+}
+
+void Profiler::note_fault(const avr::FaultInfo& info) {
+  const int k = static_cast<int>(info.kind);
+  if (k >= 0 && k < avr::kFaultKindCount) ++fault_counts_[static_cast<std::size_t>(k)];
+}
+
+void ProfilingHooks::on_fault(const avr::FaultInfo& info) {
+  if (inner_) inner_->on_fault(info);
+  profiler_.note_fault(info);
+}
+
+void ProfilingHooks::on_retire(std::uint32_t pc, int cycles) {
+  if (inner_) inner_->on_retire(pc, cycles);
+  profiler_.note_retire(pc, cycles);
+}
+
+}  // namespace harbor::prof

@@ -1,0 +1,240 @@
+#pragma once
+// harbor::prof — cycle-attribution profiler and coverage-map substrate.
+//
+// A Profiler owns a ProfilingHooks decorator interposed on the core's
+// CpuHooks chain exactly like trace::TracingHooks:
+//
+//     Cpu ──▶ TracingHooks ──▶ ProfilingHooks ──▶ umpu::Fabric (or nothing)
+//
+// (stack order is attach order: whoever attaches last sits closest to the
+// core; detach in LIFO order). The decorator forwards every callback to the
+// inner sink unchanged, so a profiled run is cycle-identical to an
+// unprofiled one, and the stock core pays nothing while detached — attach()
+// swaps the hook pointer, detach() restores it.
+//
+// Attribution rides on CpuHooks::on_retire: for each retired instruction the
+// profiler charges the cycles elapsed since the previous retirement (which
+// folds interrupt-entry costs into the adjacent instruction) to the retiring
+// PC, to the domain that executed it, and — when the PC falls inside a
+// registered region — to the region's basic block (via an analysis::Cfg
+// built at registration time). Summing any one of those three views
+// reproduces the profiled cycle window exactly, which is what lets
+// harbor-prof assert per-domain attribution against Cpu::cycle_count().
+//
+// Regions double as coverage maps: registration extracts the image's guard
+// sites — the SFI check sequences (calls/jumps into the trusted runtime's
+// stub table) or the UMPU hardware check points (stores, calls, computed
+// transfers, returns) — and every retirement marks blocks and guard sites
+// hit. Campaigns keep one Profiler across many Testbed instances
+// (attach/detach per run) to accumulate which guards a whole mutation or
+// power-cut campaign actually exercised.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "avr/cpu.h"
+#include "avr/hooks.h"
+#include "sfi/stub_table.h"
+#include "trace/metrics.h"
+#include "umpu/fabric.h"
+
+namespace harbor::prof {
+
+/// Classes of protection check sites recognisable in a module image.
+/// Sfi* sites are the rewriter-inserted check sequences (software guards);
+/// Umpu* sites are the instruction forms the hardware units intercept.
+enum class GuardKind : std::uint8_t {
+  SfiStoreStub,    ///< call into a harbor_st_* store-checker stub
+  SfiSaveRet,      ///< call harbor_save_ret prologue
+  SfiRestoreRet,   ///< jmp harbor_restore_ret epilogue
+  SfiCrossCall,    ///< call harbor_cross_call / into the jump table
+  SfiIcallCheck,   ///< call harbor_icall_check
+  SfiIjmpCheck,    ///< jmp harbor_ijmp_check
+  UmpuStore,       ///< st/std/sts/push — memory-map + stack-bound check
+  UmpuCall,        ///< call/rcall — cross-domain call check
+  UmpuComputed,    ///< icall/ijmp — run-time jump-table check
+  UmpuReturn,      ///< ret/reti — safe-stack return check
+};
+
+const char* guard_kind_name(GuardKind k);
+
+/// One guard site inside a region, with its campaign-accumulated hit count.
+struct GuardSite {
+  std::uint32_t off = 0;  ///< module-relative word offset
+  GuardKind kind = GuardKind::UmpuStore;
+  std::uint64_t hits = 0;
+};
+
+/// A code region to attribute and cover. `stubs` non-null marks the image as
+/// SFI-rewritten (guard sites are stub call sequences); null means the image
+/// runs under hardware (or no) protection and guards are the checked
+/// instruction forms themselves.
+struct RegionSpec {
+  std::string name;
+  std::uint8_t domain = 0;
+  std::uint32_t origin = 0;  ///< absolute word address the image is loaded at
+  std::vector<std::uint16_t> words;
+  std::vector<std::uint32_t> entries;  ///< absolute entry-point addresses
+  const sfi::StubTable* stubs = nullptr;
+};
+
+struct Region {
+  std::string name;
+  std::uint8_t domain = 0;
+  std::uint32_t origin = 0;
+  std::uint32_t size = 0;  ///< words
+  bool sfi = false;
+  analysis::Cfg cfg;
+  std::vector<GuardSite> guards;
+  std::vector<std::uint64_t> block_cycles;   ///< by block index
+  std::vector<std::uint64_t> block_retires;  ///< by block index
+  std::uint64_t cycles = 0;
+  std::uint64_t retires = 0;
+
+  [[nodiscard]] std::uint32_t blocks_total() const;    ///< reachable blocks
+  [[nodiscard]] std::uint32_t blocks_covered() const;  ///< reachable + executed
+  [[nodiscard]] std::uint32_t guards_covered() const;
+  [[nodiscard]] std::vector<const GuardSite*> uncovered_guards() const;
+
+ private:
+  friend class Profiler;
+  std::vector<std::int32_t> off_to_guard_;  ///< word offset -> guard idx or -1
+};
+
+struct ProfilerOptions {
+  /// Cycles between per-domain counter-track samples (0 disables sampling).
+  std::uint64_t sample_interval = 4096;
+  /// Keep the per-PC cycle map (the flame/top views need it; campaigns that
+  /// only want coverage can turn it off).
+  bool track_pcs = true;
+};
+
+class Profiler;
+
+/// Pass-through CpuHooks decorator (same contract as trace::TracingHooks):
+/// forwards every callback to the inner sink unchanged and feeds retirements
+/// and faults to the owning Profiler. Decisions are never altered.
+class ProfilingHooks final : public avr::CpuHooks {
+ public:
+  explicit ProfilingHooks(Profiler& profiler) : profiler_(profiler) {}
+
+  void set_inner(avr::CpuHooks* inner) { inner_ = inner; }
+  [[nodiscard]] avr::CpuHooks* inner() const { return inner_; }
+
+  avr::WriteDecision on_write(std::uint16_t addr, std::uint8_t value,
+                              avr::WriteKind kind) override {
+    return inner_ ? inner_->on_write(addr, value, kind) : avr::WriteDecision::allow();
+  }
+  avr::ReadDecision on_read(std::uint16_t addr, avr::ReadKind kind) override {
+    return inner_ ? inner_->on_read(addr, kind) : avr::ReadDecision{};
+  }
+  avr::FlowDecision on_flow(avr::FlowKind kind, std::uint32_t target,
+                            std::uint32_t ret_addr) override {
+    return inner_ ? inner_->on_flow(kind, target, ret_addr) : avr::FlowDecision::normal();
+  }
+  avr::FaultKind on_fetch(std::uint32_t pc) override {
+    return inner_ ? inner_->on_fetch(pc) : avr::FaultKind::None;
+  }
+  avr::FaultKind on_spm(std::uint32_t z) override {
+    return inner_ ? inner_->on_spm(z) : avr::FaultKind::None;
+  }
+  void on_fault(const avr::FaultInfo& info) override;
+  void on_retire(std::uint32_t pc, int cycles) override;
+
+ private:
+  Profiler& profiler_;
+  avr::CpuHooks* inner_ = nullptr;
+};
+
+/// Per-PC attribution cell.
+struct PcStat {
+  std::uint64_t cycles = 0;
+  std::uint64_t retires = 0;
+};
+
+/// One cumulative per-domain cycle snapshot (counter-track sample).
+struct DomainSample {
+  std::uint64_t cycle = 0;
+  std::array<std::uint64_t, 8> cycles_in_domain{};
+};
+
+class Profiler {
+ public:
+  explicit Profiler(ProfilerOptions opts = {}) : opts_(opts), hooks_(*this) {}
+
+  /// Register a region before (or between) attach windows. Builds the CFG
+  /// and extracts guard sites. Returns the region index.
+  std::uint32_t add_region(const RegionSpec& spec);
+
+  /// Interpose on `cpu`'s hook chain, wrapping whatever sink is currently
+  /// installed. Counters accumulate across attach/detach windows, so one
+  /// Profiler can cover a whole campaign of fresh Testbeds.
+  void attach(avr::Cpu& cpu, umpu::Fabric* fabric = nullptr);
+
+  /// Restore the original hook sink and close the cycle window. Safe to call
+  /// when not attached.
+  void detach();
+  [[nodiscard]] bool attached() const { return cpu_ != nullptr; }
+
+  // --- accumulated results ---
+  /// Cycles elapsed on the core while the profiler was attached.
+  [[nodiscard]] std::uint64_t window_cycles() const;
+  /// Cycles charged to retirements (== per-domain and per-PC sums).
+  [[nodiscard]] std::uint64_t attributed_cycles() const { return attributed_cycles_; }
+  [[nodiscard]] std::uint64_t retires() const { return retires_; }
+  [[nodiscard]] const std::array<std::uint64_t, 8>& cycles_in_domain() const {
+    return cycles_in_domain_;
+  }
+  [[nodiscard]] const std::array<std::uint64_t, 8>& instr_in_domain() const {
+    return instr_in_domain_;
+  }
+  [[nodiscard]] const std::unordered_map<std::uint32_t, PcStat>& pc_stats() const {
+    return pc_stats_;
+  }
+  [[nodiscard]] const std::vector<Region>& regions() const { return regions_; }
+  [[nodiscard]] const std::vector<DomainSample>& samples() const { return samples_; }
+  /// Per-retirement cycle-cost distribution (percentile() gives the latency
+  /// summary lines in harbor-prof).
+  [[nodiscard]] const trace::Histogram& retire_cost() const { return retire_cost_; }
+  /// Faults observed while attached, by FaultKind index — the campaign's
+  /// fault-handler path coverage.
+  [[nodiscard]] const std::array<std::uint64_t, avr::kFaultKindCount>& fault_counts() const {
+    return fault_counts_;
+  }
+  [[nodiscard]] const ProfilerOptions& options() const { return opts_; }
+
+ private:
+  friend class ProfilingHooks;
+
+  void note_retire(std::uint32_t pc, int cycles);
+  void note_fault(const avr::FaultInfo& info);
+  [[nodiscard]] Region* region_of(std::uint32_t pc);
+
+  ProfilerOptions opts_;
+  ProfilingHooks hooks_;
+
+  avr::Cpu* cpu_ = nullptr;
+  umpu::Fabric* fabric_ = nullptr;
+
+  std::uint64_t attach_cycle_ = 0;    ///< cycle_count at attach
+  std::uint64_t last_cycle_ = 0;      ///< cycle_count at previous retirement
+  std::uint64_t closed_windows_ = 0;  ///< cycles from already-detached windows
+  std::uint64_t last_sample_ = 0;
+
+  std::uint64_t attributed_cycles_ = 0;
+  std::uint64_t retires_ = 0;
+  std::array<std::uint64_t, 8> cycles_in_domain_{};
+  std::array<std::uint64_t, 8> instr_in_domain_{};
+  std::unordered_map<std::uint32_t, PcStat> pc_stats_;
+  std::vector<Region> regions_;
+  std::vector<DomainSample> samples_;
+  trace::Histogram retire_cost_;
+  std::array<std::uint64_t, avr::kFaultKindCount> fault_counts_{};
+};
+
+}  // namespace harbor::prof

@@ -198,6 +198,19 @@ std::string perfetto_json(const Tracer& tracer) {
 
 std::string metrics_json(Tracer& tracer) { return tracer.metrics().to_json(); }
 
+std::string perfetto_counters_json(const std::vector<CounterTrack>& tracks) {
+  std::string out = "{\"traceEvents\":[";
+  json::Joiner ev(out);
+  for (const CounterTrack& t : tracks) {
+    for (const auto& [cycle, value] : t.samples) {
+      begin_event(out, ev, "C", 0, cycle, t.name);
+      out += ",\"args\":{\"value\":" + json::number(value) + "}}";
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
 std::string trace_vcd(const Tracer& tracer) {
   avr::VcdWriter vcd;
   const int sig_dom = vcd.add_signal("cur_domain", 3);

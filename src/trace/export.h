@@ -14,6 +14,7 @@
 //     recorder, with one line of disassembly per PC-bearing event.
 
 #include <string>
+#include <vector>
 
 #include "avr/memory.h"
 #include "trace/tracer.h"
@@ -21,6 +22,19 @@
 namespace harbor::trace {
 
 std::string perfetto_json(const Tracer& tracer);
+
+/// One named Perfetto counter track: (cycle, value) samples rendered as a
+/// "C" event series. Used by the profiler for cycles/domain-over-time and
+/// available to any other producer of sampled scalars.
+struct CounterTrack {
+  std::string name;
+  std::vector<std::pair<std::uint64_t, double>> samples;  ///< (cycle, value)
+};
+
+/// Standalone Perfetto trace-event JSON containing only counter tracks
+/// (loadable in ui.perfetto.dev on its own or merged with perfetto_json
+/// output — both use pid 1 and cycle timestamps).
+std::string perfetto_counters_json(const std::vector<CounterTrack>& tracks);
 
 std::string metrics_json(Tracer& tracer);
 

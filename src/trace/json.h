@@ -61,11 +61,14 @@ inline void kv(std::string& out, Joiner& j, const std::string& key, std::int64_t
 inline void kv(std::string& out, Joiner& j, const std::string& key, int v) {
   kv(out, j, key, static_cast<std::int64_t>(v));
 }
-inline void kv(std::string& out, Joiner& j, const std::string& key, double v) {
-  j.item();
+inline std::string number(double v) {
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.6g", v);
-  out += '"' + escape(key) + "\":" + buf;
+  return buf;
+}
+inline void kv(std::string& out, Joiner& j, const std::string& key, double v) {
+  j.item();
+  out += '"' + escape(key) + "\":" + number(v);
 }
 
 }  // namespace harbor::trace::json

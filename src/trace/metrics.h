@@ -28,12 +28,39 @@ struct Histogram {
     sum += v;
     if (v < min) min = v;
     if (v > max) max = v;
+    // Values at or beyond 2^(kBuckets-2) clamp into the open-ended last
+    // bucket — nothing is ever dropped, so sum(buckets) == count holds.
     std::size_t b = 0;
     while (b + 1 < kBuckets && (1ull << b) <= v) ++b;
     ++buckets[b];
   }
 
   [[nodiscard]] double mean() const { return count ? double(sum) / double(count) : 0.0; }
+
+  /// Approximate q-quantile (q in [0,1]) from the bucket boundaries: the
+  /// upper bound of the bucket where the cumulative count crosses q*count,
+  /// clamped to the observed [min, max] range. Exact for bucket 0 (v == 0);
+  /// elsewhere accurate to within the 2x bucket width. Returns 0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double q) const {
+    if (count == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(count) + 0.5);
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      cum += buckets[b];
+      if (cum >= target) {
+        if (b == 0) return min;  // bucket 0 holds only v == 0
+        std::uint64_t upper = (b + 1 < kBuckets) ? (1ull << b) - 1
+                                                 : max;  // open-ended tail
+        if (upper > max) upper = max;
+        if (upper < min) upper = min;
+        return upper;
+      }
+    }
+    return max;
+  }
 };
 
 class Metrics {

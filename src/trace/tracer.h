@@ -60,6 +60,9 @@ class TracingHooks final : public avr::CpuHooks {
   avr::FaultKind on_fetch(std::uint32_t pc) override;
   avr::FaultKind on_spm(std::uint32_t z_byte_addr) override;
   void on_fault(const avr::FaultInfo& info) override;
+  void on_retire(std::uint32_t pc, int cycles) override {
+    if (inner_) inner_->on_retire(pc, cycles);
+  }
 
  private:
   Tracer& tracer_;

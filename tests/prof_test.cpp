@@ -1,0 +1,284 @@
+// harbor::prof tests: profiling pass-through equivalence (a profiled run is
+// cycle-identical to an unprofiled one and detach restores the hook chain),
+// exact attribution (per-domain and per-PC cycles sum to the observation
+// window), guard-site extraction and coverage (a never-called check site is
+// reported uncovered), the coverage summary, histogram clamp/percentile
+// behaviour used by the profiler's latency summaries, and report export.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "asm/builder.h"
+#include "avr/ports.h"
+#include "prof/coverage.h"
+#include "prof/export.h"
+#include "prof/profiler.h"
+#include "runtime/testbed.h"
+#include "sfi/rewriter.h"
+#include "sfi/stub_table.h"
+#include "trace/metrics.h"
+
+namespace {
+
+using namespace harbor;
+using namespace harbor::assembler;
+using namespace harbor::runtime;
+
+/// One store into the address passed in r24:r25, from a module in `domain`.
+assembler::Program store_module(std::uint32_t origin) {
+  Assembler a;
+  a.movw(r26, r24);
+  a.ldi(r18, 0x5a);
+  a.st_x(r18);
+  a.ret();
+  assembler::Program p;
+  p.origin = origin;
+  p.words = a.assemble().words;
+  return p;
+}
+
+/// Two independent entry points, each ending in a store + ret. Entry B sits
+/// after entry A and is only reached when explicitly called.
+struct TwoEntryProgram {
+  assembler::Program program;
+  std::uint32_t entry_a = 0;  ///< absolute word address
+  std::uint32_t entry_b = 0;
+};
+
+TwoEntryProgram two_entry_module(std::uint32_t origin) {
+  Assembler a;
+  // entry A at +0
+  a.movw(r26, r24);
+  a.ldi(r18, 0x11);
+  a.st_x(r18);
+  a.ret();
+  const std::uint32_t b_off = a.here();
+  // entry B — never called by the test
+  a.movw(r26, r24);
+  a.ldi(r18, 0x22);
+  a.st_x(r18);
+  a.ret();
+  TwoEntryProgram out;
+  out.program.origin = origin;
+  out.program.words = a.assemble().words;
+  out.entry_a = origin;
+  out.entry_b = origin + b_off;
+  return out;
+}
+
+// --- Pass-through equivalence -------------------------------------------
+
+TEST(ProfilingHooks, ProfiledRunIsCycleIdenticalToUnprofiled) {
+  CallResult plain, profiled;
+  {
+    Testbed tb(Mode::Umpu);
+    const std::uint16_t buf = tb.malloc(16, 1).value;
+    const auto p = store_module(tb.module_area());
+    tb.load_module_image(p, 1);
+    plain = tb.call_module(p.origin, 1, buf);
+  }
+  {
+    Testbed tb(Mode::Umpu);
+    prof::Profiler profiler;
+    profiler.attach(tb.device().cpu(), tb.fabric());
+    const std::uint16_t buf = tb.malloc(16, 1).value;
+    const auto p = store_module(tb.module_area());
+    tb.load_module_image(p, 1);
+    profiled = tb.call_module(p.origin, 1, buf);
+  }
+  ASSERT_FALSE(plain.faulted);
+  ASSERT_FALSE(profiled.faulted);
+  EXPECT_EQ(profiled.cycles, plain.cycles);
+  EXPECT_EQ(profiled.value, plain.value);
+}
+
+TEST(ProfilingHooks, DetachRestoresTheOriginalHookChain) {
+  Testbed tb(Mode::Umpu);
+  avr::CpuHooks* before = tb.device().cpu().hooks();
+  ASSERT_NE(before, nullptr);  // the fabric
+  {
+    prof::Profiler profiler;
+    profiler.attach(tb.device().cpu(), tb.fabric());
+    EXPECT_NE(tb.device().cpu().hooks(), before);
+    EXPECT_TRUE(profiler.attached());
+    profiler.detach();
+    EXPECT_EQ(tb.device().cpu().hooks(), before);
+    EXPECT_FALSE(profiler.attached());
+  }
+  const std::uint16_t buf = tb.malloc(16, 1).value;
+  const auto p = store_module(tb.module_area());
+  tb.load_module_image(p, 1);
+  EXPECT_FALSE(tb.call_module(p.origin, 1, buf).faulted);
+}
+
+// --- Exact attribution ---------------------------------------------------
+
+TEST(Profiler, AttributionSumsExactlyToTheWindow) {
+  Testbed tb(Mode::Umpu);
+  prof::Profiler profiler;
+  profiler.attach(tb.device().cpu(), tb.fabric());
+  const std::uint16_t buf = tb.malloc(16, 1).value;
+  const auto p = store_module(tb.module_area());
+  tb.load_module_image(p, 1);
+  ASSERT_FALSE(tb.call_module(p.origin, 1, buf).faulted);
+  profiler.detach();
+
+  EXPECT_GT(profiler.retires(), 0u);
+  EXPECT_EQ(profiler.attributed_cycles(), profiler.window_cycles());
+
+  std::uint64_t dom_sum = 0, dom_instr = 0;
+  for (int d = 0; d < 8; ++d) {
+    dom_sum += profiler.cycles_in_domain()[static_cast<std::size_t>(d)];
+    dom_instr += profiler.instr_in_domain()[static_cast<std::size_t>(d)];
+  }
+  EXPECT_EQ(dom_sum, profiler.attributed_cycles());
+  EXPECT_EQ(dom_instr, profiler.retires());
+
+  std::uint64_t pc_sum = 0;
+  for (const auto& [pc, stat] : profiler.pc_stats()) pc_sum += stat.cycles;
+  EXPECT_EQ(pc_sum, profiler.attributed_cycles());
+
+  // The guest ran in domain 1 and the trusted runtime in domain 7; both
+  // must show up in the split.
+  EXPECT_GT(profiler.cycles_in_domain()[1], 0u);
+  EXPECT_GT(profiler.cycles_in_domain()[avr::ports::kTrustedDomain], 0u);
+}
+
+// --- Guard-site coverage -------------------------------------------------
+
+TEST(Profiler, NeverCalledGuardSiteIsReportedUncovered) {
+  Testbed tb(Mode::Umpu);
+  const auto te = two_entry_module(tb.module_area());
+  tb.load_module_image(te.program, 1);
+
+  prof::Profiler profiler;
+  prof::RegionSpec spec;
+  spec.name = "two_entry";
+  spec.domain = 1;
+  spec.origin = te.program.origin;
+  spec.words = te.program.words;
+  spec.entries = {te.entry_a, te.entry_b};
+  profiler.add_region(spec);
+  ASSERT_EQ(profiler.regions().size(), 1u);
+
+  profiler.attach(tb.device().cpu(), tb.fabric());
+  const std::uint16_t buf = tb.malloc(16, 1).value;
+  ASSERT_FALSE(tb.call_module(te.entry_a, 1, buf).faulted);  // only entry A
+  profiler.detach();
+
+  const prof::Region& r = profiler.regions()[0];
+  // Both stores (and both rets) are UMPU check sites; only entry A's ran.
+  ASSERT_GE(r.guards.size(), 4u);
+  EXPECT_LT(r.guards_covered(), r.guards.size());
+  EXPECT_GT(r.guards_covered(), 0u);
+  const std::uint32_t b_off = te.entry_b - te.program.origin;
+  bool b_store_uncovered = false;
+  for (const prof::GuardSite* g : r.uncovered_guards()) {
+    EXPECT_EQ(g->hits, 0u);
+    if (g->off >= b_off && g->kind == prof::GuardKind::UmpuStore) b_store_uncovered = true;
+  }
+  EXPECT_TRUE(b_store_uncovered)
+      << "entry B's store check never ran and must be listed as uncovered";
+  // Entry A's whole path is covered.
+  for (const prof::GuardSite& g : r.guards) {
+    if (g.off < b_off) {
+      EXPECT_GT(g.hits, 0u) << "guard @+" << g.off;
+    }
+  }
+  EXPECT_LT(r.blocks_covered(), r.blocks_total());
+
+  const prof::CoverageSummary cov = prof::summarize_coverage(profiler, 0);
+  EXPECT_EQ(cov.guards_covered(), r.guards_covered());
+  EXPECT_FALSE(cov.uncovered_guards().empty());
+  EXPECT_LT(cov.guard_coverage(), 1.0);
+  EXPECT_NE(cov.to_json().find("uncovered_guards"), std::string::npos);
+}
+
+TEST(Profiler, SfiRegionExtractsStubCallGuards) {
+  Testbed tb(Mode::Sfi);
+  // Author the raw store module, rewrite it for the SFI runtime, load it.
+  Assembler raw;
+  raw.movw(r26, r24);
+  raw.ldi(r18, 0x5a);
+  raw.st_x(r18);
+  raw.ret();
+  sfi::RewriteInput in;
+  in.words = raw.assemble().words;
+  in.entries = {0};
+  const sfi::StubTable stubs = sfi::StubTable::from_runtime(tb.runtime());
+  const sfi::RewriteResult rr = sfi::rewrite(in, stubs, tb.module_area());
+  tb.load_module_image(rr.program, 1);
+
+  prof::Profiler profiler;
+  prof::RegionSpec spec;
+  spec.name = "store";
+  spec.domain = 1;
+  spec.origin = rr.program.origin;
+  spec.words = rr.program.words;
+  spec.entries = {rr.map_offset(0)};
+  spec.stubs = &stubs;
+  profiler.add_region(spec);
+
+  profiler.attach(tb.device().cpu(), tb.fabric());
+  const std::uint16_t buf = tb.malloc(16, 1).value;
+  ASSERT_FALSE(tb.call_module(rr.map_offset(0), 1, buf).faulted);
+  profiler.detach();
+
+  const prof::Region& r = profiler.regions()[0];
+  bool store_stub_hit = false;
+  for (const prof::GuardSite& g : r.guards)
+    if (g.kind == prof::GuardKind::SfiStoreStub && g.hits > 0) store_stub_hit = true;
+  EXPECT_TRUE(store_stub_hit) << "rewritten store must hit its checker-stub guard";
+  EXPECT_EQ(r.guards_covered(), r.guards.size())
+      << "single-path module: every guard site must be exercised";
+}
+
+// --- Histogram behaviour used by the profiler ---------------------------
+
+TEST(Histogram, AboveTopBucketValuesClampIntoTheLastBucket) {
+  trace::Histogram h;
+  h.record(1);
+  h.record(1ull << 40);  // far beyond 2^(kBuckets-2)
+  h.record(~0ull);
+  EXPECT_EQ(h.count, 3u);  // nothing dropped
+  EXPECT_EQ(h.buckets[trace::Histogram::kBuckets - 1], 2u);
+  EXPECT_EQ(h.max, ~0ull);
+}
+
+TEST(Histogram, PercentileReturnsBucketUpperBoundClampedToRange) {
+  trace::Histogram h;
+  EXPECT_EQ(h.percentile(0.5), 0u);  // empty
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(0.0), 1u);    // min
+  EXPECT_EQ(h.percentile(0.5), 63u);   // bucket [32,63] holds the median
+  EXPECT_EQ(h.percentile(0.99), 100u); // clamped to observed max
+  EXPECT_EQ(h.percentile(1.0), 100u);
+  EXPECT_EQ(h.percentile(7.0), 100u);  // q clamps into [0,1]
+
+  trace::Histogram one;
+  one.record(5);
+  EXPECT_EQ(one.percentile(0.5), 5u);  // upper bound 7 clamps to max 5
+}
+
+// --- Export sanity -------------------------------------------------------
+
+TEST(ProfExport, ReportJsonCarriesExactAttributionAndFlame) {
+  Testbed tb(Mode::Umpu);
+  prof::Profiler profiler;
+  profiler.attach(tb.device().cpu(), tb.fabric());
+  const std::uint16_t buf = tb.malloc(16, 1).value;
+  const auto p = store_module(tb.module_area());
+  tb.load_module_image(p, 1);
+  ASSERT_FALSE(tb.call_module(p.origin, 1, buf).faulted);
+  profiler.detach();
+
+  const std::string j = prof::profile_json(profiler, "umpu");
+  EXPECT_NE(j.find("\"schema\":\"harbor-prof-report-v1\""), std::string::npos);
+  EXPECT_NE(j.find("\"attribution_error_pct\":0"), std::string::npos);
+  EXPECT_NE(j.find("\"flame\""), std::string::npos);
+  const std::string f = prof::flame_json(profiler);
+  EXPECT_EQ(f.find("\"name\":\"all\""), f.find("\"name\""));
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Aggregate BENCH_*.json dumps into BENCH_trend.json and gate regressions.
+
+Every benchmark in bench/ writes a machine-readable BENCH_<name>.json via
+print_table(). This tool folds one run's dumps into a single trend document
+and (optionally) compares it against a committed baseline with per-benchmark
+regression thresholds:
+
+    python3 tools/bench_trend.py --dir build/bench_out \
+        --baseline tools/bench_baseline.json --check
+
+Baseline entries declare a direction ("lower" is better for cycle counts,
+"higher" for throughput rates) and a max_regress_pct. Deterministic
+cycle-count tables get tight thresholds (the simulator is cycle-exact, so any
+drift is a real change); host-throughput rows get loose ones (CI machines
+vary). `--update-baseline` rewrites the baseline's values from the current
+run while keeping each benchmark's threshold configuration.
+
+`--self-test` exercises the gate logic on synthetic data — including the
+injected 20% throughput regression that must fail — and is wired into ctest
+so the gate itself stays tested.
+"""
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+TREND_SCHEMA = "harbor-bench-trend-v1"
+BASELINE_SCHEMA = "harbor-bench-baseline-v1"
+
+# Threshold configuration used when a benchmark first enters the baseline.
+DEFAULT_RULE = {"direction": "lower", "max_regress_pct": 0.5}
+# Host-side wall-clock rates: higher is better, and CI machines differ wildly
+# from whoever generated the baseline, so only egregious drops fail.
+RATE_RULES = {"sim_throughput": {"direction": "higher", "max_regress_pct": 75.0}}
+
+
+def load_run(bench_dir: Path) -> dict:
+    """Read every BENCH_*.json in bench_dir into {name: bench-doc}."""
+    benches = {}
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        if path.name == "BENCH_trend.json":
+            continue
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_trend: skipping {path}: {e}", file=sys.stderr)
+            continue
+        name = doc.get("name") or path.stem.removeprefix("BENCH_")
+        benches[name] = {
+            "title": doc.get("title", name),
+            "columns": doc.get("columns", []),
+            "rows": {r["label"]: r["values"] for r in doc.get("rows", [])},
+        }
+    return benches
+
+
+def regress_pct(base: float, cur: float, direction: str) -> float:
+    """How much worse `cur` is than `base`, in percent (negative = better)."""
+    if base == 0:
+        return 0.0 if cur == 0 else math.inf
+    if direction == "higher":
+        return 100.0 * (base - cur) / abs(base)
+    return 100.0 * (cur - base) / abs(base)
+
+
+def compare(run: dict, baseline: dict) -> list[dict]:
+    """All threshold violations of `run` against `baseline`."""
+    problems = []
+    for name, rule in baseline.get("benches", {}).items():
+        direction = rule.get("direction", DEFAULT_RULE["direction"])
+        limit = rule.get("max_regress_pct", DEFAULT_RULE["max_regress_pct"])
+        bench = run.get(name)
+        if bench is None:
+            problems.append({"bench": name, "row": None, "col": None,
+                             "kind": "missing",
+                             "detail": f"benchmark {name} produced no BENCH_ dump"})
+            continue
+        for label, base_values in rule.get("rows", {}).items():
+            cur_values = bench["rows"].get(label)
+            if cur_values is None:
+                problems.append({"bench": name, "row": label, "col": None,
+                                 "kind": "missing",
+                                 "detail": f"row '{label}' missing from {name}"})
+                continue
+            for col, base in enumerate(base_values):
+                if col >= len(cur_values):
+                    continue
+                pct = regress_pct(base, cur_values[col], direction)
+                if pct > limit:
+                    problems.append({
+                        "bench": name, "row": label, "col": col, "kind": "regression",
+                        "base": base, "current": cur_values[col],
+                        "regress_pct": round(pct, 3), "max_regress_pct": limit,
+                        "detail": (f"{name} '{label}' col {col}: {base:g} -> "
+                                   f"{cur_values[col]:g} ({pct:+.1f}% worse, "
+                                   f"limit {limit:g}%, {direction} is better)"),
+                    })
+    return problems
+
+
+def make_baseline(run: dict, old: dict | None) -> dict:
+    """Baseline with values from `run`, thresholds carried over from `old`."""
+    old_benches = (old or {}).get("benches", {})
+    benches = {}
+    for name, bench in sorted(run.items()):
+        rule = dict(old_benches.get(name) or RATE_RULES.get(name) or DEFAULT_RULE)
+        rule["rows"] = bench["rows"]
+        benches[name] = rule
+    return {"schema": BASELINE_SCHEMA, "benches": benches}
+
+
+def self_test() -> int:
+    """Gate logic must catch a synthetic 20% throughput regression."""
+    run = {"sim_throughput": {"title": "t", "columns": ["rate"],
+                              "rows": {"bare core": [80.0e6]}},
+           "table_3": {"title": "t3", "columns": ["cycles"],
+                       "rows": {"store": [12.0]}}}
+    # Baseline rate 100e6 -> current 80e6 is a 20% drop (higher is better).
+    baseline = {"schema": BASELINE_SCHEMA, "benches": {
+        "sim_throughput": {"direction": "higher", "max_regress_pct": 10.0,
+                           "rows": {"bare core": [100.0e6]}},
+        "table_3": {"direction": "lower", "max_regress_pct": 0.5,
+                    "rows": {"store": [12.0]}},
+    }}
+    problems = compare(run, baseline)
+    assert len(problems) == 1 and problems[0]["kind"] == "regression", problems
+    assert abs(problems[0]["regress_pct"] - 20.0) < 1e-9, problems
+
+    # Loosening the threshold past the drop admits the same run.
+    baseline["benches"]["sim_throughput"]["max_regress_pct"] = 25.0
+    assert compare(run, baseline) == []
+
+    # Deterministic cycle counts: +1 cycle on a 12-cycle row is 8.3% > 0.5%.
+    run["table_3"]["rows"]["store"] = [13.0]
+    problems = compare(run, baseline)
+    assert [p["bench"] for p in problems] == ["table_3"], problems
+    # ...and an improvement never fails.
+    run["table_3"]["rows"]["store"] = [11.0]
+    assert compare(run, baseline) == []
+
+    # A benchmark that stopped emitting its dump is itself a failure.
+    del run["sim_throughput"]
+    problems = compare(run, baseline)
+    assert [p["kind"] for p in problems] == ["missing"], problems
+    print("bench_trend: self-test OK")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--dir", default="build/bench_out",
+                    help="directory holding BENCH_*.json dumps")
+    ap.add_argument("--out", default=None,
+                    help="trend output path (default <dir>/BENCH_trend.json)")
+    ap.add_argument("--baseline", default=None, help="baseline JSON to compare against")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 if any baseline threshold is violated")
+    ap.add_argument("--update-baseline", metavar="PATH", default=None,
+                    help="rewrite PATH with this run's values (thresholds kept)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the synthetic-regression self-test and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    bench_dir = Path(args.dir)
+    run = load_run(bench_dir)
+    if not run:
+        print(f"bench_trend: no BENCH_*.json under {bench_dir}", file=sys.stderr)
+        return 1
+
+    baseline = None
+    problems = []
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        if baseline.get("schema") != BASELINE_SCHEMA:
+            print(f"bench_trend: {args.baseline} is not a {BASELINE_SCHEMA} document",
+                  file=sys.stderr)
+            return 1
+        problems = compare(run, baseline)
+
+    trend = {"schema": TREND_SCHEMA, "benches": run}
+    if args.baseline:
+        trend["baseline"] = args.baseline
+        trend["regressions"] = problems
+    out_path = Path(args.out) if args.out else bench_dir / "BENCH_trend.json"
+    out_path.write_text(json.dumps(trend, indent=2) + "\n")
+    print(f"bench_trend: wrote {out_path} ({len(run)} benchmarks)")
+
+    for p in problems:
+        print(f"bench_trend: REGRESSION: {p['detail']}", file=sys.stderr)
+
+    if args.update_baseline:
+        new_baseline = make_baseline(run, baseline)
+        Path(args.update_baseline).write_text(json.dumps(new_baseline, indent=2) + "\n")
+        print(f"bench_trend: baseline updated at {args.update_baseline}")
+
+    if args.check and problems:
+        print(f"bench_trend: FAIL: {len(problems)} threshold violation(s)",
+              file=sys.stderr)
+        return 1
+    if args.baseline:
+        print("bench_trend: OK — no thresholds violated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,8 @@
 """Validate harbor-trace output against tools/trace_schema.json.
 
 Usage: validate_trace.py TRACE_DIR [BENCH_JSON...] [--inject REPORT.json]
-                         [--ota REPORT.json]
+                         [--ota REPORT.json] [--prof PROFILE.json]
+                         [--prof-coverage COVERAGE.json]
 
 TRACE_DIR must hold trace.json + metrics.json as written by
 `harbor-trace ... --out TRACE_DIR`. Any extra arguments are BENCH_*.json
@@ -16,6 +17,12 @@ schema conformance, outcome counts consistent with the trial list, the
 old-or-new invariant (zero hybrids/watchdogs), a committed reference
 transfer, and — for weakened (journal-less) runs — at least one
 corrupt-detected trial proving the oracle can see torn state.
+`--prof PROFILE.json` validates a harbor-prof cycle-attribution report:
+schema conformance, per-domain cycles summing exactly to the attributed
+total, the 0.1% attribution-error bound, and internally consistent
+guard/block coverage per region.
+`--prof-coverage COVERAGE.json` validates a harbor-prof campaign coverage
+dump: schema conformance plus the guard-floor / recovery-path gates.
 
 Standard library only — the schema interpreter supports the subset of JSON
 Schema the checked-in schemas use: type, required, properties, items,
@@ -149,6 +156,74 @@ def validate_ota_report(path, schemas):
           f"corrupt-detected")
 
 
+def validate_prof_report(path, schemas):
+    """harbor-prof profile: structure + exact-attribution invariants."""
+    rep = load(path)
+    label = os.path.basename(path)
+    validate(rep, schemas["prof_report"], label)
+    totals = rep["totals"]
+    if totals["attribution_error_pct"] > 0.1:
+        fail(f"{label}: attribution error {totals['attribution_error_pct']}% "
+             f"exceeds the 0.1% bound")
+    dom_cycles = sum(d["cycles"] for d in rep["domains"])
+    if dom_cycles != totals["attributed_cycles"]:
+        fail(f"{label}: per-domain cycles {dom_cycles} != attributed total "
+             f"{totals['attributed_cycles']}")
+    dom_instrs = sum(d["instructions"] for d in rep["domains"])
+    if dom_instrs != totals["instructions"]:
+        fail(f"{label}: per-domain instructions {dom_instrs} != total "
+             f"{totals['instructions']}")
+    for reg in rep["regions"]:
+        rlabel = f"{label} region '{reg['name']}'"
+        if reg["guards_covered"] != reg["guards_total"] - len(reg["uncovered_guards"]):
+            fail(f"{rlabel}: guards_covered inconsistent with uncovered_guards list")
+        uncovered_offs = {g["off"] for g in reg["uncovered_guards"]}
+        for g in reg["guards"]:
+            if (g["hits"] == 0) != (g["off"] in uncovered_offs):
+                fail(f"{rlabel}: guard @+{g['off']} hits={g['hits']} disagrees "
+                     f"with uncovered_guards")
+        if reg["blocks_covered"] > reg["blocks_total"]:
+            fail(f"{rlabel}: blocks_covered > blocks_total")
+    flame = rep["flame"]
+    if flame["value"] != totals["attributed_cycles"]:
+        fail(f"{label}: flame root {flame['value']} != attributed cycles "
+             f"{totals['attributed_cycles']}")
+    child_sum = sum(c["value"] for c in flame.get("children", []))
+    if child_sum != flame["value"]:
+        fail(f"{label}: flame children sum {child_sum} != root {flame['value']}")
+    pcs = [p["cycles"] for p in rep["top_pcs"]]
+    if pcs != sorted(pcs, reverse=True):
+        fail(f"{label}: top_pcs not sorted by descending cycles")
+    print(f"validate_trace: prof report OK — mode {rep['mode']}, "
+          f"{totals['instructions']} instructions over {totals['window_cycles']} "
+          f"cycles, error {totals['attribution_error_pct']}%, "
+          f"{len(rep['regions'])} regions")
+
+
+def validate_prof_coverage(path, schemas):
+    """harbor-prof campaign coverage dump: structure + coverage gates."""
+    docs = load(path)
+    validate(docs, schemas["prof_coverage"], os.path.basename(path))
+    for doc in docs:
+        label = f"{os.path.basename(path)}[{doc['campaign']}/{doc['mode']}]"
+        cov = doc["coverage"]
+        if doc["campaign"] == "inject":
+            total, covered = cov["guards_total"], cov["guards_covered"]
+            if covered != total - len(cov["uncovered_guards"]):
+                fail(f"{label}: guards_covered inconsistent with uncovered_guards")
+            floor = doc.get("guard_floor", 1.0)
+            ratio = covered / total if total else 1.0
+            if ratio < floor:
+                fail(f"{label}: guard coverage {covered}/{total} below floor {floor}")
+        else:
+            if not 1 <= cov["recovery_paths_covered"] <= cov["recovery_paths_total"]:
+                fail(f"{label}: recovery-path coverage "
+                     f"{cov['recovery_paths_covered']}/{cov['recovery_paths_total']} "
+                     f"out of range")
+    print(f"validate_trace: prof coverage OK — "
+          f"{', '.join(d['campaign'] + '/' + d['mode'] for d in docs)}")
+
+
 def main():
     args = list(sys.argv[1:])
     inject_paths = []
@@ -166,6 +241,22 @@ def main():
             print(__doc__, file=sys.stderr)
             return 2
         ota_paths.append(args[i + 1])
+        del args[i:i + 2]
+    prof_paths = []
+    while "--prof" in args:
+        i = args.index("--prof")
+        if i + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 2
+        prof_paths.append(args[i + 1])
+        del args[i:i + 2]
+    prof_cov_paths = []
+    while "--prof-coverage" in args:
+        i = args.index("--prof-coverage")
+        if i + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 2
+        prof_cov_paths.append(args[i + 1])
         del args[i:i + 2]
     if not args:
         print(__doc__, file=sys.stderr)
@@ -216,6 +307,8 @@ def main():
 
     checked = []
     for bench_path in args[1:]:
+        if os.path.basename(bench_path) == "BENCH_trend.json":
+            continue  # aggregate document, validated by bench_trend.py itself
         bench = load(bench_path)
         validate(bench, schemas["bench"], os.path.basename(bench_path))
         if not bench["rows"]:
@@ -227,6 +320,12 @@ def main():
 
     for path in ota_paths:
         validate_ota_report(path, schemas)
+
+    for path in prof_paths:
+        validate_prof_report(path, schemas)
+
+    for path in prof_cov_paths:
+        validate_prof_coverage(path, schemas)
 
     print(
         f"validate_trace: OK — {len(events)} events, "
