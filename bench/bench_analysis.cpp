@@ -1,0 +1,135 @@
+// Host-side throughput of the static-analysis pipeline on the Surge module:
+// interval-analysis fixpoints, elision-aware rewrites, and full
+// verify-with-reproof passes per host second. Not a paper table: engineering
+// data tracking the cost of the admission-time analyses (DESIGN.md §13),
+// emitted as BENCH_analysis.json for tools/bench_trend.py. Wall-clock rates,
+// so trend thresholds are loose, like bench_sim_throughput.
+
+#include <chrono>
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "analysis/elide.h"
+#include "analysis/interval.h"
+#include "avr/memory.h"
+#include "avr/ports.h"
+#include "bench_util.h"
+#include "runtime/runtime.h"
+#include "sfi/rewriter.h"
+#include "sfi/verifier.h"
+#include "sos/module.h"
+#include "sos/modules.h"
+
+namespace {
+
+using namespace harbor;
+
+constexpr std::uint16_t kStatePtr = 0x0280;
+constexpr std::uint32_t kLoadOrigin = 0x900;
+
+/// The stub addresses only need to be distinct and outside the module.
+sfi::StubTable bench_stubs() {
+  sfi::StubTable t;
+  t.st_x = 0x100;
+  t.st_x_inc = 0x101;
+  t.st_x_dec = 0x102;
+  t.st_y_inc = 0x103;
+  t.st_y_dec = 0x104;
+  t.st_z_inc = 0x105;
+  t.st_z_dec = 0x106;
+  t.save_ret = 0x110;
+  t.restore_ret = 0x111;
+  t.cross_call = 0x112;
+  t.icall_check = 0x113;
+  t.ijmp_check = 0x114;
+  const runtime::Layout L{};
+  t.jt_base = L.jt_base;
+  t.jt_end = L.jt_end();
+  return t;
+}
+
+/// The kernel loader's policy for a module with a state block at kStatePtr.
+sfi::ElisionPolicy bench_policy(const sos::ModuleImage& image) {
+  const runtime::Layout L{};
+  sfi::ElisionPolicy p;
+  p.enable = true;
+  p.safe_regions.push_back({0, avr::DataSpace::kIoBase - 1});
+  p.safe_regions.push_back(
+      {kStatePtr, static_cast<std::uint16_t>(kStatePtr + image.state_size - 1)});
+  p.deny_regions.push_back({avr::DataSpace::kIoBase, avr::DataSpace::kSramBase - 1});
+  p.forbidden_entries = {
+      L.jt_entry(avr::ports::kTrustedDomain, runtime::kernel_slots::kFree),
+      L.jt_entry(avr::ports::kTrustedDomain, runtime::kernel_slots::kChangeOwn)};
+  p.computed_calls_screened = true;
+  return p;
+}
+
+/// Repeat `chunk()` until ~0.2s of host wall clock has elapsed; return
+/// units per host second (same protocol as bench_sim_throughput).
+template <typename F>
+double measure_rate(F&& chunk) {
+  using clock = std::chrono::steady_clock;
+  (void)chunk();  // warm-up
+  double units = 0;
+  const auto start = clock::now();
+  auto now = start;
+  do {
+    units += static_cast<double>(chunk());
+    now = clock::now();
+  } while (now - start < std::chrono::milliseconds(200));
+  const double secs = std::chrono::duration<double>(now - start).count();
+  return secs > 0 ? units / secs : 0;
+}
+
+}  // namespace
+
+int main() {
+  sos::ModuleImage image = sos::modules::surge(/*tree_domain=*/1, /*fixed=*/false);
+  sos::patch_state_relocs(image.code, image.state_relocs, kStatePtr);
+  const sfi::StubTable stubs = bench_stubs();
+  const sfi::ElisionPolicy policy = bench_policy(image);
+
+  sfi::RewriteInput in;
+  in.words = image.code;
+  for (const sos::Export& e : image.exports) in.entries.push_back(e.offset);
+
+  // Raw-image CFG for the pure-analysis rows.
+  const analysis::Cfg cfg =
+      analysis::Cfg::build(image.code, 0, in.entries, stubs);
+  const analysis::ConstProp flow = analysis::ConstProp::run(cfg);
+
+  const double interval_rate = measure_rate([&] {
+    const auto ia = analysis::IntervalAnalysis::run(cfg);
+    return ia.loop_heads().empty() ? 0 : 1;  // keep the result observable
+  });
+
+  const double elide_rate = measure_rate([&] {
+    const auto rep = analysis::analyze_elision(cfg, flow, stubs, policy);
+    return rep.sites.empty() ? 0 : 1;
+  });
+
+  const double rewrite_rate = measure_rate([&] {
+    const auto res = sfi::rewrite(in, stubs, kLoadOrigin, policy);
+    return res.manifest.empty() ? 0 : 1;
+  });
+
+  // One rewritten image for the verifier row (verification re-derives the
+  // proofs itself; re-rewriting per iteration would measure the wrong thing).
+  const sfi::RewriteResult res = sfi::rewrite(in, stubs, kLoadOrigin, policy);
+  std::vector<std::uint32_t> abs_entries;
+  for (const std::uint32_t e : in.entries) abs_entries.push_back(res.map_offset(e));
+  const double verify_rate = measure_rate([&] {
+    const auto v = sfi::verify(res.program.words, res.program.origin, abs_entries,
+                               stubs, policy, res.manifest);
+    return v.ok ? 1 : 0;
+  });
+
+  bench::print_table(
+      "analysis: admission-pipeline throughput on Surge (host)",
+      {"runs/s"},
+      {{"interval analysis (fixpoints/s)", {interval_rate}},
+       {"elision classification (runs/s)", {elide_rate}},
+       {"rewrite with elision (rewrites/s)", {rewrite_rate}},
+       {"verify with V9 re-proof (verifies/s)", {verify_rate}}});
+  return 0;
+}

@@ -1,37 +1,51 @@
 // harbor-lint: static analyzer for Harbor module binaries.
 //
 //   harbor-lint <module.hex> [--entry OFF]... [--stack-cap BYTES]
+//               [--elide-report [--safe LO:HI]...] [--json FILE]
 //       Load an Intel-HEX module image, build its CFG, run the
 //       constant-propagation dataflow and stack-depth analyses, and report
-//       every verifier violation (V1-V8) and lint warning (L1 unreachable
+//       every verifier violation (V1-V9) and lint warning (L1 unreachable
 //       code, L2 stack depth) with disassembly context. Exits 1 when any
 //       violation is found, 0 otherwise. Entries are module-relative word
 //       offsets (default: offset 0).
 //
-//   harbor-lint demo
-//       Run the analyses on two in-process modules: a rewriter output
-//       (clean) and a crafted violating module exercising CFG, cross-call
-//       dataflow and stack-depth findings. Exits 0 when the expected
+//       --elide-report additionally runs the value-range store analysis
+//       (DESIGN.md §13) and classifies every data store as safe /
+//       violating / unknown against the register-file window plus any
+//       --safe LO:HI byte-address regions. --json FILE writes the whole
+//       report as harbor-lint-report-v1 (schema: tools/trace_schema.json).
+//
+//   harbor-lint demo [--json FILE]
+//       Run the analyses on three in-process modules: a rewriter output
+//       (clean), a crafted violating module exercising CFG, cross-call
+//       dataflow and stack-depth findings, and the Surge module under the
+//       store-elision interval analysis. Exits 0 when the expected
 //       findings were produced.
 //
 // The stub table comes from a freshly generated SFI runtime with the
 // default layout, matching what a node's admission check would use.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/checks.h"
+#include "analysis/elide.h"
 #include "asm/builder.h"
 #include "asm/disasm.h"
 #include "asm/ihex.h"
+#include "avr/memory.h"
 #include "avr/ports.h"
 #include "sfi/rewriter.h"
 #include "sfi/stub_table.h"
+#include "sos/modules.h"
+#include "trace/json.h"
 
 using namespace harbor;
 using namespace harbor::analysis;
@@ -44,11 +58,15 @@ struct LintRun {
   std::vector<Finding> findings;
   int violations = 0;
   int warnings = 0;
+  /// Present when the store-elision classification was requested.
+  std::optional<ElisionReport> elision;
 };
 
-/// Analyze `module` with module-relative entry offsets.
+/// Analyze `module` with module-relative entry offsets. A non-null `policy`
+/// additionally classifies every data store against it (--elide-report).
 LintRun analyze(const assembler::Program& module, std::vector<std::uint32_t> entries,
-                const sfi::StubTable& stubs, const LintOptions& opt) {
+                const sfi::StubTable& stubs, const LintOptions& opt,
+                const sfi::ElisionPolicy* policy = nullptr) {
   for (std::uint32_t& e : entries) e += module.origin;  // verify()-style absolute
   LintRun run;
   run.cfg = Cfg::build(module.words, module.origin, entries, stubs);
@@ -56,7 +74,81 @@ LintRun analyze(const assembler::Program& module, std::vector<std::uint32_t> ent
   const ConstProp flow = ConstProp::run(run.cfg);
   run.findings = lint_module(run.cfg, stubs, flow, run.stack, opt);
   for (const Finding& f : run.findings) (f.violation ? run.violations : run.warnings)++;
+  if (policy) run.elision = analyze_elision(run.cfg, flow, stubs, *policy);
   return run;
+}
+
+/// Serialize a LintRun as harbor-lint-report-v1 (tools/trace_schema.json).
+std::string lint_report_json(const std::string& subject, const LintRun& run) {
+  namespace json = trace::json;
+  std::string out = "{";
+  json::Joiner j(out);
+  json::kv(out, j, "schema", std::string("harbor-lint-report-v1"));
+  json::kv(out, j, "subject", subject);
+  j.item();
+  out += "\"cfg\":{";
+  {
+    json::Joiner c(out);
+    json::kv(out, c, "instructions", std::uint64_t{run.cfg.instructions().size()});
+    json::kv(out, c, "blocks", std::uint64_t{run.cfg.blocks().size()});
+    json::kv(out, c, "reachable_blocks", std::uint64_t{run.cfg.reachable_blocks()});
+    json::kv(out, c, "call_sites", std::uint64_t{run.cfg.calls().size()});
+  }
+  out += "}";
+  json::kv(out, j, "violations", run.violations);
+  json::kv(out, j, "warnings", run.warnings);
+  j.item();
+  out += "\"findings\":[";
+  {
+    json::Joiner fj(out);
+    for (const Finding& f : run.findings) {
+      fj.item();
+      out += "{";
+      json::Joiner ff(out);
+      json::kv(out, ff, "rule", f.rule);
+      json::kv(out, ff, "off", std::uint64_t{f.off});
+      json::kv(out, ff, "violation", f.violation);
+      json::kv(out, ff, "message", f.message);
+      out += "}";
+    }
+  }
+  out += "]";
+  if (run.elision) {
+    j.item();
+    out += "\"elision\":{";
+    json::Joiner e(out);
+    json::kv(out, e, "policy_ok", run.elision->policy_ok);
+    if (!run.elision->policy_note.empty())
+      json::kv(out, e, "policy_note", run.elision->policy_note);
+    json::kv(out, e, "elidable", std::uint64_t{run.elision->elided.size()});
+    e.item();
+    out += "\"sites\":[";
+    {
+      json::Joiner sj(out);
+      for (const StoreSite& s : run.elision->sites) {
+        sj.item();
+        out += "{";
+        json::Joiner sf(out);
+        json::kv(out, sf, "off", std::uint64_t{s.off});
+        json::kv(out, sf, "op", std::string(avr::mnemonic_name(s.op)));
+        json::kv(out, sf, "verdict", std::string(store_verdict_name(s.verdict)));
+        json::kv(out, sf, "addr_lo", std::uint64_t{s.addr_lo});
+        json::kv(out, sf, "addr_hi", std::uint64_t{s.addr_hi});
+        json::kv(out, sf, "elided", run.elision->elided.count(s.off) != 0);
+        out += "}";
+      }
+    }
+    out += "]}";
+  }
+  out += "}";
+  return out;
+}
+
+bool write_file(const char* path, const std::string& body) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << body << '\n';
+  return static_cast<bool>(f);
 }
 
 /// Print one finding with a window of disassembly around its offset.
@@ -90,6 +182,18 @@ int report(const char* title, const LintRun& run) {
                 d.bounded() ? (std::to_string(d.bytes) + " bytes").c_str()
                             : "UNBOUNDED");
   for (const Finding& f : run.findings) print_finding(run, f);
+  if (run.elision) {
+    const ElisionReport& e = *run.elision;
+    if (!e.policy_ok)
+      std::printf("elision: forfeited -- %s\n", e.policy_note.c_str());
+    for (const StoreSite& s : e.sites)
+      std::printf("elision: store @%u %s -> %s [0x%04x,0x%04x]%s\n", s.off,
+                  std::string(avr::mnemonic_name(s.op)).c_str(),
+                  std::string(store_verdict_name(s.verdict)).c_str(), s.addr_lo,
+                  s.addr_hi, e.elided.count(s.off) ? " (elidable)" : "");
+    std::printf("elision: %zu of %zu store(s) elidable\n", e.elided.size(),
+                e.sites.size());
+  }
   std::printf("%d violation(s), %d warning(s)\n\n", run.violations, run.warnings);
   return run.violations > 0 ? 1 : 0;
 }
@@ -106,12 +210,30 @@ std::uint32_t safe_stack_capacity(const runtime::Layout& layout) {
   return static_cast<std::uint32_t>(layout.safe_stack_bound - layout.safe_stack);
 }
 
+/// Baseline elision policy for standalone images: the register-file window
+/// is safe, the IO window is denied, and the trusted allocator's free /
+/// change-own entries are forbidden (the runtime screens computed calls).
+sfi::ElisionPolicy base_policy(const runtime::Layout& layout) {
+  sfi::ElisionPolicy policy;
+  policy.enable = true;
+  policy.safe_regions.push_back({0, avr::DataSpace::kIoBase - 1});
+  policy.deny_regions.push_back({avr::DataSpace::kIoBase, avr::DataSpace::kSramBase - 1});
+  policy.forbidden_entries = {
+      layout.jt_entry(avr::ports::kTrustedDomain, runtime::kernel_slots::kFree),
+      layout.jt_entry(avr::ports::kTrustedDomain, runtime::kernel_slots::kChangeOwn)};
+  policy.computed_calls_screened = true;
+  return policy;
+}
+
 int cmd_lint(int argc, char** argv) {
   const char* path = nullptr;
+  const char* json_path = nullptr;
+  bool elide_report = false;
   std::vector<std::uint32_t> entries;
   runtime::Layout layout;
   const sfi::StubTable stubs = default_stubs(&layout);
   LintOptions opt;
+  sfi::ElisionPolicy policy = base_policy(layout);
   // Default capacity: the safe stack, the scarcer of the two stack regions.
   opt.stack_capacity = safe_stack_capacity(layout);
   for (int i = 1; i < argc; ++i) {
@@ -119,13 +241,29 @@ int cmd_lint(int argc, char** argv) {
       entries.push_back(static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 0)));
     else if (!std::strcmp(argv[i], "--stack-cap") && i + 1 < argc)
       opt.stack_capacity = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 0));
+    else if (!std::strcmp(argv[i], "--elide-report"))
+      elide_report = true;
+    else if (!std::strcmp(argv[i], "--safe") && i + 1 < argc) {
+      const char* spec = argv[++i];
+      char* sep = nullptr;
+      const unsigned long lo = std::strtoul(spec, &sep, 0);
+      if (!sep || *sep != ':') {
+        std::fprintf(stderr, "harbor-lint: --safe wants LO:HI, got %s\n", spec);
+        return 2;
+      }
+      const unsigned long hi = std::strtoul(sep + 1, nullptr, 0);
+      policy.safe_regions.push_back({static_cast<std::uint16_t>(lo),
+                                     static_cast<std::uint16_t>(hi)});
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+      json_path = argv[++i];
     else
       path = argv[i];
   }
   if (!path) {
     std::fprintf(stderr,
                  "usage: harbor-lint <module.hex> [--entry OFF]... [--stack-cap BYTES]\n"
-                 "       harbor-lint demo\n");
+                 "                   [--elide-report [--safe LO:HI]...] [--json FILE]\n"
+                 "       harbor-lint demo [--json FILE]\n");
     return 2;
   }
   std::ifstream in(path);
@@ -137,10 +275,19 @@ int cmd_lint(int argc, char** argv) {
   ss << in.rdbuf();
   const assembler::Program module = assembler::from_intel_hex(ss.str());
   if (entries.empty()) entries.push_back(0);
-  return report(path, analyze(module, entries, stubs, opt));
+  const LintRun run =
+      analyze(module, entries, stubs, opt, elide_report ? &policy : nullptr);
+  if (json_path && !write_file(json_path, lint_report_json(path, run))) {
+    std::fprintf(stderr, "harbor-lint: cannot write %s\n", json_path);
+    return 2;
+  }
+  return report(path, run);
 }
 
-int cmd_demo() {
+int cmd_demo(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 2; i < argc; ++i)
+    if (!std::strcmp(argv[i], "--json") && i + 1 < argc) json_path = argv[++i];
   runtime::Layout layout;
   const sfi::StubTable stubs = default_stubs(&layout);
   LintOptions opt;
@@ -200,7 +347,35 @@ int cmd_demo() {
 
   const LintRun run = analyze(bp, {0}, stubs, opt);
   report("demo 2: crafted violating module (expected findings)", run);
-  const bool shown = clean.violations == 0 && run.violations >= 3 && run.warnings >= 1;
+
+  // --- part 3: Surge under the store-elision interval analysis --------------
+  // The module's kInit materialises its state pointer via loader-patched ldi
+  // pairs; with the state block declared safe, the four init stores prove
+  // exact and elidable while kData's subscription-result store stays unknown
+  // (that unchecked store is the paper's Surge bug).
+  sos::ModuleImage surge = sos::modules::surge(/*tree_domain=*/3, /*fixed=*/false);
+  constexpr std::uint16_t kStatePtr = 0x280;  // pretend loader placement
+  sos::patch_state_relocs(surge.code, surge.state_relocs, kStatePtr);
+  sfi::ElisionPolicy policy = base_policy(layout);
+  policy.safe_regions.push_back(
+      {kStatePtr, static_cast<std::uint16_t>(kStatePtr + surge.state_size - 1)});
+  assembler::Program sp;
+  sp.origin = 0;
+  sp.words = surge.code;
+  const LintRun srun = analyze(sp, {0}, stubs, opt, &policy);
+  report("demo 3: surge store elision (4 init stores provable, kData wild)", srun);
+  const std::size_t elidable = srun.elision ? srun.elision->elided.size() : 0;
+  const bool unknown_left =
+      srun.elision &&
+      std::any_of(srun.elision->sites.begin(), srun.elision->sites.end(),
+                  [](const StoreSite& s) { return s.verdict == StoreVerdict::Unknown; });
+
+  if (json_path && !write_file(json_path, lint_report_json("demo:surge", srun))) {
+    std::fprintf(stderr, "harbor-lint: cannot write %s\n", json_path);
+    return 2;
+  }
+  const bool shown = clean.violations == 0 && run.violations >= 3 &&
+                     run.warnings >= 1 && elidable == 4 && unknown_left;
   std::printf("demo: %s\n", shown ? "all analyses reported findings"
                                   : "MISSING expected findings");
   return shown ? 0 : 1;
@@ -210,7 +385,7 @@ int cmd_demo() {
 
 int main(int argc, char** argv) {
   try {
-    if (argc > 1 && !std::strcmp(argv[1], "demo")) return cmd_demo();
+    if (argc > 1 && !std::strcmp(argv[1], "demo")) return cmd_demo(argc, argv);
     return cmd_lint(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "harbor-lint: %s\n", e.what());

@@ -50,7 +50,8 @@ namespace {
 int fail_usage() {
   std::fprintf(
       stderr,
-      "usage: harbor-prof [surge] [--mode umpu|sfi] [--rounds N] [--fixed] [--out DIR]\n"
+      "usage: harbor-prof [surge] [--mode umpu|sfi] [--rounds N] [--fixed]\n"
+      "                   [--no-elide] [--out DIR]\n"
       "       harbor-prof --diff A/profile.json B/profile.json\n"
       "       harbor-prof --coverage inject|ota [--mode umpu|sfi|both] [--count N]\n"
       "                   [--seed S] [--guard-floor F] [--out FILE]\n");
@@ -212,10 +213,11 @@ bool load_json(const std::string& path, JsonValue& out) {
 // --- profile mode ------------------------------------------------------------
 
 int run_profile(const std::string& scenario, ProtectionMode mode, int rounds, bool fixed,
-                const std::string& out_dir) {
+                bool elide, const std::string& out_dir) {
   if (scenario != "surge") return fail_usage();
 
   System sys({mode, {}});
+  sys.kernel().set_store_elision(elide);  // --no-elide: keep every stub live
   const auto tree = sys.load_module(sos::modules::tree_routing(), 1);
   const auto surge = sys.load_module(sos::modules::surge(tree, fixed), 2);
   const auto blink = sys.load_module(sos::modules::blink(), 3);
@@ -265,10 +267,11 @@ int run_profile(const std::string& scenario, ProtectionMode mode, int rounds, bo
               static_cast<unsigned long long>(p.retire_cost().percentile(0.90)),
               static_cast<unsigned long long>(p.retire_cost().percentile(0.99)));
   for (const prof::Region& r : p.regions()) {
-    std::printf("  region %-14s domain %d: %10llu cycles, blocks %u/%u, guards %u/%zu\n",
+    std::printf("  region %-14s domain %d: %10llu cycles, blocks %u/%u, guards %u/%zu"
+                " (%u elided)\n",
                 r.name.c_str(), r.domain, static_cast<unsigned long long>(r.cycles),
                 r.blocks_covered(), r.blocks_total(), r.guards_covered(),
-                r.guards.size());
+                r.guards.size(), r.guards_elided());
   }
   for (int k = 0; k < avr::kFaultKindCount; ++k) {
     const auto n = p.fault_counts()[static_cast<std::size_t>(k)];
@@ -451,6 +454,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   double guard_floor = 1.0;
   bool fixed = false;
+  bool elide = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -481,6 +485,8 @@ int main(int argc, char** argv) {
       guard_floor = std::atof(v);
     } else if (arg == "--fixed") {
       fixed = true;
+    } else if (arg == "--no-elide") {
+      elide = false;
     } else if (arg == "--coverage") {
       const char* v = next();
       if (!v) return fail_usage();
@@ -522,5 +528,6 @@ int main(int argc, char** argv) {
   // Profile mode runs one mode; default umpu unless --mode sfi was given.
   const ProtectionMode mode =
       mode_arg == "sfi" ? ProtectionMode::Sfi : ProtectionMode::Umpu;
-  return run_profile(scenario, mode, rounds, fixed, out.empty() ? "prof_out" : out);
+  return run_profile(scenario, mode, rounds, fixed, elide,
+                     out.empty() ? "prof_out" : out);
 }

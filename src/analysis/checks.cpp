@@ -31,7 +31,8 @@ void add(std::vector<Finding>& out, std::uint32_t off, const char* rule,
 }  // namespace
 
 std::vector<Finding> check_module(const Cfg& cfg, const sfi::StubTable& stubs,
-                                  const ConstProp& flow) {
+                                  const ConstProp& flow,
+                                  const ElisionContext& elide) {
   std::vector<Finding> out;
   const std::uint32_t n = cfg.size();
   const std::uint32_t origin = cfg.origin();
@@ -42,11 +43,47 @@ std::vector<Finding> check_module(const Cfg& cfg, const sfi::StubTable& stubs,
   std::map<std::uint32_t, const CallSite*> call_at;
   for (const CallSite& cs : cfg.calls()) call_at[cs.instr] = &cs;
 
+  // --- V9 re-proof setup: the manifest is a set of claims, re-derived here
+  // independently of whoever produced it (see ElisionContext) ----------------
+  const bool elision = elide.policy && elide.policy->enable && elide.manifest &&
+                       !elide.manifest->sites.empty();
+  std::map<std::uint32_t, const sfi::ProofSite*> claim_at;  // off -> claim
+  std::map<std::uint32_t, bool> claim_used;
+  std::optional<IntervalAnalysis> ranges;
+  if (elision) {
+    IntervalOptions opts;
+    for (const sfi::ProofSite& s : elide.manifest->sites) {
+      claim_at[s.off] = &s;
+      claim_used[s.off] = false;
+      opts.precise_stores.insert(s.off);
+    }
+    ranges.emplace(IntervalAnalysis::run(cfg, std::move(opts)));
+  }
+  const auto in_safe_region = [&](std::uint16_t lo, std::uint16_t hi) {
+    for (const MemRegion& r : elide.policy->safe_regions)
+      if (r.contains(lo, hi)) return true;
+    return false;
+  };
+
   // --- per-instruction rules, linear order (legacy pass 1) -------------------
   for (std::uint32_t idx = 0; idx < instrs.size(); ++idx) {
     const std::uint32_t at = instrs[idx].off;
     const Instr& i = instrs[idx].ins;
-    if (avr::is_data_store(i.op)) add(out, at, "V2", "raw data store (V2)");
+    if (avr::is_data_store(i.op)) {
+      const auto claim = elision ? claim_at.find(at) : claim_at.end();
+      if (claim == claim_at.end()) {
+        add(out, at, "V2", "raw data store (V2)");
+      } else {
+        claim_used[at] = true;
+        const sfi::ProofSite& c = *claim->second;
+        const Interval16 addr =
+            store_effective_address(i, ranges->state_before(idx));
+        if (addr.is_top() || addr.lo < c.addr_lo || addr.hi > c.addr_hi)
+          add(out, at, "V9", "elided store fails re-proof (V9)");
+        else if (!in_safe_region(c.addr_lo, c.addr_hi))
+          add(out, at, "V9", "elided store outside the safe regions (V9)");
+      }
+    }
     if (i.op == Mnemonic::Spm) add(out, at, "V2", "spm self-programming (V2)");
     if (i.op == Mnemonic::Ret || i.op == Mnemonic::Reti)
       add(out, at, "V3", "raw return (V3)");
@@ -103,6 +140,17 @@ std::vector<Finding> check_module(const Cfg& cfg, const sfi::StubTable& stubs,
   }
   if (cfg.invalid_off())
     add(out, *cfg.invalid_off(), "V1", "undecodable opcode (V1)");
+
+  // --- remaining V9 obligations: a manifest may not name non-store sites,
+  // and elisions forfeit if a forbidden jump-table entry is reachable -------
+  if (elision) {
+    for (const auto& [off, used] : claim_used)
+      if (!used)
+        add(out, off, "V9", "proof manifest names a non-store site (V9)");
+    if (const auto use = find_forbidden_use(cfg, flow, stubs, *elide.policy))
+      add(out, use->off, "V9",
+          "elision with a forbidden service reachable: " + use->what + " (V9)");
+  }
 
   // --- transfer-target boundary discipline (legacy pass 2, V1) ---------------
   for (const InstrAt& ia : instrs) {

@@ -18,6 +18,7 @@
 
 #include "analysis/cfg.h"
 #include "analysis/dataflow.h"
+#include "analysis/elide.h"
 #include "analysis/stack_depth.h"
 
 namespace harbor::analysis {
@@ -25,13 +26,28 @@ namespace harbor::analysis {
 struct Finding {
   std::uint32_t off = 0;   ///< module-relative word offset
   bool violation = true;   ///< false: lint warning only
-  std::string rule;        ///< "V1".."V8" or "L1"/"L2"
+  std::string rule;        ///< "V1".."V9" or "L1"/"L2"
   std::string message;     ///< V-rule text matches the legacy verifier
 };
 
-/// Verifier rules V1-V8. Violations only, legacy discovery order.
+/// Elision re-proof inputs for rule V9. With both pointers set and a
+/// non-empty manifest, a raw data store at a manifest offset is not a V2
+/// violation but a re-proof obligation: the checks re-run the interval
+/// analysis (with the manifest sites modeled as raw stores) and the claim
+/// must re-derive — address interval within the claimed bounds, claimed
+/// bounds within a policy safe region, no forbidden jump-table entry
+/// reachable, every manifest offset an actual store. Any failure is a V9
+/// violation; a raw store *not* in the manifest stays a V2.
+struct ElisionContext {
+  const sfi::ElisionPolicy* policy = nullptr;
+  const sfi::ProofManifest* manifest = nullptr;
+};
+
+/// Verifier rules V1-V8 (plus V9 when `elide` carries a manifest).
+/// Violations only, legacy discovery order.
 std::vector<Finding> check_module(const Cfg& cfg, const sfi::StubTable& stubs,
-                                  const ConstProp& flow);
+                                  const ConstProp& flow,
+                                  const ElisionContext& elide = {});
 
 struct LintOptions {
   /// Stack capacity in bytes for the L2 check (0 disables it). Callers

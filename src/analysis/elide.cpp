@@ -1,0 +1,140 @@
+#include "analysis/elide.h"
+
+#include <algorithm>
+
+namespace harbor::analysis {
+
+using avr::Mnemonic;
+
+std::string_view store_verdict_name(StoreVerdict v) {
+  switch (v) {
+    case StoreVerdict::Safe: return "safe";
+    case StoreVerdict::Violating: return "violating";
+    case StoreVerdict::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+Interval16 store_effective_address(const avr::Instr& i, const IntervalState& s) {
+  const auto shifted = [&](std::uint8_t d, int delta) -> Interval16 {
+    const Interval16 p = s.pair(d);
+    const std::int64_t lo = static_cast<std::int64_t>(p.lo) + delta;
+    const std::int64_t hi = static_cast<std::int64_t>(p.hi) + delta;
+    if (lo < 0 || hi > 0xffff) return {};
+    return {static_cast<std::uint32_t>(lo), static_cast<std::uint32_t>(hi)};
+  };
+  switch (i.op) {
+    case Mnemonic::StX:
+    case Mnemonic::StXInc: return s.pair(26);
+    case Mnemonic::StXDec: return shifted(26, -1);
+    case Mnemonic::StYInc: return s.pair(28);
+    case Mnemonic::StYDec: return shifted(28, -1);
+    case Mnemonic::StdY: return shifted(28, i.q);
+    case Mnemonic::StZInc: return s.pair(30);
+    case Mnemonic::StZDec: return shifted(30, -1);
+    case Mnemonic::StdZ: return shifted(30, i.q);
+    case Mnemonic::Sts: return {i.k32, i.k32};
+    default: return {};
+  }
+}
+
+std::optional<ForbiddenUse> find_forbidden_use(const Cfg& cfg,
+                                               const ConstProp& flow,
+                                               const sfi::StubTable& stubs,
+                                               const sfi::ElisionPolicy& policy) {
+  const std::vector<std::uint32_t>& forbidden = policy.forbidden_entries;
+  if (forbidden.empty()) return std::nullopt;
+  const auto is_forbidden = [&](std::uint32_t abs) {
+    return std::find(forbidden.begin(), forbidden.end(), abs) != forbidden.end();
+  };
+  for (const CallSite& cs : cfg.calls()) {
+    switch (cs.kind) {
+      case CallKind::Foreign:
+        if (is_forbidden(cs.target))
+          return ForbiddenUse{cs.off, "direct call to a forbidden jump-table entry"};
+        break;
+      case CallKind::Computed:
+        if (!policy.computed_calls_screened)
+          return ForbiddenUse{
+              cs.off, "computed call (icall may dispatch through the jump table)"};
+        break;
+      case CallKind::Stub:
+        if (cs.target == stubs.icall_check && !policy.computed_calls_screened)
+          return ForbiddenUse{
+              cs.off, "computed call (icall may dispatch through the jump table)"};
+        break;
+      case CallKind::CrossCall: {
+        const RegState s = flow.state_before(cs.instr);
+        if (!s.known(30) || !s.known(31))
+          return ForbiddenUse{cs.off, "cross call with unprovable Z"};
+        const std::uint32_t entry = static_cast<std::uint32_t>(s.value(30)) |
+                                    (static_cast<std::uint32_t>(s.value(31)) << 8);
+        if (is_forbidden(entry))
+          return ForbiddenUse{cs.off, "cross call to a forbidden jump-table entry"};
+        break;
+      }
+      case CallKind::Internal:
+        break;
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+bool within_any(const std::vector<MemRegion>& regions, const Interval16& a) {
+  return std::any_of(regions.begin(), regions.end(),
+                     [&](const MemRegion& r) { return r.contains(a.lo, a.hi); });
+}
+
+}  // namespace
+
+ElisionReport analyze_elision(const Cfg& cfg, const ConstProp& flow,
+                              const sfi::StubTable& stubs,
+                              const sfi::ElisionPolicy& policy) {
+  ElisionReport rep;
+  bool may_elide = policy.enable;
+  if (may_elide)
+    if (const auto use = find_forbidden_use(cfg, flow, stubs, policy)) {
+      may_elide = false;
+      rep.policy_ok = false;
+      rep.policy_note = use->what;
+    }
+
+  // Upward fixpoint on the elided set: proving a site safe removes its havoc
+  // from the model, which only tightens intervals, so verdicts are monotone
+  // and the loop terminates once no new site proves.
+  IntervalOptions opts;
+  for (;;) {
+    const IntervalAnalysis ia = IntervalAnalysis::run(cfg, opts);
+    rep.sites.clear();
+    bool grew = false;
+    const auto& instrs = cfg.instructions();
+    for (std::uint32_t idx = 0; idx < instrs.size(); ++idx) {
+      const avr::Instr& ins = instrs[idx].ins;
+      if (!avr::is_data_store(ins.op)) continue;
+      StoreSite site;
+      site.instr = idx;
+      site.off = instrs[idx].off;
+      site.op = ins.op;
+      const Interval16 addr = store_effective_address(ins, ia.state_before(idx));
+      site.addr_lo = static_cast<std::uint16_t>(addr.lo);
+      site.addr_hi = static_cast<std::uint16_t>(addr.hi);
+      if (!addr.is_top() && within_any(policy.safe_regions, addr))
+        site.verdict = StoreVerdict::Safe;
+      else if (!addr.is_top() && within_any(policy.deny_regions, addr))
+        site.verdict = StoreVerdict::Violating;
+      else
+        site.verdict = StoreVerdict::Unknown;
+      if (may_elide && site.verdict == StoreVerdict::Safe &&
+          opts.precise_stores.insert(site.off).second)
+        grew = true;
+      rep.sites.push_back(site);
+    }
+    if (!grew) break;
+  }
+  if (may_elide) rep.elided = std::move(opts.precise_stores);
+  return rep;
+}
+
+}  // namespace harbor::analysis

@@ -1,0 +1,97 @@
+#pragma once
+// Store-site classification for check elision (DESIGN.md §13).
+//
+// Runs the interval analysis over a module CFG and classifies every data
+// store against an ElisionPolicy: provably-safe (effective address always
+// inside one safe region), provably-violating (always inside a deny
+// region), or unknown. Classification is an upward fixpoint: once a site
+// proves safe it is re-modeled with raw store semantics (no register havoc)
+// and the analysis re-runs, which can only tighten intervals and prove more
+// sites — the iteration stops when the safe set stops growing.
+//
+// Both sides of the trust boundary use this one routine: the rewriter to
+// decide which stubs to skip, and sfi::verify() to independently re-derive
+// every claim in the proof manifest.
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "analysis/interval.h"
+#include "sfi/elision.h"
+
+namespace harbor::analysis {
+
+enum class StoreVerdict : std::uint8_t {
+  Safe,       ///< address interval inside one policy safe region
+  Violating,  ///< address interval inside one policy deny region
+  Unknown,    ///< neither provable
+};
+
+[[nodiscard]] std::string_view store_verdict_name(StoreVerdict v);
+
+/// One data store in the module (push excluded: the stack is the runtime's
+/// problem, not a checked store).
+struct StoreSite {
+  std::uint32_t instr = 0;  ///< index into Cfg::instructions()
+  std::uint32_t off = 0;    ///< module-relative word offset
+  avr::Mnemonic op = avr::Mnemonic::Invalid;
+  StoreVerdict verdict = StoreVerdict::Unknown;
+  /// Derived effective-address bounds (meaningful unless the pair is top).
+  std::uint16_t addr_lo = 0;
+  std::uint16_t addr_hi = 0xffff;
+};
+
+struct ElisionReport {
+  std::vector<StoreSite> sites;  ///< every data store, in instruction order
+  /// False when the policy forbids elision for this module as a whole
+  /// (reachable free/change-ownership service, or computed control flow
+  /// that could reach one). Sites are still classified for reporting, but
+  /// `elided` stays empty.
+  bool policy_ok = true;
+  std::string policy_note;
+  /// Word offsets of the sites that may run unchecked (Safe sites, when the
+  /// policy allows elision at all).
+  std::set<std::uint32_t> elided;
+};
+
+/// Effective-address interval of a data store given the abstract state
+/// before it, or top on pointer wrap. Pre-decrement forms store at
+/// pointer-1, post-increment forms at the un-incremented pointer,
+/// displaced forms add q, sts is exact.
+[[nodiscard]] Interval16 store_effective_address(const avr::Instr& i,
+                                                 const IntervalState& s);
+
+/// A site that makes a forbidden jump-table entry reachable.
+struct ForbiddenUse {
+  std::uint32_t off = 0;  ///< module-relative word offset of the call
+  std::string what;
+};
+
+/// First use (in call-site order) through which the module could reach one
+/// of the policy's forbidden entries: a direct call at the entry, a cross
+/// call with the entry proven (or unprovable) in Z, or — unless the policy
+/// records that the runtime screens computed dispatch
+/// (computed_calls_screened) — any computed call, since icall_check admits
+/// jump-table targets at run time.
+std::optional<ForbiddenUse> find_forbidden_use(const Cfg& cfg,
+                                               const ConstProp& flow,
+                                               const sfi::StubTable& stubs,
+                                               const sfi::ElisionPolicy& policy);
+
+/// Classify every store in `cfg` under `policy`. `flow` must be the
+/// ConstProp result for the same CFG (used for the cross-call Z facts that
+/// decide whether a forbidden jump-table entry is reachable); `stubs`
+/// identifies the icall-check stub, whose runtime semantics allow
+/// jump-table dispatch and therefore forfeit elision when forbidden
+/// entries exist.
+ElisionReport analyze_elision(const Cfg& cfg, const ConstProp& flow,
+                              const sfi::StubTable& stubs,
+                              const sfi::ElisionPolicy& policy);
+
+}  // namespace harbor::analysis

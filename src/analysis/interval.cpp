@@ -1,0 +1,341 @@
+#include "analysis/interval.h"
+
+#include <deque>
+#include <map>
+
+namespace harbor::analysis {
+
+using avr::Instr;
+using avr::Mnemonic;
+
+namespace {
+
+/// { (x + delta) mod 256 : x in a }. Exact when the shifted range stays in
+/// one 256-aligned window; top when it straddles a wrap boundary.
+Interval shift_mod256(const Interval& a, int delta) {
+  const int lo = a.lo + delta;
+  const int hi = a.hi + delta;
+  // Compare window indices with an offset so the division is well-defined
+  // for negative values.
+  if ((lo + 1024) / 256 != (hi + 1024) / 256) return Interval::top();
+  return {static_cast<std::int16_t>(((lo % 256) + 256) % 256),
+          static_cast<std::int16_t>(((hi % 256) + 256) % 256)};
+}
+
+Interval add_mod256(const Interval& a, const Interval& b) {
+  const int lo = a.lo + b.lo;
+  const int hi = a.hi + b.hi;
+  if (lo / 256 != hi / 256) return Interval::top();
+  return {static_cast<std::int16_t>(lo % 256), static_cast<std::int16_t>(hi % 256)};
+}
+
+Interval sub_mod256(const Interval& a, const Interval& b) {
+  return shift_mod256({static_cast<std::int16_t>(a.lo - b.hi),
+                       static_cast<std::int16_t>(a.hi - b.lo)},
+                      0);
+}
+
+}  // namespace
+
+void IntervalState::set_pair(std::uint8_t d, Interval16 v) {
+  if ((v.lo >> 8) == (v.hi >> 8)) {
+    r[d & 31] = {static_cast<std::int16_t>(v.lo & 0xff),
+                 static_cast<std::int16_t>(v.hi & 0xff)};
+    r[(d + 1) & 31] = Interval::exact(static_cast<std::uint8_t>(v.lo >> 8));
+  } else {
+    r[d & 31] = Interval::top();
+    r[(d + 1) & 31] = {static_cast<std::int16_t>(v.lo >> 8),
+                       static_cast<std::int16_t>(v.hi >> 8)};
+  }
+}
+
+namespace {
+
+/// pair(d) += delta; a shift past either end of the address space gives up
+/// on the pair (wrapping pointers never prove anything).
+void pair_shift(IntervalState& s, std::uint8_t d, int delta) {
+  const Interval16 p = s.pair(d);
+  const std::int64_t lo = static_cast<std::int64_t>(p.lo) + delta;
+  const std::int64_t hi = static_cast<std::int64_t>(p.hi) + delta;
+  if (lo < 0 || hi > 0xffff) {
+    s.havoc(d);
+    s.havoc(d + 1);
+    return;
+  }
+  s.set_pair(d, {static_cast<std::uint32_t>(lo), static_cast<std::uint32_t>(hi)});
+}
+
+}  // namespace
+
+void IntervalAnalysis::apply(const Instr& i, IntervalState& s, bool precise_store) {
+  using M = Mnemonic;
+  const Interval d = s.reg(i.d);
+  const Interval r = s.reg(i.r);
+  switch (i.op) {
+    // --- constants and moves ---
+    case M::Ldi: s.set(i.d, Interval::exact(i.imm)); break;
+    case M::Ser: s.set(i.d, Interval::exact(0xff)); break;
+    case M::Mov: s.set(i.d, r); break;
+    case M::Movw:
+      s.set(i.d, s.reg(i.r));
+      s.set(i.d + 1, s.reg(i.r + 1));
+      break;
+    case M::Eor:
+      if (i.d == i.r) s.set(i.d, Interval::exact(0));
+      else if (d.singleton() && r.singleton())
+        s.set(i.d, Interval::exact(static_cast<std::uint8_t>(d.lo ^ r.lo)));
+      else s.havoc(i.d);
+      break;
+
+    // --- immediate / unary arithmetic ---
+    case M::Subi: s.set(i.d, shift_mod256(d, -static_cast<int>(i.imm))); break;
+    case M::Inc: s.set(i.d, shift_mod256(d, 1)); break;
+    case M::Dec: s.set(i.d, shift_mod256(d, -1)); break;
+    case M::Andi:
+      if (d.singleton())
+        s.set(i.d, Interval::exact(static_cast<std::uint8_t>(d.lo & i.imm)));
+      else
+        s.set(i.d, {0, static_cast<std::int16_t>(std::min<int>(d.hi, i.imm))});
+      break;
+    case M::Ori:
+      if (d.singleton())
+        s.set(i.d, Interval::exact(static_cast<std::uint8_t>(d.lo | i.imm)));
+      else
+        s.set(i.d, {static_cast<std::int16_t>(std::max<int>(d.lo, i.imm)), 255});
+      break;
+    case M::Com:
+      s.set(i.d, {static_cast<std::int16_t>(255 - d.hi),
+                  static_cast<std::int16_t>(255 - d.lo)});
+      break;
+    case M::Neg:
+      if (d.singleton())
+        s.set(i.d, Interval::exact(static_cast<std::uint8_t>(-d.lo)));
+      else
+        s.havoc(i.d);
+      break;
+    case M::Swap:
+      if (d.singleton())
+        s.set(i.d, Interval::exact(static_cast<std::uint8_t>((d.lo << 4) | (d.lo >> 4))));
+      else
+        s.havoc(i.d);
+      break;
+    case M::Lsr:
+      s.set(i.d, {static_cast<std::int16_t>(d.lo >> 1),
+                  static_cast<std::int16_t>(d.hi >> 1)});
+      break;
+    case M::Asr:
+      if (d.hi <= 127)
+        s.set(i.d, {static_cast<std::int16_t>(d.lo >> 1),
+                    static_cast<std::int16_t>(d.hi >> 1)});
+      else if (d.lo >= 128)
+        s.set(i.d, {static_cast<std::int16_t>((d.lo >> 1) + 128),
+                    static_cast<std::int16_t>((d.hi >> 1) + 128)});
+      else
+        s.havoc(i.d);
+      break;
+
+    // --- register-register arithmetic ---
+    case M::Add: s.set(i.d, add_mod256(d, r)); break;
+    case M::Sub: s.set(i.d, sub_mod256(d, r)); break;
+    case M::And:
+      if (d.singleton() && r.singleton())
+        s.set(i.d, Interval::exact(static_cast<std::uint8_t>(d.lo & r.lo)));
+      else
+        s.set(i.d, {0, static_cast<std::int16_t>(std::min(d.hi, r.hi))});
+      break;
+    case M::Or:
+      if (d.singleton() && r.singleton())
+        s.set(i.d, Interval::exact(static_cast<std::uint8_t>(d.lo | r.lo)));
+      else
+        s.set(i.d, {std::max(d.lo, r.lo), 255});
+      break;
+    case M::Adiw: {
+      const Interval16 p = s.pair(i.d);
+      const std::uint32_t lo = p.lo + i.imm;
+      const std::uint32_t hi = p.hi + i.imm;
+      if ((lo >> 16) != (hi >> 16)) {
+        s.havoc(i.d);
+        s.havoc(i.d + 1);
+      } else {
+        s.set_pair(i.d, {lo & 0xffff, hi & 0xffff});
+      }
+      break;
+    }
+    case M::Sbiw: pair_shift(s, i.d, -static_cast<int>(i.imm)); break;
+
+    // --- carry/flag-dependent or unmodelled writes ---
+    case M::Adc: case M::Sbc: case M::Sbci: case M::Ror: case M::Bld:
+      s.havoc(i.d);
+      break;
+    case M::Mul: case M::Muls: case M::Mulsu:
+    case M::Fmul: case M::Fmuls: case M::Fmulsu:
+      s.havoc(0);
+      s.havoc(1);
+      break;
+
+    // --- loads: destination unknown; inc/dec forms move the pointer ---
+    case M::LdX: case M::LddY: case M::LddZ: case M::Lds:
+    case M::Lpm: case M::Elpm: case M::In: case M::Pop:
+      s.havoc(i.d);
+      break;
+    case M::LdXInc: s.havoc(i.d); pair_shift(s, 26, 1); break;
+    case M::LdXDec: s.havoc(i.d); pair_shift(s, 26, -1); break;
+    case M::LdYInc: s.havoc(i.d); pair_shift(s, 28, 1); break;
+    case M::LdYDec: s.havoc(i.d); pair_shift(s, 28, -1); break;
+    case M::LdZInc: s.havoc(i.d); pair_shift(s, 30, 1); break;
+    case M::LdZDec: s.havoc(i.d); pair_shift(s, 30, -1); break;
+    case M::LpmInc: case M::ElpmInc:
+      s.havoc(i.d);
+      pair_shift(s, 30, 1);
+      break;
+    case M::LpmR0: case M::ElpmR0:
+      s.havoc(0);
+      break;
+
+    // --- stores: a checked store stands for a stub call (havoc); a precise
+    // (elided) store has raw semantics: only inc/dec move the pointer ---
+    case M::StX: case M::StdY: case M::StdZ: case M::Sts:
+      if (!precise_store) s.havoc_all();
+      break;
+    case M::StXInc:
+      if (precise_store) pair_shift(s, 26, 1); else s.havoc_all();
+      break;
+    case M::StXDec:
+      if (precise_store) pair_shift(s, 26, -1); else s.havoc_all();
+      break;
+    case M::StYInc:
+      if (precise_store) pair_shift(s, 28, 1); else s.havoc_all();
+      break;
+    case M::StYDec:
+      if (precise_store) pair_shift(s, 28, -1); else s.havoc_all();
+      break;
+    case M::StZInc:
+      if (precise_store) pair_shift(s, 30, 1); else s.havoc_all();
+      break;
+    case M::StZDec:
+      if (precise_store) pair_shift(s, 30, -1); else s.havoc_all();
+      break;
+
+    // --- calls clobber everything (interprocedural seeding happens in
+    // run(), before this havoc) ---
+    case M::Call: case M::Rcall: case M::Icall:
+      s.havoc_all();
+      break;
+
+    default:
+      break;  // no register-file effect
+  }
+}
+
+IntervalAnalysis IntervalAnalysis::run(const Cfg& cfg, IntervalOptions opts) {
+  IntervalAnalysis ia;
+  ia.cfg_ = &cfg;
+  ia.opts_ = std::move(opts);
+  const auto& blocks = cfg.blocks();
+  ia.block_in_.assign(blocks.size(), IntervalState::top());
+  ia.loop_heads_.assign(blocks.size(), false);
+
+  // Roots: declared entries plus internal call targets (reachability roots).
+  std::vector<std::uint32_t> roots;
+  for (std::uint32_t bi = 0; bi < blocks.size(); ++bi)
+    if (blocks[bi].is_entry) roots.push_back(bi);
+  std::map<std::uint32_t, const CallSite*> call_at;  // instr index -> site
+  for (const CallSite& cs : cfg.calls()) {
+    call_at[cs.instr] = &cs;
+    if (cs.kind == CallKind::Internal)
+      if (const auto tb = cfg.block_at(cs.target)) roots.push_back(*tb);
+  }
+
+  // --- loop heads: targets of DFS back edges ---------------------------------
+  {
+    enum : std::uint8_t { White, Grey, Black };
+    std::vector<std::uint8_t> color(blocks.size(), White);
+    for (const std::uint32_t root : roots) {
+      if (color[root] != White) continue;
+      // Iterative DFS with an explicit edge cursor so Grey marks exactly the
+      // current path.
+      std::vector<std::pair<std::uint32_t, std::size_t>> stack{{root, 0}};
+      color[root] = Grey;
+      while (!stack.empty()) {
+        auto& [bi, cursor] = stack.back();
+        if (cursor < blocks[bi].succs.size()) {
+          const std::uint32_t to = blocks[bi].succs[cursor++].block;
+          if (color[to] == White) {
+            color[to] = Grey;
+            stack.push_back({to, 0});
+          } else if (color[to] == Grey) {
+            ia.loop_heads_[to] = true;  // back edge
+          }
+        } else {
+          color[bi] = Black;
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  // --- worklist fixpoint -----------------------------------------------------
+  std::vector<bool> visited(blocks.size(), false);
+  std::vector<bool> queued(blocks.size(), false);
+  std::deque<std::uint32_t> work;
+  for (std::uint32_t bi = 0; bi < blocks.size(); ++bi)
+    if (blocks[bi].is_entry) {
+      visited[bi] = true;  // entry in-state is top (caller state unknown)
+      if (!queued[bi]) {
+        queued[bi] = true;
+        work.push_back(bi);
+      }
+    }
+
+  auto flow_into = [&](std::uint32_t to, const IntervalState& out) {
+    bool changed;
+    if (!visited[to] && !blocks[to].is_entry) {
+      ia.block_in_[to] = out;
+      visited[to] = true;
+      changed = true;
+    } else if (blocks[to].is_entry) {
+      changed = false;  // declared entries stay top
+    } else {
+      const IntervalState old = ia.block_in_[to];
+      changed = ia.block_in_[to].join(out);
+      if (changed && ia.loop_heads_[to]) ia.block_in_[to].widen_from(old);
+    }
+    if (changed && !queued[to]) {
+      queued[to] = true;
+      work.push_back(to);
+    }
+  };
+
+  while (!work.empty()) {
+    const std::uint32_t bi = work.front();
+    work.pop_front();
+    queued[bi] = false;
+    IntervalState out = ia.block_in_[bi];
+    const BasicBlock& b = blocks[bi];
+    for (std::uint32_t k = 0; k < b.count; ++k) {
+      const std::uint32_t idx = b.first + k;
+      const InstrAt& inst = cfg.instructions()[idx];
+      // Call-site -> callee-entry propagation: the callee observes the
+      // caller's registers as they are at the call instruction.
+      const auto cs = call_at.find(idx);
+      if (cs != call_at.end() && cs->second->kind == CallKind::Internal)
+        if (const auto tb = cfg.block_at(cs->second->target)) flow_into(*tb, out);
+      apply(inst.ins, out, ia.opts_.precise_stores.contains(inst.off));
+    }
+    for (const Edge& e : b.succs) flow_into(e.block, out);
+  }
+  return ia;
+}
+
+IntervalState IntervalAnalysis::state_before(std::uint32_t instr_index) const {
+  const std::uint32_t bi = cfg_->block_of_instr(instr_index);
+  const BasicBlock& b = cfg_->blocks()[bi];
+  IntervalState s = block_in_[bi];
+  for (std::uint32_t k = b.first; k < instr_index; ++k) {
+    const InstrAt& inst = cfg_->instructions()[k];
+    apply(inst.ins, s, opts_.precise_stores.contains(inst.off));
+  }
+  return s;
+}
+
+}  // namespace harbor::analysis

@@ -1,0 +1,165 @@
+#pragma once
+// Value-range abstract interpretation over the CFG (DESIGN.md §13).
+//
+// Where ConstProp (dataflow.h) tracks exact byte constants, this analysis
+// tracks per-register intervals [lo, hi] over the 32 GPRs, with the X/Y/Z
+// pointer pairs derived as 16-bit intervals from their byte halves. It is
+// what lets the SFI rewriter prove a checked store can never leave the
+// module's protection-domain region — and what the verifier re-runs to
+// re-derive every elision proof independently of the rewriter.
+//
+// Lattice: per register, intervals ordered by inclusion; top = [0, 255].
+// There is no explicit bottom — like ConstProp, unreached blocks simply
+// report top, which is sound. Joins take the convex hull; at loop heads
+// (targets of CFG back edges) the join is accelerated with the classic
+// widening operator (a bound that moved since the last visit jumps straight
+// to 0 / 255), so fixpoints are reached in a bounded number of passes even
+// for long-running counters.
+//
+// Interprocedural propagation: the state at every internal call site is
+// joined into the callee's entry block (declared module entries stay top —
+// a cross-domain caller can pass anything), and calls conservatively havoc
+// the whole file afterwards, exactly like ConstProp. Data stores havoc the
+// file too unless listed as `precise_stores`: a checked store stands for a
+// call into a trusted checker stub in the rewritten image, while an elided
+// (raw) store only moves its pointer in the inc/dec forms.
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace harbor::analysis {
+
+/// A contiguous data-space byte region, bounds inclusive.
+struct MemRegion {
+  std::uint16_t lo = 0;
+  std::uint16_t hi = 0;
+
+  [[nodiscard]] bool contains(std::uint32_t a, std::uint32_t b) const {
+    return a >= lo && b <= hi;
+  }
+  friend bool operator==(const MemRegion&, const MemRegion&) = default;
+};
+
+/// One register's abstract value: every byte in [lo, hi].
+struct Interval {
+  std::int16_t lo = 0;
+  std::int16_t hi = 255;
+
+  static Interval top() { return {0, 255}; }
+  static Interval exact(std::uint8_t v) {
+    return {static_cast<std::int16_t>(v), static_cast<std::int16_t>(v)};
+  }
+
+  [[nodiscard]] bool is_top() const { return lo == 0 && hi == 255; }
+  [[nodiscard]] bool singleton() const { return lo == hi; }
+  [[nodiscard]] bool contains(std::uint8_t v) const { return v >= lo && v <= hi; }
+
+  /// Convex-hull join. Returns true if this interval grew.
+  bool join(const Interval& o) {
+    bool changed = false;
+    if (o.lo < lo) { lo = o.lo; changed = true; }
+    if (o.hi > hi) { hi = o.hi; changed = true; }
+    return changed;
+  }
+  /// Widening against the previous state `old`: any bound that moved is
+  /// pushed straight to the lattice extreme.
+  void widen_from(const Interval& old) {
+    if (lo < old.lo) lo = 0;
+    if (hi > old.hi) hi = 255;
+  }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// A 16-bit address range (the concretization of a pointer pair).
+struct Interval16 {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0xffff;
+
+  [[nodiscard]] bool is_top() const { return lo == 0 && hi == 0xffff; }
+};
+
+/// Abstract register file.
+struct IntervalState {
+  std::array<Interval, 32> r{};
+
+  static IntervalState top() {
+    IntervalState s;
+    s.r.fill(Interval::top());
+    return s;
+  }
+
+  [[nodiscard]] const Interval& reg(std::uint8_t i) const { return r[i & 31]; }
+  void set(std::uint8_t i, Interval v) { r[i & 31] = v; }
+  void havoc(std::uint8_t i) { r[i & 31] = Interval::top(); }
+  void havoc_all() { r.fill(Interval::top()); }
+
+  /// 16-bit interval of the register pair d (low byte) / d+1 (high byte).
+  /// The hull over independent byte intervals is exact: min = lo+lo·256,
+  /// max = hi+hi·256.
+  [[nodiscard]] Interval16 pair(std::uint8_t d) const {
+    const Interval& l = r[d & 31];
+    const Interval& h = r[(d + 1) & 31];
+    return {static_cast<std::uint32_t>(l.lo) + (static_cast<std::uint32_t>(h.lo) << 8),
+            static_cast<std::uint32_t>(l.hi) + (static_cast<std::uint32_t>(h.hi) << 8)};
+  }
+  /// Decompose a 16-bit interval back onto the byte pair. When the range
+  /// stays within one high-byte page both halves are exact; otherwise the
+  /// high byte keeps its range and the low byte widens to top (a sound
+  /// superset of the true set of pairs).
+  void set_pair(std::uint8_t d, Interval16 v);
+
+  bool join(const IntervalState& o) {
+    bool changed = false;
+    for (int i = 0; i < 32; ++i) changed |= r[i].join(o.r[i]);
+    return changed;
+  }
+  void widen_from(const IntervalState& old) {
+    for (int i = 0; i < 32; ++i) r[i].widen_from(old.r[i]);
+  }
+
+  friend bool operator==(const IntervalState&, const IntervalState&) = default;
+};
+
+struct IntervalOptions {
+  /// Module-relative word offsets of data stores modeled with raw store
+  /// semantics (elided sites: only the pointer moves in inc/dec forms).
+  /// Every other data store havocs the register file — in a rewritten image
+  /// it stands for a call into a checker stub.
+  std::set<std::uint32_t> precise_stores;
+};
+
+class IntervalAnalysis {
+ public:
+  /// Worklist fixpoint with loop-head widening and call-site -> callee-entry
+  /// propagation. The result keeps a reference to `cfg`, which must outlive
+  /// it (temporaries are rejected).
+  static IntervalAnalysis run(const Cfg& cfg, IntervalOptions opts = {});
+  static IntervalAnalysis run(Cfg&&, IntervalOptions = {}) = delete;
+
+  /// Abstract state immediately before instruction `instr_index`
+  /// (recomputed from the containing block's in-state).
+  [[nodiscard]] IntervalState state_before(std::uint32_t instr_index) const;
+
+  [[nodiscard]] const IntervalState& block_in(std::uint32_t block) const {
+    return block_in_[block];
+  }
+  /// Blocks that are the target of a CFG back edge (widening points).
+  [[nodiscard]] const std::vector<bool>& loop_heads() const { return loop_heads_; }
+
+  /// Apply one instruction's transfer function. `precise_store` selects raw
+  /// store semantics for data stores (see IntervalOptions).
+  static void apply(const avr::Instr& i, IntervalState& s, bool precise_store);
+
+ private:
+  const Cfg* cfg_ = nullptr;
+  IntervalOptions opts_;
+  std::vector<IntervalState> block_in_;
+  std::vector<bool> loop_heads_;
+};
+
+}  // namespace harbor::analysis

@@ -62,6 +62,7 @@ void System::profile_module(memmap::DomainId domain) {
   if (mode() == ProtectionMode::Sfi) {
     stubs = sfi::StubTable::from_runtime(driver().runtime());
     spec.stubs = &stubs;
+    spec.manifest = &m->manifest;  // raw stores under proof -> elided guards
   }
   profiler_->add_region(spec);
 }

@@ -26,9 +26,12 @@ constexpr memmap::DomainId kSubjectDomain = 2;
 constexpr std::uint16_t kStackWindow = 64;  ///< run-time stack bytes mutated
 
 /// Subject module, raw at origin 0. Entry (r25:r24 = own buffer): fill the
-/// buffer with a ramp, checksum the victim buffer (reads are unrestricted),
-/// one cross-domain call to the kernel nop export, return the checksum.
-Program subject_program(std::uint16_t victim_addr, std::uint32_t jt_nop) {
+/// buffer with a ramp, stamp the ramp's end value into buffer byte 0 via a
+/// statically-addressed sts (the elidable store), checksum the victim
+/// buffer (reads are unrestricted), one cross-domain call to the kernel nop
+/// export, return the checksum.
+Program subject_program(std::uint16_t victim_addr, std::uint16_t buf_addr,
+                        std::uint32_t jt_nop) {
   using namespace assembler;
   Assembler a(0);
   a.movw(r26, r24);  // X = own buffer
@@ -39,6 +42,7 @@ Program subject_program(std::uint16_t victim_addr, std::uint32_t jt_nop) {
   a.inc(r19);
   a.dec(r18);
   a.brne(fill);
+  a.sts(buf_addr, r19);  // provably in-buffer: elidable under the policy
   a.ldi16(r28, victim_addr);  // Y = victim buffer (read-only view)
   a.ldi(r20, 8);
   a.clr(r21);
@@ -81,6 +85,8 @@ struct Prepared {
   std::uint32_t entry = 0;                 ///< absolute entry word address
   std::vector<std::uint32_t> entries_abs;  ///< declared entries (SFI verify)
   sfi::StubTable stubs{};                  ///< SFI checker stubs
+  sfi::ElisionPolicy policy{};             ///< SFI store-elision policy
+  sfi::ProofManifest manifest{};           ///< elision claims of the clean image
   Addrs addrs;
   Oracle oracle;
   std::uint64_t golden_instrs = 0;
@@ -99,16 +105,28 @@ Prepared prepare(const CampaignConfig& cfg) {
   Testbed probe(cfg.mode);
   P.addrs = setup(probe);
   const runtime::Layout& L = probe.layout();
-  const Program raw = subject_program(
-      P.addrs.victim, L.jt_entry(memmap::kTrustedDomain, Testbed::kNopSlot));
+  const Program raw =
+      subject_program(P.addrs.victim, P.addrs.buf,
+                      L.jt_entry(memmap::kTrustedDomain, Testbed::kNopSlot));
   const std::uint32_t ld_off = raw.symbol("victim_ld").value();
 
   if (cfg.mode == runtime::Mode::Sfi) {
     P.stubs = sfi::StubTable::from_runtime(probe.runtime());
+    if (cfg.elide) {
+      P.policy.enable = true;
+      P.policy.safe_regions.push_back(
+          {P.addrs.buf, static_cast<std::uint16_t>(P.addrs.buf + kBufBytes - 1)});
+      P.policy.forbidden_entries = {
+          L.jt_entry(memmap::kTrustedDomain, runtime::kernel_slots::kFree),
+          L.jt_entry(memmap::kTrustedDomain, runtime::kernel_slots::kChangeOwn)};
+      P.policy.computed_calls_screened = true;  // icall_check screens these
+    }
     sfi::RewriteInput in;
     in.words = raw.words;
     in.entries = {0};
-    const sfi::RewriteResult res = sfi::rewrite(in, P.stubs, probe.module_area());
+    const sfi::RewriteResult res =
+        sfi::rewrite(in, P.stubs, probe.module_area(), P.policy);
+    P.manifest = res.manifest;
     P.clean = res.program;
     P.entry = res.map_offset(0);
     P.entries_abs = {P.entry};
@@ -197,8 +215,8 @@ MutantRecord run_one(const Prepared& P, const CampaignConfig& cfg, int index,
   // SFI line one: the verifier. A weakened campaign skips it to prove the
   // oracle notices what then slips through.
   if (cfg.mode == runtime::Mode::Sfi && code_mutation && !cfg.weakened) {
-    const sfi::VerifyResult v =
-        sfi::verify(words, P.clean.origin, P.entries_abs, P.stubs);
+    const sfi::VerifyResult v = sfi::verify(words, P.clean.origin, P.entries_abs,
+                                            P.stubs, P.policy, P.manifest);
     if (!v.ok) {
       rec.outcome = Outcome::Rejected;
       rec.detail = v.reason + " @" + std::to_string(v.at);
@@ -287,6 +305,7 @@ CampaignReport run(const CampaignConfig& cfg, const Prepared& P,
     spec.words = P.clean.words;
     spec.entries = P.entries_abs;
     spec.stubs = cfg.mode == runtime::Mode::Sfi ? &P.stubs : nullptr;
+    spec.manifest = cfg.mode == runtime::Mode::Sfi ? &P.manifest : nullptr;
     profiler->add_region(spec);
   }
 

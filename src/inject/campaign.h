@@ -44,6 +44,10 @@ struct CampaignConfig {
   /// Accumulate a coverage map of the clean subject image across all mutant
   /// runs (which blocks/guard sites/fault paths the campaign exercised).
   bool coverage = false;
+  /// SFI only: rewrite the subject under a store-elision policy (its own
+  /// buffer is the safe region) and verify every mutant against the proof
+  /// manifest, so the campaign also attacks the V9 re-proof path.
+  bool elide = true;
 };
 
 struct MutantRecord {

@@ -48,6 +48,8 @@ std::vector<std::uint16_t> serialize_image(const sos::ModuleImage& image) {
   for (const std::uint32_t off : image.extra_entries) push_u16(payload, off);
   push_u16(payload, static_cast<std::uint32_t>(image.code_ptr_relocs.size()));
   for (const std::uint32_t off : image.code_ptr_relocs) push_u16(payload, off);
+  push_u16(payload, static_cast<std::uint32_t>(image.state_relocs.size()));
+  for (const std::uint32_t off : image.state_relocs) push_u16(payload, off);
   push_u16(payload, static_cast<std::uint32_t>(image.code.size()));
   for (const std::uint16_t w : image.code) payload.push_back(w);
 
@@ -109,6 +111,9 @@ std::optional<sos::ModuleImage> deserialize_image(std::span<const std::uint16_t>
   const std::uint16_t n_relocs = r.u16();
   if (!r.has(n_relocs)) return std::nullopt;
   for (std::uint16_t i = 0; i < n_relocs; ++i) img.code_ptr_relocs.push_back(r.u16());
+  const std::uint16_t n_state_relocs = r.u16();
+  if (!r.has(n_state_relocs)) return std::nullopt;
+  for (std::uint16_t i = 0; i < n_state_relocs; ++i) img.state_relocs.push_back(r.u16());
   const std::uint16_t n_code = r.u16();
   if (!r.has(n_code)) return std::nullopt;
   for (std::uint16_t i = 0; i < n_code; ++i) img.code.push_back(r.u16());

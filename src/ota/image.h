@@ -13,7 +13,8 @@
 //              the crc the last two.
 //   payload: [name len][name chars, 2 per word][state_size]
 //            [n exports][(slot, offset)*] [n extras][extra*]
-//            [n relocs][reloc*] [n code][code words*]
+//            [n relocs][reloc*] [n state relocs][state reloc*]
+//            [n code][code words*]
 
 #include <cstdint>
 #include <optional>

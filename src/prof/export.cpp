@@ -150,6 +150,7 @@ std::string profile_json(const Profiler& p, const std::string& mode) {
       json::kv(out, f, "blocks_covered", std::uint64_t{r.blocks_covered()});
       json::kv(out, f, "guards_total", std::uint64_t{r.guards.size()});
       json::kv(out, f, "guards_covered", std::uint64_t{r.guards_covered()});
+      json::kv(out, f, "guards_elided", std::uint64_t{r.guards_elided()});
       f.item();
       out += "\"guards\":[";
       {
@@ -161,6 +162,7 @@ std::string profile_json(const Profiler& p, const std::string& mode) {
           json::kv(out, gf, "off", std::uint64_t{s.off});
           json::kv(out, gf, "kind", std::string(guard_kind_name(s.kind)));
           json::kv(out, gf, "hits", s.hits);
+          json::kv(out, gf, "elided", s.elided);
           out += "}";
         }
       }

@@ -1,10 +1,13 @@
 #include "prof/profiler.h"
 
+#include <algorithm>
+
 namespace harbor::prof {
 
 const char* guard_kind_name(GuardKind k) {
   switch (k) {
     case GuardKind::SfiStoreStub: return "sfi-store-stub";
+    case GuardKind::SfiElidedStore: return "sfi-elided-store";
     case GuardKind::SfiSaveRet: return "sfi-save-ret";
     case GuardKind::SfiRestoreRet: return "sfi-restore-ret";
     case GuardKind::SfiCrossCall: return "sfi-cross-call";
@@ -84,6 +87,13 @@ std::uint32_t Region::guards_covered() const {
   return n;
 }
 
+std::uint32_t Region::guards_elided() const {
+  std::uint32_t n = 0;
+  for (const GuardSite& g : guards)
+    if (g.elided) ++n;
+  return n;
+}
+
 std::vector<const GuardSite*> Region::uncovered_guards() const {
   std::vector<const GuardSite*> out;
   for (const GuardSite& g : guards)
@@ -105,10 +115,20 @@ std::uint32_t Profiler::add_region(const RegionSpec& spec) {
   r.block_retires.assign(r.cfg.blocks().size(), 0);
   r.off_to_guard_.assign(r.size, -1);
   for (const analysis::InstrAt& ia : r.cfg.instructions()) {
-    const auto kind = spec.stubs ? sfi_guard(ia, spec.origin, *spec.stubs) : umpu_guard(ia);
+    auto kind = spec.stubs ? sfi_guard(ia, spec.origin, *spec.stubs) : umpu_guard(ia);
+    bool elided = false;
+    // A raw data store in an SFI image at a manifest offset is a protection
+    // obligation discharged statically: count it as an (elided) guard site
+    // so check-density reports see where the stubs used to be.
+    if (!kind && spec.stubs && spec.manifest && avr::is_data_store(ia.ins.op) &&
+        std::any_of(spec.manifest->sites.begin(), spec.manifest->sites.end(),
+                    [&](const sfi::ProofSite& s) { return s.off == ia.off; })) {
+      kind = GuardKind::SfiElidedStore;
+      elided = true;
+    }
     if (!kind) continue;
     r.off_to_guard_[ia.off] = static_cast<std::int32_t>(r.guards.size());
-    r.guards.push_back(GuardSite{ia.off, *kind, 0});
+    r.guards.push_back(GuardSite{ia.off, *kind, 0, elided});
   }
   regions_.push_back(std::move(r));
   return static_cast<std::uint32_t>(regions_.size() - 1);

@@ -39,6 +39,7 @@
 #include "analysis/cfg.h"
 #include "avr/cpu.h"
 #include "avr/hooks.h"
+#include "sfi/elision.h"
 #include "sfi/stub_table.h"
 #include "trace/metrics.h"
 #include "umpu/fabric.h"
@@ -50,6 +51,7 @@ namespace harbor::prof {
 /// Umpu* sites are the instruction forms the hardware units intercept.
 enum class GuardKind : std::uint8_t {
   SfiStoreStub,    ///< call into a harbor_st_* store-checker stub
+  SfiElidedStore,  ///< raw store admitted under a verified elision proof (§13)
   SfiSaveRet,      ///< call harbor_save_ret prologue
   SfiRestoreRet,   ///< jmp harbor_restore_ret epilogue
   SfiCrossCall,    ///< call harbor_cross_call / into the jump table
@@ -64,10 +66,13 @@ enum class GuardKind : std::uint8_t {
 const char* guard_kind_name(GuardKind k);
 
 /// One guard site inside a region, with its campaign-accumulated hit count.
+/// `elided` marks a protection obligation discharged statically (a store the
+/// verifier re-proved safe) rather than by a run-time check sequence.
 struct GuardSite {
   std::uint32_t off = 0;  ///< module-relative word offset
   GuardKind kind = GuardKind::UmpuStore;
   std::uint64_t hits = 0;
+  bool elided = false;
 };
 
 /// A code region to attribute and cover. `stubs` non-null marks the image as
@@ -81,6 +86,10 @@ struct RegionSpec {
   std::vector<std::uint16_t> words;
   std::vector<std::uint32_t> entries;  ///< absolute entry-point addresses
   const sfi::StubTable* stubs = nullptr;
+  /// SFI only: the module's verified proof manifest. Raw stores at manifest
+  /// offsets register as elided guard sites, so coverage and cost reports
+  /// can tell a check that ran from a check that was proven away.
+  const sfi::ProofManifest* manifest = nullptr;
 };
 
 struct Region {
@@ -99,6 +108,7 @@ struct Region {
   [[nodiscard]] std::uint32_t blocks_total() const;    ///< reachable blocks
   [[nodiscard]] std::uint32_t blocks_covered() const;  ///< reachable + executed
   [[nodiscard]] std::uint32_t guards_covered() const;
+  [[nodiscard]] std::uint32_t guards_elided() const;  ///< statically discharged
   [[nodiscard]] std::vector<const GuardSite*> uncovered_guards() const;
 
  private:

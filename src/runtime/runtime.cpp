@@ -1061,6 +1061,18 @@ class Emitter {
         a_.brne(not_jt);
         a_.cpi(r30, static_cast<std::uint8_t>(total_entries));
         a_.brsh(not_jt);
+        // In-table, but never into the trusted domain's memory-management
+        // services: free/change-own behind a function pointer would let a
+        // module revoke memory whose ownership the verifier's elision
+        // proofs rely on (DESIGN.md §13). r30 holds the jt-relative index.
+        a_.cpi(r30, static_cast<std::uint8_t>(ports::kTrustedDomain * L_.jt_entries() +
+                                              kernel_slots::kFree));
+        a_.brlo(in_jt);
+        a_.cpi(r30, static_cast<std::uint8_t>(ports::kTrustedDomain * L_.jt_entries() +
+                                              kernel_slots::kChangeOwn + 1));
+        a_.brsh(in_jt);
+        a_.ldi(r18, static_cast<std::uint8_t>(fault));
+        a_.jmp(panic_label());
         a_.bind(in_jt);
         add16(a_, r30, r31, static_cast<std::uint16_t>(L_.jt_base));
         a_.jmp(cross_call_label());

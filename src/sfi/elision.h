@@ -1,0 +1,60 @@
+#pragma once
+// Store-check elision policy and proof manifest (DESIGN.md §13).
+//
+// The rewriter may leave a data store un-instrumented when the interval
+// analysis proves its effective address always falls inside a region the
+// policy marks safe for the module. Each elision is recorded as a ProofSite
+// in the manifest that travels with the rewritten image. The manifest is a
+// *claim*, not a credential: sfi::verify() — the sole TCB — re-runs the
+// same analysis over the rewritten words and rejects the module unless
+// every claimed site re-proves (rule V9). A module whose manifest was
+// forged, corrupted, or simply dropped therefore never gets admitted with
+// an unchecked store.
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/interval.h"
+
+namespace harbor::sfi {
+
+/// What the loader asserts about the module's protection domain, for the
+/// purpose of proving stores safe. Empty (or disabled) policy => no elision.
+struct ElisionPolicy {
+  bool enable = false;
+  /// Regions a store may be proven into (the module's own state block and
+  /// the register-file window the checker stubs pass unconditionally).
+  std::vector<analysis::MemRegion> safe_regions;
+  /// Regions an untrusted store is statically known to fault on (the IO
+  /// window): lets the lint report flag provably-violating sites.
+  std::vector<analysis::MemRegion> deny_regions;
+  /// Absolute jump-table entry addresses whose reachability from the module
+  /// forfeits elision entirely (free / change-ownership kernel services: a
+  /// module that can release its own state block has no static region to
+  /// prove stores into).
+  std::vector<std::uint32_t> forbidden_entries;
+  /// True when the runtime's computed-call check (harbor_icall_check) is
+  /// known to deny jump-table dispatch into the forbidden entries. The
+  /// analysis then only has to rule out *direct* routes to them; without
+  /// this guarantee any icall forfeits elision (it could reach ker_free).
+  bool computed_calls_screened = false;
+};
+
+/// One elided store in the rewritten image, with the address bounds the
+/// rewriter proved. `off` is the module-relative word offset of the raw
+/// store instruction in the *rewritten* words.
+struct ProofSite {
+  std::uint32_t off = 0;
+  std::uint16_t addr_lo = 0;
+  std::uint16_t addr_hi = 0;
+
+  friend bool operator==(const ProofSite&, const ProofSite&) = default;
+};
+
+struct ProofManifest {
+  std::vector<ProofSite> sites;
+
+  [[nodiscard]] bool empty() const { return sites.empty(); }
+};
+
+}  // namespace harbor::sfi

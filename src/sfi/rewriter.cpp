@@ -2,6 +2,9 @@
 
 #include <optional>
 
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "analysis/elide.h"
 #include "asm/builder.h"
 #include "avr/decoder.h"
 
@@ -36,6 +39,9 @@ struct Node {
   std::uint32_t jt_entry = 0;     // cross-call target (absolute)
   bool is_entry = false;
   bool relaxed = false;           // Branch: inverted + jmp; Skip: guarded
+  bool elide = false;             // store proven safe: emitted raw, in manifest
+  std::uint16_t claim_lo = 0;     // proven address bounds (manifest claim)
+  std::uint16_t claim_hi = 0;
   std::uint32_t new_size = 0;     // emitted words (excluding entry prefix)
 };
 
@@ -58,6 +64,7 @@ std::uint32_t stub_for(const StubTable& st, Mnemonic m) {
 
 /// Emitted word count of a node, excluding the entry prologue.
 std::uint32_t size_of(const Node& n) {
+  if (n.elide) return static_cast<std::uint32_t>(n.ins.words());
   switch (n.kind) {
     case Kind::Keep: return static_cast<std::uint32_t>(n.ins.words());
     case Kind::StoreSimple: return n.ins.d == 0 ? 2u : 3u;
@@ -78,7 +85,7 @@ std::uint32_t size_of(const Node& n) {
 }  // namespace
 
 RewriteResult rewrite(const RewriteInput& in, const StubTable& stubs,
-                      std::uint32_t load_origin) {
+                      std::uint32_t load_origin, const ElisionPolicy& policy) {
   const std::uint32_t nwords = static_cast<std::uint32_t>(in.words.size());
 
   // --- pass 1: decode & classify -------------------------------------------
@@ -171,6 +178,26 @@ RewriteResult rewrite(const RewriteInput& in, const StubTable& stubs,
     nodes[it->second].is_entry = true;
   }
 
+  // --- elision: prove stores safe on the input image ------------------------
+  // The analysis runs on the *input* words (origin 0, module-relative
+  // entries); offsets match node offsets one-to-one. Claims recorded here
+  // are re-derived by the verifier over the *output* words — the two models
+  // agree because a checked store havocs exactly like the stub call that
+  // replaces it.
+  if (policy.enable) {
+    const analysis::Cfg cfg = analysis::Cfg::build(in.words, 0, in.entries, stubs);
+    const analysis::ConstProp flow = analysis::ConstProp::run(cfg);
+    const analysis::ElisionReport rep =
+        analysis::analyze_elision(cfg, flow, stubs, policy);
+    for (const analysis::StoreSite& s : rep.sites) {
+      if (!rep.elided.contains(s.off)) continue;
+      Node& n = nodes[node_at.at(s.off)];
+      n.elide = true;
+      n.claim_lo = s.addr_lo;
+      n.claim_hi = s.addr_hi;
+    }
+  }
+
   // Resolve internal targets to node indices (must hit boundaries).
   auto target_node = [&](const Node& n) -> std::size_t {
     const auto it = node_at.find(n.target_old);
@@ -256,11 +283,23 @@ RewriteResult rewrite(const RewriteInput& in, const StubTable& stubs,
         a.emit(i);
         break;
       case Kind::StoreSimple:
+        if (n.elide) {
+          out.manifest.sites.push_back({a.here() - load_origin, n.claim_lo, n.claim_hi});
+          a.emit(i);
+          ++stats.elided_stores;
+          break;
+        }
         if (i.d != 0) a.mov(r0, Reg(i.d));
         a.call_abs(stub_for(stubs, i.op));
         ++stats.stores;
         break;
       case Kind::StoreDisplaced: {
+        if (n.elide) {
+          out.manifest.sites.push_back({a.here() - load_origin, n.claim_lo, n.claim_hi});
+          a.emit(i);
+          ++stats.elided_stores;
+          break;
+        }
         if (i.d != 0) a.mov(r0, Reg(i.d));
         a.push(r26);
         a.push(r27);
@@ -274,6 +313,12 @@ RewriteResult rewrite(const RewriteInput& in, const StubTable& stubs,
         break;
       }
       case Kind::StoreAbsolute:
+        if (n.elide) {
+          out.manifest.sites.push_back({a.here() - load_origin, n.claim_lo, n.claim_hi});
+          a.emit(i);
+          ++stats.elided_stores;
+          break;
+        }
         if (i.d != 0) a.mov(r0, Reg(i.d));
         a.push(r26);
         a.push(r27);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "asm/program.h"
+#include "sfi/elision.h"
 #include "sfi/stub_table.h"
 
 namespace harbor::sfi {
@@ -41,6 +42,7 @@ struct RewriteInput {
 struct RewriteStats {
   int stores = 0;
   int displaced_stores = 0;  ///< std/sts routed through the X path
+  int elided_stores = 0;     ///< stores proven safe and left raw (manifest)
   int rets = 0;
   int cross_calls = 0;
   int computed = 0;          ///< icall/ijmp
@@ -54,6 +56,10 @@ struct RewriteResult {
   /// original instruction boundary).
   std::map<std::uint32_t, std::uint32_t> offset_map;
   RewriteStats stats;
+  /// Proof claims for every elided store, at offsets in the rewritten
+  /// words. Empty without an elision policy. Must accompany the image to
+  /// the elision-aware sfi::verify() overload.
+  ProofManifest manifest;
 
   [[nodiscard]] std::uint32_t map_offset(std::uint32_t old_offset) const {
     return offset_map.at(old_offset);
@@ -67,7 +73,10 @@ class RewriteError : public std::runtime_error {
 
 /// Rewrite `in`, producing an image based at `load_origin`. Throws
 /// RewriteError on undecodable input or disallowed external references.
+/// With an enabled `policy`, stores the interval analysis proves to stay
+/// inside a policy safe region are left raw instead of stub-wrapped, each
+/// recorded in the result's proof manifest for the verifier to re-derive.
 RewriteResult rewrite(const RewriteInput& in, const StubTable& stubs,
-                      std::uint32_t load_origin);
+                      std::uint32_t load_origin, const ElisionPolicy& policy = {});
 
 }  // namespace harbor::sfi

@@ -22,4 +22,15 @@ VerifyResult verify(std::span<const std::uint16_t> words, std::uint32_t origin,
   return {};
 }
 
+VerifyResult verify(std::span<const std::uint16_t> words, std::uint32_t origin,
+                    std::span<const std::uint32_t> entries, const StubTable& stubs,
+                    const ElisionPolicy& policy, const ProofManifest& manifest) {
+  const analysis::Cfg cfg = analysis::Cfg::build(words, origin, entries, stubs);
+  const analysis::ConstProp flow = analysis::ConstProp::run(cfg);
+  const analysis::ElisionContext ctx{&policy, &manifest};
+  for (analysis::Finding& f : analysis::check_module(cfg, stubs, flow, ctx))
+    if (f.violation) return VerifyResult::failure(f.off, std::move(f.message));
+  return {};
+}
+
 }  // namespace harbor::sfi

@@ -21,6 +21,11 @@
 //   V7  skip instructions are followed by a one-word instruction (so the
 //       skip cannot land inside an operand word)
 //   V8  every declared entry begins with `call harbor_save_ret`
+//   V9  (elision-aware overload) a raw store is admissible only at a proof-
+//       manifest offset whose claim the verifier re-derives itself: the
+//       interval analysis re-run over the rewritten words must bound the
+//       address within the claim, the claim must sit inside a policy safe
+//       region, and no forbidden jump-table entry may be reachable
 //
 // The rules are evaluated as analyses over a whole-module control-flow
 // graph (src/analysis: CFG construction, constant-propagation dataflow,
@@ -33,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "sfi/elision.h"
 #include "sfi/stub_table.h"
 
 namespace harbor::sfi {
@@ -52,5 +58,13 @@ struct VerifyResult {
 /// points (exports and address-taken functions).
 VerifyResult verify(std::span<const std::uint16_t> words, std::uint32_t origin,
                     std::span<const std::uint32_t> entries, const StubTable& stubs);
+
+/// Elision-aware verification: like the overload above, but raw stores at
+/// `manifest` offsets are admitted iff their proofs re-derive under
+/// `policy` (rule V9). The manifest is untrusted input — this overload is
+/// the only place elision claims become authoritative.
+VerifyResult verify(std::span<const std::uint16_t> words, std::uint32_t origin,
+                    std::span<const std::uint32_t> entries, const StubTable& stubs,
+                    const ElisionPolicy& policy, const ProofManifest& manifest);
 
 }  // namespace harbor::sfi

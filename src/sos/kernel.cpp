@@ -5,6 +5,7 @@
 
 #include "asm/builder.h"
 #include "ota/image.h"
+#include "avr/memory.h"
 #include "avr/ports.h"
 #include "sfi/rewriter.h"
 #include "sfi/verifier.h"
@@ -115,47 +116,16 @@ memmap::DomainId Kernel::load(const ModuleImage& image,
   m.name = image.name;
   m.domain = domain;
 
-  if (mode() == runtime::Mode::Sfi) {
-    sfi::RewriteInput in;
-    in.words = image.code;
-    for (const Export& e : image.exports) in.entries.push_back(e.offset);
-    for (const std::uint32_t e : image.extra_entries) in.entries.push_back(e);
-    const sfi::StubTable stubs = sfi::StubTable::from_runtime(tb_.runtime());
-    const sfi::RewriteResult res = sfi::rewrite(in, stubs, load_cursor_);
-    const sfi::VerifyResult v =
-        sfi::verify(res.program.words, res.program.origin,
-                    [&] {
-                      std::vector<std::uint32_t> abs;
-                      for (const std::uint32_t e : in.entries) abs.push_back(res.map_offset(e));
-                      return abs;
-                    }(),
-                    stubs);
-    if (!v.ok)
-      throw std::runtime_error("sos: module '" + image.name + "' rejected by verifier: " +
-                               v.reason);
-    tb_.load_module_image(res.program, domain);
-    m.base = res.program.origin;
-    m.end = res.program.end();
-    for (const Export& e : image.exports) m.export_addr[e.slot] = res.map_offset(e.offset);
-  } else {
-    // UMPU/None: the binary runs unmodified; the loader only rebases
-    // internal absolute references.
-    assembler::Program p;
-    p.origin = load_cursor_;
-    p.words = relocate_image(image, load_cursor_);
-    tb_.load_module_image(p, domain);
-    m.base = p.origin;
-    m.end = p.end();
-    for (const Export& e : image.exports) m.export_addr[e.slot] = p.origin + e.offset;
-  }
-  load_cursor_ = m.end;
-
-  // Link the exports into the domain's jump table.
-  for (const auto& [slot, addr] : m.export_addr) tb_.set_jt_entry(domain, slot, addr);
-
-  // Allocate module state on behalf of the module (SOS: the kernel calls
-  // ker_malloc(size, id) during registration; ownership goes to the
-  // module's domain).
+  // Allocate module state *before* the image is prepared (SOS: the kernel
+  // calls ker_malloc(size, id) during registration; ownership goes to the
+  // module's domain). The address is patched into the image's state relocs,
+  // making the state pointer a constant the store-elision analysis can
+  // bound — and it is stable for the module's lifetime: only the kernel
+  // frees it (at unload), and elision is forfeited for any module that
+  // could reach the free/change-ownership services itself.
+  if (!image.state_relocs.empty() && image.state_size == 0)
+    throw std::runtime_error("sos: module '" + image.name +
+                             "' has state relocs but no state block");
   if (image.state_size > 0) {
     const CallResult r =
         tb_.malloc(image.state_size, memmap::kTrustedDomain, domain);
@@ -163,6 +133,73 @@ memmap::DomainId Kernel::load(const ModuleImage& image,
       throw std::runtime_error("sos: state allocation failed for '" + image.name + "'");
     m.state_ptr = r.value;
   }
+
+  try {
+    if (mode() == runtime::Mode::Sfi) {
+      sfi::RewriteInput in;
+      in.words = image.code;
+      patch_state_relocs(in.words, image.state_relocs, m.state_ptr);
+      for (const Export& e : image.exports) in.entries.push_back(e.offset);
+      for (const std::uint32_t e : image.extra_entries) in.entries.push_back(e);
+      const sfi::StubTable stubs = sfi::StubTable::from_runtime(tb_.runtime());
+      sfi::ElisionPolicy policy;
+      if (elide_stores_) {
+        policy.enable = true;
+        // The register-file window is passed unconditionally by the store
+        // checkers; the state block is this module's own memory.
+        policy.safe_regions.push_back({0, avr::DataSpace::kIoBase - 1});
+        if (image.state_size > 0)
+          policy.safe_regions.push_back(
+              {m.state_ptr,
+               static_cast<std::uint16_t>(m.state_ptr + image.state_size - 1)});
+        policy.deny_regions.push_back(
+            {avr::DataSpace::kIoBase, avr::DataSpace::kSramBase - 1});
+        policy.forbidden_entries = {
+            tb_.layout().jt_entry(memmap::kTrustedDomain, runtime::kernel_slots::kFree),
+            tb_.layout().jt_entry(memmap::kTrustedDomain,
+                                  runtime::kernel_slots::kChangeOwn)};
+        // harbor_icall_check refuses jt dispatch into free/change-own, so
+        // the analysis need not forfeit elision on every computed call.
+        policy.computed_calls_screened = true;
+      }
+      const sfi::RewriteResult res = sfi::rewrite(in, stubs, load_cursor_, policy);
+      const sfi::VerifyResult v =
+          sfi::verify(res.program.words, res.program.origin,
+                      [&] {
+                        std::vector<std::uint32_t> abs;
+                        for (const std::uint32_t e : in.entries) abs.push_back(res.map_offset(e));
+                        return abs;
+                      }(),
+                      stubs, policy, res.manifest);
+      if (!v.ok)
+        throw std::runtime_error("sos: module '" + image.name + "' rejected by verifier: " +
+                                 v.reason);
+      tb_.load_module_image(res.program, domain);
+      m.base = res.program.origin;
+      m.end = res.program.end();
+      m.manifest = res.manifest;
+      for (const Export& e : image.exports) m.export_addr[e.slot] = res.map_offset(e.offset);
+    } else {
+      // UMPU/None: the binary runs unmodified; the loader only rebases
+      // internal absolute references (and patches the state relocs).
+      assembler::Program p;
+      p.origin = load_cursor_;
+      p.words = relocate_image(image, load_cursor_);
+      patch_state_relocs(p.words, image.state_relocs, m.state_ptr);
+      tb_.load_module_image(p, domain);
+      m.base = p.origin;
+      m.end = p.end();
+      for (const Export& e : image.exports) m.export_addr[e.slot] = p.origin + e.offset;
+    }
+  } catch (...) {
+    // A rejected image must not leak the state block it will never use.
+    if (m.state_ptr != 0) tb_.free(m.state_ptr, memmap::kTrustedDomain);
+    throw;
+  }
+  load_cursor_ = m.end;
+
+  // Link the exports into the domain's jump table.
+  for (const auto& [slot, addr] : m.export_addr) tb_.set_jt_entry(domain, slot, addr);
 
   modules_.emplace(domain, m);
   images_[domain] = image;

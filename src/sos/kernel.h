@@ -18,6 +18,7 @@
 
 #include "ota/store.h"
 #include "runtime/testbed.h"
+#include "sfi/elision.h"
 #include "sos/module.h"
 #include "trace/tracer.h"
 
@@ -38,6 +39,9 @@ struct LoadedModule {
   std::uint32_t end = 0;
   std::uint16_t state_ptr = 0;
   std::map<std::uint32_t, std::uint32_t> export_addr;  ///< slot -> word address
+  /// SFI mode: proof claims for the stores left raw in the loaded image
+  /// (every one re-proved by the verifier before admission).
+  sfi::ProofManifest manifest;
 };
 
 struct PendingMessage {
@@ -167,6 +171,13 @@ class Kernel {
   void set_tracer(trace::Tracer* t) { tracer_ = t; }
   [[nodiscard]] trace::Tracer* tracer() const { return tracer_; }
 
+  /// SFI store-check elision (DESIGN.md §13): on by default. When enabled,
+  /// loads prove stores into the module's own state block (and the
+  /// register-file window) safe and leave them raw; the verifier re-proves
+  /// every claim before admission. Affects subsequent loads only.
+  void set_store_elision(bool on) { elide_stores_ = on; }
+  [[nodiscard]] bool store_elision() const { return elide_stores_; }
+
  private:
   void install_syscall_services();
   void fill_default_jump_tables();
@@ -194,6 +205,7 @@ class Kernel {
   std::map<memmap::DomainId, QuarantineRecord> quarantine_;
   std::deque<PendingMessage> dead_letters_;
   std::uint64_t round_ = 0;  ///< dispatch rounds (backoff clock)
+  bool elide_stores_ = true;
   std::deque<PendingMessage> queue_;
   std::uint32_t load_cursor_ = 0;      ///< next free flash word for modules
   std::map<std::pair<memmap::DomainId, std::uint32_t>, std::uint32_t> dispatch_tramp_;

@@ -6,6 +6,35 @@
 
 namespace harbor::sos {
 
+namespace {
+
+/// Add `base` to the immediate of each ldi pair at `relocs`.
+void patch_ldi_pair_relocs(std::vector<std::uint16_t>& words,
+                           const std::vector<std::uint32_t>& relocs,
+                           std::uint32_t base) {
+  using avr::Instr;
+  using avr::Mnemonic;
+  const std::uint32_t n = static_cast<std::uint32_t>(words.size());
+  for (const std::uint32_t off : relocs) {
+    if (off + 1 >= n) throw std::runtime_error("relocate: reloc offset out of range");
+    const Instr lo = avr::decode(words[off], 0);
+    const Instr hi = avr::decode(words[off + 1], 0);
+    if (lo.op != Mnemonic::Ldi || hi.op != Mnemonic::Ldi)
+      throw std::runtime_error("relocate: reloc does not point at an ldi pair");
+    const std::uint32_t target =
+        (static_cast<std::uint32_t>(hi.imm) << 8 | lo.imm) + base;
+    if (target > 0xffff) throw std::runtime_error("relocate: rebased pointer overflows");
+    Instr nlo = lo;
+    nlo.imm = static_cast<std::uint8_t>(target & 0xff);
+    Instr nhi = hi;
+    nhi.imm = static_cast<std::uint8_t>(target >> 8);
+    words[off] = avr::encode(nlo).word[0];
+    words[off + 1] = avr::encode(nhi).word[0];
+  }
+}
+
+}  // namespace
+
 std::vector<std::uint16_t> relocate_image(const ModuleImage& image, std::uint32_t base) {
   using avr::Instr;
   using avr::Mnemonic;
@@ -32,23 +61,14 @@ std::vector<std::uint16_t> relocate_image(const ModuleImage& image, std::uint32_
   }
 
   // Pass 2: explicit ldi-pair code pointers.
-  for (const std::uint32_t off : image.code_ptr_relocs) {
-    if (off + 1 >= n) throw std::runtime_error("relocate: reloc offset out of range");
-    const Instr lo = avr::decode(out[off], 0);
-    const Instr hi = avr::decode(out[off + 1], 0);
-    if (lo.op != Mnemonic::Ldi || hi.op != Mnemonic::Ldi)
-      throw std::runtime_error("relocate: reloc does not point at an ldi pair");
-    const std::uint32_t target =
-        (static_cast<std::uint32_t>(hi.imm) << 8 | lo.imm) + base;
-    if (target > 0xffff) throw std::runtime_error("relocate: rebased pointer overflows");
-    Instr nlo = lo;
-    nlo.imm = static_cast<std::uint8_t>(target & 0xff);
-    Instr nhi = hi;
-    nhi.imm = static_cast<std::uint8_t>(target >> 8);
-    out[off] = avr::encode(nlo).word[0];
-    out[off + 1] = avr::encode(nhi).word[0];
-  }
+  patch_ldi_pair_relocs(out, image.code_ptr_relocs, base);
   return out;
+}
+
+void patch_state_relocs(std::vector<std::uint16_t>& words,
+                        const std::vector<std::uint32_t>& relocs,
+                        std::uint16_t state_ptr) {
+  patch_ldi_pair_relocs(words, relocs, state_ptr);
 }
 
 }  // namespace harbor::sos

@@ -33,6 +33,12 @@ struct ModuleImage {
   /// rebases them. Direct internal call/jmp operands are rebased
   /// automatically; only immediate-loaded pointers need listing.
   std::vector<std::uint32_t> code_ptr_relocs;
+  /// Word offsets of ldi pairs whose immediate is an offset *within the
+  /// module's state block*: the loader adds the allocated state address.
+  /// This is how a module materialises its state pointer as a constant the
+  /// store-elision analysis can prove bounds for, instead of reading it
+  /// from the dispatch registers (which any cross-domain caller controls).
+  std::vector<std::uint32_t> state_relocs;
 
   /// Conventional jump-table slots.
   static constexpr std::uint32_t kHandlerSlot = 0;
@@ -44,6 +50,13 @@ struct ModuleImage {
 /// and external absolute targets (jump tables, stubs) are untouched.
 /// Throws std::runtime_error on undecodable input or bad reloc offsets.
 std::vector<std::uint16_t> relocate_image(const ModuleImage& image, std::uint32_t base);
+
+/// Patch the ldi pairs at `relocs` in `words`, adding `state_ptr` to each
+/// pair's immediate (the offset within the state block). Shared by both
+/// load paths; throws std::runtime_error on bad offsets or overflow.
+void patch_state_relocs(std::vector<std::uint16_t>& words,
+                        const std::vector<std::uint32_t>& relocs,
+                        std::uint16_t state_ptr);
 
 /// Well-known message ids (mirrors SOS).
 namespace msg {

@@ -37,7 +37,11 @@ ModuleImage blink() {
   auto not_timer = a.make_label();
   a.cpi(r24, msg::kTimer);
   a.brne(not_timer);
-  a.movw(r26, r20);  // X = state
+  // X = state, as a loader-patched constant (state reloc) rather than the
+  // r21:r20 dispatch argument: a constant the elision analysis can bound.
+  m.state_relocs.push_back(a.here());
+  a.ldi(r26, 0);
+  a.ldi(r27, 0);
   a.ld_x(r18);
   a.inc(r18);
   a.st_x(r18);
@@ -85,12 +89,15 @@ ModuleImage surge(std::uint8_t tree_domain, bool fixed) {
   // === kInit ===
   a.cpi(r24, msg::kInit);
   a.brne(check_data);
-  a.movw(r16, r20);  // keep the state pointer across kernel calls
   // buf = ker_malloc(kPktSize)
   a.ldi(r24, kPktSize);
   a.clr(r25);
   a.call_abs(kernel_entry(L, runtime::kernel_slots::kMalloc));
-  a.movw(r26, r16);
+  // X = state as a loader-patched constant (state reloc): provable by the
+  // elision analysis where the r21:r20 dispatch argument is not.
+  m.state_relocs.push_back(a.here());
+  a.ldi(r26, 0);
+  a.ldi(r27, 0);
   a.st_x_inc(r24);  // state[0..1] = buf
   a.st_x_inc(r25);
   // fn = ker_subscribe(tree_domain, get_hdr_size). The unchecked use of
@@ -98,6 +105,11 @@ ModuleImage surge(std::uint8_t tree_domain, bool fixed) {
   a.ldi(r24, tree_domain);
   a.ldi(r22, static_cast<std::uint8_t>(kTreeGetHdrSizeSlot));
   a.call_abs(kernel_entry(L, sys_slots::kSubscribe));
+  // Re-materialise X past the kernel call (a call havocs every register in
+  // the analysis' model, and must: the callee is another domain).
+  m.state_relocs.push_back(a.here());
+  a.ldi(r26, SurgeState::kFnEntry);
+  a.ldi(r27, 0);
   a.st_x_inc(r24);  // state[2..3] = jump-table entry of get_hdr_size
   a.st_x_inc(r25);
   a.rjmp(done);

@@ -61,6 +61,10 @@ inline void kv(std::string& out, Joiner& j, const std::string& key, std::int64_t
 inline void kv(std::string& out, Joiner& j, const std::string& key, int v) {
   kv(out, j, key, static_cast<std::int64_t>(v));
 }
+inline void kv(std::string& out, Joiner& j, const std::string& key, bool v) {
+  j.item();
+  out += '"' + escape(key) + "\":" + (v ? "true" : "false");
+}
 inline std::string number(double v) {
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.6g", v);

@@ -173,6 +173,67 @@ TEST(Cfg, CallsAreClassifiedAndDoNotEndBlocks) {
   EXPECT_EQ(cfg.reachable_blocks(), 2u);
 }
 
+TEST(Cfg, BranchIntoSecondWordOfTwoWordInstructionRejected) {
+  const sfi::StubTable stubs = test_stubs();
+  Assembler a(kOrigin);
+  a.call_abs(stubs.save_ret);    // 0..1
+  a.nop();                       // 2 (patched below)
+  a.jmp_abs(stubs.restore_ret);  // 3..4 (two words)
+  Program p = a.assemble();
+  // rjmp +1 at offset 2: target = 2 + 1 + 1 = 4, the jmp's operand word.
+  p.words[2] = 0xc001;
+
+  const Cfg cfg = build(p);
+  // The CFG never splits a block mid-instruction: offset 4 has no block,
+  // and the bad rjmp's edge is simply dropped.
+  EXPECT_FALSE(cfg.instr_at(4).has_value());
+  EXPECT_FALSE(cfg.block_at(4).has_value());
+  const auto rjmp_i = cfg.instr_at(2);
+  ASSERT_TRUE(rjmp_i.has_value());
+  EXPECT_TRUE(cfg.blocks()[cfg.block_of_instr(*rjmp_i)].succs.empty());
+
+  // The verifier rejects the module outright (V1 boundary discipline).
+  const auto v = sfi::verify(p.words, p.origin, std::vector<std::uint32_t>{kOrigin},
+                             stubs);
+  ASSERT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("V1"), std::string::npos);
+  EXPECT_EQ(v.at, 2u);
+}
+
+TEST(Cfg, JumpTableBlocksHaveOnlyJumpSuccessors) {
+  // An rjmp dispatch table: each slot must be a single-instruction block
+  // with exactly one Jump edge — never a fall-through into the next slot.
+  Assembler a(kOrigin);
+  auto t0 = a.make_label("t0");
+  auto t1 = a.make_label("t1");
+  a.rjmp(t0);                           // 0: slot 0
+  a.rjmp(t1);                           // 1: slot 1
+  a.bind(t0);
+  a.inc(r24);                           // 2
+  a.jmp_abs(test_stubs().restore_ret);  // 3..4
+  a.bind(t1);
+  a.dec(r24);                           // 5
+  a.jmp_abs(test_stubs().restore_ret);  // 6..7
+  const Program p = a.assemble();
+
+  // Both slots are entered by computed dispatch: declared entries.
+  const Cfg cfg = build(p, {0, 1});
+  for (const std::uint32_t off : {0u, 1u}) {
+    const auto bi = *cfg.block_at(off);
+    const analysis::BasicBlock& b = cfg.blocks()[bi];
+    ASSERT_EQ(b.succs.size(), 1u) << "slot @" << off;
+    EXPECT_EQ(b.succs[0].kind, EdgeKind::Jump);
+    EXPECT_EQ(b.count, 1u);  // the slot is its own block
+  }
+  const auto slot0 = *cfg.block_at(0);
+  const auto slot1 = *cfg.block_at(1);
+  EXPECT_FALSE(has_succ(cfg.blocks()[slot0], slot1, EdgeKind::FallThrough));
+  // Each slot reaches its own target, and both targets are reachable.
+  EXPECT_TRUE(has_succ(cfg.blocks()[slot0], *cfg.block_at(2), EdgeKind::Jump));
+  EXPECT_TRUE(has_succ(cfg.blocks()[slot1], *cfg.block_at(5), EdgeKind::Jump));
+  EXPECT_EQ(cfg.reachable_blocks(), cfg.blocks().size());
+}
+
 TEST(Cfg, UndecodableWordStopsDecode) {
   Assembler a(kOrigin);
   a.ldi(r24, 1);
@@ -270,6 +331,44 @@ TEST(Dataflow, JoinKeepsAgreeingConstants) {
   const analysis::RegState s = flow.state_before(5);
   ASSERT_TRUE(s.known(30));
   EXPECT_EQ(s.value(30), 0x11);
+}
+
+TEST(Dataflow, LoopHeadMergeDropsModifiedConstantsOnly) {
+  Assembler a(kOrigin);
+  auto loop = a.make_label("loop");
+  a.ldi(r24, 5);                        // 0: modified in the loop
+  a.ldi(r25, 9);                        // 1: loop-invariant
+  a.bind(loop);
+  a.subi(r24, 1);                       // 2
+  a.brne(loop);                         // 3
+  a.jmp_abs(test_stubs().restore_ret);  // 4..5
+  const Program p = a.assemble();
+
+  const Cfg cfg = build(p);
+  const ConstProp flow = ConstProp::run(cfg);
+  // At the loop head the back edge merges 5 (first entry) with the
+  // decremented value: no single constant survives.
+  EXPECT_FALSE(flow.state_before(2).known(24));
+  // A register the loop never writes keeps its constant through the merge.
+  ASSERT_TRUE(flow.state_before(2).known(25));
+  EXPECT_EQ(flow.state_before(2).value(25), 9);
+}
+
+TEST(Dataflow, LoopReloadedConstantSurvivesTheBackEdge) {
+  Assembler a(kOrigin);
+  auto loop = a.make_label("loop");
+  a.ldi(r30, 0x11);                     // 0
+  a.bind(loop);
+  a.nop();                              // 1: r30 untouched on every path
+  a.dec(r24);                           // 2
+  a.brne(loop);                         // 3
+  a.jmp_abs(test_stubs().restore_ret);  // 4..5
+  const Program p = a.assemble();
+
+  const Cfg cfg = build(p);
+  const ConstProp flow = ConstProp::run(cfg);
+  ASSERT_TRUE(flow.state_before(1).known(30));
+  EXPECT_EQ(flow.state_before(1).value(30), 0x11);
 }
 
 TEST(Dataflow, CallsHavocRegisters) {

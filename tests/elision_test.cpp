@@ -1,0 +1,384 @@
+// Tests for verified store-check elision (DESIGN.md §13): the rewriter's
+// proof manifest, the verifier's independent V9 re-derivation (including the
+// required corrupted-manifest rejections), the elision-forfeit rules around
+// the free/change-ownership services, and the kernel-level end-to-end path —
+// blink dispatches with its store elided, the Surge wild write still faults,
+// and a computed call into a trusted memory-management entry is stopped by
+// the runtime screen.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "analysis/elide.h"
+#include "asm/builder.h"
+#include "avr/hooks.h"
+#include "avr/memory.h"
+#include "sfi/rewriter.h"
+#include "sfi/verifier.h"
+#include "sos/kernel.h"
+#include "sos/modules.h"
+
+namespace {
+
+using namespace harbor;
+using namespace harbor::assembler;
+using analysis::Cfg;
+using analysis::ConstProp;
+using analysis::StoreVerdict;
+using avr::FaultKind;
+using runtime::Mode;
+
+sfi::StubTable test_stubs() {
+  sfi::StubTable t;
+  t.st_x = 0x100;
+  t.st_x_inc = 0x101;
+  t.st_x_dec = 0x102;
+  t.st_y_inc = 0x103;
+  t.st_y_dec = 0x104;
+  t.st_z_inc = 0x105;
+  t.st_z_dec = 0x106;
+  t.save_ret = 0x110;
+  t.restore_ret = 0x111;
+  t.cross_call = 0x112;
+  t.icall_check = 0x113;
+  t.ijmp_check = 0x114;
+  t.jt_base = 0x800;
+  t.jt_end = 0x840;
+  return t;
+}
+
+constexpr std::uint32_t kLoadOrigin = 0x900;
+
+/// A module with one store at a constant address: X = 0x0280, st X.
+sfi::RewriteInput provable_store_module() {
+  Assembler a;
+  a.ldi(r26, 0x80);
+  a.ldi(r27, 0x02);
+  a.ldi(r24, 0x5a);
+  a.st_x(r24);
+  a.ret();
+  sfi::RewriteInput in;
+  in.words = a.assemble().words;
+  in.entries = {0};
+  return in;
+}
+
+sfi::ElisionPolicy state_policy() {
+  sfi::ElisionPolicy p;
+  p.enable = true;
+  p.safe_regions.push_back({0x0280, 0x02ff});
+  return p;
+}
+
+std::vector<std::uint32_t> abs_entries(const sfi::RewriteResult& res,
+                                       const sfi::RewriteInput& in) {
+  std::vector<std::uint32_t> abs;
+  for (const std::uint32_t e : in.entries) abs.push_back(res.map_offset(e));
+  return abs;
+}
+
+// --- rewrite + manifest roundtrip -------------------------------------------
+
+TEST(Elision, ProvenStoreIsElidedAndReprovedByTheVerifier) {
+  const sfi::StubTable stubs = test_stubs();
+  const sfi::RewriteInput in = provable_store_module();
+  const sfi::ElisionPolicy policy = state_policy();
+  const sfi::RewriteResult res = sfi::rewrite(in, stubs, kLoadOrigin, policy);
+
+  EXPECT_EQ(res.stats.stores, 0);
+  EXPECT_EQ(res.stats.elided_stores, 1);
+  ASSERT_EQ(res.manifest.sites.size(), 1u);
+  EXPECT_EQ(res.manifest.sites[0].addr_lo, 0x0280);
+  EXPECT_EQ(res.manifest.sites[0].addr_hi, 0x0280);
+
+  const auto v = sfi::verify(res.program.words, res.program.origin,
+                             abs_entries(res, in), stubs, policy, res.manifest);
+  EXPECT_TRUE(v.ok) << v.reason << " @" << v.at;
+
+  // Without the manifest the raw store is exactly what V2 forbids: the
+  // elided image is NOT admissible through the legacy verifier.
+  const auto legacy = sfi::verify(res.program.words, res.program.origin,
+                                  abs_entries(res, in), stubs);
+  ASSERT_FALSE(legacy.ok);
+  EXPECT_NE(legacy.reason.find("V2"), std::string::npos);
+}
+
+TEST(Elision, DisabledPolicyKeepsEveryStoreChecked) {
+  const sfi::StubTable stubs = test_stubs();
+  const sfi::RewriteInput in = provable_store_module();
+  const sfi::RewriteResult res = sfi::rewrite(in, stubs, kLoadOrigin);
+  EXPECT_EQ(res.stats.stores, 1);
+  EXPECT_EQ(res.stats.elided_stores, 0);
+  EXPECT_TRUE(res.manifest.empty());
+  const auto v = sfi::verify(res.program.words, res.program.origin,
+                             abs_entries(res, in), stubs);
+  EXPECT_TRUE(v.ok) << v.reason;
+}
+
+// --- corrupted manifests (the negative tests the TCB story rests on) --------
+
+class CorruptManifest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    in_ = provable_store_module();
+    policy_ = state_policy();
+    res_ = sfi::rewrite(in_, test_stubs(), kLoadOrigin, policy_);
+    ASSERT_EQ(res_.manifest.sites.size(), 1u);
+  }
+
+  sfi::VerifyResult verify_with(const sfi::ProofManifest& m) {
+    return sfi::verify(res_.program.words, res_.program.origin,
+                       abs_entries(res_, in_), test_stubs(), policy_, m);
+  }
+
+  sfi::RewriteInput in_;
+  sfi::ElisionPolicy policy_;
+  sfi::RewriteResult res_;
+};
+
+TEST_F(CorruptManifest, ShiftedClaimFailsReproof) {
+  sfi::ProofManifest m = res_.manifest;
+  m.sites[0].addr_lo = m.sites[0].addr_hi = 0x0290;  // not where the store goes
+  const auto v = verify_with(m);
+  ASSERT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("V9"), std::string::npos);
+}
+
+TEST_F(CorruptManifest, ClaimWidenedBeyondTheSafeRegionIsRejected) {
+  sfi::ProofManifest m = res_.manifest;
+  m.sites[0].addr_hi = 0x0400;  // claim leaks outside every safe region
+  const auto v = verify_with(m);
+  ASSERT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("V9"), std::string::npos);
+}
+
+TEST_F(CorruptManifest, DroppedSiteLeavesARawStoreForV2) {
+  const auto v = verify_with(sfi::ProofManifest{});
+  ASSERT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("V2"), std::string::npos);
+}
+
+TEST_F(CorruptManifest, ClaimAtANonStoreOffsetIsRejected) {
+  sfi::ProofManifest m = res_.manifest;
+  m.sites[0].off = 0;  // the save_ret prologue, not a store
+  EXPECT_FALSE(verify_with(m).ok);
+}
+
+TEST_F(CorruptManifest, ExtraClaimOnANonStoreSiteIsRejected) {
+  sfi::ProofManifest m = res_.manifest;  // real claim stays valid
+  m.sites.push_back({0, 0x0280, 0x0280});
+  const auto v = verify_with(m);
+  ASSERT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("V9"), std::string::npos);
+}
+
+// --- classification and forfeit rules ---------------------------------------
+
+TEST(Elision, PointerFromMemoryStaysUnknownAndChecked) {
+  const sfi::StubTable stubs = test_stubs();
+  Assembler a;
+  a.pop(r26);  // pointer bytes come from the stack: unprovable
+  a.pop(r27);
+  a.st_x(r24);
+  a.ret();
+  sfi::RewriteInput in;
+  in.words = a.assemble().words;
+  in.entries = {0};
+
+  const sfi::RewriteResult res = sfi::rewrite(in, stubs, kLoadOrigin, state_policy());
+  EXPECT_EQ(res.stats.stores, 1);
+  EXPECT_EQ(res.stats.elided_stores, 0);
+  EXPECT_TRUE(res.manifest.empty());
+}
+
+TEST(Elision, StoreIntoTheIoWindowIsProvablyViolating) {
+  const sfi::StubTable stubs = test_stubs();
+  Assembler a;
+  a.sts(0x30, r24);  // inside [kIoBase, kSramBase): a denied address
+  a.ret();
+  const Program p = a.assemble();
+  const Cfg cfg = Cfg::build(p.words, 0, std::vector<std::uint32_t>{0}, stubs);
+  const ConstProp flow = ConstProp::run(cfg);
+
+  sfi::ElisionPolicy policy = state_policy();
+  policy.deny_regions.push_back(
+      {avr::DataSpace::kIoBase, avr::DataSpace::kSramBase - 1});
+  const auto report = analysis::analyze_elision(cfg, flow, stubs, policy);
+  ASSERT_EQ(report.sites.size(), 1u);
+  EXPECT_EQ(report.sites[0].verdict, StoreVerdict::Violating);
+  EXPECT_TRUE(report.elided.empty());
+}
+
+TEST(Elision, ReachableForbiddenEntryForfeitsElisionModuleWide) {
+  const sfi::StubTable stubs = test_stubs();
+  const std::uint32_t forbidden = stubs.jt_base + 7 * 8 + 1;  // trusted ker_free
+  Assembler a;
+  a.ldi(r26, 0x80);
+  a.ldi(r27, 0x02);
+  a.st_x(r24);            // provably safe in isolation…
+  a.call_abs(forbidden);  // …but the module can free memory (raw cross call:
+  a.ret();                // the rewriter routes it through harbor_cross_call)
+  const Program p = a.assemble();
+  const Cfg cfg = Cfg::build(p.words, 0, std::vector<std::uint32_t>{0}, stubs);
+  const ConstProp flow = ConstProp::run(cfg);
+
+  sfi::ElisionPolicy policy = state_policy();
+  policy.forbidden_entries = {forbidden};
+  policy.computed_calls_screened = true;
+  const auto report = analysis::analyze_elision(cfg, flow, stubs, policy);
+  EXPECT_FALSE(report.policy_ok);
+  EXPECT_TRUE(report.elided.empty());
+  // The sites are still classified for reporting.
+  ASSERT_FALSE(report.sites.empty());
+  EXPECT_EQ(report.sites[0].verdict, StoreVerdict::Safe);
+
+  // Claiming the store anyway must fail V9 in the verifier.
+  const sfi::RewriteResult res = sfi::rewrite(
+      sfi::RewriteInput{p.words, {0}}, stubs, kLoadOrigin, policy);
+  EXPECT_EQ(res.stats.elided_stores, 0);
+}
+
+TEST(Elision, ComputedCallForfeitsOnlyWithoutTheRuntimeScreen) {
+  const sfi::StubTable stubs = test_stubs();
+  Assembler a;
+  a.ldi(r26, 0x80);
+  a.ldi(r27, 0x02);
+  a.st_x(r24);
+  a.icall();  // could reach any jump-table entry at run time
+  a.ret();
+  const Program p = a.assemble();
+  const Cfg cfg = Cfg::build(p.words, 0, std::vector<std::uint32_t>{0}, stubs);
+  const ConstProp flow = ConstProp::run(cfg);
+
+  sfi::ElisionPolicy policy = state_policy();
+  policy.forbidden_entries = {stubs.jt_base + 7 * 8 + 1};
+  policy.computed_calls_screened = false;
+  EXPECT_FALSE(analysis::analyze_elision(cfg, flow, stubs, policy).policy_ok);
+
+  policy.computed_calls_screened = true;
+  const auto screened = analysis::analyze_elision(cfg, flow, stubs, policy);
+  EXPECT_TRUE(screened.policy_ok) << screened.policy_note;
+  EXPECT_EQ(screened.elided.size(), 1u);
+}
+
+// --- kernel end-to-end -------------------------------------------------------
+
+TEST(ElisionKernel, BlinkDispatchesWithItsStoreElided) {
+  sos::Kernel k(Mode::Sfi);  // elision is on by default
+  const auto d = k.load(sos::modules::blink());
+  const sos::LoadedModule* m = k.module(d);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->manifest.sites.size(), 1u);
+
+  k.run_pending();  // init
+  for (int i = 0; i < 3; ++i) k.post(d, sos::msg::kTimer);
+  const auto log = k.run_pending();
+  ASSERT_EQ(log.size(), 3u);
+  for (const auto& rec : log)
+    EXPECT_FALSE(rec.result.faulted) << avr::fault_kind_name(rec.result.fault);
+  EXPECT_EQ(k.sys().device().data().sram_raw(m->state_ptr), 3);
+}
+
+TEST(ElisionKernel, ElidedDispatchCostsFewerCycles) {
+  auto timer_cycles = [](bool elide) {
+    sos::Kernel k(Mode::Sfi);
+    k.set_store_elision(elide);
+    const auto d = k.load(sos::modules::blink());
+    k.run_pending();
+    k.post(d, sos::msg::kTimer);
+    const auto log = k.run_pending();
+    EXPECT_FALSE(log[0].result.faulted);
+    return log[0].result.cycles;
+  };
+  const std::uint64_t elided = timer_cycles(true);
+  const std::uint64_t checked = timer_cycles(false);
+  EXPECT_LT(elided, checked);
+}
+
+TEST(ElisionKernel, DisablingElisionEmptiesTheManifest) {
+  sos::Kernel k(Mode::Sfi);
+  k.set_store_elision(false);
+  const auto d = k.load(sos::modules::blink());
+  const sos::LoadedModule* m = k.module(d);
+  ASSERT_NE(m, nullptr);
+  EXPECT_TRUE(m->manifest.empty());
+}
+
+TEST(ElisionKernel, SurgeWildStoreStillFaultsWithElisionOn) {
+  // The elision must never weaken the §1.2 anecdote: Surge's unchecked
+  // error-result store stays stub-checked (Unknown) and faults.
+  sos::Kernel k(Mode::Sfi);
+  ASSERT_TRUE(k.store_elision());
+  const auto surge = k.load(sos::modules::surge(/*tree_domain=*/1, /*fixed=*/false), 2);
+  auto log = k.run_pending();
+  ASSERT_FALSE(log[0].result.faulted);
+  k.post(surge, sos::msg::kData);
+  log = k.run_pending();
+  ASSERT_EQ(log.size(), 1u);
+  ASSERT_TRUE(log[0].result.faulted);
+  EXPECT_EQ(log[0].result.fault, FaultKind::MemMapViolation)
+      << avr::fault_kind_name(log[0].result.fault);
+}
+
+TEST(ElisionKernel, ComputedCallIntoTrustedFreeEntryFaults) {
+  // The runtime screen behind computed_calls_screened: harbor_icall_check
+  // must deny jump-table dispatch into the trusted domain's free/change-own
+  // entries, because the elision proofs assume module state is never
+  // revoked behind a function pointer.
+  sos::Kernel k(Mode::Sfi);
+  const runtime::Layout L = k.sys().layout();
+  const std::uint32_t free_entry =
+      L.jt_entry(memmap::kTrustedDomain, runtime::kernel_slots::kFree);
+
+  Assembler a;
+  sos::ModuleImage m;
+  m.name = "icall_free";
+  a.ldi(r30, static_cast<std::uint8_t>(free_entry & 0xff));
+  a.ldi(r31, static_cast<std::uint8_t>(free_entry >> 8));
+  a.icall();
+  a.ldi(r24, 0);
+  a.ldi(r25, 0);
+  a.ret();
+  m.code = a.assemble().words;
+  m.exports = {{sos::ModuleImage::kHandlerSlot, 0}};
+
+  k.load(m);
+  const auto log = k.run_pending();  // init dispatch runs the handler
+  ASSERT_EQ(log.size(), 1u);
+  ASSERT_TRUE(log[0].result.faulted);
+  EXPECT_EQ(log[0].result.fault, FaultKind::IllegalCallTarget)
+      << avr::fault_kind_name(log[0].result.fault);
+}
+
+TEST(ElisionKernel, ComputedCallIntoAnOrdinaryEntryStillWorks) {
+  // The screen is surgical: dispatch into a non-forbidden jump-table entry
+  // (tree routing's get_hdr_size) keeps working through icall.
+  sos::Kernel k(Mode::Sfi);
+  const auto tree = k.load(sos::modules::tree_routing(), 1);
+  const std::uint32_t entry =
+      k.sys().layout().jt_entry(tree, sos::modules::kTreeGetHdrSizeSlot);
+
+  Assembler a;
+  sos::ModuleImage m;
+  m.name = "icall_ok";
+  a.ldi(r30, static_cast<std::uint8_t>(entry & 0xff));
+  a.ldi(r31, static_cast<std::uint8_t>(entry >> 8));
+  a.icall();  // returns kTreeHdrSize in r24
+  a.ret();
+  m.code = a.assemble().words;
+  m.exports = {{sos::ModuleImage::kHandlerSlot, 0}};
+
+  const auto d = k.load(m, 2);
+  k.run_pending();  // inits
+  k.post(d, sos::msg::kTimer);
+  const auto log = k.run_pending();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_FALSE(log[0].result.faulted)
+      << avr::fault_kind_name(log[0].result.fault);
+  EXPECT_EQ(log[0].result.value, sos::modules::kTreeHdrSize);
+}
+
+}  // namespace

@@ -1,0 +1,279 @@
+// Tests for the value-range abstract interpretation (src/analysis/interval):
+// per-instruction transfer functions (mod-256 window arithmetic, bitwise
+// bounds, pointer-pair tracking), the set_pair page decomposition, loop-head
+// detection with widening, and the precise-store semantics that model elided
+// (raw) stores without the checked-store havoc.
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.h"
+#include "analysis/interval.h"
+#include "asm/builder.h"
+#include "sfi/stub_table.h"
+
+namespace {
+
+using namespace harbor;
+using namespace harbor::assembler;
+using analysis::Cfg;
+using analysis::Interval;
+using analysis::Interval16;
+using analysis::IntervalAnalysis;
+using analysis::IntervalOptions;
+using analysis::IntervalState;
+
+constexpr std::uint32_t kOrigin = 0x900;
+
+sfi::StubTable test_stubs() {
+  sfi::StubTable t;
+  t.st_x = 0x100;
+  t.st_x_inc = 0x101;
+  t.st_x_dec = 0x102;
+  t.st_y_inc = 0x103;
+  t.st_y_dec = 0x104;
+  t.st_z_inc = 0x105;
+  t.st_z_dec = 0x106;
+  t.save_ret = 0x110;
+  t.restore_ret = 0x111;
+  t.cross_call = 0x112;
+  t.icall_check = 0x113;
+  t.ijmp_check = 0x114;
+  t.jt_base = 0x800;
+  t.jt_end = 0x840;
+  return t;
+}
+
+Cfg build(const Program& p, std::vector<std::uint32_t> rel_entries = {0}) {
+  for (std::uint32_t& e : rel_entries) e += p.origin;
+  return Cfg::build(p.words, p.origin, rel_entries, test_stubs());
+}
+
+/// Interval of r`reg` immediately before instruction `idx`.
+Interval before(const IntervalAnalysis& ia, std::uint32_t idx, std::uint8_t reg) {
+  return ia.state_before(idx).reg(reg);
+}
+
+// --- byte transfer functions -----------------------------------------------
+
+TEST(IntervalTransfer, LdiIsExactAndEorSelfClears) {
+  Assembler a(kOrigin);
+  a.ldi(r24, 0x37);   // 0
+  a.eor(r25, r25);    // 1
+  a.nop();            // 2
+  const Cfg cfg = build(a.assemble());
+  const auto ia = IntervalAnalysis::run(cfg);
+  EXPECT_EQ(before(ia, 2, 24), Interval::exact(0x37));
+  EXPECT_EQ(before(ia, 2, 25), Interval::exact(0));
+}
+
+TEST(IntervalTransfer, AndiBoundsAnUnknownByte) {
+  Assembler a(kOrigin);
+  a.pop(r24);         // 0: havoc — value from memory
+  a.andi(r24, 0x0f);  // 1
+  a.nop();            // 2
+  const Cfg cfg = build(a.assemble());
+  const auto ia = IntervalAnalysis::run(cfg);
+  EXPECT_TRUE(before(ia, 1, 24).is_top());
+  EXPECT_EQ(before(ia, 2, 24), (Interval{0, 0x0f}));
+}
+
+TEST(IntervalTransfer, OriRaisesTheLowerBound) {
+  Assembler a(kOrigin);
+  a.pop(r24);         // 0
+  a.ori(r24, 0xc0);   // 1
+  a.nop();            // 2
+  const Cfg cfg = build(a.assemble());
+  const auto ia = IntervalAnalysis::run(cfg);
+  EXPECT_EQ(before(ia, 2, 24), (Interval{0xc0, 0xff}));
+}
+
+TEST(IntervalTransfer, ComReflectsTheInterval) {
+  Assembler a(kOrigin);
+  a.pop(r24);         // 0
+  a.andi(r24, 0x0f);  // 1: [0, 15]
+  a.com(r24);         // 2: [240, 255]
+  a.nop();            // 3
+  const Cfg cfg = build(a.assemble());
+  const auto ia = IntervalAnalysis::run(cfg);
+  EXPECT_EQ(before(ia, 3, 24), (Interval{240, 255}));
+}
+
+TEST(IntervalTransfer, LsrHalvesBothBounds) {
+  Assembler a(kOrigin);
+  a.pop(r24);  // 0: top
+  a.lsr(r24);  // 1: [0, 127]
+  a.nop();     // 2
+  const Cfg cfg = build(a.assemble());
+  const auto ia = IntervalAnalysis::run(cfg);
+  EXPECT_EQ(before(ia, 2, 24), (Interval{0, 127}));
+}
+
+TEST(IntervalTransfer, AsrPreservesSignWhenProvable) {
+  // All-negative input: arithmetic shift keeps the sign bit set.
+  Assembler a(kOrigin);
+  a.pop(r24);         // 0
+  a.ori(r24, 0x80);   // 1: [128, 255]
+  a.asr(r24);         // 2: [192, 255]
+  a.pop(r25);         // 3: top — sign unknown
+  a.asr(r25);         // 4: havocs
+  a.nop();            // 5
+  const Cfg cfg = build(a.assemble());
+  const auto ia = IntervalAnalysis::run(cfg);
+  EXPECT_EQ(before(ia, 5, 24), (Interval{192, 255}));
+  EXPECT_TRUE(before(ia, 5, 25).is_top());
+}
+
+TEST(IntervalTransfer, SubiStaysExactThroughAWholeWindowShift) {
+  // [0, 15] - 16 wraps every element uniformly: one mod-256 window.
+  Assembler a(kOrigin);
+  a.pop(r24);          // 0
+  a.andi(r24, 0x0f);   // 1: [0, 15]
+  a.subi(r24, 0x10);   // 2: [240, 255]
+  a.nop();             // 3
+  const Cfg cfg = build(a.assemble());
+  const auto ia = IntervalAnalysis::run(cfg);
+  EXPECT_EQ(before(ia, 3, 24), (Interval{240, 255}));
+}
+
+TEST(IntervalTransfer, SubiStraddlingTheWrapGoesToTop) {
+  // [0, 31] - 16 wraps only part of the range: the window splits.
+  Assembler a(kOrigin);
+  a.pop(r24);          // 0
+  a.andi(r24, 0x1f);   // 1: [0, 31]
+  a.subi(r24, 0x10);   // 2
+  a.nop();             // 3
+  const Cfg cfg = build(a.assemble());
+  const auto ia = IntervalAnalysis::run(cfg);
+  EXPECT_TRUE(before(ia, 3, 24).is_top());
+}
+
+TEST(IntervalTransfer, IncWrapsExactValues) {
+  Assembler a(kOrigin);
+  a.ldi(r24, 0xff);  // 0
+  a.inc(r24);        // 1: 255 + 1 = 0, exactly
+  a.nop();           // 2
+  const Cfg cfg = build(a.assemble());
+  const auto ia = IntervalAnalysis::run(cfg);
+  EXPECT_EQ(before(ia, 2, 24), Interval::exact(0));
+}
+
+// --- pointer pairs ----------------------------------------------------------
+
+TEST(IntervalPairs, AdiwTracksThePairAndHavocsOnStraddledOverflow) {
+  Assembler a(kOrigin);
+  a.ldi(r30, 0x10);   // 0
+  a.ldi(r31, 0x08);   // 1: Z = 0x0810
+  a.adiw(r30, 4);     // 2: Z = 0x0814, exactly
+  a.ldi(r26, 0xf0);   // 3
+  a.ldi(r27, 0xff);   // 4: X = 0xfff0
+  a.adiw(r26, 0x20);  // 5: exact value — the 16-bit wrap is deterministic
+  a.pop(r28);         // 6: Y low byte unknown
+  a.ldi(r29, 0xff);   // 7: Y = [0xff00, 0xffff]
+  a.adiw(r28, 0x20);  // 8: part of the range wraps, part does not — lost
+  a.nop();            // 9
+  const Cfg cfg = build(a.assemble());
+  const auto ia = IntervalAnalysis::run(cfg);
+  const IntervalState s = ia.state_before(9);
+  EXPECT_EQ(s.pair(30).lo, 0x0814u);
+  EXPECT_EQ(s.pair(30).hi, 0x0814u);
+  EXPECT_EQ(s.pair(26).lo, 0x0010u);  // 0xfff0 + 0x20, wrapped exactly
+  EXPECT_EQ(s.pair(26).hi, 0x0010u);
+  EXPECT_TRUE(s.pair(28).is_top());
+}
+
+TEST(IntervalPairs, SetPairSamePageKeepsBothHalvesExact) {
+  IntervalState s;
+  s.set_pair(26, {0x0810, 0x0830});
+  EXPECT_EQ(s.reg(26), (Interval{0x10, 0x30}));
+  EXPECT_EQ(s.reg(27), Interval::exact(0x08));
+  EXPECT_EQ(s.pair(26).lo, 0x0810u);
+  EXPECT_EQ(s.pair(26).hi, 0x0830u);
+}
+
+TEST(IntervalPairs, SetPairAcrossPagesWidensTheLowByte) {
+  IntervalState s;
+  s.set_pair(26, {0x07f0, 0x0830});
+  EXPECT_TRUE(s.reg(26).is_top());
+  EXPECT_EQ(s.reg(27), (Interval{0x07, 0x08}));
+  // The decomposition is a sound superset of the original range.
+  EXPECT_LE(s.pair(26).lo, 0x07f0u);
+  EXPECT_GE(s.pair(26).hi, 0x0830u);
+}
+
+// --- loop heads and widening ------------------------------------------------
+
+TEST(IntervalWidening, LoopHeadIsDetectedAndInvariantRegistersSurvive) {
+  Assembler a(kOrigin);
+  auto loop = a.make_label("loop");
+  a.ldi(r24, 5);      // 0
+  a.ldi(r25, 9);      // 1: never written in the loop
+  a.bind(loop);
+  a.inc(r24);         // 2
+  a.andi(r24, 0x0f);  // 3
+  a.rjmp(loop);       // 4
+  const Program p = a.assemble();
+
+  const Cfg cfg = build(p);
+  const auto ia = IntervalAnalysis::run(cfg);
+  const std::uint32_t head = cfg.block_of_instr(2);
+  ASSERT_TRUE(ia.loop_heads()[head]);
+  // r24 is widened at the head (its bounds moved between visits)…
+  EXPECT_TRUE(ia.block_in(head).reg(24).is_top());
+  // …but the loop body re-establishes the andi bound before the back edge,
+  EXPECT_EQ(before(ia, 4, 24), (Interval{0, 0x0f}));
+  // and widening never touches a register whose bounds did not move.
+  EXPECT_EQ(ia.block_in(head).reg(25), Interval::exact(9));
+}
+
+TEST(IntervalWidening, StraightLineCodeHasNoLoopHeads) {
+  Assembler a(kOrigin);
+  a.ldi(r24, 1);
+  a.jmp_abs(test_stubs().restore_ret);
+  const Cfg cfg = build(a.assemble());
+  const auto ia = IntervalAnalysis::run(cfg);
+  for (const bool h : ia.loop_heads()) EXPECT_FALSE(h);
+}
+
+// --- store semantics --------------------------------------------------------
+
+TEST(IntervalStores, CheckedStoreHavocsPreciseStoreOnlyMovesThePointer) {
+  Assembler a(kOrigin);
+  a.ldi(r24, 0x5a);   // 0
+  a.ldi(r26, 0x80);   // 1
+  a.ldi(r27, 0x02);   // 2: X = 0x0280
+  a.st_x_inc(r24);    // 3 (word offset 3)
+  a.nop();            // 4
+  const Program p = a.assemble();
+
+  const Cfg cfg = build(p);
+  // Checked model: the store stands for a stub call and clobbers the file.
+  {
+    const auto ia = IntervalAnalysis::run(cfg);
+    EXPECT_TRUE(ia.state_before(4).reg(24).is_top());
+    EXPECT_TRUE(ia.state_before(4).pair(26).is_top());
+  }
+  // Precise (elided) model: raw store semantics — X advances, r24 survives.
+  {
+    IntervalOptions opts;
+    opts.precise_stores.insert(3);
+    const auto ia = IntervalAnalysis::run(cfg, opts);
+    const IntervalState s = ia.state_before(4);
+    EXPECT_EQ(s.reg(24), Interval::exact(0x5a));
+    EXPECT_EQ(s.pair(26).lo, 0x0281u);
+    EXPECT_EQ(s.pair(26).hi, 0x0281u);
+  }
+}
+
+TEST(IntervalStores, CallsStillHavocEverything) {
+  const sfi::StubTable stubs = test_stubs();
+  Assembler a(kOrigin);
+  a.ldi(r26, 0x80);             // 0
+  a.ldi(r27, 0x02);             // 1
+  a.call_abs(stubs.save_ret);   // 2..3
+  a.nop();                      // 4 (instr index 3)
+  const Cfg cfg = build(a.assemble());
+  const auto ia = IntervalAnalysis::run(cfg);
+  EXPECT_TRUE(ia.state_before(3).pair(26).is_top());
+}
+
+}  // namespace

@@ -34,7 +34,10 @@ BASELINE_SCHEMA = "harbor-bench-baseline-v1"
 DEFAULT_RULE = {"direction": "lower", "max_regress_pct": 0.5}
 # Host-side wall-clock rates: higher is better, and CI machines differ wildly
 # from whoever generated the baseline, so only egregious drops fail.
-RATE_RULES = {"sim_throughput": {"direction": "higher", "max_regress_pct": 75.0}}
+RATE_RULES = {
+    "sim_throughput": {"direction": "higher", "max_regress_pct": 75.0},
+    "analysis": {"direction": "higher", "max_regress_pct": 75.0},
+}
 
 
 def load_run(bench_dir: Path) -> dict:

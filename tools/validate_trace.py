@@ -3,7 +3,7 @@
 
 Usage: validate_trace.py TRACE_DIR [BENCH_JSON...] [--inject REPORT.json]
                          [--ota REPORT.json] [--prof PROFILE.json]
-                         [--prof-coverage COVERAGE.json]
+                         [--prof-coverage COVERAGE.json] [--lint REPORT.json]
 
 TRACE_DIR must hold trace.json + metrics.json as written by
 `harbor-trace ... --out TRACE_DIR`. Any extra arguments are BENCH_*.json
@@ -23,6 +23,11 @@ total, the 0.1% attribution-error bound, and internally consistent
 guard/block coverage per region.
 `--prof-coverage COVERAGE.json` validates a harbor-prof campaign coverage
 dump: schema conformance plus the guard-floor / recovery-path gates.
+`--lint REPORT.json` validates a harbor-lint static-analysis report:
+schema conformance, finding counts consistent with the findings list,
+and — when an elision section is present — that the elidable count
+matches the site list, every elided site carries a `safe` verdict with a
+well-formed address claim, and a rejected policy elides nothing.
 
 Standard library only — the schema interpreter supports the subset of JSON
 Schema the checked-in schemas use: type, required, properties, items,
@@ -200,6 +205,38 @@ def validate_prof_report(path, schemas):
           f"{len(rep['regions'])} regions")
 
 
+def validate_lint_report(path, schemas):
+    """harbor-lint report: structure + elision-proof invariants."""
+    rep = load(path)
+    label = os.path.basename(path)
+    validate(rep, schemas["lint_report"], label)
+    violations = sum(1 for f in rep["findings"] if f["violation"])
+    warnings = len(rep["findings"]) - violations
+    if violations != rep["violations"] or warnings != rep["warnings"]:
+        fail(f"{label}: finding tally {violations}v/{warnings}w != reported "
+             f"{rep['violations']}v/{rep['warnings']}w")
+    elision = rep.get("elision")
+    if elision is not None:
+        sites = elision["sites"]
+        elided = [s for s in sites if s["elided"]]
+        if len(elided) != elision["elidable"]:
+            fail(f"{label}: {len(elided)} elided site(s) but elidable claims "
+                 f"{elision['elidable']}")
+        if not elision["policy_ok"] and elided:
+            fail(f"{label}: rejected elision policy but {len(elided)} site(s) elided")
+        for s in elided:
+            if s["verdict"] != "safe":
+                fail(f"{label}: elided store @+{s['off']} has verdict "
+                     f"{s['verdict']!r}, not 'safe'")
+            if s["addr_lo"] > s["addr_hi"]:
+                fail(f"{label}: elided store @+{s['off']} claims empty range "
+                     f"[{s['addr_lo']}, {s['addr_hi']}]")
+    print(f"validate_trace: lint report OK — subject {rep['subject']}, "
+          f"{rep['violations']} violation(s), {rep['warnings']} warning(s)"
+          + (f", {elision['elidable']}/{len(elision['sites'])} store(s) elided"
+             if elision is not None else ""))
+
+
 def validate_prof_coverage(path, schemas):
     """harbor-prof campaign coverage dump: structure + coverage gates."""
     docs = load(path)
@@ -258,11 +295,24 @@ def main():
             return 2
         prof_cov_paths.append(args[i + 1])
         del args[i:i + 2]
-    if not args:
+    lint_paths = []
+    while "--lint" in args:
+        i = args.index("--lint")
+        if i + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 2
+        lint_paths.append(args[i + 1])
+        del args[i:i + 2]
+    if not args and not lint_paths:
         print(__doc__, file=sys.stderr)
         return 2
     here = os.path.dirname(os.path.abspath(__file__))
     schemas = load(os.path.join(here, "trace_schema.json"))
+
+    for path in lint_paths:
+        validate_lint_report(path, schemas)
+    if not args:
+        return 0  # lint reports need no trace directory
     trace_dir = args[0]
 
     trace = load(os.path.join(trace_dir, "trace.json"))
