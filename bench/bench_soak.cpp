@@ -1,0 +1,48 @@
+// Soak-harness throughput: how many simulated hours (and epochs) of uptime
+// the long-horizon scheduler compresses into one host second, per protection
+// mode. The rate feeds tools/bench_trend.py (RATE_RULES: higher is better),
+// so a regression in the soak loop's host cost — slower dispatch, costlier
+// checkpoints, heavier OTA churn — shows up as a falling sim-hours/s number.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "soak/soak.h"
+
+using namespace harbor;
+
+namespace {
+
+bench::Row run_mode(ProtectionMode mode, const char* label) {
+  soak::SoakConfig cfg;
+  cfg.mode = mode;
+  cfg.hours = 24.0;
+  cfg.seed = 1;
+  cfg.checkpoint_every = 4;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const soak::SoakReport rep = soak::run_soak(cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+  if (!rep.ok)
+    std::fprintf(stderr, "bench_soak: WARNING: %s run reported a monitor failure: %s\n",
+                 label, rep.failure.c_str());
+  const double hours_per_s = secs > 0 ? rep.sim_hours / secs : 0.0;
+  const double epochs_per_s = secs > 0 ? rep.epochs / secs : 0.0;
+  std::printf("%s: %.1f sim hours in %.3f s host (%g sim-hours/s), %d checkpoints\n",
+              label, rep.sim_hours, secs, hours_per_s, rep.checkpoints);
+  return {label, {hours_per_s, epochs_per_s}};
+}
+
+}  // namespace
+
+int main() {
+  std::vector<bench::Row> rows;
+  rows.push_back(run_mode(ProtectionMode::Umpu, "umpu"));
+  rows.push_back(run_mode(ProtectionMode::Sfi, "sfi"));
+  bench::print_table("soak: simulated-uptime throughput",
+                     {"sim-hours/s", "epochs/s"}, rows);
+  return 0;
+}

@@ -90,6 +90,47 @@ class Cpu {
   /// entry was denied by a guard fault.
   int interrupt(std::uint32_t vector_waddr);
 
+  // --- state capture (Testbed snapshot/restore; DESIGN.md §14) ---
+  /// Full architectural + bookkeeping state of the core. Hooks and the
+  /// fault vector are wiring, not state: they survive a restore untouched.
+  struct State {
+    std::uint32_t pc = 0;
+    std::uint16_t sp = 0;
+    std::uint8_t sreg = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t fault_count = 0;
+    int pending_extra = 0;
+    HaltReason halt = HaltReason::None;
+    std::optional<FaultInfo> fault;
+  };
+
+  [[nodiscard]] State save_state() const {
+    State s;
+    s.pc = pc_;
+    s.sp = sp_;
+    s.sreg = sreg_.byte();
+    s.cycles = cycles_;
+    s.instructions = instructions_;
+    s.fault_count = fault_count_;
+    s.pending_extra = pending_extra_;
+    s.halt = halt_;
+    s.fault = fault_;
+    return s;
+  }
+
+  void restore_state(const State& s) {
+    pc_ = s.pc;
+    sp_ = s.sp;
+    sreg_.set_byte(s.sreg);
+    cycles_ = s.cycles;
+    instructions_ = s.instructions;
+    fault_count_ = s.fault_count;
+    pending_extra_ = s.pending_extra;
+    halt_ = s.halt;
+    fault_ = s.fault;
+  }
+
  private:
   // Guarded bus operations (return false on fault).
   bool write8(std::uint16_t addr, std::uint8_t v, WriteKind kind);

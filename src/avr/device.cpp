@@ -109,4 +109,28 @@ std::uint64_t Device::run(std::uint64_t max_cycles) {
   return cpu_.cycle_count() - start;
 }
 
+Device::Snapshot Device::snapshot() const {
+  Snapshot s;
+  s.flash = flash_.words();
+  s.data = ds_.save_state();
+  s.cpu = cpu_.save_state();
+  s.console = console_;
+  s.exit = exit_;
+  s.tx_frame = tx_frame_;
+  s.packets = packets_;
+  s.timer_accum = timer_accum_;
+  return s;
+}
+
+void Device::restore(const Snapshot& s) {
+  flash_.restore_words(s.flash);
+  ds_.restore_state(s.data);
+  cpu_.restore_state(s.cpu);
+  console_ = s.console;
+  exit_ = s.exit;
+  tx_frame_ = s.tx_frame;
+  packets_ = s.packets;
+  timer_accum_ = s.timer_accum;
+}
+
 }  // namespace harbor::avr

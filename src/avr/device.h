@@ -67,6 +67,24 @@ class Device {
   /// Single instruction step with peripheral ticking.
   StepResult step();
 
+  // --- state capture (Testbed snapshot/restore; DESIGN.md §14) ---
+  /// Everything that changes while the guest runs: flash words, the full
+  /// data space, the core, and the simulation peripherals. IO intercepts
+  /// and CPU hooks are wiring and survive a restore untouched.
+  struct Snapshot {
+    std::vector<std::uint16_t> flash;
+    DataSpace::State data;
+    Cpu::State cpu;
+    std::string console;
+    GuestExit exit;
+    std::vector<std::uint8_t> tx_frame;
+    std::vector<std::vector<std::uint8_t>> packets;
+    std::uint32_t timer_accum = 0;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(const Snapshot& s);
+
  private:
   void tick_peripherals(int cycles);
   bool maybe_interrupt();

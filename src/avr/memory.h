@@ -38,6 +38,12 @@ class Flash {
   }
   [[nodiscard]] std::size_t size_words() const { return words_.size(); }
 
+  /// Whole-array view for state capture (Testbed snapshot/restore).
+  [[nodiscard]] const std::vector<std::uint16_t>& words() const { return words_; }
+  /// Restore bypasses the write hook: a snapshot rollback is host tooling,
+  /// not a programming operation the OTA campaign should count or tear.
+  void restore_words(const std::vector<std::uint16_t>& w) { words_ = w; }
+
  private:
   std::vector<std::uint16_t> words_;
   WriteHook write_hook_;
@@ -132,6 +138,29 @@ class DataSpace {
   [[nodiscard]] Io& io() { return io_; }
   [[nodiscard]] const Io& io() const { return io_; }
   [[nodiscard]] std::uint16_t ram_end() const { return ram_end_; }
+
+  // --- state capture (Testbed snapshot/restore) ---
+  /// Registers, IO backing bytes and SRAM. Port intercepts are wiring
+  /// (peripherals, UMPU register file) and are deliberately not captured.
+  struct State {
+    std::array<std::uint8_t, 32> regs{};
+    std::array<std::uint8_t, Io::kPortCount> io_backing{};
+    std::vector<std::uint8_t> sram;
+  };
+
+  [[nodiscard]] State save_state() const {
+    State s;
+    s.regs = regs_;
+    for (std::uint8_t p = 0; p < Io::kPortCount; ++p) s.io_backing[p] = io_.raw(p);
+    s.sram = sram_;
+    return s;
+  }
+
+  void restore_state(const State& s) {
+    regs_ = s.regs;
+    for (std::uint8_t p = 0; p < Io::kPortCount; ++p) io_.set_raw(p, s.io_backing[p]);
+    sram_ = s.sram;
+  }
 
  private:
   std::uint16_t ram_end_;

@@ -67,6 +67,23 @@ void System::profile_module(memmap::DomainId domain) {
   profiler_->add_region(spec);
 }
 
+System::Snapshot System::snapshot() const { return {kernel_.sys().snapshot()}; }
+
+void System::restore(const Snapshot& s) {
+  // Peel the observers off (LIFO: tracer first), restore, re-attach. The
+  // re-attach re-anchors the tracer's cycle-attribution baseline and the
+  // profiler's sampling window at the restored cycle count — without it the
+  // first fetch after a backwards restore would attribute (now - then) as an
+  // unsigned wrap.
+  const bool traced = tracer_ && tracer_->attached();
+  const bool profiled = profiler_ && profiler_->attached();
+  if (traced) tracer_->detach();
+  if (profiled) profiler_->detach();
+  kernel_.sys().restore(s.testbed);
+  if (profiled) profiler_->attach(device().cpu(), fabric());
+  if (traced) tracer_->attach(device().cpu(), fabric());
+}
+
 std::vector<sos::DispatchRecord> System::run_pending(int max_dispatches) {
   auto log = kernel_.run_pending(max_dispatches);
   for (const auto& rec : log) {

@@ -100,6 +100,22 @@ class System {
   /// for modules loaded after enable_profiling().
   void profile_module(memmap::DomainId domain);
 
+  // --- snapshot/restore (src/soak fast-forward; DESIGN.md §14) ---
+  /// Device-visible state only (see runtime::Testbed::Snapshot). Host-side
+  /// kernel bookkeeping (message queue, supervision, dispatch round) is NOT
+  /// captured: restore() rewinds the *device*, so callers must either
+  /// snapshot at quiescent points or restrict the restored span to work
+  /// that does not change kernel structures (the soak harness's checkpoint
+  /// probes do the latter).
+  struct Snapshot {
+    runtime::Testbed::Snapshot testbed;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  /// Restoring re-anchors an attached tracer/profiler at the restored cycle
+  /// count (detach/re-attach), so per-domain cycle attribution never sees
+  /// time run backwards.
+  void restore(const Snapshot& s);
+
   // --- escape hatches into the stack ---
   [[nodiscard]] sos::Kernel& kernel() { return kernel_; }
   [[nodiscard]] runtime::Testbed& driver() { return kernel_.sys(); }

@@ -5,17 +5,27 @@
 namespace harbor::inject {
 
 Oracle Oracle::capture(runtime::Testbed& tb, memmap::DomainId subject) {
+  // A block is a bystander's iff an untrusted domain other than the
+  // subject owns it in the golden map.
+  return capture_where(tb, [subject](memmap::DomainId owner) {
+    return owner != subject && owner != memmap::kTrustedDomain;
+  });
+}
+
+Oracle Oracle::capture_owned(runtime::Testbed& tb, memmap::DomainId victim) {
+  return capture_where(tb, [victim](memmap::DomainId owner) { return owner == victim; });
+}
+
+Oracle Oracle::capture_where(runtime::Testbed& tb,
+                             const std::function<bool(memmap::DomainId)>& pred) {
   const runtime::Layout& L = tb.layout();
   const memmap::Config cfg = L.memmap_config();
   memmap::MemoryMap view(cfg);
   view.load_table(tb.guest_map_table());
 
-  // A block is a bystander's iff an untrusted domain other than the
-  // subject owns it in the golden map.
   const auto bystander = [&](std::uint32_t block) {
     if (block >= view.block_count()) return false;
-    const memmap::DomainId owner = view.block(block).owner;
-    return owner != subject && owner != memmap::kTrustedDomain;
+    return pred(view.block(block).owner);
   };
 
   Oracle o;

@@ -21,6 +21,7 @@
 // Escape, regardless of whether the run also faulted.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "memmap/config.h"
@@ -33,6 +34,13 @@ class Oracle {
   /// Snapshot the protected set from `tb` after the golden run.
   static Oracle capture(runtime::Testbed& tb, memmap::DomainId subject);
 
+  /// Inverse selection for the soak harness's no-escape monitor: protect
+  /// every byte the golden map assigns to `victim` itself, plus the map
+  /// bytes that encode only victim-owned blocks. Captured once after the
+  /// victim is initialized and never dispatched again, any later divergence
+  /// means some *other* domain's traffic escaped into it.
+  static Oracle capture_owned(runtime::Testbed& tb, memmap::DomainId victim);
+
   /// Addresses whose current value in `tb` differs from the golden
   /// snapshot (empty = no escape).
   [[nodiscard]] std::vector<std::uint16_t> diff(runtime::Testbed& tb) const;
@@ -40,6 +48,11 @@ class Oracle {
   [[nodiscard]] std::size_t protected_bytes() const { return addrs_.size(); }
 
  private:
+  /// Shared capture machinery: protect every data byte whose golden block
+  /// satisfies `pred`, plus map-table bytes all of whose blocks do.
+  static Oracle capture_where(runtime::Testbed& tb,
+                              const std::function<bool(memmap::DomainId owner)>& pred);
+
   std::vector<std::uint16_t> addrs_;
   std::vector<std::uint8_t> golden_;
 };

@@ -120,11 +120,19 @@ InstallStatus ModuleStore::write_record_at(std::uint32_t waddr, const Record& r)
   return InstallStatus::Ok;
 }
 
+FlashStatus ModuleStore::erase_page_traced(std::uint32_t page) {
+  const FlashStatus s = flash_.erase_page(page);
+  if (s == FlashStatus::Ok && tracer_)
+    tracer_->ota_erase(static_cast<std::uint16_t>(page), flash_.wear(page),
+                       static_cast<std::uint32_t>(flash_.total_erases()));
+  return s;
+}
+
 InstallStatus ModuleStore::compact(int into_half) {
   const std::uint32_t half_pages = layout_.journal_pages / 2;
   const std::uint32_t into_page = static_cast<std::uint32_t>(into_half) * half_pages;
   for (std::uint32_t p = 0; p < half_pages; ++p) {
-    const FlashStatus s = flash_.erase_page(into_page + p);
+    const FlashStatus s = erase_page_traced(into_page + p);
     if (s != FlashStatus::Ok) return flash_err(s);
   }
   std::uint32_t idx = 0;
@@ -164,7 +172,7 @@ InstallStatus ModuleStore::compact(int into_half) {
   // previous records intact and recovery picks the highest valid sequence.
   const std::uint32_t old_page = static_cast<std::uint32_t>(1 - into_half) * half_pages;
   for (std::uint32_t p = 0; p < half_pages; ++p) {
-    const FlashStatus s = flash_.erase_page(old_page + p);
+    const FlashStatus s = erase_page_traced(old_page + p);
     if (s != FlashStatus::Ok) return flash_err(s);
   }
   return InstallStatus::Ok;
@@ -187,7 +195,7 @@ InstallStatus ModuleStore::erase_slot(int slot) {
   const std::uint32_t first = layout_.journal_pages +
                               static_cast<std::uint32_t>(slot) * slot_pages_;
   for (std::uint32_t p = 0; p < slot_pages_; ++p) {
-    const FlashStatus s = flash_.erase_page(first + p);
+    const FlashStatus s = erase_page_traced(first + p);
     if (s != FlashStatus::Ok) return flash_err(s);
   }
   return InstallStatus::Ok;

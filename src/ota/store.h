@@ -182,6 +182,9 @@ class ModuleStore {
   InstallStatus write_record_at(std::uint32_t waddr, const Record& r);
   InstallStatus compact(int into_half);
   InstallStatus erase_slot(int slot);
+  /// Every store erase funnels through here so the tracer sees the page's
+  /// wear count and the device total (OtaErase events; flash-wear metrics).
+  FlashStatus erase_page_traced(std::uint32_t page);
   [[nodiscard]] InstallStatus flash_err(FlashStatus s) const;
 
   /// Reads one record slot, charging `ops`; nullopt if blank or corrupt.

@@ -248,6 +248,18 @@ std::vector<std::uint8_t> Testbed::guest_map_table() const {
   return out;
 }
 
+Testbed::Snapshot Testbed::snapshot() const {
+  Snapshot s;
+  s.device = dev_.snapshot();
+  if (fabric_) s.fabric = fabric_->snapshot();
+  return s;
+}
+
+void Testbed::restore(const Snapshot& s) {
+  dev_.restore(s.device);
+  if (fabric_ && s.fabric) fabric_->restore(*s.fabric);
+}
+
 std::uint64_t Testbed::body_cycles(const CallResult& r, memmap::DomainId caller) {
   auto it = nop_cycles_.find(caller);
   if (it == nop_cycles_.end()) {

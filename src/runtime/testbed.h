@@ -105,6 +105,23 @@ class Testbed {
   void set_cycle_budget(std::uint64_t cycles) { cycle_budget_ = cycles; }
   [[nodiscard]] std::uint64_t cycle_budget() const { return cycle_budget_; }
 
+  // --- snapshot/restore (DESIGN.md §14) ---
+  /// Full device-visible state: flash, data space, core, peripherals and
+  /// (under UMPU) the fabric's registers/stats/code regions. Restoring
+  /// rewinds the guest exactly — a resumed run is cycle- and trace-identical
+  /// to an uninterrupted one. Host-side wiring (trampoline maps, hook
+  /// chains, the cycle budget) is configuration, not state, and is not
+  /// captured; neither is any host-side kernel state layered above the
+  /// Testbed (sos::Kernel queues/supervision — snapshot at quiescent points
+  /// or restore only device-perturbing probes; see src/soak).
+  struct Snapshot {
+    avr::Device::Snapshot device;
+    std::optional<umpu::Fabric::Snapshot> fabric;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(const Snapshot& s);
+
   static constexpr std::uint32_t kNopSlot = 7;
 
  private:

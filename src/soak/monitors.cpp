@@ -1,0 +1,268 @@
+#include "soak/monitors.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "asm/builder.h"
+#include "memmap/memory_map.h"
+#include "ota/image.h"
+
+namespace harbor::soak {
+
+namespace {
+
+MonitorResult pass(const char* name, std::uint64_t value) {
+  return {0, name, true, value, ""};
+}
+
+MonitorResult fail(const char* name, std::uint64_t value, std::string detail) {
+  return {0, name, false, value, std::move(detail)};
+}
+
+/// The exact flash word Testbed::set_jt_entry would place at `entry` for
+/// `target` — re-assembled, not re-implemented, so the check can never
+/// drift from the encoder.
+std::uint16_t expected_jt_word(std::uint32_t entry, std::uint32_t target) {
+  assembler::Assembler a(entry);
+  a.rjmp_abs(target);
+  return a.assemble().words.at(0);
+}
+
+/// Every untrusted-owned block in the live guest map must belong to a
+/// currently loaded domain: an owner code pointing at an empty domain means
+/// unload/quarantine leaked a segment (or a wild write forged ownership).
+MonitorResult memory_map_monitor(const MonitorContext& ctx) {
+  const runtime::Testbed& tb = ctx.sys.kernel().sys();
+  const runtime::Layout& L = tb.layout();
+  memmap::MemoryMap view(L.memmap_config());
+  view.load_table(tb.guest_map_table());
+  std::uint64_t owned = 0;
+  for (std::uint32_t b = 0; b < view.block_count(); ++b) {
+    const memmap::BlockPerm p = view.block(b);
+    if (p == memmap::free_block() || p.owner == memmap::kTrustedDomain) continue;
+    ++owned;
+    if (!ctx.sys.kernel().module(p.owner)) {
+      std::ostringstream os;
+      os << "block " << b << " (addr 0x" << std::hex << view.addr_of_block(b)
+         << ") owned by unloaded domain " << std::dec << static_cast<int>(p.owner);
+      return fail("memory_map", b, os.str());
+    }
+  }
+  return pass("memory_map", owned);
+}
+
+/// Every untrusted jump-table slot must hold exactly the rjmp the kernel
+/// owes it: a loaded module's export target, or the ker_undefined stub.
+MonitorResult jump_table_monitor(const MonitorContext& ctx) {
+  runtime::Testbed& tb = ctx.sys.driver();
+  const runtime::Layout& L = tb.layout();
+  const std::uint32_t undef = tb.runtime().symbol("ker_undefined");
+  const auto& flash = tb.device().flash();
+  std::uint64_t checked = 0;
+  for (std::uint8_t d = 0; d < memmap::kTrustedDomain; ++d) {
+    const sos::LoadedModule* m = ctx.sys.kernel().module(d);
+    for (std::uint32_t s = 0; s < L.jt_entries(); ++s) {
+      std::uint32_t target = undef;
+      if (m) {
+        const auto it = m->export_addr.find(s);
+        if (it != m->export_addr.end()) target = it->second;
+      }
+      const std::uint32_t entry = L.jt_entry(d, s);
+      const std::uint16_t want = expected_jt_word(entry, target);
+      const std::uint16_t got = flash.read_word(entry);
+      ++checked;
+      if (got != want) {
+        std::ostringstream os;
+        os << "jt entry d" << static_cast<int>(d) << " slot " << s << " at 0x" << std::hex
+           << entry << ": word 0x" << got << ", expected 0x" << want;
+        return fail("jump_table", entry, os.str());
+      }
+    }
+  }
+  return pass("jump_table", checked);
+}
+
+/// The victim domain is initialized once and never dispatched again; its
+/// bytes (and the map bytes guarding them) must match the golden capture.
+MonitorResult no_escape_monitor(const MonitorContext& ctx) {
+  const auto diff = ctx.victim_oracle.diff(ctx.sys.driver());
+  if (!diff.empty()) {
+    std::ostringstream os;
+    os << diff.size() << " victim byte(s) diverged, first at 0x" << std::hex << diff[0];
+    return fail("no_escape", diff.size(), os.str());
+  }
+  return pass("no_escape", ctx.victim_oracle.protected_bytes());
+}
+
+/// Recovery stays bounded: the worst dispatch (crashing ones included —
+/// the watchdog kills them at the budget) and the last journal replay both
+/// fit the cycle budget. An unbounded replay would show up here long
+/// before it hung a real boot.
+MonitorResult recovery_bound_monitor(const MonitorContext& ctx) {
+  // The watchdog fires once the budget is exceeded; the killing instruction
+  // may overshoot by its own length, so allow a small epsilon.
+  const std::uint64_t bound = ctx.recovery_budget + 64;
+  if (ctx.stats.max_dispatch_cycles > bound) {
+    return fail("recovery_bound", ctx.stats.max_dispatch_cycles,
+                "dispatch exceeded the cycle budget: " +
+                    std::to_string(ctx.stats.max_dispatch_cycles) + " > " +
+                    std::to_string(bound));
+  }
+  const std::uint64_t replay_cycles =
+      ctx.stats.last_recover_ops * sos::Kernel::kCyclesPerFlashOp;
+  if (replay_cycles > ctx.recovery_budget) {
+    return fail("recovery_bound", replay_cycles,
+                "journal replay cost " + std::to_string(replay_cycles) +
+                    " cycles > budget " + std::to_string(ctx.recovery_budget));
+  }
+  if (ctx.store.last_recovery().state == ota::StoreState::Watchdog)
+    return fail("recovery_bound", ctx.stats.last_recover_ops,
+                "store recovery tripped its op budget");
+  return pass("recovery_bound", ctx.stats.max_dispatch_cycles);
+}
+
+/// No flash page may exceed the erase-wear budget: OTA churn must spread
+/// erases across the journal halves and A/B slots, not grind one page.
+MonitorResult flash_wear_monitor(const MonitorContext& ctx) {
+  ota::FlashModel& flash = ctx.store.flash();
+  std::uint32_t worst = 0, worst_page = 0;
+  for (std::uint32_t p = 0; p < flash.pages(); ++p) {
+    if (flash.wear(p) > worst) {
+      worst = flash.wear(p);
+      worst_page = p;
+    }
+  }
+  if (worst > ctx.wear_budget) {
+    return fail("flash_wear", worst,
+                "page " + std::to_string(worst_page) + " at " + std::to_string(worst) +
+                    " erases > budget " + std::to_string(ctx.wear_budget));
+  }
+  return pass("flash_wear", worst);
+}
+
+/// Old-or-new: replaying the journal from flash must land on a committed
+/// image that still parses, or on Empty while nothing was ever installed.
+/// Never Corrupt, never a torn half-state.
+MonitorResult journal_monitor(const MonitorContext& ctx) {
+  ota::ModuleStore& store = ctx.store;
+  const ota::RecoveryResult r = store.recover();
+  if (r.state == ota::StoreState::Committed) {
+    const auto image = store.committed_image();
+    if (!image || !ota::deserialize_image(*image))
+      return fail("journal", r.seq, "committed image does not deserialize");
+    return pass("journal", r.ops);
+  }
+  if (r.state == ota::StoreState::Empty && ctx.stats.ota_installs == 0)
+    return pass("journal", r.ops);
+  return fail("journal", static_cast<std::uint64_t>(r.state),
+              std::string("store state '") + ota::store_state_name(r.state) +
+                  "' after " + std::to_string(ctx.stats.ota_installs) + " installs");
+}
+
+/// Supervision-state sanity: a quarantined domain holds no module, crash
+/// streaks respect the restart budget, and no dead letters linger once the
+/// storm was revived.
+MonitorResult supervision_monitor(const MonitorContext& ctx) {
+  const sos::Kernel& k = ctx.sys.kernel();
+  const int budget = k.supervisor().restart_budget;
+  int worst_streak = 0;
+  for (std::uint8_t d = 0; d < memmap::kTrustedDomain; ++d) {
+    if (k.quarantined(d) && k.module(d))
+      return fail("supervision", d,
+                  "domain " + std::to_string(d) + " is quarantined AND loaded");
+    const int streak = k.crash_streak(d);
+    worst_streak = std::max(worst_streak, streak);
+    if (budget >= 0 && streak > budget)
+      return fail("supervision", static_cast<std::uint64_t>(streak),
+                  "domain " + std::to_string(d) + " crash streak " +
+                      std::to_string(streak) + " > budget " + std::to_string(budget));
+  }
+  if (!k.dead_letters().empty())
+    return fail("supervision", k.dead_letters().size(),
+                std::to_string(k.dead_letters().size()) +
+                    " dead letters at checkpoint (storm not drained)");
+  return pass("supervision", static_cast<std::uint64_t>(worst_streak));
+}
+
+/// Trace-ring accounting: accepted = retained + dropped, and the
+/// per-domain drop attribution sums exactly to the total. A mismatch means
+/// the overwrite path lost or double-counted an event.
+MonitorResult ring_monitor(const MonitorContext& ctx) {
+  const trace::Tracer* t = ctx.sys.tracer();
+  if (!t) return pass("ring_accounting", 0);
+  const trace::EventRing& ring = t->ring();
+  if (ring.accepted() != ring.size() + ring.dropped())
+    return fail("ring_accounting", ring.accepted(),
+                "accepted " + std::to_string(ring.accepted()) + " != retained " +
+                    std::to_string(ring.size()) + " + dropped " +
+                    std::to_string(ring.dropped()));
+  std::uint64_t per_domain = 0;
+  for (std::uint8_t d = 0; d < 8; ++d) per_domain += ring.dropped_in_domain(d);
+  if (per_domain != ring.dropped())
+    return fail("ring_accounting", per_domain,
+                "per-domain drops " + std::to_string(per_domain) + " != total " +
+                    std::to_string(ring.dropped()));
+  return pass("ring_accounting", ring.dropped());
+}
+
+/// Liveness probe inside a snapshot bubble: allocate and free through the
+/// full protection machinery, then restore — proving the kernel services
+/// still answer after days of churn without perturbing the run (the device
+/// resumes cycle-exact; only host-side trace records remain).
+MonitorResult liveness_monitor(const MonitorContext& ctx) {
+  System& sys = ctx.sys;
+  const System::Snapshot snap = sys.snapshot();
+  const std::uint64_t cycles_before = sys.cycles();
+  // Trusted caller, untrusted owner — a trusted-owned block would encode as
+  // free, so the allocator (correctly) refuses owner == kTrustedDomain.
+  const runtime::CallResult m =
+      sys.driver().malloc(16, memmap::kTrustedDomain, ctx.victim);
+  runtime::CallResult f{};
+  if (!m.faulted && m.value != 0) f = sys.driver().free(m.value, memmap::kTrustedDomain);
+  sys.restore(snap);
+  if (sys.cycles() != cycles_before) {
+    return fail("liveness_probe", sys.cycles(),
+                "restore did not rewind the cycle counter");
+  }
+  if (m.faulted || m.value == 0)
+    return fail("liveness_probe", m.value, "probe ker_malloc failed");
+  if (f.faulted || f.value != 0)
+    return fail("liveness_probe", f.value, "probe ker_free failed");
+  return pass("liveness_probe", m.cycles);
+}
+
+}  // namespace
+
+std::vector<MonitorResult> MonitorRegistry::run(const MonitorContext& ctx,
+                                                trace::Tracer* tracer,
+                                                std::uint16_t epoch) const {
+  std::vector<MonitorResult> out;
+  out.reserve(monitors_.size());
+  std::uint8_t failures = 0;
+  for (std::size_t i = 0; i < monitors_.size(); ++i) {
+    MonitorResult r = monitors_[i](ctx);
+    r.id = static_cast<std::uint8_t>(i);
+    if (!r.ok) ++failures;
+    if (tracer) tracer->soak_monitor(r.id, r.ok, static_cast<std::uint32_t>(r.value));
+    out.push_back(std::move(r));
+  }
+  if (tracer)
+    tracer->soak_checkpoint(epoch, static_cast<std::uint32_t>(monitors_.size()), failures);
+  return out;
+}
+
+MonitorRegistry default_monitors() {
+  MonitorRegistry reg;
+  reg.add(memory_map_monitor);
+  reg.add(jump_table_monitor);
+  reg.add(no_escape_monitor);
+  reg.add(recovery_bound_monitor);
+  reg.add(flash_wear_monitor);
+  reg.add(journal_monitor);
+  reg.add(supervision_monitor);
+  reg.add(ring_monitor);
+  reg.add(liveness_monitor);
+  return reg;
+}
+
+}  // namespace harbor::soak

@@ -1,0 +1,79 @@
+#pragma once
+// Invariant monitors for the long-horizon soak harness (DESIGN.md §14).
+//
+// A monitor is a named predicate over the *live* system that the soak
+// scheduler re-runs at every checkpoint epoch. Each one re-derives its
+// verdict from primary state (the guest memory-map table, the flash
+// journal, the jump-table words in flash) rather than from the harness's
+// own bookkeeping, so a monitor failing means the device state itself
+// violates an invariant — not that a counter drifted.
+//
+// Monitors run in a fixed registration order; their index is the monitor
+// id carried by SoakMonitor trace events and by the soak-report-v1 JSONL
+// records, so ids are stable across runs of the same binary.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/harbor.h"
+#include "inject/oracle.h"
+#include "ota/store.h"
+
+namespace harbor::soak {
+
+/// Scenario-side facts the scheduler accumulates for the bound checks
+/// (worst dispatch latency, last journal-replay cost, churn counts).
+struct SoakStats {
+  std::uint64_t max_dispatch_cycles = 0;  ///< worst guest dispatch this run
+  std::uint64_t last_recover_ops = 0;     ///< flash ops of the last recover()
+  std::uint64_t ota_installs = 0;
+  std::uint64_t power_cuts = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t revives = 0;
+};
+
+/// Everything a monitor may inspect. `sys` is non-const: some monitors
+/// drive the real machinery (a liveness probe allocates through the
+/// protected allocator) inside a snapshot/restore bubble.
+struct MonitorContext {
+  System& sys;
+  ota::ModuleStore& store;
+  const inject::Oracle& victim_oracle;  ///< no-escape baseline (victim-owned bytes)
+  memmap::DomainId victim;
+  const SoakStats& stats;
+  std::uint64_t wear_budget = 0;       ///< max tolerated per-page erase count
+  std::uint64_t recovery_budget = 0;   ///< cycle bound for dispatch + journal replay
+};
+
+struct MonitorResult {
+  std::uint8_t id = 0;        ///< registry index (stable within a binary)
+  std::string name;
+  bool ok = false;
+  std::uint64_t value = 0;    ///< the measured quantity the verdict is about
+  std::string detail;         ///< human-readable failure context ("" when ok)
+};
+
+class MonitorRegistry {
+ public:
+  using Fn = std::function<MonitorResult(const MonitorContext&)>;
+
+  void add(Fn f) { monitors_.push_back(std::move(f)); }
+  [[nodiscard]] std::size_t size() const { return monitors_.size(); }
+
+  /// Run every monitor in order, stamping ids and mirroring each verdict
+  /// (and the checkpoint summary) into the tracer when one is attached.
+  std::vector<MonitorResult> run(const MonitorContext& ctx, trace::Tracer* tracer,
+                                 std::uint16_t epoch) const;
+
+ private:
+  std::vector<Fn> monitors_;
+};
+
+/// The stock registry: memory-map consistency, jump-table consistency,
+/// no-escape, bounded recovery, flash wear, journal old-or-new, supervision
+/// sanity, trace-ring accounting, and the snapshot-bubble liveness probe.
+MonitorRegistry default_monitors();
+
+}  // namespace harbor::soak

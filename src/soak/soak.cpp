@@ -1,0 +1,338 @@
+#include "soak/soak.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "asm/builder.h"
+#include "avr/ports.h"
+#include "ota/image.h"
+#include "sos/modules.h"
+#include "trace/json.h"
+
+namespace harbor::soak {
+
+namespace {
+
+using namespace harbor::assembler;
+
+/// xorshift64: deterministic, seedable, no std::random state to drag along.
+std::uint64_t next_rand(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+/// The storm module: spins forever on kData (guaranteed watchdog fault),
+/// returns cleanly on everything else. Position independent, store free —
+/// admissible under both UMPU and the SFI verifier.
+sos::ModuleImage spin_module() {
+  Assembler a;
+  sos::ModuleImage m;
+  m.name = "soak_spin";
+  m.state_size = 2;
+  auto done = a.make_label();
+  auto spin = a.make_label();
+  a.cpi(r24, sos::msg::kData);
+  a.brne(done);
+  a.bind(spin);
+  a.rjmp(spin);
+  a.bind(done);
+  a.clr(r24);
+  a.clr(r25);
+  a.ret();
+  m.code = a.assemble().words;
+  m.exports = {{sos::ModuleImage::kHandlerSlot, 0}};
+  return m;
+}
+
+/// OTA churn payload, two distinguishable versions: on kTimer it reports
+/// its version marker on the debug-value port.
+sos::ModuleImage payload_module(int version) {
+  Assembler a;
+  sos::ModuleImage m;
+  m.name = version == 1 ? "ota_payload_v1" : "ota_payload_v2";
+  m.state_size = 2;
+  auto done = a.make_label();
+  a.cpi(r24, sos::msg::kTimer);
+  a.brne(done);
+  a.ldi(r18, static_cast<std::uint8_t>(0xB0 + version));
+  a.out(avr::ports::kDebugValLo, r18);
+  a.bind(done);
+  a.clr(r24);
+  a.clr(r25);
+  a.ret();
+  m.code = a.assemble().words;
+  m.exports = {{sos::ModuleImage::kHandlerSlot, 0}};
+  return m;
+}
+
+/// Dispatch until the queue and every supervision backoff drain. A domain
+/// backs off at most backoff_cap rounds and every run_pending call advances
+/// one round, so `quiet` consecutive empty logs past the cap mean done.
+void drain(System& sys, SoakStats& stats) {
+  const int cap = sys.kernel().supervisor().backoff_cap;
+  int quiet = 0;
+  for (int i = 0; i < 20 * (cap + 2) && quiet <= cap + 1; ++i) {
+    const auto log = sys.run_pending();
+    for (const auto& rec : log)
+      stats.max_dispatch_cycles = std::max(stats.max_dispatch_cycles, rec.result.cycles);
+    quiet = log.empty() ? quiet + 1 : 0;
+  }
+}
+
+/// Watchdog → quarantine → revive storm: poison the spin module past its
+/// restart budget, dead-letter mail into the quarantine, then revive and
+/// prove the dead letters replay cleanly.
+void storm(System& sys, SoakStats& stats, std::optional<memmap::DomainId>& d_spin) {
+  if (!d_spin) {
+    d_spin = sys.load_module(spin_module());
+  } else if (sys.kernel().quarantined(*d_spin)) {
+    sys.kernel().revive(*d_spin);
+    ++stats.revives;
+  }
+  for (int i = 0; i < 4; ++i) sys.post(*d_spin, sos::msg::kData);
+  drain(sys, stats);
+  // Mail for a quarantined domain must dead-letter, not vanish.
+  sys.post(*d_spin, sos::msg::kTimer);
+  sys.post(*d_spin, sos::msg::kTimer);
+  if (sys.kernel().quarantined(*d_spin)) {
+    ++stats.quarantines;
+    sys.kernel().revive(*d_spin);
+    ++stats.revives;
+  }
+  drain(sys, stats);
+}
+
+/// One OTA install/recover cycle: alternate payload versions, with a
+/// seeded power cut torn through some installs; recovery must always land
+/// on old-or-new, after which the committed image is (re)loaded and poked.
+void ota_cycle(System& sys, ota::ModuleStore& store, SoakStats& stats,
+               std::uint64_t& rng, int epoch, std::optional<memmap::DomainId>& d_ota) {
+  const std::vector<std::uint16_t> words =
+      ota::serialize_image(payload_module(epoch % 2 == 0 ? 1 : 2));
+
+  if (next_rand(rng) % 5 == 0) {
+    // Tear this install at a random flash op; the journal must contain it.
+    store.flash().set_cut_at(1 + next_rand(rng) % (words.size() + 64));
+    const ota::InstallStatus s = ota::install_image(store, words);
+    if (s == ota::InstallStatus::PowerCut || s == ota::InstallStatus::Dead) {
+      ++stats.power_cuts;
+      store.flash().power_cycle();
+    }
+    const ota::RecoveryResult r = sys.kernel().recover_store(store);
+    stats.last_recover_ops = r.ops;
+    if (store.install_open()) store.abort_install();
+  }
+  store.flash().clear_cut();  // an unfired cut must not tear the next install
+
+  const ota::InstallStatus s = ota::install_image(store, words);
+  if (s != ota::InstallStatus::Ok)
+    throw std::runtime_error(std::string("soak: ota install failed: ") +
+                             ota::install_status_name(s));
+  ++stats.ota_installs;
+  const ota::RecoveryResult r = sys.kernel().recover_store(store);
+  stats.last_recover_ops = r.ops;
+
+  if (d_ota) sys.kernel().unload(*d_ota);
+  d_ota = sys.kernel().load_from_store(store, d_ota);
+  sys.post(*d_ota, sos::msg::kTimer);
+  drain(sys, stats);
+}
+
+std::uint64_t sum_counter(trace::Metrics& m, const char* name) {
+  std::uint64_t total = 0;
+  for (const auto& [key, value] : m.counters())
+    if (key.first == name && key.second != trace::Metrics::kNoDomain) total += value;
+  // Un-attributed counters (domain -1) are totals of their own; prefer them
+  // when per-domain cells are absent.
+  if (total == 0) total = m.counter_value(name);
+  return total;
+}
+
+std::uint32_t max_wear(ota::FlashModel& flash) {
+  std::uint32_t worst = 0;
+  for (std::uint32_t p = 0; p < flash.pages(); ++p) worst = std::max(worst, flash.wear(p));
+  return worst;
+}
+
+const char* mode_name_of(ProtectionMode m) {
+  switch (m) {
+    case ProtectionMode::Umpu: return "umpu";
+    case ProtectionMode::Sfi: return "sfi";
+    case ProtectionMode::None: return "none";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string epoch_record_json(const SoakReport& report, const EpochRecord& rec) {
+  namespace json = trace::json;
+  std::string out = "{";
+  json::Joiner top(out);
+  json::kv(out, top, "schema", std::string("soak-report-v1"));
+  json::kv(out, top, "mode", report.mode_name);
+  json::kv(out, top, "epoch", rec.epoch);
+  json::kv(out, top, "sim_hours", rec.sim_hours);
+  json::kv(out, top, "checkpoint", rec.checkpoint);
+  top.item();
+  out += "\"counters\":{";
+  {
+    json::Joiner c(out);
+    for (const auto& [name, value] : rec.counters) json::kv(out, c, name, value);
+  }
+  out += "},\"monitors\":[";
+  {
+    json::Joiner ms(out);
+    for (const MonitorResult& m : rec.monitors) {
+      ms.item();
+      out += '{';
+      json::Joiner mo(out);
+      json::kv(out, mo, "id", static_cast<int>(m.id));
+      json::kv(out, mo, "name", m.name);
+      json::kv(out, mo, "ok", m.ok);
+      json::kv(out, mo, "value", m.value);
+      json::kv(out, mo, "detail", m.detail);
+      out += '}';
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+SoakReport run_soak(const SoakConfig& cfg, std::ostream* jsonl) {
+  SoakReport rep;
+  rep.mode_name = mode_name_of(cfg.mode);
+
+  System sys({cfg.mode});
+  trace::TracerOptions topts;
+  topts.ring_capacity = cfg.ring_capacity;
+  trace::Tracer& tracer = sys.enable_tracing(topts);
+  sys.driver().set_cycle_budget(cfg.cycle_budget);
+  sos::SupervisorConfig sup;
+  sup.auto_restart = true;
+  sup.restart_budget = 3;
+  sup.backoff_base = 1;
+  sup.backoff_cap = 8;
+  sys.kernel().set_supervisor(sup);
+
+  SoakStats stats;
+
+  // Resident cast: a victim sentinel that is initialized once and then
+  // never dispatched again (the no-escape baseline), the Tree/Surge pair
+  // for cross-domain call traffic, and — per epoch — an OTA churn target
+  // and the spin-storm module.
+  const memmap::DomainId d_victim = sys.load_module(sos::modules::blink());
+  const memmap::DomainId d_tree = sys.load_module(sos::modules::tree_routing());
+  const memmap::DomainId d_surge = sys.load_module(sos::modules::surge(d_tree, true));
+  sys.post(d_victim, sos::msg::kTimer);
+  drain(sys, stats);
+  const inject::Oracle oracle = inject::Oracle::capture_owned(sys.driver(), d_victim);
+
+  ota::FlashModel flash;
+  ota::ModuleStore store(flash, {}, &tracer);
+
+  const int total_epochs = std::max(1, static_cast<int>(std::ceil(cfg.hours)));
+  const double hours_per_epoch = cfg.hours > 0 ? cfg.hours / total_epochs : 1.0;
+  const auto cycles_per_epoch = static_cast<std::uint64_t>(
+      hours_per_epoch * 3600.0 * static_cast<double>(cfg.clock_hz));
+  const std::uint64_t wear_budget =
+      cfg.flash_wear_budget ? cfg.flash_wear_budget
+                            : static_cast<std::uint64_t>(total_epochs) * 2 + 16;
+
+  const MonitorRegistry monitors = default_monitors();
+  std::uint64_t rng = cfg.seed ? cfg.seed : 0x9E3779B97F4A7C15ull;
+  std::uint64_t skipped = 0;
+  std::optional<memmap::DomainId> d_ota, d_spin;
+  rep.ok = true;
+
+  trace::CounterTrack tr_uptime{"soak.uptime_sim_hours", {}};
+  trace::CounterTrack tr_erases{"soak.flash_total_erases", {}};
+  trace::CounterTrack tr_wear{"soak.flash_max_wear", {}};
+  trace::CounterTrack tr_drops{"soak.ring_dropped", {}};
+
+  for (int epoch = 0; epoch < total_epochs; ++epoch) {
+    // --- epoch activity: traffic, OTA churn, supervision storm ---
+    const int bursts = 2 + static_cast<int>(next_rand(rng) % 3);
+    for (int i = 0; i < bursts; ++i) {
+      sys.post(d_surge, sos::msg::kData);
+      sys.post(d_tree, sos::msg::kTimer);
+    }
+    drain(sys, stats);
+    ota_cycle(sys, store, stats, rng, epoch, d_ota);
+    if (epoch % 2 == 1) storm(sys, stats, d_spin);
+
+    // --- checkpoint: re-verify invariants from primary state ---
+    const bool checkpoint =
+        (cfg.checkpoint_every > 0 && (epoch + 1) % cfg.checkpoint_every == 0) ||
+        epoch + 1 == total_epochs;
+    EpochRecord rec;
+    rec.epoch = epoch;
+    rec.checkpoint = checkpoint;
+    if (checkpoint) {
+      MonitorContext ctx{sys,   store, oracle,      d_victim,
+                         stats, wear_budget, cfg.cycle_budget};
+      rec.monitors = monitors.run(ctx, &tracer, static_cast<std::uint16_t>(epoch));
+      ++rep.checkpoints;
+      for (const MonitorResult& m : rec.monitors) {
+        if (m.ok) continue;
+        rep.ok = false;
+        if (rep.failure.empty())
+          rep.failure = "epoch " + std::to_string(epoch) + ": " + m.name + ": " + m.detail;
+      }
+    }
+
+    // --- fast-forward the quiescent remainder of the simulated hour ---
+    const std::uint64_t executed = sys.cycles();
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(epoch + 1) * cycles_per_epoch;
+    if (executed + skipped < target) skipped = target - executed;
+    const double sim_hours = static_cast<double>(executed + skipped) /
+                             (3600.0 * static_cast<double>(cfg.clock_hz));
+    tracer.soak_epoch(static_cast<std::uint16_t>(epoch),
+                      static_cast<std::uint32_t>(sim_hours * 60.0));
+
+    // --- health record ---
+    rec.sim_hours = sim_hours;
+    trace::Metrics& met = tracer.metrics();
+    const auto& ring = tracer.ring();
+    rec.counters = {
+        {"uptime_cycles", executed + skipped},
+        {"executed_cycles", executed},
+        {"dispatches", sum_counter(met, trace::metric::kSosDispatches)},
+        {"faults", sum_counter(met, trace::metric::kFaults)},
+        {"restarts", sum_counter(met, trace::metric::kSosRestarts)},
+        {"quarantines", sum_counter(met, trace::metric::kSosQuarantines)},
+        {"revives", stats.revives},
+        {"ota_installs", stats.ota_installs},
+        {"ota_recovers", met.counter_value(trace::metric::kOtaRecovers)},
+        {"power_cuts", stats.power_cuts},
+        {"flash_total_erases", flash.total_erases()},
+        {"flash_max_wear", max_wear(flash)},
+        {"ring_accepted", ring.accepted()},
+        {"ring_dropped", ring.dropped()},
+    };
+    const std::uint64_t now = executed;
+    tr_uptime.samples.emplace_back(now, sim_hours);
+    tr_erases.samples.emplace_back(now, static_cast<double>(flash.total_erases()));
+    tr_wear.samples.emplace_back(now, static_cast<double>(max_wear(flash)));
+    tr_drops.samples.emplace_back(now, static_cast<double>(ring.dropped()));
+
+    if (jsonl) *jsonl << epoch_record_json(rep, rec) << '\n';
+    rep.records.push_back(std::move(rec));
+  }
+
+  rep.epochs = total_epochs;
+  rep.sim_hours = static_cast<double>(sys.cycles() + skipped) /
+                  (3600.0 * static_cast<double>(cfg.clock_hz));
+  rep.executed_cycles = sys.cycles();
+  rep.skipped_cycles = skipped;
+  rep.counter_tracks = {tr_uptime, tr_erases, tr_wear, tr_drops};
+  rep.perfetto_trace = trace::perfetto_json(tracer);
+  rep.metrics = trace::metrics_json(tracer);
+  return rep;
+}
+
+}  // namespace harbor::soak

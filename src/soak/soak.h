@@ -1,0 +1,82 @@
+#pragma once
+// Long-horizon soak harness (DESIGN.md §14): compresses days of simulated
+// uptime into host seconds by interleaving bursts of real guest activity
+// with fast-forwarded quiescent stretches.
+//
+// Epoch model: one epoch = one simulated hour. Within an epoch the
+// scheduler drives the full stack — cross-domain call traffic through the
+// Surge/Tree modules, an OTA install/recover cycle against the journaled
+// module store (with seeded power cuts), a watchdog → quarantine → revive
+// storm against a deliberately crashing module — then fast-forwards the
+// simulated clock to the epoch boundary. The guest executes a few hundred
+// thousand real cycles per simulated hour; the remaining ~14.4 billion
+// idle cycles are accounted, not executed.
+//
+// At the checkpoint cadence the invariant-monitor registry (monitors.h)
+// re-verifies the device from primary state; one soak-report-v1 JSONL
+// health record streams out per epoch either way.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/harbor.h"
+#include "soak/monitors.h"
+#include "trace/export.h"
+
+namespace harbor::soak {
+
+struct SoakConfig {
+  ProtectionMode mode = ProtectionMode::Umpu;
+  double hours = 24.0;          ///< simulated uptime (1 epoch per hour)
+  std::uint64_t seed = 1;       ///< drives power-cut timing and storm cadence
+  int checkpoint_every = 4;     ///< run monitors every N epochs (last always runs)
+  std::size_t ring_capacity = 4096;  ///< small enough to saturate in-run
+  /// Max tolerated per-page erase count; 0 = auto (scaled to the horizon).
+  std::uint64_t flash_wear_budget = 0;
+  /// Simulated core clock (ATmega103-class: 4 MHz).
+  std::uint64_t clock_hz = 4'000'000;
+  /// Per-dispatch watchdog budget for the soak system.
+  std::uint64_t cycle_budget = 100'000;
+};
+
+/// One per-epoch health record (the JSONL line, structured).
+struct EpochRecord {
+  int epoch = 0;
+  double sim_hours = 0.0;
+  bool checkpoint = false;
+  /// Monotone counters sampled at the epoch boundary (name -> value).
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<MonitorResult> monitors;  ///< empty on non-checkpoint epochs
+};
+
+struct SoakReport {
+  bool ok = false;            ///< every monitor passed at every checkpoint
+  std::string mode_name;
+  int epochs = 0;
+  int checkpoints = 0;
+  double sim_hours = 0.0;
+  std::uint64_t executed_cycles = 0;   ///< cycles the core actually ran
+  std::uint64_t skipped_cycles = 0;    ///< quiescent time fast-forwarded
+  std::vector<EpochRecord> records;
+  /// Host-side counter tracks spanning the whole run (the event ring drops
+  /// early records under saturation; these do not).
+  std::vector<trace::CounterTrack> counter_tracks;
+  /// Perfetto trace-event JSON of the final ring (epoch/checkpoint instants,
+  /// wear counter track) and the flat metrics dump — rendered before the
+  /// run's System is torn down, since the tracer dies with it.
+  std::string perfetto_trace;
+  std::string metrics;
+  std::string failure;        ///< first monitor failure, "" when ok
+};
+
+/// Render one epoch record as a soak-report-v1 JSON object (one line, no
+/// trailing newline) — the schema tools/validate_trace.py --soak checks.
+std::string epoch_record_json(const SoakReport& report, const EpochRecord& rec);
+
+/// Run the scenario. When `jsonl` is non-null, each epoch's health record
+/// streams to it as it completes (newline-terminated).
+SoakReport run_soak(const SoakConfig& cfg, std::ostream* jsonl = nullptr);
+
+}  // namespace harbor::soak

@@ -145,6 +145,7 @@ class Kernel {
   [[nodiscard]] std::uint32_t subscribe(memmap::DomainId domain, std::uint32_t slot) const;
 
   [[nodiscard]] runtime::Testbed& sys() { return tb_; }
+  [[nodiscard]] const runtime::Testbed& sys() const { return tb_; }
   [[nodiscard]] runtime::Mode mode() const { return tb_.mode(); }
 
   // --- OTA module store (DESIGN.md §11) ---

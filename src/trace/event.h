@@ -48,6 +48,11 @@ enum class EventKind : std::uint8_t {
   OtaCommit,         ///< install committed: staged slot becomes active (value = journal seq, aux = slot)
   OtaRollback,       ///< interrupted install rolled back (value = journal seq, aux = slot)
   OtaRecover,        ///< reboot-time recovery verdict (aux = StoreState, value = committed seq)
+  OtaErase,          ///< flash page erased (addr = page, aux = page wear clamped to 255, value = total erases)
+  // Soak harness (src/soak; host-side instrumentation, see DESIGN.md §14).
+  SoakEpoch,         ///< epoch boundary crossed (addr = epoch, value = simulated minutes of uptime)
+  SoakCheckpoint,    ///< invariant checkpoint ran (addr = epoch, value = monitors evaluated, aux = failures)
+  SoakMonitor,       ///< one monitor verdict (aux = monitor id, addr = ok flag, value = measured quantity)
 };
 
 const char* event_kind_name(EventKind k);

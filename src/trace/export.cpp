@@ -15,6 +15,7 @@ namespace {
 constexpr int kPid = 1;           ///< one simulated device = one process
 constexpr int kKernelTid = 100;   ///< SOS kernel dispatch track
 constexpr int kOtaTid = 101;      ///< OTA transfer/install track
+constexpr int kSoakTid = 102;     ///< soak harness epoch/checkpoint track
 
 std::string domain_track_name(int d) {
   std::string n = "domain " + std::to_string(d);
@@ -83,6 +84,7 @@ std::string perfetto_json(const Tracer& tracer) {
   for (const int d : domains) meta_event(out, ev, d, domain_track_name(d));
   meta_event(out, ev, kKernelTid, "sos kernel dispatch");
   meta_event(out, ev, kOtaTid, "ota pipeline");
+  meta_event(out, ev, kSoakTid, "soak harness");
 
   for (const Event& e : events) {
     const int tid = e.domain & 7;
@@ -181,6 +183,34 @@ std::string perfetto_json(const Tracer& tracer) {
         begin_event(out, ev, "i", kOtaTid, e.cycle, "recover");
         out += ",\"s\":\"g\",\"args\":{\"state\":" + std::to_string(e.aux) +
                ",\"committed_seq\":" + std::to_string(e.value) + "}}";
+        break;
+      case EventKind::OtaErase:
+        // Wear is a counter track: the long-horizon view is the trend, not
+        // the individual page erases.
+        begin_event(out, ev, "C", kOtaTid, e.cycle, "flash_total_erases");
+        out += ",\"args\":{\"value\":" + std::to_string(e.value) + "}}";
+        break;
+      case EventKind::SoakEpoch:
+        begin_event(out, ev, "i", kSoakTid, e.cycle, "epoch " + std::to_string(e.addr));
+        out += ",\"s\":\"p\",\"args\":{\"sim_minutes\":" + std::to_string(e.value) + "}}";
+        begin_event(out, ev, "C", kSoakTid, e.cycle, "uptime_sim_minutes");
+        out += ",\"args\":{\"value\":" + std::to_string(e.value) + "}}";
+        break;
+      case EventKind::SoakCheckpoint:
+        begin_event(out, ev, "i", kSoakTid, e.cycle,
+                    "checkpoint @" + std::to_string(e.addr));
+        out += std::string(",\"s\":\"") + (e.aux ? "g" : "p") +
+               "\",\"args\":{\"monitors\":" + std::to_string(e.value) +
+               ",\"failures\":" + std::to_string(e.aux) + "}}";
+        break;
+      case EventKind::SoakMonitor:
+        // Only failing verdicts earn a timeline instant; passing ones would
+        // bury the view (they are all in the JSONL health records).
+        if (e.addr == 0) {
+          begin_event(out, ev, "i", kSoakTid, e.cycle,
+                      "monitor " + std::to_string(e.aux) + " FAIL");
+          out += ",\"s\":\"g\",\"args\":{\"measured\":" + std::to_string(e.value) + "}}";
+        }
         break;
       // High-volume / bookkeeping events stay out of the timeline view;
       // they are fully represented in the metrics dump.

@@ -35,6 +35,22 @@ struct Histogram {
     ++buckets[b];
   }
 
+  /// Fold another histogram into this one. Bucket boundaries are fixed
+  /// powers of two, so the merge is an elementwise bucket sum and is
+  /// clamp-preserving: values the other histogram clamped into its
+  /// open-ended tail stay in the tail here. merge(a).percentile(q) equals
+  /// what percentile(q) would report had every sample been recorded into
+  /// one histogram directly.
+  void merge(const Histogram& o) {
+    count += o.count;
+    sum += o.sum;
+    if (o.count) {
+      if (o.min < min) min = o.min;
+      if (o.max > max) max = o.max;
+    }
+    for (std::size_t b = 0; b < kBuckets; ++b) buckets[b] += o.buckets[b];
+  }
+
   [[nodiscard]] double mean() const { return count ? double(sum) / double(count) : 0.0; }
 
   /// Approximate q-quantile (q in [0,1]) from the bucket boundaries: the
@@ -137,6 +153,12 @@ inline constexpr const char* kOtaBackoffTicks = "ota.backoff_ticks";
 inline constexpr const char* kOtaCommits = "ota.commits";
 inline constexpr const char* kOtaRollbacks = "ota.rollbacks";
 inline constexpr const char* kOtaRecovers = "ota.recovers";
+inline constexpr const char* kOtaFlashErases = "ota.flash_erases";
+inline constexpr const char* kOtaFlashWearMax = "ota.flash_wear_max";
+inline constexpr const char* kRingDropped = "trace.ring_dropped";
+inline constexpr const char* kSoakEpochs = "soak.epochs";
+inline constexpr const char* kSoakCheckpoints = "soak.checkpoints";
+inline constexpr const char* kSoakMonitorFails = "soak.monitor_failures";
 }  // namespace metric
 
 }  // namespace harbor::trace

@@ -6,6 +6,7 @@
 // published with release/acquire ordering and slots are committed before
 // the index moves, so a reader sees only fully-written records).
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -32,7 +33,16 @@ class EventRing {
       return false;
     }
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
-    if (!buf_.empty()) buf_[static_cast<std::size_t>(h % buf_.size())] = e;
+    if (!buf_.empty()) {
+      // Overwrite-oldest: charge the drop to the domain whose record is
+      // being evicted, so saturation is attributable per domain.
+      auto& slot = buf_[static_cast<std::size_t>(h % buf_.size())];
+      if (h >= buf_.size()) ++dropped_by_domain_[slot.domain & 7];
+      slot = e;
+    } else {
+      // Capacity 0 retains nothing: every accepted event is a drop.
+      ++dropped_by_domain_[e.domain & 7];
+    }
     head_.store(h + 1, std::memory_order_release);
     return true;
   }
@@ -52,6 +62,11 @@ class EventRing {
   }
   /// Events rejected by the PC filter.
   [[nodiscard]] std::uint64_t filtered() const { return filtered_; }
+  /// Overwritten events attributed to the domain whose record was evicted.
+  /// Invariant: the sum over all domains equals dropped().
+  [[nodiscard]] std::uint64_t dropped_in_domain(std::uint8_t domain) const {
+    return dropped_by_domain_[domain & 7];
+  }
 
   /// Retained events, oldest first.
   [[nodiscard]] std::vector<Event> snapshot() const {
@@ -67,12 +82,14 @@ class EventRing {
   void clear() {
     head_.store(0, std::memory_order_release);
     filtered_ = 0;
+    dropped_by_domain_.fill(0);
   }
 
  private:
   std::vector<Event> buf_;
   std::atomic<std::uint64_t> head_{0};
   std::uint64_t filtered_ = 0;
+  std::array<std::uint64_t, 8> dropped_by_domain_{};
   std::function<bool(std::uint32_t)> filter_;
 };
 

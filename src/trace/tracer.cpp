@@ -41,6 +41,10 @@ const char* event_kind_name(EventKind k) {
     case EventKind::OtaCommit: return "ota-commit";
     case EventKind::OtaRollback: return "ota-rollback";
     case EventKind::OtaRecover: return "ota-recover";
+    case EventKind::OtaErase: return "ota-erase";
+    case EventKind::SoakEpoch: return "soak-epoch";
+    case EventKind::SoakCheckpoint: return "soak-checkpoint";
+    case EventKind::SoakMonitor: return "soak-monitor";
   }
   return "?";
 }
@@ -111,7 +115,10 @@ Metrics& Tracer::metrics() {
   for (int d = 0; d < 8; ++d) {
     if (cycles_in_domain_[d]) metrics_.counter(metric::kCyclesInDomain, d) = cycles_in_domain_[d];
     if (instr_in_domain_[d]) metrics_.counter(metric::kInstrInDomain, d) = instr_in_domain_[d];
+    const std::uint64_t drops = ring_.dropped_in_domain(static_cast<std::uint8_t>(d));
+    if (drops) metrics_.counter(metric::kRingDropped, d) = drops;
   }
+  metrics_.counter(metric::kRingDropped) = ring_.dropped();
   return metrics_;
 }
 
@@ -411,6 +418,45 @@ void Tracer::ota_recover(std::uint8_t state, std::uint32_t committed_seq) {
   Event e = base_event(EventKind::OtaRecover);
   e.aux = state;
   e.value = committed_seq;
+  ring_.push(e);
+}
+
+void Tracer::ota_erase(std::uint16_t page, std::uint32_t page_wear,
+                       std::uint32_t total_erases) {
+  ++metrics_.counter(metric::kOtaFlashErases);
+  auto& wear_max = metrics_.counter(metric::kOtaFlashWearMax);
+  if (page_wear > wear_max) wear_max = page_wear;
+  Event e = base_event(EventKind::OtaErase);
+  e.addr = page;
+  e.aux = static_cast<std::uint8_t>(page_wear > 255 ? 255 : page_wear);
+  e.value = total_erases;
+  ring_.push(e);
+}
+
+void Tracer::soak_epoch(std::uint16_t epoch, std::uint32_t sim_minutes) {
+  ++metrics_.counter(metric::kSoakEpochs);
+  Event e = base_event(EventKind::SoakEpoch);
+  e.addr = epoch;
+  e.value = sim_minutes;
+  ring_.push(e);
+}
+
+void Tracer::soak_checkpoint(std::uint16_t epoch, std::uint32_t monitors,
+                             std::uint8_t failures) {
+  ++metrics_.counter(metric::kSoakCheckpoints);
+  metrics_.counter(metric::kSoakMonitorFails) += failures;
+  Event e = base_event(EventKind::SoakCheckpoint);
+  e.addr = epoch;
+  e.value = monitors;
+  e.aux = failures;
+  ring_.push(e);
+}
+
+void Tracer::soak_monitor(std::uint8_t monitor_id, bool ok, std::uint32_t measured) {
+  Event e = base_event(EventKind::SoakMonitor);
+  e.aux = monitor_id;
+  e.addr = ok ? 1 : 0;
+  e.value = measured;
   ring_.push(e);
 }
 

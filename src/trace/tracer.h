@@ -118,6 +118,11 @@ class Tracer {
   void ota_commit(std::uint8_t slot, std::uint32_t journal_seq);
   void ota_rollback(std::uint8_t slot, std::uint32_t journal_seq);
   void ota_recover(std::uint8_t state, std::uint32_t committed_seq);
+  void ota_erase(std::uint16_t page, std::uint32_t page_wear, std::uint32_t total_erases);
+  // Soak harness epochs and invariant checkpoints (src/soak; DESIGN.md §14).
+  void soak_epoch(std::uint16_t epoch, std::uint32_t sim_minutes);
+  void soak_checkpoint(std::uint16_t epoch, std::uint32_t monitors, std::uint8_t failures);
+  void soak_monitor(std::uint8_t monitor_id, bool ok, std::uint32_t measured);
 
   // --- fault flight recorder ---
   /// The last `flight_depth` events leading up to (and including) the most

@@ -92,6 +92,25 @@ class Fabric : public avr::CpuHooks {
   /// guest through the kFaultKind/kFaultAddr ports).
   [[nodiscard]] const avr::FaultInfo& last_fault() const { return last_fault_; }
 
+  // --- state capture (Testbed snapshot/restore; DESIGN.md §14) ---
+  /// All mutable unit state: the register file, per-unit statistics, the
+  /// latched fault record and the loader-programmed code regions. The hook
+  /// attachment and trace sink are wiring and survive a restore untouched.
+  struct Snapshot {
+    Regs regs;
+    Stats stats;
+    avr::FaultInfo last_fault;
+    std::array<CodeRegion, 8> code{};
+  };
+
+  [[nodiscard]] Snapshot snapshot() const { return {regs_, stats_, last_fault_, code_}; }
+  void restore(const Snapshot& s) {
+    regs_ = s.regs;
+    stats_ = s.stats;
+    last_fault_ = s.last_fault;
+    code_ = s.code;
+  }
+
  private:
   [[nodiscard]] bool trusted() const { return regs_.cur_domain == avr::ports::kTrustedDomain; }
   [[nodiscard]] bool in_protected_range(std::uint16_t addr) const {

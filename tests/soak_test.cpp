@@ -1,0 +1,240 @@
+// Soak-harness tests (DESIGN.md §14): per-domain trace-ring drop accounting
+// under saturation, Histogram::merge() against directly-recorded ground
+// truth, flash erase-wear surfacing through the tracer's metrics, the
+// soak-report-v1 health-record shape, and short end-to-end soak runs with
+// every invariant monitor passing in both protection modes.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "ota/image.h"
+#include "ota/store.h"
+#include "soak/soak.h"
+#include "sos/modules.h"
+#include "trace/metrics.h"
+#include "trace/ring.h"
+#include "trace/tracer.h"
+
+namespace {
+
+using namespace harbor;
+
+// --- per-domain ring drop accounting (saturation) ------------------------
+
+trace::Event event_for_domain(std::uint8_t d, std::uint64_t i) {
+  trace::Event e;
+  e.kind = trace::EventKind::MmcGrant;
+  e.domain = d;
+  e.cycle = i;
+  return e;
+}
+
+TEST(RingDomainDrops, SaturationAttributesEveryDrop) {
+  trace::EventRing ring(16);
+  // 9 domains' worth of traffic skewed so domains drop unevenly: domain d
+  // pushes (d+1)*40 events, far past capacity.
+  for (std::uint8_t d = 0; d < 8; ++d)
+    for (std::uint64_t i = 0; i < (d + 1u) * 40u; ++i) ring.push(event_for_domain(d, i));
+
+  EXPECT_EQ(ring.size(), 16u);
+  EXPECT_GT(ring.dropped(), 0u);
+  EXPECT_EQ(ring.accepted(), ring.size() + ring.dropped());
+  std::uint64_t per_domain = 0;
+  for (std::uint8_t d = 0; d < 8; ++d) per_domain += ring.dropped_in_domain(d);
+  EXPECT_EQ(per_domain, ring.dropped());
+  // The drop is charged to the *evicted* record's domain: the retained tail
+  // is all domain 7, so every earlier domain's records were evicted in full.
+  EXPECT_EQ(ring.dropped_in_domain(0), 40u);
+}
+
+TEST(RingDomainDrops, CapacityZeroChargesTheIncomingDomain) {
+  trace::EventRing ring(0);
+  for (std::uint64_t i = 0; i < 10; ++i) ring.push(event_for_domain(3, i));
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 10u);
+  EXPECT_EQ(ring.dropped_in_domain(3), 10u);
+}
+
+TEST(RingDomainDrops, ClearResetsAttribution) {
+  trace::EventRing ring(2);
+  for (std::uint64_t i = 0; i < 8; ++i) ring.push(event_for_domain(1, i));
+  ASSERT_GT(ring.dropped_in_domain(1), 0u);
+  ring.clear();
+  EXPECT_EQ(ring.dropped(), 0u);
+  for (std::uint8_t d = 0; d < 8; ++d) EXPECT_EQ(ring.dropped_in_domain(d), 0u);
+}
+
+// --- Histogram::merge ----------------------------------------------------
+
+TEST(HistogramMerge, EqualsDirectRecording) {
+  std::mt19937_64 rng(7);
+  trace::Histogram a, b, direct;
+  // Mixed magnitudes including zeros and values that clamp into the
+  // open-ended last bucket (>= 2^22).
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v =
+        (i % 17 == 0) ? 0 : (rng() % (i % 5 == 0 ? (1ull << 40) : 4096));
+    trace::Histogram& h = (i % 2 == 0) ? a : b;
+    h.record(v);
+    direct.record(v);
+  }
+  trace::Histogram merged = a;
+  merged.merge(b);
+
+  EXPECT_EQ(merged.count, direct.count);
+  EXPECT_EQ(merged.sum, direct.sum);
+  EXPECT_EQ(merged.min, direct.min);
+  EXPECT_EQ(merged.max, direct.max);
+  for (std::size_t i = 0; i < trace::Histogram::kBuckets; ++i)
+    EXPECT_EQ(merged.buckets[i], direct.buckets[i]) << "bucket " << i;
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_EQ(merged.percentile(q), direct.percentile(q)) << "q=" << q;
+  EXPECT_DOUBLE_EQ(merged.mean(), direct.mean());
+}
+
+TEST(HistogramMerge, EmptyOperandIsIdentity) {
+  trace::Histogram h, empty;
+  h.record(5);
+  h.record(500);
+  const trace::Histogram before = h;
+  h.merge(empty);
+  EXPECT_EQ(h.count, before.count);
+  EXPECT_EQ(h.min, before.min);  // empty's sentinel min must not clobber
+  EXPECT_EQ(h.max, before.max);
+  // And merging *into* an empty histogram adopts the operand wholesale.
+  trace::Histogram target;
+  target.merge(before);
+  EXPECT_EQ(target.min, before.min);
+  EXPECT_EQ(target.percentile(0.5), before.percentile(0.5));
+}
+
+// --- flash erase-wear telemetry ------------------------------------------
+
+TEST(FlashWearTelemetry, ErasesSurfaceThroughTracerMetrics) {
+  trace::Tracer tracer;
+  ota::FlashModel flash;
+  ota::ModuleStore store(flash, {}, &tracer);
+  const auto words = ota::serialize_image(sos::modules::blink());
+  for (int i = 0; i < 3; ++i)
+    ASSERT_EQ(ota::install_image(store, words), ota::InstallStatus::Ok);
+
+  trace::Metrics& m = tracer.metrics();
+  EXPECT_EQ(m.counter_value(trace::metric::kOtaFlashErases), flash.total_erases());
+  std::uint32_t worst = 0;
+  for (std::uint32_t p = 0; p < flash.pages(); ++p) worst = std::max(worst, flash.wear(p));
+  EXPECT_EQ(m.counter_value(trace::metric::kOtaFlashWearMax), worst);
+  EXPECT_GT(worst, 0u);
+
+  // Every erase is also an OtaErase ring event carrying the page address.
+  std::uint64_t erase_events = 0;
+  for (const trace::Event& e : tracer.ring().snapshot())
+    if (e.kind == trace::EventKind::OtaErase) ++erase_events;
+  EXPECT_EQ(erase_events, flash.total_erases());
+}
+
+// --- health-record JSON shape --------------------------------------------
+
+TEST(SoakReportJson, RecordCarriesSchemaCountersAndMonitors) {
+  soak::SoakReport rep;
+  rep.mode_name = "umpu";
+  soak::EpochRecord rec;
+  rec.epoch = 3;
+  rec.sim_hours = 4.0;
+  rec.checkpoint = true;
+  rec.counters = {{"uptime_cycles", 1234u}, {"faults", 7u}};
+  rec.monitors.push_back({2, "no_escape", true, 8, ""});
+  rec.monitors.push_back({4, "flash_wear", false, 99, "page 3 over budget"});
+
+  const std::string line = soak::epoch_record_json(rep, rec);
+  EXPECT_NE(line.find("\"schema\":\"soak-report-v1\""), std::string::npos);
+  EXPECT_NE(line.find("\"mode\":\"umpu\""), std::string::npos);
+  EXPECT_NE(line.find("\"epoch\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"checkpoint\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"uptime_cycles\":1234"), std::string::npos);
+  EXPECT_NE(line.find("\"name\":\"no_escape\""), std::string::npos);
+  EXPECT_NE(line.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(line.find("page 3 over budget"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // one line per record
+}
+
+// --- end-to-end short soaks ----------------------------------------------
+
+void expect_clean_soak(ProtectionMode mode) {
+  soak::SoakConfig cfg;
+  cfg.mode = mode;
+  cfg.hours = 6.0;
+  cfg.seed = 3;
+  cfg.checkpoint_every = 2;
+  std::ostringstream jsonl;
+  const soak::SoakReport rep = soak::run_soak(cfg, &jsonl);
+
+  EXPECT_TRUE(rep.ok) << rep.failure;
+  EXPECT_EQ(rep.epochs, 6);
+  EXPECT_EQ(rep.checkpoints, 3);  // epochs 1, 3, 5 (last always checkpoints)
+  ASSERT_EQ(rep.records.size(), 6u);
+  EXPECT_GT(rep.skipped_cycles, rep.executed_cycles);  // fast-forward dominates
+  EXPECT_NEAR(rep.sim_hours, 6.0, 0.01);
+
+  // Health records stream one line per epoch, and the monotone counters
+  // never decrease across epochs.
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_NE(line.find("\"schema\":\"soak-report-v1\""), std::string::npos);
+    ++n;
+  }
+  EXPECT_EQ(n, 6);
+  for (std::size_t i = 1; i < rep.records.size(); ++i) {
+    EXPECT_GE(rep.records[i].sim_hours, rep.records[i - 1].sim_hours);
+    for (const auto& [name, value] : rep.records[i].counters) {
+      for (const auto& [pname, pvalue] : rep.records[i - 1].counters)
+        if (pname == name) EXPECT_GE(value, pvalue) << name << " at epoch " << i;
+    }
+  }
+  // Every checkpoint ran the full registry and passed.
+  const soak::MonitorRegistry reg = soak::default_monitors();
+  for (const soak::EpochRecord& rec : rep.records) {
+    if (!rec.checkpoint) continue;
+    ASSERT_EQ(rec.monitors.size(), reg.size());
+    for (const soak::MonitorResult& m : rec.monitors)
+      EXPECT_TRUE(m.ok) << m.name << ": " << m.detail;
+  }
+  // The run exercised the churn paths it claims to.
+  const auto& last = rep.records.back().counters;
+  auto counter = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& [n2, v] : last)
+      if (n2 == name) return v;
+    return 0;
+  };
+  EXPECT_GE(counter("ota_installs"), 6u);
+  EXPECT_GT(counter("quarantines"), 0u);
+  EXPECT_EQ(counter("quarantines"), counter("revives"));
+  EXPECT_GT(counter("flash_total_erases"), 0u);
+  EXPECT_GT(counter("faults"), 0u);  // the storm really crashed modules
+  // Telemetry spans the whole run: one sample per epoch per counter track.
+  ASSERT_FALSE(rep.counter_tracks.empty());
+  for (const trace::CounterTrack& t : rep.counter_tracks)
+    EXPECT_EQ(t.samples.size(), 6u) << t.name;
+  EXPECT_FALSE(rep.perfetto_trace.empty());
+  EXPECT_NE(rep.metrics.find("soak.checkpoints"), std::string::npos);
+}
+
+TEST(SoakRun, UmpuSixHoursAllMonitorsPass) { expect_clean_soak(ProtectionMode::Umpu); }
+
+TEST(SoakRun, SfiSixHoursAllMonitorsPass) { expect_clean_soak(ProtectionMode::Sfi); }
+
+TEST(SoakRun, DeterministicAcrossRuns) {
+  soak::SoakConfig cfg;
+  cfg.hours = 3.0;
+  cfg.seed = 11;
+  std::ostringstream a, b;
+  (void)soak::run_soak(cfg, &a);
+  (void)soak::run_soak(cfg, &b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace

@@ -37,6 +37,7 @@ DEFAULT_RULE = {"direction": "lower", "max_regress_pct": 0.5}
 RATE_RULES = {
     "sim_throughput": {"direction": "higher", "max_regress_pct": 75.0},
     "analysis": {"direction": "higher", "max_regress_pct": 75.0},
+    "soak": {"direction": "higher", "max_regress_pct": 75.0},
 }
 
 

@@ -4,6 +4,7 @@
 Usage: validate_trace.py TRACE_DIR [BENCH_JSON...] [--inject REPORT.json]
                          [--ota REPORT.json] [--prof PROFILE.json]
                          [--prof-coverage COVERAGE.json] [--lint REPORT.json]
+                         [--soak HEALTH.jsonl]
 
 TRACE_DIR must hold trace.json + metrics.json as written by
 `harbor-trace ... --out TRACE_DIR`. Any extra arguments are BENCH_*.json
@@ -23,6 +24,11 @@ total, the 0.1% attribution-error bound, and internally consistent
 guard/block coverage per region.
 `--prof-coverage COVERAGE.json` validates a harbor-prof campaign coverage
 dump: schema conformance plus the guard-floor / recovery-path gates.
+`--soak HEALTH.jsonl` validates a harbor-soak health-record stream: every
+line against the soak_report schema, epoch numbers matching the line
+index, non-decreasing sim_hours and cumulative counters across epochs,
+at least one checkpoint epoch carrying the full monitor registry, and
+every monitor verdict ok.
 `--lint REPORT.json` validates a harbor-lint static-analysis report:
 schema conformance, finding counts consistent with the findings list,
 and — when an elision section is present — that the elidable count
@@ -261,6 +267,68 @@ def validate_prof_coverage(path, schemas):
           f"{', '.join(d['campaign'] + '/' + d['mode'] for d in docs)}")
 
 
+def validate_soak_report(path, schemas):
+    """harbor-soak health-record stream: per-epoch consistency invariants."""
+    label = os.path.basename(path)
+    records = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                fail(f"{label}:{lineno}: not valid JSON: {e}")
+    if not records:
+        fail(f"{label}: empty health-record stream")
+    validate(records, {"type": "array", "items": schemas["soak_report"]}, label)
+
+    mode = records[0]["mode"]
+    prev_hours = -1.0
+    prev_counters = {}
+    checkpoints = 0
+    registry_size = None
+    for i, rec in enumerate(records):
+        rlabel = f"{label}[epoch {i}]"
+        if rec["mode"] != mode:
+            fail(f"{rlabel}: mode {rec['mode']!r} differs from stream mode {mode!r}")
+        if rec["epoch"] != i:
+            fail(f"{rlabel}: epoch number {rec['epoch']} != line index {i}")
+        if rec["sim_hours"] < prev_hours:
+            fail(f"{rlabel}: sim_hours {rec['sim_hours']} decreased from {prev_hours}")
+        prev_hours = rec["sim_hours"]
+        for name, value in rec["counters"].items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                fail(f"{rlabel}: counter {name!r} is not a number")
+            if value < prev_counters.get(name, 0):
+                fail(f"{rlabel}: cumulative counter {name!r} fell from "
+                     f"{prev_counters[name]} to {value}")
+        prev_counters.update(rec["counters"])
+        if rec["checkpoint"]:
+            checkpoints += 1
+            monitors = rec["monitors"]
+            if not monitors:
+                fail(f"{rlabel}: checkpoint epoch ran no monitors")
+            if registry_size is None:
+                registry_size = len(monitors)
+            elif len(monitors) != registry_size:
+                fail(f"{rlabel}: {len(monitors)} monitor(s), expected the "
+                     f"full registry of {registry_size}")
+            for m in monitors:
+                if not m["ok"]:
+                    fail(f"{rlabel}: monitor {m['name']!r} FAILED: {m['detail']}")
+        elif rec["monitors"]:
+            fail(f"{rlabel}: non-checkpoint epoch carries monitor results")
+    if checkpoints == 0:
+        fail(f"{label}: no checkpoint epoch in the stream")
+    if not records[-1]["checkpoint"]:
+        fail(f"{label}: final epoch is not a checkpoint")
+    print(f"validate_trace: soak report OK — mode {mode}, {len(records)} "
+          f"epoch(s) / {prev_hours:g} sim hours, {checkpoints} checkpoint(s), "
+          f"{registry_size} monitor(s) all passing")
+
+
 def main():
     args = list(sys.argv[1:])
     inject_paths = []
@@ -303,7 +371,15 @@ def main():
             return 2
         lint_paths.append(args[i + 1])
         del args[i:i + 2]
-    if not args and not lint_paths:
+    soak_paths = []
+    while "--soak" in args:
+        i = args.index("--soak")
+        if i + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 2
+        soak_paths.append(args[i + 1])
+        del args[i:i + 2]
+    if not args and not lint_paths and not soak_paths:
         print(__doc__, file=sys.stderr)
         return 2
     here = os.path.dirname(os.path.abspath(__file__))
@@ -311,8 +387,10 @@ def main():
 
     for path in lint_paths:
         validate_lint_report(path, schemas)
+    for path in soak_paths:
+        validate_soak_report(path, schemas)
     if not args:
-        return 0  # lint reports need no trace directory
+        return 0  # lint/soak reports need no trace directory
     trace_dir = args[0]
 
     trace = load(os.path.join(trace_dir, "trace.json"))
