@@ -1,0 +1,74 @@
+// Flash end-of-life headroom: how many whole-image installs the journaled
+// module store survives on reduced-endurance flash before the first
+// unrecoverable failure (WornOut / CrcMismatch), per nominal erase limit,
+// with the mitigations on (wear-leveled slot rotation + bad-page remapping)
+// versus off (--weakened ping-pong, no remap). The survived-install counts
+// feed tools/bench_trend.py (direction: higher); a regression in the
+// leveling policy or the remap path shows up as fewer installs surviving
+// at the same endurance. Everything is seeded, so the numbers are exact.
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "ota/store.h"
+
+using namespace harbor;
+
+namespace {
+
+constexpr std::uint32_t kMaxInstalls = 5000;  // runaway backstop, never hit
+
+/// Installs a slot-filling image over and over until the store refuses one
+/// unrecoverably; returns the number that succeeded.
+std::uint64_t installs_survived(std::uint32_t endurance, bool mitigated) {
+  ota::FlashConfig fcfg;
+  fcfg.pages = 32;
+  fcfg.page_words = 64;
+  fcfg.nominal_endurance = endurance;
+  ota::FlashModel flash(fcfg, /*seed=*/1);
+
+  ota::StoreLayout layout;
+  layout.journal_pages = 4;
+  layout.slots = 4;
+  layout.spare_pages = 4;
+  ota::ModuleStore store(flash, layout);
+  store.set_wear_leveling(mitigated);
+  store.set_remap_enabled(mitigated);
+
+  // Five of the six slot pages' worth of payload, with a rolling version
+  // word so every install stages a distinct image.
+  std::vector<std::uint16_t> image(5 * fcfg.page_words, 0xA5A5);
+  std::uint64_t survived = 0;
+  while (survived < kMaxInstalls) {
+    image[0] = static_cast<std::uint16_t>(survived);
+    if (ota::install_image(store, image) != ota::InstallStatus::Ok) break;
+    ++survived;
+  }
+  return survived;
+}
+
+bench::Row run_endurance(std::uint32_t endurance) {
+  const std::uint64_t leveled = installs_survived(endurance, true);
+  const std::uint64_t weakened = installs_survived(endurance, false);
+  char label[48];
+  std::snprintf(label, sizeof label, "endurance %u erases/page", endurance);
+  std::printf("%s: %llu installs leveled+remapped, %llu weakened (%.2fx)\n",
+              label, static_cast<unsigned long long>(leveled),
+              static_cast<unsigned long long>(weakened),
+              weakened ? static_cast<double>(leveled) / static_cast<double>(weakened)
+                       : 0.0);
+  return {label, {static_cast<double>(leveled), static_cast<double>(weakened)}};
+}
+
+}  // namespace
+
+int main() {
+  std::vector<bench::Row> rows;
+  for (const std::uint32_t endurance : {32u, 64u, 128u})
+    rows.push_back(run_endurance(endurance));
+  bench::print_table("wear: installs survived to flash end-of-life",
+                     {"leveled+remap", "weakened"}, rows);
+  return 0;
+}

@@ -42,7 +42,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: harbor-ota [--mode umpu|sfi|both] [--seed S] [--loss P]\n"
-               "                  [--reboot-at CHUNKS] [--chunk WORDS] [--out FILE.json]\n"
+               "                  [--reboot-at CHUNKS] [--chunk WORDS] [--endurance N]\n"
+               "                  [--out FILE.json]\n"
                "       harbor-ota --campaign [--mode umpu|sfi|both] [--seed S]\n"
                "                  [--weakened] [--stride N] [--device-stride N]\n"
                "                  [--out FILE.json]\n");
@@ -68,7 +69,7 @@ bool write_out(const std::string& path, const std::string& content, const char* 
 /// a committed transfer + successful recovered load + clean probe dispatch.
 int run_demo(runtime::Mode mode, std::uint64_t seed, double loss,
              std::uint32_t reboot_at, std::uint32_t chunk_words,
-             const std::string& out_path) {
+             std::uint32_t endurance, const std::string& out_path) {
   System sys({mode});
   trace::Tracer& tracer = sys.enable_tracing();
 
@@ -78,10 +79,15 @@ int run_demo(runtime::Mode mode, std::uint64_t seed, double loss,
   cfg.progress_every_chunks = 2;
   const ota::LinkFaults faults{loss, loss / 4, loss / 4, loss / 4};
 
-  ota::FlashModel flash({}, seed);
-  std::printf("[%s] streaming %zu words (%s%% loss, seed %llu)\n", mode_name(mode),
+  // --endurance N puts the demo on end-of-life flash (DESIGN.md §15): worn
+  // pages fail erase-verify and the store rides its spare pages instead.
+  ota::FlashConfig fcfg;
+  fcfg.nominal_endurance = endurance;
+  ota::FlashModel flash(fcfg, seed);
+  std::printf("[%s] streaming %zu words (%s%% loss, seed %llu%s)\n", mode_name(mode),
               image.size(), std::to_string(loss * 100).substr(0, 4).c_str(),
-              static_cast<unsigned long long>(seed));
+              static_cast<unsigned long long>(seed),
+              endurance ? (", endurance " + std::to_string(endurance)).c_str() : "");
 
   std::uint32_t resumed_from = 0;
   ota::TransferResult result;
@@ -162,6 +168,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::uint32_t reboot_at = 0;
   std::uint32_t chunk_words = 8;
+  std::uint32_t endurance = 0;  // 0 = pristine flash (no aging)
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -186,6 +193,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       chunk_words = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--endurance") {
+      const char* v = next();
+      if (!v) return usage();
+      endurance = static_cast<std::uint32_t>(std::atoi(v));
     } else if (arg == "--campaign") {
       campaign = true;
     } else if (arg == "--weakened") {
@@ -219,7 +230,8 @@ int main(int argc, char** argv) {
       std::string path = out_path;
       if (!path.empty() && modes.size() > 1)
         path += std::string(".") + mode_name(modes[m]);
-      const int rc = run_demo(modes[m], seed, loss, reboot_at, chunk_words, path);
+      const int rc = run_demo(modes[m], seed, loss, reboot_at, chunk_words,
+                              endurance, path);
       if (rc != 0) return rc;
     }
     return 0;

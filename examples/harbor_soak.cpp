@@ -1,15 +1,25 @@
 // harbor-soak: long-horizon soak harness with checkpointed invariant
-// monitors and uptime telemetry (DESIGN.md §14).
+// monitors, scenario scripts and uptime telemetry (DESIGN.md §14, §15).
 //
 //   harbor-soak [--mode umpu|sfi|both] [--hours H] [--seed S]
 //               [--checkpoint-every N] [--out DIR]
+//               [--scenario steady|bursty|power-storm|aging]
+//               [--endurance N] [--weakened] [--forks N] [--fork-epochs N]
 //
 // Compresses H hours of simulated uptime (one epoch per hour) into host
-// seconds: every epoch drives cross-domain call traffic, an OTA
-// install/recover cycle with seeded power cuts, and (every other epoch) a
-// watchdog -> quarantine -> revive storm, then fast-forwards the simulated
-// clock across the quiescent remainder. At the checkpoint cadence the
+// seconds: every epoch drives scenario-shaped cross-domain traffic, OTA
+// install/recover cycles with seeded power cuts, and watchdog ->
+// quarantine -> revive storms, then fast-forwards the simulated clock
+// across the quiescent remainder. At the checkpoint cadence the
 // invariant-monitor registry re-verifies the device from primary state.
+//
+// Scenarios: steady (the classic mix), bursty (heavy/idle duty cycling),
+// power-storm (correlated brown-out windows), aging (reduced-endurance
+// flash behind a wear-leveled multi-slot store driven to end-of-life;
+// --endurance overrides the nominal erase limit, --weakened disables wear
+// leveling AND bad-page remapping so the monitors can prove they catch the
+// degradation). --forks replays N divergent futures from the final soaked
+// state.
 //
 // Outputs per mode under --out (default soak_out/):
 //   soak_<mode>.jsonl           one soak-report-v1 health record per epoch
@@ -17,16 +27,19 @@
 //   soak_<mode>_trace.json      Perfetto timeline: epoch/checkpoint instants,
 //                               OTA slices, flash-erase counter track
 //   soak_<mode>_counters.json   Perfetto counter tracks spanning the whole
-//                               run (uptime, total erases, max wear, drops)
+//                               run (uptime, erases, wear, spread, bad pages)
 //   soak_<mode>_metrics.json    flat metrics dump
+//   soak_<mode>_forks.json      divergent-future records (with --forks)
 //
 // Exit status: 0 when every monitor passed at every checkpoint in every
-// mode, 1 on any monitor failure, 2 on usage errors.
+// mode, 1 on any monitor failure or an unknown --mode/--scenario name
+// (listing the valid names), 2 on malformed usage.
 
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,8 +52,21 @@ namespace {
 int fail_usage() {
   std::fprintf(stderr,
                "usage: harbor-soak [--mode umpu|sfi|both] [--hours H] [--seed S]\n"
-               "                   [--checkpoint-every N] [--out DIR]\n");
+               "                   [--checkpoint-every N] [--out DIR]\n"
+               "                   [--scenario steady|bursty|power-storm|aging]\n"
+               "                   [--endurance N] [--weakened]\n"
+               "                   [--forks N] [--fork-epochs N]\n");
   return 2;
+}
+
+/// Unknown name for a closed-vocabulary flag: deterministic failure with the
+/// full list of valid names, exit 1 (distinct from malformed usage, 2).
+int fail_bad_name(const char* flag, const std::string& got,
+                  const std::vector<std::string>& valid) {
+  std::fprintf(stderr, "harbor-soak: unknown %s '%s'; valid names:", flag, got.c_str());
+  for (const std::string& v : valid) std::fprintf(stderr, " %s", v.c_str());
+  std::fprintf(stderr, "\n");
+  return 1;
 }
 
 void write_file(const std::filesystem::path& p, const std::string& content) {
@@ -59,8 +85,9 @@ int run_mode(ProtectionMode mode, const soak::SoakConfig& base,
   const soak::SoakReport rep = soak::run_soak(cfg, &jsonl);
   jsonl.close();
 
-  std::printf("harbor-soak: mode=%s, %d epochs (%.1f sim hours), %d checkpoints\n",
-              mode_name, rep.epochs, rep.sim_hours, rep.checkpoints);
+  std::printf(
+      "harbor-soak: mode=%s, scenario=%s, %d epochs (%.1f sim hours), %d checkpoints\n",
+      mode_name, rep.scenario_name.c_str(), rep.epochs, rep.sim_hours, rep.checkpoints);
   std::printf("  executed %llu cycles, fast-forwarded %llu (%.4f%% real)\n",
               static_cast<unsigned long long>(rep.executed_cycles),
               static_cast<unsigned long long>(rep.skipped_cycles),
@@ -73,11 +100,24 @@ int run_mode(ProtectionMode mode, const soak::SoakConfig& base,
     for (const auto& [name, value] : last.counters)
       std::printf("  %-20s %llu\n", name.c_str(),
                   static_cast<unsigned long long>(value));
+    std::printf("  wear: max %llu, spread %llu (budget %llu), %llu bad page(s), "
+                "%llu remap(s), %llu spare(s) in use\n",
+                static_cast<unsigned long long>(last.wear.max),
+                static_cast<unsigned long long>(last.wear.spread),
+                static_cast<unsigned long long>(last.wear.spread_budget),
+                static_cast<unsigned long long>(last.wear.pages_bad),
+                static_cast<unsigned long long>(last.wear.remaps),
+                static_cast<unsigned long long>(last.wear.spares_in_use));
     for (const soak::MonitorResult& m : last.monitors)
       std::printf("  monitor %d %-16s %s (value %llu)%s%s\n", m.id, m.name.c_str(),
                   m.ok ? "ok" : "FAIL", static_cast<unsigned long long>(m.value),
                   m.ok ? "" : ": ", m.detail.c_str());
   }
+  for (const soak::ForkRecord& f : rep.forks)
+    std::printf("  fork %d (seed %llu, %d epochs): %s, digest %016llx\n", f.fork,
+                static_cast<unsigned long long>(f.seed), f.epochs,
+                f.monitors_ok ? "monitors ok" : ("FAIL: " + f.failure).c_str(),
+                static_cast<unsigned long long>(f.digest));
 
   std::printf("  wrote %s (%d records)\n",
               (dir / ("soak_" + std::string(mode_name) + ".jsonl")).string().c_str(),
@@ -87,6 +127,9 @@ int run_mode(ProtectionMode mode, const soak::SoakConfig& base,
   write_file(dir / ("soak_" + std::string(mode_name) + "_counters.json"),
              trace::perfetto_counters_json(rep.counter_tracks));
   write_file(dir / ("soak_" + std::string(mode_name) + "_metrics.json"), rep.metrics);
+  if (!rep.forks.empty())
+    write_file(dir / ("soak_" + std::string(mode_name) + "_forks.json"),
+               soak::forks_json(rep));
 
   if (!rep.ok) {
     std::fprintf(stderr, "harbor-soak: FAIL (%s): %s\n", mode_name,
@@ -126,6 +169,38 @@ int main(int argc, char** argv) {
       if (!v) return fail_usage();
       cfg.checkpoint_every = std::atoi(v);
       if (cfg.checkpoint_every <= 0) return fail_usage();
+    } else if (arg == "--scenario") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      const std::string name = v;
+      if (name == "steady") {
+        cfg.scenario = soak::SoakScenario::Steady;
+      } else if (name == "bursty") {
+        cfg.scenario = soak::SoakScenario::Bursty;
+      } else if (name == "power-storm") {
+        cfg.scenario = soak::SoakScenario::PowerStorm;
+      } else if (name == "aging") {
+        cfg.scenario = soak::SoakScenario::Aging;
+      } else {
+        return fail_bad_name("--scenario", name,
+                             {"steady", "bursty", "power-storm", "aging"});
+      }
+    } else if (arg == "--endurance") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      cfg.flash_endurance = static_cast<std::uint32_t>(std::atoll(v));
+    } else if (arg == "--weakened") {
+      cfg.weakened = true;
+    } else if (arg == "--forks") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      cfg.forks = std::atoi(v);
+      if (cfg.forks < 0) return fail_usage();
+    } else if (arg == "--fork-epochs") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      cfg.fork_epochs = std::atoi(v);
+      if (cfg.fork_epochs < 0) return fail_usage();
     } else if (arg == "--out") {
       const char* v = next();
       if (!v) return fail_usage();
@@ -143,7 +218,7 @@ int main(int argc, char** argv) {
   } else if (mode_arg == "sfi") {
     modes = {ProtectionMode::Sfi};
   } else {
-    return fail_usage();
+    return fail_bad_name("--mode", mode_arg, {"umpu", "sfi", "both"});
   }
 
   std::filesystem::create_directories(out);

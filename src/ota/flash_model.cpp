@@ -1,6 +1,19 @@
 #include "ota/flash_model.h"
 
 namespace harbor::ota {
+namespace {
+
+// splitmix64 finalizer: the per-page limits and stuck-bit masks must be pure
+// functions of (seed, page, word) so aging faults are order-independent —
+// drawing them from rng_ would entangle them with the power-cut stream.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 const char* flash_status_name(FlashStatus s) {
   switch (s) {
@@ -17,7 +30,41 @@ FlashModel::FlashModel(FlashConfig cfg, std::uint64_t seed)
     : cfg_(cfg),
       words_(static_cast<std::size_t>(cfg.pages) * cfg.page_words, 0xFFFF),
       wear_(cfg.pages, 0),
-      rng_(seed) {}
+      rng_(seed),
+      seed_(seed) {
+  if (cfg_.nominal_endurance != 0) {
+    limit_.resize(cfg_.pages);
+    const std::uint64_t nominal = cfg_.nominal_endurance;
+    const std::uint64_t span = nominal * cfg_.endurance_spread_pct / 100;
+    for (std::uint32_t p = 0; p < cfg_.pages; ++p) {
+      const std::uint64_t h = mix64(seed_ ^ mix64(0xE0D0'0000ULL + p));
+      std::uint64_t limit = nominal - span + (span ? h % (2 * span + 1) : 0);
+      if (limit == 0) limit = 1;
+      limit_[p] = static_cast<std::uint32_t>(limit);
+    }
+  }
+}
+
+std::uint16_t FlashModel::stuck_mask(std::uint32_t page, std::uint32_t word) const {
+  const std::uint64_t h =
+      mix64(seed_ ^ mix64(0xBAD0'0000ULL + static_cast<std::uint64_t>(page) * cfg_.page_words + word));
+  // Each bit stuck with probability 1/8: ~2 stuck bits per 16-bit word.
+  std::uint16_t mask = static_cast<std::uint16_t>(h) &
+                       static_cast<std::uint16_t>(h >> 16) &
+                       static_cast<std::uint16_t>(h >> 32);
+  // Word 0 always has at least one stuck bit, so an erase-verify (read back
+  // blank) deterministically detects every bad page.
+  if (word == 0 && mask == 0) mask = static_cast<std::uint16_t>(1U << (h >> 48 & 15));
+  return mask;
+}
+
+void FlashModel::apply_stuck_bits(std::uint32_t page, std::uint32_t word0, std::uint32_t count) {
+  const std::uint32_t base = page * cfg_.page_words;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t w = word0 + i;
+    words_[base + w] &= static_cast<std::uint16_t>(~stuck_mask(page, w));
+  }
+}
 
 FlashStatus FlashModel::program_word(std::uint32_t waddr, std::uint16_t value) {
   if (powered_off_) return FlashStatus::PoweredOff;
@@ -35,6 +82,8 @@ FlashStatus FlashModel::program_word(std::uint32_t waddr, std::uint16_t value) {
   }
   const bool needs_set = (static_cast<std::uint16_t>(~cell) & value) != 0;
   cell &= value;
+  const std::uint32_t page = waddr / cfg_.page_words;
+  if (bad(page)) apply_stuck_bits(page, waddr % cfg_.page_words, 1);
   return needs_set ? FlashStatus::ProgramWithoutErase : FlashStatus::Ok;
 }
 
@@ -49,19 +98,56 @@ FlashStatus FlashModel::erase_page(std::uint32_t page) {
     const std::uint32_t done =
         static_cast<std::uint32_t>(rng_() % cfg_.page_words);
     for (std::uint32_t i = 0; i < done; ++i) words_[base + i] = 0xFFFF;
+    if (bad(page)) apply_stuck_bits(page, 0, done);
     powered_off_ = true;
     return FlashStatus::PowerCut;
   }
   for (std::uint32_t i = 0; i < cfg_.page_words; ++i) words_[base + i] = 0xFFFF;
+  // Past end-of-life the erase "succeeds" (the device reports Ok, like the
+  // real part) but stuck-at-0 cells stay cleared: only verify sees it.
+  if (bad(page)) apply_stuck_bits(page, 0, cfg_.page_words);
   return FlashStatus::Ok;
 }
 
 std::uint16_t FlashModel::read_word(std::uint32_t waddr) const {
-  return waddr < words_.size() ? words_[waddr] : 0xFFFF;
+  if (waddr >= words_.size()) {
+    ++oob_queries_;
+    return 0xFFFF;
+  }
+  return words_[waddr];
 }
 
 std::uint32_t FlashModel::wear(std::uint32_t page) const {
-  return page < wear_.size() ? wear_[page] : 0;
+  if (page >= wear_.size()) {
+    ++oob_queries_;
+    return 0;
+  }
+  return wear_[page];
+}
+
+std::uint32_t FlashModel::endurance_limit(std::uint32_t page) const {
+  if (page >= cfg_.pages) {
+    ++oob_queries_;
+    return 0;
+  }
+  return limit_.empty() ? 0 : limit_[page];
+}
+
+bool FlashModel::bad(std::uint32_t page) const {
+  if (page >= cfg_.pages) {
+    ++oob_queries_;
+    return false;
+  }
+  if (limit_.empty()) return false;
+  return wear_[page] > limit_[page];
+}
+
+std::uint32_t FlashModel::pages_bad() const {
+  if (limit_.empty()) return 0;
+  std::uint32_t n = 0;
+  for (std::uint32_t p = 0; p < cfg_.pages; ++p)
+    if (wear_[p] > limit_[p]) ++n;
+  return n;
 }
 
 std::uint64_t FlashModel::total_erases() const {

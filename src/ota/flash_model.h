@@ -1,5 +1,5 @@
 #pragma once
-// Flash device model for the OTA module store (DESIGN.md §11).
+// Flash device model for the OTA module store (DESIGN.md §11, §15).
 //
 // NOR-style semantics: an erase sets every word of a page to 0xFFFF, and a
 // program can only clear bits (1 -> 0) — the device ANDs the new value into
@@ -16,6 +16,18 @@
 // contents and wear counters intact, modelling a reboot after a brown-out.
 // The whole model is deterministic in (config, seed, operation sequence),
 // which is what lets the power-cut campaign enumerate every boundary.
+//
+// Erase endurance (DESIGN.md §15): when `nominal_endurance` is non-zero,
+// each page draws a per-page erase limit around the nominal value (seeded,
+// order-independent). Once a page's wear exceeds its limit the page is
+// `bad()`: erases and programs silently inject sticky stuck-at-0 bits — the
+// operation still reports Ok, exactly like the real part, and only a
+// read-back verify can see the damage. Stuck-bit positions are a pure
+// function of (seed, page, word), so faults are deterministic regardless of
+// operation ordering, and at least one bit of word 0 is always stuck so an
+// erase-verify detects any bad page. With the default nominal_endurance of
+// 0 the endurance machinery is fully inert and the model is bit-identical
+// to the pre-endurance behaviour (the RNG stream is not consumed).
 
 #include <cstdint>
 #include <random>
@@ -26,6 +38,10 @@ namespace harbor::ota {
 struct FlashConfig {
   std::uint32_t pages = 32;
   std::uint32_t page_words = 64;  ///< 32 x 64 words = a 4 KB module store
+  /// Mean erase-cycle endurance per page; 0 = unlimited (no aging).
+  std::uint32_t nominal_endurance = 0;
+  /// Per-page limits are drawn uniformly in nominal +/- this percentage.
+  std::uint32_t endurance_spread_pct = 15;
 };
 
 enum class FlashStatus : std::uint8_t {
@@ -59,6 +75,19 @@ class FlashModel {
   /// is part of the model's contract.
   [[nodiscard]] std::uint64_t ops() const { return ops_; }
 
+  /// Per-page erase limit; 0 when endurance modelling is off. Out-of-range
+  /// pages report through oob_queries() and return 0.
+  [[nodiscard]] std::uint32_t endurance_limit(std::uint32_t page) const;
+  /// True once wear(page) has exceeded the page's drawn limit. Bad pages
+  /// inject stuck-at-0 bits on every erase/program; they never recover.
+  [[nodiscard]] bool bad(std::uint32_t page) const;
+  /// Number of pages currently past end-of-life.
+  [[nodiscard]] std::uint32_t pages_bad() const;
+  /// Out-of-range page/word queries (wear, bad, endurance_limit, read_word)
+  /// answered with a safe value. Deterministic failure report: callers that
+  /// walk off the page table show up here instead of in wear_[] garbage.
+  [[nodiscard]] std::uint64_t oob_queries() const { return oob_queries_; }
+
   /// Tear the `op`-th operation from now (1-based) and power the device off.
   void set_cut_at(std::uint64_t op) { cut_at_ = ops_ + op; }
   void clear_cut() { cut_at_ = 0; }
@@ -70,12 +99,20 @@ class FlashModel {
   }
 
  private:
+  /// Stuck-at-0 mask for one word of a bad page: pure in (seed, page, word).
+  [[nodiscard]] std::uint16_t stuck_mask(std::uint32_t page, std::uint32_t word) const;
+  /// AND the stuck-bit masks of a bad page into `count` words from `word0`.
+  void apply_stuck_bits(std::uint32_t page, std::uint32_t word0, std::uint32_t count);
+
   FlashConfig cfg_;
   std::vector<std::uint16_t> words_;
   std::vector<std::uint32_t> wear_;
+  std::vector<std::uint32_t> limit_;  ///< per-page erase limit (empty = unlimited)
   std::mt19937_64 rng_;
+  std::uint64_t seed_;
   std::uint64_t ops_ = 0;
   std::uint64_t cut_at_ = 0;  ///< ops_ value at which to tear (0 = never)
+  mutable std::uint64_t oob_queries_ = 0;
   bool powered_off_ = false;
 };
 

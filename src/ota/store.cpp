@@ -25,6 +25,7 @@ const char* install_status_name(InstallStatus s) {
     case InstallStatus::Busy: return "busy";
     case InstallStatus::NoSpace: return "no-space";
     case InstallStatus::CrcMismatch: return "crc-mismatch";
+    case InstallStatus::WornOut: return "worn-out";
   }
   return "?";
 }
@@ -42,11 +43,17 @@ const char* store_state_name(StoreState s) {
 ModuleStore::ModuleStore(FlashModel& flash, StoreLayout layout, trace::Tracer* tracer)
     : flash_(flash), layout_(layout), tracer_(tracer) {
   if (layout_.journal_pages < 2 || layout_.journal_pages % 2 != 0 ||
-      layout_.journal_pages + 2 > flash_.pages())
+      layout_.slots < 2 ||
+      layout_.journal_pages + layout_.slots + layout_.spare_pages > flash_.pages())
     throw std::runtime_error("ota: store layout needs an even journal and two slots");
-  slot_pages_ = (flash_.pages() - layout_.journal_pages) / 2;
-  if (records_per_half() == 0)
-    throw std::runtime_error("ota: journal half smaller than one record");
+  slot_pages_ =
+      (flash_.pages() - layout_.journal_pages - layout_.spare_pages) / layout_.slots;
+  if (slot_pages_ == 0)
+    throw std::runtime_error("ota: store layout needs an even journal and two slots");
+  // Compaction restates Checkpoint + every Remap + Begin + Progress into the
+  // blank half, so the half must hold that worst case with room to append.
+  if (records_per_half() < 4 + layout_.spare_pages)
+    throw std::runtime_error("ota: journal half too small for compaction worst case");
   recover();
 }
 
@@ -61,6 +68,49 @@ std::uint32_t ModuleStore::record_addr(int half, std::uint32_t idx) const {
 std::uint32_t ModuleStore::slot_base_words(int slot) const {
   return (layout_.journal_pages + static_cast<std::uint32_t>(slot) * slot_pages_) *
          flash_.page_words();
+}
+
+std::uint32_t ModuleStore::phys_page(std::uint32_t logical_page) const {
+  const auto it = remap_.find(logical_page);
+  return it == remap_.end() ? logical_page : it->second;
+}
+
+std::uint32_t ModuleStore::translate(std::uint32_t waddr) const {
+  const std::uint32_t page = waddr / flash_.page_words();
+  const auto it = remap_.find(page);
+  if (it == remap_.end()) return waddr;
+  return it->second * flash_.page_words() + waddr % flash_.page_words();
+}
+
+std::uint32_t ModuleStore::slot_wear(int slot) const {
+  const std::uint32_t first = layout_.journal_pages +
+                              static_cast<std::uint32_t>(slot) * slot_pages_;
+  std::uint32_t worst = 0;
+  for (std::uint32_t p = 0; p < slot_pages_; ++p)
+    worst = std::max(worst, flash_.wear(phys_page(first + p)));
+  return worst;
+}
+
+std::uint32_t ModuleStore::wear_spread() const {
+  // Slot-level spread: the leveling policy rotates whole slots, so its bound
+  // is max - min of per-slot worst wear. Page-level spread would explode the
+  // moment a remap claims a fresh spare (wear ~0) even under perfect
+  // leveling, which is exactly the wrong signal.
+  std::uint32_t lo = ~0u;
+  std::uint32_t hi = 0;
+  for (std::uint32_t s = 0; s < layout_.slots; ++s) {
+    const std::uint32_t w = slot_wear(static_cast<int>(s));
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  return hi >= lo ? hi - lo : 0;
+}
+
+bool ModuleStore::page_blank(std::uint32_t page) const {
+  const std::uint32_t base = page * flash_.page_words();
+  for (std::uint32_t i = 0; i < flash_.page_words(); ++i)
+    if (flash_.read_word(base + i) != 0xFFFF) return false;
+  return true;
 }
 
 InstallStatus ModuleStore::flash_err(FlashStatus s) const {
@@ -91,7 +141,7 @@ std::optional<ModuleStore::Record> ModuleStore::read_record(std::uint32_t waddr,
       w[7] | (static_cast<std::uint32_t>(w[8]) << 16);
   if (crc32_words({w.data(), 7}) != want) return std::nullopt;
   const std::uint8_t t = static_cast<std::uint8_t>(w[0] & 0xFF);
-  if (t < 1 || t > 5) return std::nullopt;
+  if (t < 1 || t > 6) return std::nullopt;
   Record r;
   r.type = static_cast<RecordType>(t);
   r.seq = w[1] | (static_cast<std::uint32_t>(w[2]) << 16);
@@ -151,6 +201,16 @@ InstallStatus ModuleStore::compact(int into_half) {
     if (const InstallStatus s = emit(ck); s != InstallStatus::Ok) return s;
     state_.seq = next_seq_ - 1;
   }
+  // Restate the live remap table: the old half's Remap records are about to
+  // be erased, and losing one would silently point a logical page back at
+  // its dead physical home. std::map iterates in key order — deterministic.
+  for (const auto& [logical, spare] : remap_) {
+    Record rm;
+    rm.type = RecordType::Remap;
+    rm.arg0 = static_cast<std::uint16_t>(logical);
+    rm.arg1 = static_cast<std::uint16_t>(spare);
+    if (const InstallStatus s = emit(rm); s != InstallStatus::Ok) return s;
+  }
   if (open_) {
     Record b;
     b.type = RecordType::Begin;
@@ -191,12 +251,70 @@ InstallStatus ModuleStore::append_record(Record& r) {
 
 // --- installer ----------------------------------------------------------------
 
+InstallStatus ModuleStore::remap_page(std::uint32_t logical_page) {
+  // Spares already serving as a remap target are taken; everything else in
+  // the reserve is a candidate, lowest wear first (ties to the lowest page,
+  // keeping the pick deterministic).
+  std::vector<std::uint32_t> candidates;
+  for (std::uint32_t s = spare_page_begin(); s < flash_.pages(); ++s) {
+    bool used = false;
+    for (const auto& [l, p] : remap_)
+      if (p == s && l != logical_page) used = true;
+    if (!used) candidates.push_back(s);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return std::make_pair(flash_.wear(a), a) <
+                     std::make_pair(flash_.wear(b), b);
+            });
+  for (const std::uint32_t spare : candidates) {
+    const FlashStatus s = erase_page_traced(spare);
+    if (s != FlashStatus::Ok) return flash_err(s);
+    if (!page_blank(spare)) {
+      // The spare itself is past end-of-life: report it and try the next.
+      if (tracer_)
+        tracer_->ota_page_bad(static_cast<std::uint16_t>(spare), flash_.wear(spare),
+                              flash_.pages_bad());
+      continue;
+    }
+    // The spare is proven good *before* the Remap record is sealed: a cut
+    // in between leaves the old mapping, and the committed slot was never
+    // touched — old-or-new extends to remaps.
+    Record rm;
+    rm.type = RecordType::Remap;
+    rm.arg0 = static_cast<std::uint16_t>(logical_page);
+    rm.arg1 = static_cast<std::uint16_t>(spare);
+    if (const InstallStatus st = append_record(rm); st != InstallStatus::Ok) return st;
+    remap_[logical_page] = spare;
+    if (tracer_)
+      tracer_->ota_remap(static_cast<std::uint16_t>(logical_page),
+                         static_cast<std::uint8_t>(spare),
+                         static_cast<std::uint32_t>(remap_.size()));
+    return InstallStatus::Ok;
+  }
+  return InstallStatus::WornOut;
+}
+
 InstallStatus ModuleStore::erase_slot(int slot) {
   const std::uint32_t first = layout_.journal_pages +
                               static_cast<std::uint32_t>(slot) * slot_pages_;
   for (std::uint32_t p = 0; p < slot_pages_; ++p) {
-    const FlashStatus s = erase_page_traced(first + p);
+    const std::uint32_t logical = first + p;
+    const std::uint32_t phys = phys_page(logical);
+    const FlashStatus s = erase_page_traced(phys);
     if (s != FlashStatus::Ok) return flash_err(s);
+    // Erase-verify: a page past its endurance limit holds stuck-at-0 bits
+    // the erase cannot lift, so a blank-check read-back finds it
+    // deterministically. With remapping off (weakened mode) the damage
+    // stays latent until the commit-time CRC read-back.
+    if (!remap_enabled_ || !journal_enabled_) continue;
+    if (page_blank(phys)) continue;
+    if (tracer_)
+      tracer_->ota_page_bad(static_cast<std::uint16_t>(phys), flash_.wear(phys),
+                            flash_.pages_bad());
+    if (const InstallStatus st = remap_page(logical); st != InstallStatus::Ok) return st;
+    // remap_page left the new spare erased and verified: this logical page
+    // is ready for staging.
   }
   return InstallStatus::Ok;
 }
@@ -214,7 +332,26 @@ InstallStatus ModuleStore::begin_install(std::uint32_t image_words, std::uint32_
     return InstallStatus::Ok;
   }
 
-  const int target = state_.slot == 0 ? 1 : 0;
+  // Wear-leveled rotation: any slot but the active one is a candidate, and
+  // the least-worn (through the remap table) wins; ties break to the lowest
+  // index so the choice — and with it every flash-op boundary the power-cut
+  // campaign enumerates — is deterministic. The default two-slot layout has
+  // no leveling freedom (the only candidate is the other slot), so it keeps
+  // the classic A/B ping-pong bit-for-bit. Leveling off is the degraded
+  // mode: ping-pong slots 0/1 regardless of how many slots exist,
+  // concentrating wear for the soak self-test to catch.
+  int target = state_.slot == 0 ? 1 : 0;
+  if (wear_leveling_ && layout_.slots > 2) {
+    std::uint32_t best_wear = ~0u;
+    for (std::uint32_t s = 0; s < layout_.slots; ++s) {
+      if (has_committed() && static_cast<int>(s) == state_.slot) continue;
+      const std::uint32_t w = slot_wear(static_cast<int>(s));
+      if (w < best_wear) {
+        best_wear = w;
+        target = static_cast<int>(s);
+      }
+    }
+  }
   Record b;
   b.type = RecordType::Begin;
   b.arg0 = static_cast<std::uint16_t>(target);
@@ -239,8 +376,8 @@ InstallStatus ModuleStore::stage_words(std::uint32_t offset,
   if (offset + words.size() > open_->words_total) return InstallStatus::Invalid;
   const std::uint32_t base = slot_base_words(open_->slot);
   for (std::size_t i = 0; i < words.size(); ++i) {
-    const FlashStatus s =
-        flash_.program_word(base + offset + static_cast<std::uint32_t>(i), words[i]);
+    const FlashStatus s = flash_.program_word(
+        translate(base + offset + static_cast<std::uint32_t>(i)), words[i]);
     if (s != FlashStatus::Ok) return flash_err(s);
   }
   return InstallStatus::Ok;
@@ -264,7 +401,7 @@ InstallStatus ModuleStore::commit() {
   const std::uint32_t base = slot_base_words(open_->slot);
   std::vector<std::uint16_t> staged(open_->words_total);
   for (std::uint32_t i = 0; i < open_->words_total; ++i)
-    staged[i] = flash_.read_word(base + i);
+    staged[i] = flash_.read_word(translate(base + i));
   if (crc32_words(staged) != open_->crc) return InstallStatus::CrcMismatch;
 
   std::uint32_t seq = 0;
@@ -330,7 +467,8 @@ RecoveryResult ModuleStore::recover(std::uint64_t op_budget) {
     std::vector<std::uint16_t> buf(words);
     for (std::uint32_t i = 0; i < words; i += flash_.page_words()) {
       const std::uint32_t n = std::min(flash_.page_words(), words - i);
-      for (std::uint32_t j = 0; j < n; ++j) buf[i + j] = flash_.read_word(base + i + j);
+      for (std::uint32_t j = 0; j < n; ++j)
+        buf[i + j] = flash_.read_word(translate(base + i + j));
       ops += n;
       if (ops > op_budget) return std::nullopt;
     }
@@ -338,6 +476,7 @@ RecoveryResult ModuleStore::recover(std::uint64_t op_budget) {
   };
 
   open_.reset();
+  remap_.clear();  // re-derived from the journal below
 
   if (!journal_enabled_) {
     // Weakened mode: no journal to replay — judge slot 0 by its embedded
@@ -424,12 +563,21 @@ RecoveryResult ModuleStore::recover(std::uint64_t op_budget) {
                                    case RecordType::Begin:
                                    case RecordType::Commit:
                                    case RecordType::Checkpoint:
-                                     return rec.arg0 > 1 ||
+                                     return rec.arg0 >= layout_.slots ||
                                             rec.arg1 > slot_capacity_words();
                                    case RecordType::Progress:
                                      return rec.arg0 > slot_capacity_words();
                                    case RecordType::Abort:
-                                     return rec.arg0 > 1;
+                                     return rec.arg0 >= layout_.slots;
+                                   case RecordType::Remap:
+                                     // Must map a data page onto a spare: a
+                                     // forged remap cannot alias the journal
+                                     // or pull reads outside the device.
+                                     return layout_.spare_pages == 0 ||
+                                            rec.arg0 < data_page_begin() ||
+                                            rec.arg0 >= data_page_end() ||
+                                            rec.arg1 < spare_page_begin() ||
+                                            rec.arg1 >= flash_.pages();
                                  }
                                  return true;
                                }),
@@ -460,6 +608,13 @@ RecoveryResult ModuleStore::recover(std::uint64_t op_budget) {
         break;
       case RecordType::Abort:
         pending.reset();
+        break;
+      case RecordType::Remap:
+        // Replayed in sequence order, so a later remap of the same logical
+        // page (a spare that itself died) wins. This runs before the
+        // committed-slot CRC fold below: the image must be read through the
+        // mapping that was current when it was staged.
+        remap_[rec.arg0] = rec.arg1;
         break;
     }
   }
@@ -506,7 +661,8 @@ std::optional<std::vector<std::uint16_t>> ModuleStore::committed_image() const {
   if (state_.state != StoreState::Committed) return std::nullopt;
   const std::uint32_t base = slot_base_words(state_.slot);
   std::vector<std::uint16_t> out(state_.words);
-  for (std::uint32_t i = 0; i < state_.words; ++i) out[i] = flash_.read_word(base + i);
+  for (std::uint32_t i = 0; i < state_.words; ++i)
+    out[i] = flash_.read_word(translate(base + i));
   return out;
 }
 

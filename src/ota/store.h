@@ -1,11 +1,13 @@
 #pragma once
 // Transactional module store: intent journal + A/B image slots on the
-// FlashModel, with two-phase commit and reboot-time recovery (DESIGN.md §11).
+// FlashModel, with two-phase commit and reboot-time recovery (DESIGN.md §11),
+// wear-leveled slot rotation and bad-page remapping (DESIGN.md §15).
 //
 // Page layout:
-//   [0, j)        intent journal, split into two ping-pong halves
-//   [j, j+s)      slot 0
-//   [j+s, j+2s)   slot 1            (j = journal pages, s = slot pages)
+//   [0, j)          intent journal, split into two ping-pong halves
+//   [j, j+s)        slot 0
+//   [j+s, j+2s)     slot 1 ... slot N-1   (j = journal pages, s = slot pages)
+//   [P-r, P)        spare pages for bad-page remapping (r = spare_pages)
 //
 // Journal records are fixed-size (9 words), append-only, each sealed with a
 // CRC32 over its body. A torn append fails the CRC and is simply invisible
@@ -21,14 +23,36 @@
 //                             append atomically makes the staged slot active
 //   Abort{slot}               an interrupted install was rolled back
 //   Checkpoint{slot,words,crc} compaction summary of the committed state
+//   Remap{page, spare}        logical data page now lives on a spare page
 //
 // Sequence numbers are globally monotonic across both halves, so recovery
 // can merge them: committed state = the highest-seq valid Commit/Checkpoint;
 // a valid Begin above it is a resumable pending install. When the active
-// half fills, compaction writes a Checkpoint (plus a restated Begin/Progress
-// for any open install) into the blank other half, then erases the old one;
-// a cut between those steps leaves both halves readable and the highest
-// sequence number still wins.
+// half fills, compaction writes a Checkpoint (plus restated Remap records
+// and a restated Begin/Progress for any open install) into the blank other
+// half, then erases the old one; a cut between those steps leaves both
+// halves readable and the highest sequence number still wins.
+//
+// Wear leveling (DESIGN.md §15): with more than two slots configured,
+// begin_install rotates through every non-active slot picking the one whose
+// physical pages carry the least erase wear (ties break to the lowest
+// index, keeping the choice deterministic). set_wear_leveling(false) is the
+// degraded mode: installs ping-pong between slots 0 and 1 only,
+// concentrating wear exactly the way the soak harness's wear-spread monitor
+// is built to catch.
+//
+// Bad-page remapping: every slot-page erase is followed by a blank-check
+// read-back. A page past its endurance limit holds stuck-at-0 bits the
+// erase cannot lift, so the verify fails deterministically; the store then
+// claims the lowest-wear good spare page, erases and verifies it, and seals
+// a Remap record in the journal. The record is appended only after the
+// spare verifies, so a power cut anywhere in between leaves the old mapping
+// (and the committed image) untouched — old-or-new extends to remaps.
+// recover() replays Remap records (highest sequence wins, so a dying spare
+// can itself be remapped) before folding the journal, because the committed
+// slot's CRC must be read through the current mapping. Journal pages are
+// never remapped: they see one erase per compaction cycle while slot pages
+// see one per install, so data pages exhaust first by construction.
 //
 // recover() takes an operation budget: every flash read/program/erase spent
 // replaying the journal counts against it, and exhaustion returns
@@ -41,9 +65,13 @@
 // destroys the old version; recovery can only *detect* the damage through
 // the image's embedded CRC (StoreState::Corrupt). That detectable-but-
 // unpreventable corruption is what the power-cut campaign's self-test
-// demonstrates.
+// demonstrates. set_remap_enabled(false) is the aging analogue: erase
+// failures go unverified, installs land on stuck bits, and the commit-time
+// CRC read-back surfaces the damage as CrcMismatch instead of riding a
+// spare.
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <span>
 #include <vector>
@@ -65,6 +93,7 @@ enum class InstallStatus : std::uint8_t {
   Busy,         ///< an install is already open
   NoSpace,      ///< image exceeds the slot capacity
   CrcMismatch,  ///< staged bytes do not hash to the declared image CRC
+  WornOut,      ///< a page failed erase-verify and no good spare remains
 };
 
 const char* install_status_name(InstallStatus s);
@@ -103,6 +132,8 @@ struct RecoveryResult {
 
 struct StoreLayout {
   std::uint32_t journal_pages = 2;  ///< must be even (two ping-pong halves)
+  std::uint32_t slots = 2;          ///< image slots in rotation (>= 2)
+  std::uint32_t spare_pages = 0;    ///< bad-page remap reserve at the top
 };
 
 class ModuleStore;
@@ -126,6 +157,11 @@ class ModuleStore {
   void set_tracer(trace::Tracer* t) { tracer_ = t; }
   void set_journal_enabled(bool on) { journal_enabled_ = on; }
   [[nodiscard]] bool journal_enabled() const { return journal_enabled_; }
+  /// Degraded modes for the aging self-tests (see DESIGN.md §15).
+  void set_wear_leveling(bool on) { wear_leveling_ = on; }
+  [[nodiscard]] bool wear_leveling() const { return wear_leveling_; }
+  void set_remap_enabled(bool on) { remap_enabled_ = on; }
+  [[nodiscard]] bool remap_enabled() const { return remap_enabled_; }
 
   // --- transactional installer ---
   /// Phase 1 open: journal the intent, erase the target slot, mark it
@@ -154,6 +190,27 @@ class ModuleStore {
   [[nodiscard]] std::uint32_t slot_capacity_words() const { return slot_pages_ * flash_.page_words(); }
   [[nodiscard]] std::uint32_t slot_base_words(int slot) const;
   [[nodiscard]] FlashModel& flash() { return flash_; }
+  [[nodiscard]] const FlashModel& flash() const { return flash_; }
+  [[nodiscard]] const StoreLayout& layout() const { return layout_; }
+
+  // --- wear & remap state (soak monitors read these; see src/soak) ---
+  /// Active bad-page remap table: logical data page -> spare page.
+  [[nodiscard]] const std::map<std::uint32_t, std::uint32_t>& remaps() const { return remap_; }
+  /// First/one-past-last data (slot) page; spares live at [spare_page_begin, pages).
+  [[nodiscard]] std::uint32_t data_page_begin() const { return layout_.journal_pages; }
+  [[nodiscard]] std::uint32_t data_page_end() const {
+    return layout_.journal_pages + layout_.slots * slot_pages_;
+  }
+  [[nodiscard]] std::uint32_t spare_page_begin() const {
+    return flash_.pages() - layout_.spare_pages;
+  }
+  /// Physical home of a logical data page under the current remap table.
+  [[nodiscard]] std::uint32_t phys_page(std::uint32_t logical_page) const;
+  /// max - min of per-slot worst erase wear (through the remap table):
+  /// the quantity the slot-rotation leveling policy is bounding. Measured
+  /// at slot granularity because a freshly claimed spare page legitimately
+  /// resets a single page's wear without indicting the policy.
+  [[nodiscard]] std::uint32_t wear_spread() const;
 
  private:
   enum class RecordType : std::uint8_t {
@@ -162,19 +219,26 @@ class ModuleStore {
     Commit = 3,
     Abort = 4,
     Checkpoint = 5,
+    Remap = 6,
   };
 
   struct Record {
     RecordType type = RecordType::Begin;
     std::uint32_t seq = 0;
-    std::uint16_t arg0 = 0;  ///< slot (Begin/Commit/Abort/Checkpoint), words staged (Progress)
-    std::uint16_t arg1 = 0;  ///< image words (Begin/Commit/Checkpoint)
+    std::uint16_t arg0 = 0;  ///< slot (Begin/Commit/Abort/Checkpoint), words staged (Progress), logical page (Remap)
+    std::uint16_t arg1 = 0;  ///< image words (Begin/Commit/Checkpoint), spare page (Remap)
     std::uint32_t crc = 0;   ///< image payload crc32
   };
 
   [[nodiscard]] std::uint32_t journal_half_words() const;
   [[nodiscard]] std::uint32_t records_per_half() const { return journal_half_words() / kRecordWords; }
   [[nodiscard]] std::uint32_t record_addr(int half, std::uint32_t idx) const;
+  /// Word-address translation through the remap table (page granularity).
+  /// Journal addresses pass through untouched by construction: remap keys
+  /// are always data pages.
+  [[nodiscard]] std::uint32_t translate(std::uint32_t waddr) const;
+  /// Highest erase wear among the physical pages backing `slot`.
+  [[nodiscard]] std::uint32_t slot_wear(int slot) const;
 
   /// Appends with the next sequence number (written back into `r`),
   /// compacting into the other half first when the active one is full.
@@ -182,6 +246,12 @@ class ModuleStore {
   InstallStatus write_record_at(std::uint32_t waddr, const Record& r);
   InstallStatus compact(int into_half);
   InstallStatus erase_slot(int slot);
+  /// Reads the page back; true iff every word erased to 0xFFFF.
+  [[nodiscard]] bool page_blank(std::uint32_t page) const;
+  /// Moves `logical_page` onto the lowest-wear good spare: erase + verify
+  /// the spare first, then seal the Remap record — a cut in between leaves
+  /// the old mapping. WornOut when no spare survives its own verify.
+  InstallStatus remap_page(std::uint32_t logical_page);
   /// Every store erase funnels through here so the tracer sees the page's
   /// wear count and the device total (OtaErase events; flash-wear metrics).
   FlashStatus erase_page_traced(std::uint32_t page);
@@ -194,6 +264,8 @@ class ModuleStore {
   StoreLayout layout_;
   trace::Tracer* tracer_ = nullptr;
   bool journal_enabled_ = true;
+  bool wear_leveling_ = true;
+  bool remap_enabled_ = true;
 
   std::uint32_t slot_pages_ = 0;
   int active_half_ = 0;
@@ -202,6 +274,7 @@ class ModuleStore {
 
   RecoveryResult state_;                 ///< last recovery verdict (kept current)
   std::optional<PendingInstall> open_;   ///< install in flight (RAM mirror)
+  std::map<std::uint32_t, std::uint32_t> remap_;  ///< logical data page -> spare
 };
 
 }  // namespace harbor::ota

@@ -1,6 +1,7 @@
 #include "soak/monitors.h"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
 #include "asm/builder.h"
@@ -231,6 +232,50 @@ MonitorResult liveness_monitor(const MonitorContext& ctx) {
   return pass("liveness_probe", m.cycles);
 }
 
+/// Remap-table consistency (DESIGN.md §15): every entry maps a data-region
+/// logical page to a spare-region physical page, no spare backs two
+/// logicals, the table fits the spare budget, and — critically — every
+/// referenced spare is still good: a store serving reads through a worn-out
+/// spare would hand back stuck bits as module code.
+MonitorResult remap_monitor(const MonitorContext& ctx) {
+  const ota::ModuleStore& store = ctx.store;
+  const auto& remaps = store.remaps();
+  const ota::StoreLayout& layout = store.layout();
+  if (remaps.size() > layout.spare_pages)
+    return fail("remap_table", remaps.size(),
+                std::to_string(remaps.size()) + " remaps > " +
+                    std::to_string(layout.spare_pages) + " spare pages");
+  std::set<std::uint32_t> spares_seen;
+  for (const auto& [logical, spare] : remaps) {
+    if (logical < store.data_page_begin() || logical >= store.data_page_end())
+      return fail("remap_table", logical,
+                  "remap key " + std::to_string(logical) + " outside the data region");
+    if (spare < store.spare_page_begin() || spare >= store.flash().pages())
+      return fail("remap_table", spare,
+                  "remap target " + std::to_string(spare) + " outside the spare region");
+    if (!spares_seen.insert(spare).second)
+      return fail("remap_table", spare,
+                  "spare " + std::to_string(spare) + " backs two logical pages");
+    if (store.flash().bad(spare))
+      return fail("remap_table", spare,
+                  "referenced spare " + std::to_string(spare) + " is past end-of-life");
+  }
+  return pass("remap_table", remaps.size());
+}
+
+/// Wear-leveling bound (DESIGN.md §15): the max-min of per-slot worst erase
+/// wear must stay within the leveling budget. A degraded store (leveling
+/// off) ping-pongs two slots while the rest stay cold, so this is the
+/// monitor the --weakened self-test must fail.
+MonitorResult wear_spread_monitor(const MonitorContext& ctx) {
+  const std::uint32_t spread = ctx.store.wear_spread();
+  if (spread > ctx.wear_spread_budget)
+    return fail("wear_spread", spread,
+                "slot wear spread " + std::to_string(spread) + " > leveling budget " +
+                    std::to_string(ctx.wear_spread_budget));
+  return pass("wear_spread", spread);
+}
+
 }  // namespace
 
 std::vector<MonitorResult> MonitorRegistry::run(const MonitorContext& ctx,
@@ -262,6 +307,8 @@ MonitorRegistry default_monitors() {
   reg.add(supervision_monitor);
   reg.add(ring_monitor);
   reg.add(liveness_monitor);
+  reg.add(remap_monitor);
+  reg.add(wear_spread_monitor);
   return reg;
 }
 

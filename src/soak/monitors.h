@@ -29,6 +29,10 @@ struct SoakStats {
   std::uint64_t max_dispatch_cycles = 0;  ///< worst guest dispatch this run
   std::uint64_t last_recover_ops = 0;     ///< flash ops of the last recover()
   std::uint64_t ota_installs = 0;
+  /// Installs the store refused (worn-out slots, failed read-back verify).
+  /// An aging scenario tolerates these — the previous committed image keeps
+  /// serving — so they are counted, not thrown.
+  std::uint64_t install_failures = 0;
   std::uint64_t power_cuts = 0;
   std::uint64_t quarantines = 0;
   std::uint64_t revives = 0;
@@ -45,6 +49,9 @@ struct MonitorContext {
   const SoakStats& stats;
   std::uint64_t wear_budget = 0;       ///< max tolerated per-page erase count
   std::uint64_t recovery_budget = 0;   ///< cycle bound for dispatch + journal replay
+  /// Max tolerated max-min of per-slot worst wear (the leveling bound the
+  /// wear_spread monitor enforces; see ota::ModuleStore::wear_spread).
+  std::uint64_t wear_spread_budget = 0;
 };
 
 struct MonitorResult {
@@ -73,7 +80,8 @@ class MonitorRegistry {
 
 /// The stock registry: memory-map consistency, jump-table consistency,
 /// no-escape, bounded recovery, flash wear, journal old-or-new, supervision
-/// sanity, trace-ring accounting, and the snapshot-bubble liveness probe.
+/// sanity, trace-ring accounting, the snapshot-bubble liveness probe,
+/// remap-table consistency, and the wear-leveling spread bound.
 MonitorRegistry default_monitors();
 
 }  // namespace harbor::soak

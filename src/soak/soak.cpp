@@ -106,14 +106,19 @@ void storm(System& sys, SoakStats& stats, std::optional<memmap::DomainId>& d_spi
 }
 
 /// One OTA install/recover cycle: alternate payload versions, with a
-/// seeded power cut torn through some installs; recovery must always land
-/// on old-or-new, after which the committed image is (re)loaded and poked.
+/// seeded power cut torn through some installs (`force_cut` makes the tear
+/// unconditional — the power-storm windows); recovery must always land on
+/// old-or-new. A clean install that the store refuses — worn-out slots, a
+/// read-back verify catching stuck bits — is *tolerated*: the previous
+/// committed image keeps serving and the failure is counted, which is the
+/// whole point of the end-of-life scenarios (DESIGN.md §15).
 void ota_cycle(System& sys, ota::ModuleStore& store, SoakStats& stats,
-               std::uint64_t& rng, int epoch, std::optional<memmap::DomainId>& d_ota) {
+               std::uint64_t& rng, int epoch, std::optional<memmap::DomainId>& d_ota,
+               bool force_cut) {
   const std::vector<std::uint16_t> words =
       ota::serialize_image(payload_module(epoch % 2 == 0 ? 1 : 2));
 
-  if (next_rand(rng) % 5 == 0) {
+  if (force_cut || next_rand(rng) % 5 == 0) {
     // Tear this install at a random flash op; the journal must contain it.
     store.flash().set_cut_at(1 + next_rand(rng) % (words.size() + 64));
     const ota::InstallStatus s = ota::install_image(store, words);
@@ -128,9 +133,13 @@ void ota_cycle(System& sys, ota::ModuleStore& store, SoakStats& stats,
   store.flash().clear_cut();  // an unfired cut must not tear the next install
 
   const ota::InstallStatus s = ota::install_image(store, words);
-  if (s != ota::InstallStatus::Ok)
-    throw std::runtime_error(std::string("soak: ota install failed: ") +
-                             ota::install_status_name(s));
+  if (s != ota::InstallStatus::Ok) {
+    ++stats.install_failures;
+    if (store.install_open()) store.abort_install();
+    const ota::RecoveryResult r = sys.kernel().recover_store(store);
+    stats.last_recover_ops = r.ops;
+    return;
+  }
   ++stats.ota_installs;
   const ota::RecoveryResult r = sys.kernel().recover_store(store);
   stats.last_recover_ops = r.ops;
@@ -139,6 +148,68 @@ void ota_cycle(System& sys, ota::ModuleStore& store, SoakStats& stats,
   d_ota = sys.kernel().load_from_store(store, d_ota);
   sys.post(*d_ota, sos::msg::kTimer);
   drain(sys, stats);
+}
+
+/// One epoch of scenario-shaped activity. Steady keeps the classic mix
+/// bit-for-bit (same rng draws in the same order); Aging shares its shape —
+/// the aging pressure comes from the flash/store configuration, not the
+/// traffic. The fork-the-future pass replays this same function under a
+/// diverged rng, so everything it touches must be restorable.
+void epoch_activity(SoakScenario sc, System& sys, ota::ModuleStore& store,
+                    SoakStats& stats, std::uint64_t& rng, int epoch,
+                    memmap::DomainId d_tree, memmap::DomainId d_surge,
+                    std::optional<memmap::DomainId>& d_ota,
+                    std::optional<memmap::DomainId>& d_spin) {
+  switch (sc) {
+    case SoakScenario::Steady:
+    case SoakScenario::Aging: {
+      const int bursts = 2 + static_cast<int>(next_rand(rng) % 3);
+      for (int i = 0; i < bursts; ++i) {
+        sys.post(d_surge, sos::msg::kData);
+        sys.post(d_tree, sos::msg::kTimer);
+      }
+      drain(sys, stats);
+      ota_cycle(sys, store, stats, rng, epoch, d_ota, false);
+      if (epoch % 2 == 1) storm(sys, stats, d_spin);
+      break;
+    }
+    case SoakScenario::Bursty: {
+      // 4-epoch heavy phases (double OTA churn, 4-8 traffic bursts)
+      // alternate with 4-epoch near-idle ones (0-1 bursts, OTA every other
+      // epoch) — the duty cycle a duty-cycled sensor node actually sees.
+      const bool heavy = (epoch / 4) % 2 == 0;
+      const int bursts = heavy ? 4 + static_cast<int>(next_rand(rng) % 4)
+                               : static_cast<int>(next_rand(rng) % 2);
+      for (int i = 0; i < bursts; ++i) {
+        sys.post(d_surge, sos::msg::kData);
+        sys.post(d_tree, sos::msg::kTimer);
+      }
+      drain(sys, stats);
+      if (heavy) {
+        ota_cycle(sys, store, stats, rng, epoch, d_ota, false);
+        ota_cycle(sys, store, stats, rng, epoch + 1, d_ota, false);
+      } else if (epoch % 2 == 0) {
+        ota_cycle(sys, store, stats, rng, epoch, d_ota, false);
+      }
+      if (epoch % 2 == 1) storm(sys, stats, d_spin);
+      break;
+    }
+    case SoakScenario::PowerStorm: {
+      // Correlated brown-outs: 3-epoch storm windows out of every 8, where
+      // every install tears mid-flight and the supervision storm rages
+      // alongside the cuts — consecutive epochs, not independent draws.
+      const bool window = epoch % 8 < 3;
+      const int bursts = 2 + static_cast<int>(next_rand(rng) % 3);
+      for (int i = 0; i < bursts; ++i) {
+        sys.post(d_surge, sos::msg::kData);
+        sys.post(d_tree, sos::msg::kTimer);
+      }
+      drain(sys, stats);
+      ota_cycle(sys, store, stats, rng, epoch, d_ota, window);
+      if (window || epoch % 2 == 1) storm(sys, stats, d_spin);
+      break;
+    }
+  }
 }
 
 std::uint64_t sum_counter(trace::Metrics& m, const char* name) {
@@ -168,12 +239,23 @@ const char* mode_name_of(ProtectionMode m) {
 
 }  // namespace
 
+const char* scenario_name_of(SoakScenario s) {
+  switch (s) {
+    case SoakScenario::Steady: return "steady";
+    case SoakScenario::Bursty: return "bursty";
+    case SoakScenario::PowerStorm: return "power-storm";
+    case SoakScenario::Aging: return "aging";
+  }
+  return "?";
+}
+
 std::string epoch_record_json(const SoakReport& report, const EpochRecord& rec) {
   namespace json = trace::json;
   std::string out = "{";
   json::Joiner top(out);
   json::kv(out, top, "schema", std::string("soak-report-v1"));
   json::kv(out, top, "mode", report.mode_name);
+  json::kv(out, top, "scenario", report.scenario_name);
   json::kv(out, top, "epoch", rec.epoch);
   json::kv(out, top, "sim_hours", rec.sim_hours);
   json::kv(out, top, "checkpoint", rec.checkpoint);
@@ -182,6 +264,16 @@ std::string epoch_record_json(const SoakReport& report, const EpochRecord& rec) 
   {
     json::Joiner c(out);
     for (const auto& [name, value] : rec.counters) json::kv(out, c, name, value);
+  }
+  out += "},\"wear\":{";
+  {
+    json::Joiner w(out);
+    json::kv(out, w, "max", rec.wear.max);
+    json::kv(out, w, "spread", rec.wear.spread);
+    json::kv(out, w, "spread_budget", rec.wear.spread_budget);
+    json::kv(out, w, "pages_bad", rec.wear.pages_bad);
+    json::kv(out, w, "remaps", rec.wear.remaps);
+    json::kv(out, w, "spares_in_use", rec.wear.spares_in_use);
   }
   out += "},\"monitors\":[";
   {
@@ -202,9 +294,44 @@ std::string epoch_record_json(const SoakReport& report, const EpochRecord& rec) 
   return out;
 }
 
+std::string forks_json(const SoakReport& report) {
+  namespace json = trace::json;
+  std::string out = "{";
+  json::Joiner top(out);
+  json::kv(out, top, "schema", std::string("soak-forks-v1"));
+  json::kv(out, top, "mode", report.mode_name);
+  json::kv(out, top, "scenario", report.scenario_name);
+  top.item();
+  out += "\"forks\":[";
+  {
+    json::Joiner fs(out);
+    for (const ForkRecord& f : report.forks) {
+      fs.item();
+      out += '{';
+      json::Joiner fo(out);
+      json::kv(out, fo, "fork", f.fork);
+      json::kv(out, fo, "seed", f.seed);
+      json::kv(out, fo, "epochs", f.epochs);
+      json::kv(out, fo, "monitors_ok", f.monitors_ok);
+      json::kv(out, fo, "failure", f.failure);
+      json::kv(out, fo, "digest", f.digest);
+      fo.item();
+      out += "\"counters\":{";
+      {
+        json::Joiner c(out);
+        for (const auto& [name, value] : f.counters) json::kv(out, c, name, value);
+      }
+      out += "}}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
 SoakReport run_soak(const SoakConfig& cfg, std::ostream* jsonl) {
   SoakReport rep;
   rep.mode_name = mode_name_of(cfg.mode);
+  rep.scenario_name = scenario_name_of(cfg.scenario);
 
   System sys({cfg.mode});
   trace::TracerOptions topts;
@@ -231,8 +358,25 @@ SoakReport run_soak(const SoakConfig& cfg, std::ostream* jsonl) {
   drain(sys, stats);
   const inject::Oracle oracle = inject::Oracle::capture_owned(sys.driver(), d_victim);
 
-  ota::FlashModel flash;
-  ota::ModuleStore store(flash, {}, &tracer);
+  // Scenario-shaped flash + store: the aging scenario runs a finite-
+  // endurance part behind a leveled 4-slot store with a 4-page spare
+  // reserve; every other scenario keeps the immortal 2-slot classic.
+  ota::FlashConfig fcfg;
+  ota::StoreLayout layout;
+  std::uint32_t endurance = cfg.flash_endurance;
+  if (cfg.scenario == SoakScenario::Aging) {
+    if (endurance == 0) endurance = 48;
+    layout.journal_pages = 4;
+    layout.slots = 4;
+    layout.spare_pages = 4;
+  }
+  fcfg.nominal_endurance = endurance;
+  ota::FlashModel flash(fcfg, cfg.seed ? cfg.seed : 1);
+  ota::ModuleStore store(flash, layout, &tracer);
+  if (cfg.weakened) {
+    store.set_wear_leveling(false);
+    store.set_remap_enabled(false);
+  }
 
   const int total_epochs = std::max(1, static_cast<int>(std::ceil(cfg.hours)));
   const double hours_per_epoch = cfg.hours > 0 ? cfg.hours / total_epochs : 1.0;
@@ -241,6 +385,8 @@ SoakReport run_soak(const SoakConfig& cfg, std::ostream* jsonl) {
   const std::uint64_t wear_budget =
       cfg.flash_wear_budget ? cfg.flash_wear_budget
                             : static_cast<std::uint64_t>(total_epochs) * 2 + 16;
+  const std::uint64_t spread_budget =
+      cfg.wear_spread_budget ? cfg.wear_spread_budget : 16;
 
   const MonitorRegistry monitors = default_monitors();
   std::uint64_t rng = cfg.seed ? cfg.seed : 0x9E3779B97F4A7C15ull;
@@ -252,17 +398,13 @@ SoakReport run_soak(const SoakConfig& cfg, std::ostream* jsonl) {
   trace::CounterTrack tr_erases{"soak.flash_total_erases", {}};
   trace::CounterTrack tr_wear{"soak.flash_max_wear", {}};
   trace::CounterTrack tr_drops{"soak.ring_dropped", {}};
+  trace::CounterTrack tr_bad{"soak.flash_pages_bad", {}};
+  trace::CounterTrack tr_spread{"soak.wear_spread", {}};
 
   for (int epoch = 0; epoch < total_epochs; ++epoch) {
     // --- epoch activity: traffic, OTA churn, supervision storm ---
-    const int bursts = 2 + static_cast<int>(next_rand(rng) % 3);
-    for (int i = 0; i < bursts; ++i) {
-      sys.post(d_surge, sos::msg::kData);
-      sys.post(d_tree, sos::msg::kTimer);
-    }
-    drain(sys, stats);
-    ota_cycle(sys, store, stats, rng, epoch, d_ota);
-    if (epoch % 2 == 1) storm(sys, stats, d_spin);
+    epoch_activity(cfg.scenario, sys, store, stats, rng, epoch, d_tree, d_surge,
+                   d_ota, d_spin);
 
     // --- checkpoint: re-verify invariants from primary state ---
     const bool checkpoint =
@@ -272,8 +414,8 @@ SoakReport run_soak(const SoakConfig& cfg, std::ostream* jsonl) {
     rec.epoch = epoch;
     rec.checkpoint = checkpoint;
     if (checkpoint) {
-      MonitorContext ctx{sys,   store, oracle,      d_victim,
-                         stats, wear_budget, cfg.cycle_budget};
+      MonitorContext ctx{sys,         store,            oracle, d_victim, stats,
+                         wear_budget, cfg.cycle_budget, spread_budget};
       rec.monitors = monitors.run(ctx, &tracer, static_cast<std::uint16_t>(epoch));
       ++rep.checkpoints;
       for (const MonitorResult& m : rec.monitors) {
@@ -307,18 +449,31 @@ SoakReport run_soak(const SoakConfig& cfg, std::ostream* jsonl) {
         {"quarantines", sum_counter(met, trace::metric::kSosQuarantines)},
         {"revives", stats.revives},
         {"ota_installs", stats.ota_installs},
+        {"install_failures", stats.install_failures},
         {"ota_recovers", met.counter_value(trace::metric::kOtaRecovers)},
+        {"ota_remaps", met.counter_value(trace::metric::kOtaRemaps)},
         {"power_cuts", stats.power_cuts},
         {"flash_total_erases", flash.total_erases()},
         {"flash_max_wear", max_wear(flash)},
+        {"flash_pages_bad", flash.pages_bad()},
         {"ring_accepted", ring.accepted()},
         {"ring_dropped", ring.dropped()},
     };
+    rec.wear.max = max_wear(flash);
+    rec.wear.spread = store.wear_spread();
+    rec.wear.spread_budget = spread_budget;
+    rec.wear.pages_bad = flash.pages_bad();
+    rec.wear.remaps = met.counter_value(trace::metric::kOtaRemaps);
+    rec.wear.spares_in_use = store.remaps().size();
+    // Gauge semantics: the metric mirrors the latest spread, not a sum.
+    met.counter(trace::metric::kOtaWearSpread) = rec.wear.spread;
     const std::uint64_t now = executed;
     tr_uptime.samples.emplace_back(now, sim_hours);
     tr_erases.samples.emplace_back(now, static_cast<double>(flash.total_erases()));
     tr_wear.samples.emplace_back(now, static_cast<double>(max_wear(flash)));
     tr_drops.samples.emplace_back(now, static_cast<double>(ring.dropped()));
+    tr_bad.samples.emplace_back(now, static_cast<double>(flash.pages_bad()));
+    tr_spread.samples.emplace_back(now, static_cast<double>(rec.wear.spread));
 
     if (jsonl) *jsonl << epoch_record_json(rep, rec) << '\n';
     rep.records.push_back(std::move(rec));
@@ -329,9 +484,84 @@ SoakReport run_soak(const SoakConfig& cfg, std::ostream* jsonl) {
                   (3600.0 * static_cast<double>(cfg.clock_hz));
   rep.executed_cycles = sys.cycles();
   rep.skipped_cycles = skipped;
-  rep.counter_tracks = {tr_uptime, tr_erases, tr_wear, tr_drops};
+  rep.counter_tracks = {tr_uptime, tr_erases, tr_wear, tr_drops, tr_bad, tr_spread};
+  // Render the main-run artifacts before any forks perturb the tracer.
   rep.perfetto_trace = trace::perfetto_json(tracer);
   rep.metrics = trace::metrics_json(tracer);
+
+  // --- divergent futures: fork the final soaked state (DESIGN.md §15) ---
+  // One fork point = device snapshot + kernel host state + a flash copy;
+  // each future restores all three, reseeds the activity rng, replays the
+  // scenario for a few epochs and re-runs every monitor. The digests
+  // witness that the futures actually diverged.
+  if (cfg.forks > 0) {
+    const int fork_epochs = cfg.fork_epochs > 0 ? cfg.fork_epochs : 2;
+    const System::Snapshot dev_snap = sys.snapshot();
+    const sos::Kernel::HostState host_snap = sys.kernel().host_state();
+    const ota::FlashModel flash_snap = flash;
+    const SoakStats stats_snap = stats;
+    const std::optional<memmap::DomainId> d_ota_snap = d_ota;
+    const std::optional<memmap::DomainId> d_spin_snap = d_spin;
+    for (int f = 0; f < cfg.forks; ++f) {
+      sys.restore(dev_snap);
+      sys.kernel().restore_host_state(host_snap);
+      flash = flash_snap;
+      // The store re-derives its journal/remap state from the restored
+      // cells — the same path a reboot takes, which is the point.
+      sys.kernel().recover_store(store);
+      stats = stats_snap;
+      d_ota = d_ota_snap;
+      d_spin = d_spin_snap;
+      std::uint64_t frng = rng ^ (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(f + 1));
+      if (frng == 0) frng = static_cast<std::uint64_t>(f + 1);
+
+      ForkRecord fr;
+      fr.fork = f;
+      fr.seed = frng;
+      fr.epochs = fork_epochs;
+      for (int e = 0; e < fork_epochs; ++e)
+        epoch_activity(cfg.scenario, sys, store, stats, frng, total_epochs + e,
+                       d_tree, d_surge, d_ota, d_spin);
+      MonitorContext ctx{sys,         store,            oracle, d_victim, stats,
+                         wear_budget, cfg.cycle_budget, spread_budget};
+      const auto results = monitors.run(
+          ctx, &tracer, static_cast<std::uint16_t>(total_epochs + fork_epochs));
+      fr.monitors_ok = true;
+      for (const MonitorResult& m : results) {
+        if (m.ok) continue;
+        fr.monitors_ok = false;
+        if (fr.failure.empty()) fr.failure = m.name + ": " + m.detail;
+      }
+      if (!fr.monitors_ok) {
+        rep.ok = false;
+        if (rep.failure.empty())
+          rep.failure = "fork " + std::to_string(f) + ": " + fr.failure;
+      }
+
+      std::uint64_t digest = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+      const auto fold = [&digest](std::uint64_t v) {
+        for (int b = 0; b < 8; ++b) {
+          digest ^= (v >> (8 * b)) & 0xFF;
+          digest *= 0x100000001B3ull;
+        }
+      };
+      for (std::uint32_t w = 0; w < flash.size_words(); ++w) fold(flash.read_word(w));
+      for (std::uint32_t p = 0; p < flash.pages(); ++p) fold(flash.wear(p));
+      fold(stats.ota_installs);
+      fold(stats.power_cuts);
+      fold(sys.cycles());
+      fr.digest = digest;
+      fr.counters = {
+          {"ota_installs", stats.ota_installs},
+          {"install_failures", stats.install_failures},
+          {"power_cuts", stats.power_cuts},
+          {"quarantines", stats.quarantines},
+          {"flash_pages_bad", flash.pages_bad()},
+          {"flash_max_wear", max_wear(flash)},
+      };
+      rep.forks.push_back(std::move(fr));
+    }
+  }
   return rep;
 }
 

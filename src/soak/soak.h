@@ -27,6 +27,16 @@
 
 namespace harbor::soak {
 
+/// Scenario script shaping each epoch's activity (DESIGN.md §15).
+enum class SoakScenario : std::uint8_t {
+  Steady,      ///< the classic mix: steady traffic, OTA every epoch, odd-epoch storms
+  Bursty,      ///< alternating heavy phases (double OTA, 4-8 bursts) and near-idle ones
+  PowerStorm,  ///< correlated brown-outs: every install torn across 3-epoch windows
+  Aging,       ///< reduced-endurance flash + leveled multi-slot store driven to end-of-life
+};
+
+const char* scenario_name_of(SoakScenario s);
+
 struct SoakConfig {
   ProtectionMode mode = ProtectionMode::Umpu;
   double hours = 24.0;          ///< simulated uptime (1 epoch per hour)
@@ -39,6 +49,35 @@ struct SoakConfig {
   std::uint64_t clock_hz = 4'000'000;
   /// Per-dispatch watchdog budget for the soak system.
   std::uint64_t cycle_budget = 100'000;
+  SoakScenario scenario = SoakScenario::Steady;
+  /// Nominal per-page erase endurance; 0 = scenario default (Aging: 48,
+  /// everything else: unlimited). Lower values accelerate aging.
+  std::uint32_t flash_endurance = 0;
+  /// Self-test mode: run with wear leveling AND bad-page remapping disabled.
+  /// An aging run in this mode must demonstrably fail a monitor (the
+  /// wear-spread bound) — proving the monitors can catch the degradation
+  /// the mitigations exist to prevent.
+  bool weakened = false;
+  /// Max tolerated slot-level wear spread; 0 = auto (16).
+  std::uint64_t wear_spread_budget = 0;
+  /// Divergent futures: after the main horizon, fork this many alternative
+  /// continuations from the final soaked state (System::snapshot + kernel
+  /// host state + flash copy), each with a different derived seed.
+  int forks = 0;
+  int fork_epochs = 0;  ///< epochs each fork runs; 0 = auto (2)
+};
+
+/// Flash end-of-life facts sampled at the epoch boundary. Spread is NOT
+/// monotone (a leveled install can shrink it), so these live beside the
+/// counters object rather than inside it — the validator holds every
+/// counter to non-decreasing.
+struct WearRecord {
+  std::uint64_t max = 0;           ///< worst per-page erase count
+  std::uint64_t spread = 0;        ///< slot-level wear spread (max - min)
+  std::uint64_t spread_budget = 0; ///< the leveling bound the monitor enforces
+  std::uint64_t pages_bad = 0;     ///< pages past end-of-life
+  std::uint64_t remaps = 0;        ///< cumulative remap events
+  std::uint64_t spares_in_use = 0; ///< live remap-table entries
 };
 
 /// One per-epoch health record (the JSONL line, structured).
@@ -48,12 +87,29 @@ struct EpochRecord {
   bool checkpoint = false;
   /// Monotone counters sampled at the epoch boundary (name -> value).
   std::vector<std::pair<std::string, std::uint64_t>> counters;
+  WearRecord wear;
   std::vector<MonitorResult> monitors;  ///< empty on non-checkpoint epochs
 };
 
+/// One divergent future forked from the final soaked state. Forks are
+/// reported here (and via forks_json), never in the main JSONL stream —
+/// soak-report-v1 lines are strictly one-per-epoch.
+struct ForkRecord {
+  int fork = 0;
+  std::uint64_t seed = 0;       ///< derived rng seed this future ran under
+  int epochs = 0;
+  bool monitors_ok = false;
+  std::string failure;          ///< first monitor failure, "" when ok
+  /// FNV-1a digest over flash contents, wear table and headline stats:
+  /// two futures with different seeds must diverge here.
+  std::uint64_t digest = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
 struct SoakReport {
-  bool ok = false;            ///< every monitor passed at every checkpoint
+  bool ok = false;            ///< every monitor passed at every checkpoint (forks included)
   std::string mode_name;
+  std::string scenario_name;
   int epochs = 0;
   int checkpoints = 0;
   double sim_hours = 0.0;
@@ -69,11 +125,15 @@ struct SoakReport {
   std::string perfetto_trace;
   std::string metrics;
   std::string failure;        ///< first monitor failure, "" when ok
+  std::vector<ForkRecord> forks;  ///< divergent futures (empty unless cfg.forks > 0)
 };
 
 /// Render one epoch record as a soak-report-v1 JSON object (one line, no
 /// trailing newline) — the schema tools/validate_trace.py --soak checks.
 std::string epoch_record_json(const SoakReport& report, const EpochRecord& rec);
+
+/// Render the fork records as one JSON object ({"schema":"soak-forks-v1",...}).
+std::string forks_json(const SoakReport& report);
 
 /// Run the scenario. When `jsonl` is non-null, each epoch's health record
 /// streams to it as it completes (newline-terminated).

@@ -93,6 +93,60 @@ void Kernel::fill_default_jump_tables() {
   }
 }
 
+std::vector<Kernel::FlashCandidate> Kernel::flash_candidates() const {
+  std::vector<FlashCandidate> out;
+  out.reserve(flash_holes_.size() + 1);
+  for (std::size_t i = 0; i < flash_holes_.size(); ++i)
+    out.push_back({flash_holes_[i].origin, flash_holes_[i].words, static_cast<int>(i)});
+  out.push_back({load_cursor_, 0xFFFF'FFFFu, -1});
+  return out;
+}
+
+void Kernel::claim_flash(const FlashCandidate& c, std::uint32_t end) {
+  if (c.hole < 0) {
+    load_cursor_ = end;
+    return;
+  }
+  FlashHole& h = flash_holes_[static_cast<std::size_t>(c.hole)];
+  const std::uint32_t used = end - c.origin;
+  if (used >= h.words) {
+    flash_holes_.erase(flash_holes_.begin() + c.hole);
+  } else {
+    h.origin += used;
+    h.words -= used;
+  }
+}
+
+void Kernel::release_flash(std::uint32_t origin, std::uint32_t end) {
+  if (end <= origin) return;
+  if (end == load_cursor_) {
+    // Touching the frontier: rewind the cursor instead of keeping a hole,
+    // then fold in any hole that now touches the frontier too.
+    load_cursor_ = origin;
+    while (!flash_holes_.empty() &&
+           flash_holes_.back().origin + flash_holes_.back().words == load_cursor_) {
+      load_cursor_ = flash_holes_.back().origin;
+      flash_holes_.pop_back();
+    }
+    return;
+  }
+  const FlashHole h{origin, end - origin};
+  auto it = std::lower_bound(
+      flash_holes_.begin(), flash_holes_.end(), h,
+      [](const FlashHole& a, const FlashHole& b) { return a.origin < b.origin; });
+  it = flash_holes_.insert(it, h);
+  if (std::next(it) != flash_holes_.end() &&
+      it->origin + it->words == std::next(it)->origin) {
+    it->words += std::next(it)->words;
+    it = std::prev(flash_holes_.erase(std::next(it)));
+  }
+  if (it != flash_holes_.begin() &&
+      std::prev(it)->origin + std::prev(it)->words == it->origin) {
+    std::prev(it)->words += it->words;
+    flash_holes_.erase(it);
+  }
+}
+
 memmap::DomainId Kernel::load(const ModuleImage& image,
                               std::optional<memmap::DomainId> want) {
   memmap::DomainId domain = 0xff;
@@ -134,6 +188,7 @@ memmap::DomainId Kernel::load(const ModuleImage& image,
     m.state_ptr = r.value;
   }
 
+  std::uint32_t claimed_begin = 0, claimed_end = 0;
   try {
     if (mode() == runtime::Mode::Sfi) {
       sfi::RewriteInput in;
@@ -162,7 +217,19 @@ memmap::DomainId Kernel::load(const ModuleImage& image,
         // the analysis need not forfeit elision on every computed call.
         policy.computed_calls_screened = true;
       }
-      const sfi::RewriteResult res = sfi::rewrite(in, stubs, load_cursor_, policy);
+      // Rewritten size is only known per origin, so try each reclaimed hole
+      // (ascending) before falling back to the bump cursor — the fallback
+      // candidate always fits.
+      sfi::RewriteResult res;
+      for (const FlashCandidate& cand : flash_candidates()) {
+        res = sfi::rewrite(in, stubs, cand.origin, policy);
+        if (res.program.end() - res.program.origin <= cand.capacity) {
+          claim_flash(cand, res.program.end());
+          claimed_begin = res.program.origin;
+          claimed_end = res.program.end();
+          break;
+        }
+      }
       const sfi::VerifyResult v =
           sfi::verify(res.program.words, res.program.origin,
                       [&] {
@@ -183,8 +250,16 @@ memmap::DomainId Kernel::load(const ModuleImage& image,
       // UMPU/None: the binary runs unmodified; the loader only rebases
       // internal absolute references (and patches the state relocs).
       assembler::Program p;
-      p.origin = load_cursor_;
-      p.words = relocate_image(image, load_cursor_);
+      for (const FlashCandidate& cand : flash_candidates()) {
+        p.origin = cand.origin;
+        p.words = relocate_image(image, cand.origin);
+        if (p.end() - p.origin <= cand.capacity) {
+          claim_flash(cand, p.end());
+          claimed_begin = p.origin;
+          claimed_end = p.end();
+          break;
+        }
+      }
       patch_state_relocs(p.words, image.state_relocs, m.state_ptr);
       tb_.load_module_image(p, domain);
       m.base = p.origin;
@@ -192,11 +267,12 @@ memmap::DomainId Kernel::load(const ModuleImage& image,
       for (const Export& e : image.exports) m.export_addr[e.slot] = p.origin + e.offset;
     }
   } catch (...) {
-    // A rejected image must not leak the state block it will never use.
+    // A rejected image must not leak the state block — or the flash extent —
+    // it will never use.
     if (m.state_ptr != 0) tb_.free(m.state_ptr, memmap::kTrustedDomain);
+    release_flash(claimed_begin, claimed_end);
     throw;
   }
-  load_cursor_ = m.end;
 
   // Link the exports into the domain's jump table.
   for (const auto& [slot, addr] : m.export_addr) tb_.set_jt_entry(domain, slot, addr);
@@ -236,7 +312,15 @@ void Kernel::unload(memmap::DomainId d) {
   // Drop queued messages addressed to the departing module.
   for (auto qit = queue_.begin(); qit != queue_.end();)
     qit = qit->dst == d ? queue_.erase(qit) : std::next(qit);
-  dispatch_tramp_.erase(std::make_pair(d, ModuleImage::kHandlerSlot));
+  // Reclaim the module's flash extent and its dispatch trampoline: an
+  // unload/reload cycle must be flash-neutral or a long soak walks the
+  // cursor out of rjmp reach.
+  release_flash(it->second.base, it->second.end);
+  const auto tkey = std::make_pair(d, ModuleImage::kHandlerSlot);
+  if (const auto tit = dispatch_tramp_.find(tkey); tit != dispatch_tramp_.end()) {
+    release_flash(tit->second.origin, tit->second.end);
+    dispatch_tramp_.erase(tit);
+  }
   modules_.erase(it);
   images_.erase(d);
   // A domain given back to the kernel carries no history: the next tenant
@@ -367,21 +451,27 @@ std::vector<DispatchRecord> Kernel::run_pending(int max_dispatches) {
     const auto key = std::make_pair(pm.dst, ModuleImage::kHandlerSlot);
     auto tit = dispatch_tramp_.find(key);
     if (tit == dispatch_tramp_.end()) {
-      Assembler a(load_cursor_);
       const std::uint32_t entry = tb_.layout().jt_entry(pm.dst, ModuleImage::kHandlerSlot);
-      if (mode() == runtime::Mode::Sfi) {
-        // The kernel's outgoing calls into modules go through the software
-        // cross-domain stub, exactly like rewritten module code.
-        a.ldi16(r30, static_cast<std::uint16_t>(entry));
-        a.call_abs(tb_.runtime().symbol("harbor_cross_call"));
-      } else {
-        a.call_abs(entry);
+      assembler::Program p;
+      for (const FlashCandidate& cand : flash_candidates()) {
+        Assembler a(cand.origin);
+        if (mode() == runtime::Mode::Sfi) {
+          // The kernel's outgoing calls into modules go through the software
+          // cross-domain stub, exactly like rewritten module code.
+          a.ldi16(r30, static_cast<std::uint16_t>(entry));
+          a.call_abs(tb_.runtime().symbol("harbor_cross_call"));
+        } else {
+          a.call_abs(entry);
+        }
+        a.brk();
+        p = a.assemble();
+        if (p.end() - p.origin <= cand.capacity) {
+          claim_flash(cand, p.end());
+          break;
+        }
       }
-      a.brk();
-      const assembler::Program p = a.assemble();
       tb_.device().flash().load(p.words, p.origin);
-      load_cursor_ = p.end();
-      tit = dispatch_tramp_.emplace(key, p.origin).first;
+      tit = dispatch_tramp_.emplace(key, TrampRecord{p.origin, p.end()}).first;
     }
 
     Testbed::GuestArgs args;
@@ -390,7 +480,7 @@ std::vector<DispatchRecord> Kernel::run_pending(int max_dispatches) {
     args.r20 = m.state_ptr;
     if (tracer_) tracer_->sos_dispatch_begin(pm.dst, pm.msg);
     DispatchRecord rec{pm.dst, pm.msg, pm.arg,
-                       tb_.run_trampoline(tit->second, args, avr::ports::kTrustedDomain)};
+                       tb_.run_trampoline(tit->second.origin, args, avr::ports::kTrustedDomain)};
     if (tracer_)
       tracer_->sos_dispatch_end(pm.dst, pm.msg, rec.result.cycles, rec.result.faulted);
     log.push_back(rec);
@@ -451,6 +541,40 @@ memmap::DomainId Kernel::load_from_store(ota::ModuleStore& store,
   if (!image)
     throw std::runtime_error("sos: committed store image failed to deserialize");
   return load(*image, want);
+}
+
+Kernel::HostState Kernel::host_state() const {
+  HostState s;
+  s.modules = modules_;
+  s.images = images_;
+  s.restarts = restarts_;
+  s.supervisor = supervisor_;
+  s.sup = sup_;
+  s.quarantine = quarantine_;
+  s.dead_letters = dead_letters_;
+  s.round = round_;
+  s.elide_stores = elide_stores_;
+  s.queue = queue_;
+  s.load_cursor = load_cursor_;
+  s.flash_holes = flash_holes_;
+  s.dispatch_tramp = dispatch_tramp_;
+  return s;
+}
+
+void Kernel::restore_host_state(const HostState& s) {
+  modules_ = s.modules;
+  images_ = s.images;
+  restarts_ = s.restarts;
+  supervisor_ = s.supervisor;
+  sup_ = s.sup;
+  quarantine_ = s.quarantine;
+  dead_letters_ = s.dead_letters;
+  round_ = s.round;
+  elide_stores_ = s.elide_stores;
+  queue_ = s.queue;
+  load_cursor_ = s.load_cursor;
+  flash_holes_ = s.flash_holes;
+  dispatch_tramp_ = s.dispatch_tramp;
 }
 
 }  // namespace harbor::sos

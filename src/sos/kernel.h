@@ -179,12 +179,6 @@ class Kernel {
   void set_store_elision(bool on) { elide_stores_ = on; }
   [[nodiscard]] bool store_elision() const { return elide_stores_; }
 
- private:
-  void install_syscall_services();
-  void fill_default_jump_tables();
-  [[nodiscard]] int backoff_rounds(int streak) const;
-  void quarantine_domain(memmap::DomainId d, int streak);
-
   /// Per-domain supervisor state (cleared on unload: a fresh tenant starts
   /// with a clean record).
   struct Supervision {
@@ -195,6 +189,65 @@ class Kernel {
     ModuleImage image;  ///< for revive()
     int crash_streak = 0;
   };
+
+  /// A reclaimed module-flash extent, reusable by later loads. Without
+  /// reclamation every unload/reload cycle leaks flash words and a
+  /// long-horizon soak eventually pushes module bases beyond rjmp reach of
+  /// their jump-table entries.
+  struct FlashHole {
+    std::uint32_t origin = 0;
+    std::uint32_t words = 0;
+  };
+  /// One dispatch trampoline's flash extent (origin is what run_pending
+  /// calls through; the full extent is reclaimed on unload).
+  struct TrampRecord {
+    std::uint32_t origin = 0;
+    std::uint32_t end = 0;
+  };
+
+  /// Host-side kernel bookkeeping — everything System::Snapshot does NOT
+  /// capture (that one is device state only). A (System::Snapshot,
+  /// HostState) pair taken at a quiescent point is a complete fork point:
+  /// the soak harness restores both to replay divergent futures from one
+  /// soaked state (DESIGN.md §15).
+  struct HostState {
+    std::map<memmap::DomainId, LoadedModule> modules;
+    std::map<memmap::DomainId, ModuleImage> images;
+    std::map<memmap::DomainId, int> restarts;
+    SupervisorConfig supervisor;
+    std::map<memmap::DomainId, Supervision> sup;
+    std::map<memmap::DomainId, QuarantineRecord> quarantine;
+    std::deque<PendingMessage> dead_letters;
+    std::uint64_t round = 0;
+    bool elide_stores = true;
+    std::deque<PendingMessage> queue;
+    std::uint32_t load_cursor = 0;
+    std::vector<FlashHole> flash_holes;
+    std::map<std::pair<memmap::DomainId, std::uint32_t>, TrampRecord> dispatch_tramp;
+  };
+  [[nodiscard]] HostState host_state() const;
+  void restore_host_state(const HostState& s);
+
+ private:
+  void install_syscall_services();
+  void fill_default_jump_tables();
+  [[nodiscard]] int backoff_rounds(int streak) const;
+  void quarantine_domain(memmap::DomainId d, int streak);
+
+  /// Placement candidates for a module image whose final size is only known
+  /// after rewriting at a concrete origin: every reclaimed hole (ascending),
+  /// then the bump cursor (unbounded capacity).
+  struct FlashCandidate {
+    std::uint32_t origin = 0;
+    std::uint32_t capacity = 0;
+    int hole = -1;  ///< index into flash_holes_, -1 = the cursor
+  };
+  [[nodiscard]] std::vector<FlashCandidate> flash_candidates() const;
+  /// Commit a candidate for the extent [candidate.origin, end).
+  void claim_flash(const FlashCandidate& c, std::uint32_t end);
+  /// Return [origin, end) to the hole list (merging neighbours; an extent
+  /// touching the cursor rewinds it instead).
+  void release_flash(std::uint32_t origin, std::uint32_t end);
 
   runtime::Testbed tb_;
   trace::Tracer* tracer_ = nullptr;
@@ -209,7 +262,10 @@ class Kernel {
   bool elide_stores_ = true;
   std::deque<PendingMessage> queue_;
   std::uint32_t load_cursor_ = 0;      ///< next free flash word for modules
-  std::map<std::pair<memmap::DomainId, std::uint32_t>, std::uint32_t> dispatch_tramp_;
+  /// Reclaimed flash extents below the cursor (sorted by origin, disjoint,
+  /// non-adjacent); loads prefer these so unload/reload churn is flash-neutral.
+  std::vector<FlashHole> flash_holes_;
+  std::map<std::pair<memmap::DomainId, std::uint32_t>, TrampRecord> dispatch_tramp_;
 };
 
 }  // namespace harbor::sos

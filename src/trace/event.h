@@ -49,6 +49,8 @@ enum class EventKind : std::uint8_t {
   OtaRollback,       ///< interrupted install rolled back (value = journal seq, aux = slot)
   OtaRecover,        ///< reboot-time recovery verdict (aux = StoreState, value = committed seq)
   OtaErase,          ///< flash page erased (addr = page, aux = page wear clamped to 255, value = total erases)
+  OtaRemap,          ///< bad page remapped onto a spare (addr = logical page, aux = spare page, value = total remaps)
+  OtaPageBad,        ///< page failed erase-verify past endurance (addr = page, aux = wear clamped to 255, value = pages bad)
   // Soak harness (src/soak; host-side instrumentation, see DESIGN.md §14).
   SoakEpoch,         ///< epoch boundary crossed (addr = epoch, value = simulated minutes of uptime)
   SoakCheckpoint,    ///< invariant checkpoint ran (addr = epoch, value = monitors evaluated, aux = failures)

@@ -190,6 +190,22 @@ std::string perfetto_json(const Tracer& tracer) {
         begin_event(out, ev, "C", kOtaTid, e.cycle, "flash_total_erases");
         out += ",\"args\":{\"value\":" + std::to_string(e.value) + "}}";
         break;
+      case EventKind::OtaRemap:
+        begin_event(out, ev, "i", kOtaTid, e.cycle,
+                    "remap page " + std::to_string(e.addr) + " -> spare " +
+                        std::to_string(e.aux));
+        out += ",\"s\":\"g\",\"args\":{\"logical_page\":" + std::to_string(e.addr) +
+               ",\"spare_page\":" + std::to_string(e.aux) + "}}";
+        begin_event(out, ev, "C", kOtaTid, e.cycle, "flash_remaps");
+        out += ",\"args\":{\"value\":" + std::to_string(e.value) + "}}";
+        break;
+      case EventKind::OtaPageBad:
+        begin_event(out, ev, "i", kOtaTid, e.cycle,
+                    "page " + std::to_string(e.addr) + " BAD");
+        out += ",\"s\":\"g\",\"args\":{\"wear\":" + std::to_string(e.aux) + "}}";
+        begin_event(out, ev, "C", kOtaTid, e.cycle, "flash_pages_bad");
+        out += ",\"args\":{\"value\":" + std::to_string(e.value) + "}}";
+        break;
       case EventKind::SoakEpoch:
         begin_event(out, ev, "i", kSoakTid, e.cycle, "epoch " + std::to_string(e.addr));
         out += ",\"s\":\"p\",\"args\":{\"sim_minutes\":" + std::to_string(e.value) + "}}";

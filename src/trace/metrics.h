@@ -155,6 +155,9 @@ inline constexpr const char* kOtaRollbacks = "ota.rollbacks";
 inline constexpr const char* kOtaRecovers = "ota.recovers";
 inline constexpr const char* kOtaFlashErases = "ota.flash_erases";
 inline constexpr const char* kOtaFlashWearMax = "ota.flash_wear_max";
+inline constexpr const char* kOtaPagesBad = "ota.pages_bad";
+inline constexpr const char* kOtaRemaps = "ota.remaps";
+inline constexpr const char* kOtaWearSpread = "ota.wear_spread";
 inline constexpr const char* kRingDropped = "trace.ring_dropped";
 inline constexpr const char* kSoakEpochs = "soak.epochs";
 inline constexpr const char* kSoakCheckpoints = "soak.checkpoints";

@@ -42,6 +42,8 @@ const char* event_kind_name(EventKind k) {
     case EventKind::OtaRollback: return "ota-rollback";
     case EventKind::OtaRecover: return "ota-recover";
     case EventKind::OtaErase: return "ota-erase";
+    case EventKind::OtaRemap: return "ota-remap";
+    case EventKind::OtaPageBad: return "ota-page-bad";
     case EventKind::SoakEpoch: return "soak-epoch";
     case EventKind::SoakCheckpoint: return "soak-checkpoint";
     case EventKind::SoakMonitor: return "soak-monitor";
@@ -430,6 +432,27 @@ void Tracer::ota_erase(std::uint16_t page, std::uint32_t page_wear,
   e.addr = page;
   e.aux = static_cast<std::uint8_t>(page_wear > 255 ? 255 : page_wear);
   e.value = total_erases;
+  ring_.push(e);
+}
+
+void Tracer::ota_remap(std::uint16_t logical_page, std::uint8_t spare_page,
+                       std::uint32_t total_remaps) {
+  ++metrics_.counter(metric::kOtaRemaps);
+  Event e = base_event(EventKind::OtaRemap);
+  e.addr = logical_page;
+  e.aux = spare_page;
+  e.value = total_remaps;
+  ring_.push(e);
+}
+
+void Tracer::ota_page_bad(std::uint16_t page, std::uint32_t page_wear,
+                          std::uint32_t pages_bad) {
+  auto& bad = metrics_.counter(metric::kOtaPagesBad);
+  if (pages_bad > bad) bad = pages_bad;
+  Event e = base_event(EventKind::OtaPageBad);
+  e.addr = page;
+  e.aux = static_cast<std::uint8_t>(page_wear > 255 ? 255 : page_wear);
+  e.value = pages_bad;
   ring_.push(e);
 }
 

@@ -119,6 +119,8 @@ class Tracer {
   void ota_rollback(std::uint8_t slot, std::uint32_t journal_seq);
   void ota_recover(std::uint8_t state, std::uint32_t committed_seq);
   void ota_erase(std::uint16_t page, std::uint32_t page_wear, std::uint32_t total_erases);
+  void ota_remap(std::uint16_t logical_page, std::uint8_t spare_page, std::uint32_t total_remaps);
+  void ota_page_bad(std::uint16_t page, std::uint32_t page_wear, std::uint32_t pages_bad);
   // Soak harness epochs and invariant checkpoints (src/soak; DESIGN.md §14).
   void soak_epoch(std::uint16_t epoch, std::uint32_t sim_minutes);
   void soak_checkpoint(std::uint16_t epoch, std::uint32_t monitors, std::uint8_t failures);

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <set>
 #include <span>
 #include <vector>
 
@@ -297,6 +298,196 @@ TEST(OtaStore, KernelRecoveryIsWatchdogBounded) {
   auto starved = kernel.recover_store(store);
   EXPECT_EQ(starved.state, StoreState::Watchdog);
   EXPECT_EQ(starved.fault, avr::FaultKind::Watchdog);
+}
+
+// --- wear leveling & bad-page remapping (DESIGN.md §15) ------------------
+
+// 32 pages with 4 journal + 4 spare leaves 24 data pages: 4 slots x 6 pages.
+StoreLayout aged_layout() { return {.journal_pages = 4, .slots = 4, .spare_pages = 4}; }
+
+FlashConfig aged_flash(std::uint32_t endurance) {
+  FlashConfig cfg;
+  cfg.nominal_endurance = endurance;
+  // Keep the default per-page spread: with exact limits every page of a slot
+  // dies on the same install, swamping the spare pool before a single remap
+  // can help. Spread staggers the deaths (still fully seeded).
+  cfg.endurance_spread_pct = 15;
+  return cfg;
+}
+
+// One page of distinct payload per version: small enough to keep cut
+// enumeration cheap, unique so every install really stages new bits.
+std::vector<std::uint16_t> payload(std::uint16_t version) {
+  std::vector<std::uint16_t> words(64, 0x0F0F);
+  words[0] = version;
+  return words;
+}
+
+TEST(OtaStoreWear, LevelingRotatesThroughEverySlotAndBoundsSpread) {
+  FlashModel flash;
+  ModuleStore store(flash, aged_layout());
+  ASSERT_TRUE(store.wear_leveling());
+  std::set<int> visited;
+  for (std::uint16_t v = 0; v < 8; ++v) {
+    ASSERT_EQ(install_image(store, payload(v)), InstallStatus::Ok);
+    visited.insert(store.active_slot());
+  }
+  // Eight installs over four slots: the rotation visited every slot twice,
+  // so per-slot wear is level and the spread collapses.
+  EXPECT_EQ(visited.size(), 4u);
+  EXPECT_LE(store.wear_spread(), 1u);
+
+  // Degraded mode ping-pongs slots 0/1 only: the idle slots' wear freezes
+  // and the spread grows with every further install.
+  FlashModel flat;
+  ModuleStore pingpong(flat, aged_layout());
+  pingpong.set_wear_leveling(false);
+  std::set<int> narrow;
+  for (std::uint16_t v = 0; v < 8; ++v) {
+    ASSERT_EQ(install_image(pingpong, payload(v)), InstallStatus::Ok);
+    narrow.insert(pingpong.active_slot());
+  }
+  EXPECT_EQ(narrow.size(), 2u);
+  EXPECT_GT(pingpong.wear_spread(), store.wear_spread());
+}
+
+TEST(OtaStoreWear, BadPageRemapsToSpareAndSurvivesReboot) {
+  FlashModel flash(aged_flash(/*endurance=*/20), /*seed=*/5);
+  ModuleStore store(flash, aged_layout());
+  std::uint16_t v = 0;
+  while (store.remaps().empty()) {
+    ASSERT_EQ(install_image(store, payload(v)), InstallStatus::Ok) << "install " << v;
+    ASSERT_LT(++v, 200) << "no page ever wore out";
+  }
+  // The remap points a worn data page at a spare, reads route through it,
+  // and the freshly committed image is served intact.
+  for (const auto& [logical, spare] : store.remaps()) {
+    EXPECT_GE(logical, store.data_page_begin());
+    EXPECT_LT(logical, store.data_page_end());
+    EXPECT_GE(spare, store.spare_page_begin());
+    EXPECT_LT(spare, flash.pages());
+    EXPECT_FALSE(flash.bad(spare));
+    EXPECT_EQ(store.phys_page(logical), spare);
+  }
+  const auto committed = store.committed_image();
+  ASSERT_TRUE(committed.has_value());
+  EXPECT_EQ(*committed, payload(static_cast<std::uint16_t>(v - 1)));
+
+  // Reboot: recover() replays the journaled Remap records, so the fresh
+  // store sees the same table and the same image through it.
+  ModuleStore rebooted(flash, aged_layout());
+  EXPECT_EQ(rebooted.remaps(), store.remaps());
+  EXPECT_EQ(rebooted.committed_image(), committed);
+}
+
+TEST(OtaStoreWear, RemapIsOldOrNewAcrossEveryCut) {
+  // Find the install that seals the first Remap record, then cut every
+  // flash operation inside it: each reboot must recover either the previous
+  // committed payload or the new one — never a hybrid, and never a remap
+  // table pointing at a dead spare.
+  const std::uint64_t kSeed = 5;
+  std::uint16_t trigger = 0;
+  std::uint64_t ops_before = 0, ops_after = 0;
+  {
+    FlashModel flash(aged_flash(20), kSeed);
+    ModuleStore store(flash, aged_layout());
+    while (store.remaps().empty()) {
+      ops_before = flash.ops();
+      ASSERT_EQ(install_image(store, payload(trigger)), InstallStatus::Ok);
+      ASSERT_LT(++trigger, 200);
+    }
+    ops_after = flash.ops();
+  }
+  ASSERT_GT(trigger, 1);
+  for (std::uint64_t cut = ops_before + 1; cut <= ops_after; ++cut) {
+    FlashModel flash(aged_flash(20), kSeed);
+    ModuleStore store(flash, aged_layout());
+    for (std::uint16_t v = 0; v + 1 < trigger; ++v)
+      ASSERT_EQ(install_image(store, payload(v)), InstallStatus::Ok);
+    flash.set_cut_at(cut - flash.ops());
+    (void)install_image(store, payload(static_cast<std::uint16_t>(trigger - 1)));
+    ASSERT_TRUE(flash.powered_off()) << "cut " << cut;
+    flash.power_cycle();
+
+    ModuleStore after(flash, aged_layout());
+    ASSERT_EQ(after.last_recovery().state, StoreState::Committed) << "cut " << cut;
+    const auto img = after.committed_image();
+    ASSERT_TRUE(img.has_value()) << "cut " << cut;
+    EXPECT_TRUE(*img == payload(static_cast<std::uint16_t>(trigger - 2)) ||
+                *img == payload(static_cast<std::uint16_t>(trigger - 1)))
+        << "hybrid at cut " << cut;
+    for (const auto& [logical, spare] : after.remaps()) {
+      EXPECT_GE(spare, after.spare_page_begin()) << "cut " << cut;
+      EXPECT_FALSE(flash.bad(spare)) << "cut " << cut;
+    }
+  }
+}
+
+TEST(OtaStoreWear, WornOutWhenNoGoodSpareRemainsOldImageStillServed) {
+  FlashConfig cfg = aged_flash(/*endurance=*/20);
+  FlashModel flash(cfg, /*seed=*/5);
+  // One spare: once it (and a data page) are gone, the next failed erase
+  // verify has nowhere to go.
+  ModuleStore store(flash, {.journal_pages = 4, .slots = 4, .spare_pages = 1});
+  std::uint16_t v = 0;
+  InstallStatus last = InstallStatus::Ok;
+  while (last == InstallStatus::Ok && v < 200) {
+    last = install_image(store, payload(v));
+    if (last == InstallStatus::Ok) ++v;
+  }
+  EXPECT_EQ(last, InstallStatus::WornOut);
+  ASSERT_GT(v, 4);  // the store survived well past one rotation first
+  // The failed install targeted a non-active slot: the last committed
+  // payload is still served, end-of-life degrades, it does not destroy.
+  ASSERT_TRUE(store.has_committed());
+  EXPECT_EQ(store.committed_image(), payload(static_cast<std::uint16_t>(v - 1)));
+}
+
+// --- double-journal corruption (factory-safe state) ----------------------
+
+TEST(OtaStore, DoubleJournalCorruptionIsFactorySafeAndBounded) {
+  // Corrupt EVERY record slot in BOTH journal halves (magic byte destroyed,
+  // so each record is invisible to recovery, same as a torn append). This
+  // is beyond the journal's fault model — old-or-new only covers one torn
+  // half — so the documented factory-safe state applies: recovery reports
+  // Empty (no committed module, no pending install) rather than serving a
+  // possibly-bogus image, boot stays watchdog-bounded, and the very next
+  // install compacts into a freshly erased half and works.
+  FlashModel flash;
+  {
+    ModuleStore store(flash);
+    ASSERT_EQ(install_image(store, blink_words()), InstallStatus::Ok);
+  }
+  const std::uint32_t half_words = flash.page_words();  // journal_pages 2: 1 page per half
+  for (int half = 0; half < 2; ++half) {
+    const std::uint32_t base = static_cast<std::uint32_t>(half) * half_words;
+    const std::uint32_t records = half_words / ModuleStore::kRecordWords;
+    for (std::uint32_t idx = 0; idx < records; ++idx)
+      (void)flash.program_word(base + idx * ModuleStore::kRecordWords, 0x0000);
+  }
+
+  ModuleStore after(flash);
+  EXPECT_EQ(after.last_recovery().state, StoreState::Empty);
+  EXPECT_FALSE(after.has_committed());
+  EXPECT_FALSE(after.last_recovery().pending.has_value());
+  EXPECT_FALSE(after.committed_image().has_value());
+
+  // Watchdog bound holds even on the all-corrupt journal walk.
+  sos::Kernel kernel(runtime::Mode::Umpu);
+  ModuleStore fresh(flash);
+  EXPECT_EQ(kernel.recover_store(fresh).state, StoreState::Empty);
+  kernel.sys().set_cycle_budget(sos::Kernel::kCyclesPerFlashOp * 2);
+  ModuleStore starved(flash);
+  const auto r = kernel.recover_store(starved);
+  EXPECT_EQ(r.state, StoreState::Watchdog);
+  EXPECT_EQ(r.fault, avr::FaultKind::Watchdog);
+
+  // Factory state is live: a new install round-trips.
+  ModuleStore reuse(flash);
+  const auto v2 = tree_words();
+  ASSERT_EQ(install_image(reuse, v2), InstallStatus::Ok);
+  ModuleStore reread(flash);
+  EXPECT_EQ(reread.committed_image(), v2);
 }
 
 }  // namespace

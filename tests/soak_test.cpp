@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -235,6 +236,98 @@ TEST(SoakRun, DeterministicAcrossRuns) {
   (void)soak::run_soak(cfg, &a);
   (void)soak::run_soak(cfg, &b);
   EXPECT_EQ(a.str(), b.str());
+}
+
+// --- aging scenario & degraded-mode self-test (DESIGN.md §15) ------------
+
+std::uint64_t last_counter(const soak::SoakReport& rep, const std::string& name) {
+  for (const auto& [n, v] : rep.records.back().counters)
+    if (n == name) return v;
+  return 0;
+}
+
+TEST(SoakAging, DrivesPagesPastEndOfLifeWithAllMonitorsPassing) {
+  soak::SoakConfig cfg;
+  cfg.scenario = soak::SoakScenario::Aging;
+  cfg.hours = 36.0;
+  cfg.seed = 7;
+  cfg.flash_endurance = 8;  // accelerated: pages die within the horizon
+  const soak::SoakReport rep = soak::run_soak(cfg);
+
+  EXPECT_TRUE(rep.ok) << rep.failure;
+  EXPECT_EQ(rep.scenario_name, "aging");
+  const soak::WearRecord& wear = rep.records.back().wear;
+  EXPECT_GE(wear.pages_bad, 1u) << "no page reached end-of-life";
+  EXPECT_GE(wear.remaps, 1u) << "no bad page was ever remapped";
+  EXPECT_GE(wear.spares_in_use, 1u);
+  EXPECT_LE(wear.spread, wear.spread_budget);
+  EXPECT_EQ(wear.pages_bad, last_counter(rep, "flash_pages_bad"));
+  EXPECT_EQ(wear.remaps, last_counter(rep, "ota_remaps"));
+  // Aging tolerates failed installs (the old image keeps serving), but the
+  // store must keep taking most of them.
+  EXPECT_GT(last_counter(rep, "ota_installs"), 0u);
+}
+
+TEST(SoakAging, WeakenedModeFailsTheWearSpreadMonitor) {
+  soak::SoakConfig cfg;
+  cfg.scenario = soak::SoakScenario::Aging;
+  cfg.hours = 40.0;
+  cfg.seed = 7;
+  cfg.weakened = true;  // no leveling, no remap: the monitors must notice
+  const soak::SoakReport rep = soak::run_soak(cfg);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.failure.find("wear_spread"), std::string::npos) << rep.failure;
+}
+
+TEST(SoakScenarios, BurstyAndPowerStormShapeTheRunAndStayClean) {
+  auto run = [](soak::SoakScenario s) {
+    soak::SoakConfig cfg;
+    cfg.scenario = s;
+    cfg.hours = 8.0;
+    cfg.seed = 3;
+    return soak::run_soak(cfg);
+  };
+  const soak::SoakReport steady = run(soak::SoakScenario::Steady);
+  const soak::SoakReport bursty = run(soak::SoakScenario::Bursty);
+  const soak::SoakReport storm = run(soak::SoakScenario::PowerStorm);
+  EXPECT_TRUE(steady.ok) << steady.failure;
+  EXPECT_TRUE(bursty.ok) << bursty.failure;
+  EXPECT_TRUE(storm.ok) << storm.failure;
+  EXPECT_EQ(bursty.scenario_name, "bursty");
+  EXPECT_EQ(storm.scenario_name, "power-storm");
+  // Heavy phases double the OTA traffic; storm windows force extra cuts.
+  EXPECT_GT(last_counter(bursty, "ota_installs"), last_counter(steady, "ota_installs"));
+  EXPECT_GT(last_counter(storm, "power_cuts"), last_counter(steady, "power_cuts"));
+}
+
+TEST(SoakForks, DivergentFuturesDifferButStayHealthy) {
+  soak::SoakConfig cfg;
+  cfg.scenario = soak::SoakScenario::Aging;
+  cfg.hours = 12.0;
+  cfg.seed = 7;
+  cfg.flash_endurance = 16;
+  cfg.forks = 3;
+  cfg.fork_epochs = 2;
+  const soak::SoakReport rep = soak::run_soak(cfg);
+  EXPECT_TRUE(rep.ok) << rep.failure;
+  ASSERT_EQ(rep.forks.size(), 3u);
+  std::set<std::uint64_t> digests;
+  for (const soak::ForkRecord& f : rep.forks) {
+    EXPECT_TRUE(f.monitors_ok) << f.failure;
+    EXPECT_EQ(f.epochs, 2);
+    digests.insert(f.digest);
+  }
+  // Different derived seeds: the futures genuinely diverged.
+  EXPECT_EQ(digests.size(), 3u);
+  // And forking is reproducible: same config, same futures.
+  const soak::SoakReport again = soak::run_soak(cfg);
+  ASSERT_EQ(again.forks.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(again.forks[i].digest, rep.forks[i].digest) << "fork " << i;
+  // Fork records render as a soak-forks-v1 document, never as JSONL lines.
+  const std::string doc = soak::forks_json(rep);
+  EXPECT_NE(doc.find("\"schema\":\"soak-forks-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"digest\""), std::string::npos);
 }
 
 }  // namespace

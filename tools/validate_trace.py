@@ -28,7 +28,13 @@ dump: schema conformance plus the guard-floor / recovery-path gates.
 line against the soak_report schema, epoch numbers matching the line
 index, non-decreasing sim_hours and cumulative counters across epochs,
 at least one checkpoint epoch carrying the full monitor registry, and
-every monitor verdict ok.
+every monitor verdict ok. Flash end-of-life facts in each record's `wear`
+object get their own gates: pages_bad / remaps / max / spares_in_use
+never decrease (pages don't heal, remaps aren't undone), spread_budget
+is stream-constant, spares_in_use <= remaps, and the wear fields agree
+with their counter mirrors. `--soak-self-test` proves those gates bite:
+a synthetic good stream must pass and nine seeded corruptions must each
+be rejected.
 `--lint REPORT.json` validates a harbor-lint static-analysis report:
 schema conformance, finding counts consistent with the findings list,
 and — when an elision section is present — that the elidable count
@@ -285,14 +291,20 @@ def validate_soak_report(path, schemas):
     validate(records, {"type": "array", "items": schemas["soak_report"]}, label)
 
     mode = records[0]["mode"]
+    scenario = records[0]["scenario"]
+    spread_budget = records[0]["wear"]["spread_budget"]
     prev_hours = -1.0
     prev_counters = {}
+    prev_wear = {}
     checkpoints = 0
     registry_size = None
     for i, rec in enumerate(records):
         rlabel = f"{label}[epoch {i}]"
         if rec["mode"] != mode:
             fail(f"{rlabel}: mode {rec['mode']!r} differs from stream mode {mode!r}")
+        if rec["scenario"] != scenario:
+            fail(f"{rlabel}: scenario {rec['scenario']!r} differs from stream "
+                 f"scenario {scenario!r}")
         if rec["epoch"] != i:
             fail(f"{rlabel}: epoch number {rec['epoch']} != line index {i}")
         if rec["sim_hours"] < prev_hours:
@@ -305,6 +317,28 @@ def validate_soak_report(path, schemas):
                 fail(f"{rlabel}: cumulative counter {name!r} fell from "
                      f"{prev_counters[name]} to {value}")
         prev_counters.update(rec["counters"])
+        # Flash end-of-life facts: a page never heals, a remap is never undone,
+        # wear never shrinks. (spread alone is legitimately non-monotone — a
+        # leveled install can narrow it — which is why wear lives beside the
+        # counters object instead of inside it.)
+        wear = rec["wear"]
+        if wear["spread_budget"] != spread_budget:
+            fail(f"{rlabel}: wear.spread_budget changed mid-stream "
+                 f"({spread_budget} -> {wear['spread_budget']})")
+        for name in ("max", "pages_bad", "remaps", "spares_in_use"):
+            if wear[name] < prev_wear.get(name, 0):
+                fail(f"{rlabel}: wear.{name} fell from "
+                     f"{prev_wear[name]} to {wear[name]}")
+        prev_wear = wear
+        if wear["spares_in_use"] > wear["remaps"]:
+            fail(f"{rlabel}: {wear['spares_in_use']} spare(s) in use but only "
+                 f"{wear['remaps']} remap event(s)")
+        for wkey, ckey in (("pages_bad", "flash_pages_bad"),
+                           ("remaps", "ota_remaps"),
+                           ("max", "flash_max_wear")):
+            if ckey in rec["counters"] and rec["counters"][ckey] != wear[wkey]:
+                fail(f"{rlabel}: wear.{wkey} {wear[wkey]} disagrees with "
+                     f"counter {ckey!r} {rec['counters'][ckey]}")
         if rec["checkpoint"]:
             checkpoints += 1
             monitors = rec["monitors"]
@@ -324,13 +358,110 @@ def validate_soak_report(path, schemas):
         fail(f"{label}: no checkpoint epoch in the stream")
     if not records[-1]["checkpoint"]:
         fail(f"{label}: final epoch is not a checkpoint")
-    print(f"validate_trace: soak report OK — mode {mode}, {len(records)} "
-          f"epoch(s) / {prev_hours:g} sim hours, {checkpoints} checkpoint(s), "
-          f"{registry_size} monitor(s) all passing")
+    print(f"validate_trace: soak report OK — mode {mode}, scenario {scenario}, "
+          f"{len(records)} epoch(s) / {prev_hours:g} sim hours, "
+          f"{checkpoints} checkpoint(s), {registry_size} monitor(s) all passing, "
+          f"{prev_wear['pages_bad']} bad page(s) / {prev_wear['remaps']} remap(s)")
+
+
+def soak_selftest(schemas):
+    """Negative self-test for the --soak checks: a synthetic good stream must
+    pass, and each seeded corruption (healed bad page, undone remap, shrinking
+    wear, drifting spread budget, wear/counter disagreement, missing wear
+    object, scenario flip) must be rejected."""
+    import contextlib
+    import copy
+    import io
+    import tempfile
+
+    def record(epoch, checkpoint, wear, counters):
+        monitors = [{"id": 0, "name": "ota_store", "ok": True,
+                     "value": 1, "detail": ""}] if checkpoint else []
+        return {"schema": "soak-report-v1", "mode": "umpu", "scenario": "aging",
+                "epoch": epoch, "sim_hours": float(epoch + 1),
+                "checkpoint": checkpoint, "counters": counters, "wear": wear,
+                "monitors": monitors}
+
+    def wear(mx, spread, bad, remaps, spares):
+        return {"max": mx, "spread": spread, "spread_budget": 16,
+                "pages_bad": bad, "remaps": remaps, "spares_in_use": spares}
+
+    good = [
+        record(0, False, wear(4, 1, 0, 0, 0),
+               {"ota_installs": 1, "flash_pages_bad": 0, "ota_remaps": 0,
+                "flash_max_wear": 4}),
+        record(1, True, wear(9, 2, 1, 1, 1),
+               {"ota_installs": 2, "flash_pages_bad": 1, "ota_remaps": 1,
+                "flash_max_wear": 9}),
+        record(2, True, wear(14, 1, 2, 3, 2),
+               {"ota_installs": 3, "flash_pages_bad": 2, "ota_remaps": 3,
+                "flash_max_wear": 14}),
+    ]
+
+    def run(records):
+        """Returns None on acceptance, the failure exit code on rejection."""
+        with tempfile.NamedTemporaryFile("w", suffix=".jsonl",
+                                         delete=False) as f:
+            path = f.name
+            for rec in records:
+                f.write(json.dumps(rec) + "\n")
+        try:
+            with contextlib.redirect_stdout(io.StringIO()), \
+                 contextlib.redirect_stderr(io.StringIO()):
+                validate_soak_report(path, schemas)
+            return None
+        except SystemExit as e:
+            return e.code
+        finally:
+            os.unlink(path)
+
+    if run(good) is not None:
+        fail("soak self-test: the known-good stream was rejected")
+
+    def corrupt(name, mutate):
+        bad = copy.deepcopy(good)
+        mutate(bad)
+        if run(bad) is None:
+            fail(f"soak self-test: corruption {name!r} was NOT rejected")
+
+    def healed_page(r):
+        r[2]["wear"]["pages_bad"] = 0
+        r[2]["counters"]["flash_pages_bad"] = 0
+
+    def undone_remap(r):
+        r[2]["wear"]["remaps"] = 0
+        r[2]["counters"]["ota_remaps"] = 0
+
+    def shrinking_wear(r):
+        r[2]["wear"]["max"] = 3
+        r[2]["counters"]["flash_max_wear"] = 3
+
+    corrupt("healed bad page", healed_page)
+    corrupt("undone remap", undone_remap)
+    corrupt("shrinking wear", shrinking_wear)
+    corrupt("drifting spread budget",
+            lambda r: r[1]["wear"].__setitem__("spread_budget", 32))
+    corrupt("wear/counter disagreement",
+            lambda r: r[2]["counters"].__setitem__("flash_pages_bad", 5))
+    corrupt("orphan spares",
+            lambda r: r[2]["wear"].__setitem__("spares_in_use", 7))
+    corrupt("missing wear object", lambda r: r[1].pop("wear"))
+    corrupt("scenario flip",
+            lambda r: r[2].__setitem__("scenario", "steady"))
+    corrupt("failing monitor",
+            lambda r: r[2]["monitors"][0].__setitem__("ok", False))
+    print("validate_trace: soak self-test OK — good stream accepted, "
+          "9 seeded corruptions rejected")
 
 
 def main():
     args = list(sys.argv[1:])
+    if "--soak-self-test" in args:
+        args.remove("--soak-self-test")
+        here = os.path.dirname(os.path.abspath(__file__))
+        soak_selftest(load(os.path.join(here, "trace_schema.json")))
+        if not args:
+            return 0
     inject_paths = []
     while "--inject" in args:
         i = args.index("--inject")
