@@ -1,0 +1,81 @@
+// Fleet dissemination benchmarks, in two tables:
+//
+//   "fleet"       deterministic protocol-efficiency numbers for a 48-node
+//                 grid campaign at 0/10/30% loss — convergence tick, frames
+//                 on the air, installs, and journal resumes. Seeded, so any
+//                 drift means the protocol changed, not the host.
+//   "fleet rate"  host throughput (events/s, node-ticks/s) for the same
+//                 campaign — RATE_RULES in tools/bench_trend.py treats it as
+//                 higher-is-better with a wide tolerance.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fleet/sim.h"
+
+using namespace harbor;
+
+namespace {
+
+struct CampaignNumbers {
+  fleet::FleetResult res;
+  double secs = 0.0;
+};
+
+CampaignNumbers run_campaign(double loss, const char* label) {
+  fleet::FleetConfig cfg;
+  cfg.nodes = 48;
+  cfg.topology = fleet::Topology::Grid;
+  cfg.loss = loss;
+  cfg.cut_prob = 0.2;
+  cfg.master_seed = 1;
+  cfg.mode = ProtectionMode::Umpu;
+
+  fleet::FleetSim sim(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  CampaignNumbers out;
+  out.res = sim.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  out.secs = std::chrono::duration<double>(t1 - t0).count();
+
+  if (!out.res.ok())
+    std::fprintf(stderr, "bench_fleet: WARNING: %s campaign failed a monitor\n",
+                 label);
+  std::printf("%s: converged tick %llu, %llu frames, %llu installs, %.3f s host\n",
+              label, static_cast<unsigned long long>(out.res.converged_tick),
+              static_cast<unsigned long long>(out.res.radio.frames_sent),
+              static_cast<unsigned long long>(out.res.totals.installs), out.secs);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  struct Point {
+    double loss;
+    const char* label;
+  };
+  const Point points[] = {{0.0, "loss 0%"}, {0.10, "loss 10%"}, {0.30, "loss 30%"}};
+
+  std::vector<bench::Row> rows, rate_rows;
+  for (const Point& p : points) {
+    const CampaignNumbers n = run_campaign(p.loss, p.label);
+    rows.push_back({p.label,
+                    {static_cast<double>(n.res.converged_tick),
+                     static_cast<double>(n.res.radio.frames_sent),
+                     static_cast<double>(n.res.totals.installs),
+                     static_cast<double>(n.res.totals.resumes)}});
+    const double events_per_s =
+        n.secs > 0 ? static_cast<double>(n.res.events_processed) / n.secs : 0.0;
+    const double node_ticks_per_s =
+        n.secs > 0 ? static_cast<double>(n.res.end_tick) * 48.0 / n.secs : 0.0;
+    rate_rows.push_back({p.label, {events_per_s, node_ticks_per_s}});
+  }
+
+  bench::print_table("fleet: 48-node grid dissemination vs loss",
+                     {"converge-tick", "frames", "installs", "resumes"}, rows);
+  bench::print_table("fleet rate: campaign host throughput",
+                     {"events/s", "node-ticks/s"}, rate_rows);
+  return 0;
+}

@@ -1,0 +1,279 @@
+// harbor-fleet: fleet-scale OTA dissemination campaign (DESIGN.md §16).
+//
+//   harbor-fleet [--nodes N] [--loss P] [--topology line|grid|random]
+//                [--churn F] [--partition] [--cut-prob P] [--seed S]
+//                [--mode umpu|sfi|none|both] [--full-every K] [--degree D]
+//                [--pad-words W] [--max-ticks T] [--checkpoint-every N]
+//                [--out DIR]
+//
+// Simulates N sensor nodes on a lossy broadcast topology, all provisioned
+// with the v1 fleet module. At a fixed tick the origin node learns v2; the
+// update then spreads epidemically — Trickle-suppressed advertisements,
+// neighbour chunk-sharing with CRC'd frames and seeded-jitter retries —
+// while the campaign injects power cuts at random flash-op boundaries
+// mid-install (--cut-prob), kills and revives nodes (--churn), and
+// optionally cuts the fleet in half around the injection so the halves
+// heal into a mixed-version fleet (--partition). The fleet monitor
+// registry then asserts convergence, the fleet-wide old-or-new guarantee,
+// and that partition healing never regressed a version.
+//
+// Outputs per mode under --out (default fleet_out/):
+//   fleet_<mode>.jsonl          one fleet-report-v1 record per checkpoint
+//                               (tools/validate_trace.py --fleet checks these)
+//   fleet_<mode>_timeline.json  Perfetto timeline: one track per node
+//                               (fetch slices, commit/power instants) plus
+//                               fleet-wide convergence counter tracks
+//   fleet_<mode>_metrics.json   flat end-of-campaign counter dump
+//
+// Exit status: 0 when every fleet monitor passed in every mode, 1 on any
+// monitor failure or unknown name, 2 on malformed usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fleet/sim.h"
+#include "trace/json.h"
+
+using namespace harbor;
+
+namespace {
+
+int fail_usage() {
+  std::fprintf(
+      stderr,
+      "usage: harbor-fleet [--nodes N] [--loss P] [--topology line|grid|random]\n"
+      "                    [--churn F] [--partition] [--cut-prob P] [--seed S]\n"
+      "                    [--mode umpu|sfi|none|both] [--full-every K]\n"
+      "                    [--degree D] [--pad-words W] [--max-ticks T]\n"
+      "                    [--checkpoint-every N] [--out DIR]\n");
+  return 2;
+}
+
+int fail_bad_name(const char* flag, const std::string& got,
+                  const std::vector<std::string>& valid) {
+  std::fprintf(stderr, "harbor-fleet: unknown %s '%s'; valid names:", flag,
+               got.c_str());
+  for (const std::string& v : valid) std::fprintf(stderr, " %s", v.c_str());
+  std::fprintf(stderr, "\n");
+  return 1;
+}
+
+void write_file(const std::filesystem::path& p, const std::string& content) {
+  std::ofstream out(p);
+  out << content;
+  std::printf("  wrote %s (%zu bytes)\n", p.string().c_str(), content.size());
+}
+
+std::string metrics_json(const fleet::FleetResult& res) {
+  std::string out = "{";
+  trace::json::Joiner j(out);
+  trace::json::kv(out, j, "converged", res.converged);
+  trace::json::kv(out, j, "converged_tick", res.converged_tick);
+  trace::json::kv(out, j, "end_tick", res.end_tick);
+  trace::json::kv(out, j, "newest_version",
+                  static_cast<std::uint64_t>(res.newest_version));
+  char dig[24];
+  std::snprintf(dig, sizeof dig, "%016llx",
+                static_cast<unsigned long long>(res.digest));
+  trace::json::kv(out, j, "digest", std::string(dig));
+  trace::json::kv(out, j, "events", res.events_processed);
+  trace::json::kv(out, j, "frames_sent", res.radio.frames_sent);
+  trace::json::kv(out, j, "frames_delivered", res.radio.frames_delivered);
+  trace::json::kv(out, j, "frames_dropped", res.radio.frames_dropped);
+  trace::json::kv(out, j, "frames_corrupted", res.radio.frames_corrupted);
+  trace::json::kv(out, j, "frames_duplicated", res.radio.frames_duplicated);
+  trace::json::kv(out, j, "partition_blocked", res.radio.partition_blocked);
+  trace::json::kv(out, j, "adverts", res.totals.adverts);
+  trace::json::kv(out, j, "reqs", res.totals.reqs);
+  trace::json::kv(out, j, "chunks_served", res.totals.chunks_served);
+  trace::json::kv(out, j, "chunks_staged", res.totals.chunks_staged);
+  trace::json::kv(out, j, "installs", res.totals.installs);
+  trace::json::kv(out, j, "resumes", res.totals.resumes);
+  trace::json::kv(out, j, "fetch_aborts", res.totals.fetch_aborts);
+  trace::json::kv(out, j, "power_cuts", res.totals.power_cuts);
+  trace::json::kv(out, j, "reboots", res.totals.reboots);
+  trace::json::kv(out, j, "deaths", res.totals.deaths);
+  trace::json::kv(out, j, "dispatch_checks", res.totals.dispatch_checks);
+  trace::json::kv(out, j, "dispatch_failures", res.totals.dispatch_failures);
+  out += '}';
+  return out;
+}
+
+int run_mode(ProtectionMode mode, const fleet::FleetConfig& base,
+             const std::filesystem::path& dir) {
+  fleet::FleetConfig cfg = base;
+  cfg.mode = mode;
+  const char* mode_name = mode == ProtectionMode::Sfi    ? "sfi"
+                          : mode == ProtectionMode::None ? "none"
+                                                         : "umpu";
+
+  fleet::FleetSim sim(cfg);
+  std::ofstream jsonl(dir / ("fleet_" + std::string(mode_name) + ".jsonl"));
+  int records = 0;
+  const fleet::FleetResult res = sim.run([&](const std::string& line) {
+    jsonl << line << '\n';
+    ++records;
+  });
+  jsonl.close();
+
+  std::printf(
+      "harbor-fleet: mode=%s nodes=%u topology=%s loss=%.0f%% cut-prob=%.0f%% "
+      "churn=%.0f%%%s seed=%llu\n",
+      mode_name, cfg.nodes, fleet::topology_name(cfg.topology), 100 * cfg.loss,
+      100 * cfg.cut_prob, 100 * cfg.churn, cfg.partition ? " partition" : "",
+      static_cast<unsigned long long>(cfg.master_seed));
+  std::printf(
+      "  %s at tick %llu (%llu events); digest %016llx\n",
+      res.converged ? "converged" : "DID NOT CONVERGE",
+      static_cast<unsigned long long>(res.converged ? res.converged_tick
+                                                    : res.end_tick),
+      static_cast<unsigned long long>(res.events_processed),
+      static_cast<unsigned long long>(res.digest));
+  std::printf(
+      "  radio: %llu sent, %llu delivered, %llu dropped, %llu corrupted\n",
+      static_cast<unsigned long long>(res.radio.frames_sent),
+      static_cast<unsigned long long>(res.radio.frames_delivered),
+      static_cast<unsigned long long>(res.radio.frames_dropped),
+      static_cast<unsigned long long>(res.radio.frames_corrupted));
+  std::printf(
+      "  fleet: %llu installs (%llu resumed), %llu power cuts, %llu reboots, "
+      "%llu deaths, %llu dispatch checks\n",
+      static_cast<unsigned long long>(res.totals.installs),
+      static_cast<unsigned long long>(res.totals.resumes),
+      static_cast<unsigned long long>(res.totals.power_cuts),
+      static_cast<unsigned long long>(res.totals.reboots),
+      static_cast<unsigned long long>(res.totals.deaths),
+      static_cast<unsigned long long>(res.totals.dispatch_checks));
+  for (const fleet::FleetMonitorResult& m : res.monitors)
+    std::printf("  monitor %-15s %s (value %llu): %s\n", m.name.c_str(),
+                m.ok ? "ok  " : "FAIL",
+                static_cast<unsigned long long>(m.value), m.detail.c_str());
+
+  std::printf("  wrote %s (%d records)\n",
+              (dir / ("fleet_" + std::string(mode_name) + ".jsonl")).string().c_str(),
+              records);
+  write_file(dir / ("fleet_" + std::string(mode_name) + "_timeline.json"),
+             trace::perfetto_timeline_json(sim.timeline()));
+  write_file(dir / ("fleet_" + std::string(mode_name) + "_metrics.json"),
+             metrics_json(res));
+
+  if (!res.ok()) {
+    std::fprintf(stderr, "harbor-fleet: FAIL (%s): fleet monitor violation\n",
+                 mode_name);
+    return 1;
+  }
+  std::printf("harbor-fleet: OK (%s) — every fleet monitor passed\n", mode_name);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode_arg = "both";
+  std::string out = "fleet_out";
+  fleet::FleetConfig cfg;
+  cfg.nodes = 32;
+  cfg.loss = 0.1;
+  cfg.cut_prob = 0.2;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--nodes") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      cfg.nodes = static_cast<std::uint32_t>(std::atoi(v));
+      if (cfg.nodes < 2) return fail_usage();
+    } else if (arg == "--loss") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      cfg.loss = std::atof(v);
+      if (cfg.loss < 0 || cfg.loss >= 1) return fail_usage();
+    } else if (arg == "--topology") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      const std::string name = v;
+      if (name == "line") {
+        cfg.topology = fleet::Topology::Line;
+      } else if (name == "grid") {
+        cfg.topology = fleet::Topology::Grid;
+      } else if (name == "random") {
+        cfg.topology = fleet::Topology::Random;
+      } else {
+        return fail_bad_name("--topology", name, {"line", "grid", "random"});
+      }
+    } else if (arg == "--churn") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      cfg.churn = std::atof(v);
+      if (cfg.churn < 0 || cfg.churn > 1) return fail_usage();
+    } else if (arg == "--partition") {
+      cfg.partition = true;
+    } else if (arg == "--cut-prob") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      cfg.cut_prob = std::atof(v);
+      if (cfg.cut_prob < 0 || cfg.cut_prob > 1) return fail_usage();
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      cfg.master_seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--mode") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      mode_arg = v;
+    } else if (arg == "--full-every") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      cfg.full_every = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--degree") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      cfg.degree = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--pad-words") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      cfg.image_pad_words = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--max-ticks") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      cfg.max_ticks = static_cast<std::uint64_t>(std::atoll(v));
+      if (cfg.max_ticks == 0) return fail_usage();
+    } else if (arg == "--checkpoint-every") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      cfg.checkpoint_every = static_cast<std::uint64_t>(std::atoll(v));
+      if (cfg.checkpoint_every == 0) return fail_usage();
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return fail_usage();
+      out = v;
+    } else {
+      return fail_usage();
+    }
+  }
+
+  std::vector<ProtectionMode> modes;
+  if (mode_arg == "umpu") {
+    modes = {ProtectionMode::Umpu};
+  } else if (mode_arg == "sfi") {
+    modes = {ProtectionMode::Sfi};
+  } else if (mode_arg == "none") {
+    modes = {ProtectionMode::None};
+  } else if (mode_arg == "both") {
+    modes = {ProtectionMode::Umpu, ProtectionMode::Sfi};
+  } else {
+    return fail_bad_name("--mode", mode_arg, {"umpu", "sfi", "none", "both"});
+  }
+
+  const std::filesystem::path dir(out);
+  std::filesystem::create_directories(dir);
+
+  int rc = 0;
+  for (const ProtectionMode m : modes) rc |= run_mode(m, cfg, dir);
+  return rc;
+}

@@ -1,0 +1,87 @@
+#pragma once
+// Shared seeded PRNG idioms (header-only, dependency-free).
+//
+// Three generators grew up independently across the repo — xorshift64 in the
+// soak scheduler, the splitmix64 finalizer in the flash model's fault masks,
+// and the inject planner's campaign generator — all for the same reason:
+// campaign results must be bit-identical across hosts and replayable from a
+// single seed. This header is the one home for those idioms:
+//
+//   mix64(x)               splitmix64 finalizer: a stateless avalanche hash.
+//                          Use it when a value must be a *pure function* of
+//                          its inputs (per-page fault masks, digests) so the
+//                          result is independent of operation ordering.
+//   xorshift64_next(s)     the classic xorshift64 step, state in-out. The
+//                          soak scheduler's historical stream, kept
+//                          bit-identical so existing seeds replay.
+//   Prng                   a tiny stateful generator over mix64 (splitmix64
+//                          proper: a counter through the finalizer). Every
+//                          draw is decoupled from every other stream.
+//   derive(master, id)     derived-stream seeds: one fleet master seed fans
+//                          out into per-node / per-link / per-purpose seeds
+//                          with no correlation between streams.
+//
+// std::mt19937_64 stays appropriate where a *long-period* stream feeds many
+// correlated decisions (the lossy link); these helpers cover the seeded
+// campaign/derivation cases where small state and purity matter.
+
+#include <cstdint>
+
+namespace harbor::core {
+
+/// splitmix64 finalizer (Steele et al.): full-avalanche 64-bit mix.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// xorshift64 step: mutates `s`, returns the new value. A zero state is a
+/// fixed point, so seed with something non-zero (Prng handles that for you).
+constexpr std::uint64_t xorshift64_next(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+/// Derive an independent stream seed from a master seed and a stream id
+/// (node id, link id, purpose tag). Never returns 0, so the result is always
+/// a valid xorshift64 state too.
+[[nodiscard]] constexpr std::uint64_t derive(std::uint64_t master, std::uint64_t stream) {
+  const std::uint64_t s = mix64(master ^ mix64(stream));
+  return s ? s : 0x9E3779B97F4A7C15ULL;
+}
+
+/// Two-level derivation for (node, purpose)-style streams.
+[[nodiscard]] constexpr std::uint64_t derive(std::uint64_t master, std::uint64_t a,
+                                             std::uint64_t b) {
+  return derive(derive(master, a), b);
+}
+
+/// splitmix64 proper: a counter pushed through mix64. 2^64 period, 8 bytes
+/// of state, and trivially seedable — the campaign-planner generator.
+class Prng {
+ public:
+  constexpr explicit Prng(std::uint64_t seed = 1) : state_(seed) {}
+
+  constexpr std::uint64_t next() { return mix64(state_++); }
+
+  /// Uniform in [0, n); n == 0 returns 0. Modulo bias is irrelevant at the
+  /// campaign scales involved (n << 2^64) and keeps draws single-step.
+  constexpr std::uint64_t below(std::uint64_t n) { return n ? next() % n : 0; }
+
+  /// Bernoulli draw from the top 53 bits — identical on every platform,
+  /// unlike std::uniform_real_distribution.
+  constexpr bool chance(double p) {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53 < p;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t state() const { return state_; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace harbor::core

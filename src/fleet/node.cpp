@@ -1,0 +1,360 @@
+#include "fleet/node.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "ota/crc32.h"
+#include "ota/frame.h"
+#include "ota/image.h"
+
+namespace harbor::fleet {
+
+namespace {
+
+constexpr std::uint64_t kTagNodeRng = 0xF1EE7;
+constexpr std::uint64_t kTagFlash = 0xF1A5;
+
+constexpr char kUpdateNamePrefix[] = "fleet-v";
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::uint16_t> make_update_image(std::uint16_t ver,
+                                             std::uint32_t pad_words) {
+  sos::ModuleImage m = sos::modules::blink();
+  m.name = kUpdateNamePrefix + std::to_string(ver);
+  // Trailing nops are never reached (exports point into the original code)
+  // but make the on-air image as large as the campaign wants it.
+  m.code.insert(m.code.end(), pad_words, 0x0000);
+  return ota::serialize_image(m);
+}
+
+std::uint16_t image_version(std::span<const std::uint16_t> words) {
+  const std::optional<sos::ModuleImage> m = ota::deserialize_image(words);
+  if (!m) return 0;
+  const std::string& n = m->name;
+  const std::size_t plen = sizeof(kUpdateNamePrefix) - 1;
+  if (n.size() <= plen || n.compare(0, plen, kUpdateNamePrefix) != 0) return 0;
+  std::uint16_t v = 0;
+  const auto [ptr, ec] = std::from_chars(n.data() + plen, n.data() + n.size(), v);
+  return ec == std::errc{} && ptr == n.data() + n.size() ? v : 0;
+}
+
+Node::Node(const NodeConfig& cfg)
+    : cfg_(cfg),
+      rng_(core::derive(cfg.master_seed, kTagNodeRng, cfg.id)),
+      flash_(cfg.flash, core::derive(cfg.master_seed, kTagFlash, cfg.id)),
+      store_(std::make_unique<ota::ModuleStore>(flash_)),
+      trickle_(cfg.trickle) {
+  if (cfg_.full_fidelity) sys_ = std::make_unique<System>(SystemConfig{cfg_.mode});
+  trickle_.reset(0, rng_);
+}
+
+void Node::seed_image(std::uint64_t now, std::span<const std::uint16_t> image) {
+  const ota::InstallStatus s = ota::install_image(*store_, image);
+  if (s != ota::InstallStatus::Ok) return;  // provisioning is cut-free
+  abort_fetch();
+  refresh_cache();
+  set_version(image_version(cache_));
+  trickle_.reset(now, rng_);
+  verify_install();
+}
+
+ota::Frame Node::make_adv() const {
+  ota::Frame f{kFrameAdv};
+  ota::push_u16(f, version_);
+  ota::push_u32(f, static_cast<std::uint32_t>(cache_.size()));
+  ota::push_u32(f, cache_.empty() ? 0 : ota::crc32_words(cache_));
+  ota::seal_frame(f);
+  return f;
+}
+
+bool Node::died(ota::InstallStatus s, std::uint64_t now) {
+  if (s != ota::InstallStatus::PowerCut && s != ota::InstallStatus::Dead)
+    return false;
+  ++stats_.power_cuts;
+  down_ = true;
+  reboot_at_ = now + cfg_.reboot_delay_ticks;
+  fetch_.reset();
+  return true;
+}
+
+void Node::abort_fetch() {
+  if (store_->install_open()) store_->abort_install();
+  fetch_.reset();
+}
+
+void Node::start_fetch(std::uint64_t now, std::uint16_t ver, std::uint32_t words,
+                       std::uint32_t crc, std::vector<ota::Frame>& tx) {
+  if (fetch_) {
+    if (fetch_->ver >= ver) return;  // already fetching this (or newer)
+    abort_fetch();                   // a newer version obsoletes the fetch
+  }
+  if (words == 0) return;
+
+  // Power-cut fault injection: with cut_prob, arm a cut at a uniformly
+  // random flash-op boundary somewhere inside this install's expected op
+  // span — journal append, slot erase, staging program, or commit record.
+  if (cfg_.cut_prob > 0 && rng_.chance(cfg_.cut_prob)) {
+    const std::uint64_t est_ops =
+        words + words / std::max(1u, cfg_.flash.page_words) + 32;
+    flash_.set_cut_at(flash_.ops() + 1 + rng_.below(est_ops));
+  }
+
+  Fetch fetch;
+  fetch.ver = ver;
+  fetch.words_total = words;
+  fetch.crc = crc;
+
+  const std::optional<ota::PendingInstall>& p = store_->pending();
+  if (p && p->erased && p->crc == crc && p->words_total == words) {
+    // recover() reconstructed a matching half-staged install: resume from
+    // the journal's durable high-water mark instead of re-fetching.
+    fetch.expected = p->words_staged;
+    ++stats_.resumes;
+  } else {
+    if (store_->install_open()) {
+      if (died(store_->abort_install(), now)) return;
+    }
+    const ota::InstallStatus s = store_->begin_install(words, crc);
+    if (died(s, now)) return;
+    if (s != ota::InstallStatus::Ok) return;  // e.g. NoSpace: stay put
+  }
+  fetch_ = fetch;
+  send_req(now, tx);
+}
+
+void Node::send_req(std::uint64_t now, std::vector<ota::Frame>& tx) {
+  ota::Frame f{kFrameReq};
+  ota::push_u16(f, fetch_->ver);
+  ota::push_u32(f, fetch_->expected);
+  ota::seal_frame(f);
+  tx.push_back(std::move(f));
+  ++stats_.reqs_sent;
+  fetch_->deadline = now + cfg_.req_timeout_ticks;
+}
+
+void Node::on_adv(std::uint64_t now, const ota::Frame& f,
+                  std::vector<ota::Frame>& tx) {
+  if (!ota::frame_crc_ok(f, 11)) return;
+  const std::uint16_t ver = ota::get_u16(f, 1);
+  if (ver == version_) {
+    trickle_.on_consistent();
+    return;
+  }
+  trickle_.on_inconsistent(now, rng_);
+  if (ver > version_)
+    start_fetch(now, ver, ota::get_u32(f, 3), ota::get_u32(f, 7), tx);
+}
+
+void Node::on_req(std::uint64_t now, const ota::Frame& f,
+                  std::vector<ota::Frame>& tx) {
+  if (!ota::frame_crc_ok(f, 7)) return;
+  const std::uint16_t ver = ota::get_u16(f, 1);
+  if (ver > version_) {
+    // Someone is fetching a version newer than ours: that's news too.
+    trickle_.on_inconsistent(now, rng_);
+    return;
+  }
+  if (ver != version_ || cache_.empty()) return;
+  const std::uint32_t offset = ota::get_u32(f, 3);
+  if (offset >= cache_.size()) return;
+  const std::uint32_t n = std::min<std::uint32_t>(
+      cfg_.chunk_words, static_cast<std::uint32_t>(cache_.size()) - offset);
+  ota::Frame chunk{kFrameChunk};
+  ota::push_u16(chunk, ver);
+  ota::push_u32(chunk, offset);
+  for (std::uint32_t i = 0; i < n; ++i) ota::push_u16(chunk, cache_[offset + i]);
+  ota::seal_frame(chunk);
+  tx.push_back(std::move(chunk));
+  ++stats_.chunks_served;
+}
+
+void Node::on_chunk(std::uint64_t now, const ota::Frame& f,
+                    std::vector<ota::Frame>& tx) {
+  if (!ota::frame_crc_ok(f, 7)) return;
+  if (!fetch_) return;
+  const std::uint16_t ver = ota::get_u16(f, 1);
+  const std::uint32_t offset = ota::get_u32(f, 3);
+  if (ver != fetch_->ver) return;
+  const std::size_t payload_bytes = f.size() - 7 - 4;
+  if (payload_bytes == 0 || payload_bytes % 2 != 0) return;
+  const auto nwords = static_cast<std::uint32_t>(payload_bytes / 2);
+  if (offset + nwords > fetch_->words_total) return;
+  if (offset + nwords <= fetch_->expected) return;  // stale duplicate
+  if (offset != fetch_->expected) return;           // future chunk: re-REQ later
+
+  std::vector<std::uint16_t> words(nwords);
+  for (std::uint32_t i = 0; i < nwords; ++i) words[i] = ota::get_u16(f, 7 + 2 * i);
+  ota::InstallStatus s = store_->stage_words(offset, words);
+  if (died(s, now)) return;
+  if (s != ota::InstallStatus::Ok) {
+    ++stats_.fetch_aborts;
+    abort_fetch();
+    return;
+  }
+  fetch_->expected += nwords;
+  ++stats_.chunks_staged;
+  if (++fetch_->chunks_since_progress >= cfg_.progress_every_chunks &&
+      fetch_->expected < fetch_->words_total) {
+    s = store_->note_progress(fetch_->expected);
+    if (died(s, now)) return;
+    fetch_->chunks_since_progress = 0;
+  }
+  if (fetch_->expected < fetch_->words_total) {
+    fetch_->attempts = 0;
+    send_req(now, tx);
+    return;
+  }
+  // Whole image staged: two-phase commit, then bring the update live.
+  s = store_->commit();
+  if (died(s, now)) return;
+  const std::uint16_t got = fetch_->ver;
+  fetch_.reset();
+  if (s != ota::InstallStatus::Ok) return;  // CrcMismatch: wait for re-ADV
+  ++stats_.installs;
+  refresh_cache();
+  set_version(got);
+  trickle_.reset(now, rng_);
+  verify_install();
+}
+
+void Node::on_frame(std::uint64_t now, const ota::Frame& f,
+                    std::vector<ota::Frame>& tx) {
+  if (down_ || f.empty()) return;
+  switch (f[0]) {
+    case kFrameAdv: on_adv(now, f, tx); break;
+    case kFrameReq: on_req(now, f, tx); break;
+    case kFrameChunk: on_chunk(now, f, tx); break;
+    default: break;  // unknown/corrupted type byte
+  }
+}
+
+void Node::on_wake(std::uint64_t now, std::vector<ota::Frame>& tx) {
+  if (down_) {
+    if (reboot_at_ != kNever && now >= reboot_at_) reboot(now);
+    return;
+  }
+  if (fetch_ && now >= fetch_->deadline) {
+    // REQ timed out: retry with capped exponential backoff plus seeded
+    // equal-jitter, same shape as ota::Sender — a neighbourhood of nodes
+    // that lost the same chunk won't re-request in lockstep.
+    ++fetch_->attempts;
+    if (fetch_->attempts >= cfg_.req_max_attempts) {
+      ++stats_.fetch_aborts;
+      abort_fetch();
+    } else {
+      const std::uint32_t shift = std::min(fetch_->attempts - 1, 16u);
+      std::uint32_t backoff = std::min(cfg_.req_backoff_base_ticks << shift,
+                                       cfg_.req_backoff_cap_ticks);
+      const std::uint32_t span =
+          backoff * std::min(cfg_.backoff_jitter_pct, 100u) / 100;
+      if (span) backoff = backoff - span + static_cast<std::uint32_t>(
+                                               rng_.below(span + 1));
+      send_req(now, tx);
+      fetch_->deadline += backoff;
+    }
+  }
+  while (now >= trickle_.deadline()) {
+    if (trickle_.fire(now, rng_)) {
+      tx.push_back(make_adv());
+      ++stats_.adverts_sent;
+    }
+  }
+}
+
+void Node::kill(std::uint64_t now) {
+  (void)now;
+  down_ = true;
+  reboot_at_ = kNever;  // the campaign revives us explicitly
+  fetch_.reset();
+}
+
+void Node::revive(std::uint64_t now) {
+  if (down_ && reboot_at_ == kNever) reboot(now);
+}
+
+void Node::reboot(std::uint64_t now) {
+  down_ = false;
+  reboot_at_ = kNever;
+  flash_.power_cycle();
+  ++stats_.reboots;
+  const ota::RecoveryResult r =
+      sys_ ? sys_->kernel().recover_store(*store_) : store_->recover();
+  switch (r.state) {
+    case ota::StoreState::Committed:
+      refresh_cache();
+      set_version(image_version(cache_));
+      verify_install();
+      break;
+    case ota::StoreState::Empty:
+      cache_.clear();
+      version_ = 0;
+      break;
+    case ota::StoreState::Corrupt:
+    case ota::StoreState::Watchdog:
+      // Torn image visible after recovery: the old-or-new guarantee failed.
+      ++stats_.torn;
+      cache_.clear();
+      version_ = 0;
+      break;
+  }
+  trickle_.reset(now, rng_);
+}
+
+void Node::set_version(std::uint16_t v) {
+  if (v < version_) ++stats_.regressions;
+  version_ = v;
+}
+
+void Node::refresh_cache() {
+  const std::optional<std::vector<std::uint16_t>> img = store_->committed_image();
+  cache_ = img ? *img : std::vector<std::uint16_t>{};
+}
+
+void Node::verify_install() {
+  if (!sys_ || !store_->has_committed()) return;
+  ++stats_.dispatch_checks;
+  try {
+    if (domain_) sys_->kernel().unload(*domain_);
+    domain_ = sys_->kernel().load_from_store(*store_, domain_);
+    sys_->post(*domain_, sos::msg::kTimer);
+    const std::vector<sos::DispatchRecord> recs = sys_->run_pending();
+    if (recs.empty() || recs.back().result.faulted) ++stats_.dispatch_failures;
+  } catch (const std::exception&) {
+    ++stats_.dispatch_failures;
+    domain_.reset();
+  }
+}
+
+std::uint64_t Node::deadline() const {
+  if (down_) return reboot_at_;
+  std::uint64_t d = trickle_.deadline();
+  if (fetch_ && fetch_->deadline < d) d = fetch_->deadline;
+  return d;
+}
+
+std::uint64_t Node::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a(h, version_);
+  h = fnv1a(h, cache_.empty() ? 0 : ota::crc32_words(cache_));
+  h = fnv1a(h, down_ ? 1 : 0);
+  h = fnv1a(h, stats_.installs);
+  h = fnv1a(h, stats_.resumes);
+  h = fnv1a(h, stats_.power_cuts);
+  h = fnv1a(h, stats_.reboots);
+  h = fnv1a(h, stats_.adverts_sent);
+  h = fnv1a(h, stats_.reqs_sent);
+  h = fnv1a(h, static_cast<std::uint64_t>(stats_.chunks_served) << 32 |
+                   stats_.chunks_staged);
+  return h;
+}
+
+}  // namespace harbor::fleet

@@ -1,0 +1,171 @@
+#pragma once
+// One simulated fleet node (DESIGN.md §16).
+//
+// Every node owns a real FlashModel + transactional ModuleStore — the same
+// durable-install machinery the single-node OTA stack uses — plus the fleet
+// dissemination protocol state: a Trickle advertisement timer and a
+// receiver-driven chunk fetch with seeded equal-jitter retry backoff.
+// Full-fidelity nodes additionally own a complete harbor::System and, after
+// every commit and reboot-recovery, load the committed image through the
+// kernel's store path and dispatch a message into it — proving the update
+// that epidemically arrived over the radio actually runs under the selected
+// protection mode. Proxy nodes stop at the store (flash-durability and
+// protocol behaviour are identical; only the CPU simulation is elided),
+// which is what lets a 256-node fleet run in seconds.
+//
+// Frames (little-endian words, trailing CRC32 via ota/frame.h; corrupt
+// frames are dropped silently like any radio CRC failure):
+//   ADV   [0x61][ver u16][image words u32][image crc u32][crc]
+//   REQ   [0x62][ver u16][offset u32][crc]
+//   CHUNK [0x63][ver u16][offset u32][payload words...][crc]
+//
+// Version identity lives *inside* the image: fleet update images are real
+// serialized modules named "fleet-v<N>", so a rebooted node re-derives its
+// version from the committed bytes alone — no RAM state survives a cut.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/harbor.h"
+#include "core/prng.h"
+#include "fleet/trickle.h"
+#include "ota/flash_model.h"
+#include "ota/link.h"
+#include "ota/store.h"
+
+namespace harbor::fleet {
+
+inline constexpr std::uint8_t kFrameAdv = 0x61;
+inline constexpr std::uint8_t kFrameReq = 0x62;
+inline constexpr std::uint8_t kFrameChunk = 0x63;
+
+inline constexpr std::uint64_t kNever = ~0ull;
+
+/// Build the version-`ver` fleet update image: sos::modules::blink() named
+/// "fleet-v<ver>", padded with trailing nops to `pad_words` extra code words
+/// so dissemination cost is configurable. Returns the serialized words.
+std::vector<std::uint16_t> make_update_image(std::uint16_t ver,
+                                             std::uint32_t pad_words = 0);
+
+/// Parse the version out of a committed serialized image ("fleet-v<N>"),
+/// or 0 when the image is not a fleet update.
+std::uint16_t image_version(std::span<const std::uint16_t> words);
+
+struct NodeConfig {
+  std::uint32_t id = 0;
+  bool full_fidelity = false;
+  ProtectionMode mode = ProtectionMode::Umpu;
+  std::uint64_t master_seed = 1;
+  TrickleConfig trickle{};
+  ota::FlashConfig flash{};  ///< per-node store geometry (defaults suffice)
+  std::uint32_t chunk_words = 16;
+  std::uint32_t req_timeout_ticks = 12;
+  std::uint32_t req_backoff_base_ticks = 4;
+  std::uint32_t req_backoff_cap_ticks = 64;
+  std::uint32_t req_max_attempts = 10;
+  std::uint32_t backoff_jitter_pct = 50;
+  std::uint32_t progress_every_chunks = 4;
+  std::uint32_t reboot_delay_ticks = 48;
+  /// Probability that an install arms a power cut at a random flash-op
+  /// boundary inside its expected op span.
+  double cut_prob = 0.0;
+};
+
+struct NodeStats {
+  std::uint32_t adverts_sent = 0;
+  std::uint32_t reqs_sent = 0;
+  std::uint32_t chunks_served = 0;
+  std::uint32_t chunks_staged = 0;
+  std::uint32_t installs = 0;        ///< commits (factory seed excluded)
+  std::uint32_t resumes = 0;         ///< fetches resumed from a journal high-water mark
+  std::uint32_t fetch_aborts = 0;
+  std::uint32_t power_cuts = 0;
+  std::uint32_t reboots = 0;         ///< recoveries (power cut or churn revival)
+  std::uint32_t torn = 0;            ///< old-or-new violations seen at recovery
+  std::uint32_t regressions = 0;     ///< version ever decreased (never expected)
+  std::uint32_t dispatch_checks = 0;     ///< full-fidelity post-install dispatches
+  std::uint32_t dispatch_failures = 0;   ///< ...that faulted or misbehaved
+};
+
+class Node {
+ public:
+  explicit Node(const NodeConfig& cfg);
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Factory provisioning: install `image` directly (no radio, no cuts)
+  /// and start the Trickle timer. Also used by the campaign to inject a
+  /// new version at the origin node.
+  void seed_image(std::uint64_t now, std::span<const std::uint16_t> image);
+
+  /// A frame arrived from the radio. Any responses go into `tx` for the
+  /// simulator to broadcast.
+  void on_frame(std::uint64_t now, const ota::Frame& f, std::vector<ota::Frame>& tx);
+
+  /// The simulator woke us at deadline(): service Trickle / fetch retry /
+  /// reboot, emitting any frames into `tx`.
+  void on_wake(std::uint64_t now, std::vector<ota::Frame>& tx);
+
+  /// Churn: clean power-down (no torn flash op) until revive().
+  void kill(std::uint64_t now);
+  /// Churn revival: power the node back up through the recovery path.
+  void revive(std::uint64_t now);
+
+  [[nodiscard]] std::uint64_t deadline() const;
+  [[nodiscard]] bool alive() const { return !down_; }
+  [[nodiscard]] std::uint16_t version() const { return version_; }
+  [[nodiscard]] const NodeStats& stats() const { return stats_; }
+  [[nodiscard]] const NodeConfig& config() const { return cfg_; }
+  [[nodiscard]] ota::ModuleStore& store() { return *store_; }
+  [[nodiscard]] bool fetching() const { return fetch_.has_value(); }
+  /// FNV-1a over version + committed image CRC + key counters — the
+  /// per-node contribution to the fleet determinism digest.
+  [[nodiscard]] std::uint64_t digest() const;
+
+ private:
+  struct Fetch {
+    std::uint16_t ver = 0;
+    std::uint32_t words_total = 0;
+    std::uint32_t crc = 0;
+    std::uint32_t expected = 0;  ///< next offset to stage
+    std::uint32_t attempts = 0;  ///< REQ sends for the current offset
+    std::uint32_t chunks_since_progress = 0;
+    std::uint64_t deadline = kNever;
+  };
+
+  void start_fetch(std::uint64_t now, std::uint16_t ver, std::uint32_t words,
+                   std::uint32_t crc, std::vector<ota::Frame>& tx);
+  void send_req(std::uint64_t now, std::vector<ota::Frame>& tx);
+  void abort_fetch();
+  void on_adv(std::uint64_t now, const ota::Frame& f, std::vector<ota::Frame>& tx);
+  void on_req(std::uint64_t now, const ota::Frame& f, std::vector<ota::Frame>& tx);
+  void on_chunk(std::uint64_t now, const ota::Frame& f, std::vector<ota::Frame>& tx);
+  ota::Frame make_adv() const;
+  /// True when `s` powered the node off (PowerCut/Dead): records the cut
+  /// and schedules the reboot.
+  bool died(ota::InstallStatus s, std::uint64_t now);
+  void reboot(std::uint64_t now);
+  void set_version(std::uint16_t v);
+  void refresh_cache();
+  void verify_install();
+
+  NodeConfig cfg_;
+  core::Prng rng_;
+  ota::FlashModel flash_;
+  std::unique_ptr<ota::ModuleStore> store_;
+  std::unique_ptr<System> sys_;  ///< full-fidelity only
+  std::optional<memmap::DomainId> domain_;
+
+  Trickle trickle_;
+  std::optional<Fetch> fetch_;
+  std::uint16_t version_ = 0;
+  std::vector<std::uint16_t> cache_;  ///< committed image (chunk server)
+
+  bool down_ = false;
+  std::uint64_t reboot_at_ = kNever;  ///< kNever while down from churn
+  NodeStats stats_;
+};
+
+}  // namespace harbor::fleet

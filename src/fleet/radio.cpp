@@ -1,0 +1,103 @@
+#include "fleet/radio.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace harbor::fleet {
+
+namespace {
+
+/// Seed-stream tags: every per-edge stream derives from
+/// (master, tag, src * nodes + dst) so streams never collide across uses.
+constexpr std::uint64_t kTagLink = 0x11A0;
+constexpr std::uint64_t kTagLatency = 0x11A1;
+constexpr std::uint64_t kTagWire = 0x11A2;  ///< random-topology wiring
+
+}  // namespace
+
+const char* topology_name(Topology t) {
+  switch (t) {
+    case Topology::Line: return "line";
+    case Topology::Grid: return "grid";
+    case Topology::Random: return "random";
+  }
+  return "?";
+}
+
+Radio::Radio(const RadioConfig& cfg) : cfg_(cfg) {
+  adj_.resize(cfg_.nodes);
+  edges_.resize(cfg_.nodes);
+  build_topology();
+}
+
+void Radio::add_undirected(std::uint32_t a, std::uint32_t b) {
+  if (a == b || a >= cfg_.nodes || b >= cfg_.nodes) return;
+  if (std::find(adj_[a].begin(), adj_[a].end(), b) != adj_[a].end()) return;
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  const ota::LinkFaults faults{cfg_.drop, cfg_.duplicate, /*reorder=*/0.0,
+                               cfg_.corrupt};
+  const auto n = static_cast<std::uint64_t>(cfg_.nodes);
+  for (const auto& [src, dst] : {std::pair{a, b}, std::pair{b, a}}) {
+    Edge e;
+    e.dst = dst;
+    const std::uint64_t id = static_cast<std::uint64_t>(src) * n + dst;
+    e.link = ota::LossyLink(faults, core::derive(cfg_.master_seed, kTagLink, id));
+    e.latency_rng = core::Prng(core::derive(cfg_.master_seed, kTagLatency, id));
+    edges_[src].push_back(std::move(e));
+  }
+}
+
+void Radio::build_topology() {
+  const std::uint32_t n = cfg_.nodes;
+  switch (cfg_.topology) {
+    case Topology::Line:
+      for (std::uint32_t i = 0; i + 1 < n; ++i) add_undirected(i, i + 1);
+      break;
+    case Topology::Grid: {
+      const auto side = static_cast<std::uint32_t>(
+          std::ceil(std::sqrt(static_cast<double>(n))));
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if ((i % side) + 1 < side) add_undirected(i, i + 1);
+        if (i + side < n) add_undirected(i, i + side);
+      }
+      break;
+    }
+    case Topology::Random: {
+      // Ring first so the graph is always connected, then `degree` random
+      // extra peers per node (dedup'd by add_undirected).
+      for (std::uint32_t i = 0; i < n; ++i) add_undirected(i, (i + 1) % n);
+      core::Prng wire(core::derive(cfg_.master_seed, kTagWire));
+      for (std::uint32_t i = 0; i < n; ++i)
+        for (std::uint32_t d = 0; d < cfg_.degree; ++d)
+          add_undirected(i, static_cast<std::uint32_t>(wire.below(n)));
+      break;
+    }
+  }
+}
+
+void Radio::broadcast(std::uint32_t src, const ota::Frame& f, std::uint64_t now,
+                      const DeliverFn& deliver) {
+  ++counters_.frames_sent;
+  const std::uint32_t cut = cfg_.nodes / 2;
+  for (Edge& e : edges_[src]) {
+    if (partitioned_ && (src < cut) != (e.dst < cut)) {
+      ++counters_.partition_blocked;
+      continue;
+    }
+    const ota::LinkCounters before = e.link.counters();
+    e.link.send(f);
+    for (ota::Frame& out : e.link.drain()) {
+      ++counters_.frames_delivered;
+      const std::uint64_t at = now + cfg_.latency_min_ticks +
+                               e.latency_rng.below(cfg_.latency_jitter_ticks + 1);
+      deliver(e.dst, std::move(out), at);
+    }
+    const ota::LinkCounters& after = e.link.counters();
+    counters_.frames_dropped += after.dropped - before.dropped;
+    counters_.frames_corrupted += after.corrupted - before.corrupted;
+    counters_.frames_duplicated += after.duplicated - before.duplicated;
+  }
+}
+
+}  // namespace harbor::fleet

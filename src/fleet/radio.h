@@ -1,0 +1,95 @@
+#pragma once
+// Broadcast radio for the fleet simulator (DESIGN.md §16).
+//
+// The point-to-point transfer protocol runs over two ota::LossyLink
+// directions; the fleet generalizes that to a shared medium: a topology
+// (line, grid, or random) defines each node's neighbourhood, and every
+// *directed edge* owns its own LossyLink whose fault process (drop,
+// duplicate, corrupt) is seeded per-edge from the fleet master seed — two
+// runs with the same seed replay bit-identically, and distinct edges fault
+// independently. Delivery latency is drawn per-frame from a per-edge
+// seeded stream; unequal latencies are what reorder broadcasts in flight
+// (LossyLink's own one-slot reorder never triggers here because the radio
+// drains each link per send, so its probability is left at zero and the
+// jittered latency supplies reordering instead).
+//
+// A partition cuts every edge crossing the node-id midpoint; healed edges
+// resume with their fault streams intact.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/prng.h"
+#include "ota/link.h"
+
+namespace harbor::fleet {
+
+enum class Topology : std::uint8_t { Line, Grid, Random };
+
+const char* topology_name(Topology t);
+
+struct RadioConfig {
+  Topology topology = Topology::Grid;
+  std::uint32_t nodes = 16;
+  /// Random topology only: extra random peers per node on top of the ring
+  /// that guarantees connectivity.
+  std::uint32_t degree = 4;
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double corrupt = 0.0;
+  std::uint32_t latency_min_ticks = 1;
+  std::uint32_t latency_jitter_ticks = 3;
+  std::uint64_t master_seed = 1;
+};
+
+struct RadioCounters {
+  std::uint64_t frames_sent = 0;       ///< broadcast calls
+  std::uint64_t frames_delivered = 0;  ///< per-edge deliveries that came out
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_corrupted = 0;
+  std::uint64_t frames_duplicated = 0;
+  std::uint64_t partition_blocked = 0;
+};
+
+class Radio {
+ public:
+  explicit Radio(const RadioConfig& cfg);
+
+  /// Broadcast `f` from `src` to every neighbour. Each copy that survives
+  /// the edge's fault process is handed to `deliver(dst, frame, at_tick)`
+  /// with its own jittered arrival time; the caller (the simulator) queues
+  /// it as a Deliver event.
+  using DeliverFn =
+      std::function<void(std::uint32_t dst, ota::Frame frame, std::uint64_t at)>;
+  void broadcast(std::uint32_t src, const ota::Frame& f, std::uint64_t now,
+                 const DeliverFn& deliver);
+
+  /// Cut every edge whose endpoints straddle node id `nodes/2`.
+  void set_partitioned(bool on) { partitioned_ = on; }
+  [[nodiscard]] bool partitioned() const { return partitioned_; }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& neighbours(std::uint32_t n) const {
+    return adj_[n];
+  }
+  [[nodiscard]] const RadioCounters& counters() const { return counters_; }
+  [[nodiscard]] std::uint32_t nodes() const { return cfg_.nodes; }
+
+ private:
+  struct Edge {
+    std::uint32_t dst = 0;
+    ota::LossyLink link;
+    core::Prng latency_rng{1};
+  };
+
+  void add_undirected(std::uint32_t a, std::uint32_t b);
+  void build_topology();
+
+  RadioConfig cfg_;
+  bool partitioned_ = false;
+  std::vector<std::vector<std::uint32_t>> adj_;   ///< neighbour ids per node
+  std::vector<std::vector<Edge>> edges_;          ///< directed out-edges per node
+  RadioCounters counters_;
+};
+
+}  // namespace harbor::fleet

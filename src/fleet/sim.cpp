@@ -1,0 +1,396 @@
+#include "fleet/sim.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ota/crc32.h"
+#include "trace/json.h"
+
+namespace harbor::fleet {
+
+namespace {
+
+constexpr std::uint64_t kTagChurn = 0xC08A;
+
+const char* mode_str(ProtectionMode m) {
+  switch (m) {
+    case ProtectionMode::None: return "none";
+    case ProtectionMode::Sfi: return "sfi";
+    case ProtectionMode::Umpu: return "umpu";
+  }
+  return "?";
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FleetSim::FleetSim(const FleetConfig& cfg)
+    : cfg_(cfg),
+      radio_([&] {
+        RadioConfig r;
+        r.topology = cfg.topology;
+        r.nodes = cfg.nodes;
+        r.degree = cfg.degree;
+        r.drop = cfg.loss;
+        r.duplicate = cfg.duplicate;
+        r.corrupt = cfg.corrupt;
+        r.master_seed = cfg.master_seed;
+        return r;
+      }()) {
+  update_image_ = make_update_image(cfg_.update_version, cfg_.image_pad_words);
+  nodes_.reserve(cfg_.nodes);
+  for (std::uint32_t i = 0; i < cfg_.nodes; ++i) {
+    NodeConfig nc = cfg_.node;
+    nc.id = i;
+    nc.master_seed = cfg_.master_seed;
+    nc.mode = cfg_.mode;
+    nc.cut_prob = cfg_.cut_prob;
+    nc.full_fidelity = cfg_.full_every != 0 && i % cfg_.full_every == 0;
+    nodes_.push_back(std::make_unique<Node>(nc));
+  }
+  next_wake_.assign(cfg_.nodes, 0);
+  fetch_started_.assign(cfg_.nodes, 0);
+  last_version_.assign(cfg_.nodes, 0);
+  was_down_.assign(cfg_.nodes, false);
+}
+
+void FleetSim::push(std::uint64_t at, EventKind kind, std::uint32_t node,
+                    ota::Frame frame) {
+  queue_.push(Event{at, seq_++, kind, node, std::move(frame)});
+}
+
+void FleetSim::reschedule_wake(std::uint32_t n, std::uint64_t now) {
+  const std::uint64_t d = nodes_[n]->deadline();
+  if (d == kNever) return;
+  // A stale earlier wake self-corrects (on_wake re-checks deadlines and we
+  // reschedule after it); only push when no useful wake is in flight.
+  if (next_wake_[n] <= now || d < next_wake_[n]) {
+    push(d, EventKind::Wake, n);
+    next_wake_[n] = d;
+  }
+}
+
+void FleetSim::broadcast_all(std::uint32_t src, const std::vector<ota::Frame>& tx,
+                             std::uint64_t now) {
+  for (const ota::Frame& f : tx)
+    radio_.broadcast(src, f, now,
+                     [&](std::uint32_t dst, ota::Frame frame, std::uint64_t at) {
+                       push(at, EventKind::Deliver, dst, std::move(frame));
+                     });
+}
+
+void FleetSim::schedule_campaign() {
+  push(cfg_.inject_tick, EventKind::Inject, 0);
+  if (cfg_.partition) {
+    push(std::max<std::uint64_t>(1, cfg_.inject_tick / 2), EventKind::PartitionOn);
+    push(cfg_.inject_tick + cfg_.partition_ticks, EventKind::PartitionOff);
+  }
+  if (cfg_.churn > 0) {
+    // Pick churn*N distinct victims via partial Fisher-Yates; each dies at
+    // a seeded random point after injection and revives churn_down_ticks
+    // later. The origin is eligible too — its copy is flash-durable, so a
+    // churned origin only delays the epidemic, never kills it.
+    core::Prng churn_rng(core::derive(cfg_.master_seed, kTagChurn));
+    std::vector<std::uint32_t> ids(cfg_.nodes);
+    std::iota(ids.begin(), ids.end(), 0);
+    const auto k = std::min<std::uint32_t>(
+        cfg_.nodes, static_cast<std::uint32_t>(cfg_.churn * cfg_.nodes + 0.5));
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const auto j = i + static_cast<std::uint32_t>(churn_rng.below(cfg_.nodes - i));
+      std::swap(ids[i], ids[j]);
+      const std::uint64_t die =
+          cfg_.inject_tick + 1 + churn_rng.below(cfg_.churn_down_ticks);
+      push(die, EventKind::Kill, ids[i]);
+      push(die + cfg_.churn_down_ticks, EventKind::Revive, ids[i]);
+      ++pending_revives_;
+    }
+  }
+  push(cfg_.checkpoint_every, EventKind::Checkpoint);
+}
+
+std::uint32_t FleetSim::count_at_newest() const {
+  std::uint32_t n = 0;
+  for (const auto& node : nodes_)
+    if (node->alive() && node->version() == newest_version_) ++n;
+  return n;
+}
+
+std::uint32_t FleetSim::count_live() const {
+  std::uint32_t n = 0;
+  for (const auto& node : nodes_)
+    if (node->alive()) ++n;
+  return n;
+}
+
+void FleetSim::emit_checkpoint(std::uint64_t now, const JsonlSink& jsonl) {
+  const std::uint32_t live = count_live();
+  const std::uint32_t at_newest = count_at_newest();
+  timeline_.counters[0].samples.emplace_back(now, at_newest);
+  timeline_.counters[1].samples.emplace_back(now, live);
+  timeline_.counters[2].samples.emplace_back(now, newest_version_);
+  if (!jsonl) return;
+
+  FleetTotals t;
+  for (const auto& node : nodes_) {
+    const NodeStats& s = node->stats();
+    t.adverts += s.adverts_sent;
+    t.reqs += s.reqs_sent;
+    t.chunks_served += s.chunks_served;
+    t.chunks_staged += s.chunks_staged;
+    t.installs += s.installs;
+    t.resumes += s.resumes;
+    t.fetch_aborts += s.fetch_aborts;
+    t.power_cuts += s.power_cuts;
+    t.reboots += s.reboots;
+    t.torn += s.torn;
+    t.regressions += s.regressions;
+  }
+  const RadioCounters& r = radio_.counters();
+  std::string out;
+  trace::json::Joiner top(out);
+  out += '{';
+  trace::json::kv(out, top, "schema", std::string("fleet-report-v1"));
+  trace::json::kv(out, top, "mode", std::string(mode_str(cfg_.mode)));
+  trace::json::kv(out, top, "topology", std::string(topology_name(cfg_.topology)));
+  trace::json::kv(out, top, "tick", now);
+  trace::json::kv(out, top, "nodes", static_cast<std::uint64_t>(cfg_.nodes));
+  trace::json::kv(out, top, "live", static_cast<std::uint64_t>(live));
+  trace::json::kv(out, top, "converged", static_cast<std::uint64_t>(at_newest));
+  trace::json::kv(out, top, "newest_version",
+                  static_cast<std::uint64_t>(newest_version_));
+  top.item();
+  out += "\"versions\":[";
+  {
+    trace::json::Joiner vs(out);
+    for (const auto& node : nodes_) {
+      vs.item();
+      out += std::to_string(node->version());
+    }
+  }
+  out += ']';
+  top.item();
+  out += "\"counters\":{";
+  {
+    trace::json::Joiner c(out);
+    trace::json::kv(out, c, "frames_sent", r.frames_sent);
+    trace::json::kv(out, c, "frames_delivered", r.frames_delivered);
+    trace::json::kv(out, c, "frames_dropped", r.frames_dropped);
+    trace::json::kv(out, c, "frames_corrupted", r.frames_corrupted);
+    trace::json::kv(out, c, "frames_duplicated", r.frames_duplicated);
+    trace::json::kv(out, c, "partition_blocked", r.partition_blocked);
+    trace::json::kv(out, c, "adverts", t.adverts);
+    trace::json::kv(out, c, "reqs", t.reqs);
+    trace::json::kv(out, c, "chunks_served", t.chunks_served);
+    trace::json::kv(out, c, "chunks_staged", t.chunks_staged);
+    trace::json::kv(out, c, "installs", t.installs);
+    trace::json::kv(out, c, "resumes", t.resumes);
+    trace::json::kv(out, c, "fetch_aborts", t.fetch_aborts);
+    trace::json::kv(out, c, "power_cuts", t.power_cuts);
+    trace::json::kv(out, c, "reboots", t.reboots);
+    trace::json::kv(out, c, "deaths", deaths_);
+  }
+  out += '}';
+  top.item();
+  out += "\"violations\":{";
+  {
+    trace::json::Joiner v(out);
+    trace::json::kv(out, v, "old_or_new", t.torn);
+    trace::json::kv(out, v, "regression", t.regressions);
+  }
+  out += "}}";
+  jsonl(out);
+}
+
+FleetResult FleetSim::run(const JsonlSink& jsonl) {
+  FleetResult res;
+
+  timeline_.process_name = "harbor fleet";
+  for (std::uint32_t i = 0; i < cfg_.nodes; ++i) {
+    std::string name = "node " + std::to_string(i);
+    if (nodes_[i]->config().full_fidelity) name += " (full)";
+    timeline_.tracks.push_back(std::move(name));
+  }
+  timeline_.tracks.push_back("fleet campaign");
+  const std::uint32_t campaign_track = cfg_.nodes;
+  timeline_.counters = {{"fleet/converged", {}}, {"fleet/live", {}},
+                        {"fleet/newest_version", {}}};
+
+  // Factory provisioning: every node starts committed at the base version.
+  const std::vector<std::uint16_t> base =
+      make_update_image(cfg_.base_version, 0);
+  newest_version_ = cfg_.base_version;
+  for (std::uint32_t i = 0; i < cfg_.nodes; ++i) {
+    nodes_[i]->seed_image(0, base);
+    last_version_[i] = nodes_[i]->version();
+    reschedule_wake(i, 0);
+  }
+  schedule_campaign();
+
+  // Tracks per-node transitions (fetch slices, commit/power instants) after
+  // every event touching node n.
+  const auto observe = [&](std::uint32_t n, std::uint64_t now) {
+    Node& node = *nodes_[n];
+    if (node.fetching() && fetch_started_[n] == 0) {
+      fetch_started_[n] = now ? now : 1;
+    } else if (!node.fetching() && fetch_started_[n] != 0) {
+      timeline_.slices.push_back(
+          {n, "fetch v" + std::to_string(node.version()), fetch_started_[n],
+           now - fetch_started_[n]});
+      fetch_started_[n] = 0;
+    }
+    if (node.version() != last_version_[n]) {
+      timeline_.instants.push_back(
+          {n, "commit v" + std::to_string(node.version()), now});
+      last_version_[n] = node.version();
+    }
+    if (!node.alive() && !was_down_[n]) {
+      timeline_.instants.push_back({n, "power-off", now});
+      was_down_[n] = true;
+    } else if (node.alive() && was_down_[n]) {
+      timeline_.instants.push_back({n, "boot", now});
+      was_down_[n] = false;
+    }
+  };
+
+  std::uint64_t now = 0;
+  std::vector<ota::Frame> tx;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.at > cfg_.max_ticks) break;
+    now = ev.at;
+    ++res.events_processed;
+    tx.clear();
+    switch (ev.kind) {
+      case EventKind::Deliver:
+        nodes_[ev.node]->on_frame(now, ev.frame, tx);
+        break;
+      case EventKind::Wake:
+        nodes_[ev.node]->on_wake(now, tx);
+        break;
+      case EventKind::Inject:
+        nodes_[ev.node]->seed_image(now, update_image_);
+        newest_version_ = cfg_.update_version;
+        timeline_.instants.push_back(
+            {campaign_track, "inject v" + std::to_string(cfg_.update_version),
+             now});
+        break;
+      case EventKind::Kill:
+        if (nodes_[ev.node]->alive()) {
+          nodes_[ev.node]->kill(now);
+          ++deaths_;
+        }
+        break;
+      case EventKind::Revive:
+        nodes_[ev.node]->revive(now);
+        --pending_revives_;
+        break;
+      case EventKind::PartitionOn:
+        radio_.set_partitioned(true);
+        timeline_.instants.push_back({campaign_track, "partition", now});
+        break;
+      case EventKind::PartitionOff:
+        radio_.set_partitioned(false);
+        timeline_.instants.push_back({campaign_track, "heal", now});
+        break;
+      case EventKind::Checkpoint: {
+        emit_checkpoint(now, jsonl);
+        const bool all_home = pending_revives_ == 0 && count_live() == cfg_.nodes;
+        bool fetching = false;
+        for (const auto& node : nodes_)
+          if (node->fetching()) fetching = true;
+        if (all_home && !fetching && count_at_newest() == cfg_.nodes) {
+          converged_ = true;
+          converged_tick_ = now;
+        } else if (now + cfg_.checkpoint_every <= cfg_.max_ticks) {
+          push(now + cfg_.checkpoint_every, EventKind::Checkpoint);
+        }
+        break;
+      }
+    }
+    if (ev.kind == EventKind::Deliver || ev.kind == EventKind::Wake ||
+        ev.kind == EventKind::Inject || ev.kind == EventKind::Kill ||
+        ev.kind == EventKind::Revive) {
+      broadcast_all(ev.node, tx, now);
+      observe(ev.node, now);
+      reschedule_wake(ev.node, now);
+    }
+    if (converged_) break;
+  }
+
+  finish(res, now);
+  return res;
+}
+
+void FleetSim::finish(FleetResult& res, std::uint64_t now) {
+  res.converged = converged_;
+  res.converged_tick = converged_tick_;
+  res.end_tick = now;
+  res.newest_version = newest_version_;
+  res.radio = radio_.counters();
+
+  FleetTotals& t = res.totals;
+  bool any_full = false;
+  std::uint64_t digest = 0xcbf29ce484222325ull;
+  for (const auto& node : nodes_) {
+    const NodeStats& s = node->stats();
+    t.adverts += s.adverts_sent;
+    t.reqs += s.reqs_sent;
+    t.chunks_served += s.chunks_served;
+    t.chunks_staged += s.chunks_staged;
+    t.installs += s.installs;
+    t.resumes += s.resumes;
+    t.fetch_aborts += s.fetch_aborts;
+    t.power_cuts += s.power_cuts;
+    t.reboots += s.reboots;
+    t.torn += s.torn;
+    t.regressions += s.regressions;
+    t.dispatch_checks += s.dispatch_checks;
+    t.dispatch_failures += s.dispatch_failures;
+    any_full = any_full || node->config().full_fidelity;
+    digest = fnv1a(digest, node->digest());
+  }
+  t.deaths = deaths_;
+  digest = fnv1a(digest, res.radio.frames_delivered);
+  digest = fnv1a(digest, res.radio.frames_dropped);
+  res.digest = digest;
+
+  const auto monitor = [&](FleetMonitorId id, const char* name, bool ok,
+                           std::uint64_t value, std::string detail) {
+    res.monitors.push_back({id, name, ok, value, std::move(detail)});
+  };
+  monitor(FleetMonitorId::Convergence, "convergence", converged_,
+          converged_tick_,
+          converged_ ? "all nodes at v" + std::to_string(newest_version_)
+                     : "fleet did not converge by tick " + std::to_string(now));
+  monitor(FleetMonitorId::OldOrNew, "old-or-new", t.torn == 0, t.torn,
+          t.torn == 0 ? "no torn image surfaced at any recovery"
+                      : "torn images recovered fleet-wide");
+  monitor(FleetMonitorId::NoRegression, "no-regression", t.regressions == 0,
+          t.regressions,
+          t.regressions == 0 ? "no node's version ever decreased"
+                             : "version regressions observed");
+  monitor(FleetMonitorId::Accounting, "accounting",
+          pending_revives_ == 0 && count_live() == cfg_.nodes, count_live(),
+          "live nodes at end of campaign");
+  monitor(FleetMonitorId::JournalResume, "journal-resume",
+          t.power_cuts == 0 || t.resumes > 0, t.resumes,
+          t.power_cuts == 0
+              ? "no power cuts struck (vacuous)"
+              : std::to_string(t.power_cuts) + " cuts, " +
+                    std::to_string(t.resumes) + " journal resumes");
+  monitor(FleetMonitorId::Dispatch, "dispatch",
+          t.dispatch_failures == 0 && (!any_full || t.dispatch_checks > 0),
+          t.dispatch_checks,
+          "full-fidelity installs dispatch-verified, " +
+              std::to_string(t.dispatch_failures) + " failures");
+}
+
+}  // namespace harbor::fleet

@@ -1,0 +1,177 @@
+#pragma once
+// Fleet-scale OTA dissemination simulator (DESIGN.md §16).
+//
+// A discrete-event harness over N Nodes sharing one broadcast Radio: a
+// priority queue ordered by (tick, insertion sequence) carries frame
+// deliveries, node timer wakeups, and campaign events (version injection,
+// churn deaths/revivals, partition cut/heal, periodic checkpoints). Every
+// decision — radio faults, Trickle jitter, retry backoff, power-cut
+// placement, churn schedule — derives from the single master seed, so a
+// campaign replays bit-identically and the end-state digest is comparable
+// across runs and platforms.
+//
+// The fleet monitor registry asserts the dissemination guarantees at the
+// end of a campaign:
+//   convergence     every live node reached the newest version in bounded time
+//   old-or-new      no recovery ever surfaced a torn image, fleet-wide
+//   no-regression   no node's committed version ever decreased (incl. heal)
+//   accounting      every node alive again at the end (churn all revived)
+//   journal-resume  power cuts actually exercised resume-from-journal
+//   dispatch        full-fidelity nodes ran every installed update clean
+//
+// Checkpoints stream fleet-report-v1 JSONL records (validated by
+// tools/validate_trace.py --fleet) and feed the per-node Perfetto timeline.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "fleet/node.h"
+#include "fleet/radio.h"
+#include "trace/export.h"
+
+namespace harbor::fleet {
+
+struct FleetConfig {
+  std::uint32_t nodes = 16;
+  Topology topology = Topology::Grid;
+  std::uint32_t degree = 4;       ///< random topology: extra peers per node
+  double loss = 0.0;              ///< per-link drop probability
+  double duplicate = 0.02;
+  double corrupt = 0.01;
+  double cut_prob = 0.0;          ///< power-cut arming probability per install
+  double churn = 0.0;             ///< fraction of the fleet killed + revived
+  bool partition = false;         ///< cut the fleet in half around injection
+  ProtectionMode mode = ProtectionMode::Umpu;
+  /// Every full_every-th node is full-fidelity (owns a harbor::System and
+  /// dispatch-verifies every install); 0 disables full-fidelity nodes.
+  std::uint32_t full_every = 8;
+  std::uint64_t master_seed = 1;
+  std::uint32_t image_pad_words = 64;  ///< extra on-air words in the update
+  std::uint16_t base_version = 1;
+  std::uint16_t update_version = 2;
+  std::uint64_t inject_tick = 64;      ///< when the origin learns the update
+  std::uint64_t partition_ticks = 6000;  ///< heal = inject + partition_ticks
+  std::uint64_t churn_down_ticks = 3000;
+  std::uint64_t checkpoint_every = 512;
+  std::uint64_t max_ticks = 1u << 21;
+  NodeConfig node{};  ///< per-node protocol tuning (id/seed/mode overwritten)
+};
+
+enum class FleetMonitorId : std::uint8_t {
+  Convergence,
+  OldOrNew,
+  NoRegression,
+  Accounting,
+  JournalResume,
+  Dispatch,
+};
+
+struct FleetMonitorResult {
+  FleetMonitorId id{};
+  std::string name;
+  bool ok = true;
+  std::uint64_t value = 0;
+  std::string detail;
+};
+
+struct FleetTotals {
+  std::uint64_t adverts = 0;
+  std::uint64_t reqs = 0;
+  std::uint64_t chunks_served = 0;
+  std::uint64_t chunks_staged = 0;
+  std::uint64_t installs = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t fetch_aborts = 0;
+  std::uint64_t power_cuts = 0;
+  std::uint64_t reboots = 0;
+  std::uint64_t deaths = 0;        ///< churn kills
+  std::uint64_t torn = 0;
+  std::uint64_t regressions = 0;
+  std::uint64_t dispatch_checks = 0;
+  std::uint64_t dispatch_failures = 0;
+};
+
+struct FleetResult {
+  bool converged = false;
+  std::uint64_t converged_tick = 0;
+  std::uint64_t end_tick = 0;
+  std::uint16_t newest_version = 0;
+  std::uint64_t digest = 0;  ///< FNV-1a over every node's end state
+  FleetTotals totals;
+  RadioCounters radio;
+  std::vector<FleetMonitorResult> monitors;
+  std::uint64_t events_processed = 0;
+  [[nodiscard]] bool ok() const {
+    for (const FleetMonitorResult& m : monitors)
+      if (!m.ok) return false;
+    return true;
+  }
+};
+
+class FleetSim {
+ public:
+  explicit FleetSim(const FleetConfig& cfg);
+
+  /// Run the campaign to convergence (or max_ticks). `jsonl`, when set,
+  /// receives one fleet-report-v1 line per checkpoint (no trailing \n).
+  using JsonlSink = std::function<void(const std::string& line)>;
+  FleetResult run(const JsonlSink& jsonl = nullptr);
+
+  /// Per-node tracks + fleet convergence counters, populated by run().
+  [[nodiscard]] const trace::MultiTrackTimeline& timeline() const { return timeline_; }
+  [[nodiscard]] const FleetConfig& config() const { return cfg_; }
+  [[nodiscard]] const Node& node(std::uint32_t i) const { return *nodes_[i]; }
+
+ private:
+  enum class EventKind : std::uint8_t {
+    Deliver, Wake, Inject, Kill, Revive, PartitionOn, PartitionOff, Checkpoint,
+  };
+  struct Event {
+    std::uint64_t at = 0;
+    std::uint64_t seq = 0;  ///< insertion order: deterministic tie-break
+    EventKind kind = EventKind::Wake;
+    std::uint32_t node = 0;
+    ota::Frame frame;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  void push(std::uint64_t at, EventKind kind, std::uint32_t node = 0,
+            ota::Frame frame = {});
+  void reschedule_wake(std::uint32_t n, std::uint64_t now);
+  void broadcast_all(std::uint32_t src, const std::vector<ota::Frame>& tx,
+                     std::uint64_t now);
+  void schedule_campaign();
+  [[nodiscard]] std::uint32_t count_at_newest() const;
+  [[nodiscard]] std::uint32_t count_live() const;
+  void emit_checkpoint(std::uint64_t now, const JsonlSink& jsonl);
+  void finish(FleetResult& res, std::uint64_t now);
+
+  FleetConfig cfg_;
+  Radio radio_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::uint16_t> update_image_;
+  std::uint16_t newest_version_ = 0;
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::uint64_t seq_ = 0;
+  std::vector<std::uint64_t> next_wake_;
+  std::uint64_t pending_revives_ = 0;
+  std::uint64_t deaths_ = 0;
+  bool converged_ = false;
+  std::uint64_t converged_tick_ = 0;
+
+  trace::MultiTrackTimeline timeline_;
+  std::vector<std::uint64_t> fetch_started_;  ///< per-node, for fetch slices
+  std::vector<std::uint16_t> last_version_;   ///< per-node, for commit instants
+  std::vector<bool> was_down_;
+};
+
+}  // namespace harbor::fleet

@@ -1,0 +1,91 @@
+#pragma once
+// Trickle timer (RFC 6206 shape) for fleet-wide version advertisement
+// (DESIGN.md §16).
+//
+// Each node advertises its committed image version at a self-clocked,
+// suppressed rate: within every interval I it picks a random point
+// t ∈ [I/2, I) and transmits there only if it heard fewer than k consistent
+// advertisements so far; at the interval's end I doubles (up to
+// Imin << max_doublings). Hearing an *inconsistent* advertisement — any
+// neighbour on a different version — resets I to Imin, so news floods a
+// quiet fleet in O(log N) intervals while a converged fleet idles at the
+// maximum interval with ~k transmissions per neighbourhood per interval.
+//
+// The timer is a pure state machine over caller-supplied time and
+// randomness: the fleet simulator owns the clock and the per-node seeded
+// PRNG, which keeps every run bit-reproducible.
+
+#include <cstdint>
+
+#include "core/prng.h"
+
+namespace harbor::fleet {
+
+struct TrickleConfig {
+  std::uint32_t imin_ticks = 8;      ///< smallest interval
+  std::uint32_t max_doublings = 6;   ///< Imax = imin << max_doublings
+  std::uint32_t redundancy_k = 2;    ///< suppress when >= k consistent heard
+};
+
+class Trickle {
+ public:
+  explicit Trickle(TrickleConfig cfg = {}) : cfg_(cfg) {}
+
+  /// (Re)start at the smallest interval — boot, reboot, or inconsistency.
+  void reset(std::uint64_t now, core::Prng& rng) {
+    interval_ = cfg_.imin_ticks;
+    begin_interval(now, rng);
+  }
+
+  /// A neighbour advertised the same version we hold.
+  void on_consistent() { ++heard_; }
+
+  /// A neighbour disagreed (older or newer): drop back to Imin unless we
+  /// are already there (RFC 6206 §4.2 step 6 — avoids reset storms).
+  void on_inconsistent(std::uint64_t now, core::Prng& rng) {
+    if (interval_ != cfg_.imin_ticks) reset(now, rng);
+  }
+
+  /// Next time the timer needs service (transmit point or interval end).
+  [[nodiscard]] std::uint64_t deadline() const { return deadline_; }
+
+  /// Service the timer at its deadline. Returns true exactly when the
+  /// caller should transmit an advertisement now (the mid-interval point
+  /// fired with fewer than k consistent advertisements heard).
+  bool fire(std::uint64_t now, core::Prng& rng) {
+    if (phase_ == Phase::BeforeT) {
+      phase_ = Phase::AfterT;
+      deadline_ = interval_end_;
+      return heard_ < cfg_.redundancy_k;
+    }
+    // Interval expired: double (capped) and start the next one.
+    const std::uint32_t imax = cfg_.imin_ticks << cfg_.max_doublings;
+    interval_ = interval_ < imax ? interval_ * 2 : imax;
+    begin_interval(now, rng);
+    return false;
+  }
+
+  [[nodiscard]] std::uint32_t interval() const { return interval_; }
+  [[nodiscard]] std::uint32_t heard() const { return heard_; }
+
+ private:
+  enum class Phase : std::uint8_t { BeforeT, AfterT };
+
+  void begin_interval(std::uint64_t now, core::Prng& rng) {
+    heard_ = 0;
+    phase_ = Phase::BeforeT;
+    interval_end_ = now + interval_;
+    // t uniform in [I/2, I).
+    const std::uint32_t half = interval_ / 2;
+    deadline_ = now + half + rng.below(interval_ - half);
+  }
+
+  TrickleConfig cfg_;
+  std::uint32_t interval_ = 8;
+  std::uint32_t heard_ = 0;
+  Phase phase_ = Phase::BeforeT;
+  std::uint64_t deadline_ = 0;
+  std::uint64_t interval_end_ = 0;
+};
+
+}  // namespace harbor::fleet

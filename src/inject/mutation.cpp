@@ -1,11 +1,11 @@
 #include "inject/mutation.h"
 
 #include <cstdio>
-#include <random>
 #include <string>
 
 #include "asm/builder.h"
 #include "avr/decoder.h"
+#include "core/prng.h"
 
 namespace harbor::inject {
 
@@ -70,11 +70,13 @@ Sites scan(const PlanContext& ctx) {
 }  // namespace
 
 std::vector<Mutation> plan_campaign(const PlanContext& ctx, std::uint64_t seed, int count) {
-  std::mt19937_64 rng(seed);
+  // Campaign generator: the shared splitmix64 stream (core/prng.h) —
+  // 8 bytes of state, bit-identical across hosts and standard libraries.
+  core::Prng rng(seed);
   const Sites sites = scan(ctx);
   const std::vector<std::uint16_t> opcodes = dangerous_opcodes();
 
-  auto pick = [&rng](std::uint64_t n) { return n ? rng() % n : 0; };
+  auto pick = [&rng](std::uint64_t n) { return rng.below(n); };
 
   std::vector<Mutation> plan;
   plan.reserve(static_cast<std::size_t>(count));

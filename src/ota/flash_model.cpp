@@ -1,17 +1,14 @@
 #include "ota/flash_model.h"
 
+#include "core/prng.h"
+
 namespace harbor::ota {
 namespace {
 
 // splitmix64 finalizer: the per-page limits and stuck-bit masks must be pure
 // functions of (seed, page, word) so aging faults are order-independent —
 // drawing them from rng_ would entangle them with the power-cut stream.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9E3779B97F4A7C15ULL;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
+using core::mix64;
 
 }  // namespace
 

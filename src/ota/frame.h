@@ -1,0 +1,45 @@
+#pragma once
+// Frame byte-marshalling shared by the point-to-point transfer protocol
+// (ota/transfer.cpp) and the fleet dissemination protocol (src/fleet):
+// little-endian field push/get and the trailing CRC32 seal every frame
+// carries. A frame that fails its CRC is dropped silently, exactly like a
+// radio CRC failure — both protocols lean on that for corruption tolerance.
+
+#include <cstdint>
+#include <cstddef>
+
+#include "ota/crc32.h"
+#include "ota/link.h"
+
+namespace harbor::ota {
+
+inline void push_u16(Frame& f, std::uint16_t v) {
+  f.push_back(static_cast<std::uint8_t>(v & 0xff));
+  f.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+inline void push_u32(Frame& f, std::uint32_t v) {
+  push_u16(f, static_cast<std::uint16_t>(v & 0xFFFF));
+  push_u16(f, static_cast<std::uint16_t>(v >> 16));
+}
+
+inline std::uint16_t get_u16(const Frame& f, std::size_t at) {
+  return static_cast<std::uint16_t>(f[at] | (f[at + 1] << 8));
+}
+
+inline std::uint32_t get_u32(const Frame& f, std::size_t at) {
+  return get_u16(f, at) | (static_cast<std::uint32_t>(get_u16(f, at + 2)) << 16);
+}
+
+/// Append the CRC32 of everything currently in the frame.
+inline void seal_frame(Frame& f) { push_u32(f, crc32(f)); }
+
+/// CRC + minimum-length check; every malformed frame is dropped silently,
+/// exactly like a radio CRC failure.
+inline bool frame_crc_ok(const Frame& f, std::size_t min_body) {
+  if (f.size() < min_body + 4) return false;
+  const Frame body(f.begin(), f.end() - 4);
+  return crc32(body) == get_u32(f, f.size() - 4);
+}
+
+}  // namespace harbor::ota

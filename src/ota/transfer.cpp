@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ota/crc32.h"
+#include "ota/frame.h"
 #include "trace/tracer.h"
 
 namespace harbor::ota {
@@ -18,33 +19,10 @@ constexpr std::uint8_t kAckOk = 0;
 constexpr std::uint8_t kAckNack = 1;
 constexpr std::uint8_t kAckDone = 2;
 
-void push_u16(Frame& f, std::uint16_t v) {
-  f.push_back(static_cast<std::uint8_t>(v & 0xff));
-  f.push_back(static_cast<std::uint8_t>(v >> 8));
-}
-
-void push_u32(Frame& f, std::uint32_t v) {
-  push_u16(f, static_cast<std::uint16_t>(v & 0xFFFF));
-  push_u16(f, static_cast<std::uint16_t>(v >> 16));
-}
-
-std::uint16_t get_u16(const Frame& f, std::size_t at) {
-  return static_cast<std::uint16_t>(f[at] | (f[at + 1] << 8));
-}
-
-std::uint32_t get_u32(const Frame& f, std::size_t at) {
-  return get_u16(f, at) | (static_cast<std::uint32_t>(get_u16(f, at + 2)) << 16);
-}
-
-void seal(Frame& f) { push_u32(f, crc32(f)); }
-
-/// CRC + minimum-length check; every malformed frame is dropped silently,
-/// exactly like a radio CRC failure.
-bool frame_ok(const Frame& f, std::size_t min_body) {
-  if (f.size() < min_body + 4) return false;
-  const Frame body(f.begin(), f.end() - 4);
-  return crc32(body) == get_u32(f, f.size() - 4);
-}
+// Marshalling (push/get/seal/check) lives in ota/frame.h, shared with the
+// fleet dissemination protocol.
+void seal(Frame& f) { seal_frame(f); }
+bool frame_ok(const Frame& f, std::size_t min_body) { return frame_crc_ok(f, min_body); }
 
 Frame make_ack(std::uint8_t session, std::uint16_t seq, std::uint8_t status) {
   Frame f{kAck, session};
@@ -70,7 +48,8 @@ const char* transfer_status_name(TransferStatus s) {
 // --- Sender -------------------------------------------------------------------
 
 Sender::Sender(std::vector<std::uint16_t> image, TransferConfig cfg, trace::Tracer* tracer)
-    : image_(std::move(image)), cfg_(cfg), tracer_(tracer) {
+    : image_(std::move(image)), cfg_(cfg), tracer_(tracer),
+      jitter_rng_(cfg.jitter_seed) {
   image_crc_ = crc32_words(image_);
   total_chunks_ = (static_cast<std::uint32_t>(image_.size()) + cfg_.chunk_words - 1) /
                   cfg_.chunk_words;
@@ -127,8 +106,14 @@ void Sender::tick(std::uint64_t now, std::vector<Frame>& out) {
     return;
   }
   const std::uint32_t shift = std::min(attempt_ - 1, 16u);
-  const std::uint32_t backoff =
+  std::uint32_t backoff =
       std::min(cfg_.backoff_base_ticks << shift, cfg_.backoff_cap_ticks);
+  // Equal-jitter: keep the floor of the exponential wait, randomize the
+  // rest, so fleet-wide simultaneous timeouts desynchronize (seeded —
+  // replays are still deterministic).
+  const std::uint32_t span = backoff * std::min(cfg_.backoff_jitter_pct, 100u) / 100;
+  if (span)
+    backoff = backoff - span + static_cast<std::uint32_t>(jitter_rng_.below(span + 1));
   stats_.backoff_ticks += backoff;
   if (tracer_) tracer_->ota_backoff(current_seq(), backoff);
   in_backoff_ = true;

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "core/prng.h"
 #include "ota/link.h"
 #include "ota/store.h"
 
@@ -36,6 +37,16 @@ struct TransferConfig {
   std::uint32_t backoff_cap_ticks = 64;
   std::uint32_t max_attempts = 16;       ///< per frame, first send included
   std::uint32_t progress_every_chunks = 4;
+  /// Randomized retry-backoff jitter: each backoff wait keeps at least
+  /// (100 - jitter_pct)% of its exponential value and draws the rest from a
+  /// seeded stream (equal-jitter). A fleet of nodes that all timed out
+  /// together then spreads its retries across the window instead of
+  /// synchronizing into a retry storm (DESIGN.md §16); derive the seed per
+  /// node (core::derive) so streams decorrelate. 0 disables jitter. The
+  /// flash-op sequence stays loss- and jitter-invariant either way — jitter
+  /// shifts *when* a frame is resent, never what the receiver stages.
+  std::uint32_t backoff_jitter_pct = 50;
+  std::uint64_t jitter_seed = 1;
 };
 
 struct SenderStats {
@@ -81,6 +92,7 @@ class Sender {
   bool awaiting_ = false;
   bool in_backoff_ = false;
   std::uint64_t deadline_ = 0;
+  core::Prng jitter_rng_{1};
   SenderStats stats_;
 };
 

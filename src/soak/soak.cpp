@@ -6,6 +6,7 @@
 
 #include "asm/builder.h"
 #include "avr/ports.h"
+#include "core/prng.h"
 #include "ota/image.h"
 #include "sos/modules.h"
 #include "trace/json.h"
@@ -16,13 +17,10 @@ namespace {
 
 using namespace harbor::assembler;
 
-/// xorshift64: deterministic, seedable, no std::random state to drag along.
-std::uint64_t next_rand(std::uint64_t& s) {
-  s ^= s << 13;
-  s ^= s >> 7;
-  s ^= s << 17;
-  return s;
-}
+/// xorshift64 (core/prng.h): deterministic, seedable, no std::random state
+/// to drag along. The historical soak stream — existing seeds replay
+/// bit-identically.
+std::uint64_t next_rand(std::uint64_t& s) { return core::xorshift64_next(s); }
 
 /// The storm module: spins forever on kData (guaranteed watchdog fault),
 /// returns cleanly on everything else. Position independent, store free —

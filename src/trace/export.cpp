@@ -257,6 +257,32 @@ std::string perfetto_counters_json(const std::vector<CounterTrack>& tracks) {
   return out;
 }
 
+std::string perfetto_timeline_json(const MultiTrackTimeline& t) {
+  std::string out = "{\"traceEvents\":[";
+  json::Joiner ev(out);
+  ev.item();
+  out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + std::to_string(kPid) +
+         ",\"args\":{\"name\":\"" + json::escape(t.process_name) + "\"}}";
+  for (std::size_t i = 0; i < t.tracks.size(); ++i)
+    meta_event(out, ev, static_cast<int>(i) + 1, t.tracks[i]);
+  for (const MultiTrackTimeline::Slice& s : t.slices) {
+    begin_event(out, ev, "X", static_cast<int>(s.track) + 1, s.ts, s.name);
+    out += ",\"dur\":" + std::to_string(s.dur) + '}';
+  }
+  for (const MultiTrackTimeline::Instant& i : t.instants) {
+    begin_event(out, ev, "i", static_cast<int>(i.track) + 1, i.ts, i.name);
+    out += ",\"s\":\"t\"}";
+  }
+  for (const CounterTrack& c : t.counters) {
+    for (const auto& [ts, value] : c.samples) {
+      begin_event(out, ev, "C", 0, ts, c.name);
+      out += ",\"args\":{\"value\":" + json::number(value) + "}}";
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
 std::string trace_vcd(const Tracer& tracer) {
   avr::VcdWriter vcd;
   const int sig_dom = vcd.add_signal("cur_domain", 3);

@@ -36,6 +36,34 @@ struct CounterTrack {
 /// output — both use pid 1 and cycle timestamps).
 std::string perfetto_counters_json(const std::vector<CounterTrack>& tracks);
 
+/// Generic multi-track Perfetto timeline for producers that are not a
+/// single traced CPU — e.g. the fleet simulator, which renders one track
+/// per node plus fleet-wide counters on one timeline. Tracks map to
+/// threads (tid = index + 1) of a single named process; slices are "X"
+/// complete events and instants are thread-scoped "i" events, both
+/// timestamped in simulator ticks.
+struct MultiTrackTimeline {
+  struct Slice {
+    std::uint32_t track = 0;  ///< index into `tracks`
+    std::string name;
+    std::uint64_t ts = 0;
+    std::uint64_t dur = 0;
+  };
+  struct Instant {
+    std::uint32_t track = 0;
+    std::string name;
+    std::uint64_t ts = 0;
+  };
+
+  std::string process_name;
+  std::vector<std::string> tracks;
+  std::vector<Slice> slices;
+  std::vector<Instant> instants;
+  std::vector<CounterTrack> counters;
+};
+
+std::string perfetto_timeline_json(const MultiTrackTimeline& t);
+
 std::string metrics_json(Tracer& tracer);
 
 std::string trace_vcd(const Tracer& tracer);

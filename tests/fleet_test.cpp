@@ -1,0 +1,363 @@
+// Tests for fleet-scale OTA dissemination: the shared seeded-PRNG core,
+// Trickle suppression/reset behaviour, the broadcast radio (determinism,
+// topologies, partitions), versioned update images, and end-to-end fleet
+// campaigns — convergence under loss, power cuts with journal resume,
+// churn revival, partition healing without version regression, and the
+// bit-identical determinism digest. Ends with the acceptance campaign:
+// 256 nodes, random topology, 30% loss, cuts striking 1-in-5 installs,
+// 10% churn, one partition heal.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/prng.h"
+#include "fleet/node.h"
+#include "fleet/radio.h"
+#include "fleet/sim.h"
+#include "fleet/trickle.h"
+
+namespace harbor::fleet {
+namespace {
+
+// --- core::Prng -------------------------------------------------------------
+
+TEST(FleetPrng, Mix64MatchesSplitmixFinalizer) {
+  // Golden value pins the constants: flash_model's aging faults and every
+  // fleet stream derivation depend on this exact function. 0xE220A8397B1DCDAF
+  // is splitmix64's canonical first output from seed 0.
+  EXPECT_EQ(core::mix64(0), 0xE220A8397B1DCDAFull);
+  EXPECT_EQ(core::mix64(1), core::mix64(1));
+  EXPECT_NE(core::mix64(1), core::mix64(2));
+}
+
+TEST(FleetPrng, DeriveNeverReturnsZeroAndSeparatesStreams) {
+  EXPECT_NE(core::derive(0, 0), 0u);
+  EXPECT_NE(core::derive(1, 2), core::derive(1, 3));
+  EXPECT_NE(core::derive(1, 2), core::derive(2, 2));
+  EXPECT_NE(core::derive(1, 2, 3), core::derive(1, 3, 2));
+}
+
+TEST(FleetPrng, PrngIsDeterministicAndBounded) {
+  core::Prng a(42), b(42), c(43), bounded(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_LT(bounded.below(17), 17u);
+  }
+  EXPECT_NE(a.next(), c.next());
+  core::Prng d(7);
+  EXPECT_EQ(d.below(0), 0u);
+  EXPECT_FALSE(core::Prng(1).chance(0.0));
+  EXPECT_TRUE(core::Prng(1).chance(1.0));
+}
+
+TEST(FleetPrng, Xorshift64MatchesReferenceStream) {
+  std::uint64_t s = 0x9E3779B97F4A7C15ull;
+  std::uint64_t t = s;
+  // Reference implementation, inlined: the soak harness's historical idiom.
+  auto ref = [](std::uint64_t& x) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(core::xorshift64_next(s), ref(t));
+}
+
+// --- Trickle ----------------------------------------------------------------
+
+TEST(FleetTrickle, TransmitPointLiesInSecondHalfOfInterval) {
+  core::Prng rng(1);
+  TrickleConfig cfg;
+  cfg.imin_ticks = 16;
+  Trickle t(cfg);
+  for (int i = 0; i < 20; ++i) {
+    t.reset(1000, rng);
+    EXPECT_GE(t.deadline(), 1000u + 8);
+    EXPECT_LT(t.deadline(), 1000u + 16);
+  }
+}
+
+TEST(FleetTrickle, IntervalDoublesWhenConsistentAndCaps) {
+  core::Prng rng(2);
+  TrickleConfig cfg;
+  cfg.imin_ticks = 8;
+  cfg.max_doublings = 3;
+  Trickle t(cfg);
+  t.reset(0, rng);
+  std::uint64_t now = 0;
+  std::vector<std::uint32_t> intervals{t.interval()};
+  for (int i = 0; i < 6; ++i) {
+    now = t.deadline();
+    t.fire(now, rng);  // transmit point
+    now = t.deadline();
+    t.fire(now, rng);  // interval end -> doubling
+    intervals.push_back(t.interval());
+  }
+  EXPECT_EQ(intervals.front(), 8u);
+  EXPECT_EQ(*std::max_element(intervals.begin(), intervals.end()), 64u);
+  EXPECT_TRUE(std::is_sorted(intervals.begin(), intervals.end()));
+}
+
+TEST(FleetTrickle, RedundantAdvertisementsSuppressTransmission) {
+  core::Prng rng(3);
+  TrickleConfig cfg;
+  cfg.redundancy_k = 2;
+  Trickle t(cfg);
+  t.reset(0, rng);
+  t.on_consistent();
+  t.on_consistent();
+  EXPECT_FALSE(t.fire(t.deadline(), rng));  // heard >= k: stay quiet
+
+  t.reset(0, rng);
+  t.on_consistent();
+  EXPECT_TRUE(t.fire(t.deadline(), rng));  // heard < k: transmit
+}
+
+TEST(FleetTrickle, InconsistencyResetsToMinimumIntervalOnce) {
+  core::Prng rng(4);
+  TrickleConfig cfg;
+  cfg.imin_ticks = 8;
+  Trickle t(cfg);
+  t.reset(0, rng);
+  std::uint64_t now = 0;
+  for (int i = 0; i < 8; ++i) {
+    now = t.deadline();
+    t.fire(now, rng);
+  }
+  ASSERT_GT(t.interval(), 8u);
+  t.on_inconsistent(now, rng);
+  EXPECT_EQ(t.interval(), 8u);
+  // Already at Imin: a further inconsistency must not re-randomize the
+  // timer (reset-storm protection).
+  const std::uint64_t deadline = t.deadline();
+  t.on_inconsistent(now, rng);
+  EXPECT_EQ(t.deadline(), deadline);
+}
+
+// --- versioned update images ------------------------------------------------
+
+TEST(FleetImage, VersionRoundTripsThroughSerializedImage) {
+  const auto img = make_update_image(7, 32);
+  EXPECT_EQ(image_version(img), 7);
+  const auto img2 = make_update_image(8, 32);
+  EXPECT_EQ(image_version(img2), 8);
+  EXPECT_NE(img, img2);
+  EXPECT_EQ(image_version(std::vector<std::uint16_t>{1, 2, 3}), 0);
+}
+
+TEST(FleetImage, PaddingGrowsTheOnAirImage) {
+  EXPECT_GT(make_update_image(2, 128).size(), make_update_image(2, 0).size());
+}
+
+// --- radio ------------------------------------------------------------------
+
+TEST(FleetRadio, TopologiesHaveExpectedNeighbourhoods) {
+  RadioConfig line;
+  line.topology = Topology::Line;
+  line.nodes = 5;
+  Radio rl(line);
+  EXPECT_EQ(rl.neighbours(0).size(), 1u);
+  EXPECT_EQ(rl.neighbours(2).size(), 2u);
+
+  RadioConfig grid;
+  grid.topology = Topology::Grid;
+  grid.nodes = 9;  // 3x3
+  Radio rg(grid);
+  EXPECT_EQ(rg.neighbours(4).size(), 4u);  // centre
+  EXPECT_EQ(rg.neighbours(0).size(), 2u);  // corner
+
+  RadioConfig rnd;
+  rnd.topology = Topology::Random;
+  rnd.nodes = 32;
+  rnd.degree = 3;
+  Radio rr(rnd);
+  for (std::uint32_t i = 0; i < rnd.nodes; ++i)
+    EXPECT_GE(rr.neighbours(i).size(), 2u);  // ring guarantees connectivity
+}
+
+TEST(FleetRadio, BroadcastIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    RadioConfig cfg;
+    cfg.topology = Topology::Grid;
+    cfg.nodes = 16;
+    cfg.drop = 0.3;
+    cfg.corrupt = 0.1;
+    cfg.master_seed = seed;
+    Radio radio(cfg);
+    std::vector<std::uint64_t> log;
+    for (std::uint32_t s = 0; s < 16; ++s)
+      radio.broadcast(s, {1, 2, 3, 4}, s * 10,
+                      [&](std::uint32_t dst, ota::Frame f, std::uint64_t at) {
+                        log.push_back(dst | at << 8 | f.size() << 40);
+                      });
+    return log;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(FleetRadio, PartitionBlocksCrossHalfTrafficOnly) {
+  RadioConfig cfg;
+  cfg.topology = Topology::Line;
+  cfg.nodes = 8;
+  Radio radio(cfg);
+  radio.set_partitioned(true);
+  std::set<std::uint32_t> reached;
+  for (std::uint32_t s = 0; s < 8; ++s)
+    radio.broadcast(s, {9}, 0,
+                    [&](std::uint32_t dst, ota::Frame, std::uint64_t) {
+                      // Every delivery must stay inside the sender's half.
+                      EXPECT_EQ(s < 4, dst < 4);
+                      reached.insert(dst);
+                    });
+  EXPECT_GT(radio.counters().partition_blocked, 0u);
+  radio.set_partitioned(false);
+  bool crossed = false;
+  radio.broadcast(3, {9}, 0,
+                  [&](std::uint32_t dst, ota::Frame, std::uint64_t) {
+                    crossed = crossed || dst == 4;
+                  });
+  EXPECT_TRUE(crossed);  // healed edge carries traffic again
+}
+
+// --- fleet campaigns --------------------------------------------------------
+
+FleetConfig small_fleet() {
+  FleetConfig cfg;
+  cfg.nodes = 16;
+  cfg.topology = Topology::Grid;
+  cfg.full_every = 8;
+  cfg.mode = ProtectionMode::Umpu;
+  return cfg;
+}
+
+TEST(FleetSim, LosslessFleetConvergesEveryNode) {
+  FleetSim sim(small_fleet());
+  const FleetResult res = sim.run();
+  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.totals.installs, 15u);  // everyone but the origin
+  EXPECT_EQ(res.totals.torn, 0u);
+  for (std::uint32_t i = 0; i < 16; ++i) EXPECT_EQ(sim.node(i).version(), 2);
+}
+
+TEST(FleetSim, PowerCutsResumeFromJournalWithoutTornImages) {
+  FleetConfig cfg = small_fleet();
+  cfg.loss = 0.1;
+  cfg.cut_prob = 0.5;
+  FleetSim sim(cfg);
+  const FleetResult res = sim.run();
+  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.ok());
+  EXPECT_GT(res.totals.power_cuts, 0u);
+  EXPECT_GT(res.totals.resumes, 0u);
+  EXPECT_EQ(res.totals.torn, 0u);
+}
+
+TEST(FleetSim, ChurnedNodesReviveAndCatchUp) {
+  FleetConfig cfg = small_fleet();
+  cfg.churn = 0.3;
+  FleetSim sim(cfg);
+  const FleetResult res = sim.run();
+  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.ok());
+  EXPECT_GT(res.totals.deaths, 0u);
+  for (std::uint32_t i = 0; i < cfg.nodes; ++i) {
+    EXPECT_TRUE(sim.node(i).alive());
+    EXPECT_EQ(sim.node(i).version(), 2);
+  }
+}
+
+TEST(FleetSim, PartitionHealsIntoMixedFleetWithoutRegression) {
+  FleetConfig cfg = small_fleet();
+  cfg.partition = true;
+  FleetSim sim(cfg);
+  const FleetResult res = sim.run();
+  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.ok());
+  EXPECT_GT(res.radio.partition_blocked, 0u);
+  EXPECT_EQ(res.totals.regressions, 0u);
+}
+
+TEST(FleetSim, CheckpointStreamIsWellFormedAndMonotone) {
+  FleetConfig cfg = small_fleet();
+  cfg.loss = 0.2;
+  cfg.checkpoint_every = 128;
+  FleetSim sim(cfg);
+  std::vector<std::string> lines;
+  const FleetResult res =
+      sim.run([&](const std::string& line) { lines.push_back(line); });
+  EXPECT_TRUE(res.ok());
+  ASSERT_GT(lines.size(), 1u);
+  for (const std::string& l : lines) {
+    EXPECT_NE(l.find("\"schema\":\"fleet-report-v1\""), std::string::npos);
+    EXPECT_NE(l.find("\"versions\":["), std::string::npos);
+  }
+}
+
+TEST(FleetSim, SameSeedReplaysBitIdentically) {
+  FleetConfig cfg = small_fleet();
+  cfg.loss = 0.25;
+  cfg.cut_prob = 0.3;
+  cfg.churn = 0.2;
+  cfg.partition = true;
+  auto digest = [&](std::uint64_t seed) {
+    FleetConfig c = cfg;
+    c.master_seed = seed;
+    FleetSim sim(c);
+    return sim.run().digest;
+  };
+  EXPECT_EQ(digest(11), digest(11));
+  EXPECT_NE(digest(11), digest(12));
+}
+
+TEST(FleetSim, FullFidelityNodesDispatchEveryInstalledVersion) {
+  FleetConfig cfg = small_fleet();
+  cfg.full_every = 4;  // 4 of 16 nodes carry a full harbor::System
+  FleetSim sim(cfg);
+  const FleetResult res = sim.run();
+  EXPECT_TRUE(res.ok());
+  // Each full node dispatch-verifies at v1 provisioning and after the v2
+  // install; the origin (node 0, full) verifies both of its seeds.
+  EXPECT_GE(res.totals.dispatch_checks, 8u);
+  EXPECT_EQ(res.totals.dispatch_failures, 0u);
+}
+
+// The ISSUE acceptance campaign: 256 nodes, random topology, 30% per-link
+// loss, power cuts striking ~1-in-5 installs, 10% churn, one partition
+// heal — every live node converges, zero old-or-new violations, zero
+// version regressions, reproduced bit-identically from the master seed.
+TEST(FleetAcceptance, LargeLossyChurningPartitionedFleetConverges) {
+  FleetConfig cfg;
+  cfg.nodes = 256;
+  cfg.topology = Topology::Random;
+  cfg.loss = 0.3;
+  cfg.cut_prob = 0.2;
+  cfg.churn = 0.1;
+  cfg.partition = true;
+  cfg.full_every = 8;
+  for (const ProtectionMode mode :
+       {ProtectionMode::Umpu, ProtectionMode::Sfi}) {
+    cfg.mode = mode;
+    FleetSim a(cfg);
+    const FleetResult res = a.run();
+    EXPECT_TRUE(res.converged);
+    EXPECT_TRUE(res.ok());
+    EXPECT_GT(res.totals.power_cuts, 0u);
+    EXPECT_GT(res.totals.resumes, 0u);
+    EXPECT_GT(res.totals.deaths, 0u);
+    EXPECT_EQ(res.totals.torn, 0u);
+    EXPECT_EQ(res.totals.regressions, 0u);
+    EXPECT_EQ(res.totals.dispatch_failures, 0u);
+    for (std::uint32_t i = 0; i < cfg.nodes; ++i)
+      EXPECT_EQ(a.node(i).version(), 2) << "node " << i;
+    FleetSim b(cfg);
+    EXPECT_EQ(b.run().digest, res.digest) << "not bit-reproducible";
+  }
+}
+
+}  // namespace
+}  // namespace harbor::fleet

@@ -1,0 +1,153 @@
+// Mixed-version cross-domain dispatch: a node mid-fleet-update can run
+// module v1 in one domain while v2 runs in another. Each version must
+// dispatch through its own per-slot jump table (a caller built against the
+// v1 API observes v1 behaviour, a v2 caller observes v2), and a stale
+// caller whose target version was revoked must fault *contained* — the
+// 0xFFFF error-stub result drives the Surge wild write into the caller's
+// own domain wall, never past it (the paper's §1.2 anecdote under version
+// skew). Also covers both versions arriving through the OTA store path the
+// fleet uses (kernel::load_from_store from two committed stores).
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.h"
+#include "core/harbor.h"
+#include "fleet/node.h"
+#include "ota/flash_model.h"
+#include "ota/image.h"
+#include "ota/store.h"
+
+namespace harbor {
+namespace {
+
+using namespace harbor::assembler;
+
+/// A tree_routing-shaped module whose exported get_hdr_size (slot 1)
+/// returns a version-specific header size — the observable API difference
+/// between "v1" and "v2" of the routing module.
+sos::ModuleImage tree_version(std::uint8_t hdr_size, const char* name) {
+  Assembler a;
+  sos::ModuleImage m;
+  m.name = name;
+  // handler (offset 0): nothing to do.
+  a.clr(r24);
+  a.clr(r25);
+  a.ret();
+  const std::uint32_t get_hdr = a.here();
+  a.ldi(r24, hdr_size);
+  a.clr(r25);
+  a.ret();
+  m.code = a.assemble().words;
+  m.exports = {{sos::ModuleImage::kHandlerSlot, 0},
+               {sos::modules::kTreeGetHdrSizeSlot, get_hdr}};
+  return m;
+}
+
+/// Where Surge stored its sample: its buffer pointer lives at state[0..1],
+/// and the sample lands at buf + (32 - hdr_size_returned_by_tree).
+std::uint8_t surge_sample_at(System& sys, memmap::DomainId surge,
+                             std::uint8_t hdr_size) {
+  const auto* m = sys.kernel().module(surge);
+  auto& ds = sys.device().data();
+  const std::uint16_t buf = static_cast<std::uint16_t>(
+      ds.sram_raw(m->state_ptr) | (ds.sram_raw(m->state_ptr + 1) << 8));
+  return ds.sram_raw(static_cast<std::uint16_t>(buf + 32 - hdr_size));
+}
+
+class MixedVersionTest : public ::testing::TestWithParam<ProtectionMode> {};
+
+TEST_P(MixedVersionTest, TwoVersionsDispatchThroughTheirOwnJumpTables) {
+  System sys({GetParam(), {}});
+  const auto tree_v1 = sys.load_module(tree_version(8, "tree-v1"), 1);
+  const auto tree_v2 = sys.load_module(tree_version(12, "tree-v2"), 2);
+
+  // Each version owns a distinct per-slot jump-table entry.
+  const std::uint32_t jt_v1 =
+      sys.subscribe(tree_v1, sos::modules::kTreeGetHdrSizeSlot);
+  const std::uint32_t jt_v2 =
+      sys.subscribe(tree_v2, sos::modules::kTreeGetHdrSizeSlot);
+  EXPECT_NE(jt_v1, jt_v2);
+
+  // A v1-bound caller and a v2-bound caller, side by side on one node.
+  const auto surge_v1 = sys.load_module(sos::modules::surge(tree_v1, false), 3);
+  const auto surge_v2 = sys.load_module(sos::modules::surge(tree_v2, false), 4);
+  sys.run_pending();
+
+  sys.post(surge_v1, sos::msg::kData);
+  sys.post(surge_v2, sos::msg::kData);
+  const auto log = sys.run_pending();
+  for (const auto& rec : log) EXPECT_FALSE(rec.result.faulted);
+
+  // v1's caller saw hdr=8, v2's saw hdr=12: the cross-domain calls went
+  // through version-correct slots, not a stale shared table.
+  EXPECT_EQ(surge_sample_at(sys, surge_v1, 8), 0x5a);
+  EXPECT_EQ(surge_sample_at(sys, surge_v2, 12), 0x5a);
+}
+
+TEST_P(MixedVersionTest, StaleCallerIntoRevokedSlotFaultsContained) {
+  System sys({GetParam(), {}});
+  const auto tree_v1 = sys.load_module(tree_version(8, "tree-v1"), 1);
+  const auto surge = sys.load_module(sos::modules::surge(tree_v1, false), 2);
+  sys.run_pending();
+
+  // Healthy dispatch first.
+  sys.post(surge, sos::msg::kData);
+  auto log = sys.run_pending();
+  ASSERT_FALSE(log.empty());
+  EXPECT_FALSE(log.back().result.faulted);
+
+  // Revoke v1 (mid-update a node unloads the old version before the new
+  // one is live). The stale caller's cross-call now hits the trusted
+  // error stub, returns 0xFFFF, and the unchecked offset drives a wild
+  // store — which the protection fabric must contain inside the caller.
+  sys.kernel().unload(tree_v1);
+  sys.post(surge, sos::msg::kData);
+  log = sys.run_pending();
+  ASSERT_FALSE(log.empty());
+  EXPECT_TRUE(log.back().result.faulted);
+  ASSERT_TRUE(sys.last_fault().has_value());
+  // Contained, not escaped. The two fabrics attribute the trap differently:
+  // UMPU faults at the retired jump-table entry, which still lies in the
+  // revoked domain's region; SFI traps the resulting wild store inside the
+  // stale caller. Either way the fault stays within the two participants.
+  const auto fault_dom = sys.last_fault()->domain;
+  EXPECT_TRUE(fault_dom == surge || fault_dom == tree_v1)
+      << "fault escaped to domain " << static_cast<int>(fault_dom);
+}
+
+TEST_P(MixedVersionTest, OtaStoresCarryBothVersionsIntoSeparateDomains) {
+  // The fleet path end-to-end on one node: two committed stores (one per
+  // version, as a mid-update node would hold across its slot rotation),
+  // both loaded through the kernel's store path into separate domains.
+  System sys({GetParam(), {}});
+  ota::FlashModel flash_a, flash_b;
+  ota::ModuleStore store_a(flash_a), store_b(flash_b);
+  ASSERT_EQ(ota::install_image(store_a, fleet::make_update_image(1)),
+            ota::InstallStatus::Ok);
+  ASSERT_EQ(ota::install_image(store_b, fleet::make_update_image(2)),
+            ota::InstallStatus::Ok);
+  EXPECT_EQ(fleet::image_version(*store_a.committed_image()), 1);
+  EXPECT_EQ(fleet::image_version(*store_b.committed_image()), 2);
+
+  const auto dom_v1 = sys.kernel().load_from_store(store_a);
+  const auto dom_v2 = sys.kernel().load_from_store(store_b);
+  EXPECT_NE(dom_v1, dom_v2);
+  sys.run_pending();  // drain the kInit each load posted
+
+  sys.post(dom_v1, sos::msg::kTimer);
+  sys.post(dom_v2, sos::msg::kTimer);
+  const auto log = sys.run_pending();
+  EXPECT_EQ(log.size(), 2u);
+  for (const auto& rec : log) EXPECT_FALSE(rec.result.faulted);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, MixedVersionTest,
+                         ::testing::Values(ProtectionMode::Umpu,
+                                           ProtectionMode::Sfi),
+                         [](const auto& info) {
+                           return info.param == ProtectionMode::Sfi ? "Sfi"
+                                                                    : "Umpu";
+                         });
+
+}  // namespace
+}  // namespace harbor

@@ -181,5 +181,53 @@ TEST(OtaTransfer, EmitsTypedTraceEvents) {
   EXPECT_TRUE(saw_commit);
 }
 
+TEST(OtaTransfer, JitterSeedsDesynchronizeRetryBackoff) {
+  // Two nodes that lost the same frames must not retry in lockstep: with
+  // equal-jitter enabled, distinct jitter seeds produce distinct backoff
+  // schedules over identical link fault streams.
+  const auto image = tree_words();
+  auto total_backoff = [&](std::uint64_t jitter_seed) {
+    FlashModel flash;
+    ModuleStore store(flash);
+    TransferConfig cfg;
+    cfg.jitter_seed = jitter_seed;
+    Sender sender(image, cfg);
+    Receiver receiver(store, cfg);
+    LossyLink down({0.3, 0, 0, 0}, 21);
+    LossyLink up({0.3, 0, 0, 0}, 22);
+    const TransferResult r = run_transfer(sender, receiver, down, up);
+    EXPECT_EQ(r.status, TransferStatus::Complete);
+    return r.sender.backoff_ticks;
+  };
+  EXPECT_EQ(total_backoff(1), total_backoff(1));  // seeded: replays exactly
+  EXPECT_NE(total_backoff(1), total_backoff(2));
+}
+
+TEST(OtaTransfer, FlashOpSequenceIsJitterInvariant) {
+  // Jitter shifts *when* frames are resent, never what the receiver stages:
+  // the flash-operation count (and the committed bytes) must be identical
+  // with jitter disabled, at the default, and with full-window jitter.
+  const auto image = tree_words();
+  auto flash_ops = [&](std::uint32_t jitter_pct, std::uint64_t jitter_seed) {
+    FlashModel flash;
+    ModuleStore store(flash);
+    TransferConfig cfg;
+    cfg.backoff_jitter_pct = jitter_pct;
+    cfg.jitter_seed = jitter_seed;
+    Sender sender(image, cfg);
+    Receiver receiver(store, cfg);
+    LossyLink down({0.25, 0.05, 0.05, 0.05}, 31);
+    LossyLink up({0.25, 0.05, 0.05, 0.05}, 32);
+    const TransferResult r = run_transfer(sender, receiver, down, up);
+    EXPECT_EQ(r.status, TransferStatus::Complete);
+    EXPECT_EQ(store.committed_image(), image);
+    return flash.ops();
+  };
+  const std::uint64_t baseline = flash_ops(0, 1);
+  EXPECT_EQ(flash_ops(50, 1), baseline);
+  EXPECT_EQ(flash_ops(50, 99), baseline);
+  EXPECT_EQ(flash_ops(100, 7), baseline);
+}
+
 }  // namespace
 }  // namespace harbor::ota

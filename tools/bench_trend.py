@@ -38,6 +38,7 @@ RATE_RULES = {
     "sim_throughput": {"direction": "higher", "max_regress_pct": 75.0},
     "analysis": {"direction": "higher", "max_regress_pct": 75.0},
     "soak": {"direction": "higher", "max_regress_pct": 75.0},
+    "fleet_rate": {"direction": "higher", "max_regress_pct": 75.0},
 }
 
 

@@ -4,7 +4,7 @@
 Usage: validate_trace.py TRACE_DIR [BENCH_JSON...] [--inject REPORT.json]
                          [--ota REPORT.json] [--prof PROFILE.json]
                          [--prof-coverage COVERAGE.json] [--lint REPORT.json]
-                         [--soak HEALTH.jsonl]
+                         [--soak HEALTH.jsonl] [--fleet REPORT.jsonl]
 
 TRACE_DIR must hold trace.json + metrics.json as written by
 `harbor-trace ... --out TRACE_DIR`. Any extra arguments are BENCH_*.json
@@ -35,6 +35,14 @@ is stream-constant, spares_in_use <= remaps, and the wear fields agree
 with their counter mirrors. `--soak-self-test` proves those gates bite:
 a synthetic good stream must pass and nine seeded corruptions must each
 be rejected.
+`--fleet REPORT.jsonl` validates a harbor-fleet checkpoint stream: every
+line against the fleet_report schema, stream-constant mode/topology/node
+count, strictly increasing ticks, per-node and fleet-wide version
+monotonicity, monotone cumulative counters, converged <= live <= nodes,
+zero old-or-new / regression violations on every line, and a final
+checkpoint showing the whole fleet alive and converged.
+`--fleet-self-test` proves those gates bite: a synthetic good stream
+must pass and each seeded corruption must be rejected.
 `--lint REPORT.json` validates a harbor-lint static-analysis report:
 schema conformance, finding counts consistent with the findings list,
 and — when an elision section is present — that the elidable count
@@ -364,6 +372,158 @@ def validate_soak_report(path, schemas):
           f"{prev_wear['pages_bad']} bad page(s) / {prev_wear['remaps']} remap(s)")
 
 
+def validate_fleet_report(path, schemas):
+    """harbor-fleet checkpoint stream: convergence + dissemination invariants."""
+    label = os.path.basename(path)
+    records = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                fail(f"{label}:{lineno}: not valid JSON: {e}")
+    if not records:
+        fail(f"{label}: empty checkpoint stream")
+    validate(records, {"type": "array", "items": schemas["fleet_report"]}, label)
+
+    mode = records[0]["mode"]
+    topology = records[0]["topology"]
+    nodes = records[0]["nodes"]
+    prev_tick = -1
+    prev_newest = -1
+    prev_versions = [0] * nodes
+    prev_counters = {}
+    for i, rec in enumerate(records):
+        rlabel = f"{label}[checkpoint {i}]"
+        if rec["mode"] != mode:
+            fail(f"{rlabel}: mode {rec['mode']!r} differs from stream mode {mode!r}")
+        if rec["topology"] != topology:
+            fail(f"{rlabel}: topology {rec['topology']!r} differs from stream "
+                 f"topology {topology!r}")
+        if rec["nodes"] != nodes:
+            fail(f"{rlabel}: fleet size changed mid-stream "
+                 f"({nodes} -> {rec['nodes']})")
+        if rec["tick"] <= prev_tick:
+            fail(f"{rlabel}: tick {rec['tick']} did not advance past {prev_tick}")
+        prev_tick = rec["tick"]
+        if not rec["converged"] <= rec["live"] <= nodes:
+            fail(f"{rlabel}: converged {rec['converged']} <= live {rec['live']} "
+                 f"<= nodes {nodes} violated")
+        if rec["newest_version"] < prev_newest:
+            fail(f"{rlabel}: newest_version fell from {prev_newest} to "
+                 f"{rec['newest_version']}")
+        prev_newest = rec["newest_version"]
+        if len(rec["versions"]) != nodes:
+            fail(f"{rlabel}: {len(rec['versions'])} version entries for "
+                 f"{nodes} nodes")
+        for n, (old, new) in enumerate(zip(prev_versions, rec["versions"])):
+            if new < old:
+                fail(f"{rlabel}: node {n} version regressed {old} -> {new}")
+        prev_versions = rec["versions"]
+        for name, value in rec["counters"].items():
+            if value < prev_counters.get(name, 0):
+                fail(f"{rlabel}: cumulative counter {name!r} fell from "
+                     f"{prev_counters[name]} to {value}")
+        prev_counters.update(rec["counters"])
+        for name, value in rec["violations"].items():
+            if value != 0:
+                fail(f"{rlabel}: {value} {name} violation(s)")
+    last = records[-1]
+    if last["live"] != nodes:
+        fail(f"{label}: final checkpoint has {last['live']}/{nodes} nodes live "
+             f"— churned nodes never revived")
+    if last["converged"] != nodes:
+        fail(f"{label}: final checkpoint has {last['converged']}/{nodes} nodes "
+             f"converged — the campaign did not finish")
+    print(f"validate_trace: fleet report OK — mode {mode}, {topology} topology, "
+          f"{nodes} nodes over {len(records)} checkpoint(s), converged at tick "
+          f"{last['tick']}, {last['counters']['installs']} install(s) / "
+          f"{last['counters']['resumes']} resume(s) / "
+          f"{last['counters']['power_cuts']} power cut(s), 0 violations")
+
+
+def fleet_selftest(schemas):
+    """Negative self-test for the --fleet checks: a synthetic good stream must
+    pass, and each seeded corruption (version regression, torn image, stalled
+    convergence, shrinking counter, fleet-size drift, over-counted
+    convergence, unrevived churn, stuck tick) must be rejected."""
+    import contextlib
+    import copy
+    import io
+    import tempfile
+
+    def counters(frames, installs, resumes, cuts, deaths):
+        return {"frames_sent": frames, "frames_delivered": frames - 2,
+                "frames_dropped": 1, "frames_corrupted": 1,
+                "frames_duplicated": 0, "partition_blocked": 0,
+                "adverts": frames // 2, "reqs": 4, "chunks_served": 8,
+                "chunks_staged": 8, "installs": installs, "resumes": resumes,
+                "fetch_aborts": 0, "power_cuts": cuts, "reboots": cuts + deaths,
+                "deaths": deaths}
+
+    def record(tick, live, converged, versions, counts):
+        return {"schema": "fleet-report-v1", "mode": "umpu", "topology": "grid",
+                "tick": tick, "nodes": 4, "live": live, "converged": converged,
+                "newest_version": 2, "versions": versions, "counters": counts,
+                "violations": {"old_or_new": 0, "regression": 0}}
+
+    good = [
+        record(512, 4, 1, [2, 1, 1, 1], counters(40, 1, 0, 0, 0)),
+        record(1024, 3, 2, [2, 2, 1, 1], counters(90, 2, 1, 1, 1)),
+        record(1536, 4, 4, [2, 2, 2, 2], counters(130, 4, 1, 1, 1)),
+    ]
+
+    def run(records):
+        """Returns None on acceptance, the failure exit code on rejection."""
+        with tempfile.NamedTemporaryFile("w", suffix=".jsonl",
+                                         delete=False) as f:
+            path = f.name
+            for rec in records:
+                f.write(json.dumps(rec) + "\n")
+        try:
+            with contextlib.redirect_stdout(io.StringIO()), \
+                 contextlib.redirect_stderr(io.StringIO()):
+                validate_fleet_report(path, schemas)
+            return None
+        except SystemExit as e:
+            return e.code
+        finally:
+            os.unlink(path)
+
+    if run(good) is not None:
+        fail("fleet self-test: the known-good stream was rejected")
+
+    def corrupt(name, mutate):
+        bad = copy.deepcopy(good)
+        mutate(bad)
+        if run(bad) is None:
+            fail(f"fleet self-test: corruption {name!r} was NOT rejected")
+
+    corrupt("node version regression",
+            lambda r: r[2]["versions"].__setitem__(0, 1))
+    corrupt("torn image",
+            lambda r: r[1]["violations"].__setitem__("old_or_new", 1))
+    corrupt("post-heal regression",
+            lambda r: r[2]["violations"].__setitem__("regression", 2))
+    corrupt("stalled convergence",
+            lambda r: r[2].__setitem__("converged", 3))
+    corrupt("shrinking install counter",
+            lambda r: r[2]["counters"].__setitem__("installs", 1))
+    corrupt("fleet size drift", lambda r: r[1].__setitem__("nodes", 5))
+    corrupt("converged exceeds live",
+            lambda r: r[1].__setitem__("converged", 4))
+    corrupt("unrevived churn", lambda r: r[2].__setitem__("live", 3))
+    corrupt("stuck tick", lambda r: r[1].__setitem__("tick", 512))
+    corrupt("newest_version rollback",
+            lambda r: r[2].__setitem__("newest_version", 1))
+    corrupt("missing counters object", lambda r: r[1].pop("counters"))
+    print("validate_trace: fleet self-test OK — good stream accepted, "
+          "11 seeded corruptions rejected")
+
+
 def soak_selftest(schemas):
     """Negative self-test for the --soak checks: a synthetic good stream must
     pass, and each seeded corruption (healed bad page, undone remap, shrinking
@@ -462,6 +622,12 @@ def main():
         soak_selftest(load(os.path.join(here, "trace_schema.json")))
         if not args:
             return 0
+    if "--fleet-self-test" in args:
+        args.remove("--fleet-self-test")
+        here = os.path.dirname(os.path.abspath(__file__))
+        fleet_selftest(load(os.path.join(here, "trace_schema.json")))
+        if not args:
+            return 0
     inject_paths = []
     while "--inject" in args:
         i = args.index("--inject")
@@ -510,7 +676,15 @@ def main():
             return 2
         soak_paths.append(args[i + 1])
         del args[i:i + 2]
-    if not args and not lint_paths and not soak_paths:
+    fleet_paths = []
+    while "--fleet" in args:
+        i = args.index("--fleet")
+        if i + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 2
+        fleet_paths.append(args[i + 1])
+        del args[i:i + 2]
+    if not args and not lint_paths and not soak_paths and not fleet_paths:
         print(__doc__, file=sys.stderr)
         return 2
     here = os.path.dirname(os.path.abspath(__file__))
@@ -520,8 +694,10 @@ def main():
         validate_lint_report(path, schemas)
     for path in soak_paths:
         validate_soak_report(path, schemas)
+    for path in fleet_paths:
+        validate_fleet_report(path, schemas)
     if not args:
-        return 0  # lint/soak reports need no trace directory
+        return 0  # lint/soak/fleet reports need no trace directory
     trace_dir = args[0]
 
     trace = load(os.path.join(trace_dir, "trace.json"))
